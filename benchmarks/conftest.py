@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. Results are
+printed (run with ``pytest benchmarks/ --benchmark-only -s`` to see them)
+and the paper's qualitative shape is asserted. Training-based benchmarks
+use ``benchmark.pedantic(..., rounds=1)`` since one round is already a full
+training run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lutboost.trainer import train_epochs
+from repro.nn import Adam, evaluate_accuracy
+
+
+def emit(title, text):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+    print(text)
+
+
+def pretrain(model, train, epochs=8, lr=3e-3, batch_size=32, forward=None):
+    """Standard FP pretraining used by all accuracy benchmarks."""
+    train_epochs(model, train, epochs, Adam(model.parameters(), lr),
+                 batch_size=batch_size, forward=forward)
+    return model
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (training workloads)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return run

@@ -1,0 +1,48 @@
+"""Fig. 1 — area/power efficiency: LUT-based AMM vs ALUs across bitwidths.
+
+Regenerates the OPs/um^2 and OPs/pJ curves for INT/FP adders and
+multipliers (bitwidths 1-64) and the LUT design points (V in {2,4,8,16},
+C in {8..512}, x-position = equivalent bitwidth log2(C)/V).
+"""
+
+from conftest import emit
+
+from repro.baselines import figure1_curves
+from repro.evaluation import format_table
+
+
+def _rows(curves):
+    rows = []
+    for name, series in curves.items():
+        for point in series:
+            bits, area_eff, energy_eff = point
+            rows.append({
+                "series": name,
+                "bitwidth": round(float(bits), 3),
+                "ops_per_um2": area_eff,
+                "ops_per_pj": energy_eff,
+            })
+    return rows
+
+
+def test_fig01_alu_vs_lut(benchmark):
+    curves = benchmark(figure1_curves)
+    rows = _rows(curves)
+    emit("Fig. 1: LUT-based approximate computing vs ALU efficiency",
+         format_table(rows, floatfmt="%.4g"))
+
+    # Shape 1: ALU efficiency decays monotonically with bitwidth (tiny FP
+    # formats share the minimum-size datapath floor, hence >=).
+    for kind in ("int_add", "int_mult", "fp_add", "fp_mult"):
+        series = curves[kind]
+        assert all(a[1] >= b[1] for a, b in zip(series, series[1:]))
+        assert all(a[2] > b[2] for a, b in zip(series, series[1:]))
+
+    # Shape 2: LUT points sit at sub-1-bit equivalent widths for long v.
+    assert all(p[0] < 1.0 for p in curves["lut_v16"][:4])
+
+    # Shape 3: LUT energy efficiency beats the INT multiplier at every
+    # common bitwidth >= 8 by a wide margin (the paper's 1-2 orders).
+    int_mult_8 = dict((b, e) for b, _, e in curves["int_mult"])[8]
+    best_lut = max(p[2] for p in curves["lut_v8"])
+    assert best_lut > 10 * int_mult_8

@@ -1,0 +1,81 @@
+"""Fig. 8 — accuracy sensitivity of a CIFAR ResNet to #centroids and
+vector length.
+
+Left panel: c in {8, 16, 32, 64} at fixed v. Right panel: v in {3, 6, 9}
+at fixed c. Both for L1 and L2 vs the FP baseline.
+
+Substrate note (see EXPERIMENTS.md): the CNN is depth-scaled to ResNet-8
+(same 3-stage basic-block topology as the paper's ResNet-20) because the
+synthetic-data substrate cannot support the paper's 300-epoch recovery
+training for 18 quantized layers; the *trends* are what this figure
+asserts.
+"""
+
+import numpy as np
+from conftest import emit, pretrain
+
+from repro.datasets import cifar10_like
+from repro.evaluation import format_table
+from repro.lutboost import MultistageTrainer
+from repro.models.resnet import ResNetCIFAR
+from repro.nn import evaluate_accuracy
+
+
+def _convert_and_eval(state, train, test, v, c, metric):
+    model = ResNetCIFAR(8, num_classes=10, width=8, seed=0)
+    model.load_state_dict(state)
+    trainer = MultistageTrainer(v=v, c=c, metric=metric, centroid_epochs=1,
+                                joint_epochs=2, centroid_lr=1e-3,
+                                joint_lr=5e-4, recon_penalty=0.5,
+                                skip_names=("stem", "fc"), batch_size=32)
+    log = trainer.run(model, train, test)
+    return log.accuracies["after_joint"]
+
+
+def _run():
+    train, test = cifar10_like(train_size=320, test_size=160, image_size=12)
+    fp = ResNetCIFAR(8, num_classes=10, width=8, seed=0)
+    pretrain(fp, train, epochs=12, lr=5e-3)
+    baseline = evaluate_accuracy(fp, test)
+    state = fp.state_dict()
+
+    centroid_sweep = {}
+    for metric in ("l2", "l1"):
+        for c in (8, 16, 32, 64):
+            centroid_sweep[(metric, c)] = _convert_and_eval(
+                state, train, test, v=3, c=c, metric=metric)
+
+    vector_sweep = {}
+    for metric in ("l2", "l1"):
+        for v in (3, 6, 9):
+            vector_sweep[(metric, v)] = _convert_and_eval(
+                state, train, test, v=v, c=16, metric=metric)
+    return baseline, centroid_sweep, vector_sweep
+
+
+def test_fig08_sensitivity(once):
+    baseline, centroid_sweep, vector_sweep = once(_run)
+
+    rows = [{"sweep": "c=%d" % c, "metric": m, "accuracy": a}
+            for (m, c), a in centroid_sweep.items()]
+    rows += [{"sweep": "v=%d" % v, "metric": m, "accuracy": a}
+             for (m, v), a in vector_sweep.items()]
+    rows.append({"sweep": "baseline", "metric": "fp32",
+                 "accuracy": baseline})
+    emit("Fig. 8: ResNet sensitivity (left: centroids; right: vector len)",
+         format_table(rows, floatfmt="%.4f"))
+
+    # Shape 1: more centroids help — best of {c=32, c=64} beats c=8.
+    for metric in ("l2", "l1"):
+        accs = [centroid_sweep[(metric, c)] for c in (8, 16, 32, 64)]
+        assert max(accs[2:]) >= accs[0] - 0.02, metric
+
+    # Shape 2: the shortest vector length wins per metric.
+    for metric in ("l2", "l1"):
+        accs = [vector_sweep[(metric, v)] for v in (3, 6, 9)]
+        assert accs[0] >= max(accs) - 0.05, metric
+        # v=3 strictly beats v=9 (the figure's headline gap).
+        assert accs[0] >= accs[2], metric
+
+    # Shape 3: no LUT configuration beats the FP baseline.
+    assert max(centroid_sweep.values()) <= baseline + 0.02

@@ -1,0 +1,54 @@
+"""Fig. 9 — dPE area and power vs similarity metric, vector length and
+numeric precision.
+
+Left panel: v=8, metrics {L2, L1, Chebyshev} x precisions {FP32, FP16}.
+Right panel: Chebyshev/L1/L2 growth over v in {4, 8, 16}.
+"""
+
+from conftest import emit
+
+from repro.evaluation import format_table
+from repro.hw import dpe_area_um2, dpe_power_mw
+
+
+def _run():
+    rows = []
+    for metric in ("l2", "l1", "chebyshev"):
+        for precision in ("fp32", "fp16"):
+            for v in (4, 8, 16):
+                rows.append({
+                    "metric": metric,
+                    "precision": precision,
+                    "v": v,
+                    "area_mm2": dpe_area_um2(v, metric, precision) / 1e6,
+                    "power_mw": dpe_power_mw(v, metric, precision),
+                })
+    return rows
+
+
+def test_fig09_dpe_cost(benchmark):
+    rows = benchmark(_run)
+    emit("Fig. 9: dPE area/power by similarity, precision, vector length",
+         format_table(rows, floatfmt="%.5f"))
+
+    cost = {(r["metric"], r["precision"], r["v"]): (r["area_mm2"],
+                                                    r["power_mw"])
+            for r in rows}
+
+    # Shape 1: L2 > L1 > Chebyshev at every (precision, v).
+    for precision in ("fp32", "fp16"):
+        for v in (4, 8, 16):
+            a_l2, p_l2 = cost[("l2", precision, v)]
+            a_l1, p_l1 = cost[("l1", precision, v)]
+            a_ch, p_ch = cost[("chebyshev", precision, v)]
+            assert a_l2 > a_l1 > a_ch
+            assert p_l2 > p_l1 > p_ch
+
+    # Shape 2: FP16 saves substantially over FP32 (paper: ~4x move cost).
+    assert cost[("l2", "fp16", 8)][0] < 0.7 * cost[("l2", "fp32", 8)][0]
+
+    # Shape 3: approximately linear growth with v (within 2x of linear).
+    for metric in ("l2", "l1", "chebyshev"):
+        a4 = cost[(metric, "fp32", 4)][0]
+        a16 = cost[(metric, "fp32", 16)][0]
+        assert 3.0 < a16 / a4 < 8.0

@@ -1,0 +1,49 @@
+"""Fig. 10 — expanding a lookup-limited design boosts throughput.
+
+The paper's illustration: when table lookup is the bottleneck, adding a
+second IMM (sharing the CCM's index stream) doubles system throughput.
+Reproduced both analytically (Eq. 5) and with the cycle simulator.
+"""
+
+from conftest import emit
+
+from repro.dse import omega_breakdown
+from repro.evaluation import format_table
+from repro.lutboost import GemmWorkload
+from repro.sim import SimConfig, simulate_gemm
+
+WORKLOAD = GemmWorkload(1024, 256, 2048, v=4, c=16)  # lookup-heavy
+
+
+def _run():
+    rows = []
+    for n_imm in (1, 2, 4, 8):
+        parts = omega_breakdown(WORKLOAD.m, WORKLOAD.k, WORKLOAD.n, 4, 16,
+                                beta=2048, n_imm=n_imm, n_ccu=1, tn=16)
+        config = SimConfig(tn=16, n_imm=n_imm, n_ccu=1,
+                           bandwidth_bits_per_cycle=4096, ccm_freq_ratio=8)
+        sim = simulate_gemm(WORKLOAD, config)
+        rows.append({
+            "n_imm": n_imm,
+            "eq5_lookup": parts["lookup"],
+            "eq5_similarity": parts["similarity"],
+            "sim_cycles": sim.total_cycles,
+            "sim_gops": sim.effective_gops,
+        })
+    return rows
+
+
+def test_fig10_parallelism(benchmark):
+    rows = benchmark(_run)
+    emit("Fig. 10: throughput vs number of IMMs (lookup-limited design)",
+         format_table(rows, floatfmt="%.4g"))
+
+    cycles = [r["sim_cycles"] for r in rows]
+    gops = [r["sim_gops"] for r in rows]
+    # Shape 1: each IMM doubling roughly doubles simulated throughput
+    # while lookups remain the bottleneck.
+    assert cycles[0] / cycles[1] > 1.8
+    assert cycles[1] / cycles[2] > 1.8
+    assert gops[3] > 6 * gops[0]
+    # Shape 2: Eq. 5's lookup term halves exactly with each doubling.
+    assert rows[0]["eq5_lookup"] == 2 * rows[1]["eq5_lookup"]

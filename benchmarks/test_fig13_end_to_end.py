@@ -1,0 +1,61 @@
+"""Fig. 13 — end-to-end throughput and energy: 6 hardware targets x
+ResNet-18/34/50 + BERT.
+
+Paper shapes: Design2 beats NVDLA-Large on CNNs in energy (~11x saving);
+Design3 is the best BERT design (up to 72x speedup over NVDLA-Small and
+11.5x energy saving); Design1 trades peak speed for compactness.
+"""
+
+from conftest import emit
+
+from repro.baselines import gemmini_default, nvdla_large, nvdla_small
+from repro.evaluation import end_to_end_comparison, format_table
+from repro.hw import paper_designs
+from repro.sim import bert_workloads, resnet_workloads
+
+
+def _run():
+    models = {
+        "resnet18": resnet_workloads(18, v=4, c=16),
+        "resnet34": resnet_workloads(34, v=4, c=16),
+        "resnet50": resnet_workloads(50, v=4, c=16),
+        "bert": bert_workloads(v=4, c=16),
+    }
+    return end_to_end_comparison(
+        models, paper_designs(),
+        [nvdla_small(), nvdla_large(), gemmini_default()])
+
+
+def test_fig13_end_to_end(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for model, results in table.items():
+        for hw, res in results.items():
+            rows.append({
+                "model": model, "hw": hw, "ms": res.seconds * 1e3,
+                "energy_mj": res.energy_mj, "gops": res.throughput_gops,
+            })
+    emit("Fig. 13: end-to-end throughput and energy", format_table(rows))
+
+    # Shape 1: Design3 is the fastest LUT-DLA design on BERT.
+    bert = table["bert"]
+    assert bert["Design3-Fit"].seconds < bert["Design1-Tiny"].seconds
+    assert bert["Design3-Fit"].seconds < bert["Design2-Large"].seconds
+
+    # Shape 2: Design3 delivers a large BERT speedup over NVDLA-Small
+    # (paper: up to 72x; we require > 20x) and an energy saving.
+    assert bert["NVDLA-Small"].seconds / bert["Design3-Fit"].seconds > 20
+    assert bert["NVDLA-Small"].energy_mj > 2 * bert["Design3-Fit"].energy_mj
+
+    # Shape 3: LUT-DLA designs save energy vs NVDLA-Large on every CNN
+    # (paper: ~11x with Design2; we require > 2x for the best design).
+    for model in ("resnet18", "resnet34", "resnet50"):
+        row = table[model]
+        best_lut = min(row[d].energy_mj for d in
+                       ("Design1-Tiny", "Design2-Large", "Design3-Fit"))
+        assert row["NVDLA-Large"].energy_mj > 1.0 * best_lut
+
+    # Shape 4: every design beats Gemmini's latency on every model.
+    for model, row in table.items():
+        for d in ("Design1-Tiny", "Design2-Large", "Design3-Fit"):
+            assert row[d].seconds < row["Gemmini"].seconds, (model, d)

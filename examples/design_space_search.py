@@ -1,0 +1,68 @@
+"""Co-design space exploration (Algorithm 2 / Fig. 11 workflow).
+
+Searches the (v, c, nCCU, nIMM) space for a BERT-base QKV-projection GEMM
+under area/power/accuracy constraints, prints the pruning funnel, then
+simulates the winning design against the paper's fixed Design 1.
+
+Run:  python examples/design_space_search.py
+"""
+
+import numpy as np
+
+from repro.dse import (
+    Constraints,
+    CoDesignSearchEngine,
+    QuantizationErrorOracle,
+)
+from repro.evaluation import evaluate_design, format_table
+from repro.hw import DESIGN1, LUTDLADesign
+from repro.lutboost import GemmWorkload
+from repro.sim import bert_workloads
+
+# Representative workload: one BERT-base QKV projection (M=512 tokens).
+workload = GemmWorkload(512, 768, 768, v=4, c=16, name="qkv")
+
+# Accuracy oracle from clustered synthetic activations.
+rng = np.random.default_rng(0)
+prototypes = rng.normal(size=(48, 768))
+activations = prototypes[rng.integers(0, 48, 1024)] \
+    + rng.normal(scale=0.3, size=(1024, 768))
+oracle = QuantizationErrorOracle(activations, base_accuracy=0.9,
+                                 sensitivity=3.0)
+
+constraints = Constraints(max_area_mm2=2.0, max_power_mw=400.0,
+                          min_accuracy=0.5, max_compute_ratio=0.5,
+                          max_memory_bits=5e8)
+engine = CoDesignSearchEngine(
+    v_space=(2, 3, 4, 6, 8), c_space=(8, 16, 32, 64),
+    workload=workload, constraints=constraints, accuracy_oracle=oracle,
+    tn=128, m_tile=256)
+
+result = engine.search()
+print(format_table(
+    [{"stage": k, "count": v} for k, v in result.pruning_summary().items()],
+    title="Pruning funnel:"))
+best = result.best
+print("\nselected:", best)
+
+# Build the searched design and compare against the paper's Design 1 on
+# the full BERT workload.
+searched = LUTDLADesign("Searched", v=best.v, c=best.c, tn=128, m_tile=256,
+                        n_ccu=best.n_ccu, n_imm=best.n_imm)
+bert = bert_workloads(v=best.v, c=best.c)
+rows = []
+for design in (searched, DESIGN1):
+    res = evaluate_design(design, bert)
+    rows.append({
+        "design": design.name,
+        "area_mm2": design.area_mm2(),
+        "power_mw": design.power_mw(),
+        "bert_ms": res.seconds * 1e3,
+        "bert_mj": res.energy_mj,
+        "gops": res.throughput_gops,
+    })
+print(format_table(rows, title="\nBERT end-to-end:", floatfmt="%.4g"))
+
+assert best is not None
+assert best.area_mm2 <= constraints.max_area_mm2
+print("OK")

@@ -1,0 +1,17 @@
+"""repro — reproduction of LUT-DLA (HPCA 2025).
+
+Public API layout:
+
+- :mod:`repro.nn` — numpy autograd training substrate.
+- :mod:`repro.vq` — vector quantization core (k-means, codebooks, LUT AMM).
+- :mod:`repro.lutboost` — LUTBoost multistage model converter.
+- :mod:`repro.models` / :mod:`repro.datasets` — evaluation model zoo and
+  synthetic datasets.
+- :mod:`repro.hw` — LUT-DLA hardware area/power/memory cost models.
+- :mod:`repro.sim` — cycle-accurate LUT-Stationary dataflow simulator.
+- :mod:`repro.dse` — co-design space exploration engine (Algorithm 2).
+- :mod:`repro.baselines` — ALU/NVDLA/Gemmini/PQA comparison models.
+- :mod:`repro.evaluation` — end-to-end latency / energy runner.
+"""
+
+__version__ = "1.0.0"

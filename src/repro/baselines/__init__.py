@@ -1,0 +1,33 @@
+"""Baseline accelerators and efficiency curves for the paper's comparisons."""
+
+from .alu import (
+    FP_BITWIDTHS,
+    INT_BITWIDTHS,
+    alu_efficiency,
+    figure1_curves,
+    lut_efficiency,
+)
+from .gemmini import GemminiModel, gemmini_default
+from .nvdla import NVDLAModel, nvdla_large, nvdla_small
+from .pqa import PQAModel, pecan_style_training, pqa_default, pqa_style_training
+from .specs import PUBLISHED_SPECS, AcceleratorSpec, comparison_table
+
+__all__ = [
+    "alu_efficiency",
+    "lut_efficiency",
+    "figure1_curves",
+    "INT_BITWIDTHS",
+    "FP_BITWIDTHS",
+    "NVDLAModel",
+    "nvdla_small",
+    "nvdla_large",
+    "GemminiModel",
+    "gemmini_default",
+    "PQAModel",
+    "pqa_default",
+    "pqa_style_training",
+    "pecan_style_training",
+    "AcceleratorSpec",
+    "PUBLISHED_SPECS",
+    "comparison_table",
+]

@@ -1,0 +1,107 @@
+"""Fig. 1: area/power efficiency of ALUs vs LUT-based approximate computing.
+
+For a b-bit ALU executing a 1k x 1k x 1k GEMM, one MAC (2 ops) needs one
+multiplier + one adder. Efficiency:
+
+    OPs/um^2 = 2 / (area_mult + area_add)        (per cycle, i.e. ~per op
+    OPs/pJ   = 2 / (energy_mult + energy_add)     slot at fixed frequency)
+
+For the LUT design with vector length V and C centroids, each lookup
+retires V MACs against one table-row read plus a 1/C share of the
+similarity comparison (one comparison against each of the C centroids is
+amortised over... the comparison happens once per input vector and is
+reused across all N output columns). Equivalent bitwidth = log2(C)/V,
+which is how the LUT curves extend *below* 1 bit on Fig. 1's x-axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.arith import fp_add, fp_mult, int_add, int_mult
+from ..hw.dpe import dpe_cost
+from ..hw.memory import SRAM
+
+__all__ = [
+    "alu_efficiency",
+    "lut_efficiency",
+    "figure1_curves",
+    "INT_BITWIDTHS",
+    "FP_BITWIDTHS",
+]
+
+INT_BITWIDTHS = (1, 2, 4, 8, 16, 32, 64)
+FP_BITWIDTHS = {4: "fp4", 8: "fp8", 16: "fp16", 32: "fp32", 64: "fp64"}
+
+
+def alu_efficiency(bits, kind="int_mac", node=28):
+    """(ops_per_um2, ops_per_pj) for one ALU op type at ``bits`` width.
+
+    ``kind``: 'int_add', 'int_mult', 'fp_add', 'fp_mult', 'int_mac',
+    'fp_mac'.
+    """
+    if kind == "int_add":
+        unit = int_add(bits, node)
+        ops = 1.0
+    elif kind == "int_mult":
+        unit = int_mult(bits, node)
+        ops = 1.0
+    elif kind == "fp_add":
+        unit = fp_add(FP_BITWIDTHS[bits], node)
+        ops = 1.0
+    elif kind == "fp_mult":
+        unit = fp_mult(FP_BITWIDTHS[bits], node)
+        ops = 1.0
+    elif kind == "int_mac":
+        unit = int_add(bits, node) + int_mult(bits, node)
+        ops = 2.0
+    elif kind == "fp_mac":
+        unit = fp_add(FP_BITWIDTHS[bits], node) + fp_mult(FP_BITWIDTHS[bits], node)
+        ops = 2.0
+    else:
+        raise ValueError("unknown ALU kind %r" % (kind,))
+    return ops / unit.area_um2, ops / unit.energy_pj
+
+
+def lut_efficiency(v, c, n=1024, lut_bits=8, metric="l2", precision="fp16",
+                   node=28):
+    """(equivalent_bits, ops_per_um2, ops_per_pj) of the LUT design point.
+
+    One lookup retires 2*v ops from an SRAM row read; the similarity
+    comparison (c dPE compares per input vector) is amortised over the N
+    output columns the index is reused for.
+    """
+    eq_bits = np.ceil(np.log2(c)) / v
+    # Storage slice serving the lookups: c x Tn entries; per-lookup share of
+    # its area is the full slice divided by the c*Tn entries it serves...
+    # Area efficiency uses throughput per unit area: one row read per cycle
+    # retires 2*v ops from a c x Tn-entry macro (take Tn = 128).
+    tn = 128
+    lut = SRAM(c * tn * lut_bits, width=tn * lut_bits, node=node)
+    dpe = dpe_cost(v, metric, precision, node)
+    # Per cycle: Tn * v MACs; comparison cost amortised over N reuses.
+    ops_per_cycle = 2.0 * tn * v
+    sim_area_share = dpe.area_um2 * c / max(n / tn, 1.0)
+    area = lut.area_um2() + sim_area_share
+    # Energy per cycle: one row read + amortised comparisons.
+    energy = lut.read_energy_pj() + dpe.energy_pj * c * tn / max(n, 1)
+    return float(eq_bits), ops_per_cycle / area, ops_per_cycle / energy
+
+
+def figure1_curves(node=28):
+    """All Fig. 1 series: dict name -> list of (bitwidth, ops/um2, ops/pJ)."""
+    curves = {}
+    for kind in ("int_add", "int_mult"):
+        curves[kind] = [
+            (b,) + alu_efficiency(b, kind, node) for b in INT_BITWIDTHS
+        ]
+    for kind in ("fp_add", "fp_mult"):
+        curves[kind] = [
+            (b,) + alu_efficiency(b, kind, node) for b in sorted(FP_BITWIDTHS)
+        ]
+    for v in (2, 4, 8, 16):
+        series = []
+        for c in (8, 16, 32, 64, 128, 256, 512):
+            series.append(lut_efficiency(v, c, node=node))
+        curves["lut_v%d" % v] = series
+    return curves

@@ -1,0 +1,61 @@
+"""Gemmini systolic-array model (the paper's same-power-budget baseline).
+
+Table VIII: 16 nm, 500 MHz, 1.21 mm^2, 312 mW, 256 GOPS — a 16x16
+weight-stationary INT8 systolic array. The cycle model accounts for tile
+fill/drain overhead, the dominant inefficiency for the skinny GEMMs of
+im2col'd CNN layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GemminiModel", "gemmini_default"]
+
+
+class GemminiModel:
+    """Analytic weight-stationary systolic array."""
+
+    def __init__(self, name="Gemmini", dim=16, area_mm2=1.21, power_mw=312.41,
+                 frequency_hz=500e6, node=16):
+        self.name = name
+        self.dim = int(dim)
+        self.area_mm2 = area_mm2
+        self.power_mw = power_mw
+        self.frequency_hz = frequency_hz
+        self.node = node
+
+    @property
+    def peak_gops(self):
+        return 2.0 * self.dim * self.dim * self.frequency_hz / 1e9
+
+    def gemm_cycles(self, workload):
+        """Tile-level cycle count of a (M, K, N) GEMM.
+
+        The array computes a dim x dim output tile per pass; each pass
+        streams K elements plus ~2*dim fill/drain cycles (weight load and
+        pipeline drain for weight-stationary operation).
+        """
+        m_tiles = int(np.ceil(workload.m / self.dim))
+        n_tiles = int(np.ceil(workload.n / self.dim))
+        k_passes = int(np.ceil(workload.k / self.dim))
+        per_pass = self.dim + 2 * self.dim  # stream + fill/drain
+        return m_tiles * n_tiles * k_passes * per_pass
+
+    def run_cycles(self, workloads):
+        return sum(self.gemm_cycles(w) for w in workloads)
+
+    def run_seconds(self, workloads):
+        return self.run_cycles(workloads) / self.frequency_hz
+
+    def run_energy_mj(self, workloads):
+        return self.power_mw * 1e-3 * self.run_seconds(workloads) * 1e3
+
+    def __repr__(self):
+        return "GemminiModel(%dx%d, %.0f GOPS)" % (
+            self.dim, self.dim, self.peak_gops)
+
+
+def gemmini_default():
+    """Gemmini's published 16x16 INT8 configuration (Table VIII)."""
+    return GemminiModel()

@@ -1,0 +1,91 @@
+"""Published accelerator PPA specs (Table VIII) and node normalisation.
+
+These rows are taken directly from the paper's Table VIII; the
+``scaled_efficiency`` helpers apply the Stillmaker-Baas factors
+(:mod:`repro.hw.scaling`) to bring every design to a common node, exactly
+the footnote-a adjustment in the table.
+"""
+
+from __future__ import annotations
+
+from ..hw.scaling import scale_efficiency
+
+__all__ = ["AcceleratorSpec", "PUBLISHED_SPECS", "comparison_table"]
+
+
+class AcceleratorSpec:
+    """One Table VIII row."""
+
+    def __init__(self, name, node_nm, freq_mhz, area_mm2, power_mw, perf_gops,
+                 functions):
+        self.name = name
+        self.node_nm = node_nm
+        self.freq_mhz = freq_mhz
+        self.area_mm2 = area_mm2
+        self.power_mw = power_mw
+        self.perf_gops = perf_gops
+        self.functions = functions
+
+    @property
+    def area_efficiency(self):
+        """GOPS/mm^2 at the native node."""
+        return self.perf_gops / self.area_mm2
+
+    @property
+    def power_efficiency(self):
+        """GOPS/mW at the native node."""
+        return self.perf_gops / self.power_mw
+
+    def scaled_area_efficiency(self, to_node=28):
+        return scale_efficiency(self.area_efficiency, self.node_nm, to_node,
+                                "area")
+
+    def scaled_power_efficiency(self, to_node=28):
+        return scale_efficiency(self.power_efficiency, self.node_nm, to_node,
+                                "power")
+
+    def __repr__(self):
+        return "AcceleratorSpec(%s @%dnm, %.0f GOPS)" % (
+            self.name, self.node_nm, self.perf_gops)
+
+
+PUBLISHED_SPECS = [
+    AcceleratorSpec("NVIDIA A100", 7, 1512, 826.0, 300000.0, 624000.0, "C/T"),
+    AcceleratorSpec("Gemmini", 16, 500, 1.21, 312.41, 256.0, "C/T"),
+    AcceleratorSpec("NVDLA-Small", 28, 1000, 0.91, 55.0, 64.0, "C"),
+    AcceleratorSpec("NVDLA-Large", 28, 1000, 5.5, 766.0, 2048.0, "C"),
+    AcceleratorSpec("ELSA", 40, 1000, 2.147, 1047.08, 1088.0, "T"),
+    AcceleratorSpec("FACT", 28, 500, 6.03, 337.07, 928.0, "T"),
+    AcceleratorSpec("RRAM-DNN", 22, 120, 10.8, 127.9, 123.0, "C"),
+]
+
+
+def comparison_table(lut_dla_designs, to_node=28):
+    """Table VIII rows (published + LUT-DLA designs), node-normalised.
+
+    ``lut_dla_designs`` are :class:`repro.hw.LUTDLADesign` instances.
+    """
+    rows = []
+    for spec in PUBLISHED_SPECS:
+        rows.append({
+            "name": spec.name,
+            "node_nm": spec.node_nm,
+            "area_mm2": spec.area_mm2,
+            "power_mw": spec.power_mw,
+            "perf_gops": spec.perf_gops,
+            "area_eff": spec.scaled_area_efficiency(to_node),
+            "power_eff": spec.scaled_power_efficiency(to_node),
+            "functions": spec.functions,
+        })
+    for design in lut_dla_designs:
+        rows.append({
+            "name": design.name,
+            "node_nm": design.node,
+            "area_mm2": design.area_mm2(),
+            "power_mw": design.power_mw(),
+            "perf_gops": design.peak_gops(),
+            "area_eff": design.area_efficiency(),
+            "power_eff": design.power_efficiency(),
+            "functions": "C/T",
+        })
+    return rows

@@ -1,0 +1,25 @@
+"""Synthetic datasets replacing the paper's image / GLUE corpora."""
+
+from .synthetic_images import (
+    SyntheticImageSpec,
+    cifar10_like,
+    cifar100_like,
+    imagenet_like,
+    make_image_dataset,
+    mnist_like,
+    tiny_imagenet_like,
+)
+from .synthetic_text import GLUE_TASKS, glue_like_suite, make_text_task
+
+__all__ = [
+    "SyntheticImageSpec",
+    "make_image_dataset",
+    "cifar10_like",
+    "cifar100_like",
+    "mnist_like",
+    "tiny_imagenet_like",
+    "imagenet_like",
+    "GLUE_TASKS",
+    "make_text_task",
+    "glue_like_suite",
+]

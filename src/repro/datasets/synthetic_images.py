@@ -1,0 +1,125 @@
+"""Synthetic image-classification datasets (substitute for CIFAR/MNIST/...).
+
+The paper's accuracy experiments need datasets that (a) a small CNN can
+learn, (b) degrade gracefully under activation quantization, and (c) offer a
+difficulty ladder (CIFAR-10 easier than CIFAR-100 easier than ImageNet).
+Each class here is a smooth random template (low-frequency Gaussian field);
+samples are the template plus random spatial shift, per-sample gain, and
+pixel noise. Difficulty is controlled by class count, template similarity,
+and noise level — mirroring the harder-dataset => larger-VQ-loss trend the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+
+__all__ = [
+    "SyntheticImageSpec",
+    "make_image_dataset",
+    "cifar10_like",
+    "cifar100_like",
+    "mnist_like",
+    "tiny_imagenet_like",
+    "imagenet_like",
+]
+
+
+class SyntheticImageSpec:
+    """Configuration of one synthetic image task."""
+
+    def __init__(self, name, num_classes, channels, image_size, noise,
+                 template_mix, train_size, test_size, seed):
+        self.name = name
+        self.num_classes = num_classes
+        self.channels = channels
+        self.image_size = image_size
+        self.noise = noise
+        self.template_mix = template_mix
+        self.train_size = train_size
+        self.test_size = test_size
+        self.seed = seed
+
+
+def _smooth_field(rng, channels, size, cutoff=3):
+    """Low-frequency random field: random spectrum below ``cutoff``."""
+    spectrum = np.zeros((channels, size, size), dtype=np.complex128)
+    spectrum[:, :cutoff, :cutoff] = rng.normal(size=(channels, cutoff, cutoff)) \
+        + 1j * rng.normal(size=(channels, cutoff, cutoff))
+    field = np.fft.ifft2(spectrum, axes=(-2, -1)).real
+    field /= np.abs(field).max() + 1e-12
+    return field
+
+
+def make_image_dataset(spec):
+    """Generate (train, test) ArrayDatasets from a SyntheticImageSpec.
+
+    Inputs have shape (n, channels, size, size) normalised to ~N(0, 1).
+    """
+    rng = np.random.default_rng(spec.seed)
+    templates = np.stack([
+        _smooth_field(rng, spec.channels, spec.image_size)
+        for _ in range(spec.num_classes)
+    ])
+    if spec.template_mix > 0:
+        # Blend templates toward their mean to make classes more confusable.
+        mean = templates.mean(axis=0, keepdims=True)
+        templates = (1 - spec.template_mix) * templates + spec.template_mix * mean
+
+    def sample(n, seed_offset):
+        local = np.random.default_rng(spec.seed + seed_offset)
+        labels = local.integers(0, spec.num_classes, n)
+        images = templates[labels].copy()
+        # Random circular shift per sample (translation invariance pressure).
+        shifts = local.integers(-2, 3, size=(n, 2))
+        for i in range(n):
+            images[i] = np.roll(images[i], tuple(shifts[i]), axis=(1, 2))
+        gains = local.uniform(0.8, 1.2, size=(n, 1, 1, 1))
+        images = images * gains + local.normal(0, spec.noise, images.shape)
+        std = images.std() + 1e-12
+        return ArrayDataset(images / std, labels)
+
+    return sample(spec.train_size, 1), sample(spec.test_size, 2)
+
+
+def cifar10_like(train_size=512, test_size=256, image_size=12, seed=0):
+    """10-class, 3-channel task standing in for CIFAR-10."""
+    spec = SyntheticImageSpec("cifar10-like", 10, 3, image_size, noise=0.25,
+                              template_mix=0.2, train_size=train_size,
+                              test_size=test_size, seed=seed)
+    return make_image_dataset(spec)
+
+
+def cifar100_like(train_size=512, test_size=256, image_size=12, seed=1):
+    """20-class harder task standing in for CIFAR-100 (more confusable)."""
+    spec = SyntheticImageSpec("cifar100-like", 20, 3, image_size, noise=0.35,
+                              template_mix=0.45, train_size=train_size,
+                              test_size=test_size, seed=seed)
+    return make_image_dataset(spec)
+
+
+def mnist_like(train_size=512, test_size=256, image_size=16, seed=2):
+    """10-class single-channel easy task standing in for MNIST."""
+    spec = SyntheticImageSpec("mnist-like", 10, 1, image_size, noise=0.15,
+                              template_mix=0.0, train_size=train_size,
+                              test_size=test_size, seed=seed)
+    return make_image_dataset(spec)
+
+
+def tiny_imagenet_like(train_size=512, test_size=256, image_size=14, seed=3):
+    """30-class task standing in for Tiny-ImageNet."""
+    spec = SyntheticImageSpec("tiny-imagenet-like", 30, 3, image_size,
+                              noise=0.35, template_mix=0.5,
+                              train_size=train_size, test_size=test_size,
+                              seed=seed)
+    return make_image_dataset(spec)
+
+
+def imagenet_like(train_size=640, test_size=320, image_size=14, seed=4):
+    """40-class hardest task standing in for ImageNet."""
+    spec = SyntheticImageSpec("imagenet-like", 40, 3, image_size, noise=0.4,
+                              template_mix=0.55, train_size=train_size,
+                              test_size=test_size, seed=seed)
+    return make_image_dataset(spec)

@@ -1,0 +1,29 @@
+"""Co-design space exploration: analytical models, oracles, Algorithm 2."""
+
+from .analytical import (
+    ALPHA_SIM,
+    compute_cost,
+    gemm_cost,
+    memory_cost,
+    omega_breakdown,
+    omega_cycles,
+)
+from .constraints import Constraints
+from .oracle import QuantizationErrorOracle, QuickTrainOracle, TabulatedOracle
+from .search import CoDesignSearchEngine, SearchPoint, SearchResult
+
+__all__ = [
+    "ALPHA_SIM",
+    "compute_cost",
+    "gemm_cost",
+    "memory_cost",
+    "omega_breakdown",
+    "omega_cycles",
+    "Constraints",
+    "TabulatedOracle",
+    "QuantizationErrorOracle",
+    "QuickTrainOracle",
+    "CoDesignSearchEngine",
+    "SearchPoint",
+    "SearchResult",
+]

@@ -1,0 +1,36 @@
+"""Constraint set for the co-design search (Sec. VI-C objective)."""
+
+from __future__ import annotations
+
+__all__ = ["Constraints"]
+
+
+class Constraints:
+    """Upper/lower bounds the searched design must satisfy.
+
+    Parameters
+    ----------
+    max_area_mm2 / max_power_mw:
+        Hardware budget (Eq. 3 / Eq. 4 bounds).
+    min_accuracy:
+        Accuracy floor checked against the accuracy oracle.
+    max_compute_ratio:
+        tau(v, c) must not exceed this fraction of the exact GEMM cost
+        (Step 1 "complexity pruning": reject points worse than GEMM).
+    max_memory_bits:
+        phi(v, c) ceiling (Step 1 "memory pruning").
+    """
+
+    def __init__(self, max_area_mm2, max_power_mw, min_accuracy=0.0,
+                 max_compute_ratio=1.0, max_memory_bits=float("inf")):
+        if max_area_mm2 <= 0 or max_power_mw <= 0:
+            raise ValueError("area and power budgets must be positive")
+        self.max_area_mm2 = float(max_area_mm2)
+        self.max_power_mw = float(max_power_mw)
+        self.min_accuracy = float(min_accuracy)
+        self.max_compute_ratio = float(max_compute_ratio)
+        self.max_memory_bits = float(max_memory_bits)
+
+    def __repr__(self):
+        return ("Constraints(area<=%.2fmm2, power<=%.0fmW, acc>=%.3f)"
+                % (self.max_area_mm2, self.max_power_mw, self.min_accuracy))

@@ -1,0 +1,101 @@
+"""Accuracy oracles for the DSE accuracy-pruning step (Algorithm 2, Step 3).
+
+The paper exploits LUTBoost's fast early-stage accuracy estimate. Three
+oracles, in increasing cost:
+
+- :class:`TabulatedOracle` — fixed (v, c) -> accuracy table (tests, replays
+  of recorded sweeps).
+- :class:`QuantizationErrorOracle` — training-free proxy: accuracy estimated
+  from the hard-VQ reconstruction error of sample activations (monotone in
+  the true accuracy trend: larger c / smaller v => lower error).
+- :class:`QuickTrainOracle` — runs the LUTBoost centroid-calibration stage
+  for a handful of epochs and measures real accuracy (the paper's
+  "coarse-grained accuracy search").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vq.codebook import Codebook
+
+__all__ = ["TabulatedOracle", "QuantizationErrorOracle", "QuickTrainOracle"]
+
+
+class TabulatedOracle:
+    """Lookup oracle over a {(v, c): accuracy} dict."""
+
+    def __init__(self, table, default=0.0):
+        self.table = dict(table)
+        self.default = default
+
+    def __call__(self, v, c, metric="l2"):
+        return self.table.get((v, c), self.default)
+
+
+class QuantizationErrorOracle:
+    """Accuracy proxy from VQ reconstruction error on sample activations.
+
+    Maps the relative reconstruction error e (0 = lossless) to a proxy
+    accuracy ``base_accuracy * exp(-sensitivity * e)``. The absolute value
+    is meaningless; its *ordering* over (v, c) mirrors Fig. 8's trends,
+    which is all the pruning step needs.
+    """
+
+    def __init__(self, activations, base_accuracy=1.0, sensitivity=4.0,
+                 seed=0):
+        self.activations = np.asarray(activations, dtype=np.float64)
+        if self.activations.ndim != 2:
+            self.activations = self.activations.reshape(
+                self.activations.shape[0], -1)
+        self.base_accuracy = base_accuracy
+        self.sensitivity = sensitivity
+        self.seed = seed
+        self._cache = {}
+
+    def __call__(self, v, c, metric="l2"):
+        key = (v, c, metric)
+        if key not in self._cache:
+            book = Codebook.fit(self.activations, v=v, c=c, metric=metric,
+                                seed=self.seed, max_iter=10)
+            err = book.quantization_error(self.activations)
+            scale = float(np.mean(self.activations**2)) + 1e-12
+            rel = err / scale
+            self._cache[key] = self.base_accuracy * float(np.exp(
+                -self.sensitivity * rel))
+        return self._cache[key]
+
+
+class QuickTrainOracle:
+    """Real (coarse) accuracy from a short LUTBoost centroid stage."""
+
+    def __init__(self, model_factory, train_dataset, eval_dataset,
+                 epochs=1, lr=1e-3, batch_size=32, forward=None, seed=0):
+        self.model_factory = model_factory
+        self.train_dataset = train_dataset
+        self.eval_dataset = eval_dataset
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.forward = forward
+        self.seed = seed
+        self._cache = {}
+
+    def __call__(self, v, c, metric="l2"):
+        key = (v, c, metric)
+        if key not in self._cache:
+            from ..lutboost.trainer import MultistageTrainer
+            from ..nn.data import evaluate_accuracy
+
+            model = self.model_factory()
+            trainer = MultistageTrainer(
+                v=v, c=c, metric=metric, centroid_epochs=self.epochs,
+                joint_epochs=0, centroid_lr=self.lr,
+                batch_size=self.batch_size, forward=self.forward,
+                seed=self.seed)
+            sample = self.train_dataset.inputs[: self.batch_size]
+            trainer.convert(model, sample)
+            trainer.fit(model, self.train_dataset)
+            self._cache[key] = evaluate_accuracy(
+                model, self.eval_dataset, forward=self.forward)
+        return self._cache[key]

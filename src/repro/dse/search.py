@@ -1,0 +1,169 @@
+"""Co-Design Space Search Engine (Algorithm 2 / Fig. 11).
+
+The search walks the (v, c) grid through four pruning stages and then
+greedily expands parallelism:
+
+1. **Complexity + memory pruning** — reject (v, c) whose analytic compute
+   cost tau (Eq. 1) or memory footprint phi (Eq. 2) is worse than the GEMM
+   requirements (Fig. 11 a, b).
+2. **Hardware pruning** — reject points whose minimal one-CCU/one-IMM
+   design already violates the area/power budget (Fig. 11 c).
+3. **Accuracy pruning** — query the accuracy oracle (fast LUTBoost
+   early-stage estimate) against the accuracy floor (Fig. 11 d).
+4. **Parallelism expansion** — LUT-first greedy growth: while the budget
+   holds, add an IMM when table lookup bounds Eq. (5), otherwise add a CCU
+   (the paper's "idle CCUs serve additional IMMs" strategy, Fig. 10/11 e).
+
+The winner minimises the Eq. (5) bottleneck cycle count; ties break toward
+smaller area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.accelerator import LUTDLADesign
+from .analytical import compute_cost, gemm_cost, memory_cost, omega_breakdown, omega_cycles
+from .constraints import Constraints
+
+__all__ = ["SearchPoint", "SearchResult", "CoDesignSearchEngine"]
+
+
+class SearchPoint:
+    """One fully specified candidate: (v, c) + parallelism + its scores."""
+
+    def __init__(self, v, c, n_ccu, n_imm, cycles, area_mm2, power_mw,
+                 accuracy, breakdown):
+        self.v = v
+        self.c = c
+        self.n_ccu = n_ccu
+        self.n_imm = n_imm
+        self.cycles = cycles
+        self.area_mm2 = area_mm2
+        self.power_mw = power_mw
+        self.accuracy = accuracy
+        self.breakdown = breakdown
+
+    def __repr__(self):
+        return ("SearchPoint(v=%d c=%d nCCU=%d nIMM=%d cycles=%.3g "
+                "area=%.2f power=%.0f acc=%.3f)"
+                % (self.v, self.c, self.n_ccu, self.n_imm, self.cycles,
+                   self.area_mm2, self.power_mw, self.accuracy))
+
+
+class SearchResult:
+    """Winner + the audit trail of every pruning stage (Fig. 11 heatmaps)."""
+
+    def __init__(self, best, survivors, pruned):
+        self.best = best
+        self.survivors = survivors
+        self.pruned = pruned  # {(v, c): reason}
+
+    def pruning_summary(self):
+        counts = {}
+        for reason in self.pruned.values():
+            counts[reason] = counts.get(reason, 0) + 1
+        counts["survived"] = len(self.survivors)
+        return counts
+
+
+class CoDesignSearchEngine:
+    """Algorithm 2 over a (v, c) grid for one representative workload."""
+
+    def __init__(self, v_space, c_space, workload, constraints,
+                 accuracy_oracle, metric="l2", beta_bits_per_cycle=683,
+                 tn=128, m_tile=256, lut_bits=8, max_parallelism=64,
+                 design_factory=None):
+        self.v_space = tuple(v_space)
+        self.c_space = tuple(c_space)
+        self.workload = workload  # GemmWorkload-like with .m/.k/.n
+        if not isinstance(constraints, Constraints):
+            raise TypeError("constraints must be a Constraints instance")
+        self.constraints = constraints
+        self.accuracy_oracle = accuracy_oracle
+        self.metric = metric
+        self.beta = beta_bits_per_cycle
+        self.tn = tn
+        self.m_tile = m_tile
+        self.lut_bits = lut_bits
+        self.max_parallelism = max_parallelism
+        self.design_factory = design_factory or self._default_design
+
+    # ------------------------------------------------------------------
+    def _default_design(self, v, c, n_ccu, n_imm):
+        return LUTDLADesign("candidate", v=v, c=c, tn=self.tn,
+                            m_tile=self.m_tile, n_ccu=n_ccu, n_imm=n_imm,
+                            metric=self.metric, lut_bits=self.lut_bits)
+
+    def _fits_budget(self, design):
+        return (design.area_mm2() <= self.constraints.max_area_mm2
+                and design.power_mw() <= self.constraints.max_power_mw)
+
+    def _omega(self, v, c, n_ccu, n_imm):
+        w = self.workload
+        return omega_cycles(w.m, w.k, w.n, v, c, self.beta, n_imm, n_ccu,
+                            lut_bits=self.lut_bits, tn=self.tn)
+
+    # ------------------------------------------------------------------
+    def search(self, verbose=False):
+        """Run all four stages; returns a :class:`SearchResult`."""
+        w = self.workload
+        pruned = {}
+        survivors = []
+        gemm_ops = gemm_cost(w.m, w.k, w.n)
+
+        for v in self.v_space:
+            for c in self.c_space:
+                # Step 1a: complexity pruning (Eq. 1 vs GEMM requirement).
+                tau = compute_cost(w.m, w.k, w.n, v, c, self.metric)
+                if tau > self.constraints.max_compute_ratio * gemm_ops:
+                    pruned[(v, c)] = "complexity"
+                    continue
+                # Step 1b: memory pruning (Eq. 2).
+                phi = memory_cost(w.m, w.k, w.n, v, c, self.lut_bits)
+                if phi > self.constraints.max_memory_bits:
+                    pruned[(v, c)] = "memory"
+                    continue
+                # Step 2: hardware pruning with the minimal design.
+                base = self.design_factory(v, c, 1, 1)
+                if not self._fits_budget(base):
+                    pruned[(v, c)] = "hardware"
+                    continue
+                # Step 3: accuracy pruning via the oracle.
+                accuracy = self.accuracy_oracle(v, c, self.metric)
+                if accuracy < self.constraints.min_accuracy:
+                    pruned[(v, c)] = "accuracy"
+                    continue
+                # Step 4: LUT-first greedy parallelism expansion.
+                point = self._expand_parallelism(v, c, accuracy)
+                survivors.append(point)
+                if verbose:
+                    print("  kept", point)
+
+        best = min(survivors, key=lambda p: (p.cycles, p.area_mm2),
+                   default=None)
+        return SearchResult(best, survivors, pruned)
+
+    def _expand_parallelism(self, v, c, accuracy):
+        n_ccu, n_imm = 1, 1
+        while n_ccu + n_imm < self.max_parallelism:
+            parts = omega_breakdown(self.workload.m, self.workload.k,
+                                    self.workload.n, v, c, self.beta,
+                                    n_imm, n_ccu, self.lut_bits, self.tn)
+            # LUT-first: grow the module limiting the pipeline.
+            if parts["lookup"] >= parts["similarity"]:
+                candidate = (n_ccu, n_imm + 1)
+            else:
+                candidate = (n_ccu + 1, n_imm)
+            design = self.design_factory(v, c, *candidate)
+            if not self._fits_budget(design):
+                break
+            n_ccu, n_imm = candidate
+        design = self.design_factory(v, c, n_ccu, n_imm)
+        parts = omega_breakdown(self.workload.m, self.workload.k,
+                                self.workload.n, v, c, self.beta, n_imm,
+                                n_ccu, self.lut_bits, self.tn)
+        return SearchPoint(v, c, n_ccu, n_imm,
+                           self._omega(v, c, n_ccu, n_imm),
+                           design.area_mm2(), design.power_mw(), accuracy,
+                           parts)

@@ -1,0 +1,21 @@
+"""End-to-end latency / energy evaluation and reporting."""
+
+from .energy import EnergyBreakdown, gemm_energy_breakdown
+from .report import format_ratio, format_table
+from .runner import (
+    EvalResult,
+    end_to_end_comparison,
+    evaluate_baseline,
+    evaluate_design,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "gemm_energy_breakdown",
+    "EvalResult",
+    "evaluate_design",
+    "evaluate_baseline",
+    "end_to_end_comparison",
+    "format_table",
+    "format_ratio",
+]

@@ -1,0 +1,116 @@
+"""First-principles energy accounting for one simulated GEMM.
+
+``evaluate_design`` reports energy as average power x time. This module
+provides the finer-grained alternative: count every SRAM access, dPE
+comparison and DRAM transfer a GEMM performs and price each with the
+component models — the methodology a synthesis-based power report
+approximates. The two estimates should agree within the calibration
+factor of the power model; ``test_evaluation_energy.py`` asserts that.
+
+DRAM transfer energy defaults to 15 pJ/bit (typical DDR4 system energy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.dpe import dpe_cost
+from ..hw.imm import IMMConfig
+from ..hw.memory import SRAM
+
+__all__ = ["EnergyBreakdown", "gemm_energy_breakdown"]
+
+_DRAM_PJ_PER_BIT = 15.0
+
+
+class EnergyBreakdown:
+    """Per-component energy (mJ) of one GEMM execution."""
+
+    def __init__(self, similarity_mj, lut_read_mj, scratchpad_mj,
+                 index_mj, dram_mj, leakage_mj):
+        self.similarity_mj = similarity_mj
+        self.lut_read_mj = lut_read_mj
+        self.scratchpad_mj = scratchpad_mj
+        self.index_mj = index_mj
+        self.dram_mj = dram_mj
+        self.leakage_mj = leakage_mj
+
+    @property
+    def total_mj(self):
+        return (self.similarity_mj + self.lut_read_mj + self.scratchpad_mj
+                + self.index_mj + self.dram_mj + self.leakage_mj)
+
+    def as_dict(self):
+        return {
+            "similarity_mj": self.similarity_mj,
+            "lut_read_mj": self.lut_read_mj,
+            "scratchpad_mj": self.scratchpad_mj,
+            "index_mj": self.index_mj,
+            "dram_mj": self.dram_mj,
+            "leakage_mj": self.leakage_mj,
+            "total_mj": self.total_mj,
+        }
+
+    def __repr__(self):
+        return "EnergyBreakdown(total=%.4f mJ)" % self.total_mj
+
+
+def gemm_energy_breakdown(workload, design, sim_result=None,
+                          dram_pj_per_bit=_DRAM_PJ_PER_BIT):
+    """Count-and-price energy of one GEMM on a LUT-DLA design.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`GemmWorkload`.
+    design:
+        A :class:`repro.hw.LUTDLADesign` (provides component configs).
+    sim_result:
+        Optional :class:`SimResult`; when given, leakage is integrated
+        over the simulated wall-clock, otherwise over the lookup-work
+        lower bound.
+    """
+    m, k, n = workload.m, workload.k, workload.n
+    v, c = design.v, design.c
+    nc = int(np.ceil(k / v))
+    tn_eff = min(design.tn, n)
+    no = int(np.ceil(n / tn_eff))
+    imm = design.imm_config
+
+    # --- access counts -------------------------------------------------
+    comparisons = m * nc * c          # every row x subspace against c dPEs
+    lut_reads = m * nc * no           # one row-read per lookup
+    scratch_accesses = 2 * lut_reads  # read-modify-write accumulation
+    index_reads = lut_reads           # one index fetch per lookup
+    index_writes = m * nc             # each index written once
+    dram_bits = nc * no * c * tn_eff * imm.lut_bits  # streamed LUT slices
+    dram_bits += m * k * 16           # activations in (16-bit)
+    dram_bits += m * n * imm.acc_bits  # results out
+
+    # --- per-access energies -------------------------------------------
+    dpe = dpe_cost(v, design.metric, design.precision, design.node)
+    lut_sram = SRAM(2 * c * tn_eff * imm.lut_bits,
+                    width=tn_eff * imm.lut_bits, node=design.node)
+    scratch = SRAM(imm.m_tile * tn_eff * imm.acc_bits,
+                   width=tn_eff * imm.acc_bits, node=design.node)
+    idx = SRAM(max(imm.m_tile * imm.index_bits, 64), width=imm.index_bits,
+               node=design.node)
+
+    pj = 1e-12 * 1e3  # pJ -> mJ
+    similarity_mj = comparisons * dpe.energy_pj * pj
+    lut_read_mj = lut_reads * lut_sram.read_energy_pj() * pj
+    scratchpad_mj = scratch_accesses * scratch.read_energy_pj() * 1.1 * pj
+    index_mj = (index_reads * idx.read_energy_pj()
+                + index_writes * idx.write_energy_pj()) * pj
+    dram_mj = dram_bits * dram_pj_per_bit * pj
+
+    if sim_result is not None:
+        seconds = sim_result.total_cycles / design.frequency_hz
+    else:
+        seconds = lut_reads / design.frequency_hz
+    leak_mw = (lut_sram.leakage_mw() + scratch.leakage_mw()
+               + idx.leakage_mw()) * design.n_imm
+    leakage_mj = leak_mw * seconds
+
+    return EnergyBreakdown(similarity_mj, lut_read_mj, scratchpad_mj,
+                           index_mj, dram_mj, leakage_mj)

@@ -1,0 +1,42 @@
+"""Plain-text table formatting for benchmark and example output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_ratio"]
+
+
+def format_table(rows, columns=None, floatfmt="%.3g", title=None):
+    """Render a list of dicts as an aligned text table.
+
+    ``columns`` fixes the column order; defaults to the first row's keys.
+    """
+    if not rows:
+        return "(empty table)"
+    columns = list(columns or rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            return floatfmt % value
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio(value, reference):
+    """'3.2x' style ratio string."""
+    if reference == 0:
+        return "inf"
+    return "%.2fx" % (value / reference)

@@ -1,0 +1,129 @@
+"""End-to-end evaluation runner (Figs. 13-14).
+
+Given a set of per-layer GEMM workloads (a model) and a hardware target,
+produce latency, throughput, energy and the derived efficiency metrics.
+LUT-DLA targets run through the cycle-accurate simulator; NVDLA / Gemmini /
+PQA targets use their analytic models.
+"""
+
+from __future__ import annotations
+
+from ..baselines.gemmini import GemminiModel
+from ..baselines.nvdla import NVDLAModel
+from ..baselines.pqa import PQAModel
+from ..hw.accelerator import LUTDLADesign
+from ..sim.engine import SimConfig, simulate_workloads
+
+__all__ = ["EvalResult", "evaluate_design", "evaluate_baseline",
+           "end_to_end_comparison"]
+
+
+class EvalResult:
+    """Latency / energy / efficiency of one (model, hardware) pair."""
+
+    def __init__(self, name, cycles, seconds, energy_mj, area_mm2, power_mw,
+                 macs):
+        self.name = name
+        self.cycles = float(cycles)
+        self.seconds = float(seconds)
+        self.energy_mj = float(energy_mj)
+        self.area_mm2 = float(area_mm2)
+        self.power_mw = float(power_mw)
+        self.macs = float(macs)
+
+    @property
+    def throughput_gops(self):
+        """Achieved effective throughput over the whole model."""
+        return 2.0 * self.macs / self.seconds / 1e9 if self.seconds else 0.0
+
+    @property
+    def area_efficiency(self):
+        """Achieved GOPS per mm^2."""
+        return self.throughput_gops / self.area_mm2
+
+    @property
+    def energy_efficiency(self):
+        """Achieved GOPS per mW."""
+        return self.throughput_gops / self.power_mw
+
+    def normalized_to(self, other):
+        """Speedup / energy / efficiency ratios vs a reference result."""
+        return {
+            "speedup": other.seconds / self.seconds,
+            "energy_ratio": other.energy_mj / self.energy_mj,
+            "area_eff_ratio": self.area_efficiency / other.area_efficiency,
+            "energy_eff_ratio": self.energy_efficiency
+            / other.energy_efficiency,
+        }
+
+    def __repr__(self):
+        return ("EvalResult(%s: %.3f ms, %.3f mJ, %.0f GOPS)"
+                % (self.name, self.seconds * 1e3, self.energy_mj,
+                   self.throughput_gops))
+
+
+def evaluate_design(design, workloads, bandwidth_gbps=25.6, name=None):
+    """Run ``workloads`` on a LUT-DLA design via the cycle simulator.
+
+    The dPE datapath fixes the vector length, so each workload is re-mapped
+    to the design's (v, c) — the model deployed on this design would have
+    been LUTBoost-trained with exactly those parameters.
+    """
+    from ..lutboost.lut_layers import GemmWorkload
+
+    if not isinstance(design, LUTDLADesign):
+        raise TypeError("expected LUTDLADesign")
+    mapped = [
+        w if (w.v == design.v and w.c == design.c) else GemmWorkload(
+            w.m, w.k, w.n, design.v, design.c, design.metric, name=w.name)
+        for w in workloads
+    ]
+    config = SimConfig.from_design(design, bandwidth_gbps)
+    _, cycles = simulate_workloads(mapped, config)
+    seconds = cycles / design.frequency_hz
+    energy_mj = design.power_mw() * seconds  # mW x s = mJ
+    macs = sum(w.macs for w in workloads)
+    return EvalResult(name or design.name, cycles, seconds, energy_mj,
+                      design.area_mm2(), design.power_mw(), macs)
+
+
+def evaluate_baseline(model, workloads, name=None):
+    """Run ``workloads`` on an NVDLA / Gemmini / PQA analytic model."""
+    if isinstance(model, (NVDLAModel, GemminiModel)):
+        cycles = model.run_cycles(workloads)
+        seconds = cycles / model.frequency_hz
+        energy_mj = model.power_mw * seconds  # mW x s = mJ
+        area = model.area_mm2
+        power = model.power_mw
+    elif isinstance(model, PQAModel):
+        cycles = model.run_cycles(workloads)
+        seconds = cycles / model.frequency_hz
+        # PQA has no published PPA; energy/area comparisons use cycles and
+        # on-chip memory (Table IX), so report zeros here.
+        energy_mj = 0.0
+        area = 0.0
+        power = 0.0
+    else:
+        raise TypeError("unsupported baseline model %r" % (model,))
+    macs = sum(w.macs for w in workloads)
+    return EvalResult(name or model.name, cycles, seconds, energy_mj, area,
+                      power, macs)
+
+
+def end_to_end_comparison(model_workloads_map, designs, baselines,
+                          bandwidth_gbps=25.6):
+    """Full Fig. 13 grid: {model: {hardware: EvalResult}}.
+
+    ``model_workloads_map``: {model_name: [GemmWorkload, ...]};
+    ``designs``: LUT-DLA designs; ``baselines``: analytic baseline models.
+    """
+    table = {}
+    for model_name, workloads in model_workloads_map.items():
+        row = {}
+        for design in designs:
+            row[design.name] = evaluate_design(design, workloads,
+                                               bandwidth_gbps)
+        for baseline in baselines:
+            row[baseline.name] = evaluate_baseline(baseline, workloads)
+        table[model_name] = row
+    return table

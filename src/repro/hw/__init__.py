@@ -1,0 +1,77 @@
+"""Hardware cost models: arithmetic units, memories, dPE/CCU/IMM, designs."""
+
+from .accelerator import DESIGN1, DESIGN2, DESIGN3, LUTDLADesign, paper_designs
+from .arith import (
+    FP_FORMATS,
+    UnitCost,
+    abs_diff,
+    comparator,
+    fp_add,
+    fp_mult,
+    int_add,
+    int_mult,
+    max_unit,
+)
+from .ccu import CCUConfig, ccu_area_um2, ccu_cost_breakdown, ccu_power_mw
+from .dpe import SIMILARITY_METRICS, dpe_area_um2, dpe_cost, dpe_power_mw
+from .imm import (
+    IMMConfig,
+    imm_area_um2,
+    imm_cost_breakdown,
+    imm_min_bandwidth_gbps,
+    imm_power_mw,
+    imm_sram_kb,
+)
+from .memory import KB, RegisterFile, SRAM
+from .scaling import (
+    NODES,
+    area_factor,
+    delay_factor,
+    energy_factor,
+    scale_area,
+    scale_efficiency,
+    scale_energy,
+    scale_power,
+)
+
+__all__ = [
+    "UnitCost",
+    "FP_FORMATS",
+    "int_add",
+    "int_mult",
+    "fp_add",
+    "fp_mult",
+    "comparator",
+    "abs_diff",
+    "max_unit",
+    "SRAM",
+    "RegisterFile",
+    "KB",
+    "SIMILARITY_METRICS",
+    "dpe_cost",
+    "dpe_area_um2",
+    "dpe_power_mw",
+    "CCUConfig",
+    "ccu_area_um2",
+    "ccu_power_mw",
+    "ccu_cost_breakdown",
+    "IMMConfig",
+    "imm_sram_kb",
+    "imm_area_um2",
+    "imm_power_mw",
+    "imm_cost_breakdown",
+    "imm_min_bandwidth_gbps",
+    "LUTDLADesign",
+    "DESIGN1",
+    "DESIGN2",
+    "DESIGN3",
+    "paper_designs",
+    "NODES",
+    "area_factor",
+    "energy_factor",
+    "delay_factor",
+    "scale_area",
+    "scale_energy",
+    "scale_power",
+    "scale_efficiency",
+]

@@ -1,0 +1,149 @@
+"""Arithmetic-unit area and energy models (the "standard arithmetic
+libraries" of paper Sec. VI-B3).
+
+Models are calibrated to the widely used 45 nm measurements (Horowitz,
+ISSCC 2014 "Computing's energy problem") and scaled to the paper's 28 nm
+FD-SOI node via :mod:`repro.hw.scaling`:
+
+============  ==========  ============
+unit (45 nm)  energy (pJ)  area (um^2)
+============  ==========  ============
+INT8 add      0.03        36
+INT32 add     0.1         137
+INT8 mult     0.2         282
+INT32 mult    3.1         3495
+FP16 add      0.4         1360
+FP32 add      0.9         4184
+FP16 mult     1.1         1640
+FP32 mult     3.7         7700
+============  ==========  ============
+
+Integer adders scale linearly with bitwidth, integer multipliers
+quadratically; floating-point units are parameterised by mantissa width
+(adders ~linear in mantissa due to alignment shifters, multipliers
+~quadratic). These asymptotics are what make Fig. 1's ALU curves bend.
+"""
+
+from __future__ import annotations
+
+from .scaling import scale_area, scale_energy
+
+__all__ = [
+    "FP_FORMATS",
+    "int_add",
+    "int_mult",
+    "fp_add",
+    "fp_mult",
+    "comparator",
+    "abs_diff",
+    "max_unit",
+    "UnitCost",
+]
+
+# Calibrated per-bit coefficients at 45 nm (from the table above).
+_INT_ADD_ENERGY = 0.0033  # pJ / bit
+_INT_ADD_AREA = 4.4  # um^2 / bit
+_INT_MULT_ENERGY = 0.0031  # pJ / bit^2
+_INT_MULT_AREA = 3.9  # um^2 / bit^2
+
+# FP adder: cost ~ a * mantissa + b (alignment/normalisation shifters).
+_FP_ADD_ENERGY = (0.0385, -0.023)
+_FP_ADD_AREA = (217.0, -1027.0)
+# FP multiplier: cost ~ a * mantissa^2 + b (mantissa multiplier dominates).
+_FP_MULT_ENERGY = (0.005714, 0.409)
+_FP_MULT_AREA = (13.32, 28.0)
+
+# name -> (total bits, mantissa bits incl. hidden bit)
+FP_FORMATS = {
+    "fp64": (64, 53),
+    "fp32": (32, 24),
+    "fp16": (16, 11),
+    "bf16": (16, 8),
+    "fp8": (8, 4),
+    "fp4": (4, 2),
+}
+
+
+class UnitCost:
+    """Area (um^2) and energy per operation (pJ) of one hardware unit."""
+
+    def __init__(self, area_um2, energy_pj):
+        self.area_um2 = float(area_um2)
+        self.energy_pj = float(energy_pj)
+
+    def __add__(self, other):
+        return UnitCost(self.area_um2 + other.area_um2,
+                        self.energy_pj + other.energy_pj)
+
+    def __mul__(self, factor):
+        return UnitCost(self.area_um2 * factor, self.energy_pj * factor)
+
+    __rmul__ = __mul__
+
+    def power_mw(self, frequency_hz, activity=1.0):
+        """Dynamic power at ``frequency_hz`` with the given activity factor."""
+        return self.energy_pj * 1e-12 * frequency_hz * activity * 1e3
+
+    def __repr__(self):
+        return "UnitCost(area=%.1fum2, energy=%.4fpJ)" % (
+            self.area_um2, self.energy_pj)
+
+
+def _scaled(area, energy, node):
+    return UnitCost(scale_area(area, 45, node), scale_energy(energy, 45, node))
+
+
+def int_add(bits, node=28):
+    """Integer/fixed-point adder cost (linear in bitwidth)."""
+    bits = max(1, bits)
+    return _scaled(_INT_ADD_AREA * bits, _INT_ADD_ENERGY * bits, node)
+
+
+def int_mult(bits, node=28):
+    """Integer multiplier cost (quadratic in bitwidth)."""
+    bits = max(1, bits)
+    return _scaled(_INT_MULT_AREA * bits**2, _INT_MULT_ENERGY * bits**2, node)
+
+
+def _fp_params(precision):
+    try:
+        return FP_FORMATS[precision]
+    except KeyError:
+        raise ValueError(
+            "unknown FP format %r (known: %s)" % (precision, sorted(FP_FORMATS))
+        ) from None
+
+
+def fp_add(precision="fp32", node=28):
+    """Floating-point adder cost for a named format."""
+    _, mantissa = _fp_params(precision)
+    a_slope, a_icpt = _FP_ADD_AREA
+    e_slope, e_icpt = _FP_ADD_ENERGY
+    area = max(a_slope * mantissa + a_icpt, 50.0)
+    energy = max(e_slope * mantissa + e_icpt, 0.01)
+    return _scaled(area, energy, node)
+
+
+def fp_mult(precision="fp32", node=28):
+    """Floating-point multiplier cost for a named format."""
+    _, mantissa = _fp_params(precision)
+    a_slope, a_icpt = _FP_MULT_AREA
+    e_slope, e_icpt = _FP_MULT_ENERGY
+    area = max(a_slope * mantissa**2 + a_icpt, 60.0)
+    energy = max(e_slope * mantissa**2 + e_icpt, 0.02)
+    return _scaled(area, energy, node)
+
+
+def comparator(bits, node=28):
+    """Magnitude comparator: subtract + sign check, ~ an integer adder."""
+    return int_add(bits, node)
+
+
+def abs_diff(bits, node=28):
+    """|a - b| unit: subtractor + conditional negate (~1.5 adders)."""
+    return int_add(bits, node) * 1.5
+
+
+def max_unit(bits, node=28):
+    """max(a, b): comparator + mux (~1.2 adders)."""
+    return int_add(bits, node) * 1.2

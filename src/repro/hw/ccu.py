@@ -1,0 +1,76 @@
+"""Centroid Computation Unit (CCU) cost model — Fig. 5.
+
+A CCU is a pipeline of ``c`` dPEs (one per centroid) plus a centroid
+register file and the input-vector staging registers. Fully pipelined, it
+accepts one input vector per cycle and emits one argmin index per cycle
+with ``c`` cycles of latency.
+"""
+
+from __future__ import annotations
+
+from .dpe import dpe_cost
+from .memory import RegisterFile
+
+__all__ = ["CCUConfig", "ccu_area_um2", "ccu_power_mw", "ccu_cost_breakdown"]
+
+
+class CCUConfig:
+    """Static configuration of one CCU."""
+
+    def __init__(self, v, c, metric="l2", precision="fp32", node=28,
+                 frequency_hz=300e6):
+        self.v = int(v)
+        self.c = int(c)
+        self.metric = metric
+        self.precision = precision
+        self.node = node
+        self.frequency_hz = frequency_hz
+
+    @property
+    def datapath_bits(self):
+        from .arith import FP_FORMATS
+
+        if self.precision in FP_FORMATS:
+            return FP_FORMATS[self.precision][0]
+        return int(self.precision.replace("int", ""))
+
+    def __repr__(self):
+        return "CCUConfig(v=%d, c=%d, %s/%s)" % (
+            self.v, self.c, self.metric, self.precision)
+
+
+def ccu_cost_breakdown(config):
+    """Dict of component -> (area um^2, power mW) for one CCU."""
+    dpe = dpe_cost(config.v, config.metric, config.precision, config.node)
+    dpe_area = dpe.area_um2 * config.c
+    dpe_power = dpe.power_mw(config.frequency_hz, activity=0.8) * config.c
+
+    bits = config.datapath_bits
+    centroid_rf = RegisterFile(config.c * config.v * bits, config.v * bits,
+                               node=config.node, name="centroid")
+    # Each dPE stage re-registers the input vector (pipeline forwarding).
+    input_regs = RegisterFile(max(config.c, 1) * config.v * bits,
+                              config.v * bits, node=config.node, name="invec")
+    return {
+        "dpe_array": (dpe_area, dpe_power),
+        "centroid_buffer": (
+            centroid_rf.area_um2(),
+            centroid_rf.dynamic_power_mw(config.frequency_hz)
+            + centroid_rf.leakage_mw(),
+        ),
+        "input_registers": (
+            input_regs.area_um2(),
+            input_regs.dynamic_power_mw(config.frequency_hz)
+            + input_regs.leakage_mw(),
+        ),
+    }
+
+
+def ccu_area_um2(config):
+    """Total CCU area in um^2."""
+    return sum(a for a, _ in ccu_cost_breakdown(config).values())
+
+
+def ccu_power_mw(config):
+    """Total CCU power in mW."""
+    return sum(p for _, p in ccu_cost_breakdown(config).values())

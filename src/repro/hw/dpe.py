@@ -1,0 +1,103 @@
+"""Distance Processing Element (dPE) cost model — Fig. 5 / Fig. 9.
+
+One dPE compares a v-element input vector against one centroid per cycle:
+
+- **L2**: v subtractors, v multipliers (squaring), an adder reduction tree,
+  and the running-min comparator.
+- **L1**: v absolute-difference units, an adder tree, comparator. No
+  multipliers — the headline hardware saving of LUTBoost's L1 support.
+- **Chebyshev**: v absolute-difference units, a *max* reduction tree,
+  comparator. Cheapest of the three.
+
+Precision selects the datapath number format ('fp32', 'fp16', 'bf16',
+or 'int8'); the non-linear reduction-tree scaling the paper notes in
+Sec. VI-A2 comes from the ceil(log2 v) tree depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .arith import (
+    UnitCost,
+    abs_diff,
+    comparator,
+    fp_add,
+    fp_mult,
+    int_add,
+    int_mult,
+    max_unit,
+)
+
+__all__ = ["dpe_cost", "dpe_area_um2", "dpe_power_mw", "SIMILARITY_METRICS"]
+
+SIMILARITY_METRICS = ("l2", "l1", "chebyshev")
+
+_INT_PRECISIONS = {"int8": 8, "int4": 4, "int16": 16}
+
+
+def _units(precision, node):
+    """(add, mult, absdiff, max, compare) unit costs for the precision."""
+    if precision in _INT_PRECISIONS:
+        bits = _INT_PRECISIONS[precision]
+        return (
+            int_add(bits, node),
+            int_mult(bits, node),
+            abs_diff(bits, node),
+            max_unit(bits, node),
+            comparator(bits, node),
+        )
+    # Floating point: abs-diff is an FP subtract (sign flip is free),
+    # max is an FP comparator + mux (exponent-first compare ~ int compare
+    # on the packed representation).
+    from .arith import FP_FORMATS
+
+    total_bits, _ = FP_FORMATS[precision]
+    return (
+        fp_add(precision, node),
+        fp_mult(precision, node),
+        fp_add(precision, node),
+        max_unit(total_bits, node),
+        comparator(total_bits, node),
+    )
+
+
+def dpe_cost(v, metric="l2", precision="fp32", node=28):
+    """Total :class:`UnitCost` of one dPE (per comparison energy).
+
+    The reduction tree has v-1 two-input nodes; its cost is counted in
+    full, which gives the slightly super-linear growth with v seen in
+    Fig. 9 once the tree's extra pipeline registers (modelled as 15% of
+    tree cost per level) are included.
+    """
+    if metric not in SIMILARITY_METRICS:
+        raise ValueError("metric must be one of %s" % (SIMILARITY_METRICS,))
+    if v < 1:
+        raise ValueError("vector length must be >= 1")
+    add, mult, adiff, mx, cmp_unit = _units(precision, node)
+    tree_nodes = max(v - 1, 0)
+    tree_depth = int(np.ceil(np.log2(v))) if v > 1 else 0
+    register_overhead = 1.0 + 0.15 * tree_depth
+
+    if metric == "l2":
+        elementwise = (add + mult) * v  # subtract then square
+        tree = add * tree_nodes
+    elif metric == "l1":
+        elementwise = adiff * v
+        tree = add * tree_nodes
+    else:  # chebyshev
+        elementwise = adiff * v
+        tree = mx * tree_nodes
+    total = elementwise + tree * register_overhead + cmp_unit
+    return total
+
+
+def dpe_area_um2(v, metric="l2", precision="fp32", node=28):
+    """Area in um^2 of one dPE."""
+    return dpe_cost(v, metric, precision, node).area_um2
+
+
+def dpe_power_mw(v, metric="l2", precision="fp32", node=28,
+                 frequency_hz=300e6, activity=0.8):
+    """Dynamic power of one dPE comparing once per cycle."""
+    return dpe_cost(v, metric, precision, node).power_mw(frequency_hz, activity)

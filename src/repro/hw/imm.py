@@ -1,0 +1,122 @@
+"""In-Memory Matching Module (IMM) cost model — Fig. 4 / Table VII.
+
+One IMM holds:
+
+- **PSum LUT**: ping-pong pair of c x Tn entry tables (the resident slice
+  of the precomputed LUT for one subspace / N-tile under LS dataflow);
+- **Indices buffer**: M_tile indices of ceil(log2 c) bits;
+- **Scratchpad** (PSum buffer): M_tile x Tn partial sums;
+- **Accumulators**: Tn adders that fold a looked-up row into the
+  scratchpad row each cycle.
+
+The SRAM sizes reproduce Table VII exactly with 8-bit LUT entries and
+8-bit scratchpad words:
+    sram_kb = M*Tn/1024 + 2*c*Tn/1024 + M*log2(c)/8/1024.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .arith import int_add
+from .memory import SRAM
+
+__all__ = ["IMMConfig", "imm_sram_kb", "imm_cost_breakdown", "imm_area_um2",
+           "imm_power_mw", "imm_min_bandwidth_gbps"]
+
+
+class IMMConfig:
+    """Static configuration of one IMM.
+
+    Parameters
+    ----------
+    c:
+        Centroids per codebook (rows of the resident LUT).
+    tn:
+        N-dimension tile width (entries fetched per lookup).
+    m_tile:
+        Maximum activation rows buffered (scratchpad depth).
+    lut_bits / acc_bits / index metadata follow Table VII's fits.
+    """
+
+    def __init__(self, c, tn, m_tile, lut_bits=8, acc_bits=8, node=28,
+                 frequency_hz=300e6):
+        self.c = int(c)
+        self.tn = int(tn)
+        self.m_tile = int(m_tile)
+        self.lut_bits = int(lut_bits)
+        self.acc_bits = int(acc_bits)
+        self.node = node
+        self.frequency_hz = frequency_hz
+
+    @property
+    def index_bits(self):
+        return max(1, int(np.ceil(np.log2(self.c))))
+
+    def __repr__(self):
+        return "IMMConfig(c=%d, Tn=%d, M=%d)" % (self.c, self.tn, self.m_tile)
+
+
+def imm_sram_kb(config):
+    """Total IMM SRAM in KB (matches Table VII)."""
+    scratch = config.m_tile * config.tn * config.acc_bits
+    lut = 2 * config.c * config.tn * config.lut_bits  # ping-pong pair
+    idx = config.m_tile * config.index_bits
+    return (scratch + lut + idx) / 8.0 / 1024.0
+
+
+def imm_min_bandwidth_gbps(config):
+    """Minimum external bandwidth for stall-free LUT preloading.
+
+    While the IMM consumes one LUT slice over ``m_tile`` lookup cycles, the
+    ping-pong partner must receive the next c x Tn slice:
+        bytes_per_s = (c * Tn * lut_bits / 8) / (m_tile / f).
+    """
+    slice_bytes = config.c * config.tn * config.lut_bits / 8.0
+    seconds_per_tile = config.m_tile / config.frequency_hz
+    return slice_bytes / seconds_per_tile / 1e9
+
+
+def imm_cost_breakdown(config):
+    """Dict of component -> (area um^2, power mW) for one IMM."""
+    lut_sram = SRAM(2 * config.c * config.tn * config.lut_bits,
+                    width=config.tn * config.lut_bits, node=config.node,
+                    name="psum_lut")
+    scratch = SRAM(config.m_tile * config.tn * config.acc_bits,
+                   width=config.tn * config.acc_bits, node=config.node,
+                   name="scratchpad")
+    idx_buf = SRAM(max(config.m_tile * config.index_bits, 64),
+                   width=config.index_bits, node=config.node, name="indices")
+    # Tn accumulators fold the looked-up row into the scratchpad row.
+    adder = int_add(config.acc_bits, config.node)
+    acc_area = adder.area_um2 * config.tn
+    acc_power = adder.power_mw(config.frequency_hz, activity=0.8) * config.tn
+
+    def mem_cost(mem, reads_per_cycle=1.0, writes_per_cycle=0.0):
+        power = (
+            mem.dynamic_power_mw(config.frequency_hz, reads_per_cycle)
+            + mem.write_energy_pj() * 1e-12 * config.frequency_hz
+            * writes_per_cycle * 1e3
+            + mem.leakage_mw()
+        )
+        return mem.area_um2(), power
+
+    return {
+        "psum_lut": mem_cost(lut_sram, reads_per_cycle=1.0,
+                             writes_per_cycle=0.5),
+        "scratchpad": mem_cost(scratch, reads_per_cycle=1.0,
+                               writes_per_cycle=1.0),
+        "indices_buffer": mem_cost(idx_buf, reads_per_cycle=1.0,
+                                   writes_per_cycle=0.1),
+        "accumulators": (acc_area, acc_power),
+    }
+
+
+def imm_area_um2(config):
+    """Total IMM area in um^2."""
+    return sum(a for a, _ in imm_cost_breakdown(config).values())
+
+
+def imm_power_mw(config):
+    """Total IMM power in mW."""
+    return sum(p for _, p in imm_cost_breakdown(config).values())

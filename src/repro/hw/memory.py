@@ -1,0 +1,105 @@
+"""On-chip memory (SRAM / register file) compiler model.
+
+The paper generates memories with ARM memory compilers at 28 nm FD-SOI;
+we model SRAM macros with typical 28 nm densities and access energies:
+
+- high-density 6T SRAM: ~0.35 um^2/bit including peripheral overhead for
+  macro sizes in the tens-of-KB range, with overhead growing for tiny
+  macros;
+- read energy ~6 fJ/bit plus a wordline/sense fixed cost;
+- register files: ~3x SRAM area per bit, cheaper per-access energy for
+  narrow widths.
+
+Leakage is modelled at ~10 uW per KB at 28 nm, which makes large resident
+LUTs (the PQA design point) visibly power-hungry, as in Table IX.
+"""
+
+from __future__ import annotations
+
+from .scaling import scale_area, scale_energy
+
+__all__ = ["SRAM", "RegisterFile", "KB"]
+
+KB = 1024 * 8  # bits per kilobyte
+
+# 28 nm reference constants.
+_SRAM_AREA_PER_BIT = 0.35  # um^2/bit for efficient macros
+_SRAM_SMALL_MACRO_OVERHEAD = 2000.0  # um^2 fixed periphery per macro
+_SRAM_READ_ENERGY_PER_BIT = 0.006  # pJ/bit
+_SRAM_ACCESS_FIXED = 0.4  # pJ per access (decode + sense)
+_SRAM_LEAKAGE_PER_KB = 0.01  # mW per KB
+_RF_AREA_PER_BIT = 1.0  # um^2/bit
+_RF_READ_ENERGY_PER_BIT = 0.003  # pJ/bit
+
+
+class SRAM:
+    """One SRAM macro of ``bits`` capacity accessed ``width`` bits at a time."""
+
+    def __init__(self, bits, width, node=28, name=""):
+        if bits <= 0 or width <= 0:
+            raise ValueError("bits and width must be positive")
+        self.bits = int(bits)
+        self.width = int(width)
+        self.node = node
+        self.name = name
+
+    @property
+    def kilobytes(self):
+        return self.bits / KB
+
+    def area_um2(self):
+        raw = self.bits * _SRAM_AREA_PER_BIT + _SRAM_SMALL_MACRO_OVERHEAD
+        return scale_area(raw, 28, self.node)
+
+    def read_energy_pj(self):
+        raw = self.width * _SRAM_READ_ENERGY_PER_BIT + _SRAM_ACCESS_FIXED
+        return scale_energy(raw, 28, self.node)
+
+    def write_energy_pj(self):
+        # Writes cost ~1.2x reads in typical 6T macros.
+        return self.read_energy_pj() * 1.2
+
+    def leakage_mw(self):
+        raw = self.kilobytes * _SRAM_LEAKAGE_PER_KB
+        return scale_energy(raw, 28, self.node)
+
+    def dynamic_power_mw(self, frequency_hz, activity=1.0):
+        """Power when read ``activity`` times per cycle at ``frequency_hz``."""
+        return self.read_energy_pj() * 1e-12 * frequency_hz * activity * 1e3
+
+    def __repr__(self):
+        return "SRAM(%s: %.2fKB x %db)" % (self.name or "mem", self.kilobytes,
+                                           self.width)
+
+
+class RegisterFile:
+    """Small multi-ported storage (centroid buffers, input vector regs)."""
+
+    def __init__(self, bits, width, node=28, name=""):
+        if bits <= 0 or width <= 0:
+            raise ValueError("bits and width must be positive")
+        self.bits = int(bits)
+        self.width = int(width)
+        self.node = node
+        self.name = name
+
+    @property
+    def kilobytes(self):
+        return self.bits / KB
+
+    def area_um2(self):
+        return scale_area(self.bits * _RF_AREA_PER_BIT, 28, self.node)
+
+    def read_energy_pj(self):
+        return scale_energy(self.width * _RF_READ_ENERGY_PER_BIT, 28, self.node)
+
+    def leakage_mw(self):
+        return scale_energy(self.kilobytes * _SRAM_LEAKAGE_PER_KB * 2, 28,
+                            self.node)
+
+    def dynamic_power_mw(self, frequency_hz, activity=1.0):
+        return self.read_energy_pj() * 1e-12 * frequency_hz * activity * 1e3
+
+    def __repr__(self):
+        return "RegisterFile(%s: %.3fKB x %db)" % (
+            self.name or "rf", self.kilobytes, self.width)

@@ -1,0 +1,87 @@
+"""Technology-node scaling (Stillmaker & Baas, Integration 2017).
+
+Table VIII of the paper compares accelerators built on 7-40 nm processes by
+scaling energy and area "to the same process node by scaling [54]". This
+module provides that normalisation. We use the widely cited
+Stillmaker-Baas-style factors: area scales with feature-size squared,
+energy approximately linearly (sub-Dennard), delay linearly.
+
+All factors are expressed relative to a 45 nm reference, the node of the
+arithmetic-unit calibration data in :mod:`repro.hw.arith`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NODES", "area_factor", "energy_factor", "delay_factor",
+           "scale_area", "scale_energy", "scale_power", "scale_efficiency"]
+
+# node (nm) -> (area factor, energy factor, delay factor) relative to 45 nm.
+# Area follows (node/45)^2; energy and delay use the fitted Stillmaker-Baas
+# general-purpose scaling curves (energy scales slightly slower than area).
+NODES = {
+    180: (16.0, 9.1, 4.0),
+    130: (8.34, 5.4, 2.9),
+    90: (4.0, 3.0, 2.0),
+    65: (2.09, 1.9, 1.44),
+    45: (1.0, 1.0, 1.0),
+    40: (0.79, 0.84, 0.89),
+    32: (0.51, 0.62, 0.71),
+    28: (0.39, 0.54, 0.62),
+    22: (0.24, 0.42, 0.49),
+    16: (0.126, 0.31, 0.36),
+    14: (0.097, 0.27, 0.31),
+    10: (0.049, 0.21, 0.22),
+    7: (0.024, 0.16, 0.16),
+}
+
+
+def _factors(node):
+    try:
+        return NODES[int(node)]
+    except KeyError:
+        raise ValueError(
+            "unknown node %r nm (known: %s)" % (node, sorted(NODES))
+        ) from None
+
+
+def area_factor(node):
+    """Area multiplier at ``node`` relative to 45 nm."""
+    return _factors(node)[0]
+
+
+def energy_factor(node):
+    """Energy-per-op multiplier at ``node`` relative to 45 nm."""
+    return _factors(node)[1]
+
+
+def delay_factor(node):
+    """Gate-delay multiplier at ``node`` relative to 45 nm."""
+    return _factors(node)[2]
+
+
+def scale_area(value, from_node, to_node):
+    """Scale an area figure between nodes."""
+    return value * area_factor(to_node) / area_factor(from_node)
+
+
+def scale_energy(value, from_node, to_node):
+    """Scale an energy figure between nodes."""
+    return value * energy_factor(to_node) / energy_factor(from_node)
+
+
+def scale_power(value, from_node, to_node):
+    """Scale power assuming iso-frequency operation (power ~ energy rate)."""
+    return scale_energy(value, from_node, to_node)
+
+
+def scale_efficiency(gops_per_unit, from_node, to_node, kind):
+    """Scale GOPS/mm^2 ('area') or GOPS/mW ('power') between nodes.
+
+    Efficiency scales inversely with the resource: shrinking the node makes
+    the denominator smaller, so efficiency goes *up* toward newer nodes.
+    """
+    if kind == "area":
+        return gops_per_unit * area_factor(from_node) / area_factor(to_node)
+    if kind == "power":
+        return gops_per_unit * energy_factor(from_node) / energy_factor(to_node)
+    raise ValueError("kind must be 'area' or 'power'")

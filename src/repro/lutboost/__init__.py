@@ -1,0 +1,32 @@
+"""LUTBoost: efficient multistage LUT-based model converter (paper Sec. V)."""
+
+from .converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+    lut_operators,
+)
+from .lut_layers import GemmWorkload, LUTConv2d, LUTLinear
+from .reconstruction import model_reconstruction_loss, reconstruction_loss
+from .trainer import (
+    MultistageTrainer,
+    SingleStageTrainer,
+    TrainingLog,
+    train_epochs,
+)
+
+__all__ = [
+    "ConversionPolicy",
+    "convert_model",
+    "calibrate_model",
+    "lut_operators",
+    "LUTLinear",
+    "LUTConv2d",
+    "GemmWorkload",
+    "reconstruction_loss",
+    "model_reconstruction_loss",
+    "MultistageTrainer",
+    "SingleStageTrainer",
+    "TrainingLog",
+    "train_epochs",
+]

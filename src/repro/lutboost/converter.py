@@ -1,0 +1,162 @@
+"""Operator replacement: turn a trained model into a LUT-based model.
+
+This is LUTBoost step (1) of Fig. 6: every ``Linear`` / ``Conv2d`` selected
+by the policy is swapped in place for its LUT counterpart, preserving the
+trained weights. Centroids are then calibrated from a sample batch
+(:func:`calibrate_model`) before the multistage trainer takes over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.tensor import Tensor, no_grad
+from .lut_layers import LUTConv2d, LUTLinear
+
+__all__ = ["ConversionPolicy", "convert_model", "calibrate_model", "lut_operators"]
+
+
+class ConversionPolicy:
+    """Which operators to convert and with what (v, c, metric).
+
+    ``skip_names`` lets callers keep e.g. the input stem or classifier head
+    in full precision — the common practice the paper follows for the first
+    convolution of ResNets.
+    """
+
+    def __init__(self, v, c, metric="l2", convert_linear=True,
+                 convert_conv=True, skip_names=(), min_in_features=2):
+        self.v = v
+        self.c = c
+        self.metric = metric
+        self.convert_linear = convert_linear
+        self.convert_conv = convert_conv
+        self.skip_names = tuple(skip_names)
+        self.min_in_features = min_in_features
+
+    def wants(self, name, module):
+        if any(name == s or name.endswith(s) for s in self.skip_names):
+            return False
+        if isinstance(module, Linear):
+            return self.convert_linear and module.in_features >= self.min_in_features
+        if isinstance(module, Conv2d):
+            fan_in = module.in_channels * module.kernel_size**2
+            return self.convert_conv and fan_in >= self.min_in_features
+        return False
+
+
+def _replace_child(parent, attr, new_module):
+    value = getattr(parent, attr, None)
+    if value is not None and not isinstance(value, (list, tuple)):
+        setattr(parent, attr, new_module)
+        return
+    raise AttributeError("cannot replace %r on %r" % (attr, parent))
+
+
+def convert_model(model, policy):
+    """Replace selected Linear/Conv2d modules with LUT operators in place.
+
+    Returns the list of (name, lut_module) replacements performed.
+    """
+    replaced = []
+    for parent_name, parent in model.named_modules():
+        for attr, child in list(vars(parent).items()):
+            full = "%s.%s" % (parent_name, attr) if parent_name else attr
+            if isinstance(child, (list, tuple)):
+                new_children = list(child)
+                for i, item in enumerate(new_children):
+                    item_name = "%s.%d" % (full, i)
+                    lut = _maybe_convert(item, item_name, policy)
+                    if lut is not None:
+                        new_children[i] = lut
+                        replaced.append((item_name, lut))
+                setattr(parent, attr, new_children)
+            elif isinstance(child, Module):
+                lut = _maybe_convert(child, full, policy)
+                if lut is not None:
+                    setattr(parent, attr, lut)
+                    replaced.append((full, lut))
+    return replaced
+
+
+def _maybe_convert(module, name, policy):
+    if isinstance(module, (LUTLinear, LUTConv2d)):
+        return None
+    if not policy.wants(name, module):
+        return None
+    if isinstance(module, Linear):
+        return LUTLinear.from_linear(module, policy.v, policy.c, policy.metric)
+    if isinstance(module, Conv2d):
+        return LUTConv2d.from_conv(module, policy.v, policy.c, policy.metric)
+    return None
+
+
+def lut_operators(model):
+    """All LUT operators in ``model`` as (name, module) pairs."""
+    return [
+        (name, m)
+        for name, m in model.named_modules()
+        if isinstance(m, (LUTLinear, LUTConv2d))
+    ]
+
+
+def calibrate_model(model, sample_inputs, forward=None, seed=0,
+                    progressive=True):
+    """Initialise every LUT operator's centroids from real activations.
+
+    With ``progressive=True`` (default) operators are calibrated in
+    execution order, one forward pass each, so that every layer's k-means
+    sees the *already-quantized* upstream distribution — without this,
+    per-layer errors compound through deep networks (the effect is mild
+    for 2-3 layer models but decisive for ResNets). ``progressive=False``
+    calibrates all operators from a single full-precision pass.
+    """
+    operators = lut_operators(model)
+    forward = forward or (lambda m, x: m(Tensor(x)))
+    was_training = model.training
+    model.eval()
+    inputs = np.asarray(sample_inputs)
+
+    if progressive:
+        for i, (_, op) in enumerate(operators):
+            op.collect_activations = True
+            with no_grad():
+                forward(model, inputs)
+            op.collect_activations = False
+            op.calibrate(seed=seed + i)
+    else:
+        for _, op in operators:
+            op.collect_activations = True
+        with no_grad():
+            forward(model, inputs)
+        for i, (_, op) in enumerate(operators):
+            op.collect_activations = False
+            op.calibrate(seed=seed + i)
+    model.train(was_training)
+    return operators
+
+
+def refresh_batchnorm(model, sample_inputs, forward=None, passes=3):
+    """Re-estimate BatchNorm running statistics after conversion.
+
+    Quantized activations shift layer input distributions; stale running
+    stats otherwise dominate the post-conversion accuracy drop.
+    """
+    from ..nn.layers import BatchNorm2d
+
+    bns = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bns:
+        return
+    forward = forward or (lambda m, x: m(Tensor(x)))
+    was_training = model.training
+    model.train()
+    for bn in bns:
+        bn.momentum, bn._saved_momentum = 0.5, bn.momentum
+    with no_grad():
+        for _ in range(passes):
+            forward(model, np.asarray(sample_inputs))
+    for bn in bns:
+        bn.momentum = bn._saved_momentum
+        del bn._saved_momentum
+    model.train(was_training)

@@ -1,0 +1,322 @@
+"""LUT-based differentiable operators (the paper's "LUT-OP").
+
+``LUTLinear`` / ``LUTConv2d`` replace ``nn.Linear`` / ``nn.Conv2d`` during
+LUTBoost step (1) (operator replace, Fig. 6). During training the forward
+pass quantizes activations to their nearest centroid per subspace and the
+backward pass uses a straight-through estimator:
+
+    output  = A_hat @ W   (forward)
+    dL/dA  ~= dL/dA_hat   (backward, Sec. V-2)
+
+Centroids receive gradients both through the quantized path (the selected
+centroid rows participate in the GEMM) and through the reconstruction loss.
+At deployment :meth:`export_lut` freezes the operator into a
+(:class:`~repro.vq.Codebook`, :class:`~repro.vq.PSumLUT`) pair, and
+:meth:`lut_inference` executes the pure lookup-accumulate path the IMM
+implements in hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.init import kaiming_uniform
+from ..nn.layers import Linear, Conv2d, Module, Parameter
+from ..nn.tensor import Tensor
+from ..vq.codebook import Codebook, split_subspaces
+from ..vq.distances import pairwise_distance
+from ..vq.lut import PSumLUT
+from ..vq.quant import fake_quant_int8, to_bf16
+
+__all__ = ["LUTLinear", "LUTConv2d", "GemmWorkload"]
+
+
+class GemmWorkload:
+    """The (M, K, N) GEMM one LUT operator performs per input batch.
+
+    This is the unit handed to :mod:`repro.sim` and :mod:`repro.dse`:
+    M rows of activations (after im2col for convolutions), K reduction
+    length, N output features, quantized with (v, c).
+    """
+
+    def __init__(self, m, k, n, v, c, metric="l2", name=""):
+        self.m = int(m)
+        self.k = int(k)
+        self.n = int(n)
+        self.v = int(v)
+        self.c = int(c)
+        self.metric = metric
+        self.name = name
+
+    @property
+    def num_subspaces(self):
+        return int(np.ceil(self.k / self.v))
+
+    @property
+    def macs(self):
+        """Multiply-accumulates of the exact GEMM this operator replaces."""
+        return self.m * self.k * self.n
+
+    def __repr__(self):
+        return "GemmWorkload(%s: M=%d K=%d N=%d v=%d c=%d)" % (
+            self.name or "gemm", self.m, self.k, self.n, self.v, self.c,
+        )
+
+
+class _LUTOperatorMixin:
+    """Shared quantization machinery for LUT layers."""
+
+    def _init_vq_state(self, k, v, c, metric):
+        if metric not in ("l2", "l1", "chebyshev"):
+            raise ValueError("unsupported metric %r" % (metric,))
+        self.v = int(v)
+        self.c = int(c)
+        self.metric = metric
+        self.k = int(k)
+        self.num_subspaces = int(np.ceil(k / v))
+        # Centroids become a trainable Parameter once calibrated.
+        self.centroids = Parameter(np.zeros((self.num_subspaces, self.c, self.v)))
+        self.calibrated = False
+        self.collect_activations = False
+        self._collected = []
+        # Populated each forward pass; consumed by the trainer's
+        # reconstruction loss.
+        self.last_input = None
+        self.last_quantized = None
+
+    # ------------------------------------------------------------------
+    def calibrate(self, activations=None, seed=0):
+        """Initialise centroids with per-subspace k-means (step 1 -> 2).
+
+        ``activations`` defaults to whatever was recorded while
+        ``collect_activations`` was set.
+        """
+        if activations is None:
+            if not self._collected:
+                raise RuntimeError(
+                    "no activations recorded; run a forward pass with "
+                    "collect_activations=True or pass activations explicitly"
+                )
+            activations = np.concatenate(self._collected, axis=0)
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1, self.k)
+        book = Codebook.fit(activations, v=self.v, c=self.c, metric=self.metric,
+                            seed=seed)
+        self.centroids.data = book.centroids
+        self.calibrated = True
+        self._collected = []
+        return self
+
+    def randomize_centroids(self, seed=0, scale=1.0):
+        """Random centroid init (the single-stage baseline of Fig. 7)."""
+        rng = np.random.default_rng(seed)
+        self.centroids.data = rng.normal(
+            0.0, scale, (self.num_subspaces, self.c, self.v)
+        )
+        self.calibrated = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _quantize_flat(self, flat):
+        """Quantize a flat (n, K) Tensor with the STE described above.
+
+        Returns a Tensor whose forward value is the hard-VQ reconstruction
+        and whose backward pass routes gradients to both the input (STE)
+        and the selected centroid rows.
+        """
+        padded_k = self.num_subspaces * self.v
+        data = flat.data
+        if padded_k != self.k:
+            padded = np.pad(data, ((0, 0), (0, padded_k - self.k)))
+        else:
+            padded = data
+        per_sub = padded.reshape(-1, self.num_subspaces, self.v)
+
+        indices = np.empty((per_sub.shape[0], self.num_subspaces), dtype=np.int64)
+        for s in range(self.num_subspaces):
+            d = pairwise_distance(per_sub[:, s, :], self.centroids.data[s],
+                                  self.metric)
+            indices[:, s] = np.argmin(d, axis=1)
+        self.last_indices = indices
+
+        centroids = self.centroids
+        k = self.k
+
+        def backward(grad):
+            # grad has shape (n, K): route to centroids (scatter-add into the
+            # selected rows) and straight-through to the input.
+            if padded_k != k:
+                gpad = np.pad(grad, ((0, 0), (0, padded_k - k)))
+            else:
+                gpad = grad
+            g_sub = gpad.reshape(-1, centroids.data.shape[0], centroids.data.shape[2])
+            g_cent = np.zeros_like(centroids.data)
+            for s in range(g_cent.shape[0]):
+                np.add.at(g_cent[s], indices[:, s], g_sub[:, s, :])
+            return ((centroids, g_cent), (flat, grad))
+
+        quant = np.empty_like(per_sub)
+        for s in range(self.num_subspaces):
+            quant[:, s, :] = self.centroids.data[s][indices[:, s]]
+        quant_flat = quant.reshape(-1, padded_k)[:, : self.k]
+        return Tensor._make(quant_flat, (centroids, flat), backward)
+
+    def _forward_gemm(self, flat, weight, bias):
+        """Common forward: collect / quantize / record / GEMM."""
+        if self.collect_activations:
+            self._collected.append(flat.data.copy())
+        if not self.calibrated:
+            out = flat @ weight
+            return out + bias if bias is not None else out
+        quantized = self._quantize_flat(flat)
+        self.last_input = flat
+        self.last_quantized = quantized
+        out = quantized @ weight
+        return out + bias if bias is not None else out
+
+    # ------------------------------------------------------------------
+    def export_lut(self, precision="fp32"):
+        """Freeze into a (Codebook, PSumLUT) pair for deployment.
+
+        ``precision`` is 'fp32' or 'bf16+int8' (Table IV's deployment
+        columns): the latter rounds centroids through bfloat16 and stores
+        LUT entries as INT8 with per-subspace scales.
+        """
+        if not self.calibrated:
+            raise RuntimeError("cannot export an uncalibrated LUT operator")
+        centroids = self.centroids.data
+        weight = self._weight_matrix()
+        if precision == "bf16+int8":
+            centroids = to_bf16(centroids)
+            book = Codebook(centroids, k=self.k, metric=self.metric)
+            lut = PSumLUT.precompute(book, weight)
+            lut.table = fake_quant_int8(lut.table, axis=(1, 2))
+        elif precision == "fp32":
+            book = Codebook(centroids, k=self.k, metric=self.metric)
+            lut = PSumLUT.precompute(book, weight)
+        else:
+            raise ValueError("unknown precision %r" % (precision,))
+        return book, lut
+
+    def _weight_matrix(self):
+        raise NotImplementedError
+
+
+class LUTLinear(Module, _LUTOperatorMixin):
+    """Drop-in LUT replacement for :class:`repro.nn.Linear`."""
+
+    def __init__(self, in_features, out_features, v, c, metric="l2", bias=True,
+                 rng=None):
+        Module.__init__(self)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_uniform(rng, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._init_vq_state(in_features, v, c, metric)
+
+    @classmethod
+    def from_linear(cls, linear, v, c, metric="l2"):
+        """Wrap an existing trained Linear (LUTBoost step 1)."""
+        out = cls(linear.in_features, linear.out_features, v, c, metric,
+                  bias=linear.bias is not None)
+        out.weight.data = linear.weight.data.copy()
+        if linear.bias is not None:
+            out.bias.data = linear.bias.data.copy()
+        return out
+
+    def forward(self, x):
+        lead_shape = x.shape[:-1]
+        flat = x.reshape(-1, self.in_features)
+        out = self._forward_gemm(flat, self.weight, self.bias)
+        return out.reshape(*lead_shape, self.out_features)
+
+    def _weight_matrix(self):
+        return self.weight.data
+
+    def lut_inference(self, x, precision="fp32"):
+        """Pure numpy lookup path (no autograd): what the IMM computes."""
+        book, lut = self.export_lut(precision)
+        x = np.asarray(x, dtype=np.float64)
+        lead_shape = x.shape[:-1]
+        flat = x.reshape(-1, self.in_features)
+        out = lut.lookup_accumulate(book.encode(flat))
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.reshape(*lead_shape, self.out_features)
+
+    def workload(self, batch_rows, name=""):
+        """GEMM workload for ``batch_rows`` activation rows."""
+        return GemmWorkload(batch_rows, self.in_features, self.out_features,
+                            self.v, self.c, self.metric, name=name)
+
+
+class LUTConv2d(Module, _LUTOperatorMixin):
+    """Drop-in LUT replacement for :class:`repro.nn.Conv2d`.
+
+    Convolution is lowered to im2col + GEMM; the VQ subspaces live along
+    the patch dimension (C_in * kH * kW), matching the paper's treatment
+    of convolutions as GEMMs.
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size, v, c,
+                 stride=1, padding=0, metric="l2", bias=True, rng=None):
+        Module.__init__(self)
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale,
+                       (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._init_vq_state(fan_in, v, c, metric)
+
+    @classmethod
+    def from_conv(cls, conv, v, c, metric="l2"):
+        out = cls(conv.in_channels, conv.out_channels, conv.kernel_size, v, c,
+                  stride=conv.stride, padding=conv.padding, metric=metric,
+                  bias=conv.bias is not None)
+        out.weight.data = conv.weight.data.copy()
+        if conv.bias is not None:
+            out.bias.data = conv.bias.data.copy()
+        return out
+
+    def forward(self, x):
+        n = x.shape[0]
+        patches, out_h, out_w = F.im2col(x, self.kernel_size, self.stride,
+                                         self.padding)
+        w_mat = self.weight.reshape(
+            self.out_channels, self.k
+        ).T
+        out = self._forward_gemm(patches, w_mat, self.bias)
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def _weight_matrix(self):
+        return self.weight.data.reshape(self.out_channels, self.k).T
+
+    def lut_inference(self, x, precision="fp32"):
+        book, lut = self.export_lut(precision)
+        x = np.asarray(x, dtype=np.float64)
+        patches, out_h, out_w = F.im2col_array(x, self.kernel_size, self.stride,
+                                               self.padding)
+        out = lut.lookup_accumulate(book.encode(patches))
+        if self.bias is not None:
+            out = out + self.bias.data
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def output_size(self, h, w):
+        return (F.conv_output_size(h, self.kernel_size, self.stride, self.padding),
+                F.conv_output_size(w, self.kernel_size, self.stride, self.padding))
+
+    def workload(self, batch, h, w, name=""):
+        """GEMM workload for a (batch, C, h, w) input after im2col."""
+        out_h, out_w = self.output_size(h, w)
+        return GemmWorkload(batch * out_h * out_w, self.k, self.out_channels,
+                            self.v, self.c, self.metric, name=name)

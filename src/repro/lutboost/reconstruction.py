@@ -1,0 +1,57 @@
+"""Reconstruction (regularisation) loss of LUTBoost (Sec. V-2).
+
+The paper defines, with SG the stop-gradient operator:
+
+    Lre = (SG(A_hat . W) - A . W)^2 + (A_hat . W - SG(A . W))^2
+
+The first term pushes the *activations* (and upstream weights) toward the
+frozen quantized output; the second trains the *centroids* toward the frozen
+exact output. We implement both the paper's output-space form and a cheaper
+feature-space form that drops W (equivalent up to a W-weighted metric) —
+the trainer uses the feature-space form by default for speed.
+"""
+
+from __future__ import annotations
+
+from ..nn.tensor import Tensor
+
+__all__ = ["reconstruction_loss", "model_reconstruction_loss"]
+
+
+def reconstruction_loss(layer, output_space=False):
+    """Lre for one LUT operator after a forward pass.
+
+    Parameters
+    ----------
+    layer:
+        A LUT operator exposing ``last_input`` / ``last_quantized``.
+    output_space:
+        When True, apply the layer's weight matrix first (the paper's exact
+        formulation); when False, compare A_hat with A directly.
+    """
+    a = layer.last_input
+    a_hat = layer.last_quantized
+    if a is None or a_hat is None:
+        return Tensor(0.0)
+    if output_space:
+        w = Tensor(layer._weight_matrix())
+        a = a @ w
+        a_hat = a_hat @ w
+    term_centroid = ((a_hat - a.detach()) ** 2).mean()
+    term_commit = ((a_hat.detach() - a) ** 2).mean()
+    return term_centroid + term_commit
+
+
+def model_reconstruction_loss(model, output_space=False):
+    """Sum of per-operator reconstruction losses over a whole model."""
+    from .lut_layers import LUTConv2d, LUTLinear
+
+    total = Tensor(0.0)
+    count = 0
+    for module in model.modules():
+        if isinstance(module, (LUTLinear, LUTConv2d)) and module.calibrated:
+            total = total + reconstruction_loss(module, output_space)
+            count += 1
+    if count:
+        total = total * (1.0 / count)
+    return total

@@ -1,0 +1,42 @@
+"""Evaluation model zoo (CNNs + transformers), topologies per the paper."""
+
+from .lenet import LeNet, lenet
+from .mlp import MLP, mlp
+from .resnet import (
+    BasicBlock,
+    ResNetCIFAR,
+    ResNetImageNet,
+    resnet18,
+    resnet20,
+    resnet32,
+    resnet34,
+    resnet56,
+)
+from .transformer import (
+    TransformerClassifier,
+    bert_mini,
+    distilbert_mini,
+    opt_mini,
+)
+from .vgg import VGG, vgg11
+
+__all__ = [
+    "BasicBlock",
+    "ResNetCIFAR",
+    "ResNetImageNet",
+    "resnet20",
+    "resnet32",
+    "resnet56",
+    "resnet18",
+    "resnet34",
+    "VGG",
+    "vgg11",
+    "LeNet",
+    "lenet",
+    "MLP",
+    "mlp",
+    "TransformerClassifier",
+    "bert_mini",
+    "distilbert_mini",
+    "opt_mini",
+]

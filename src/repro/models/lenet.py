@@ -1,0 +1,47 @@
+"""LeNet-5 style network (paper Table IV, LeNet/MNIST row)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn import functional as F
+
+__all__ = ["LeNet", "lenet"]
+
+
+class LeNet(Module):
+    """Classic conv-pool-conv-pool-fc-fc-fc, sized by ``image_size``."""
+
+    def __init__(self, num_classes=10, in_channels=1, image_size=16, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, 6, 3, padding=1, rng=rng)
+        self.pool1 = AvgPool2d(2)
+        self.conv2 = Conv2d(6, 16, 3, padding=1, rng=rng)
+        self.pool2 = AvgPool2d(2)
+        feat = image_size // 4
+        self.flatten = Flatten()
+        self.fc1 = Linear(16 * feat * feat, 64, rng=rng)
+        self.fc2 = Linear(64, 32, rng=rng)
+        self.fc3 = Linear(32, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.pool1(self.conv1(x).relu())
+        out = self.pool2(self.conv2(out).relu())
+        out = self.flatten(out)
+        out = self.fc1(out).relu()
+        out = self.fc2(out).relu()
+        return self.fc3(out)
+
+
+def lenet(num_classes=10, image_size=16, seed=0):
+    return LeNet(num_classes=num_classes, image_size=image_size, seed=seed)

@@ -1,0 +1,29 @@
+"""Plain MLP classifier — the smallest model in the zoo (tests, examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Linear, Module, ReLU, Sequential
+
+__all__ = ["MLP", "mlp"]
+
+
+class MLP(Module):
+    def __init__(self, in_features, hidden, num_classes, depth=2, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers = [Linear(in_features, hidden, rng=rng), ReLU()]
+        for _ in range(depth - 2):
+            layers.extend([Linear(hidden, hidden, rng=rng), ReLU()])
+        layers.append(Linear(hidden, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x):
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)
+
+
+def mlp(in_features, hidden=64, num_classes=10, depth=2, seed=0):
+    return MLP(in_features, hidden, num_classes, depth=depth, seed=seed)

@@ -1,0 +1,157 @@
+"""CIFAR-style ResNets (He et al.) scaled for the numpy substrate.
+
+The paper evaluates ResNet-20/32/56 (CIFAR) and ResNet-18/34/50 (ImageNet).
+We keep the exact topologies — 3 stages of ``(depth - 2) / 6`` basic blocks
+for the CIFAR family, the [2,2,2,2] stage layout for ResNet-18 — but expose
+``width`` and ``image_size`` knobs so CPU training stays tractable. The
+*structure* (which GEMMs exist, their M/K/N shapes after im2col) is what the
+hardware evaluation consumes, and that is preserved exactly up to width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ResNetCIFAR",
+    "resnet20",
+    "resnet32",
+    "resnet56",
+    "ResNetImageNet",
+    "resnet18",
+    "resnet34",
+]
+
+
+class BasicBlock(Module):
+    """Standard two-conv residual block with identity or projection shortcut."""
+
+    def __init__(self, in_channels, out_channels, stride=1, rng=None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1,
+                            padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1, stride=stride,
+                                   bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_channels)
+        else:
+            self.shortcut = None
+            self.shortcut_bn = None
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        identity = x
+        if self.shortcut is not None:
+            identity = self.shortcut_bn(self.shortcut(x))
+        return (out + identity).relu()
+
+
+class ResNetCIFAR(Module):
+    """ResNet-(6n+2) for CIFAR-shaped inputs.
+
+    depth 20 -> n=3, depth 32 -> n=5, depth 56 -> n=9 blocks per stage.
+    """
+
+    def __init__(self, depth, num_classes=10, width=16, in_channels=3, seed=0):
+        super().__init__()
+        if (depth - 2) % 6:
+            raise ValueError("CIFAR ResNet depth must be 6n+2, got %d" % depth)
+        n = (depth - 2) // 6
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        widths = (width, 2 * width, 4 * width)
+        self.stem = Conv2d(in_channels, widths[0], 3, padding=1, bias=False,
+                           rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stage1 = self._make_stage(widths[0], widths[0], n, 1, rng)
+        self.stage2 = self._make_stage(widths[0], widths[1], n, 2, rng)
+        self.stage3 = self._make_stage(widths[1], widths[2], n, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[2], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(in_channels, out_channels, blocks, stride, rng):
+        layers = [BasicBlock(in_channels, out_channels, stride, rng=rng)]
+        layers.extend(
+            BasicBlock(out_channels, out_channels, 1, rng=rng)
+            for _ in range(blocks - 1)
+        )
+        return Sequential(*layers)
+
+    def forward(self, x):
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return self.fc(self.pool(out))
+
+
+def resnet20(num_classes=10, width=8, seed=0):
+    """ResNet-20 (paper Table IV row 1), width-scaled for CPU training."""
+    return ResNetCIFAR(20, num_classes=num_classes, width=width, seed=seed)
+
+
+def resnet32(num_classes=10, width=8, seed=0):
+    return ResNetCIFAR(32, num_classes=num_classes, width=width, seed=seed)
+
+
+def resnet56(num_classes=10, width=8, seed=0):
+    return ResNetCIFAR(56, num_classes=num_classes, width=width, seed=seed)
+
+
+class ResNetImageNet(Module):
+    """ImageNet-style ResNet with basic blocks (ResNet-18/34 topology)."""
+
+    STAGES = {18: (2, 2, 2, 2), 34: (3, 4, 6, 3)}
+
+    def __init__(self, depth, num_classes=100, width=16, in_channels=3, seed=0):
+        super().__init__()
+        if depth not in self.STAGES:
+            raise ValueError("supported depths: %s" % sorted(self.STAGES))
+        blocks = self.STAGES[depth]
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        widths = (width, 2 * width, 4 * width, 8 * width)
+        # 3x3 stem (CIFAR-style stem keeps small synthetic images usable).
+        self.stem = Conv2d(in_channels, widths[0], 3, padding=1, bias=False,
+                           rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stage1 = ResNetCIFAR._make_stage(widths[0], widths[0], blocks[0], 1, rng)
+        self.stage2 = ResNetCIFAR._make_stage(widths[0], widths[1], blocks[1], 2, rng)
+        self.stage3 = ResNetCIFAR._make_stage(widths[1], widths[2], blocks[2], 2, rng)
+        self.stage4 = ResNetCIFAR._make_stage(widths[2], widths[3], blocks[3], 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[3], num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.stage4(out)
+        return self.fc(self.pool(out))
+
+
+def resnet18(num_classes=100, width=8, seed=0):
+    return ResNetImageNet(18, num_classes=num_classes, width=width, seed=seed)
+
+
+def resnet34(num_classes=100, width=8, seed=0):
+    return ResNetImageNet(34, num_classes=num_classes, width=width, seed=seed)

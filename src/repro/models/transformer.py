@@ -1,0 +1,80 @@
+"""Mini transformer encoders standing in for BERT / DistilBERT / OPT-125M.
+
+The GLUE evaluation of Table VI converts the QKV-projection and FFN linear
+layers to LUT operators; these mini encoders keep that exact layer
+structure (per-head attention with four projections, GELU FFN) at a width
+the numpy substrate can train in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    TransformerEncoderLayer,
+)
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "TransformerClassifier",
+    "bert_mini",
+    "distilbert_mini",
+    "opt_mini",
+]
+
+
+class TransformerClassifier(Module):
+    """Token embedding + learned positions + encoder stack + mean-pool head."""
+
+    def __init__(self, vocab_size, num_classes, dim=32, num_heads=4,
+                 num_layers=2, ffn_dim=None, max_len=32, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        ffn_dim = ffn_dim or 4 * dim
+        self.dim = dim
+        self.max_len = max_len
+        self.tok_embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos_embed = Embedding(max_len, dim, rng=rng)
+        self.blocks = [
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+
+    def forward(self, tokens):
+        if isinstance(tokens, Tensor):
+            tokens = tokens.data
+        tokens = np.asarray(tokens).astype(np.int64)
+        seq = tokens.shape[1]
+        if seq > self.max_len:
+            raise ValueError("sequence length %d exceeds max_len %d"
+                             % (seq, self.max_len))
+        x = self.tok_embed(tokens) + self.pos_embed(np.arange(seq))
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        pooled = x.mean(axis=1)
+        return self.head(pooled)
+
+
+def bert_mini(vocab_size=64, num_classes=2, seed=0):
+    """BERT stand-in: deepest/widest of the three (Table VI row 'BERT')."""
+    return TransformerClassifier(vocab_size, num_classes, dim=32, num_heads=4,
+                                 num_layers=3, seed=seed)
+
+
+def distilbert_mini(vocab_size=64, num_classes=2, seed=0):
+    """DistilBERT stand-in: half the layers of bert_mini."""
+    return TransformerClassifier(vocab_size, num_classes, dim=32, num_heads=4,
+                                 num_layers=2, seed=seed)
+
+
+def opt_mini(vocab_size=64, num_classes=2, seed=0):
+    """OPT-125M stand-in: wider FFN, fewer heads (decoder-width flavour)."""
+    return TransformerClassifier(vocab_size, num_classes, dim=32, num_heads=2,
+                                 num_layers=3, ffn_dim=96, seed=seed)

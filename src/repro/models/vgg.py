@@ -1,0 +1,54 @@
+"""VGG-11 (configuration A) scaled for the numpy substrate (Table IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["VGG", "vgg11"]
+
+# VGG-11 layout: numbers are output channels (x width/64), 'M' is max-pool.
+_VGG11_CFG = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M")
+
+
+class VGG(Module):
+    """VGG feature extractor + linear classifier."""
+
+    def __init__(self, cfg=_VGG11_CFG, num_classes=10, width=64, in_channels=3,
+                 seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers = []
+        channels = in_channels
+        for item in cfg:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                out_channels = max(4, item * width // 64)
+                layers.append(Conv2d(channels, out_channels, 3, padding=1,
+                                     bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_channels))
+                layers.append(ReLU())
+                channels = out_channels
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.classifier(self.pool(self.features(x)))
+
+
+def vgg11(num_classes=10, width=16, seed=0):
+    """Width-scaled VGG-11 (paper Table IV 'VGG11' rows)."""
+    return VGG(num_classes=num_classes, width=width, seed=seed)

@@ -1,0 +1,64 @@
+"""Numpy-based neural-network substrate (autograd, layers, optimisers).
+
+This subpackage replaces the PyTorch dependency of the original LUT-DLA
+training pipeline (see DESIGN.md, substitution table).
+"""
+
+from . import functional
+from .data import ArrayDataset, DataLoader, evaluate_accuracy
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    TransformerEncoderLayer,
+)
+from .optim import SGD, Adam, CosineLR, StepLR
+from .tensor import Tensor, cat, no_grad, stack, where
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "cat",
+    "stack",
+    "where",
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Embedding",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "ArrayDataset",
+    "DataLoader",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,73 @@
+"""Minimal dataset / dataloader utilities used by the training pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "evaluate_accuracy"]
+
+
+class ArrayDataset:
+    """A dataset backed by parallel numpy arrays (inputs, labels)."""
+
+    def __init__(self, inputs, labels):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must have the same length")
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self):
+        return len(self.inputs)
+
+    def __getitem__(self, index):
+        return self.inputs[index], self.labels[index]
+
+
+class DataLoader:
+    """Deterministic mini-batch iterator with optional shuffling."""
+
+    def __init__(self, dataset, batch_size, shuffle=False, seed=0,
+                 drop_last=False):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self):
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.dataset.inputs[idx], self.dataset.labels[idx]
+
+
+def evaluate_accuracy(model, dataset, batch_size=128, forward=None):
+    """Top-1 accuracy of ``model`` over ``dataset`` (model put in eval mode)."""
+    from .tensor import Tensor, no_grad
+
+    forward = forward or (lambda m, x: m(Tensor(x)))
+    was_training = model.training
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            x = dataset.inputs[start:start + batch_size]
+            y = dataset.labels[start:start + batch_size]
+            logits = forward(model, x)
+            predictions = np.argmax(logits.data, axis=-1)
+            correct += int((predictions == y).sum())
+    model.train(was_training)
+    return correct / len(dataset)

@@ -1,0 +1,188 @@
+"""Neural-network functional operations built on :mod:`repro.nn.tensor`.
+
+Convolution is implemented by im2col + GEMM. That choice is deliberate: the
+LUT-DLA paper treats convolutions as GEMMs after im2col (Sec. VI-B), and the
+same patch-matrix layout is what the LUT operators quantize, so both the
+training substrate and the hardware workload extraction share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "gelu",
+    "im2col",
+    "im2col_array",
+    "conv_output_size",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "layer_norm",
+    "dropout",
+    "one_hot",
+]
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits, targets):
+    """Mean cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape (batch, classes).
+    targets:
+        Integer array of shape (batch,).
+    """
+    targets = np.asarray(targets)
+    logp = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = logp[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction, target):
+    diff = prediction - Tensor.ensure(target)
+    return (diff * diff).mean()
+
+
+def gelu(x):
+    """Tanh approximation of GELU (matches BERT's activation)."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + (x**3) * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def one_hot(labels, num_classes):
+    labels = np.asarray(labels)
+    out = np.zeros((labels.size, num_classes))
+    out[np.arange(labels.size), labels.ravel()] = 1.0
+    return out.reshape(labels.shape + (num_classes,))
+
+
+def conv_output_size(size, kernel, stride, padding):
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col_indices(height, width, kernel, stride, padding):
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+def im2col_array(data, kernel, stride=1, padding=0):
+    """im2col on a raw numpy array of shape (N, C, H, W).
+
+    Returns (patches, out_h, out_w) where patches has shape
+    (N * out_h * out_w, C * kernel * kernel) — exactly the activation matrix
+    the LUT operators see.
+    """
+    n, c, h, w = data.shape
+    if padding:
+        data = np.pad(data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
+    # Shape: (N, C, kernel*kernel, out_h*out_w)
+    patches = data[:, :, rows, cols]
+    patches = patches.transpose(0, 3, 1, 2).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return patches, out_h, out_w
+
+
+def im2col(x, kernel, stride=1, padding=0):
+    """Differentiable im2col for a Tensor of shape (N, C, H, W)."""
+    n, c, h, w = x.shape
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
+    padded = x.pad2d(padding) if padding else x
+    # Index on the padded tensor: result (N, C, k*k, out_h*out_w).
+    patches = padded[:, :, rows, cols]
+    patches = patches.transpose(0, 3, 1, 2).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return patches, out_h, out_w
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0):
+    """2-D convolution via im2col + GEMM.
+
+    Parameters
+    ----------
+    x:
+        (N, C_in, H, W) input tensor.
+    weight:
+        (C_out, C_in, kH, kW) filter tensor (kH == kW assumed).
+    """
+    n = x.shape[0]
+    c_out, c_in, kernel, _ = weight.shape
+    patches, out_h, out_w = im2col(x, kernel, stride, padding)
+    w_mat = weight.reshape(c_out, c_in * kernel * kernel).T
+    out = patches @ w_mat  # (N*out_h*out_w, C_out)
+    if bias is not None:
+        out = out + bias
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return out
+
+
+def max_pool2d(x, kernel, stride=None):
+    """Max pooling over (kernel x kernel) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    rows, cols, _, _ = _im2col_indices(h, w, kernel, stride, 0)
+    patches = x[:, :, rows, cols]  # (N, C, k*k, out_h*out_w)
+    pooled = patches.max(axis=2)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def avg_pool2d(x, kernel, stride=None):
+    """Average pooling over (kernel x kernel) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    rows, cols, _, _ = _im2col_indices(h, w, kernel, stride, 0)
+    patches = x[:, :, rows, cols]
+    pooled = patches.mean(axis=2)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def layer_norm(x, weight, bias, eps=1e-5):
+    """Layer normalisation over the last dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mu) / (var + eps).sqrt()
+    return normed * weight + bias
+
+
+def dropout(x, p, rng, training=True):
+    """Inverted dropout; a no-op when not training or p == 0."""
+    if not training or p <= 0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * mask

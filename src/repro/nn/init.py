@@ -1,0 +1,24 @@
+"""Weight initialisation helpers (numpy Generator based, fully deterministic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal"]
+
+
+def kaiming_uniform(rng, shape, fan_in=None):
+    """He-uniform initialisation; ``fan_in`` defaults to shape[0]."""
+    fan_in = fan_in or shape[0]
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, shape)
+
+
+def xavier_uniform(rng, shape):
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, shape)
+
+
+def normal(rng, shape, std=0.02):
+    return rng.normal(0.0, std, shape)

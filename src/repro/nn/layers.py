@@ -1,0 +1,374 @@
+"""Module / layer abstractions over the autograd tensor.
+
+The layer zoo covers everything the LUT-DLA evaluation needs: convolutional
+networks (ResNet/VGG/LeNet variants) and transformer encoders (BERT-like).
+``Module`` deliberately mirrors the torch API surface (``parameters()``,
+``train()``, ``eval()``, attribute-based submodule registration) so that
+LUTBoost's operator-replacement pass can walk any model generically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .init import kaiming_uniform, xavier_uniform
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Embedding",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+]
+
+
+class Parameter(Tensor):
+    """A Tensor registered as a trainable parameter of a Module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter / submodule discovery."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- registration via attribute assignment --------------------------
+    def named_parameters(self, prefix=""):
+        for name, value in vars(self).items():
+            full = "%s.%s" % (prefix, name) if prefix else name
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters("%s.%d" % (full, i))
+                    elif isinstance(item, Parameter):
+                        yield "%s.%d" % (full, i), item
+
+    def parameters(self):
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix=""):
+        yield prefix, self
+        for name, value in vars(self).items():
+            full = "%s.%s" % (prefix, name) if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules("%s.%d" % (full, i))
+
+    def modules(self):
+        return [m for _, m in self.named_modules()]
+
+    def train(self, mode=True):
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def zero_grad(self):
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self):
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self):
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError("missing parameters: %s" % sorted(missing))
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    "shape mismatch for %s: %s vs %s"
+                    % (name, p.data.shape, state[name].shape)
+                )
+            p.data = state[name].copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Sequential(Module):
+    """Run submodules in order."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index):
+        return self.layers[index]
+
+
+class Linear(Module):
+    """Affine map y = x W + b with weight of shape (in_features, out_features).
+
+    The (K, N) weight layout matches the GEMM orientation used throughout the
+    paper's dataflow analysis (activations are M x K).
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_uniform(rng, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution (square kernels) via im2col GEMM."""
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias=True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x):
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel with running stats."""
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x):
+        shape = (1, self.num_features, 1, 1)
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mu.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mu = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+    def __init__(self, normalized_shape, eps=1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x):
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class Embedding(Module):
+    """Token-index to dense-vector lookup table."""
+    def __init__(self, num_embeddings, embedding_dim, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(rng.normal(0, 0.02, (num_embeddings, embedding_dim)))
+
+    def forward(self, indices):
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        return self.weight[np.asarray(indices).astype(np.int64)]
+
+
+class ReLU(Module):
+    """Elementwise max(x, 0)."""
+    def forward(self, x):
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+    def forward(self, x):
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+    def forward(self, x):
+        return x.tanh()
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPool2d(Module):
+    """Spatial max pooling with square windows."""
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Spatial average pooling with square windows."""
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Mean over the spatial dimensions (N, C, H, W) -> (N, C)."""
+    def forward(self, x):
+        return x.mean(axis=(2, 3))
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+    def __init__(self, p=0.1, seed=0):
+        super().__init__()
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x):
+        return F.dropout(x, self.p, self._rng, self.training)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with separate Q/K/V/O projections.
+
+    The four Linear layers here are exactly the "QKV projection" GEMMs the
+    paper's transformer evaluation converts to LUT operators.
+    """
+
+    def __init__(self, dim, num_heads, rng=None):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x):
+        batch, seq, _ = x.shape
+
+        def split_heads(t):
+            return t.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+                0, 2, 1, 3
+            )
+
+        q = split_heads(self.q_proj(x))
+        k = split_heads(self.k_proj(x))
+        v = split_heads(self.v_proj(x))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v  # (batch, heads, seq, head_dim)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out_proj(ctx)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN transformer encoder block (attention + FFN)."""
+
+    def __init__(self, dim, num_heads, ffn_dim, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+
+    def forward(self, x):
+        x = x + self.attn(self.norm1(x))
+        hidden = F.gelu(self.ffn_in(self.norm2(x)))
+        return x + self.ffn_out(hidden)
+
+
+def _xavier_for_tests(rng, shape):
+    """Expose xavier init for unit tests without importing init directly."""
+    return xavier_uniform(rng, shape)

@@ -1,0 +1,113 @@
+"""Optimisers and learning-rate schedules for the training substrate.
+
+SGD-with-momentum and Adam cover the paper's two training regimes (CNN
+centroid/joint training and transformer fine-tuning respectively).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base optimiser holding a flat parameter list."""
+
+    def __init__(self, params, lr):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self):
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr, momentum=0.0, weight_decay=0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self):
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimiser lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self):
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma**decays)
+
+
+class CosineLR:
+    """Cosine annealing from the base lr down to ``min_lr``."""
+
+    def __init__(self, optimizer, total_epochs, min_lr=0.0):
+        self.optimizer = optimizer
+        self.total_epochs = max(1, total_epochs)
+        self.min_lr = min_lr
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self):
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        cos = 0.5 * (1 + np.cos(np.pi * self._epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cos

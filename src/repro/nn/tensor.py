@@ -1,0 +1,496 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the training substrate for the LUT-DLA reproduction: the
+paper trains LUT-based models with PyTorch, and :class:`Tensor` provides the
+equivalent differentiable-array abstraction so that LUTBoost's
+straight-through estimators and reconstruction losses can be expressed
+without an external framework.
+
+The design is a vectorised tape: every operation builds a small closure that
+knows how to push gradients to its inputs, and :meth:`Tensor.backward` walks
+the tape in reverse topological order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like torch.no_grad)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled():
+    """Return True when operations should record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value):
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; always stored as float64 for numerical fidelity
+        of the small models used in this reproduction.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+
+    def __init__(self, data, requires_grad=False):
+        self.data = _as_array(data)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward = None
+        self._prev = ()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ensure(value):
+        """Coerce ``value`` into a Tensor (constants get requires_grad=False)."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @classmethod
+    def _make(cls, data, parents, backward):
+        out = cls(data)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def numpy(self):
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self):
+        return float(self.data.reshape(()) if self.data.size == 1 else self.data)
+
+    def detach(self):
+        """Return a new Tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self):
+        self.grad = None
+
+    def __repr__(self):
+        return "Tensor(shape=%s, requires_grad=%s)" % (
+            self.shape,
+            self.requires_grad,
+        )
+
+    def __len__(self):
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order of the reachable graph.
+        topo = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                for parent, pgrad in node._backward(node_grad):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + pgrad
+                    else:
+                        grads[key] = pgrad
+                    if parent._backward is None:
+                        # Leaf: materialise immediately so intermediate
+                        # results can be garbage collected.
+                        pass
+
+        # Any remaining gradients belong to leaves never popped (e.g. when
+        # the same leaf feeds the output directly).
+        for node in topo:
+            pending = grads.pop(id(node), None)
+            if pending is not None and node.requires_grad and node._backward is None:
+                node.grad = pending if node.grad is None else node.grad + pending
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(grad, other.shape)),
+            )
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            return ((self, -grad),)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(-grad, other.shape)),
+            )
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return Tensor.ensure(other) - self
+
+    def __mul__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad * other.data, self.shape)),
+                (other, _unbroadcast(grad * self.data, other.shape)),
+            )
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad / other.data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+                ),
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor.ensure(other) / self
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad):
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(grad):
+            a, b = self.data, other.data
+            if a.ndim == 2 and b.ndim == 2:
+                return ((self, grad @ b.T), (other, a.T @ grad))
+            # Batched matmul: contract over batch dims with broadcasting.
+            ga = grad @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ grad
+            return (
+                (self, _unbroadcast(ga, self.shape)),
+                (other, _unbroadcast(gb, other.shape)),
+            )
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            return ((self, grad * out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        def backward(grad):
+            return ((self, grad / self.data),)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            return ((self, grad * 0.5 / out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self):
+        def backward(grad):
+            return ((self, grad * np.sign(self.data)),)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return ((self, grad * (1.0 - out_data**2)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            return ((self, grad * out_data * (1.0 - out_data)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low, high):
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return ((self, np.broadcast_to(g, self.shape).copy()),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            # Split gradient evenly among ties, as numpy max has no
+            # canonical winner.
+            counts = mask.sum(axis=axis, keepdims=True)
+            return ((self, mask * g / counts),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def var(self, axis=None, keepdims=False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        orig = self.shape
+
+        def backward(grad):
+            return ((self, grad.reshape(orig)),)
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            return ((self, grad.transpose(inverse)),)
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __getitem__(self, index):
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return ((self, full),)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def pad2d(self, padding):
+        """Zero-pad the last two dimensions by ``padding`` on each side."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
+
+        def backward(grad):
+            slices = [slice(None)] * (self.ndim - 2) + [
+                slice(padding, -padding),
+                slice(padding, -padding),
+            ]
+            return ((self, grad[tuple(slices)]),)
+
+        return Tensor._make(np.pad(self.data, pad_width), (self,), backward)
+
+
+def cat(tensors, axis=0):
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        outs = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slices = [slice(None)] * grad.ndim
+            slices[axis] = slice(start, stop)
+            outs.append((tensor, grad[tuple(slices)]))
+        return tuple(outs)
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+
+    def backward(grad):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(
+            (tensor, np.squeeze(piece, axis=axis))
+            for tensor, piece in zip(tensors, pieces)
+        )
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition, a, b):
+    """Differentiable ``np.where`` (condition is a plain boolean array)."""
+    a = Tensor.ensure(a)
+    b = Tensor.ensure(b)
+    cond = np.asarray(condition)
+
+    def backward(grad):
+        return (
+            (a, _unbroadcast(grad * cond, a.shape)),
+            (b, _unbroadcast(grad * (~cond), b.shape)),
+        )
+
+    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)

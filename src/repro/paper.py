@@ -1,0 +1,175 @@
+"""One-call regeneration of the paper's structural tables and figures.
+
+This module is the programmatic face of the benchmark harness: each
+function returns plain rows (list of dicts) for one table/figure, and
+:func:`regenerate_all` collects everything that does not require model
+training. Training-based experiments (Figs. 7/8/12, Tables II/IV/V/VI)
+live in ``benchmarks/`` because they take minutes, not milliseconds.
+
+Example::
+
+    from repro import paper
+    from repro.evaluation import format_table
+
+    print(format_table(paper.table1()))
+    print(format_table(paper.table8()))
+"""
+
+from __future__ import annotations
+
+from .baselines import (
+    comparison_table,
+    figure1_curves,
+    gemmini_default,
+    nvdla_large,
+    nvdla_small,
+    pqa_default,
+)
+from .evaluation import end_to_end_comparison
+from .hw import IMMConfig, imm_sram_kb, paper_designs
+from .lutboost import GemmWorkload
+from .sim import (
+    SimConfig,
+    bert_workloads,
+    dataflow_table,
+    resnet_workloads,
+    simulate_gemm,
+)
+
+__all__ = [
+    "figure1",
+    "table1",
+    "table7",
+    "table8",
+    "table9",
+    "figure13",
+    "figure14",
+    "regenerate_all",
+]
+
+
+def figure1():
+    """Fig. 1 rows: efficiency of ALU op types and LUT design points."""
+    rows = []
+    for name, series in figure1_curves().items():
+        for bits, area_eff, energy_eff in series:
+            rows.append({"series": name, "bitwidth": float(bits),
+                         "ops_per_um2": area_eff, "ops_per_pj": energy_eff})
+    return rows
+
+
+def table1(m=512, k=768, n=768, v=9, c=32, tn=32):
+    """Table I rows: on-chip memory per dataflow."""
+    return dataflow_table(m=m, k=k, n=n, v=v, c=c, tn=tn)
+
+
+def table7():
+    """Table VII rows: IMM settings and resources for Designs 1-3."""
+    rows = []
+    for design in paper_designs():
+        rows.append({
+            "design": design.name, "v": design.v, "Nc": design.c,
+            "Tn": design.tn, "M": design.m_tile,
+            "sram_kb": design.sram_kb_per_imm(),
+            "bandwidth_gbps": design.min_bandwidth_gbps() / design.n_imm,
+        })
+    return rows
+
+
+def table8(to_node=28):
+    """Table VIII rows: PPA comparison, efficiencies scaled to one node."""
+    return comparison_table(paper_designs(), to_node=to_node)
+
+
+def table9():
+    """Table IX rows: LUT-DLA vs PQA on the 512x768x768 GEMM."""
+    workload = GemmWorkload(512, 768, 768, v=4, c=32)
+    pqa = pqa_default()
+    lut = simulate_gemm(workload, SimConfig(tn=16, n_imm=1, n_ccu=1,
+                                            bandwidth_bits_per_cycle=64))
+    return [
+        {"arch": "PQA",
+         "onchip_kb": pqa.onchip_memory_kb(workload),
+         "kcycles": pqa.run_cycles([workload]) / 1e3,
+         "dataflow": "-", "pingpong": "no"},
+        {"arch": "LUT-DLA",
+         "onchip_kb": imm_sram_kb(IMMConfig(c=32, tn=16, m_tile=512)),
+         "kcycles": lut.total_cycles / 1e3,
+         "dataflow": "LS", "pingpong": "yes"},
+    ]
+
+
+def _end_to_end(models=None):
+    models = models or ("resnet18", "resnet34", "resnet50", "bert")
+    workload_map = {}
+    for name in models:
+        if name == "bert":
+            workload_map[name] = bert_workloads(v=4, c=16)
+        else:
+            workload_map[name] = resnet_workloads(int(name[6:]), v=4, c=16)
+    return end_to_end_comparison(
+        workload_map, paper_designs(),
+        [nvdla_small(), nvdla_large(), gemmini_default()])
+
+
+def figure13(models=None):
+    """Fig. 13 rows: end-to-end latency/energy per (model, hardware)."""
+    rows = []
+    for model, per_hw in _end_to_end(models).items():
+        for hw, res in per_hw.items():
+            rows.append({"model": model, "hw": hw,
+                         "latency_ms": res.seconds * 1e3,
+                         "energy_mj": res.energy_mj,
+                         "throughput_gops": res.throughput_gops})
+    return rows
+
+
+def figure14(models=("resnet18", "bert")):
+    """Fig. 14 rows: speedup / efficiency normalised to NVDLA-Small."""
+    rows = []
+    for model, per_hw in _end_to_end(models).items():
+        ref = per_hw["NVDLA-Small"]
+        for hw, res in per_hw.items():
+            norm = res.normalized_to(ref)
+            rows.append({"model": model, "hw": hw,
+                         "speedup": norm["speedup"],
+                         "area_eff_ratio": norm["area_eff_ratio"],
+                         "energy_eff_ratio": norm["energy_eff_ratio"]})
+    return rows
+
+
+def regenerate_all():
+    """All training-free experiments as {name: rows}."""
+    return {
+        "figure1": figure1(),
+        "table1": table1(),
+        "table7": table7(),
+        "table8": table8(),
+        "table9": table9(),
+        "figure13": figure13(),
+        "figure14": figure14(),
+    }
+
+
+def _main():
+    """CLI: ``python -m repro.paper`` prints every training-free table."""
+    from .evaluation import format_table
+
+    titles = {
+        "figure1": "Fig. 1 — ALU vs LUT efficiency",
+        "table1": "Table I — dataflow on-chip memory (KB)",
+        "table7": "Table VII — IMM settings and resources",
+        "table8": "Table VIII — PPA comparison (scaled to 28 nm)",
+        "table9": "Table IX — LUT-DLA vs PQA",
+        "figure13": "Fig. 13 — end-to-end latency / energy",
+        "figure14": "Fig. 14 — PPA normalised to NVDLA-Small",
+    }
+    for name, rows in regenerate_all().items():
+        print("\n" + "=" * 70)
+        print(titles[name])
+        print("=" * 70)
+        print(format_table(rows, floatfmt="%.4g"))
+
+
+if __name__ == "__main__":
+    _main()

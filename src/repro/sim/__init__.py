@@ -1,0 +1,31 @@
+"""Cycle-accurate LUT-DLA simulator: FIFOs, ping-pong buffers, LS dataflow."""
+
+from .dataflow import DATAFLOWS, DataflowMemory, analyze_dataflow, dataflow_table
+from .engine import SimConfig, SimResult, simulate_gemm, simulate_workloads
+from .fifo import AsyncFIFO
+from .pingpong import PingPongBuffer
+from .workload import (
+    PAPER_MODELS,
+    bert_workloads,
+    conv_gemm,
+    model_workloads,
+    resnet_workloads,
+)
+
+__all__ = [
+    "AsyncFIFO",
+    "PingPongBuffer",
+    "DATAFLOWS",
+    "DataflowMemory",
+    "analyze_dataflow",
+    "dataflow_table",
+    "SimConfig",
+    "SimResult",
+    "simulate_gemm",
+    "simulate_workloads",
+    "model_workloads",
+    "conv_gemm",
+    "resnet_workloads",
+    "bert_workloads",
+    "PAPER_MODELS",
+]

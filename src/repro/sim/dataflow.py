@@ -1,0 +1,113 @@
+"""Dataflow on-chip memory analysis — reproduces Table I.
+
+For GEMM C[M,N] = A[M,K] x B[K,N] executed as a LUT operator with vector
+length ``v`` (Nc = ceil(K/v) subspaces) and ``c`` centroids, each loop
+order implies minimum on-chip buffer sizes if no LUT slice may be loaded
+twice:
+
+- **PSum LUT**: with K innermost (MNK / NMK / MKN) every (k, n) LUT slice
+  is revisited for each outer iteration, so the *entire* LUT
+  (Nc x c x N entries) must stay resident. With K outermost (KMN / KNM)
+  only the current subspace's slice is needed (c x N for KMN, c x Tn for
+  the tiled KNM). The LUT-Stationary order (N-tile, K, M) also needs just
+  c x Tn.
+- **Scratchpad**: partial sums that must persist across the K loop. K
+  innermost finishes one output element at a time (one Tn-row register);
+  K outermost keeps the whole M x N output resident; LS keeps M x Tn.
+- **Indices buffer**: how many CCM results must be cached for reuse.
+
+Note on the paper's Table I: the caption says v = 4, but the published
+byte counts (2064 KB full LUT, 26.9 KB NMK indices, 0.05 KB MNK indices)
+are reproduced exactly with Nc = 86 subspaces, i.e. v = 9 (ceil(768/9) =
+86), 8-bit LUT/scratchpad entries, 5-bit indices and Tn = 32. We default
+to those parameters and flag the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DataflowMemory", "analyze_dataflow", "dataflow_table", "DATAFLOWS"]
+
+DATAFLOWS = ("MNK", "NMK", "MKN", "KMN", "KNM", "LS")
+
+
+class DataflowMemory:
+    """On-chip buffer requirement (bytes) of one dataflow."""
+
+    def __init__(self, name, scratchpad_bytes, indices_bytes, lut_bytes,
+                 lut_reloads=1):
+        self.name = name
+        self.scratchpad_bytes = float(scratchpad_bytes)
+        self.indices_bytes = float(indices_bytes)
+        self.lut_bytes = float(lut_bytes)
+        self.lut_reloads = lut_reloads
+
+    @property
+    def total_bytes(self):
+        return self.scratchpad_bytes + self.indices_bytes + self.lut_bytes
+
+    def as_kb(self):
+        return {
+            "dataflow": self.name,
+            "scratchpad_kb": self.scratchpad_bytes / 1024.0,
+            "indices_kb": self.indices_bytes / 1024.0,
+            "psum_lut_kb": self.lut_bytes / 1024.0,
+            "total_kb": self.total_bytes / 1024.0,
+        }
+
+    def __repr__(self):
+        return "DataflowMemory(%s: total=%.1fKB)" % (
+            self.name, self.total_bytes / 1024.0)
+
+
+def analyze_dataflow(name, m, k, n, v, c, tn=32, lut_bits=8, acc_bits=8):
+    """Minimum on-chip memory for one loop order (no repeated LUT loads)."""
+    name = name.upper()
+    tn = min(tn, n)  # a tile can never be wider than the output
+    nc = int(np.ceil(k / v))
+    index_bits = max(1, int(np.ceil(np.log2(c))))
+    full_lut_bytes = nc * c * n * lut_bits / 8.0
+    slice_n_bytes = c * n * lut_bits / 8.0  # one subspace, all N
+    slice_tile_bytes = c * tn * lut_bits / 8.0  # one subspace, one N tile
+    acc = acc_bits / 8.0
+    idx = index_bits / 8.0
+
+    if name == "MNK":
+        # K innermost: one output tile register; indices for the current
+        # row's Nc subspaces reused across the N loop.
+        return DataflowMemory("MNK", tn * acc, nc * idx, full_lut_bytes)
+    if name == "NMK":
+        # K innermost, M middle: indices for all M rows x Nc subspaces must
+        # persist across the outer N loop.
+        return DataflowMemory("NMK", tn * acc, m * nc * idx, full_lut_bytes)
+    if name == "MKN":
+        # N innermost: one full output row of partial sums; a single index
+        # register (current (m, k) index reused across N).
+        return DataflowMemory("MKN", n * acc, idx, full_lut_bytes)
+    if name == "KMN":
+        # K outermost: whole output matrix of partial sums; LUT slice for
+        # the current subspace across all N; single index register.
+        return DataflowMemory("KMN", m * n * acc, idx, slice_n_bytes)
+    if name == "KNM":
+        # K outer, N tiled, M inner: whole output; indices for M rows of
+        # the current subspace; LUT slice for one tile.
+        return DataflowMemory("KNM", m * n * acc, m * idx, slice_tile_bytes)
+    if name == "LS":
+        # LUT-Stationary (N-tile outer, K, M inner): partial sums only for
+        # the current M x Tn tile; indices for M rows; one tile slice.
+        # Costs multiple transmissions of the same LUT region (No passes
+        # over K) — the trade-off discussed in Sec. IV-B.
+        reloads = max(1, int(np.ceil(n / tn)))
+        return DataflowMemory("LS", m * tn * acc, m * idx, slice_tile_bytes,
+                              lut_reloads=1)
+    raise ValueError("unknown dataflow %r (known: %s)" % (name, DATAFLOWS))
+
+
+def dataflow_table(m=512, k=768, n=768, v=9, c=32, tn=32, lut_bits=8,
+                   acc_bits=8):
+    """All six rows of Table I as a list of dicts (KB units)."""
+    return [
+        analyze_dataflow(name, m, k, n, v, c, tn, lut_bits, acc_bits).as_kb()
+        for name in DATAFLOWS
+    ]

@@ -1,0 +1,210 @@
+"""Cycle-accurate simulation of the LUT-Stationary dataflow (Algorithm 1).
+
+The simulator advances tile-step by tile-step through the LS loop nest
+(N-tile outer, subspace K middle, row M inner), modelling:
+
+- the CCM pipeline (``n_ccu`` CCUs, one input vector per cycle each, with a
+  ``c``-deep dPE pipeline fill);
+- the CCM->IMM asynchronous FIFO (decoupled clock domains via
+  ``ccm_freq_ratio``);
+- ping-pong LUT preloading against a shared external-bandwidth budget —
+  the load time of the *next* c x Tn slice hides behind the current
+  step's lookups when bandwidth allows, exactly the behaviour Fig. 10 and
+  Table IX attribute to LUT-DLA;
+- index reuse: CCM results for subspace k are computed once and re-served
+  to every N tile (set ``cache_indices=False`` to force recomputation).
+
+Per-step the simulator records which of {similarity, lookup, LUT load}
+bound the step — the three terms of Eq. (5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fifo import AsyncFIFO
+from .pingpong import PingPongBuffer
+
+__all__ = ["SimConfig", "SimResult", "simulate_gemm", "simulate_workloads"]
+
+
+class SimConfig:
+    """Hardware parameters of the simulated LUT-DLA instance."""
+
+    def __init__(self, tn=128, n_imm=2, n_ccu=1, bandwidth_bits_per_cycle=683,
+                 lut_bits=8, fifo_depth=16, ccm_freq_ratio=1.0,
+                 cache_indices=True, frequency_hz=300e6):
+        self.tn = int(tn)
+        self.n_imm = int(n_imm)
+        self.n_ccu = int(n_ccu)
+        self.bandwidth_bits_per_cycle = float(bandwidth_bits_per_cycle)
+        self.lut_bits = int(lut_bits)
+        self.fifo_depth = int(fifo_depth)
+        self.ccm_freq_ratio = float(ccm_freq_ratio)
+        self.cache_indices = bool(cache_indices)
+        self.frequency_hz = frequency_hz
+
+    @classmethod
+    def from_design(cls, design, bandwidth_gbps=25.6, ccm_freq_ratio=2.0):
+        """Build a SimConfig from a :class:`repro.hw.LUTDLADesign`.
+
+        ``bandwidth_gbps`` defaults to one DDR4 channel (25.6 GB/s), the
+        paper's end-to-end assumption. ``ccm_freq_ratio`` reflects the
+        decoupled clock domains of Sec. IV-A: the pipeline-designed CCM
+        runs at a higher clock than the SRAM-bound IMMs (2x here).
+        """
+        bits_per_cycle = bandwidth_gbps * 1e9 * 8 / design.frequency_hz
+        return cls(tn=design.tn, n_imm=design.n_imm, n_ccu=design.n_ccu,
+                   bandwidth_bits_per_cycle=bits_per_cycle,
+                   ccm_freq_ratio=ccm_freq_ratio,
+                   frequency_hz=design.frequency_hz)
+
+    def __repr__(self):
+        return "SimConfig(Tn=%d, nIMM=%d, nCCU=%d, beta=%.0fb/cyc)" % (
+            self.tn, self.n_imm, self.n_ccu, self.bandwidth_bits_per_cycle)
+
+
+class SimResult:
+    """Cycle counts and bottleneck attribution of one simulated GEMM."""
+
+    def __init__(self, total_cycles, lookup_cycles, similarity_cycles,
+                 load_cycles, exposed_load_cycles, pipeline_fill_cycles,
+                 steps, bottlenecks, lut_swaps, config, workload):
+        self.total_cycles = int(total_cycles)
+        self.lookup_cycles = int(lookup_cycles)
+        self.similarity_cycles = int(similarity_cycles)
+        self.load_cycles = int(load_cycles)
+        self.exposed_load_cycles = int(exposed_load_cycles)
+        self.pipeline_fill_cycles = int(pipeline_fill_cycles)
+        self.steps = int(steps)
+        self.bottlenecks = dict(bottlenecks)
+        self.lut_swaps = int(lut_swaps)
+        self.config = config
+        self.workload = workload
+
+    @property
+    def utilization(self):
+        """Fraction of cycles the IMMs performed useful lookups."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.lookup_cycles / self.total_cycles
+
+    @property
+    def effective_gops(self):
+        """Achieved effective GEMM throughput (counts replaced MACs)."""
+        seconds = self.total_cycles / self.config.frequency_hz
+        return 2.0 * self.workload.macs / seconds / 1e9 if seconds else 0.0
+
+    def seconds(self):
+        return self.total_cycles / self.config.frequency_hz
+
+    def __repr__(self):
+        return ("SimResult(total=%d cycles, util=%.2f, bottlenecks=%s)"
+                % (self.total_cycles, self.utilization, self.bottlenecks))
+
+
+def simulate_gemm(workload, config):
+    """Simulate one LUT GEMM (a :class:`GemmWorkload`) on ``config``.
+
+    Returns a :class:`SimResult`. The walk follows Algorithm 1 with the N
+    dimension distributed over the ``n_imm`` IMMs: a *tile group* is the set
+    of n_imm tiles processed concurrently at the same subspace k, sharing
+    the CCM's index stream.
+    """
+    m, k, n = workload.m, workload.k, workload.n
+    v, c = workload.v, workload.c
+    nc = int(np.ceil(k / v))
+    # Narrow layers cannot fill a full Tn tile; clamp so LUT slices are not
+    # padded with unused columns.
+    tn_eff = min(config.tn, n)
+    no = int(np.ceil(n / tn_eff))
+    # When there are fewer N tiles than IMMs, leftover IMMs split the M
+    # dimension of the same tile (each owns a private scratchpad block and
+    # receives a broadcast copy of the shared LUT slice).
+    if no < config.n_imm:
+        m_split = max(1, config.n_imm // no)
+    else:
+        m_split = 1
+    rows_per_imm = int(np.ceil(m / m_split))
+    groups = int(np.ceil(no / config.n_imm))
+
+    slice_bits = c * tn_eff * config.lut_bits
+    # IMMs loading *distinct* slices share the external bandwidth; M-split
+    # IMMs reuse a broadcast of the same slice.
+    distinct_loaders = min(config.n_imm, no)
+    per_imm_bandwidth = max(
+        config.bandwidth_bits_per_cycle / distinct_loaders, 1e-9)
+    pingpong = PingPongBuffer(slice_bits, per_imm_bandwidth)
+    fifo = AsyncFIFO(config.fifo_depth)
+
+    # CCM throughput in IMM-clock cycles per index batch.
+    ccm_rate = config.n_ccu * config.ccm_freq_ratio
+    ccm_cycles_full = int(np.ceil(m / ccm_rate))
+    # dPE pipeline depth: an index pops out after c compare stages; the FIFO
+    # adds its synchronizer latency (2 cycles each side).
+    fill_latency = c + 4
+
+    total = 0
+    lookup_cycles = 0
+    similarity_cycles = 0
+    load_cycles_total = 0
+    exposed_load = 0
+    fill_total = 0
+    bottlenecks = {"lookup": 0, "similarity": 0, "load": 0}
+    steps = 0
+
+    # Initial slice load is never hidden.
+    pingpong.begin_load()
+    first_load = pingpong.cycles_until_ready()
+    pingpong.tick_load(first_load)
+    pingpong.swap()
+    total += first_load
+    exposed_load += first_load
+    load_cycles_total += first_load
+
+    for group in range(groups):
+        for kk in range(nc):
+            first_visit = group == 0 or not config.cache_indices
+            ccm_time = ccm_cycles_full if first_visit else 0
+            imm_time = rows_per_imm  # one lookup per row per cycle per IMM
+            # Preload of the next slice runs during this step.
+            more_steps = not (group == groups - 1 and kk == nc - 1)
+            if more_steps:
+                pingpong.begin_load()
+            load_time = pingpong.cycles_until_ready()
+            load_cycles_total += load_time
+
+            step_time = max(imm_time, ccm_time, load_time if more_steps else 0)
+            if group == 0 and kk == 0:
+                step_time += fill_latency
+                fill_total += fill_latency
+            # Account for the FIFO: with caching, replays bypass the CCM.
+            if first_visit:
+                similarity_cycles += ccm_time
+                fifo.pushes += m
+                fifo.pops += m
+            lookup_cycles += imm_time
+            if more_steps:
+                leftover = pingpong.tick_load(step_time)
+                pingpong.swap()
+                if load_time > max(imm_time, ccm_time):
+                    exposed_load += load_time - max(imm_time, ccm_time)
+            # Bottleneck attribution (Eq. 5 terms).
+            winner = max(
+                (("lookup", imm_time), ("similarity", ccm_time),
+                 ("load", load_time if more_steps else 0)),
+                key=lambda item: item[1],
+            )[0]
+            bottlenecks[winner] += 1
+            total += step_time
+            steps += 1
+
+    return SimResult(total, lookup_cycles, similarity_cycles,
+                     load_cycles_total, exposed_load, fill_total, steps,
+                     bottlenecks, pingpong.swap_count, config, workload)
+
+
+def simulate_workloads(workloads, config):
+    """Simulate a list of workloads; returns (results, total_cycles)."""
+    results = [simulate_gemm(w, config) for w in workloads]
+    return results, sum(r.total_cycles for r in results)

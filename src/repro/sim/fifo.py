@@ -1,0 +1,63 @@
+"""Asynchronous FIFO connecting CCM and IMM clock domains (Fig. 4).
+
+The simulator models the FIFO at cycle granularity: the producer (CCM)
+pushes one index per producer-cycle when not full, the consumer (IMM) pops
+one per consumer-cycle when not empty. Different clock ratios are expressed
+by calling :meth:`tick_producer` / :meth:`tick_consumer` at different rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["AsyncFIFO"]
+
+
+class AsyncFIFO:
+    """Bounded FIFO with push/pop accounting."""
+
+    def __init__(self, depth=16):
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self._queue = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.full_stalls = 0
+        self.empty_stalls = 0
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def full(self):
+        return len(self._queue) >= self.depth
+
+    @property
+    def empty(self):
+        return not self._queue
+
+    def push(self, item):
+        """Try to push; returns True on success, counts a stall otherwise."""
+        if self.full:
+            self.full_stalls += 1
+            return False
+        self._queue.append(item)
+        self.pushes += 1
+        return True
+
+    def pop(self):
+        """Try to pop; returns the item or None (counting an empty stall)."""
+        if self.empty:
+            self.empty_stalls += 1
+            return None
+        self.pops += 1
+        return self._queue.popleft()
+
+    def peek(self):
+        return self._queue[0] if self._queue else None
+
+    def reset(self):
+        self._queue.clear()
+        self.pushes = self.pops = 0
+        self.full_stalls = self.empty_stalls = 0

@@ -1,0 +1,64 @@
+"""Ping-pong (double) buffer for on-demand LUT slice loading (Sec. IV-B).
+
+One bank serves lookups while the partner bank receives the next c x Tn
+LUT slice from external memory; :meth:`swap` flips roles when both the
+consumer finished the active bank and the loader filled the shadow bank.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PingPongBuffer"]
+
+
+class PingPongBuffer:
+    """Tracks load progress of the shadow bank in cycles."""
+
+    def __init__(self, slice_bits, bandwidth_bits_per_cycle):
+        if slice_bits <= 0 or bandwidth_bits_per_cycle <= 0:
+            raise ValueError("slice size and bandwidth must be positive")
+        self.slice_bits = slice_bits
+        self.bandwidth = bandwidth_bits_per_cycle
+        self.active_valid = False
+        self.shadow_remaining_bits = 0
+        self.loads_issued = 0
+        self.swap_count = 0
+
+    @property
+    def load_cycles_per_slice(self):
+        """Cycles to fill one bank at the configured bandwidth."""
+        return -(-self.slice_bits // self.bandwidth)  # ceil division
+
+    @property
+    def shadow_ready(self):
+        return self.loads_issued > 0 and self.shadow_remaining_bits <= 0
+
+    def begin_load(self):
+        """Start streaming the next slice into the shadow bank."""
+        self.shadow_remaining_bits = self.slice_bits
+        self.loads_issued += 1
+
+    def tick_load(self, cycles=1):
+        """Advance the loader by ``cycles``; returns leftover cycles."""
+        if self.shadow_remaining_bits <= 0:
+            return cycles
+        consumed_bits = cycles * self.bandwidth
+        if consumed_bits >= self.shadow_remaining_bits:
+            leftover_bits = consumed_bits - self.shadow_remaining_bits
+            self.shadow_remaining_bits = 0
+            return leftover_bits // self.bandwidth
+        self.shadow_remaining_bits -= consumed_bits
+        return 0
+
+    def cycles_until_ready(self):
+        if self.shadow_remaining_bits <= 0:
+            return 0
+        return -(-self.shadow_remaining_bits // self.bandwidth)
+
+    def swap(self):
+        """Make the shadow bank active. Requires the shadow to be ready."""
+        if not self.shadow_ready:
+            raise RuntimeError("swap before shadow bank finished loading")
+        self.active_valid = True
+        self.shadow_remaining_bits = 0
+        self.loads_issued -= 1
+        self.swap_count += 1

@@ -1,0 +1,163 @@
+"""Workload extraction: model architectures -> per-layer GEMM lists.
+
+Two sources:
+
+1. **Converted models** (:func:`model_workloads`): walk a LUTBoost-converted
+   model and emit one :class:`GemmWorkload` per LUT operator for a given
+   input shape — used when simulating the mini models trained in-repo.
+
+2. **Paper-scale architecture specs** (:func:`resnet_workloads`,
+   :func:`bert_workloads`): the end-to-end evaluation (Figs. 13-14) uses
+   full-size ResNet-18/34/50 (224x224 ImageNet) and BERT-base (seq 512)
+   layer shapes. These are static shape computations — no weights needed —
+   and match the paper's "all convolution and linear layers" /
+   "QKV projection and FFN" accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lutboost.lut_layers import GemmWorkload, LUTConv2d, LUTLinear
+
+__all__ = [
+    "model_workloads",
+    "conv_gemm",
+    "resnet_workloads",
+    "bert_workloads",
+    "PAPER_MODELS",
+]
+
+
+def model_workloads(model, input_shape, batch=1):
+    """Workloads for every LUT operator in a converted mini model.
+
+    ``input_shape`` is (C, H, W) for CNNs or (seq_len,) for transformers.
+    Spatial shapes are propagated through conv/pool strides.
+    """
+    workloads = []
+    if len(input_shape) == 3:
+        _, h, w = input_shape
+        for name, module in model.named_modules():
+            if isinstance(module, LUTConv2d):
+                # Note: this assumes modules appear in execution order and a
+                # feed-forward topology, true for the in-repo model zoo.
+                workloads.append(module.workload(batch, h, w, name=name))
+                h, w = module.output_size(h, w)
+            elif isinstance(module, LUTLinear):
+                workloads.append(module.workload(batch, name=name))
+    else:
+        seq = input_shape[0]
+        for name, module in model.named_modules():
+            if isinstance(module, LUTLinear):
+                workloads.append(module.workload(batch * seq, name=name))
+    return workloads
+
+
+def conv_gemm(h, w, c_in, c_out, kernel, stride, padding, v, c, batch=1,
+              name=""):
+    """im2col GEMM shape of one convolution layer."""
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    return (
+        GemmWorkload(batch * out_h * out_w, c_in * kernel * kernel, c_out,
+                     v, c, name=name),
+        out_h,
+        out_w,
+    )
+
+
+# ResNet ImageNet stage configs: (blocks, channels) with the bottleneck flag.
+_RESNET_SPECS = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+}
+
+
+def resnet_workloads(depth, v=4, c=16, image_size=224, batch=1):
+    """Per-layer GEMM workloads of full-size ResNet-18/34/50.
+
+    Follows the standard ImageNet topology: 7x7/2 stem, 3x3/2 max-pool,
+    four stages at channels 64/128/256/512 (x4 expansion for bottleneck),
+    global pool, 1000-way classifier.
+    """
+    if depth not in _RESNET_SPECS:
+        raise ValueError("supported depths: %s" % sorted(_RESNET_SPECS))
+    kind, blocks = _RESNET_SPECS[depth]
+    workloads = []
+    w, h = image_size, image_size
+    gemm, h, w = conv_gemm(h, w, 3, 64, 7, 2, 3, v, c, batch, name="stem")
+    workloads.append(gemm)
+    h, w = (h + 1) // 2, (w + 1) // 2  # 3x3/2 max-pool
+
+    channels = 64
+    stage_channels = (64, 128, 256, 512)
+    for stage, num_blocks in enumerate(blocks):
+        out_c = stage_channels[stage]
+        for block in range(num_blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            prefix = "stage%d.block%d" % (stage + 1, block)
+            if kind == "basic":
+                gemm, h, w = conv_gemm(h, w, channels, out_c, 3, stride, 1,
+                                       v, c, batch, name=prefix + ".conv1")
+                workloads.append(gemm)
+                gemm, _, _ = conv_gemm(h, w, out_c, out_c, 3, 1, 1, v, c,
+                                       batch, name=prefix + ".conv2")
+                workloads.append(gemm)
+                if stride != 1 or channels != out_c:
+                    gemm, _, _ = conv_gemm(h * stride, w * stride, channels,
+                                           out_c, 1, stride, 0, v, c, batch,
+                                           name=prefix + ".shortcut")
+                    workloads.append(gemm)
+                channels = out_c
+            else:  # bottleneck: 1x1 reduce, 3x3, 1x1 expand (x4)
+                expanded = out_c * 4
+                gemm, _, _ = conv_gemm(h, w, channels, out_c, 1, 1, 0, v, c,
+                                       batch, name=prefix + ".conv1")
+                workloads.append(gemm)
+                gemm, h, w = conv_gemm(h, w, out_c, out_c, 3, stride, 1, v, c,
+                                       batch, name=prefix + ".conv2")
+                workloads.append(gemm)
+                gemm, _, _ = conv_gemm(h, w, out_c, expanded, 1, 1, 0, v, c,
+                                       batch, name=prefix + ".conv3")
+                workloads.append(gemm)
+                if stride != 1 or channels != expanded:
+                    gemm, _, _ = conv_gemm(h * stride, w * stride, channels,
+                                           expanded, 1, stride, 0, v, c,
+                                           batch, name=prefix + ".shortcut")
+                    workloads.append(gemm)
+                channels = expanded
+    workloads.append(GemmWorkload(batch, channels, 1000, v, c, name="fc"))
+    return workloads
+
+
+def bert_workloads(v=4, c=16, seq_len=512, hidden=768, ffn=3072, layers=12,
+                   batch=1):
+    """QKV-projection + attention-output + FFN GEMMs of BERT-base.
+
+    The paper's transformer end-to-end measurement covers the
+    computationally intensive GEMMs (QKV projection and FFN layers).
+    """
+    m = batch * seq_len
+    workloads = []
+    for layer in range(layers):
+        prefix = "layer%d" % layer
+        for proj in ("q", "k", "v"):
+            workloads.append(GemmWorkload(m, hidden, hidden, v, c,
+                                          name="%s.%s_proj" % (prefix, proj)))
+        workloads.append(GemmWorkload(m, hidden, hidden, v, c,
+                                      name=prefix + ".out_proj"))
+        workloads.append(GemmWorkload(m, hidden, ffn, v, c,
+                                      name=prefix + ".ffn_in"))
+        workloads.append(GemmWorkload(m, ffn, hidden, v, c,
+                                      name=prefix + ".ffn_out"))
+    return workloads
+
+
+PAPER_MODELS = {
+    "resnet18": lambda v=4, c=16: resnet_workloads(18, v, c),
+    "resnet34": lambda v=4, c=16: resnet_workloads(34, v, c),
+    "resnet50": lambda v=4, c=16: resnet_workloads(50, v, c),
+    "bert": lambda v=4, c=16: bert_workloads(v, c),
+}

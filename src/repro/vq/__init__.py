@@ -1,0 +1,45 @@
+"""Vector-quantization core: metrics, k-means, codebooks, LUT AMM."""
+
+from .codebook import Codebook, equivalent_bitwidth, merge_subspaces, split_subspaces
+from .distances import (
+    METRICS,
+    chebyshev_distance,
+    l1_distance,
+    l2_distance,
+    nearest_centroid,
+    pairwise_distance,
+)
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .lut import PSumLUT, exact_subspace_matmul, lut_matmul, lut_storage_bits
+from .quant import (
+    dequantize_int8,
+    fake_quant_int8,
+    quantize_int8,
+    to_bf16,
+    to_fp16,
+)
+
+__all__ = [
+    "METRICS",
+    "l2_distance",
+    "l1_distance",
+    "chebyshev_distance",
+    "pairwise_distance",
+    "nearest_centroid",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "Codebook",
+    "equivalent_bitwidth",
+    "split_subspaces",
+    "merge_subspaces",
+    "PSumLUT",
+    "lut_matmul",
+    "lut_storage_bits",
+    "exact_subspace_matmul",
+    "to_bf16",
+    "to_fp16",
+    "quantize_int8",
+    "dequantize_int8",
+    "fake_quant_int8",
+]

@@ -1,0 +1,168 @@
+"""Product-quantization codebooks over the K (reduction) dimension.
+
+The activation matrix A (M x K) is split along K into ``num_subspaces =
+ceil(K / v)`` subspaces of vector length ``v`` (the last subspace is
+zero-padded when v does not divide K). Each subspace owns an independent
+codebook of ``c`` centroids — the structure drawn in Fig. 2 of the paper.
+
+Equivalent bitwidth of the representation is ``ceil(log2 c) / v`` bits per
+scalar (Table V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances import nearest_centroid, pairwise_distance
+from .kmeans import kmeans
+
+__all__ = ["Codebook", "equivalent_bitwidth", "split_subspaces", "merge_subspaces"]
+
+
+def equivalent_bitwidth(v, c):
+    """Bits per scalar of the index representation: ceil(log2 c) / v."""
+    return int(np.ceil(np.log2(c))) / v
+
+
+def split_subspaces(matrix, v):
+    """Split (n, K) into (num_subspaces, n, v), zero-padding the tail.
+
+    Returns (subspaces, padded_k).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n, k = matrix.shape
+    num_subspaces = int(np.ceil(k / v))
+    padded_k = num_subspaces * v
+    if padded_k != k:
+        matrix = np.pad(matrix, ((0, 0), (0, padded_k - k)))
+    return matrix.reshape(n, num_subspaces, v).transpose(1, 0, 2), padded_k
+
+
+def merge_subspaces(subspaces, k):
+    """Inverse of :func:`split_subspaces`, trimming padding back to K."""
+    subspaces = np.asarray(subspaces)
+    num_subspaces, n, v = subspaces.shape
+    merged = subspaces.transpose(1, 0, 2).reshape(n, num_subspaces * v)
+    return merged[:, :k]
+
+
+class Codebook:
+    """Per-subspace centroid tables for one LUT operator.
+
+    Attributes
+    ----------
+    centroids:
+        Array of shape (num_subspaces, c, v).
+    metric:
+        Similarity used for encoding ('l2', 'l1', 'chebyshev').
+    """
+
+    def __init__(self, centroids, k, metric="l2"):
+        centroids = np.asarray(centroids, dtype=np.float64)
+        if centroids.ndim != 3:
+            raise ValueError("centroids must be (num_subspaces, c, v)")
+        self.centroids = centroids
+        self.k = int(k)
+        self.metric = metric
+
+    # ------------------------------------------------------------------
+    @property
+    def num_subspaces(self):
+        return self.centroids.shape[0]
+
+    @property
+    def num_centroids(self):
+        return self.centroids.shape[1]
+
+    @property
+    def vector_length(self):
+        return self.centroids.shape[2]
+
+    @property
+    def equivalent_bitwidth(self):
+        return equivalent_bitwidth(self.vector_length, self.num_centroids)
+
+    def __repr__(self):
+        return "Codebook(subspaces=%d, c=%d, v=%d, metric=%r)" % (
+            self.num_subspaces,
+            self.num_centroids,
+            self.vector_length,
+            self.metric,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, activations, v, c, metric="l2", seed=0, max_iter=25):
+        """Learn a codebook from sample activations (n, K) via k-means.
+
+        This is step (1) of Fig. 2 — the initialisation LUTBoost's centroid
+        calibration stage then refines.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        subspaces, _ = split_subspaces(activations, v)
+        centroids = np.empty((subspaces.shape[0], c, v))
+        for s, chunk in enumerate(subspaces):
+            sample = chunk
+            if len(sample) > 4096:
+                # Subsample for tractable clustering on large activations.
+                rng = np.random.default_rng(seed + s)
+                sample = sample[rng.choice(len(sample), 4096, replace=False)]
+            if len(sample) < c:
+                # Fewer calibration rows than centroids: upsample with
+                # jitter so k-means++ can still seed c distinct points.
+                rng = np.random.default_rng(seed + s)
+                reps = int(np.ceil(c / max(len(sample), 1))) + 1
+                sample = np.tile(sample, (reps, 1))
+                scale = max(float(np.std(sample)), 1e-6) * 1e-3
+                sample = sample + rng.normal(0, scale, sample.shape)
+            elif len(np.unique(sample, axis=0)) < c:
+                # Not enough distinct points: jitter to keep k-means valid.
+                rng = np.random.default_rng(seed + s)
+                sample = sample + rng.normal(0, 1e-6, sample.shape)
+            centroids[s] = kmeans(sample, c, metric=metric, seed=seed + s,
+                                  max_iter=max_iter).centroids
+        return cls(centroids, k=activations.shape[1], metric=metric)
+
+    # ------------------------------------------------------------------
+    def encode(self, activations):
+        """Quantize (n, K) activations to centroid indices (n, num_subspaces)."""
+        subspaces, _ = split_subspaces(activations, self.vector_length)
+        indices = np.empty((subspaces.shape[1], self.num_subspaces), dtype=np.int64)
+        for s in range(self.num_subspaces):
+            indices[:, s] = nearest_centroid(
+                subspaces[s], self.centroids[s], self.metric
+            )
+        return indices
+
+    def decode(self, indices):
+        """Reconstruct (n, K) activations from indices (n, num_subspaces)."""
+        indices = np.asarray(indices)
+        n = indices.shape[0]
+        out = np.empty((self.num_subspaces, n, self.vector_length))
+        for s in range(self.num_subspaces):
+            out[s] = self.centroids[s][indices[:, s]]
+        return merge_subspaces(out, self.k)
+
+    def quantize(self, activations):
+        """encode + decode in one call: the hard-VQ approximation of A."""
+        return self.decode(self.encode(activations))
+
+    def quantization_error(self, activations):
+        """Mean squared reconstruction error of hard VQ on ``activations``."""
+        approx = self.quantize(activations)
+        return float(np.mean((np.asarray(activations) - approx) ** 2))
+
+    def soft_assignments(self, activations, temperature=1.0):
+        """Softmax(-distance/T) responsibilities, (num_subspaces, n, c).
+
+        Used by differentiable training variants and by the DSE engine's
+        coarse accuracy proxy.
+        """
+        subspaces, _ = split_subspaces(activations, self.vector_length)
+        out = np.empty((self.num_subspaces, subspaces.shape[1], self.num_centroids))
+        for s in range(self.num_subspaces):
+            d = pairwise_distance(subspaces[s], self.centroids[s], self.metric)
+            d = d - d.min(axis=1, keepdims=True)
+            e = np.exp(-d / max(temperature, 1e-12))
+            out[s] = e / e.sum(axis=1, keepdims=True)
+        return out

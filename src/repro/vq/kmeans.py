@@ -1,0 +1,111 @@
+"""K-means clustering (k-means++ init, Lloyd iterations) per paper step (1).
+
+The clustering is metric-aware: assignment uses the configured similarity
+(L2/L1/Chebyshev) while the update step uses the metric's own minimiser
+(mean for L2, coordinate-wise median for L1, midrange for Chebyshev), which
+keeps the learned centroids consistent with how the CCU will match them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances import pairwise_distance
+
+__all__ = ["KMeansResult", "kmeans_plus_plus_init", "kmeans"]
+
+
+class KMeansResult:
+    """Result of a k-means run."""
+
+    def __init__(self, centroids, assignments, inertia, iterations):
+        self.centroids = centroids
+        self.assignments = assignments
+        self.inertia = inertia
+        self.iterations = iterations
+
+    def __repr__(self):
+        return "KMeansResult(k=%d, inertia=%.4g, iterations=%d)" % (
+            len(self.centroids),
+            self.inertia,
+            self.iterations,
+        )
+
+
+def kmeans_plus_plus_init(data, k, rng, metric="l2"):
+    """k-means++ seeding: probability proportional to distance to chosen set."""
+    n = len(data)
+    if k > n:
+        raise ValueError("cannot pick %d centroids from %d points" % (k, n))
+    first = int(rng.integers(n))
+    chosen = [first]
+    min_dist = pairwise_distance(data, data[first : first + 1], metric).ravel()
+    for _ in range(1, k):
+        total = min_dist.sum()
+        if total <= 0:
+            # Degenerate data: all remaining points coincide with a centroid.
+            candidates = np.setdiff1d(np.arange(n), chosen)
+            pick = int(rng.choice(candidates)) if len(candidates) else first
+        else:
+            pick = int(rng.choice(n, p=min_dist / total))
+        chosen.append(pick)
+        new_dist = pairwise_distance(data, data[pick : pick + 1], metric).ravel()
+        np.minimum(min_dist, new_dist, out=min_dist)
+    return data[np.asarray(chosen)].copy()
+
+
+def _update_centroid(points, metric):
+    if metric == "l1":
+        return np.median(points, axis=0)
+    if metric == "chebyshev":
+        return 0.5 * (points.min(axis=0) + points.max(axis=0))
+    return points.mean(axis=0)
+
+
+def kmeans(data, k, metric="l2", max_iter=50, tol=1e-6, seed=0, init=None):
+    """Cluster ``data`` (n, v) into ``k`` centroids.
+
+    Parameters
+    ----------
+    init:
+        Optional (k, v) initial centroids; defaults to k-means++ seeding.
+
+    Returns
+    -------
+    KMeansResult with centroids (k, v), assignments (n,), final inertia.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D (points x features)")
+    rng = np.random.default_rng(seed)
+    centroids = (
+        np.asarray(init, dtype=np.float64).copy()
+        if init is not None
+        else kmeans_plus_plus_init(data, k, rng, metric)
+    )
+    if centroids.shape != (k, data.shape[1]):
+        raise ValueError("init centroids have wrong shape %s" % (centroids.shape,))
+
+    assignments = np.zeros(len(data), dtype=np.int64)
+    inertia = np.inf
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        dist = pairwise_distance(data, centroids, metric)
+        assignments = np.argmin(dist, axis=1)
+        new_inertia = float(dist[np.arange(len(data)), assignments].sum())
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = data[assignments == j]
+            if len(members):
+                new_centroids[j] = _update_centroid(members, metric)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = int(np.argmax(dist.min(axis=1)))
+                new_centroids[j] = data[farthest]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if abs(inertia - new_inertia) <= tol * max(abs(inertia), 1.0) and shift <= tol:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(centroids, assignments, inertia, iteration)

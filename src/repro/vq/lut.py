@@ -1,0 +1,135 @@
+"""Precomputed lookup tables and LUT-based approximate matrix multiply.
+
+Step (2) of Fig. 2: with weights frozen, every (centroid, weight-column)
+inner product is precomputed into ``PSumLUT[s, j, n] = C[s, j] . B_s[:, n]``
+where ``B_s`` is the v-row slice of the weight matrix owned by subspace
+``s``. Inference (steps 3-4) is then index lookup + accumulation, which is
+exactly what the IMM executes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codebook import Codebook, split_subspaces
+
+__all__ = ["PSumLUT", "lut_matmul", "lut_storage_bits"]
+
+
+def lut_storage_bits(k, v, c, n, entry_bits=32):
+    """Bits needed to store the full PSum LUT for a (M,K)x(K,N) GEMM.
+
+    ceil(K/v) subspaces x c centroids x N output columns x entry width —
+    the `memLUT`-style term of Eq. (2).
+    """
+    num_subspaces = int(np.ceil(k / v))
+    return num_subspaces * c * n * entry_bits
+
+
+class PSumLUT:
+    """Precomputed partial-sum lookup table for one weight matrix.
+
+    Attributes
+    ----------
+    table:
+        Array of shape (num_subspaces, c, n_out).
+    """
+
+    def __init__(self, table):
+        table = np.asarray(table, dtype=np.float64)
+        if table.ndim != 3:
+            raise ValueError("table must be (num_subspaces, c, n_out)")
+        self.table = table
+
+    @property
+    def num_subspaces(self):
+        return self.table.shape[0]
+
+    @property
+    def num_centroids(self):
+        return self.table.shape[1]
+
+    @property
+    def n_out(self):
+        return self.table.shape[2]
+
+    def storage_bits(self, entry_bits=32):
+        return self.table.size * entry_bits
+
+    @classmethod
+    def precompute(cls, codebook, weight):
+        """Build the LUT from a codebook and weight matrix (K, N)."""
+        weight = np.asarray(weight, dtype=np.float64)
+        k, n_out = weight.shape
+        if k != codebook.k:
+            raise ValueError(
+                "weight K=%d does not match codebook K=%d" % (k, codebook.k)
+            )
+        v = codebook.vector_length
+        padded_k = codebook.num_subspaces * v
+        if padded_k != k:
+            weight = np.pad(weight, ((0, padded_k - k), (0, 0)))
+        # (num_subspaces, v, n_out)
+        w_sub = weight.reshape(codebook.num_subspaces, v, n_out)
+        # einsum over v: (s, c, v) x (s, v, n) -> (s, c, n)
+        table = np.einsum("scv,svn->scn", codebook.centroids, w_sub)
+        return cls(table)
+
+    def lookup_accumulate(self, indices):
+        """Steps 3-4 of Fig. 2: gather rows per subspace and accumulate.
+
+        Parameters
+        ----------
+        indices:
+            (m, num_subspaces) centroid indices from :meth:`Codebook.encode`.
+
+        Returns
+        -------
+        (m, n_out) approximate GEMM result.
+        """
+        indices = np.asarray(indices)
+        if indices.shape[1] != self.num_subspaces:
+            raise ValueError("index width %d != num_subspaces %d"
+                             % (indices.shape[1], self.num_subspaces))
+        out = np.zeros((indices.shape[0], self.n_out))
+        for s in range(self.num_subspaces):
+            out += self.table[s][indices[:, s]]
+        return out
+
+
+def lut_matmul(activations, weight, codebook=None, v=4, c=16, metric="l2",
+               seed=0):
+    """End-to-end LUT approximate matmul A (m, K) @ B (K, N).
+
+    When ``codebook`` is None a codebook is fit on ``activations`` first
+    (training-free AMM, as in MADDNESS/LUT-NN style usage).
+
+    Returns (result, codebook, lut) so callers can reuse the tables.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if codebook is None:
+        codebook = Codebook.fit(activations, v=v, c=c, metric=metric, seed=seed)
+    lut = PSumLUT.precompute(codebook, weight)
+    indices = codebook.encode(activations)
+    return lut.lookup_accumulate(indices), codebook, lut
+
+
+def exact_subspace_matmul(activations, weight, v):
+    """Reference: exact GEMM computed subspace-by-subspace (for testing).
+
+    Splitting K into v-sized chunks and summing partial products must equal
+    the plain product; this utility mirrors the LUT accumulation order so
+    tests can compare like-for-like.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    k, n_out = weight.shape
+    subspaces, padded_k = split_subspaces(activations, v)
+    if padded_k != k:
+        weight = np.pad(weight, ((0, padded_k - k), (0, 0)))
+    w_sub = weight.reshape(len(subspaces), v, n_out)
+    out = np.zeros((activations.shape[0], n_out))
+    for s, chunk in enumerate(subspaces):
+        out += chunk @ w_sub[s]
+    return out

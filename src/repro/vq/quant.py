@@ -1,0 +1,62 @@
+"""Scalar-precision emulation for the BF16 + INT8 deployment mode.
+
+Table IV's "BF16+INT8" column runs similarity comparison in bfloat16 and
+stores LUT entries in INT8. These helpers emulate those number formats on
+float64 arrays so the accuracy impact can be measured without special
+hardware dtypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "to_bf16",
+    "to_fp16",
+    "quantize_int8",
+    "dequantize_int8",
+    "fake_quant_int8",
+]
+
+
+def to_bf16(x):
+    """Round-trip through bfloat16 (truncate float32 mantissa to 7 bits)."""
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    # Round-to-nearest-even on the dropped 16 mantissa bits.
+    rounding = ((bits >> 16) & 1) + 0x7FFF
+    truncated = ((bits + rounding) & 0xFFFF0000).view(np.float32)
+    return truncated.astype(np.float64)
+
+
+def to_fp16(x):
+    """Round-trip through IEEE half precision."""
+    return np.asarray(x, dtype=np.float16).astype(np.float64)
+
+
+def quantize_int8(x, axis=None):
+    """Symmetric INT8 quantization; returns (int8_values, scale).
+
+    ``axis`` selects per-axis scales (e.g. per-subspace LUT scaling);
+    None uses one global scale.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if axis is None:
+        scale = np.max(np.abs(x)) / 127.0
+        scale = scale if scale > 0 else 1.0
+    else:
+        scale = np.max(np.abs(x), axis=axis, keepdims=True) / 127.0
+        scale = np.where(scale > 0, scale, 1.0)
+    q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)
+    return q, scale
+
+
+def dequantize_int8(q, scale):
+    """Map INT8 values back to floats with their scale."""
+    return q.astype(np.float64) * scale
+
+
+def fake_quant_int8(x, axis=None):
+    """Quantize-dequantize in one step (straight-through value)."""
+    q, scale = quantize_int8(x, axis=axis)
+    return dequantize_int8(q, scale)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def clustered_matrix(rng):
+    """A (200, 16) matrix whose rows cluster tightly around 8 prototypes.
+
+    VQ of such data is near-lossless, which many LUT tests rely on.
+    """
+    centers = rng.normal(size=(8, 16)) * 3.0
+    labels = rng.integers(0, 8, 200)
+    return centers[labels] + rng.normal(scale=0.05, size=(200, 16))
+
+
+def numeric_gradient(fn, arrays, index, eps=1e-6):
+    """Central-difference gradient of scalar fn(*arrays) wrt arrays[index]."""
+    target = arrays[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = target[i]
+        target[i] = orig + eps
+        fp = fn(*arrays)
+        target[i] = orig - eps
+        fm = fn(*arrays)
+        target[i] = orig
+        grad[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    return numeric_gradient

@@ -1,0 +1,138 @@
+"""Tests for synthetic datasets (determinism, structure, learnability)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GLUE_TASKS,
+    cifar10_like,
+    cifar100_like,
+    glue_like_suite,
+    imagenet_like,
+    make_text_task,
+    mnist_like,
+    tiny_imagenet_like,
+)
+
+
+class TestImageDatasets:
+    def test_shapes(self):
+        train, test = cifar10_like(train_size=64, test_size=32, image_size=10)
+        assert train.inputs.shape == (64, 3, 10, 10)
+        assert test.inputs.shape == (32, 3, 10, 10)
+        assert train.labels.shape == (64,)
+
+    def test_deterministic(self):
+        a, _ = cifar10_like(train_size=32, test_size=16)
+        b, _ = cifar10_like(train_size=32, test_size=16)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_train_test_disjoint(self):
+        train, test = cifar10_like(train_size=32, test_size=32)
+        assert not np.array_equal(train.inputs[:32], test.inputs)
+
+    def test_label_ranges(self):
+        cases = [
+            (cifar10_like, 10), (cifar100_like, 20), (mnist_like, 10),
+            (tiny_imagenet_like, 30), (imagenet_like, 40),
+        ]
+        for factory, classes in cases:
+            train, _ = factory(train_size=96, test_size=8)
+            assert train.labels.min() >= 0
+            assert train.labels.max() < classes
+
+    def test_mnist_is_single_channel(self):
+        train, _ = mnist_like(train_size=8, test_size=8)
+        assert train.inputs.shape[1] == 1
+
+    def test_classes_are_separable(self):
+        """Nearest-class-mean classifier must beat chance by a wide margin,
+        i.e. the synthetic task has learnable class structure."""
+        train, test = cifar10_like(train_size=256, test_size=128)
+        means = np.stack([
+            train.inputs[train.labels == k].mean(axis=0).ravel()
+            for k in range(10)
+        ])
+        flat = test.inputs.reshape(len(test.inputs), -1)
+        d = ((flat[:, None, :] - means[None]) ** 2).sum(-1)
+        acc = (np.argmin(d, axis=1) == test.labels).mean()
+        assert acc > 0.5
+
+    def test_harder_dataset_is_harder(self):
+        """cifar100-like (more classes, more mixing) must be harder for the
+        same nearest-mean probe — the paper's difficulty ladder."""
+        def probe_accuracy(factory, classes):
+            train, test = factory(train_size=256, test_size=128)
+            means = np.stack([
+                train.inputs[train.labels == k].mean(axis=0).ravel()
+                for k in range(classes)
+            ])
+            flat = test.inputs.reshape(len(test.inputs), -1)
+            d = ((flat[:, None, :] - means[None]) ** 2).sum(-1)
+            return (np.argmin(d, axis=1) == test.labels).mean()
+
+        assert probe_accuracy(cifar10_like, 10) > \
+            probe_accuracy(cifar100_like, 20)
+
+    def test_normalized(self):
+        train, _ = cifar10_like(train_size=128, test_size=8)
+        assert abs(train.inputs.std() - 1.0) < 0.1
+
+
+class TestTextDatasets:
+    def test_task_registry(self):
+        assert set(GLUE_TASKS) == {"sst2", "qqp", "qnli", "mnli", "mrpc",
+                                   "stsb"}
+
+    def test_shapes_and_vocab(self):
+        train, test = make_text_task("sst2", vocab_size=32, seq_len=12,
+                                     train_size=64, test_size=32)
+        assert train.inputs.shape == (64, 12)
+        assert train.inputs.max() < 32
+        assert train.inputs.min() >= 0
+
+    def test_pair_tasks_have_sep(self):
+        train, _ = make_text_task("qqp", seq_len=16, train_size=32,
+                                  test_size=8)
+        # SEP token (1) at position half-1.
+        assert np.all(train.inputs[:, 7] == 1)
+
+    def test_single_tasks_have_no_sep(self):
+        train, _ = make_text_task("sst2", seq_len=16, train_size=32,
+                                  test_size=8)
+        assert not np.any(train.inputs == 1)
+
+    def test_mnli_three_classes(self):
+        train, _ = make_text_task("mnli", train_size=128, test_size=8)
+        assert set(np.unique(train.labels)) == {0, 1, 2}
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError):
+            make_text_task("cola")
+
+    def test_deterministic(self):
+        a, _ = make_text_task("sst2", train_size=32, test_size=8)
+        b, _ = make_text_task("sst2", train_size=32, test_size=8)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_suite_covers_all_tasks(self):
+        suite = glue_like_suite(train_size=16, test_size=8)
+        assert set(suite) == set(GLUE_TASKS)
+        for name, (train, test, classes) in suite.items():
+            assert classes == GLUE_TASKS[name][0]
+
+    def test_tasks_are_learnable_by_token_stats(self):
+        """Class-conditional unigram scoring must beat chance."""
+        train, test = make_text_task("sst2", train_size=256, test_size=128)
+        vocab = 64
+        counts = np.ones((2, vocab))
+        for tokens, label in zip(train.inputs, train.labels):
+            for t in tokens:
+                counts[label, t] += 1
+        logp = np.log(counts / counts.sum(1, keepdims=True))
+        scores = np.stack([
+            logp[:, tokens].sum(axis=1) for tokens in test.inputs
+        ])
+        acc = (np.argmax(scores, axis=1) == test.labels).mean()
+        assert acc > 0.7

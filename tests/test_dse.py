@@ -1,0 +1,158 @@
+"""Tests for the co-design space exploration engine (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    Constraints,
+    CoDesignSearchEngine,
+    QuantizationErrorOracle,
+    TabulatedOracle,
+    compute_cost,
+    gemm_cost,
+    memory_cost,
+    omega_breakdown,
+    omega_cycles,
+)
+from repro.lutboost import GemmWorkload
+
+
+WORKLOAD = GemmWorkload(512, 768, 768, v=4, c=16)
+
+
+class TestAnalyticalModels:
+    def test_compute_cost_below_gemm_for_typical_params(self):
+        """The whole premise: tau(v, c) << exact GEMM cost."""
+        tau = compute_cost(512, 768, 768, v=4, c=16)
+        assert tau < gemm_cost(512, 768, 768)
+
+    def test_compute_cost_grows_with_c(self):
+        costs = [compute_cost(512, 768, 768, 4, c) for c in (8, 16, 32, 64)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_compute_cost_falls_with_v(self):
+        costs = [compute_cost(512, 768, 768, v, 16) for v in (2, 4, 8)]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_memory_cost_terms(self):
+        # v=4, c=16: 192 subspaces.
+        phi = memory_cost(512, 768, 768, 4, 16, lut_bits=8, out_bits=8)
+        expected = (768 * 16 * 192 * 8) + (512 * 768 * 8) + (192 * 512 * 4)
+        assert phi == expected
+
+    def test_omega_is_max_of_parts(self):
+        parts = omega_breakdown(512, 768, 768, 4, 16, beta=683, n_imm=2,
+                                n_ccu=1)
+        assert omega_cycles(512, 768, 768, 4, 16, 683, 2, 1) == \
+            max(parts.values())
+
+    def test_omega_lookup_shrinks_with_imms(self):
+        a = omega_breakdown(512, 768, 768, 4, 16, 683, 1, 1, tn=16)
+        b = omega_breakdown(512, 768, 768, 4, 16, 683, 4, 1, tn=16)
+        assert b["lookup"] == pytest.approx(a["lookup"] / 4)
+        assert b["similarity"] == a["similarity"]
+
+    def test_omega_similarity_shrinks_with_ccus(self):
+        a = omega_breakdown(512, 768, 768, 4, 16, 683, 1, 1)
+        b = omega_breakdown(512, 768, 768, 4, 16, 683, 1, 4)
+        assert b["similarity"] == pytest.approx(a["similarity"] / 4)
+
+
+class TestConstraints:
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            Constraints(0, 100)
+        with pytest.raises(ValueError):
+            Constraints(1, -5)
+
+    def test_repr(self):
+        assert "Constraints" in repr(Constraints(1.0, 100.0))
+
+
+class TestOracles:
+    def test_tabulated(self):
+        oracle = TabulatedOracle({(4, 16): 0.9}, default=0.1)
+        assert oracle(4, 16) == 0.9
+        assert oracle(8, 8) == 0.1
+
+    def test_quantization_error_oracle_trends(self, clustered_matrix):
+        oracle = QuantizationErrorOracle(clustered_matrix)
+        # More centroids -> higher proxy accuracy (Fig. 8 left).
+        assert oracle(4, 16) >= oracle(4, 2)
+        # Cached second call returns identical value.
+        assert oracle(4, 16) == oracle(4, 16)
+
+    def test_quantization_error_oracle_bounded(self, clustered_matrix):
+        oracle = QuantizationErrorOracle(clustered_matrix, base_accuracy=0.9)
+        acc = oracle(4, 8)
+        assert 0 < acc <= 0.9
+
+
+class TestSearchEngine:
+    def _engine(self, constraints, oracle=None, **kwargs):
+        oracle = oracle or TabulatedOracle({}, default=1.0)
+        defaults = dict(v_space=(2, 4, 8), c_space=(8, 16, 32),
+                        workload=WORKLOAD, constraints=constraints,
+                        accuracy_oracle=oracle, tn=128, m_tile=256)
+        defaults.update(kwargs)
+        return CoDesignSearchEngine(**defaults)
+
+    def test_finds_a_design_under_generous_budget(self):
+        result = self._engine(Constraints(10.0, 2000.0)).search()
+        assert result.best is not None
+        assert result.best.area_mm2 <= 10.0
+        assert result.best.power_mw <= 2000.0
+
+    def test_constraints_respected_by_all_survivors(self):
+        result = self._engine(Constraints(2.0, 400.0)).search()
+        for point in result.survivors:
+            assert point.area_mm2 <= 2.0
+            assert point.power_mw <= 400.0
+
+    def test_tight_hardware_budget_prunes_everything(self):
+        result = self._engine(Constraints(0.01, 1.0)).search()
+        assert result.best is None
+        assert all(reason == "hardware"
+                   for reason in result.pruned.values())
+
+    def test_accuracy_pruning(self):
+        oracle = TabulatedOracle({(4, 32): 0.95}, default=0.2)
+        constraints = Constraints(10.0, 2000.0, min_accuracy=0.9)
+        result = self._engine(constraints, oracle).search()
+        assert result.best is not None
+        assert (result.best.v, result.best.c) == (4, 32)
+        assert sum(1 for r in result.pruned.values()
+                   if r == "accuracy") == 8
+
+    def test_complexity_pruning_large_c(self):
+        """Huge c with long v makes tau exceed the GEMM budget."""
+        constraints = Constraints(100.0, 1e6, max_compute_ratio=0.05)
+        engine = self._engine(constraints, v_space=(2,), c_space=(8, 512))
+        result = engine.search()
+        assert result.pruned.get((2, 512)) == "complexity"
+
+    def test_memory_pruning(self):
+        constraints = Constraints(100.0, 1e6, max_memory_bits=1e7)
+        result = self._engine(constraints).search()
+        assert any(r == "memory" for r in result.pruned.values())
+
+    def test_parallelism_expansion_adds_imms_first(self):
+        """With a lookup-bound workload the expansion must grow IMMs."""
+        result = self._engine(Constraints(5.0, 1000.0)).search()
+        assert result.best.n_imm > 1
+
+    def test_larger_budget_never_slower(self):
+        small = self._engine(Constraints(1.5, 300.0)).search()
+        large = self._engine(Constraints(6.0, 1200.0)).search()
+        if small.best is not None:
+            assert large.best.cycles <= small.best.cycles
+
+    def test_pruning_summary(self):
+        result = self._engine(Constraints(10.0, 2000.0)).search()
+        summary = result.pruning_summary()
+        assert summary["survived"] == len(result.survivors)
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(TypeError):
+            CoDesignSearchEngine((2,), (8,), WORKLOAD, {"area": 1},
+                                 TabulatedOracle({}))

@@ -1,0 +1,124 @@
+"""Tests for the end-to-end evaluation runner and reporting."""
+
+import pytest
+
+from repro.baselines import gemmini_default, nvdla_large, nvdla_small, pqa_default
+from repro.evaluation import (
+    end_to_end_comparison,
+    evaluate_baseline,
+    evaluate_design,
+    format_ratio,
+    format_table,
+)
+from repro.hw import DESIGN1, paper_designs
+from repro.lutboost import GemmWorkload
+from repro.sim import bert_workloads, resnet_workloads
+
+
+WORKLOADS = [GemmWorkload(256, 256, 256, v=4, c=16, name="w%d" % i)
+             for i in range(3)]
+
+
+class TestEvaluateDesign:
+    def test_result_fields(self):
+        res = evaluate_design(DESIGN1, WORKLOADS)
+        assert res.cycles > 0
+        assert res.seconds > 0
+        assert res.energy_mj > 0
+        assert res.macs == sum(w.macs for w in WORKLOADS)
+        assert res.throughput_gops > 0
+
+    def test_rejects_non_design(self):
+        with pytest.raises(TypeError):
+            evaluate_design(nvdla_small(), WORKLOADS)
+
+    def test_energy_is_power_times_time(self):
+        res = evaluate_design(DESIGN1, WORKLOADS)
+        assert res.energy_mj == pytest.approx(res.power_mw * res.seconds)
+
+    def test_throughput_below_peak(self):
+        res = evaluate_design(DESIGN1, WORKLOADS)
+        assert res.throughput_gops <= DESIGN1.peak_gops() * 1.01
+
+
+class TestEvaluateBaseline:
+    def test_nvdla(self):
+        res = evaluate_baseline(nvdla_small(), WORKLOADS)
+        assert res.name == "NVDLA-Small"
+        assert res.energy_mj > 0
+
+    def test_gemmini(self):
+        res = evaluate_baseline(gemmini_default(), WORKLOADS)
+        assert res.cycles > 0
+
+    def test_pqa_reports_cycles_only(self):
+        res = evaluate_baseline(pqa_default(), WORKLOADS)
+        assert res.cycles > 0
+        assert res.energy_mj == 0.0
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            evaluate_baseline(object(), WORKLOADS)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        models = {
+            "resnet18": resnet_workloads(18, v=4, c=16),
+            "bert": bert_workloads(v=4, c=16, layers=12),
+        }
+        return end_to_end_comparison(models, paper_designs(),
+                                     [nvdla_small(), nvdla_large(),
+                                      gemmini_default()])
+
+    def test_grid_complete(self, comparison):
+        assert set(comparison) == {"resnet18", "bert"}
+        assert len(comparison["bert"]) == 6
+
+    def test_design1_beats_nvdla_small(self, comparison):
+        """Fig. 14: Design1 is several x faster than NVDLA-Small on both
+        BERT and ResNet18 at similar area."""
+        for model in ("resnet18", "bert"):
+            row = comparison[model]
+            norm = row["Design1-Tiny"].normalized_to(row["NVDLA-Small"])
+            assert norm["speedup"] > 3.0
+            assert norm["area_eff_ratio"] > 2.0
+
+    def test_design3_best_on_bert(self, comparison):
+        """Fig. 13: Design3 achieves the best BERT throughput of the
+        LUT-DLA designs."""
+        row = comparison["bert"]
+        d3 = row["Design3-Fit"].seconds
+        assert d3 < row["Design1-Tiny"].seconds
+        assert d3 < row["Design2-Large"].seconds
+
+    def test_designs_beat_gemmini_everywhere(self, comparison):
+        """Paper: Design2 is 3.5x/7.8x faster than Gemmini."""
+        for model in ("resnet18", "bert"):
+            row = comparison[model]
+            ratio = row["Gemmini"].seconds / row["Design2-Large"].seconds
+            assert ratio > 3.0
+
+    def test_lut_dla_energy_savings_on_bert(self, comparison):
+        """Fig. 13: LUT-DLA saves ~an order of magnitude energy on BERT."""
+        row = comparison["bert"]
+        assert row["NVDLA-Small"].energy_mj > 2 * row["Design3-Fit"].energy_mj
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table([{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "y"}])
+        assert "a" in text and "b" in text and "2.5" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_title_and_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"], title="T")
+        assert text.startswith("T")
+        assert "a" not in text.splitlines()[1]
+
+    def test_format_ratio(self):
+        assert format_ratio(10.0, 5.0) == "2.00x"
+        assert format_ratio(1.0, 0) == "inf"

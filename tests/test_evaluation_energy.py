@@ -1,0 +1,69 @@
+"""Tests for the first-principles energy accounting."""
+
+import pytest
+
+from repro.evaluation.energy import EnergyBreakdown, gemm_energy_breakdown
+from repro.evaluation import evaluate_design
+from repro.hw import DESIGN1, DESIGN2, LUTDLADesign
+from repro.lutboost import GemmWorkload
+
+
+WORKLOAD = GemmWorkload(512, 768, 768, v=3, c=16)
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum(self):
+        b = EnergyBreakdown(1, 2, 3, 4, 5, 6)
+        assert b.total_mj == 21
+        assert b.as_dict()["total_mj"] == 21
+
+    def test_all_components_positive(self):
+        b = gemm_energy_breakdown(WORKLOAD, DESIGN1)
+        for key, value in b.as_dict().items():
+            assert value > 0, key
+
+    def test_dram_traffic_dominated_by_lut_streaming(self):
+        """For big-N GEMMs the streamed LUT slices dominate DRAM energy."""
+        b = gemm_energy_breakdown(WORKLOAD, DESIGN1)
+        assert b.dram_mj > b.index_mj
+
+    def test_l1_design_cheaper_similarity(self):
+        l2 = LUTDLADesign("l2", v=3, c=16, tn=128, m_tile=256, n_ccu=1,
+                          n_imm=2, metric="l2")
+        l1 = LUTDLADesign("l1", v=3, c=16, tn=128, m_tile=256, n_ccu=1,
+                          n_imm=2, metric="l1")
+        e_l2 = gemm_energy_breakdown(WORKLOAD, l2).similarity_mj
+        e_l1 = gemm_energy_breakdown(WORKLOAD, l1).similarity_mj
+        assert e_l1 < e_l2
+
+    def test_more_centroids_cost_more_comparisons(self):
+        small = LUTDLADesign("s", v=3, c=8, tn=128, m_tile=256, n_ccu=1,
+                             n_imm=2)
+        big = LUTDLADesign("b", v=3, c=32, tn=128, m_tile=256, n_ccu=1,
+                           n_imm=2)
+        assert gemm_energy_breakdown(WORKLOAD, big).similarity_mj > \
+            gemm_energy_breakdown(WORKLOAD, small).similarity_mj
+
+    def test_consistent_with_power_model(self):
+        """Count-based energy must agree with power x time within the
+        power model's calibration factor (~4x each way)."""
+        result = evaluate_design(DESIGN1, [WORKLOAD])
+        counted = gemm_energy_breakdown(WORKLOAD, DESIGN1).total_mj
+        ratio = result.energy_mj / counted
+        assert 0.25 < ratio < 8.0
+
+    def test_leakage_scales_with_simulated_time(self):
+        from repro.sim import SimConfig, simulate_gemm
+
+        slow_cfg = SimConfig.from_design(DESIGN1, bandwidth_gbps=0.5)
+        slow = simulate_gemm(WORKLOAD, slow_cfg)
+        fast_cfg = SimConfig.from_design(DESIGN1, bandwidth_gbps=25.6)
+        fast = simulate_gemm(WORKLOAD, fast_cfg)
+        b_slow = gemm_energy_breakdown(WORKLOAD, DESIGN1, slow)
+        b_fast = gemm_energy_breakdown(WORKLOAD, DESIGN1, fast)
+        assert b_slow.leakage_mj > b_fast.leakage_mj
+
+    def test_narrow_layer_clamps_tile(self):
+        narrow = GemmWorkload(512, 768, 8, v=3, c=16)
+        b = gemm_energy_breakdown(narrow, DESIGN1)
+        assert b.total_mj > 0

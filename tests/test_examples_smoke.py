@@ -1,0 +1,35 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The two training examples (convert_cnn, convert_transformer) are exercised
+by the equivalent integration tests; here we run the three fast scripts in
+a subprocess to guarantee the documented entry points stay working.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "simulate_accelerator.py",
+])
+def test_fast_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+
+def test_paper_cli_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.paper"],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "Table I" in result.stdout
+    assert "Fig. 13" in result.stdout

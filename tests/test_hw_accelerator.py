@@ -1,0 +1,79 @@
+"""Tests for the full LUT-DLA design PPA model (Tables VII / VIII)."""
+
+import pytest
+
+from repro.hw import DESIGN1, DESIGN2, DESIGN3, LUTDLADesign, paper_designs
+
+
+class TestPaperDesigns:
+    @pytest.mark.parametrize("design,expected_gops", [
+        (DESIGN1, 460.8), (DESIGN2, 1228.8), (DESIGN3, 2764.8)])
+    def test_table8_peak_gops_exact(self, design, expected_gops):
+        assert design.peak_gops() == pytest.approx(expected_gops)
+
+    @pytest.mark.parametrize("design,expected_kb", [
+        (DESIGN1, 36.1), (DESIGN2, 72.1), (DESIGN3, 408.2)])
+    def test_table7_sram(self, design, expected_kb):
+        assert design.sram_kb_per_imm() == pytest.approx(expected_kb, abs=0.1)
+
+    @pytest.mark.parametrize("design,paper_area", [
+        (DESIGN1, 0.755), (DESIGN2, 1.701), (DESIGN3, 3.64)])
+    def test_area_within_2x_of_paper(self, design, paper_area):
+        ratio = design.area_mm2() / paper_area
+        assert 0.5 < ratio < 2.0
+
+    @pytest.mark.parametrize("design,paper_power", [
+        (DESIGN1, 219.57), (DESIGN2, 314.975), (DESIGN3, 496.4)])
+    def test_power_within_2x_of_paper(self, design, paper_power):
+        ratio = design.power_mw() / paper_power
+        assert 0.4 < ratio < 2.5
+
+    def test_area_ordering(self):
+        assert DESIGN1.area_mm2() < DESIGN2.area_mm2() < DESIGN3.area_mm2()
+
+    def test_efficiency_beats_nvdla(self):
+        """Table VIII: every LUT-DLA design beats NVDLA-Large's 372 GOPS/mm2
+        and 2.7 GOPS/mW equivalents in area efficiency."""
+        for design in paper_designs():
+            assert design.area_efficiency() > 372.4
+
+    def test_summary_keys(self):
+        s = DESIGN1.summary()
+        for key in ("area_mm2", "power_mw", "peak_gops", "sram_kb_per_imm",
+                    "min_bandwidth_gbps"):
+            assert key in s
+
+    def test_paper_designs_fresh_instances(self):
+        a, b = paper_designs(), paper_designs()
+        assert a[0] is not b[0]
+        assert a[0].peak_gops() == b[0].peak_gops()
+
+
+class TestDesignKnobs:
+    def test_more_imms_more_throughput(self):
+        base = LUTDLADesign("a", v=4, c=16, tn=128, m_tile=256, n_ccu=1,
+                            n_imm=1)
+        double = LUTDLADesign("b", v=4, c=16, tn=128, m_tile=256, n_ccu=1,
+                              n_imm=2)
+        assert double.peak_gops() == pytest.approx(2 * base.peak_gops())
+        assert double.area_mm2() > base.area_mm2()
+
+    def test_l1_design_cheaper_than_l2(self):
+        l2 = LUTDLADesign("l2", v=8, c=16, tn=128, m_tile=256, n_ccu=2,
+                          n_imm=2, metric="l2")
+        l1 = LUTDLADesign("l1", v=8, c=16, tn=128, m_tile=256, n_ccu=2,
+                          n_imm=2, metric="l1")
+        cheb = LUTDLADesign("ch", v=8, c=16, tn=128, m_tile=256, n_ccu=2,
+                            n_imm=2, metric="chebyshev")
+        assert l2.area_mm2() > l1.area_mm2() > cheb.area_mm2()
+        assert l2.power_mw() > l1.power_mw() > cheb.power_mw()
+
+    def test_bf16_similarity_cheaper(self):
+        fp32 = LUTDLADesign("fp32", v=4, c=16, tn=128, m_tile=256, n_ccu=2,
+                            n_imm=2, precision="fp32")
+        bf16 = LUTDLADesign("bf16", v=4, c=16, tn=128, m_tile=256, n_ccu=2,
+                            n_imm=2, precision="bf16")
+        assert bf16.area_mm2() < fp32.area_mm2()
+
+    def test_repr(self):
+        assert "Design1" in repr(DESIGN1)

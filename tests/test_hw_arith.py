@@ -1,0 +1,134 @@
+"""Tests for arithmetic-unit cost models and technology scaling."""
+
+import pytest
+
+from repro.hw import (
+    NODES,
+    UnitCost,
+    abs_diff,
+    area_factor,
+    comparator,
+    energy_factor,
+    fp_add,
+    fp_mult,
+    int_add,
+    int_mult,
+    max_unit,
+    scale_area,
+    scale_efficiency,
+    scale_energy,
+)
+
+
+class TestUnitCost:
+    def test_add(self):
+        total = UnitCost(10, 1) + UnitCost(5, 2)
+        assert total.area_um2 == 15
+        assert total.energy_pj == 3
+
+    def test_scale(self):
+        doubled = UnitCost(10, 1) * 2
+        assert doubled.area_um2 == 20
+        assert (3 * UnitCost(10, 1)).area_um2 == 30
+
+    def test_power(self):
+        unit = UnitCost(1, 1.0)  # 1 pJ/op
+        # 1 pJ x 1 GHz = 1 mW.
+        assert unit.power_mw(1e9) == pytest.approx(1.0)
+
+
+class TestIntUnits:
+    def test_adder_linear_in_bits(self):
+        a8, a16, a32 = (int_add(b) for b in (8, 16, 32))
+        assert a16.area_um2 == pytest.approx(2 * a8.area_um2)
+        assert a32.energy_pj == pytest.approx(4 * a8.energy_pj)
+
+    def test_multiplier_quadratic_in_bits(self):
+        m8, m16 = int_mult(8), int_mult(16)
+        assert m16.area_um2 == pytest.approx(4 * m8.area_um2)
+        assert m16.energy_pj == pytest.approx(4 * m8.energy_pj)
+
+    def test_mult_much_bigger_than_add(self):
+        assert int_mult(8).area_um2 > 5 * int_add(8).area_um2
+
+    def test_calibration_int8_add_45nm(self):
+        # 45 nm reference: ~0.03 pJ / ~36 um^2 for an INT8 adder.
+        unit = int_add(8, node=45)
+        assert unit.energy_pj == pytest.approx(0.03, rel=0.25)
+        assert unit.area_um2 == pytest.approx(36, rel=0.25)
+
+    def test_calibration_int32_mult_45nm(self):
+        unit = int_mult(32, node=45)
+        assert unit.energy_pj == pytest.approx(3.1, rel=0.25)
+        assert unit.area_um2 == pytest.approx(3495, rel=0.25)
+
+    def test_min_one_bit(self):
+        assert int_add(0).area_um2 == int_add(1).area_um2
+
+
+class TestFpUnits:
+    def test_fp32_bigger_than_fp16(self):
+        assert fp_add("fp32").area_um2 > fp_add("fp16").area_um2
+        assert fp_mult("fp32").energy_pj > fp_mult("fp16").energy_pj
+
+    def test_bf16_cheaper_than_fp16(self):
+        # bf16 has a shorter mantissa -> cheaper multiplier.
+        assert fp_mult("bf16").area_um2 < fp_mult("fp16").area_um2
+
+    def test_calibration_fp32_mult_45nm(self):
+        unit = fp_mult("fp32", node=45)
+        assert unit.energy_pj == pytest.approx(3.7, rel=0.25)
+        assert unit.area_um2 == pytest.approx(7700, rel=0.25)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            fp_add("fp128")
+
+    def test_fp_add_cheaper_than_fp_mult(self):
+        assert fp_add("fp32").area_um2 < fp_mult("fp32").area_um2
+
+
+class TestHelperUnits:
+    def test_abs_diff_costlier_than_add(self):
+        assert abs_diff(8).area_um2 > int_add(8).area_um2
+
+    def test_max_unit_close_to_add(self):
+        assert max_unit(8).area_um2 == pytest.approx(
+            1.2 * int_add(8).area_um2)
+
+    def test_comparator_equals_add(self):
+        assert comparator(16).area_um2 == int_add(16).area_um2
+
+
+class TestScaling:
+    def test_known_nodes(self):
+        assert 28 in NODES and 7 in NODES
+
+    def test_monotone_factors(self):
+        nodes = sorted(NODES)
+        areas = [area_factor(n) for n in nodes]
+        energies = [energy_factor(n) for n in nodes]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_identity_scaling(self):
+        assert scale_area(10.0, 28, 28) == 10.0
+        assert scale_energy(10.0, 45, 45) == 10.0
+
+    def test_shrink_reduces_area(self):
+        assert scale_area(100.0, 45, 28) < 100.0
+        assert scale_area(100.0, 28, 45) > 100.0
+
+    def test_efficiency_scaling_direction(self):
+        # A 7 nm design's efficiency expressed at 28 nm must *drop*.
+        assert scale_efficiency(100.0, 7, 28, "area") < 100.0
+        # A 40 nm design normalised to 28 nm gains efficiency.
+        assert scale_efficiency(100.0, 40, 28, "power") > 100.0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ValueError):
+            area_factor(5)
+
+    def test_bad_kind_raises(self):
+        with pytest.raises(ValueError):
+            scale_efficiency(1.0, 28, 28, "volume")

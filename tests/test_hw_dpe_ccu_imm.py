@@ -1,0 +1,136 @@
+"""Tests for dPE / CCU / IMM cost models (Figs. 5, 9, Table VII)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    CCUConfig,
+    IMMConfig,
+    ccu_area_um2,
+    ccu_cost_breakdown,
+    ccu_power_mw,
+    dpe_area_um2,
+    dpe_cost,
+    dpe_power_mw,
+    imm_area_um2,
+    imm_cost_breakdown,
+    imm_min_bandwidth_gbps,
+    imm_power_mw,
+    imm_sram_kb,
+)
+
+
+class TestDPE:
+    def test_metric_cost_ordering(self):
+        """Fig. 9's central claim: L2 > L1 > Chebyshev in area and power."""
+        for v in (4, 8, 16):
+            a_l2 = dpe_area_um2(v, "l2")
+            a_l1 = dpe_area_um2(v, "l1")
+            a_ch = dpe_area_um2(v, "chebyshev")
+            assert a_l2 > a_l1 > a_ch
+            p_l2 = dpe_power_mw(v, "l2")
+            p_l1 = dpe_power_mw(v, "l1")
+            p_ch = dpe_power_mw(v, "chebyshev")
+            assert p_l2 > p_l1 > p_ch
+
+    def test_l1_removes_multipliers(self):
+        """L1 vs L2 gap must be large — the multiplier dominates."""
+        assert dpe_area_um2(8, "l2") > 1.5 * dpe_area_um2(8, "l1")
+
+    def test_grows_with_vector_length(self):
+        areas = [dpe_area_um2(v, "l2") for v in (2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_superlinear_growth(self):
+        """Fig. 9: 'the increase is not directly proportional' (tree cost)."""
+        a4 = dpe_area_um2(4, "l1")
+        a16 = dpe_area_um2(16, "l1")
+        assert a16 > 4 * a4 * 0.99  # at least ~linear
+        assert a16 < 8 * a4  # but not wildly superlinear
+
+    def test_fp16_cheaper_than_fp32(self):
+        assert dpe_area_um2(8, "l2", "fp16") < dpe_area_um2(8, "l2", "fp32")
+        assert dpe_power_mw(8, "l2", "fp16") < dpe_power_mw(8, "l2", "fp32")
+
+    def test_int8_cheapest(self):
+        assert dpe_area_um2(8, "l2", "int8") < dpe_area_um2(8, "l2", "fp16")
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError):
+            dpe_cost(4, "cosine")
+
+    def test_rejects_bad_v(self):
+        with pytest.raises(ValueError):
+            dpe_cost(0)
+
+    def test_v1_no_tree(self):
+        # v=1 has no reduction tree: elementwise + comparator only.
+        c1 = dpe_cost(1, "l1")
+        assert c1.area_um2 > 0
+
+
+class TestCCU:
+    def test_area_scales_with_centroids(self):
+        small = CCUConfig(v=4, c=8)
+        large = CCUConfig(v=4, c=32)
+        assert ccu_area_um2(large) > 3 * ccu_area_um2(small)
+
+    def test_breakdown_components(self):
+        parts = ccu_cost_breakdown(CCUConfig(v=4, c=16))
+        assert set(parts) == {"dpe_array", "centroid_buffer",
+                              "input_registers"}
+        assert all(a > 0 and p > 0 for a, p in parts.values())
+
+    def test_dpe_array_dominates(self):
+        parts = ccu_cost_breakdown(CCUConfig(v=8, c=16, precision="fp32"))
+        assert parts["dpe_array"][0] > parts["centroid_buffer"][0]
+
+    def test_datapath_bits(self):
+        assert CCUConfig(4, 8, precision="fp32").datapath_bits == 32
+        assert CCUConfig(4, 8, precision="int8").datapath_bits == 8
+
+    def test_power_positive(self):
+        assert ccu_power_mw(CCUConfig(v=4, c=16)) > 0
+
+
+class TestIMM:
+    @pytest.mark.parametrize("c,tn,m,expected_kb", [
+        (16, 128, 256, 36.1),   # Design 1 (Table VII)
+        (16, 256, 256, 72.1),   # Design 2
+        (16, 768, 512, 408.2),  # Design 3
+    ])
+    def test_table7_sram_sizes(self, c, tn, m, expected_kb):
+        config = IMMConfig(c=c, tn=tn, m_tile=m)
+        assert imm_sram_kb(config) == pytest.approx(expected_kb, abs=0.1)
+
+    def test_index_bits(self):
+        assert IMMConfig(c=16, tn=8, m_tile=8).index_bits == 4
+        assert IMMConfig(c=32, tn=8, m_tile=8).index_bits == 5
+        assert IMMConfig(c=2, tn=8, m_tile=8).index_bits == 1
+
+    def test_min_bandwidth_formula(self):
+        # Design 1: 16 x 128 x 8bit per 256 cycles @ 300 MHz = 2.4 GB/s.
+        config = IMMConfig(c=16, tn=128, m_tile=256)
+        expected = (16 * 128 * 1.0) / (256 / 300e6) / 1e9
+        assert imm_min_bandwidth_gbps(config) == pytest.approx(expected)
+
+    def test_bandwidth_ordering_matches_table7(self):
+        """Designs 1 < 2 < 3 in bandwidth need, as in Table VII."""
+        b1 = imm_min_bandwidth_gbps(IMMConfig(16, 128, 256))
+        b2 = imm_min_bandwidth_gbps(IMMConfig(16, 256, 256))
+        b3 = imm_min_bandwidth_gbps(IMMConfig(16, 768, 512))
+        assert b1 < b2 < b3
+
+    def test_breakdown_components(self):
+        parts = imm_cost_breakdown(IMMConfig(16, 128, 256))
+        assert set(parts) == {"psum_lut", "scratchpad", "indices_buffer",
+                              "accumulators"}
+
+    def test_scratchpad_dominates_large_designs(self):
+        parts = imm_cost_breakdown(IMMConfig(16, 768, 512))
+        assert parts["scratchpad"][0] > parts["psum_lut"][0]
+
+    def test_area_power_positive(self):
+        config = IMMConfig(16, 128, 256)
+        assert imm_area_um2(config) > 0
+        assert imm_power_mw(config) > 0

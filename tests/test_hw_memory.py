@@ -1,0 +1,68 @@
+"""Tests for the SRAM / register-file compiler model."""
+
+import pytest
+
+from repro.hw import KB, RegisterFile, SRAM
+
+
+class TestSRAM:
+    def test_kilobytes(self):
+        assert SRAM(8 * KB, 64).kilobytes == 8.0
+
+    def test_area_grows_with_bits(self):
+        assert SRAM(64 * KB, 64).area_um2() > SRAM(8 * KB, 64).area_um2()
+
+    def test_small_macro_overhead_dominates_tiny_macros(self):
+        tiny = SRAM(256, 8)
+        # Fixed periphery makes tiny macros inefficient per bit.
+        per_bit_tiny = tiny.area_um2() / tiny.bits
+        big = SRAM(64 * KB, 64)
+        per_bit_big = big.area_um2() / big.bits
+        assert per_bit_tiny > 2 * per_bit_big
+
+    def test_read_energy_grows_with_width(self):
+        assert SRAM(8 * KB, 256).read_energy_pj() > \
+            SRAM(8 * KB, 32).read_energy_pj()
+
+    def test_write_costs_more_than_read(self):
+        mem = SRAM(8 * KB, 64)
+        assert mem.write_energy_pj() > mem.read_energy_pj()
+
+    def test_leakage_proportional_to_size(self):
+        small, big = SRAM(8 * KB, 64), SRAM(80 * KB, 64)
+        assert big.leakage_mw() == pytest.approx(10 * small.leakage_mw())
+
+    def test_dynamic_power(self):
+        mem = SRAM(8 * KB, 64)
+        p_full = mem.dynamic_power_mw(300e6, activity=1.0)
+        p_half = mem.dynamic_power_mw(300e6, activity=0.5)
+        assert p_full == pytest.approx(2 * p_half)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SRAM(0, 8)
+        with pytest.raises(ValueError):
+            SRAM(8, 0)
+
+    def test_node_scaling(self):
+        assert SRAM(8 * KB, 64, node=16).area_um2() < \
+            SRAM(8 * KB, 64, node=28).area_um2()
+
+    def test_repr(self):
+        assert "KB" in repr(SRAM(8 * KB, 64, name="lut"))
+
+
+class TestRegisterFile:
+    def test_denser_cost_than_sram_per_bit(self):
+        rf = RegisterFile(1024, 32)
+        sram = SRAM(1024 * 64, 32)
+        assert rf.area_um2() / rf.bits > \
+            (sram.area_um2() - 2000) / sram.bits  # vs raw SRAM density
+
+    def test_read_energy(self):
+        assert RegisterFile(1024, 64).read_energy_pj() > \
+            RegisterFile(1024, 16).read_energy_pj()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RegisterFile(-1, 8)

@@ -1,0 +1,132 @@
+"""Integration tests: the full paper pipeline end to end.
+
+train FP model -> LUTBoost conversion -> deployment export -> hardware
+simulation -> PPA comparison, exercising every subsystem together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import cifar10_like, make_text_task
+from repro.dse import (
+    Constraints,
+    CoDesignSearchEngine,
+    QuantizationErrorOracle,
+)
+from repro.evaluation import evaluate_design
+from repro.hw import LUTDLADesign
+from repro.lutboost import MultistageTrainer, lut_operators
+from repro.models import lenet, distilbert_mini
+from repro.nn import Adam, Tensor, evaluate_accuracy
+from repro.lutboost.trainer import train_epochs
+from repro.sim import SimConfig, model_workloads, simulate_gemm
+
+
+@pytest.fixture(scope="module")
+def trained_cnn_pipeline():
+    """LeNet on cifar10-like, pretrained then LUTBoost-converted."""
+    train, test = cifar10_like(train_size=192, test_size=96, image_size=12)
+    model = lenet(num_classes=10, image_size=12)
+    # Swap in 3-channel input for the RGB-like dataset.
+    from repro.nn import Conv2d
+
+    model.conv1 = Conv2d(3, 6, 3, padding=1, rng=np.random.default_rng(7))
+    train_epochs(model, train, 6, Adam(model.parameters(), 3e-3),
+                 batch_size=32)
+    base_acc = evaluate_accuracy(model, test)
+    trainer = MultistageTrainer(v=3, c=16, centroid_epochs=1, joint_epochs=2,
+                                centroid_lr=2e-3, joint_lr=5e-4,
+                                skip_names=("conv1",))
+    log = trainer.run(model, train, test)
+    return model, train, test, base_acc, log
+
+
+class TestCNNPipeline:
+    def test_accuracy_drop_is_modest(self, trained_cnn_pipeline):
+        """Table IV's qualitative claim on an in-repo CNN."""
+        _, _, _, base_acc, log = trained_cnn_pipeline
+        assert base_acc > 0.5  # the FP model must have learned the task
+        assert log.accuracies["after_joint"] >= base_acc - 0.25
+
+    def test_lut_inference_matches_training_forward(self,
+                                                    trained_cnn_pipeline):
+        model, _, test, _, _ = trained_cnn_pipeline
+        ops = lut_operators(model)
+        assert len(ops) == 4  # conv2 + 3 fc (conv1 skipped)
+        name, op = ops[0]
+        x = test.inputs[:4]
+        # Feed through the stem to get this operator's input.
+        stem_out = model.pool1(model.conv1(Tensor(x)).relu())
+        direct = op(stem_out).data
+        via_lut = op.lut_inference(stem_out.data)
+        np.testing.assert_allclose(direct, via_lut, atol=1e-9)
+
+    def test_bf16_int8_deployment_close_to_fp32(self, trained_cnn_pipeline):
+        model, _, test, _, _ = trained_cnn_pipeline
+        _, op = lut_operators(model)[0]
+        x = model.pool1(model.conv1(Tensor(test.inputs[:8])).relu()).data
+        fp32 = op.lut_inference(x, precision="fp32")
+        mixed = op.lut_inference(x, precision="bf16+int8")
+        rel = np.linalg.norm(mixed - fp32) / (np.linalg.norm(fp32) + 1e-12)
+        assert rel < 0.1
+
+    def test_workload_extraction_and_simulation(self, trained_cnn_pipeline):
+        model, _, _, _, _ = trained_cnn_pipeline
+        workloads = model_workloads(model, (3, 12, 12), batch=4)
+        assert len(workloads) == 4
+        config = SimConfig(tn=16, n_imm=2, n_ccu=1,
+                           bandwidth_bits_per_cycle=683)
+        for wl in workloads:
+            res = simulate_gemm(wl, config)
+            assert res.total_cycles > 0
+            assert 0 < res.utilization <= 1
+
+    def test_design_evaluation_on_extracted_model(self,
+                                                  trained_cnn_pipeline):
+        model, _, _, _, _ = trained_cnn_pipeline
+        workloads = model_workloads(model, (3, 12, 12), batch=4)
+        design = LUTDLADesign("test", v=3, c=16, tn=64, m_tile=256, n_ccu=1,
+                              n_imm=2)
+        result = evaluate_design(design, workloads)
+        assert result.energy_mj > 0
+        assert result.throughput_gops > 0
+
+
+class TestTransformerPipeline:
+    def test_bert_like_conversion_preserves_accuracy(self):
+        """Table VI's qualitative claim on an in-repo transformer."""
+        train, test = make_text_task("sst2", train_size=192, test_size=96)
+        model = distilbert_mini(vocab_size=64, num_classes=2)
+        train_epochs(model, train, 3, Adam(model.parameters(), 1e-3),
+                     batch_size=32)
+        base = evaluate_accuracy(model, test)
+        trainer = MultistageTrainer(v=4, c=16, centroid_epochs=1,
+                                    joint_epochs=2, centroid_lr=1e-3,
+                                    joint_lr=5e-4)
+        log = trainer.run(model, train, test)
+        assert base > 0.8
+        assert log.accuracies["after_joint"] >= base - 0.15
+        # QKV projections were converted.
+        names = [n for n, _ in lut_operators(model)]
+        assert any("q_proj" in n for n in names)
+        assert any("ffn_in" in n for n in names)
+
+
+class TestDSEPipeline:
+    def test_search_with_quantization_oracle(self, rng):
+        """Algorithm 2 wired to a real activation-based oracle."""
+        activations = rng.normal(size=(256, 48))
+        oracle = QuantizationErrorOracle(activations, base_accuracy=0.92)
+        from repro.lutboost import GemmWorkload
+
+        engine = CoDesignSearchEngine(
+            v_space=(3, 4, 6), c_space=(8, 16, 32),
+            workload=GemmWorkload(512, 768, 768, v=4, c=16),
+            constraints=Constraints(4.0, 800.0, min_accuracy=0.5),
+            accuracy_oracle=oracle, tn=128, m_tile=256)
+        result = engine.search()
+        assert result.best is not None
+        # The chosen design must actually satisfy the constraints.
+        assert result.best.area_mm2 <= 4.0
+        assert result.best.power_mw <= 800.0
+        assert result.best.accuracy >= 0.5

@@ -1,0 +1,114 @@
+"""Tests for progressive calibration and BatchNorm refresh."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+    lut_operators,
+)
+from repro.lutboost.converter import refresh_batchnorm
+from repro.models.resnet import ResNetCIFAR
+from repro.models import mlp
+from repro.nn import Adam, BatchNorm2d, Tensor, evaluate_accuracy
+from repro.nn.data import ArrayDataset
+from repro.lutboost.trainer import train_epochs
+
+
+@pytest.fixture
+def tiny_resnet(rng):
+    model = ResNetCIFAR(8, num_classes=4, width=4, seed=0)
+    inputs = rng.normal(size=(48, 3, 8, 8))
+    return model, inputs
+
+
+class TestProgressiveCalibration:
+    def test_progressive_calibrates_all(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        convert_model(model, ConversionPolicy(v=3, c=8,
+                                              skip_names=("stem",)))
+        ops = calibrate_model(model, inputs, progressive=True)
+        assert all(op.calibrated for _, op in ops)
+
+    def test_one_shot_calibrates_all(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        convert_model(model, ConversionPolicy(v=3, c=8,
+                                              skip_names=("stem",)))
+        ops = calibrate_model(model, inputs, progressive=False)
+        assert all(op.calibrated for _, op in ops)
+
+    def test_progressive_sees_quantized_upstream(self, rng):
+        """Downstream centroids must differ between modes, because the
+        progressive pass calibrates on quantized (not FP) inputs."""
+        def build():
+            model = mlp(12, hidden=12, num_classes=3, seed=1)
+            convert_model(model, ConversionPolicy(v=3, c=4))
+            return model
+
+        inputs = rng.normal(size=(64, 12)) * 2
+        prog = build()
+        calibrate_model(prog, inputs, progressive=True, seed=0)
+        shot = build()
+        calibrate_model(shot, inputs, progressive=False, seed=0)
+        first_prog = lut_operators(prog)[0][1].centroids.data
+        first_shot = lut_operators(shot)[0][1].centroids.data
+        # First operator sees identical (raw) inputs in both modes.
+        np.testing.assert_allclose(first_prog, first_shot)
+        last_prog = lut_operators(prog)[-1][1].centroids.data
+        last_shot = lut_operators(shot)[-1][1].centroids.data
+        assert not np.allclose(last_prog, last_shot)
+
+    def test_eval_mode_restored(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        convert_model(model, ConversionPolicy(v=3, c=8))
+        model.train()
+        calibrate_model(model, inputs)
+        assert model.training
+
+
+class TestRefreshBatchnorm:
+    def test_updates_running_stats(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        bn = next(m for m in model.modules() if isinstance(m, BatchNorm2d))
+        before = bn.running_mean.copy()
+        refresh_batchnorm(model, inputs)
+        assert not np.allclose(before, bn.running_mean)
+
+    def test_restores_momentum(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        bn = next(m for m in model.modules() if isinstance(m, BatchNorm2d))
+        momentum = bn.momentum
+        refresh_batchnorm(model, inputs)
+        assert bn.momentum == momentum
+        assert not hasattr(bn, "_saved_momentum")
+
+    def test_noop_without_batchnorm(self, rng):
+        model = mlp(8, hidden=8, num_classes=2)
+        refresh_batchnorm(model, rng.normal(size=(8, 8)))  # must not raise
+
+    def test_restores_training_flag(self, tiny_resnet):
+        model, inputs = tiny_resnet
+        model.eval()
+        refresh_batchnorm(model, inputs)
+        assert not model.training
+
+    def test_improves_converted_accuracy(self, rng):
+        """On a learnable task, refreshing BN after conversion should not
+        hurt (and typically helps) eval accuracy."""
+        proto = rng.normal(size=(4, 3, 1, 1)) * 3
+        labels = rng.integers(0, 4, 160)
+        images = np.broadcast_to(proto[labels], (160, 3, 8, 8)).copy()
+        images += rng.normal(scale=0.3, size=images.shape)
+        train = ArrayDataset(images[:120], labels[:120])
+        test = ArrayDataset(images[120:], labels[120:])
+        model = ResNetCIFAR(8, num_classes=4, width=4, seed=0)
+        train_epochs(model, train, 4, Adam(model.parameters(), 5e-3))
+        convert_model(model, ConversionPolicy(v=3, c=16,
+                                              skip_names=("stem", "fc")))
+        calibrate_model(model, train.inputs[:64])
+        before = evaluate_accuracy(model, test)
+        refresh_batchnorm(model, train.inputs[:64])
+        after = evaluate_accuracy(model, test)
+        assert after >= before - 0.1

@@ -1,0 +1,108 @@
+"""Tests for model conversion (operator replacement + calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost import (
+    ConversionPolicy,
+    LUTConv2d,
+    LUTLinear,
+    calibrate_model,
+    convert_model,
+    lut_operators,
+)
+from repro.models import lenet, mlp
+from repro.nn import Linear, ReLU, Sequential, Tensor
+
+
+class TestConversionPolicy:
+    def test_wants_linear(self):
+        policy = ConversionPolicy(v=4, c=8)
+        assert policy.wants("fc", Linear(16, 4))
+
+    def test_min_in_features_filter(self):
+        policy = ConversionPolicy(v=4, c=8, min_in_features=32)
+        assert not policy.wants("fc", Linear(16, 4))
+
+    def test_skip_names(self):
+        policy = ConversionPolicy(v=4, c=8, skip_names=("head",))
+        assert not policy.wants("net.head", Linear(16, 4))
+        assert policy.wants("net.body", Linear(16, 4))
+
+    def test_disable_conv(self):
+        from repro.nn import Conv2d
+
+        policy = ConversionPolicy(v=4, c=8, convert_conv=False)
+        assert not policy.wants("conv", Conv2d(3, 8, 3))
+
+
+class TestConvertModel:
+    def test_replaces_in_sequential(self):
+        model = Sequential(Linear(16, 8), ReLU(), Linear(8, 4))
+        replaced = convert_model(model, ConversionPolicy(v=4, c=8))
+        assert len(replaced) == 2
+        assert isinstance(model.layers[0], LUTLinear)
+        assert isinstance(model.layers[2], LUTLinear)
+
+    def test_replaces_nested_attributes(self):
+        model = lenet(image_size=16)
+        replaced = convert_model(model, ConversionPolicy(v=3, c=8))
+        names = [n for n, _ in replaced]
+        assert any("conv2" in n for n in names)
+        assert any("fc1" in n for n in names)
+        assert isinstance(model.conv2, LUTConv2d)
+
+    def test_preserves_weights(self, rng):
+        model = Sequential(Linear(16, 8, rng=rng))
+        original = model.layers[0].weight.data.copy()
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        np.testing.assert_array_equal(model.layers[0].weight.data, original)
+
+    def test_idempotent(self):
+        model = Sequential(Linear(16, 8))
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        second = convert_model(model, ConversionPolicy(v=4, c=8))
+        assert second == []
+
+    def test_function_unchanged_before_calibration(self, rng):
+        model = mlp(16, hidden=8, num_classes=4)
+        x = rng.normal(size=(5, 16))
+        before = model(Tensor(x)).data.copy()
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        after = model(Tensor(x)).data
+        np.testing.assert_allclose(before, after, atol=1e-9)
+
+
+class TestCalibrateModel:
+    def test_calibrates_every_operator(self, rng):
+        model = mlp(16, hidden=12, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        sample = rng.normal(size=(64, 16))
+        ops = calibrate_model(model, sample)
+        assert len(ops) == 2
+        assert all(op.calibrated for _, op in ops)
+
+    def test_uses_layer_local_activations(self, rng):
+        """Second layer must calibrate on *its* inputs, not the model's."""
+        model = Sequential(Linear(16, 12, rng=rng), ReLU(), Linear(12, 4))
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        calibrate_model(model, rng.normal(size=(64, 16)))
+        second = model.layers[2]
+        assert second.centroids.data.shape == (3, 8, 4)
+        # ReLU outputs are nonnegative, so calibrated centroids should be
+        # mostly nonnegative too.
+        assert second.centroids.data.min() > -0.5
+
+    def test_collect_flag_cleared(self, rng):
+        model = mlp(16, hidden=8, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        ops = calibrate_model(model, rng.normal(size=(32, 16)))
+        assert all(not op.collect_activations for _, op in ops)
+        assert all(op._collected == [] for _, op in ops)
+
+    def test_lut_operators_listing(self, rng):
+        model = lenet(image_size=16)
+        convert_model(model, ConversionPolicy(v=3, c=8))
+        ops = lut_operators(model)
+        # conv1 (fan_in 9) is above default min_in_features=2 -> converted.
+        assert len(ops) == 5

@@ -1,0 +1,186 @@
+"""Tests for the LUT operators (STE quantization, export, inference)."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost import GemmWorkload, LUTConv2d, LUTLinear
+from repro.nn import Conv2d, Linear, Tensor
+
+
+@pytest.fixture
+def calibrated_linear(clustered_matrix):
+    layer = LUTLinear(16, 6, v=4, c=8)
+    layer.calibrate(clustered_matrix)
+    return layer
+
+
+class TestLUTLinear:
+    def test_uncalibrated_passthrough_is_exact(self, rng):
+        layer = LUTLinear(8, 4, v=4, c=8)
+        x = rng.normal(size=(5, 8))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_from_linear_copies_weights(self, rng):
+        base = Linear(8, 4, rng=rng)
+        lut = LUTLinear.from_linear(base, v=4, c=8)
+        np.testing.assert_array_equal(lut.weight.data, base.weight.data)
+        np.testing.assert_array_equal(lut.bias.data, base.bias.data)
+
+    def test_calibrated_forward_quantizes(self, calibrated_linear,
+                                          clustered_matrix):
+        out = calibrated_linear(Tensor(clustered_matrix[:10]))
+        # Quantized output differs from exact but is close on clustered data.
+        exact = clustered_matrix[:10] @ calibrated_linear.weight.data \
+            + calibrated_linear.bias.data
+        assert not np.allclose(out.data, exact)
+        rel = np.linalg.norm(out.data - exact) / np.linalg.norm(exact)
+        assert rel < 0.15
+
+    def test_forward_value_equals_quantized_gemm(self, calibrated_linear,
+                                                 clustered_matrix):
+        x = clustered_matrix[:10]
+        out = calibrated_linear(Tensor(x))
+        book, lut = calibrated_linear.export_lut()
+        expected = lut.lookup_accumulate(book.encode(x)) \
+            + calibrated_linear.bias.data
+        np.testing.assert_allclose(out.data, expected, atol=1e-9)
+
+    def test_lut_inference_matches_forward(self, calibrated_linear,
+                                           clustered_matrix):
+        x = clustered_matrix[:10]
+        fwd = calibrated_linear(Tensor(x)).data
+        inf = calibrated_linear.lut_inference(x)
+        np.testing.assert_allclose(fwd, inf, atol=1e-9)
+
+    def test_ste_gradient_to_input(self, calibrated_linear,
+                                   clustered_matrix):
+        x = Tensor(clustered_matrix[:4], requires_grad=True)
+        calibrated_linear(x).sum().backward()
+        # STE: input grad equals the grad of the quantized path w.r.t. A_hat
+        expected = np.tile(calibrated_linear.weight.data.sum(axis=1), (4, 1))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-9)
+
+    def test_centroid_gradient_scattered(self, calibrated_linear,
+                                         clustered_matrix):
+        calibrated_linear(Tensor(clustered_matrix[:4])).sum().backward()
+        g = calibrated_linear.centroids.grad
+        assert g is not None
+        assert g.shape == calibrated_linear.centroids.data.shape
+        # Only selected centroids receive gradient.
+        assert np.any(g != 0)
+        idx = calibrated_linear.last_indices
+        for s in range(g.shape[0]):
+            unselected = np.setdiff1d(np.arange(8), idx[:, s])
+            np.testing.assert_array_equal(g[s][unselected],
+                                          np.zeros((len(unselected), 4)))
+
+    def test_higher_dim_input(self, calibrated_linear, clustered_matrix):
+        x = clustered_matrix[:12].reshape(3, 4, 16)
+        out = calibrated_linear(Tensor(x))
+        assert out.shape == (3, 4, 6)
+
+    def test_export_uncalibrated_raises(self):
+        layer = LUTLinear(8, 4, v=4, c=8)
+        with pytest.raises(RuntimeError):
+            layer.export_lut()
+
+    def test_export_bf16_int8(self, calibrated_linear, clustered_matrix):
+        book, lut = calibrated_linear.export_lut("bf16+int8")
+        x = clustered_matrix[:10]
+        out8 = calibrated_linear.lut_inference(x, precision="bf16+int8")
+        out32 = calibrated_linear.lut_inference(x, precision="fp32")
+        # Quantized deployment stays close to fp32 deployment.
+        rel = np.linalg.norm(out8 - out32) / np.linalg.norm(out32)
+        assert 0 < rel < 0.1
+
+    def test_export_unknown_precision(self, calibrated_linear):
+        with pytest.raises(ValueError):
+            calibrated_linear.export_lut("fp8")
+
+    def test_collect_activations(self, rng):
+        layer = LUTLinear(8, 4, v=4, c=4)
+        layer.collect_activations = True
+        layer(Tensor(rng.normal(size=(20, 8))))
+        layer(Tensor(rng.normal(size=(15, 8))))
+        layer.collect_activations = False
+        layer.calibrate()
+        assert layer.calibrated
+
+    def test_calibrate_without_data_raises(self):
+        layer = LUTLinear(8, 4, v=4, c=4)
+        with pytest.raises(RuntimeError):
+            layer.calibrate()
+
+    def test_randomize_centroids(self):
+        layer = LUTLinear(8, 4, v=4, c=4)
+        layer.randomize_centroids(seed=1)
+        assert layer.calibrated
+        assert np.abs(layer.centroids.data).max() > 0
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError):
+            LUTLinear(8, 4, v=4, c=4, metric="cosine")
+
+    def test_workload(self):
+        layer = LUTLinear(16, 6, v=4, c=8)
+        w = layer.workload(32, name="fc")
+        assert (w.m, w.k, w.n, w.v, w.c) == (32, 16, 6, 4, 8)
+        assert w.macs == 32 * 16 * 6
+        assert w.num_subspaces == 4
+
+
+class TestLUTConv2d:
+    def test_from_conv_preserves_function_uncalibrated(self, rng):
+        base = Conv2d(3, 5, 3, stride=1, padding=1, rng=rng)
+        lut = LUTConv2d.from_conv(base, v=4, c=8)
+        x = rng.normal(size=(2, 3, 6, 6))
+        np.testing.assert_allclose(lut(Tensor(x)).data,
+                                   base(Tensor(x)).data, atol=1e-9)
+
+    def test_subspace_k_is_patch_length(self):
+        layer = LUTConv2d(3, 8, 3, v=4, c=8)
+        assert layer.k == 27
+        assert layer.num_subspaces == 7  # ceil(27/4)
+
+    def test_calibrated_forward_shape(self, rng):
+        layer = LUTConv2d(2, 4, 3, v=3, c=8, padding=1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        layer.collect_activations = True
+        layer(Tensor(x))
+        layer.collect_activations = False
+        layer.calibrate()
+        out = layer(Tensor(x))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_lut_inference_matches_forward(self, rng):
+        layer = LUTConv2d(2, 4, 3, v=3, c=8, padding=1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        layer.collect_activations = True
+        layer(Tensor(x))
+        layer.collect_activations = False
+        layer.calibrate()
+        fwd = layer(Tensor(x)).data
+        inf = layer.lut_inference(x)
+        np.testing.assert_allclose(fwd, inf, atol=1e-9)
+
+    def test_output_size(self):
+        layer = LUTConv2d(2, 4, 3, v=3, c=8, stride=2, padding=1)
+        assert layer.output_size(8, 8) == (4, 4)
+
+    def test_workload(self):
+        layer = LUTConv2d(2, 4, 3, v=3, c=8, stride=1, padding=1)
+        w = layer.workload(2, 6, 6, name="conv")
+        assert w.m == 2 * 6 * 6
+        assert w.k == 18
+        assert w.n == 4
+
+
+class TestGemmWorkload:
+    def test_repr(self):
+        w = GemmWorkload(10, 20, 30, 4, 16, name="x")
+        assert "x" in repr(w)
+
+    def test_num_subspaces_rounds_up(self):
+        assert GemmWorkload(1, 10, 1, 4, 8).num_subspaces == 3

@@ -1,0 +1,169 @@
+"""Tests for LUTBoost multistage training vs the single-stage baseline."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost import (
+    MultistageTrainer,
+    SingleStageTrainer,
+    TrainingLog,
+    lut_operators,
+    model_reconstruction_loss,
+    reconstruction_loss,
+)
+from repro.lutboost.trainer import _centroid_params, _non_centroid_params, train_epochs
+from repro.models import mlp
+from repro.nn import Adam, ArrayDataset, Tensor, evaluate_accuracy
+
+
+@pytest.fixture
+def task(rng):
+    """Small separable 4-class task + a pretrained FP model."""
+    d, classes = 12, 4
+    proto = rng.normal(size=(classes, d)) * 2.0
+    y = rng.integers(0, classes, 360)
+    x = proto[y] + rng.normal(scale=0.4, size=(360, d))
+    train = ArrayDataset(x[:280], y[:280])
+    test = ArrayDataset(x[280:], y[280:])
+    model = mlp(d, hidden=24, num_classes=classes, seed=1)
+    train_epochs(model, train, 12, Adam(model.parameters(), 5e-3),
+                 batch_size=32)
+    return model, train, test
+
+
+class TestTrainingLog:
+    def test_stage_marks(self):
+        log = TrainingLog()
+        log.mark_stage("a")
+        log.log_loss(1.0)
+        log.mark_stage("b")
+        assert log.stage_boundaries == [(0, "a"), (1, "b")]
+
+    def test_accuracy_records(self):
+        log = TrainingLog()
+        log.log_accuracy("final", 0.9)
+        assert log.accuracies == {"final": 0.9}
+
+
+class TestMultistageTrainer:
+    def test_pipeline_preserves_accuracy(self, task):
+        model, train, test = task
+        base_acc = evaluate_accuracy(model, test)
+        trainer = MultistageTrainer(v=3, c=16, centroid_epochs=2,
+                                    joint_epochs=3, centroid_lr=5e-3,
+                                    joint_lr=1e-3)
+        log = trainer.run(model, train, test)
+        assert log.accuracies["after_joint"] >= base_acc - 0.15
+
+    def test_stage_freezing(self, task, rng):
+        """Weights must not move during the centroid stage."""
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8, centroid_epochs=1,
+                                    joint_epochs=0)
+        trainer.convert(model, train.inputs[:32])
+        weights_before = [p.data.copy() for p in _non_centroid_params(model)]
+        centroids_before = [p.data.copy() for p in _centroid_params(model)]
+        trainer.fit(model, train)
+        for before, p in zip(weights_before, _non_centroid_params(model)):
+            np.testing.assert_array_equal(before, p.data)
+        moved = any(
+            not np.array_equal(before, p.data)
+            for before, p in zip(centroids_before, _centroid_params(model))
+        )
+        assert moved
+
+    def test_joint_stage_moves_weights(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8, centroid_epochs=0,
+                                    joint_epochs=1)
+        trainer.convert(model, train.inputs[:32])
+        weights_before = [p.data.copy() for p in _non_centroid_params(model)]
+        trainer.fit(model, train)
+        moved = any(
+            not np.array_equal(before, p.data)
+            for before, p in zip(weights_before, _non_centroid_params(model))
+        )
+        assert moved
+
+    def test_requires_grad_restored(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8, centroid_epochs=1,
+                                    joint_epochs=1)
+        trainer.run(model, train)
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_loss_logged_every_batch(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8, centroid_epochs=1,
+                                    joint_epochs=1, batch_size=70)
+        log = trainer.run(model, train)
+        assert len(log.losses) == 2 * len(range(0, 280, 70))
+
+    def test_multistage_beats_single_stage(self, task, rng):
+        """The Table II / Fig. 7 headline: multistage converges better."""
+        model_a, train, test = task
+        state = model_a.state_dict()
+        multi = MultistageTrainer(v=3, c=8, centroid_epochs=2,
+                                  joint_epochs=3, centroid_lr=5e-3,
+                                  joint_lr=1e-3)
+        log_multi = multi.run(model_a, train, test)
+
+        model_b = mlp(12, hidden=24, num_classes=4, seed=1)
+        model_b.load_state_dict(state)
+        single = SingleStageTrainer(v=3, c=8, epochs=5, lr=1e-3)
+        log_single = single.run(model_b, train, test)
+        assert (log_multi.accuracies["after_joint"]
+                >= log_single.accuracies["final"])
+
+
+class TestSingleStageTrainer:
+    def test_randomizes_centroids(self, task):
+        model, train, test = task
+        trainer = SingleStageTrainer(v=3, c=8, epochs=1)
+        trainer.run(model, train, test)
+        ops = lut_operators(model)
+        assert ops and all(op.calibrated for _, op in ops)
+
+    def test_log_structure(self, task):
+        model, train, _ = task
+        log = SingleStageTrainer(v=3, c=8, epochs=1).run(model, train)
+        assert log.stage_boundaries[0][1] == "single"
+
+
+class TestReconstructionLoss:
+    def test_zero_before_forward(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8)
+        trainer.convert(model, train.inputs[:32])
+        for _, op in lut_operators(model):
+            op.last_input = None
+            op.last_quantized = None
+        assert model_reconstruction_loss(model).item() == 0.0
+
+    def test_positive_after_forward(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8)
+        trainer.convert(model, train.inputs[:32])
+        model(Tensor(train.inputs[:16]))
+        assert model_reconstruction_loss(model).item() > 0.0
+
+    def test_output_space_variant(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8)
+        trainer.convert(model, train.inputs[:32])
+        model(Tensor(train.inputs[:16]))
+        op = lut_operators(model)[0][1]
+        feat = reconstruction_loss(op, output_space=False).item()
+        out = reconstruction_loss(op, output_space=True).item()
+        assert feat > 0 and out > 0 and feat != out
+
+    def test_gradients_flow_to_centroids(self, task):
+        model, train, _ = task
+        trainer = MultistageTrainer(v=3, c=8)
+        trainer.convert(model, train.inputs[:32])
+        model(Tensor(train.inputs[:16]))
+        loss = model_reconstruction_loss(model)
+        loss.backward()
+        op = lut_operators(model)[0][1]
+        assert op.centroids.grad is not None
+        assert np.abs(op.centroids.grad).max() > 0

@@ -1,0 +1,136 @@
+"""Tests for the model zoo (topology, shapes, trainability)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LeNet,
+    TransformerClassifier,
+    bert_mini,
+    distilbert_mini,
+    lenet,
+    mlp,
+    opt_mini,
+    resnet18,
+    resnet20,
+    resnet32,
+    resnet34,
+    resnet56,
+    vgg11,
+)
+from repro.models.resnet import BasicBlock, ResNetCIFAR
+from repro.nn import Tensor
+
+
+class TestResNetCIFAR:
+    @pytest.mark.parametrize("factory,depth", [
+        (resnet20, 20), (resnet32, 32), (resnet56, 56)])
+    def test_depth_block_counts(self, factory, depth):
+        model = factory(width=4)
+        blocks = sum(isinstance(m, BasicBlock) for m in model.modules())
+        assert blocks == (depth - 2) // 2  # 3 stages x (depth-2)/6 each
+
+    def test_rejects_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ResNetCIFAR(21)
+
+    def test_forward_shape(self, rng):
+        model = resnet20(num_classes=10, width=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 12, 12))))
+        assert out.shape == (2, 10)
+
+    def test_param_count_grows_with_depth(self):
+        assert resnet32(width=4).num_parameters() > \
+            resnet20(width=4).num_parameters()
+
+    def test_downsampling_stages(self, rng):
+        model = resnet20(width=4)
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        out = model.stem_bn(model.stem(x)).relu()
+        out = model.stage1(out)
+        assert out.shape[2] == 16
+        out = model.stage2(out)
+        assert out.shape[2] == 8
+        out = model.stage3(out)
+        assert out.shape[2] == 4
+
+    def test_gradients_reach_stem(self, rng):
+        model = resnet20(width=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 12, 12))))
+        out.sum().backward()
+        assert model.stem.weight.grad is not None
+
+
+class TestResNetImageNet:
+    def test_resnet18_forward(self, rng):
+        model = resnet18(num_classes=20, width=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 20)
+
+    def test_resnet34_deeper(self):
+        assert resnet34(width=4).num_parameters() > \
+            resnet18(width=4).num_parameters()
+
+    def test_rejects_unsupported_depth(self):
+        from repro.models.resnet import ResNetImageNet
+
+        with pytest.raises(ValueError):
+            ResNetImageNet(50)
+
+
+class TestVGGLeNetMLP:
+    def test_vgg_forward(self, rng):
+        model = vgg11(num_classes=10, width=8)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_lenet_forward(self, rng):
+        model = lenet(num_classes=10, image_size=16)
+        out = model(Tensor(rng.normal(size=(2, 1, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_lenet_image_size_scaling(self, rng):
+        model = LeNet(image_size=12)
+        out = model(Tensor(rng.normal(size=(1, 1, 12, 12))))
+        assert out.shape == (1, 10)
+
+    def test_mlp_flattens(self, rng):
+        model = mlp(27, hidden=16, num_classes=5)
+        out = model(Tensor(rng.normal(size=(2, 3, 3, 3))))
+        assert out.shape == (2, 5)
+
+    def test_mlp_depth(self):
+        from repro.nn import Linear
+
+        deep = mlp(8, hidden=8, num_classes=2, depth=4)
+        linears = sum(isinstance(m, Linear) for m in deep.modules())
+        assert linears == 4
+
+
+class TestTransformers:
+    @pytest.mark.parametrize("factory", [bert_mini, distilbert_mini, opt_mini])
+    def test_forward_shape(self, factory, rng):
+        model = factory(vocab_size=32, num_classes=3)
+        tokens = rng.integers(0, 32, (2, 10))
+        out = model(tokens)
+        assert out.shape == (2, 3)
+
+    def test_distil_is_smaller(self):
+        assert distilbert_mini().num_parameters() < \
+            bert_mini().num_parameters()
+
+    def test_rejects_long_sequence(self, rng):
+        model = TransformerClassifier(16, 2, max_len=8)
+        with pytest.raises(ValueError):
+            model(rng.integers(0, 16, (1, 20)))
+
+    def test_accepts_tensor_tokens(self, rng):
+        model = bert_mini(vocab_size=16)
+        out = model(Tensor(rng.integers(0, 16, (2, 6)).astype(float)))
+        assert out.shape == (2, 2)
+
+    def test_gradients_reach_embeddings(self, rng):
+        model = bert_mini(vocab_size=16)
+        out = model(rng.integers(0, 16, (2, 6)))
+        out.sum().backward()
+        assert model.tok_embed.weight.grad is not None

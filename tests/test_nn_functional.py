@@ -1,0 +1,151 @@
+"""Tests for functional ops: conv (vs scipy), pooling, losses, softmax."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import Tensor, functional as F
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)) * 10)
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_stability_large_logits(self):
+        x = Tensor([[1000.0, 1000.0]])
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-12)
+
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1]])))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert loss.item() == pytest.approx(-np.log(0.7))
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        targets = np.array([0, 1, 2, 0, 1])
+        F.cross_entropy(logits, targets).backward()
+        p = np.exp(logits.data - logits.data.max(1, keepdims=True))
+        p /= p.sum(1, keepdims=True)
+        expected = p
+        expected[np.arange(5), targets] -= 1
+        expected /= 5
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-12)
+
+    def test_mse_loss(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_gelu_known_points(self):
+        out = F.gelu(Tensor([0.0]))
+        assert out.item() == pytest.approx(0.0, abs=1e-12)
+        # GELU(x) -> x for large positive x.
+        assert F.gelu(Tensor([10.0])).item() == pytest.approx(10.0, rel=1e-4)
+
+    def test_one_hot(self):
+        oh = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(oh, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestConv:
+    def test_conv_output_size(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(7, 3, 1, 0) == 5
+
+    def test_conv2d_matches_scipy(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1)
+        for oc in range(3):
+            expected = np.zeros((8, 8))
+            for ic in range(2):
+                expected += signal.correlate2d(x[0, ic], w[oc, ic],
+                                               mode="same")
+            np.testing.assert_allclose(out.data[0, oc], expected, atol=1e-10)
+
+    def test_conv2d_stride2(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_conv2d_bias(self, rng):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -1.0]))
+        out = F.conv2d(x, w, b, padding=1)
+        np.testing.assert_allclose(out.data[0, 0], np.ones((4, 4)))
+        np.testing.assert_allclose(out.data[0, 1], -np.ones((4, 4)))
+
+    def test_conv2d_gradients_flow(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        out = F.conv2d(x, w, padding=1)
+        (out ** 2).sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+        assert np.abs(w.grad).max() > 0
+
+    def test_im2col_array_shape(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        patches, oh, ow = F.im2col_array(x, kernel=3, stride=1, padding=1)
+        assert (oh, ow) == (6, 6)
+        assert patches.shape == (2 * 36, 27)
+
+    def test_im2col_tensor_matches_array(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        p_arr, _, _ = F.im2col_array(x, 3, 2, 1)
+        p_t, _, _ = F.im2col(Tensor(x), 3, 2, 1)
+        np.testing.assert_allclose(p_t.data, p_arr)
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_grad_goes_to_max(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]),
+                   requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0, 0], [0, 1]])
+
+
+class TestNorms:
+    def test_layer_norm_statistics(self, rng):
+        x = Tensor(rng.normal(size=(4, 10)) * 5 + 3)
+        out = F.layer_norm(x, Tensor(np.ones(10)), Tensor(np.zeros(10)))
+        np.testing.assert_allclose(out.data.mean(-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.data.std(-1), np.ones(4), atol=1e-3)
+
+    def test_layer_norm_affine(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)))
+        out = F.layer_norm(x, Tensor(np.full(4, 2.0)), Tensor(np.full(4, 1.0)))
+        base = F.layer_norm(x, Tensor(np.ones(4)), Tensor(np.zeros(4)))
+        np.testing.assert_allclose(out.data, base.data * 2 + 1, atol=1e-12)
+
+    def test_dropout_eval_identity(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_scales(self, rng):
+        x = Tensor(np.ones(10000))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        # Inverted dropout preserves the mean.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out.data)) <= {0.0, 2.0}

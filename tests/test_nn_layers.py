@@ -1,0 +1,203 @@
+"""Tests for Module machinery and the layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+    TransformerEncoderLayer,
+)
+
+
+class TestModuleMachinery:
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = dict(model.named_parameters())
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_modules_traversal(self):
+        model = Sequential(Linear(4, 4), Sequential(Linear(4, 4)))
+        assert sum(isinstance(m, Linear) for m in model.modules()) == 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_num_parameters(self):
+        model = Linear(3, 5)
+        assert model.num_parameters() == 3 * 5 + 5
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(4, 3, rng=np.random.default_rng(1))
+        b = Linear(4, 3, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_missing(self):
+        model = Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        model = Linear(3, 2)
+        model(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinearConv:
+    def test_linear_shapes(self, rng):
+        layer = Linear(6, 3)
+        out = layer(Tensor(rng.normal(size=(5, 6))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_weight_layout_is_k_by_n(self):
+        layer = Linear(7, 3)
+        assert layer.weight.shape == (7, 3)
+
+    def test_conv_shapes(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_trains(self, rng):
+        layer = Conv2d(1, 2, 3, padding=1)
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(8, 3, 4, 4)) * 5 + 2)
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(std, np.ones(3), atol=1e-3)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.normal(size=(16, 2, 4, 4)) + 10.0)
+        bn(x)
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(20):
+            bn(Tensor(rng.normal(size=(16, 2, 4, 4)) * 2 + 1))
+        bn.eval()
+        x = Tensor(rng.normal(size=(4, 2, 4, 4)) * 2 + 1)
+        out = bn(x)
+        assert np.abs(out.data.mean()) < 0.5
+
+
+class TestAttention:
+    def test_shapes(self, rng):
+        attn = MultiHeadSelfAttention(16, 4)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_rejects_bad_head_split(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_encoder_layer_residual(self, rng):
+        block = TransformerEncoderLayer(16, 4, 32)
+        x = Tensor(rng.normal(size=(2, 6, 16)))
+        out = block(x)
+        assert out.shape == (2, 6, 16)
+        # Residual path keeps outputs correlated with inputs.
+        corr = np.corrcoef(x.data.ravel(), out.data.ravel())[0, 1]
+        assert corr > 0.3
+
+    def test_gradients_reach_qkv(self, rng):
+        attn = MultiHeadSelfAttention(8, 2)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        attn(x).sum().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert proj.weight.grad is not None
+
+
+class TestMisc:
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_embedding_accepts_tensor(self):
+        emb = Embedding(10, 4)
+        out = emb(Tensor(np.array([1.0, 2.0])))
+        assert out.shape == (2, 4)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_activations_shapes(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        for layer in (ReLU(), GELU()):
+            assert layer(x).shape == (3, 3)
+
+    def test_layer_norm_module(self, rng):
+        ln = LayerNorm(8)
+        out = ln(Tensor(rng.normal(size=(4, 8))))
+        np.testing.assert_allclose(out.data.mean(-1), np.zeros(4), atol=1e-9)
+
+    def test_maxpool_module(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_dropout_module_eval(self, rng):
+        d = Dropout(0.9)
+        d.eval()
+        x = Tensor(rng.normal(size=(5,)))
+        np.testing.assert_allclose(d(x).data, x.data)
+
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad

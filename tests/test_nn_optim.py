@@ -1,0 +1,111 @@
+"""Tests for optimisers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineLR, StepLR, Tensor
+from repro.nn.layers import Parameter
+
+
+def _quadratic_step(optimizer, param, target):
+    """One gradient step on 0.5 * ||p - target||^2."""
+    optimizer.zero_grad()
+    loss = ((param - Tensor(target)) ** 2).sum() * 0.5
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.3)
+        target = np.array([1.0, 2.0])
+        for _ in range(50):
+            _quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                loss = _quadratic_step(opt, p, target)
+            losses[momentum] = loss
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad — must not crash
+        assert p.data[0] == 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(300):
+            _quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |first step| ~= lr regardless of grad scale.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1000.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_cosine_lr_endpoints(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))

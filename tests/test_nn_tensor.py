@@ -1,0 +1,251 @@
+"""Unit tests for the autograd tensor (gradients checked numerically)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, cat, no_grad, stack, where
+
+
+def _leaf(rng, shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_scalar_add(self):
+        out = Tensor([1.0, 2.0]) + 3.0
+        np.testing.assert_allclose(out.data, [4.0, 5.0])
+
+    def test_mul_broadcast(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        out = Tensor(a) * Tensor(b)
+        np.testing.assert_allclose(out.data, a * b)
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_batched_matmul(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+
+    def test_neg_sub_div(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4) + 2.0
+        np.testing.assert_allclose((-Tensor(a)).data, -a)
+        np.testing.assert_allclose((Tensor(a) - Tensor(b)).data, a - b)
+        np.testing.assert_allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_rsub_rdiv(self):
+        np.testing.assert_allclose((1.0 - Tensor([0.5])).data, [0.5])
+        np.testing.assert_allclose((1.0 / Tensor([4.0])).data, [0.25])
+
+    def test_reductions(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).sum().data, a.sum())
+        np.testing.assert_allclose(Tensor(a).mean(axis=0).data, a.mean(0))
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(1))
+        np.testing.assert_allclose(Tensor(a).var(axis=1).data, a.var(1))
+
+    def test_shape_ops(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert Tensor(a).reshape(6, 4).shape == (6, 4)
+        assert Tensor(a).transpose(2, 0, 1).shape == (4, 2, 3)
+        assert Tensor(a).reshape(-1).shape == (24,)
+        assert Tensor(rng.normal(size=(3, 4))).T.shape == (4, 3)
+
+    def test_getitem(self, rng):
+        a = rng.normal(size=(5, 4))
+        out = Tensor(a)[2]
+        np.testing.assert_allclose(out.data, a[2])
+
+    def test_elementwise_fns(self, rng):
+        a = rng.normal(size=6)
+        np.testing.assert_allclose(Tensor(a).exp().data, np.exp(a))
+        np.testing.assert_allclose(Tensor(np.abs(a) + 1).log().data,
+                                   np.log(np.abs(a) + 1))
+        np.testing.assert_allclose(Tensor(a).tanh().data, np.tanh(a))
+        np.testing.assert_allclose(Tensor(a).abs().data, np.abs(a))
+        np.testing.assert_allclose(Tensor(a).relu().data, np.maximum(a, 0))
+        np.testing.assert_allclose(Tensor(np.abs(a)).sqrt().data,
+                                   np.sqrt(np.abs(a)))
+        np.testing.assert_allclose(Tensor(a).sigmoid().data,
+                                   1 / (1 + np.exp(-a)))
+
+    def test_clip(self):
+        out = Tensor([-2.0, 0.5, 3.0]).clip(-1, 1)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+
+class TestGradients:
+    @pytest.mark.parametrize("op_name", [
+        "add", "sub", "mul", "div", "matmul"])
+    def test_binary_ops(self, rng, gradcheck, op_name):
+        ops = {
+            "add": (lambda x, y: x + y, lambda x, y: x + y),
+            "sub": (lambda x, y: x - y, lambda x, y: x - y),
+            "mul": (lambda x, y: x * y, lambda x, y: x * y),
+            "div": (lambda x, y: x / y, lambda x, y: x / y),
+            "matmul": (lambda x, y: x @ y, lambda x, y: x @ y),
+        }
+        t_op, n_op = ops[op_name]
+        if op_name == "matmul":
+            a = _leaf(rng, (3, 4))
+            b = _leaf(rng, (4, 2))
+        else:
+            a = _leaf(rng, (3, 4))
+            b = Tensor(rng.normal(size=(3, 4)) + 3.0, requires_grad=True)
+        out = t_op(a, b).sum()
+        out.backward()
+        fn = lambda ad, bd: n_op(ad, bd).sum()
+        for t, i in ((a, 0), (b, 1)):
+            num = gradcheck(fn, [a.data, b.data], i)
+            np.testing.assert_allclose(t.grad, num, atol=1e-5)
+
+    def test_broadcast_grad_shapes(self, rng):
+        a = _leaf(rng, (3, 4))
+        b = _leaf(rng, (4,))
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+
+    @pytest.mark.parametrize("fn_name", [
+        "exp", "tanh", "relu", "sigmoid", "abs"])
+    def test_unary_ops(self, rng, gradcheck, fn_name):
+        references = {
+            "exp": np.exp,
+            "tanh": np.tanh,
+            "relu": lambda d: np.maximum(d, 0),
+            "sigmoid": lambda d: 1 / (1 + np.exp(-d)),
+            "abs": np.abs,
+        }
+        a = _leaf(rng, (4, 3))
+        out = getattr(a, fn_name)().sum()
+        out.backward()
+        num = gradcheck(lambda d: references[fn_name](d).sum(), [a.data], 0)
+        np.testing.assert_allclose(a.grad, num, atol=1e-5)
+
+    def test_sum_axis_grad(self, rng):
+        a = _leaf(rng, (3, 4))
+        (a.sum(axis=1) ** 2).sum().backward()
+        expected = 2 * np.repeat(a.data.sum(1, keepdims=True), 4, axis=1)
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_mean_grad(self, rng):
+        a = _leaf(rng, (5,))
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(5, 0.2))
+
+    def test_max_grad_ties_split(self):
+        a = Tensor([1.0, 3.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.5, 0.5])
+
+    def test_getitem_grad_accumulates_duplicates(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        idx = np.array([0, 0, 1])
+        a[idx].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 1.0])
+
+    def test_reshape_transpose_grad(self, rng):
+        a = _leaf(rng, (2, 6))
+        (a.reshape(3, 4).transpose() ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+    def test_diamond_graph_accumulation(self, rng):
+        a = _leaf(rng, (3,))
+        out = (a * 2 + a * 3).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 5.0))
+
+    def test_reused_leaf_accumulates(self, rng):
+        a = _leaf(rng, (3,))
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+    def test_backward_twice_accumulates(self, rng):
+        a = _leaf(rng, (3,))
+        a.sum().backward()
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 2.0))
+
+    def test_pad2d_grad(self, rng):
+        a = _leaf(rng, (1, 1, 3, 3))
+        out = a.pad2d(1)
+        assert out.shape == (1, 1, 5, 5)
+        (out ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+
+class TestGraphControl:
+    def test_no_grad_blocks_graph(self, rng):
+        a = _leaf(rng, (3,))
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_detach(self, rng):
+        a = _leaf(rng, (3,))
+        d = a.detach()
+        assert not d.requires_grad
+        (d * 2).sum()
+        assert a.grad is None
+
+    def test_constant_no_graph(self):
+        out = Tensor([1.0]) + Tensor([2.0])
+        assert not out.requires_grad
+
+    def test_zero_grad(self, rng):
+        a = _leaf(rng, (3,))
+        a.sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestHelpers:
+    def test_cat_forward_and_grad(self, rng):
+        a = _leaf(rng, (2, 3))
+        b = _leaf(rng, (4, 3))
+        out = cat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((4, 3), 2.0))
+
+    def test_stack_forward_and_grad(self, rng):
+        a = _leaf(rng, (3,))
+        b = _leaf(rng, (3,))
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_where_grad(self, rng):
+        a = _leaf(rng, (4,))
+        b = _leaf(rng, (4,))
+        cond = np.array([True, False, True, False])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, cond.astype(float))
+        np.testing.assert_allclose(b.grad, (~cond).astype(float))
+
+    def test_repr_and_item(self):
+        t = Tensor(3.5)
+        assert t.item() == 3.5
+        assert "Tensor" in repr(t)
+
+    def test_len_and_size(self, rng):
+        t = Tensor(rng.normal(size=(4, 2)))
+        assert len(t) == 4
+        assert t.size == 8
+        assert t.ndim == 2

@@ -1,0 +1,48 @@
+"""Tests for the repro.paper one-call regeneration API."""
+
+import pytest
+
+from repro import paper
+
+
+class TestPaperAPI:
+    def test_table1_rows(self):
+        rows = paper.table1()
+        assert len(rows) == 6
+        totals = {r["dataflow"]: r["total_kb"] for r in rows}
+        assert totals["LS"] == pytest.approx(17.3, rel=0.05)
+
+    def test_table7_rows(self):
+        rows = paper.table7()
+        assert [r["design"] for r in rows] == [
+            "Design1-Tiny", "Design2-Large", "Design3-Fit"]
+
+    def test_table8_contains_all(self):
+        names = {r["name"] for r in paper.table8()}
+        assert "NVIDIA A100" in names and "Design3-Fit" in names
+        assert len(names) == 10
+
+    def test_table9_rows(self):
+        rows = {r["arch"]: r for r in paper.table9()}
+        assert rows["PQA"]["onchip_kb"] > 100 * rows["LUT-DLA"]["onchip_kb"]
+        assert rows["PQA"]["kcycles"] > rows["LUT-DLA"]["kcycles"]
+
+    def test_figure1_rows(self):
+        rows = paper.figure1()
+        series = {r["series"] for r in rows}
+        assert "int_mult" in series and "lut_v4" in series
+
+    def test_figure13_subset(self):
+        rows = paper.figure13(models=("resnet18",))
+        assert len(rows) == 6
+        assert all(r["latency_ms"] > 0 for r in rows)
+
+    def test_figure14_normalisation(self):
+        rows = paper.figure14(models=("bert",))
+        ref = [r for r in rows if r["hw"] == "NVDLA-Small"][0]
+        assert ref["speedup"] == pytest.approx(1.0)
+
+    def test_regenerate_all_keys(self):
+        out = paper.regenerate_all()
+        assert set(out) == {"figure1", "table1", "table7", "table8",
+                            "table9", "figure13", "figure14"}

@@ -1,0 +1,171 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check invariants that tie subsystems together: the LUT AMM identity,
+dataflow accounting, analytic-model monotonicities, simulator conservation
+laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import compute_cost, gemm_cost, memory_cost, omega_breakdown
+from repro.hw import IMMConfig, LUTDLADesign, dpe_area_um2, imm_sram_kb
+from repro.lutboost import GemmWorkload
+from repro.sim import SimConfig, analyze_dataflow, simulate_gemm
+from repro.vq import Codebook, PSumLUT
+
+dims = st.integers(2, 12)
+small_vc = st.tuples(st.integers(1, 6), st.integers(2, 8))
+
+
+class TestLutIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 30), st.integers(2, 10), st.integers(1, 5),
+           st.integers(0, 1000))
+    def test_lookup_equals_decoded_gemm(self, k, n, v, seed):
+        """For ANY codebook: lookup_accumulate(encode(A)) == quantize(A) @ B.
+
+        This is the invariant that makes LUT inference legal: the table
+        path must agree exactly with the decoded-matrix GEMM.
+        """
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(8, k))
+        b = rng.normal(size=(k, n))
+        c = min(4, 8)
+        book = Codebook.fit(a, v=v, c=c, seed=seed, max_iter=4)
+        lut = PSumLUT.precompute(book, b)
+        via_lut = lut.lookup_accumulate(book.encode(a))
+        via_decode = book.quantize(a) @ b
+        np.testing.assert_allclose(via_lut, via_decode, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 30), st.integers(1, 5), st.integers(0, 100))
+    def test_quantize_is_idempotent(self, k, v, seed):
+        """quantize(quantize(A)) == quantize(A): centroids map to
+        themselves."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(16, k))
+        book = Codebook.fit(a, v=v, c=4, seed=seed, max_iter=4)
+        once = book.quantize(a)
+        twice = book.quantize(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestAnalyticInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(16, 512), st.integers(16, 512), st.integers(16, 512),
+           small_vc)
+    def test_compute_cost_positive_and_bounded(self, m, k, n, vc):
+        v, c = vc
+        tau = compute_cost(m, k, n, v, c)
+        assert tau > 0
+        # The accumulate term alone cannot exceed the exact GEMM cost.
+        assert m * n * np.ceil(k / v) <= gemm_cost(m, k, n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(16, 256), st.integers(16, 256), st.integers(16, 256),
+           small_vc)
+    def test_memory_cost_monotone_in_c(self, m, k, n, vc):
+        v, c = vc
+        assert memory_cost(m, k, n, v, 2 * c) > memory_cost(m, k, n, v, c)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(16, 256), st.integers(16, 256), st.integers(16, 256),
+           st.integers(1, 6), st.integers(1, 6))
+    def test_omega_parts_scale_inverse_with_parallelism(self, m, k, n,
+                                                        n_imm, n_ccu):
+        base = omega_breakdown(m, k, n, 4, 16, 683, 1, 1)
+        scaled = omega_breakdown(m, k, n, 4, 16, 683, n_imm, n_ccu)
+        assert scaled["lookup"] == pytest.approx(base["lookup"] / n_imm)
+        assert scaled["similarity"] == pytest.approx(
+            base["similarity"] / n_ccu)
+        assert scaled["load"] == base["load"]
+
+
+class TestHardwareInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 32))
+    def test_dpe_metric_ordering_holds_everywhere(self, v):
+        assert dpe_area_um2(v, "l2") > dpe_area_um2(v, "l1") \
+            > dpe_area_um2(v, "chebyshev")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 128), st.integers(8, 512), st.integers(8, 1024))
+    def test_imm_sram_formula(self, c, tn, m):
+        """SRAM KB must equal the closed-form Table VII expression."""
+        config = IMMConfig(c=c, tn=tn, m_tile=m)
+        expected = (m * tn * 8 + 2 * c * tn * 8
+                    + m * config.index_bits) / 8.0 / 1024.0
+        assert imm_sram_kb(config) == pytest.approx(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_design_ppa_monotone_in_modules(self, n_ccu, n_imm):
+        base = LUTDLADesign("a", 4, 16, 128, 256, n_ccu, n_imm)
+        bigger = LUTDLADesign("b", 4, 16, 128, 256, n_ccu + 1, n_imm + 1)
+        assert bigger.area_mm2() > base.area_mm2()
+        assert bigger.power_mw() > base.power_mw()
+        assert bigger.peak_gops() >= base.peak_gops()
+
+
+class TestDataflowInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(16, 512), st.integers(16, 512), st.integers(16, 512),
+           small_vc)
+    def test_ls_never_worse_than_k_inner_orders(self, m, k, n, vc):
+        """LS wins whenever the full LUT outweighs an M x Tn scratchpad —
+        the regime every real layer is in. (For toy GEMMs whose entire LUT
+        is a few hundred bytes the trade-off legitimately inverts.)"""
+        from hypothesis import assume
+
+        v, c = vc
+        ls = analyze_dataflow("LS", m, k, n, v, c)
+        full_lut = analyze_dataflow("MNK", m, k, n, v, c).lut_bytes
+        assume(full_lut > 2 * (ls.scratchpad_bytes + ls.indices_bytes))
+        for name in ("MNK", "NMK", "MKN"):
+            assert ls.total_bytes <= \
+                analyze_dataflow(name, m, k, n, v, c).total_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(32, 256), st.integers(32, 256), st.integers(32, 256),
+           small_vc)
+    def test_full_lut_dominates_k_inner_totals(self, m, k, n, vc):
+        v, c = vc
+        for name in ("MNK", "NMK", "MKN"):
+            d = analyze_dataflow(name, m, k, n, v, c)
+            assert d.lut_bytes >= 0.5 * d.total_bytes
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(16, 128), st.integers(8, 64), st.integers(8, 64),
+           st.integers(0, 100))
+    def test_total_cycles_at_least_lookup_work(self, m, k, n, seed):
+        """Wall-clock can never undercut the per-IMM lookup work."""
+        wl = GemmWorkload(m, k, n, v=4, c=8)
+        config = SimConfig(tn=16, n_imm=1, n_ccu=1,
+                           bandwidth_bits_per_cycle=683)
+        res = simulate_gemm(wl, config)
+        nc = int(np.ceil(k / 4))
+        no = int(np.ceil(n / min(16, n)))
+        assert res.total_cycles >= m * nc * no
+        assert res.lookup_cycles == m * nc * no
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(16, 128), st.integers(8, 64), st.integers(8, 64))
+    def test_more_bandwidth_never_slower(self, m, k, n):
+        wl = GemmWorkload(m, k, n, v=4, c=8)
+        slow = simulate_gemm(wl, SimConfig(tn=16, n_imm=1,
+                                           bandwidth_bits_per_cycle=8))
+        fast = simulate_gemm(wl, SimConfig(tn=16, n_imm=1,
+                                           bandwidth_bits_per_cycle=2048))
+        assert fast.total_cycles <= slow.total_cycles
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(16, 96), st.integers(8, 48), st.integers(32, 96))
+    def test_bottleneck_counts_sum_to_steps(self, m, k, n):
+        wl = GemmWorkload(m, k, n, v=4, c=8)
+        res = simulate_gemm(wl, SimConfig(tn=16, n_imm=2,
+                                          bandwidth_bits_per_cycle=683))
+        assert sum(res.bottlenecks.values()) == res.steps

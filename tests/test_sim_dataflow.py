@@ -1,0 +1,77 @@
+"""Tests for dataflow memory analysis — must reproduce Table I exactly."""
+
+import pytest
+
+from repro.sim import DATAFLOWS, analyze_dataflow, dataflow_table
+
+
+class TestTable1:
+    """Paper Table I at M=512, K=N=768, c=32 (Nc=86, i.e. v=9 — see the
+    module docstring for the caption discrepancy), Tn=32, 8-bit entries."""
+
+    @pytest.fixture
+    def table(self):
+        return {row["dataflow"]: row for row in dataflow_table()}
+
+    @pytest.mark.parametrize("dataflow,scratch,idx,lut,total", [
+        ("MNK", 0.03, 0.05, 2064.0, 2064.1),
+        ("NMK", 0.03, 26.9, 2064.0, 2090.9),
+        ("MKN", 0.75, 0.0006, 2064.0, 2064.8),
+        ("KMN", 384.0, 0.0006, 24.0, 408.0),
+        ("KNM", 384.0, 0.31, 1.0, 385.3),
+        ("LS", 16.0, 0.31, 1.0, 17.3),
+    ])
+    def test_exact_paper_numbers(self, table, dataflow, scratch, idx, lut,
+                                 total):
+        row = table[dataflow]
+        assert row["scratchpad_kb"] == pytest.approx(scratch, rel=0.05)
+        assert row["indices_kb"] == pytest.approx(idx, rel=0.1)
+        assert row["psum_lut_kb"] == pytest.approx(lut, rel=0.05)
+        assert row["total_kb"] == pytest.approx(total, rel=0.05)
+
+    def test_ls_is_smallest(self, table):
+        ls_total = table["LS"]["total_kb"]
+        for name in DATAFLOWS:
+            if name != "LS":
+                assert table[name]["total_kb"] > ls_total
+
+    def test_k_inner_orders_need_full_lut(self, table):
+        for name in ("MNK", "NMK", "MKN"):
+            assert table[name]["psum_lut_kb"] == pytest.approx(2064.0,
+                                                               rel=0.01)
+
+    def test_k_outer_orders_need_full_output(self, table):
+        for name in ("KMN", "KNM"):
+            assert table[name]["scratchpad_kb"] == pytest.approx(384.0)
+
+
+class TestAnalyzeDataflow:
+    def test_unknown_dataflow(self):
+        with pytest.raises(ValueError):
+            analyze_dataflow("KKN", 10, 10, 10, 2, 4)
+
+    def test_case_insensitive(self):
+        a = analyze_dataflow("ls", 64, 64, 64, 4, 8)
+        b = analyze_dataflow("LS", 64, 64, 64, 4, 8)
+        assert a.total_bytes == b.total_bytes
+
+    def test_scaling_with_m(self):
+        small = analyze_dataflow("LS", 64, 64, 64, 4, 8)
+        big = analyze_dataflow("LS", 640, 64, 64, 4, 8)
+        assert big.scratchpad_bytes == pytest.approx(
+            10 * small.scratchpad_bytes)
+
+    def test_larger_c_needs_bigger_lut(self):
+        small = analyze_dataflow("LS", 64, 64, 64, 4, 8)
+        big = analyze_dataflow("LS", 64, 64, 64, 4, 32)
+        assert big.lut_bytes > small.lut_bytes
+        # Index width also grows: log2(32) = 5 vs log2(8) = 3.
+        assert big.indices_bytes > small.indices_bytes
+
+    def test_total_is_sum(self):
+        d = analyze_dataflow("KNM", 64, 64, 64, 4, 8)
+        assert d.total_bytes == pytest.approx(
+            d.scratchpad_bytes + d.indices_bytes + d.lut_bytes)
+
+    def test_repr(self):
+        assert "LS" in repr(analyze_dataflow("LS", 64, 64, 64, 4, 8))

@@ -1,0 +1,112 @@
+"""Tests for the cycle-accurate LS-dataflow simulator."""
+
+import pytest
+
+from repro.lutboost import GemmWorkload
+from repro.sim import SimConfig, simulate_gemm, simulate_workloads
+from repro.hw import DESIGN1
+
+
+def _config(**kwargs):
+    defaults = dict(tn=16, n_imm=1, n_ccu=1, bandwidth_bits_per_cycle=683)
+    defaults.update(kwargs)
+    return SimConfig(**defaults)
+
+
+class TestCycleCounts:
+    def test_table9_lut_dla_cycles(self):
+        """GEMM 512x768x768, c=32, v=4, Tn=16: paper reports 4743k cycles;
+        the simulator must land within 2%."""
+        wl = GemmWorkload(512, 768, 768, v=4, c=32)
+        res = simulate_gemm(wl, _config(bandwidth_bits_per_cycle=64))
+        assert res.total_cycles == pytest.approx(4743e3, rel=0.02)
+
+    def test_lookup_bound_case_is_mnk_over_tn(self):
+        """With plenty of bandwidth and CCM speed, cycles ~ M*Nc*No."""
+        wl = GemmWorkload(256, 64, 64, v=4, c=8)
+        config = _config(tn=16, ccm_freq_ratio=4.0,
+                         bandwidth_bits_per_cycle=10000)
+        res = simulate_gemm(wl, config)
+        expected = 256 * 16 * 4  # M * Nc * No
+        assert res.total_cycles == pytest.approx(expected, rel=0.05)
+        assert res.bottlenecks["lookup"] > res.bottlenecks["load"]
+
+    def test_bandwidth_starved_becomes_load_bound(self):
+        wl = GemmWorkload(64, 64, 512, v=4, c=32)
+        fast = simulate_gemm(wl, _config(bandwidth_bits_per_cycle=4096))
+        slow = simulate_gemm(wl, _config(bandwidth_bits_per_cycle=8))
+        assert slow.total_cycles > fast.total_cycles
+        assert slow.bottlenecks["load"] > slow.bottlenecks["lookup"]
+        assert slow.exposed_load_cycles > 0
+
+    def test_ccm_bound_when_n_small(self):
+        """Small N + slow CCM: similarity computation dominates (the
+        paper's motivation for decoupled CCM scaling)."""
+        wl = GemmWorkload(512, 256, 16, v=4, c=16)
+        res = simulate_gemm(wl, _config(tn=16, n_ccu=1, ccm_freq_ratio=0.25))
+        assert res.bottlenecks["similarity"] > 0
+        assert res.similarity_cycles > 0
+
+    def test_doubling_imms_halves_lookup_bound_time(self):
+        """Fig. 10: lookup-limited designs double throughput with 2x IMMs."""
+        wl = GemmWorkload(256, 64, 1024, v=4, c=8)
+        one = simulate_gemm(wl, _config(tn=16, n_imm=1,
+                                        bandwidth_bits_per_cycle=10000,
+                                        ccm_freq_ratio=8))
+        two = simulate_gemm(wl, _config(tn=16, n_imm=2,
+                                        bandwidth_bits_per_cycle=10000,
+                                        ccm_freq_ratio=8))
+        assert one.total_cycles / two.total_cycles == pytest.approx(2.0,
+                                                                    rel=0.1)
+
+    def test_m_split_fills_idle_imms(self):
+        """Single-tile layers must still use extra IMMs via M-splitting."""
+        wl = GemmWorkload(1024, 64, 16, v=4, c=8)  # No = 1 at tn=16
+        one = simulate_gemm(wl, _config(tn=16, n_imm=1, ccm_freq_ratio=8))
+        four = simulate_gemm(wl, _config(tn=16, n_imm=4, ccm_freq_ratio=8))
+        assert four.total_cycles < one.total_cycles / 2
+
+    def test_index_caching_saves_ccm_work(self):
+        wl = GemmWorkload(128, 64, 512, v=4, c=8)
+        cached = simulate_gemm(wl, _config(cache_indices=True,
+                                           ccm_freq_ratio=0.5))
+        uncached = simulate_gemm(wl, _config(cache_indices=False,
+                                             ccm_freq_ratio=0.5))
+        assert uncached.similarity_cycles > cached.similarity_cycles
+
+
+class TestSimResult:
+    def test_utilization_bounded(self):
+        wl = GemmWorkload(64, 64, 64, v=4, c=8)
+        res = simulate_gemm(wl, _config())
+        assert 0 < res.utilization <= 1.0
+
+    def test_effective_gops_positive(self):
+        wl = GemmWorkload(64, 64, 64, v=4, c=8)
+        res = simulate_gemm(wl, _config())
+        assert res.effective_gops > 0
+
+    def test_seconds(self):
+        wl = GemmWorkload(64, 64, 64, v=4, c=8)
+        res = simulate_gemm(wl, _config())
+        assert res.seconds() == pytest.approx(
+            res.total_cycles / res.config.frequency_hz)
+
+    def test_repr(self):
+        wl = GemmWorkload(64, 64, 64, v=4, c=8)
+        assert "SimResult" in repr(simulate_gemm(wl, _config()))
+
+
+class TestSimulateWorkloads:
+    def test_sums_cycles(self):
+        wls = [GemmWorkload(64, 64, 64, v=4, c=8) for _ in range(3)]
+        results, total = simulate_workloads(wls, _config())
+        assert total == sum(r.total_cycles for r in results)
+        assert len(results) == 3
+
+    def test_from_design(self):
+        config = SimConfig.from_design(DESIGN1)
+        assert config.tn == DESIGN1.tn
+        assert config.n_imm == DESIGN1.n_imm
+        # 25.6 GB/s at 300 MHz ~ 683 bits/cycle.
+        assert config.bandwidth_bits_per_cycle == pytest.approx(683, rel=0.01)

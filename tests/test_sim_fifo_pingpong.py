@@ -1,0 +1,88 @@
+"""Tests for the async FIFO and ping-pong buffer primitives."""
+
+import pytest
+
+from repro.sim import AsyncFIFO, PingPongBuffer
+
+
+class TestAsyncFIFO:
+    def test_push_pop_order(self):
+        fifo = AsyncFIFO(4)
+        for i in range(3):
+            assert fifo.push(i)
+        assert [fifo.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_full_stall_counted(self):
+        fifo = AsyncFIFO(2)
+        fifo.push(1)
+        fifo.push(2)
+        assert not fifo.push(3)
+        assert fifo.full_stalls == 1
+        assert len(fifo) == 2
+
+    def test_empty_stall_counted(self):
+        fifo = AsyncFIFO(2)
+        assert fifo.pop() is None
+        assert fifo.empty_stalls == 1
+
+    def test_peek_nondestructive(self):
+        fifo = AsyncFIFO(2)
+        fifo.push("a")
+        assert fifo.peek() == "a"
+        assert len(fifo) == 1
+
+    def test_reset(self):
+        fifo = AsyncFIFO(2)
+        fifo.push(1)
+        fifo.pop()
+        fifo.reset()
+        assert fifo.pushes == 0 and fifo.pops == 0 and fifo.empty
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            AsyncFIFO(0)
+
+    def test_counts(self):
+        fifo = AsyncFIFO(8)
+        for i in range(5):
+            fifo.push(i)
+        for _ in range(5):
+            fifo.pop()
+        assert fifo.pushes == 5 and fifo.pops == 5
+
+
+class TestPingPongBuffer:
+    def test_load_cycles(self):
+        buf = PingPongBuffer(slice_bits=1000, bandwidth_bits_per_cycle=100)
+        assert buf.load_cycles_per_slice == 10
+
+    def test_load_progress(self):
+        buf = PingPongBuffer(1000, 100)
+        buf.begin_load()
+        assert buf.cycles_until_ready() == 10
+        leftover = buf.tick_load(4)
+        assert leftover == 0
+        assert buf.cycles_until_ready() == 6
+        buf.tick_load(6)
+        assert buf.shadow_ready
+
+    def test_tick_returns_leftover(self):
+        buf = PingPongBuffer(100, 100)
+        buf.begin_load()
+        assert buf.tick_load(5) == 4  # 1 cycle used, 4 left over
+
+    def test_swap_requires_ready(self):
+        buf = PingPongBuffer(1000, 100)
+        buf.begin_load()
+        with pytest.raises(RuntimeError):
+            buf.swap()
+        buf.tick_load(10)
+        buf.swap()
+        assert buf.swap_count == 1
+        assert buf.active_valid
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PingPongBuffer(0, 10)
+        with pytest.raises(ValueError):
+            PingPongBuffer(10, 0)

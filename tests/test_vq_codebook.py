@@ -1,0 +1,139 @@
+"""Tests for subspace codebooks (encode/decode/quantize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vq import (
+    Codebook,
+    equivalent_bitwidth,
+    merge_subspaces,
+    split_subspaces,
+)
+
+
+class TestSplitMerge:
+    def test_split_shape(self, rng):
+        m = rng.normal(size=(10, 12))
+        sub, padded = split_subspaces(m, 4)
+        assert sub.shape == (3, 10, 4)
+        assert padded == 12
+
+    def test_split_pads_tail(self, rng):
+        m = rng.normal(size=(10, 10))
+        sub, padded = split_subspaces(m, 4)
+        assert sub.shape == (3, 10, 4)
+        assert padded == 12
+        np.testing.assert_array_equal(sub[2, :, 2:], np.zeros((10, 2)))
+
+    def test_roundtrip(self, rng):
+        m = rng.normal(size=(7, 13))
+        sub, _ = split_subspaces(m, 5)
+        np.testing.assert_allclose(merge_subspaces(sub, 13), m)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 8))
+    def test_roundtrip_property(self, k, v):
+        rng = np.random.default_rng(k * 31 + v)
+        m = rng.normal(size=(4, k))
+        sub, _ = split_subspaces(m, v)
+        np.testing.assert_allclose(merge_subspaces(sub, k), m)
+
+
+class TestEquivalentBitwidth:
+    @pytest.mark.parametrize("v,c,expected", [
+        (9, 8, 3 / 9), (9, 16, 4 / 9), (6, 8, 0.5), (6, 16, 4 / 6),
+        (3, 8, 1.0), (3, 16, 4 / 3), (4, 32, 1.25),
+    ])
+    def test_table5_values(self, v, c, expected):
+        assert equivalent_bitwidth(v, c) == pytest.approx(expected)
+
+
+class TestCodebook:
+    def test_fit_shapes(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        assert book.centroids.shape == (4, 8, 4)
+        assert book.num_subspaces == 4
+        assert book.num_centroids == 8
+        assert book.vector_length == 4
+        assert book.k == 16
+
+    def test_encode_shape_and_range(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        idx = book.encode(clustered_matrix)
+        assert idx.shape == (200, 4)
+        assert idx.min() >= 0 and idx.max() < 8
+
+    def test_quantize_well_clustered_is_accurate(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=16)
+        err = book.quantization_error(clustered_matrix)
+        scale = np.mean(clustered_matrix ** 2)
+        assert err / scale < 0.02
+
+    def test_decode_returns_centroid_rows(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        idx = book.encode(clustered_matrix)
+        decoded = book.decode(idx)
+        assert decoded.shape == clustered_matrix.shape
+        # Every decoded subspace chunk must be one of the centroids.
+        chunk = decoded[0, :4]
+        dists = np.abs(book.centroids[0] - chunk).sum(axis=1)
+        assert dists.min() < 1e-12
+
+    def test_more_centroids_reduce_error(self, clustered_matrix):
+        errs = [
+            Codebook.fit(clustered_matrix, v=4, c=c,
+                         seed=0).quantization_error(clustered_matrix)
+            for c in (2, 4, 8, 16)
+        ]
+        assert errs[0] > errs[-1]
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+
+    def test_shorter_vectors_reduce_error(self, rng):
+        # Unstructured data: shorter sub-vectors must quantize better
+        # (more subspaces => more effective codewords), the Fig. 8 trend.
+        data = rng.normal(size=(300, 16))
+        errs = [
+            Codebook.fit(data, v=v, c=8, seed=0).quantization_error(data)
+            for v in (16, 8, 4, 2)
+        ]
+        assert errs[0] > errs[-1]
+        assert all(a >= b - 1e-9 for a, b in zip(errs, errs[1:]))
+
+    def test_nondivisible_k_padding(self, rng):
+        data = rng.normal(size=(50, 10))
+        book = Codebook.fit(data, v=4, c=4)
+        assert book.num_subspaces == 3
+        quant = book.quantize(data)
+        assert quant.shape == (50, 10)
+
+    @pytest.mark.parametrize("metric", ["l2", "l1", "chebyshev"])
+    def test_all_metrics_encode(self, clustered_matrix, metric):
+        book = Codebook.fit(clustered_matrix, v=4, c=8, metric=metric)
+        idx = book.encode(clustered_matrix)
+        assert idx.shape == (200, 4)
+
+    def test_soft_assignments_are_distributions(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        soft = book.soft_assignments(clustered_matrix[:10])
+        assert soft.shape == (4, 10, 8)
+        np.testing.assert_allclose(soft.sum(axis=2), np.ones((4, 10)))
+        assert np.all(soft >= 0)
+
+    def test_soft_assignment_argmax_matches_encode(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        soft = book.soft_assignments(clustered_matrix[:20], temperature=1e-3)
+        hard = book.encode(clustered_matrix[:20])
+        np.testing.assert_array_equal(np.argmax(soft, axis=2).T, hard)
+
+    def test_rejects_bad_centroid_shape(self):
+        with pytest.raises(ValueError):
+            Codebook(np.zeros((4, 8)), k=16)
+
+    def test_equivalent_bitwidth_property(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=16)
+        assert book.equivalent_bitwidth == pytest.approx(1.0)
+
+    def test_repr(self, clustered_matrix):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        assert "Codebook" in repr(book)

@@ -1,0 +1,107 @@
+"""Tests for similarity metrics, incl. hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vq import (
+    chebyshev_distance,
+    l1_distance,
+    l2_distance,
+    nearest_centroid,
+    pairwise_distance,
+)
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def small_matrix(rows, cols):
+    return arrays(np.float64, (rows, cols), elements=finite)
+
+
+class TestCorrectness:
+    def test_l2_matches_naive(self, rng):
+        x = rng.normal(size=(10, 5))
+        c = rng.normal(size=(4, 5))
+        expected = ((x[:, None, :] - c[None]) ** 2).sum(-1)
+        np.testing.assert_allclose(l2_distance(x, c), expected, atol=1e-9)
+
+    def test_l1_matches_naive(self, rng):
+        x = rng.normal(size=(10, 5))
+        c = rng.normal(size=(4, 5))
+        expected = np.abs(x[:, None, :] - c[None]).sum(-1)
+        np.testing.assert_allclose(l1_distance(x, c), expected)
+
+    def test_chebyshev_matches_naive(self, rng):
+        x = rng.normal(size=(10, 5))
+        c = rng.normal(size=(4, 5))
+        expected = np.abs(x[:, None, :] - c[None]).max(-1)
+        np.testing.assert_allclose(chebyshev_distance(x, c), expected)
+
+    def test_self_distance_zero(self, rng):
+        x = rng.normal(size=(5, 3))
+        for metric in ("l2", "l1", "chebyshev"):
+            d = pairwise_distance(x, x, metric)
+            np.testing.assert_allclose(np.diag(d), np.zeros(5), atol=1e-9)
+
+    def test_dispatch_unknown_metric(self, rng):
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_distance(rng.normal(size=(2, 2)),
+                              rng.normal(size=(2, 2)), "cosine")
+
+    def test_nearest_centroid_picks_closest(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        x = np.array([[1.0, 1.0], [9.0, 9.0]])
+        np.testing.assert_array_equal(nearest_centroid(x, centroids),
+                                      [0, 1])
+
+    def test_nearest_centroid_tie_breaks_low_index(self):
+        centroids = np.array([[1.0], [-1.0]])
+        assert nearest_centroid(np.array([[0.0]]), centroids)[0] == 0
+
+    def test_metric_ordering_inequalities(self, rng):
+        """Chebyshev <= L2^(1/2)... we test Chebyshev <= L1 and L1 bounds."""
+        x = rng.normal(size=(20, 6))
+        c = rng.normal(size=(5, 6))
+        cheb = chebyshev_distance(x, c)
+        l1 = l1_distance(x, c)
+        # max |d_i| <= sum |d_i| <= v * max |d_i|
+        assert np.all(cheb <= l1 + 1e-12)
+        assert np.all(l1 <= 6 * cheb + 1e-12)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_matrix(6, 4), small_matrix(3, 4))
+    def test_nonnegative(self, x, c):
+        for metric in ("l2", "l1", "chebyshev"):
+            assert np.all(pairwise_distance(x, c, metric) >= 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_matrix(5, 3), small_matrix(4, 3))
+    def test_symmetry_under_swap(self, x, c):
+        """d(x_i, c_j) must equal d(c_j, x_i) for all metrics."""
+        for metric in ("l2", "l1", "chebyshev"):
+            a = pairwise_distance(x, c, metric)
+            b = pairwise_distance(c, x, metric)
+            np.testing.assert_allclose(a, b.T, atol=1e-6, rtol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_matrix(5, 3), small_matrix(4, 3), finite)
+    def test_translation_invariance(self, x, c, shift):
+        """All three metrics are translation invariant."""
+        for metric in ("l2", "l1", "chebyshev"):
+            a = pairwise_distance(x, c, metric)
+            b = pairwise_distance(x + shift, c + shift, metric)
+            np.testing.assert_allclose(a, b, atol=1e-5, rtol=1e-5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_matrix(6, 4))
+    def test_argmin_consistent_with_distance(self, x):
+        centroids = x[:3]
+        for metric in ("l2", "l1", "chebyshev"):
+            idx = nearest_centroid(x, centroids, metric)
+            d = pairwise_distance(x, centroids, metric)
+            np.testing.assert_allclose(
+                d[np.arange(len(x)), idx], d.min(axis=1))

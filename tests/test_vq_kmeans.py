@@ -1,0 +1,111 @@
+"""Tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.vq import kmeans, kmeans_plus_plus_init
+from repro.vq.distances import pairwise_distance
+
+
+def _blobs(rng, k=4, per=30, dim=3, spread=0.05):
+    centers = rng.normal(size=(k, dim)) * 5
+    data = np.concatenate([
+        centers[i] + rng.normal(scale=spread, size=(per, dim))
+        for i in range(k)
+    ])
+    return data, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        data, centers = _blobs(rng)
+        result = kmeans(data, 4, seed=0)
+        # Every true center should be close to one learned centroid.
+        d = pairwise_distance(centers, result.centroids, "l2")
+        assert np.sqrt(d.min(axis=1)).max() < 0.5
+
+    def test_inertia_decreases_with_k(self, rng):
+        data, _ = _blobs(rng, k=4)
+        inertias = [kmeans(data, k, seed=0).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_assignments_shape_and_range(self, rng):
+        data, _ = _blobs(rng)
+        result = kmeans(data, 4, seed=0)
+        assert result.assignments.shape == (len(data),)
+        assert set(np.unique(result.assignments)) <= set(range(4))
+
+    @pytest.mark.parametrize("metric", ["l2", "l1", "chebyshev"])
+    def test_all_metrics_converge(self, rng, metric):
+        data, centers = _blobs(rng)
+        result = kmeans(data, 4, metric=metric, seed=0)
+        d = pairwise_distance(centers, result.centroids, metric)
+        assert d.min(axis=1).max() < 1.0
+
+    def test_deterministic_per_seed(self, rng):
+        data, _ = _blobs(rng)
+        a = kmeans(data, 4, seed=3).centroids
+        b = kmeans(data, 4, seed=3).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_custom_init_respected(self, rng):
+        data, _ = _blobs(rng)
+        init = data[:4].copy()
+        result = kmeans(data, 4, init=init, max_iter=0)
+        # max_iter=0 -> range(1, 1) empty: centroids unchanged.
+        np.testing.assert_array_equal(result.centroids, init)
+
+    def test_rejects_bad_init_shape(self, rng):
+        data, _ = _blobs(rng)
+        with pytest.raises(ValueError):
+            kmeans(data, 4, init=np.zeros((2, 3)))
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(10), 2)
+
+    def test_empty_cluster_reseeded(self, rng):
+        # Duplicate points + k larger than distinct values forces empties.
+        data = np.repeat(rng.normal(size=(3, 2)), 10, axis=0)
+        data += rng.normal(scale=1e-9, size=data.shape)
+        result = kmeans(data, 5, seed=0, max_iter=5)
+        assert result.centroids.shape == (5, 2)
+        assert np.all(np.isfinite(result.centroids))
+
+    def test_l1_update_uses_median(self):
+        # One fixed cluster with an outlier: the L1 centroid is the median.
+        data = np.array([[0.0], [0.1], [0.2], [10.0]])
+        result = kmeans(data, 1, metric="l1", seed=0)
+        assert result.centroids[0, 0] == pytest.approx(0.15)
+
+    def test_chebyshev_update_uses_midrange(self):
+        data = np.array([[0.0], [1.0], [4.0]])
+        result = kmeans(data, 1, metric="chebyshev", seed=0)
+        assert result.centroids[0, 0] == pytest.approx(2.0)
+
+    def test_repr(self, rng):
+        data, _ = _blobs(rng)
+        assert "KMeansResult" in repr(kmeans(data, 2, seed=0))
+
+
+class TestKMeansPlusPlus:
+    def test_picks_k_points(self, rng):
+        data, _ = _blobs(rng)
+        init = kmeans_plus_plus_init(data, 6, rng)
+        assert init.shape == (6, 3)
+
+    def test_rejects_k_too_large(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((3, 2)), 5, rng)
+
+    def test_spreads_over_blobs(self, rng):
+        data, centers = _blobs(rng, k=4, spread=0.01)
+        init = kmeans_plus_plus_init(data, 4, rng)
+        d = pairwise_distance(centers, init, "l2")
+        # k-means++ should hit all 4 well-separated blobs.
+        assert np.sqrt(d.min(axis=1)).max() < 1.0
+
+    def test_degenerate_identical_points(self, rng):
+        data = np.ones((10, 2))
+        init = kmeans_plus_plus_init(data, 3, rng)
+        assert init.shape == (3, 2)

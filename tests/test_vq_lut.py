@@ -1,0 +1,113 @@
+"""Tests for PSum LUT precomputation and LUT-based AMM."""
+
+import numpy as np
+import pytest
+
+from repro.vq import (
+    Codebook,
+    PSumLUT,
+    exact_subspace_matmul,
+    lut_matmul,
+    lut_storage_bits,
+)
+
+
+class TestPrecompute:
+    def test_table_shape(self, clustered_matrix, rng):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        weight = rng.normal(size=(16, 10))
+        lut = PSumLUT.precompute(book, weight)
+        assert lut.table.shape == (4, 8, 10)
+        assert lut.num_subspaces == 4
+        assert lut.num_centroids == 8
+        assert lut.n_out == 10
+
+    def test_entries_are_inner_products(self, clustered_matrix, rng):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        weight = rng.normal(size=(16, 10))
+        lut = PSumLUT.precompute(book, weight)
+        s, j, n = 2, 3, 7
+        expected = book.centroids[s, j] @ weight[s * 4:(s + 1) * 4, n]
+        assert lut.table[s, j, n] == pytest.approx(expected)
+
+    def test_rejects_mismatched_k(self, clustered_matrix, rng):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        with pytest.raises(ValueError, match="does not match"):
+            PSumLUT.precompute(book, rng.normal(size=(20, 5)))
+
+    def test_padded_k(self, rng):
+        data = rng.normal(size=(60, 10))
+        book = Codebook.fit(data, v=4, c=4)
+        weight = rng.normal(size=(10, 6))
+        lut = PSumLUT.precompute(book, weight)
+        assert lut.table.shape == (3, 4, 6)
+
+    def test_storage_bits(self):
+        # ceil(768/4)=192 subspaces x 32 centroids x 768 cols x 8 bits.
+        bits = lut_storage_bits(768, 4, 32, 768, entry_bits=8)
+        assert bits == 192 * 32 * 768 * 8
+
+    def test_storage_bits_property(self, clustered_matrix, rng):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        lut = PSumLUT.precompute(book, rng.normal(size=(16, 10)))
+        assert lut.storage_bits(8) == 4 * 8 * 10 * 8
+
+
+class TestLookupAccumulate:
+    def test_matches_decoded_gemm(self, clustered_matrix, rng):
+        """lookup-accumulate == quantize(A) @ B exactly (up to padding)."""
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        weight = rng.normal(size=(16, 10))
+        lut = PSumLUT.precompute(book, weight)
+        idx = book.encode(clustered_matrix)
+        via_lut = lut.lookup_accumulate(idx)
+        via_decode = book.quantize(clustered_matrix) @ weight
+        np.testing.assert_allclose(via_lut, via_decode, atol=1e-9)
+
+    def test_rejects_wrong_index_width(self, clustered_matrix, rng):
+        book = Codebook.fit(clustered_matrix, v=4, c=8)
+        lut = PSumLUT.precompute(book, rng.normal(size=(16, 10)))
+        with pytest.raises(ValueError):
+            lut.lookup_accumulate(np.zeros((5, 3), dtype=int))
+
+    def test_perfectly_clustered_data_exact(self, rng):
+        """When activations equal centroids, AMM is exact."""
+        centers = rng.normal(size=(8, 4))
+        # Build K=12 activations from 3 subspaces each drawing whole centroids.
+        rows = 64
+        pieces = [centers[rng.integers(0, 8, rows)] for _ in range(3)]
+        acts = np.concatenate(pieces, axis=1)
+        weight = rng.normal(size=(12, 5))
+        approx, book, lut = lut_matmul(acts, weight, v=4, c=8, seed=1)
+        np.testing.assert_allclose(approx, acts @ weight, atol=1e-6)
+
+
+class TestLutMatmul:
+    def test_error_small_on_clustered_data(self, clustered_matrix, rng):
+        weight = rng.normal(size=(16, 12))
+        approx, _, _ = lut_matmul(clustered_matrix, weight, v=4, c=16)
+        exact = clustered_matrix @ weight
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 0.1
+
+    def test_reuses_provided_codebook(self, clustered_matrix, rng):
+        weight = rng.normal(size=(16, 12))
+        _, book, _ = lut_matmul(clustered_matrix, weight, v=4, c=8)
+        out2, book2, _ = lut_matmul(clustered_matrix, weight, codebook=book)
+        assert book2 is book
+
+    def test_exact_subspace_matmul_equals_gemm(self, rng):
+        a = rng.normal(size=(9, 13))
+        b = rng.normal(size=(13, 7))
+        np.testing.assert_allclose(exact_subspace_matmul(a, b, 4), a @ b,
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("metric", ["l2", "l1", "chebyshev"])
+    def test_metrics_error_ordering_weak(self, clustered_matrix, rng, metric):
+        """All metrics give usable AMM on clustered data."""
+        weight = rng.normal(size=(16, 12))
+        approx, _, _ = lut_matmul(clustered_matrix, weight, v=4, c=16,
+                                  metric=metric)
+        exact = clustered_matrix @ weight
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 0.2

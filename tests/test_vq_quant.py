@@ -1,0 +1,84 @@
+"""Tests for BF16 / INT8 emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vq import (
+    dequantize_int8,
+    fake_quant_int8,
+    quantize_int8,
+    to_bf16,
+    to_fp16,
+)
+
+finite = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False,
+                   width=32)
+
+
+class TestBF16:
+    def test_exactly_representable_values(self):
+        # Powers of two and small integers survive bf16 exactly.
+        vals = np.array([0.0, 1.0, -2.0, 0.5, 4.0, 128.0])
+        np.testing.assert_array_equal(to_bf16(vals), vals)
+
+    def test_relative_error_bound(self, rng):
+        x = rng.normal(size=1000) * 100
+        rel = np.abs(to_bf16(x) - x) / np.maximum(np.abs(x), 1e-30)
+        # bf16 has 8 mantissa bits -> rel err <= 2^-8.
+        assert rel.max() <= 2.0 ** -8
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, 10, elements=finite))
+    def test_idempotent(self, x):
+        once = to_bf16(x)
+        np.testing.assert_array_equal(to_bf16(once), once)
+
+    def test_fp16_roundtrip(self):
+        x = np.array([1.0, 0.5, 3.140625])
+        np.testing.assert_array_equal(to_fp16(x), x)
+
+
+class TestINT8:
+    def test_quantize_range(self, rng):
+        x = rng.normal(size=100) * 50
+        q, scale = quantize_int8(x)
+        assert q.dtype == np.int8
+        assert q.min() >= -127 and q.max() <= 127
+
+    def test_max_abs_maps_to_127(self):
+        x = np.array([-10.0, 5.0, 10.0])
+        q, scale = quantize_int8(x)
+        assert np.abs(q).max() == 127
+        assert scale == pytest.approx(10.0 / 127.0)
+
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.normal(size=1000)
+        err = np.abs(fake_quant_int8(x) - x)
+        assert err.max() <= np.abs(x).max() / 127.0 * 0.5 + 1e-12
+
+    def test_zeros_safe(self):
+        q, scale = quantize_int8(np.zeros(5))
+        assert scale == 1.0
+        np.testing.assert_array_equal(dequantize_int8(q, scale), np.zeros(5))
+
+    def test_per_axis_scales(self, rng):
+        x = np.stack([rng.normal(size=10), rng.normal(size=10) * 100])
+        q, scale = quantize_int8(x, axis=1)
+        assert scale.shape == (2, 1)
+        # Each row independently reaches near full range.
+        assert np.abs(q[0]).max() == 127
+        assert np.abs(q[1]).max() == 127
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, 16, elements=finite))
+    def test_fake_quant_idempotent(self, x):
+        once = fake_quant_int8(x)
+        np.testing.assert_allclose(fake_quant_int8(once), once, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, 16, elements=finite))
+    def test_quantization_preserves_sign(self, x):
+        fq = fake_quant_int8(x)
+        assert np.all(np.sign(fq) * np.sign(x) >= 0)
