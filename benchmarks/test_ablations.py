@@ -10,6 +10,7 @@ credits for LUT-DLA's wins:
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.evaluation import format_table
@@ -83,6 +84,7 @@ def test_ablation_m_split(benchmark):
     assert cycles[1] / cycles[2] > 1.7
 
 
+@pytest.mark.slow  # trains a CNN end to end; excluded from the smoke tier
 def test_ablation_progressive_calibration(benchmark):
     """Progressive calibration must beat one-shot calibration on a deep
     model (each layer calibrated on the quantized upstream distribution)."""

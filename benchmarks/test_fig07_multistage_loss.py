@@ -13,6 +13,11 @@ from repro.datasets import make_text_task
 from repro.lutboost import MultistageTrainer, SingleStageTrainer
 from repro.models import bert_mini
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 
 def _run():
     train, test = make_text_task("sst2", train_size=256, test_size=128)

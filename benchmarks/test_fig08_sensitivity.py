@@ -20,6 +20,11 @@ from repro.lutboost import MultistageTrainer
 from repro.models.resnet import ResNetCIFAR
 from repro.nn import evaluate_accuracy
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 
 def _convert_and_eval(state, train, test, v, c, metric):
     model = ResNetCIFAR(8, num_classes=10, width=8, seed=0)

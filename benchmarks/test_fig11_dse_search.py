@@ -13,6 +13,11 @@ from repro.dse import Constraints, CoDesignSearchEngine, QuantizationErrorOracle
 from repro.evaluation import format_table
 from repro.lutboost import GemmWorkload
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 
 def _run():
     rng = np.random.default_rng(0)

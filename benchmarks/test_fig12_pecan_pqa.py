@@ -15,6 +15,11 @@ from repro.lutboost import MultistageTrainer
 from repro.models.resnet import ResNetCIFAR
 from repro.nn import evaluate_accuracy
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 SETTINGS = [(3, 64), (9, 8)]
 
 

@@ -1,0 +1,85 @@
+"""Serving-throughput trajectory: requests/sec at batch sizes {1, 8, 64}.
+
+Not a paper figure — this records the serving subsystem's performance so
+future PRs have a trajectory to beat. Each row serves the same open-loop
+burst of single-sample requests through a :class:`LUTServer` whose
+``max_batch_size`` is the row's batch size; batch size 1 is serving with
+dynamic batching effectively disabled (the per-request path), larger rows
+show what request fusion buys on the packed-kernel engine.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.evaluation import format_table
+from repro.models.lenet import lenet
+from repro.serving import LUTServer, ServingConfig
+
+from conftest import emit
+
+BATCH_SIZES = (1, 8, 64)
+REQUESTS = 320
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def converted_lenet():
+    rng = np.random.default_rng(0)
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(32, 1, 16, 16)))
+    return model
+
+
+def _serve_burst(server, requests):
+    start = time.perf_counter()
+    futures = [server.submit(x) for x in requests]
+    for future in futures:
+        future.result(60)
+    return len(requests) / (time.perf_counter() - start)
+
+
+def test_serving_throughput_scales_with_batch_size(converted_lenet):
+    rng = np.random.default_rng(1)
+    requests = rng.normal(size=(REQUESTS, 1, 16, 16))
+    rates = {}
+    latencies = {}
+    for batch_size in BATCH_SIZES:
+        config = ServingConfig(max_batch_size=batch_size, max_wait_ms=2.0,
+                               max_pending=4 * REQUESTS)
+        with LUTServer(converted_lenet, (1, 16, 16), config) as server:
+            server.infer_many(requests[:8])  # warm the kernels
+            best = 0.0
+            for _ in range(TRIALS):
+                server.metrics.reset()
+                best = max(best, _serve_burst(server, requests))
+            rates[batch_size] = best
+            summary = server.metrics.summary()
+            latencies[batch_size] = (summary["p50_ms"], summary["p99_ms"],
+                                     summary.get("predicted_ms", 0.0))
+
+    rows = [
+        {
+            "max_batch": bs,
+            "req_per_s": rates[bs],
+            "vs_batch1": "%.2fx" % (rates[bs] / rates[1]),
+            "p50_ms": latencies[bs][0],
+            "p99_ms": latencies[bs][1],
+            "predicted_batch_ms": latencies[bs][2],
+        }
+        for bs in BATCH_SIZES
+    ]
+    emit("Serving throughput (LeNet-16, v=4 c=16, fp32 plan, burst of %d)"
+         % REQUESTS, format_table(rows, floatfmt="%.4g"))
+
+    # Perf floor (kept conservative so shared-CPU noise cannot flake CI):
+    # dynamic batching must buy a large multiple over per-request serving.
+    assert rates[8] > rates[1]
+    assert rates[64] >= 3.0 * rates[1], rates

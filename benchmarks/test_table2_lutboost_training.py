@@ -14,6 +14,11 @@ from repro.evaluation import format_table
 from repro.lutboost import MultistageTrainer, SingleStageTrainer
 from repro.models.resnet import ResNetCIFAR
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 DEPTHS = {"ResNet-d8": 8, "ResNet-d14": 14}
 
 

@@ -18,6 +18,11 @@ from repro.models.resnet import ResNetCIFAR
 from repro.nn import evaluate_accuracy
 from repro.vq.quant import fake_quant_int8, to_bf16
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 
 CASES = [
     ("LeNet/MNIST", lambda: lenet(10, image_size=12),

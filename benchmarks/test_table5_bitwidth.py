@@ -14,6 +14,11 @@ from repro.models.resnet import ResNetCIFAR
 from repro.nn import evaluate_accuracy
 from repro.vq import equivalent_bitwidth
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 GRID = [(9, 8), (9, 16), (6, 8), (6, 16), (3, 8), (3, 16)]
 
 

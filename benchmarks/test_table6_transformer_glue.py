@@ -15,6 +15,11 @@ from repro.lutboost import MultistageTrainer
 from repro.models import bert_mini, distilbert_mini, opt_mini
 from repro.nn import evaluate_accuracy
 
+import pytest
+
+# Training-scale benchmark: excluded from the fast smoke tier.
+pytestmark = pytest.mark.slow
+
 MODELS = {
     "BERT": bert_mini,
     "OPT-125M": opt_mini,

@@ -12,6 +12,8 @@ Public API layout:
 - :mod:`repro.dse` — co-design space exploration engine (Algorithm 2).
 - :mod:`repro.baselines` — ALU/NVDLA/Gemmini/PQA comparison models.
 - :mod:`repro.evaluation` — end-to-end latency / energy runner.
+- :mod:`repro.serving` — batched online inference runtime (plan compiler,
+  dynamic micro-batching server, throughput/latency metrics).
 """
 
 __version__ = "1.0.0"

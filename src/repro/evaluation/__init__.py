@@ -1,7 +1,7 @@
 """End-to-end latency / energy evaluation and reporting."""
 
 from .energy import EnergyBreakdown, gemm_energy_breakdown
-from .report import format_ratio, format_table
+from .report import format_ratio, format_serving_summary, format_table
 from .runner import (
     EvalResult,
     end_to_end_comparison,
@@ -18,4 +18,5 @@ __all__ = [
     "end_to_end_comparison",
     "format_table",
     "format_ratio",
+    "format_serving_summary",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_ratio"]
+__all__ = ["format_table", "format_ratio", "format_serving_summary"]
 
 
 def format_table(rows, columns=None, floatfmt="%.3g", title=None):
@@ -40,3 +40,35 @@ def format_ratio(value, reference):
     if reference == 0:
         return "inf"
     return "%.2fx" % (value / reference)
+
+
+def format_serving_summary(summary, title="serving metrics"):
+    """Render a :meth:`repro.serving.ServingMetrics.summary` dict.
+
+    Measured host latency sits next to the simulator's predicted LUT-DLA
+    batch latency when the summary carries ``predicted_ms`` — the serving
+    runtime's predicted-vs-measured report.
+    """
+    rows = [
+        {"metric": "requests", "value": summary.get("requests", 0)},
+        {"metric": "batches", "value": summary.get("batches", 0)},
+        {"metric": "mean batch size",
+         "value": summary.get("mean_batch_size", 0.0)},
+        {"metric": "throughput (req/s)",
+         "value": summary.get("requests_per_s", 0.0)},
+        {"metric": "latency p50 (ms)", "value": summary.get("p50_ms", 0.0)},
+        {"metric": "latency p90 (ms)", "value": summary.get("p90_ms", 0.0)},
+        {"metric": "latency p99 (ms)", "value": summary.get("p99_ms", 0.0)},
+        {"metric": "batch exec mean (ms)",
+         "value": summary.get("mean_batch_ms", 0.0)},
+    ]
+    if "predicted_ms" in summary:
+        rows.append({"metric": "predicted LUT-DLA cycles/batch",
+                     "value": summary["predicted_cycles"]})
+        rows.append({"metric": "predicted LUT-DLA batch (ms)",
+                     "value": summary["predicted_ms"]})
+    if "measured_over_predicted" in summary:
+        rows.append({"metric": "measured / predicted",
+                     "value": format_ratio(
+                         summary["measured_over_predicted"], 1.0)})
+    return format_table(rows, columns=["metric", "value"], title=title)

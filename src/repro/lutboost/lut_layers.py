@@ -25,7 +25,7 @@ from ..nn.init import kaiming_uniform
 from ..nn.layers import Linear, Conv2d, Module, Parameter
 from ..nn.tensor import Tensor
 from ..vq.codebook import Codebook, split_subspaces
-from ..vq.distances import pairwise_distance
+from ..vq.distances import batched_nearest_centroid
 from ..vq.lut import PSumLUT
 from ..vq.quant import fake_quant_int8, to_bf16
 
@@ -132,11 +132,9 @@ class _LUTOperatorMixin:
             padded = data
         per_sub = padded.reshape(-1, self.num_subspaces, self.v)
 
-        indices = np.empty((per_sub.shape[0], self.num_subspaces), dtype=np.int64)
-        for s in range(self.num_subspaces):
-            d = pairwise_distance(per_sub[:, s, :], self.centroids.data[s],
-                                  self.metric)
-            indices[:, s] = np.argmin(d, axis=1)
+        indices = batched_nearest_centroid(
+            per_sub.transpose(1, 0, 2), self.centroids.data, self.metric
+        )
         self.last_indices = indices
 
         centroids = self.centroids
@@ -155,9 +153,8 @@ class _LUTOperatorMixin:
                 np.add.at(g_cent[s], indices[:, s], g_sub[:, s, :])
             return ((centroids, g_cent), (flat, grad))
 
-        quant = np.empty_like(per_sub)
-        for s in range(self.num_subspaces):
-            quant[:, s, :] = self.centroids.data[s][indices[:, s]]
+        sub_ids = np.arange(self.num_subspaces)
+        quant = self.centroids.data[sub_ids[None, :], indices]
         quant_flat = quant.reshape(-1, padded_k)[:, : self.k]
         return Tensor._make(quant_flat, (centroids, flat), backward)
 
@@ -199,6 +196,30 @@ class _LUTOperatorMixin:
         return book, lut
 
     def _weight_matrix(self):
+        raise NotImplementedError
+
+    def export_kernel(self, precision="fp32"):
+        """Serving-plan export hook (:mod:`repro.serving.compiler`).
+
+        Freezes the operator into a raw kernel spec: per-subspace centroid
+        and PSum-LUT arrays plus whatever geometry the serving compiler
+        needs to replay the operator without touching this module again.
+        """
+        book, lut = self.export_lut(precision)
+        spec = {
+            "centroids": np.ascontiguousarray(book.centroids),
+            "table": np.ascontiguousarray(lut.table),
+            "bias": None if self.bias is None else self.bias.data.copy(),
+            "k": self.k,
+            "v": self.v,
+            "c": self.c,
+            "metric": self.metric,
+            "n_out": lut.n_out,
+        }
+        spec.update(self._kernel_geometry())
+        return spec
+
+    def _kernel_geometry(self):
         raise NotImplementedError
 
 
@@ -249,6 +270,9 @@ class LUTLinear(Module, _LUTOperatorMixin):
         """GEMM workload for ``batch_rows`` activation rows."""
         return GemmWorkload(batch_rows, self.in_features, self.out_features,
                             self.v, self.c, self.metric, name=name)
+
+    def _kernel_geometry(self):
+        return {"kind": "linear"}
 
 
 class LUTConv2d(Module, _LUTOperatorMixin):
@@ -320,3 +344,13 @@ class LUTConv2d(Module, _LUTOperatorMixin):
         out_h, out_w = self.output_size(h, w)
         return GemmWorkload(batch * out_h * out_w, self.k, self.out_channels,
                             self.v, self.c, self.metric, name=name)
+
+    def _kernel_geometry(self):
+        return {
+            "kind": "conv2d",
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+        }

@@ -1,0 +1,33 @@
+"""High-throughput serving runtime for LUTBoost-converted models.
+
+The online counterpart of the offline pipeline: ``compiler`` lowers a
+converted model into a flat :class:`KernelPlan` (packed codebooks + PSum
+LUTs, a short fused-kernel step list), ``engine`` executes plans and caches
+them LRU-style, ``batcher`` fuses single requests into dynamic
+micro-batches drained by a thread pool, ``server`` is the future-based
+front-end with admission control, and ``metrics`` tracks throughput /
+latency percentiles alongside the simulator's predicted LUT-DLA cycles.
+"""
+
+from .batcher import AdmissionError, MicroBatcher
+from .compiler import CompileError, KernelPlan, KernelStep, compile_model
+from .engine import PlanCache, ServingEngine, execute_plan
+from .metrics import CyclePredictor, ServingMetrics, percentile
+from .server import LUTServer, ServingConfig
+
+__all__ = [
+    "CompileError",
+    "KernelStep",
+    "KernelPlan",
+    "compile_model",
+    "execute_plan",
+    "PlanCache",
+    "ServingEngine",
+    "AdmissionError",
+    "MicroBatcher",
+    "CyclePredictor",
+    "ServingMetrics",
+    "percentile",
+    "ServingConfig",
+    "LUTServer",
+]

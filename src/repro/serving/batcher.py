@@ -1,0 +1,189 @@
+"""Dynamic micro-batching queue with a thread worker pool.
+
+Requests arrive one sample at a time through ``submit()`` (a
+``concurrent.futures.Future`` comes back immediately); worker threads drain
+the queue into batches bounded by ``max_batch_size`` and ``max_wait_s`` —
+the first request of a batch waits at most ``max_wait_s`` for companions
+before the batch is dispatched, the classic dynamic-batching contract.
+
+numpy releases the GIL inside the fused kernels, so multiple worker
+threads genuinely overlap batch execution on multi-core hosts. Admission
+control caps the number of queued-but-unscheduled requests: beyond
+``max_pending`` the queue is considered overloaded and ``submit`` raises
+:class:`AdmissionError` instead of letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+import numpy as np
+
+__all__ = ["AdmissionError", "MicroBatcher"]
+
+
+class AdmissionError(RuntimeError):
+    """The request queue is full (or the batcher is shut down)."""
+
+
+class _Request:
+    __slots__ = ("payload", "future", "enqueued_at")
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+class MicroBatcher:
+    """Queue single requests, execute them in dynamic micro-batches.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable mapping a stacked ``(batch, *input_shape)`` array to a
+        ``(batch, ...)`` result array; row ``i`` of the result resolves the
+        future of request ``i``.
+    max_batch_size:
+        Hard upper bound on requests fused into one batch.
+    max_wait_s:
+        How long the oldest queued request may wait for companions before
+        its batch is dispatched anyway.
+    workers:
+        Worker threads draining the queue (>= 2 overlaps batches).
+    max_pending:
+        Admission-control bound on queued requests.
+    on_batch:
+        Optional callback ``(batch_size, batch_seconds, latencies)`` invoked
+        after each batch completes — the metrics hook.
+    """
+
+    def __init__(self, run_batch, max_batch_size=64, max_wait_s=0.002,
+                 workers=2, max_pending=1024, on_batch=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self._run_batch = run_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.max_pending = int(max_pending)
+        self.on_batch = on_batch
+        self._queue = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._running = True
+        self._threads = [
+            threading.Thread(target=self._worker, name="lut-serve-%d" % i,
+                             daemon=True)
+            for i in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, x):
+        """Enqueue one request; returns a Future resolving to its output.
+
+        The payload dtype is preserved — the batch executor owns any
+        precision policy (the server pre-casts to its plan's dtype).
+        """
+        request = _Request(np.asarray(x))
+        with self._lock:
+            if not self._running:
+                raise AdmissionError("batcher is shut down")
+            if len(self._queue) >= self.max_pending:
+                raise AdmissionError(
+                    "queue full (%d pending requests)" % len(self._queue))
+            self._queue.append(request)
+            # Wake a worker only on the empty->non-empty transition: workers
+            # already collecting a batch drain the queue themselves (or wake
+            # at their max_wait deadline), and skipping the redundant
+            # notifies avoids context-switch churn under burst load.
+            if len(self._queue) == 1:
+                self._ready.notify()
+        return request.future
+
+    def pending(self):
+        """Requests queued but not yet scheduled into a batch."""
+        with self._lock:
+            return len(self._queue)
+
+    def close(self, timeout=5.0):
+        """Stop accepting work, drain the queue, join the workers."""
+        with self._lock:
+            self._running = False
+            self._ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for request in leftovers:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    AdmissionError("batcher shut down before execution"))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect(self):
+        """Block for the next batch; returns [] on shutdown."""
+        with self._lock:
+            while self._running and not self._queue:
+                self._ready.wait(0.05)
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._running:
+                    break
+                self._ready.wait(remaining)
+            if self._queue:
+                # More than one batch is backlogged; hand the surplus to an
+                # idle worker now instead of letting it sleep out its poll.
+                self._ready.notify()
+            return batch
+
+    def _worker(self):
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            # Transition futures to RUNNING; a request whose cancel() won the
+            # race is dropped here, and the rest can no longer be cancelled,
+            # so set_result/set_exception below cannot raise InvalidStateError.
+            batch = [request for request in batch
+                     if request.future.set_running_or_notify_cancel()]
+            if not batch:
+                continue
+            start = time.monotonic()
+            try:
+                stacked = np.stack([request.payload for request in batch])
+                results = self._run_batch(stacked)
+            except BaseException as exc:  # resolve every waiter
+                for request in batch:
+                    request.future.set_exception(exc)
+                continue
+            done = time.monotonic()
+            for i, request in enumerate(batch):
+                request.future.set_result(results[i])
+            if self.on_batch is not None:
+                try:
+                    latencies = [done - request.enqueued_at
+                                 for request in batch]
+                    self.on_batch(len(batch), done - start, latencies)
+                except Exception:
+                    # Telemetry must never kill a worker; results are
+                    # already delivered at this point.
+                    pass

@@ -1,0 +1,533 @@
+"""Lower a LUTBoost-converted model into a flat, serveable ``KernelPlan``.
+
+The offline modules execute a converted model by walking per-layer Python
+objects (``Module.forward`` -> autograd ``Tensor`` ops) once per request.
+For serving that traversal *is* the bottleneck: the arithmetic per layer is
+a handful of fused numpy kernels, so everything else is interpreter
+overhead. The compiler removes it in two moves:
+
+1. **Trace** one forward pass of the model on a sample input, recording the
+   leaf operations in true execution order (module calls and the few tensor
+   methods the model zoo applies directly, e.g. ``x.relu()``).
+2. **Pack** every LUT operator's per-subspace codebook and PSum LUT into
+   single contiguous numpy arrays — one ``(total_subspaces, c, v)`` centroid
+   block and one flat LUT buffer sliced per layer — and lower the trace to a
+   short list of :class:`KernelStep` records that reference views into those
+   buffers.
+
+Executing the plan (:mod:`repro.serving.engine`) is then a tight loop of
+fused argmin-index + gather-accumulate kernels with no model objects, no
+autograd, and no per-layer Python dispatch. Compilation verifies the plan by
+replaying the sample input and comparing against the model's own forward
+pass, so unsupported topologies fail loudly at compile time instead of
+serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..lutboost.lut_layers import LUTConv2d, LUTLinear
+from ..nn import functional as F
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Tanh,
+)
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["CompileError", "KernelStep", "KernelPlan", "compile_model"]
+
+
+class CompileError(RuntimeError):
+    """The model cannot be lowered to a serveable kernel plan."""
+
+
+# Serving precisions -> packed-array dtype. "fp32" is the deployment
+# default (single-precision end to end, like any production runtime);
+# "fp64" keeps the offline double-precision reference semantics so the
+# batched engine is bit-identical to per-request ``lut_matmul``;
+# "bf16+int8" applies Table IV's deployment quantization to the tables
+# before packing them as float32.
+PRECISION_DTYPES = {
+    "fp32": np.float32,
+    "fp64": np.float64,
+    "bf16+int8": np.float32,
+}
+
+# Replay-verification tolerances per precision (vs the float64 model
+# forward). bf16+int8 intentionally changes numerics, so only shapes are
+# checked there.
+_VERIFY_TOLERANCES = {
+    "fp32": (1e-3, 1e-5),
+    "fp64": (1e-6, 1e-9),
+}
+
+
+class KernelStep:
+    """One fused operation of a compiled forward pass.
+
+    ``kind`` is one of ``lut_gemm``, ``gemm``, ``conv2d``, ``relu``,
+    ``tanh``, ``gelu``, ``flatten``, ``max_pool``, ``avg_pool``,
+    ``global_avg_pool`` or ``batchnorm``; ``params`` holds the arrays and
+    geometry the executor needs (views into the plan's packed buffers for
+    LUT steps).
+    """
+
+    def __init__(self, kind, **params):
+        self.kind = kind
+        self.params = params
+
+    def __repr__(self):
+        return "KernelStep(%s)" % (self.kind,)
+
+
+class KernelPlan:
+    """A converted model flattened into packed tables plus a step list.
+
+    Attributes
+    ----------
+    steps:
+        Ordered :class:`KernelStep` list; executing them in sequence is the
+        whole forward pass.
+    centroids:
+        Single ``(total_subspaces, c, v)`` array holding every LUT layer's
+        codebook back to back; layer ``i`` owns the slice recorded in
+        ``layers[i]["subspace_slice"]``.
+    tables:
+        Single flat float64 buffer holding every PSum LUT; layer ``i``'s
+        ``(s_i, c, n_i)`` table is a zero-copy reshaped view.
+    """
+
+    def __init__(self, steps, centroids, tables, layers, v, c, metric,
+                 precision, input_shape, model_name=""):
+        self.steps = list(steps)
+        self.centroids = centroids
+        self.tables = tables
+        self.dtype = centroids.dtype
+        self.layers = list(layers)
+        self.v = int(v)
+        self.c = int(c)
+        self.metric = metric
+        self.precision = precision
+        self.input_shape = tuple(input_shape)
+        self.model_name = model_name
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lut_layers(self):
+        return len(self.layers)
+
+    @property
+    def total_subspaces(self):
+        return self.centroids.shape[0]
+
+    def storage_bytes(self):
+        """Bytes of packed codebook + LUT state the plan carries."""
+        return self.centroids.nbytes + self.tables.nbytes
+
+    def workloads(self, batch_size):
+        """Per-LUT-layer :class:`GemmWorkload` list for ``batch_size`` inputs.
+
+        This is the bridge back to :mod:`repro.sim`: feeding these into the
+        cycle simulator predicts what a LUT-DLA instance would spend on the
+        same batch the engine just served (Eq. (5) terms).
+        """
+        from ..lutboost.lut_layers import GemmWorkload
+
+        out = []
+        for layer in self.layers:
+            out.append(GemmWorkload(
+                batch_size * layer["rows_per_sample"], layer["k"],
+                layer["n_out"], self.v, self.c, self.metric,
+                name=layer["name"],
+            ))
+        return out
+
+    def __repr__(self):
+        return ("KernelPlan(%s: %d steps, %d LUT layers, %d subspaces, "
+                "%.1f KiB packed)" % (
+                    self.model_name or "model", len(self.steps),
+                    self.num_lut_layers, self.total_subspaces,
+                    self.storage_bytes() / 1024.0))
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+# Leaf module types the lowering understands. Containers (Sequential, the
+# model classes themselves) recurse through __call__ and are never recorded.
+_LEAF_TYPES = (
+    LUTLinear, LUTConv2d, Linear, Conv2d, ReLU, Tanh, GELU, Flatten,
+    MaxPool2d, AvgPool2d, GlobalAvgPool2d, BatchNorm2d, Dropout,
+)
+
+
+class _Trace:
+    """Record (op, payload) pairs for one forward pass.
+
+    Module calls are intercepted at ``Module.__call__``; the tensor-method
+    activations the model zoo uses inline (``x.relu()``, ``x.tanh()``,
+    ``x.reshape(n, -1)``) are intercepted on :class:`Tensor`. Anything that
+    happens *inside* a recorded leaf module is suppressed so each leaf
+    lowers to exactly one step.
+    """
+
+    def __init__(self):
+        self.ops = []
+        self._suppress = 0
+
+    def record(self, kind, payload=None):
+        if not self._suppress:
+            self.ops.append((kind, payload))
+
+
+# Tracing patches class-level methods, so only one trace may run at a time
+# (plan compilation is rare and cached; execution never traces).
+_TRACE_LOCK = threading.Lock()
+
+
+def _trace_forward(model, sample):
+    trace = _Trace()
+    # Patches are class-wide; confine their effect to this thread so a
+    # concurrent forward pass elsewhere is neither recorded nor rejected.
+    trace_thread = threading.get_ident()
+    original_call = Module.__call__
+    original_relu = Tensor.relu
+    original_tanh = Tensor.tanh
+    original_reshape = Tensor.reshape
+
+    def _foreign():
+        return threading.get_ident() != trace_thread
+
+    def traced_call(module, *args, **kwargs):
+        if (_foreign() or trace._suppress
+                or not isinstance(module, _LEAF_TYPES)):
+            return original_call(module, *args, **kwargs)
+        trace._suppress += 1
+        try:
+            out = original_call(module, *args, **kwargs)
+        finally:
+            trace._suppress -= 1
+        trace.record("module", module)
+        return out
+
+    def traced_relu(tensor):
+        out = original_relu(tensor)
+        if not _foreign():
+            trace.record("relu")
+        return out
+
+    def traced_tanh(tensor):
+        out = original_tanh(tensor)
+        if not _foreign():
+            trace.record("tanh")
+        return out
+
+    def traced_reshape(tensor, *shape):
+        out = original_reshape(tensor, *shape)
+        if not _foreign() and not trace._suppress:
+            if out.ndim == 2 and out.shape[0] == tensor.shape[0]:
+                trace.record("flatten")
+            else:
+                raise CompileError(
+                    "unsupported inline reshape %r -> %r; only "
+                    "(batch, -1) flattening can be lowered"
+                    % (tensor.shape, out.shape))
+        return out
+
+    with _TRACE_LOCK:
+        Module.__call__ = traced_call
+        Tensor.relu = traced_relu
+        Tensor.tanh = traced_tanh
+        Tensor.reshape = traced_reshape
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                model(Tensor(sample))
+        finally:
+            Module.__call__ = original_call
+            Tensor.relu = original_relu
+            Tensor.tanh = original_tanh
+            Tensor.reshape = original_reshape
+            model.train(was_training)
+    return trace.ops
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+
+def _lower_ops(ops, precision):
+    """Turn a trace into steps + packed LUT buffers."""
+    dtype = PRECISION_DTYPES[precision]
+    # export_lut() knows "fp32" (no quantization) and "bf16+int8"; the
+    # serving fp32/fp64 split is purely a packing dtype choice.
+    export_precision = "bf16+int8" if precision == "bf16+int8" else "fp32"
+    specs = []       # export_kernel() dicts, one per LUT operator
+    raw_steps = []   # (kind, payload) where lut steps carry a spec index
+    for kind, payload in ops:
+        if kind != "module":
+            raw_steps.append((kind, None))
+            continue
+        module = payload
+        if isinstance(module, (LUTLinear, LUTConv2d)):
+            if not module.calibrated:
+                raise CompileError(
+                    "cannot compile an uncalibrated LUT operator; run "
+                    "calibrate_model() first")
+            specs.append(module.export_kernel(export_precision))
+            raw_steps.append(("lut_gemm", len(specs) - 1))
+        elif isinstance(module, Linear):
+            raw_steps.append(("gemm", {
+                "weight": module.weight.data.astype(dtype),
+                "bias": None if module.bias is None
+                else module.bias.data.astype(dtype),
+            }))
+        elif isinstance(module, Conv2d):
+            k = module.in_channels * module.kernel_size**2
+            raw_steps.append(("conv2d", {
+                "weight": np.ascontiguousarray(
+                    module.weight.data.reshape(
+                        module.out_channels, k).T).astype(dtype),
+                "bias": None if module.bias is None
+                else module.bias.data.astype(dtype),
+                "kernel_size": module.kernel_size,
+                "stride": module.stride,
+                "padding": module.padding,
+                "out_channels": module.out_channels,
+            }))
+        elif isinstance(module, ReLU):
+            raw_steps.append(("relu", None))
+        elif isinstance(module, Tanh):
+            raw_steps.append(("tanh", None))
+        elif isinstance(module, GELU):
+            raw_steps.append(("gelu", None))
+        elif isinstance(module, Flatten):
+            raw_steps.append(("flatten", None))
+        elif isinstance(module, MaxPool2d):
+            raw_steps.append(("max_pool", {
+                "kernel_size": module.kernel_size, "stride": module.stride}))
+        elif isinstance(module, AvgPool2d):
+            raw_steps.append(("avg_pool", {
+                "kernel_size": module.kernel_size, "stride": module.stride}))
+        elif isinstance(module, GlobalAvgPool2d):
+            raw_steps.append(("global_avg_pool", None))
+        elif isinstance(module, BatchNorm2d):
+            var = module.running_var + module.eps
+            scale = module.weight.data / np.sqrt(var)
+            shift = module.bias.data - module.running_mean * scale
+            raw_steps.append(("batchnorm", {
+                "scale": scale.reshape(1, -1, 1, 1).astype(dtype),
+                "shift": shift.reshape(1, -1, 1, 1).astype(dtype)}))
+        elif isinstance(module, Dropout):
+            continue  # identity in eval mode
+        else:  # pragma: no cover - guarded by _LEAF_TYPES
+            raise CompileError("cannot lower module %r" % (module,))
+    return raw_steps, specs
+
+
+def _pack_specs(specs, dtype):
+    """Concatenate per-layer codebooks/LUTs into single contiguous arrays."""
+    if not specs:
+        raise CompileError(
+            "model contains no calibrated LUT operators; convert it with "
+            "lutboost before compiling a serving plan")
+    v = specs[0]["v"]
+    c = specs[0]["c"]
+    metric = specs[0]["metric"]
+    for spec in specs:
+        if (spec["v"], spec["c"], spec["metric"]) != (v, c, metric):
+            raise CompileError(
+                "mixed (v, c, metric) configurations cannot share packed "
+                "buffers: %r vs %r"
+                % ((v, c, metric), (spec["v"], spec["c"], spec["metric"])))
+    centroids = np.concatenate(
+        [spec["centroids"] for spec in specs], axis=0).astype(dtype)
+    tables = np.concatenate(
+        [np.ascontiguousarray(spec["table"]).ravel() for spec in specs]
+    ).astype(dtype)
+    layers = []
+    sub_off = 0
+    tab_off = 0
+    for i, spec in enumerate(specs):
+        s = spec["centroids"].shape[0]
+        size = s * c * spec["n_out"]
+        layers.append({
+            "name": "lut%d" % i,
+            "kind": spec["kind"],
+            "k": spec["k"],
+            "n_out": spec["n_out"],
+            "num_subspaces": s,
+            "subspace_slice": slice(sub_off, sub_off + s),
+            "table_slice": slice(tab_off, tab_off + size),
+            "rows_per_sample": 1,  # conv layers overwrite after shape prop
+        })
+        sub_off += s
+        tab_off += size
+    return centroids, tables, layers, v, c, metric
+
+
+def compile_model(model, input_shape, precision="fp32", sample_input=None,
+                  verify=True, rtol=1e-6, atol=1e-8, name=""):
+    """Compile a LUTBoost-converted model into a :class:`KernelPlan`.
+
+    Parameters
+    ----------
+    model:
+        A converted and calibrated model from the in-repo zoo (feed-forward
+        topology; residual/attention graphs raise :class:`CompileError`).
+    input_shape:
+        Per-request shape excluding the batch axis — ``(C, H, W)`` for CNNs
+        or ``(K,)`` for MLPs.
+    precision:
+        ``"fp32"`` (single-precision deployment default), ``"fp64"``
+        (double-precision reference — bit-identical to the offline
+        per-request ``lut_matmul`` path) or ``"bf16+int8"`` (Table IV
+        deployment quantization).
+    sample_input:
+        Optional (batch, \\*input_shape) array used for tracing and
+        verification; a small random batch is generated when omitted.
+    verify:
+        Replay the sample through the compiled plan and require the result
+        to match the model's own eval-mode forward pass.
+    """
+    from .engine import execute_plan
+
+    if precision not in PRECISION_DTYPES:
+        raise CompileError("unknown precision %r (expected one of %s)"
+                           % (precision, sorted(PRECISION_DTYPES)))
+    dtype = PRECISION_DTYPES[precision]
+    input_shape = tuple(int(d) for d in input_shape)
+    if sample_input is None:
+        rng = np.random.default_rng(0)
+        sample_input = rng.normal(size=(2,) + input_shape)
+    sample = np.asarray(sample_input, dtype=np.float64)
+    if sample.shape[1:] != input_shape:
+        raise CompileError("sample_input shape %r does not match "
+                           "input_shape %r" % (sample.shape[1:], input_shape))
+
+    ops = _trace_forward(model, sample)
+    raw_steps, specs = _lower_ops(ops, precision)
+    centroids, tables, layers, v, c, metric = _pack_specs(specs, dtype)
+
+    steps = []
+    for kind, payload in raw_steps:
+        if kind == "lut_gemm":
+            layer = layers[payload]
+            step = KernelStep(
+                "lut_gemm",
+                layer=payload,
+                op=layer["kind"],
+                k=layer["k"],
+                n_out=layer["n_out"],
+                centroids=centroids[layer["subspace_slice"]],
+                table=tables[layer["table_slice"]].reshape(
+                    layer["num_subspaces"], c, layer["n_out"]),
+                bias=None if specs[payload]["bias"] is None
+                else specs[payload]["bias"].astype(dtype),
+                metric=metric,
+            )
+            spec = specs[payload]
+            if layer["kind"] == "conv2d":
+                step.params.update(
+                    kernel_size=spec["kernel_size"], stride=spec["stride"],
+                    padding=spec["padding"], out_channels=spec["out_channels"])
+            steps.append(step)
+        elif payload is None:
+            steps.append(KernelStep(kind))
+        else:
+            steps.append(KernelStep(kind, **payload))
+
+    plan = KernelPlan(steps, centroids, tables, layers, v, c, metric,
+                      precision, input_shape,
+                      model_name=name or type(model).__name__)
+    _propagate_shapes(plan, sample.shape[0])
+
+    if verify:
+        got = execute_plan(plan, sample)
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                want = model(Tensor(sample)).data
+        finally:
+            model.train(was_training)
+        if got.shape != want.shape:
+            raise CompileError(
+                "compiled plan output shape %r != model output shape %r; "
+                "the model topology is not supported"
+                % (got.shape, want.shape))
+        if precision in _VERIFY_TOLERANCES:
+            check_rtol, check_atol = _VERIFY_TOLERANCES[precision]
+            check_rtol = max(check_rtol, rtol)
+            check_atol = max(check_atol, atol)
+            if not np.allclose(got.astype(np.float64), want,
+                               rtol=check_rtol, atol=check_atol):
+                raise CompileError(
+                    "compiled plan disagrees with the model forward pass "
+                    "(max abs err %.3g); the model performs operations the "
+                    "tracer did not capture"
+                    % float(np.max(np.abs(got - want))))
+    return plan
+
+
+def _propagate_shapes(plan, batch):
+    """Fill in per-layer rows_per_sample by propagating the sample shape.
+
+    Conv LUT layers see ``out_h * out_w`` activation rows per input sample
+    after im2col; the simulator bridge needs that multiplier to size
+    GemmWorkloads for arbitrary batch sizes.
+    """
+    shape = (batch,) + plan.input_shape
+    for step in plan.steps:
+        if step.kind == "lut_gemm" and step.params["op"] == "conv2d":
+            _, _, h, w = shape
+            out_h = F.conv_output_size(h, step.params["kernel_size"],
+                                       step.params["stride"],
+                                       step.params["padding"])
+            out_w = F.conv_output_size(w, step.params["kernel_size"],
+                                       step.params["stride"],
+                                       step.params["padding"])
+            plan.layers[step.params["layer"]]["rows_per_sample"] = \
+                out_h * out_w
+            shape = (shape[0], step.params["out_channels"], out_h, out_w)
+        elif step.kind == "lut_gemm":
+            plan.layers[step.params["layer"]]["rows_per_sample"] = int(
+                np.prod(shape[1:-1], dtype=np.int64)) if len(shape) > 2 else 1
+            shape = shape[:-1] + (step.params["n_out"],)
+        elif step.kind == "conv2d":
+            _, _, h, w = shape
+            out_h = F.conv_output_size(h, step.params["kernel_size"],
+                                       step.params["stride"],
+                                       step.params["padding"])
+            out_w = F.conv_output_size(w, step.params["kernel_size"],
+                                       step.params["stride"],
+                                       step.params["padding"])
+            shape = (shape[0], step.params["out_channels"], out_h, out_w)
+        elif step.kind == "gemm":
+            shape = shape[:-1] + (step.params["weight"].shape[1],)
+        elif step.kind == "flatten":
+            shape = (shape[0], int(np.prod(shape[1:], dtype=np.int64)))
+        elif step.kind in ("max_pool", "avg_pool"):
+            n, ch, h, w = shape
+            kernel = step.params["kernel_size"]
+            stride = step.params["stride"]
+            shape = (n, ch, F.conv_output_size(h, kernel, stride, 0),
+                     F.conv_output_size(w, kernel, stride, 0))
+        elif step.kind == "global_avg_pool":
+            shape = shape[:2]
+        # elementwise steps keep the shape

@@ -1,0 +1,218 @@
+"""Execute compiled :class:`~repro.serving.compiler.KernelPlan` objects.
+
+``execute_plan`` is the whole online inference path: a loop over a handful
+of :class:`KernelStep` records dispatching to fused numpy kernels. The LUT
+steps run exactly the same two kernels as the offline reference
+(:func:`repro.vq.distances.batched_nearest_centroid` +
+:func:`repro.vq.lut.gather_accumulate`), so a batched serving result is
+bit-identical to running ``lut_inference`` per request.
+
+:class:`ServingEngine` wraps execution with an LRU cache of compiled plans
+keyed by (model, v, c, precision) so repeat traffic against the same
+converted model skips compilation entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from ..nn import functional as F
+from ..vq.codebook import split_subspaces
+from ..vq.distances import batched_nearest_centroid
+from ..vq.lut import gather_accumulate
+from .compiler import compile_model
+
+__all__ = ["execute_plan", "PlanCache", "ServingEngine"]
+
+
+# ----------------------------------------------------------------------
+# Step kernels
+# ----------------------------------------------------------------------
+
+def _lut_gemm(step, x):
+    p = step.params
+    if p["op"] == "conv2d":
+        n = x.shape[0]
+        flat, out_h, out_w = F.im2col_array(x, p["kernel_size"], p["stride"],
+                                            p["padding"])
+    else:
+        lead_shape = x.shape[:-1]
+        flat = x.reshape(-1, p["k"])
+    subspaces, _ = split_subspaces(flat, p["centroids"].shape[2])
+    indices = batched_nearest_centroid(subspaces, p["centroids"], p["metric"])
+    out = gather_accumulate(p["table"], indices)
+    if p["bias"] is not None:
+        out = out + p["bias"]
+    if p["op"] == "conv2d":
+        return out.reshape(n, out_h, out_w,
+                           p["out_channels"]).transpose(0, 3, 1, 2)
+    return out.reshape(*lead_shape, p["n_out"])
+
+
+def _gemm(step, x):
+    out = x @ step.params["weight"]
+    if step.params["bias"] is not None:
+        out = out + step.params["bias"]
+    return out
+
+
+def _conv2d(step, x):
+    p = step.params
+    n = x.shape[0]
+    flat, out_h, out_w = F.im2col_array(x, p["kernel_size"], p["stride"],
+                                        p["padding"])
+    out = flat @ p["weight"]
+    if p["bias"] is not None:
+        out = out + p["bias"]
+    return out.reshape(n, out_h, out_w, p["out_channels"]).transpose(0, 3, 1, 2)
+
+
+def _gelu(step, x):
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + 0.044715 * x**3) * c
+    return 0.5 * x * (np.tanh(inner) + 1.0)
+
+
+def _pool(step, x, reduce_fn):
+    p = step.params
+    n, ch, h, w = x.shape
+    rows, cols, out_h, out_w = F._im2col_indices(
+        h, w, p["kernel_size"], p["stride"], 0)
+    patches = x[:, :, rows, cols]
+    return reduce_fn(patches, axis=2).reshape(n, ch, out_h, out_w)
+
+
+_KERNELS = {
+    "lut_gemm": _lut_gemm,
+    "gemm": _gemm,
+    "conv2d": _conv2d,
+    "relu": lambda step, x: np.maximum(x, 0.0),
+    "tanh": lambda step, x: np.tanh(x),
+    "gelu": _gelu,
+    "flatten": lambda step, x: x.reshape(x.shape[0], -1),
+    "max_pool": lambda step, x: _pool(step, x, np.max),
+    "avg_pool": lambda step, x: _pool(step, x, np.mean),
+    "global_avg_pool": lambda step, x: x.mean(axis=(2, 3)),
+    "batchnorm": lambda step, x: x * step.params["scale"]
+    + step.params["shift"],
+}
+
+
+def execute_plan(plan, batch):
+    """Run one request batch (batch, \\*input_shape) through ``plan``.
+
+    Pure numpy, threadsafe (the plan is read-only), and GIL-friendly: the
+    heavy kernels release the GIL inside numpy, which is what lets the
+    batcher's thread pool overlap batches.
+    """
+    x = np.asarray(batch, dtype=plan.dtype)
+    if x.shape[1:] != plan.input_shape:
+        raise ValueError("batch shape %r does not match plan input shape %r"
+                         % (x.shape[1:], plan.input_shape))
+    for step in plan.steps:
+        x = _KERNELS[step.kind](step, x)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Plan cache + engine
+# ----------------------------------------------------------------------
+
+class PlanCache:
+    """Threadsafe LRU map from plan keys to compiled plans."""
+
+    def __init__(self, capacity=8):
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, plan):
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+
+class ServingEngine:
+    """Compile-once, serve-many front door over ``execute_plan``.
+
+    ``plan_for`` compiles (or fetches from the LRU cache) the plan for a
+    converted model; ``run`` executes a batch. The cache key is
+    (model key, v, c, precision): re-deploying the same model at a new
+    (v, c) co-design point compiles a fresh plan, re-submitting the same
+    configuration hits the cache.
+    """
+
+    def __init__(self, cache_size=8):
+        self.cache = PlanCache(cache_size)
+
+    @staticmethod
+    def plan_key(model, input_shape, precision="fp32", key=None):
+        """Cache key for a (model, config) pair.
+
+        ``key`` overrides the model-identity component — callers that
+        rebuild model objects per request should pass a stable name.
+        """
+        from ..lutboost.converter import lut_operators
+
+        ident = key if key is not None else (type(model).__name__, id(model))
+        ops = lut_operators(model)
+        if ops:
+            v, c = ops[0][1].v, ops[0][1].c
+        else:
+            v = c = 0
+        return (ident, tuple(input_shape), v, c, precision)
+
+    def plan_for(self, model, input_shape, precision="fp32", key=None,
+                 **compile_kwargs):
+        """Fetch the cached plan for ``model`` or compile and cache one.
+
+        Entries carry a weak reference to the model they were compiled
+        from: the default identity component is ``id(model)``, and CPython
+        recycles addresses, so a hit only counts when the cached entry's
+        model is literally the object being asked about (or was cached
+        under an explicit ``key``, which callers guarantee is stable).
+        """
+        cache_key = self.plan_key(model, input_shape, precision, key)
+        entry = self.cache.get(cache_key)
+        if entry is not None:
+            model_ref, plan = entry
+            if key is not None or model_ref() is model:
+                return plan
+        plan = compile_model(model, input_shape, precision=precision,
+                             **compile_kwargs)
+        self.cache.put(cache_key, (weakref.ref(model), plan))
+        return plan
+
+    def run(self, plan, batch):
+        """Execute one batch through a compiled plan."""
+        return execute_plan(plan, batch)
+
+    def infer(self, model, batch, precision="fp32", key=None):
+        """One-call convenience: plan_for + run."""
+        batch = np.asarray(batch)  # only the shape is needed pre-plan
+        plan = self.plan_for(model, batch.shape[1:], precision, key)
+        return self.run(plan, batch)

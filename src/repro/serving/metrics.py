@@ -1,0 +1,154 @@
+"""Serving telemetry: throughput, latency percentiles, predicted cycles.
+
+:class:`ServingMetrics` aggregates per-batch observations from the
+micro-batcher. Beyond the usual p50/p90/p99 request latencies it can carry
+a :class:`CyclePredictor`, which replays each served batch size through the
+cycle-accurate LUT-DLA simulator (:mod:`repro.sim`) — the Eq. (5) cost
+model — so every summary reports the measured host latency next to what
+the paper's accelerator would have spent on the identical workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..sim.engine import SimConfig, simulate_workloads
+
+__all__ = ["CyclePredictor", "ServingMetrics", "percentile"]
+
+
+def percentile(values, p):
+    """Nearest-rank percentile (p in [0, 100]) of a list of floats."""
+    if not len(values):
+        return 0.0
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    rank = min(len(ordered) - 1, max(0, int(np.ceil(p / 100.0 * len(ordered))) - 1))
+    return float(ordered[rank])
+
+
+class CyclePredictor:
+    """Predicted LUT-DLA cycles/latency per served batch size.
+
+    Wraps ``simulate_workloads`` over a plan's GEMM workloads; results are
+    memoised per batch size since the simulator is deterministic.
+    """
+
+    def __init__(self, plan, sim_config=None):
+        self.plan = plan
+        self.sim_config = sim_config or SimConfig()
+        self._cache = {}
+        self._lock = threading.Lock()
+
+    def cycles(self, batch_size):
+        """Total predicted LUT-DLA cycles for one batch of ``batch_size``."""
+        batch_size = int(batch_size)
+        with self._lock:
+            if batch_size not in self._cache:
+                _, total = simulate_workloads(
+                    self.plan.workloads(batch_size), self.sim_config)
+                self._cache[batch_size] = int(total)
+            return self._cache[batch_size]
+
+    def seconds(self, batch_size):
+        """Predicted wall-clock seconds at the simulated clock frequency."""
+        return self.cycles(batch_size) / self.sim_config.frequency_hz
+
+
+class ServingMetrics:
+    """Threadsafe accumulator for the serving runtime's observations."""
+
+    def __init__(self, predictor=None):
+        self.predictor = predictor
+        self._lock = threading.Lock()
+        self._latencies = []
+        self._batch_sizes = []
+        self._batch_seconds = []
+        self._started_at = time.monotonic()
+        self._last_done_at = self._started_at
+
+    # ------------------------------------------------------------------
+    def record_batch(self, batch_size, batch_seconds, latencies):
+        """Record one completed batch (the batcher's ``on_batch`` hook).
+
+        Only appends observations — cycle prediction (which runs the tile
+        simulator on first sight of a batch size) is deferred to
+        :meth:`summary` so the serving hot path never waits on it.
+        """
+        with self._lock:
+            now = time.monotonic()
+            if not self._batch_sizes:
+                # Start the throughput window at the first batch's start,
+                # not at construction — idle warm-up time is not traffic.
+                self._started_at = now - float(batch_seconds)
+            self._batch_sizes.append(int(batch_size))
+            self._batch_seconds.append(float(batch_seconds))
+            self._latencies.extend(float(l) for l in latencies)
+            self._last_done_at = now
+
+    def reset(self):
+        with self._lock:
+            self._latencies = []
+            self._batch_sizes = []
+            self._batch_seconds = []
+            self._started_at = time.monotonic()
+            self._last_done_at = self._started_at
+
+    # ------------------------------------------------------------------
+    @property
+    def request_count(self):
+        with self._lock:
+            return len(self._latencies)
+
+    @property
+    def batch_count(self):
+        with self._lock:
+            return len(self._batch_sizes)
+
+    def summary(self):
+        """One dict with the numbers a dashboard would want.
+
+        Latencies are reported in milliseconds; ``requests_per_s`` uses the
+        window from construction/reset to the last completed batch.
+        ``predicted_*`` keys appear when a :class:`CyclePredictor` is
+        attached — ``predicted_ms`` is the simulator's per-batch latency
+        and ``measured_over_predicted`` the measured/predicted ratio, the
+        serving-time form of the paper's predicted-vs-measured comparison.
+        """
+        with self._lock:
+            latencies = list(self._latencies)
+            sizes = list(self._batch_sizes)
+            seconds = list(self._batch_seconds)
+            window = max(self._last_done_at - self._started_at, 1e-12)
+        predicted = ([self.predictor.cycles(size) for size in sizes]
+                     if self.predictor is not None else [])
+        count = len(latencies)
+        out = {
+            "requests": count,
+            "batches": len(sizes),
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "requests_per_s": count / window if count else 0.0,
+            "mean_ms": float(np.mean(latencies)) * 1e3 if count else 0.0,
+            "p50_ms": percentile(latencies, 50) * 1e3,
+            "p90_ms": percentile(latencies, 90) * 1e3,
+            "p99_ms": percentile(latencies, 99) * 1e3,
+            "mean_batch_ms": float(np.mean(seconds)) * 1e3 if seconds else 0.0,
+        }
+        if predicted:
+            freq = self.predictor.sim_config.frequency_hz
+            mean_cycles = float(np.mean(predicted))
+            out["predicted_cycles"] = mean_cycles
+            out["predicted_ms"] = mean_cycles / freq * 1e3
+            if out["mean_batch_ms"] > 0:
+                out["measured_over_predicted"] = (
+                    out["mean_batch_ms"] / out["predicted_ms"]
+                    if out["predicted_ms"] else float("inf"))
+        return out
+
+    def report(self, title="serving metrics"):
+        """Render :meth:`summary` as an aligned text table."""
+        from ..evaluation.report import format_serving_summary
+
+        return format_serving_summary(self.summary(), title=title)

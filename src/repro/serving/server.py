@@ -1,0 +1,126 @@
+"""Future-based serving front-end tying the subsystem together.
+
+:class:`LUTServer` owns one compiled plan (via the engine's LRU cache), a
+:class:`~repro.serving.batcher.MicroBatcher` worker pool, and a
+:class:`~repro.serving.metrics.ServingMetrics` sink. Clients call
+``submit()`` and get a ``concurrent.futures.Future``; ``infer()`` is the
+blocking convenience wrapper. Construction compiles (or cache-hits) the
+plan, so the first request pays no compile latency.
+
+Typical use::
+
+    with LUTServer(model, input_shape=(1, 16, 16)) as server:
+        futures = [server.submit(x) for x in requests]
+        outputs = [f.result() for f in futures]
+        print(server.metrics.report())
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .engine import ServingEngine, execute_plan
+from .metrics import CyclePredictor, ServingMetrics
+
+__all__ = ["ServingConfig", "LUTServer"]
+
+
+class ServingConfig:
+    """Tunables of one :class:`LUTServer` deployment.
+
+    ``workers=None`` sizes the thread pool to the host's CPU count —
+    numpy's kernels release the GIL, so one worker per core is the
+    highest-throughput default (extra workers on a small host only add
+    context-switch churn).
+    """
+
+    def __init__(self, max_batch_size=64, max_wait_ms=2.0, workers=None,
+                 max_pending=1024, precision="fp32", cache_size=8,
+                 sim_config=None):
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        self.max_pending = int(max_pending)
+        self.precision = precision
+        self.cache_size = int(cache_size)
+        # SimConfig for predicted-cycle annotation; None disables it.
+        self.sim_config = sim_config
+
+    def __repr__(self):
+        return ("ServingConfig(max_batch=%d, max_wait=%.1fms, workers=%d, "
+                "max_pending=%d, precision=%r)" % (
+                    self.max_batch_size, self.max_wait_ms, self.workers,
+                    self.max_pending, self.precision))
+
+
+class LUTServer:
+    """Serve one converted model behind a dynamic micro-batching queue."""
+
+    def __init__(self, model, input_shape, config=None, engine=None,
+                 name=None, annotate_cycles=True):
+        self.config = config or ServingConfig()
+        self.engine = engine or ServingEngine(self.config.cache_size)
+        self.plan = self.engine.plan_for(
+            model, input_shape, precision=self.config.precision, key=name)
+        predictor = None
+        if annotate_cycles:
+            predictor = CyclePredictor(self.plan, self.config.sim_config)
+        self.metrics = ServingMetrics(predictor)
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1e3,
+            workers=self.config.workers,
+            max_pending=self.config.max_pending,
+            on_batch=self.metrics.record_batch,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, stacked):
+        return execute_plan(self.plan, stacked)
+
+    def submit(self, x):
+        """Enqueue one request (shape ``input_shape``); returns a Future.
+
+        Raises :class:`~repro.serving.batcher.AdmissionError` when the
+        queue is at ``max_pending`` — shed load at the edge rather than
+        letting tail latency collapse.
+        """
+        x = np.asarray(x)
+        if x.shape != self.plan.input_shape:
+            raise ValueError("request shape %r does not match plan input "
+                             "shape %r" % (x.shape, self.plan.input_shape))
+        # No per-request precision cast here: execute_plan converts the
+        # whole stacked batch to the plan dtype in one pass.
+        return self._batcher.submit(x)
+
+    def infer(self, x, timeout=None):
+        """Blocking single-request convenience around :meth:`submit`."""
+        return self.submit(x).result(timeout)
+
+    def infer_many(self, xs, timeout=None):
+        """Submit a burst of requests and gather results in order."""
+        futures = [self.submit(x) for x in xs]
+        return np.stack([f.result(timeout) for f in futures])
+
+    # ------------------------------------------------------------------
+    def pending(self):
+        return self._batcher.pending()
+
+    def close(self, timeout=5.0):
+        if not self._closed:
+            self._closed = True
+            self._batcher.close(timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return "LUTServer(%r, %r)" % (self.plan, self.config)

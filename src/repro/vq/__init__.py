@@ -3,6 +3,8 @@
 from .codebook import Codebook, equivalent_bitwidth, merge_subspaces, split_subspaces
 from .distances import (
     METRICS,
+    batched_nearest_centroid,
+    batched_pairwise_distance,
     chebyshev_distance,
     l1_distance,
     l2_distance,
@@ -10,7 +12,13 @@ from .distances import (
     pairwise_distance,
 )
 from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
-from .lut import PSumLUT, exact_subspace_matmul, lut_matmul, lut_storage_bits
+from .lut import (
+    PSumLUT,
+    exact_subspace_matmul,
+    gather_accumulate,
+    lut_matmul,
+    lut_storage_bits,
+)
 from .quant import (
     dequantize_int8,
     fake_quant_int8,
@@ -26,6 +34,8 @@ __all__ = [
     "chebyshev_distance",
     "pairwise_distance",
     "nearest_centroid",
+    "batched_pairwise_distance",
+    "batched_nearest_centroid",
     "KMeansResult",
     "kmeans",
     "kmeans_plus_plus_init",
@@ -34,6 +44,7 @@ __all__ = [
     "split_subspaces",
     "merge_subspaces",
     "PSumLUT",
+    "gather_accumulate",
     "lut_matmul",
     "lut_storage_bits",
     "exact_subspace_matmul",

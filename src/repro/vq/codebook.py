@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .distances import nearest_centroid, pairwise_distance
+from .distances import batched_nearest_centroid, pairwise_distance
 from .kmeans import kmeans
 
 __all__ = ["Codebook", "equivalent_bitwidth", "split_subspaces", "merge_subspaces"]
@@ -29,7 +29,9 @@ def split_subspaces(matrix, v):
 
     Returns (subspaces, padded_k).
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = np.asarray(matrix)
+    if matrix.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        matrix = matrix.astype(np.float64)
     n, k = matrix.shape
     num_subspaces = int(np.ceil(k / v))
     padded_k = num_subspaces * v
@@ -127,12 +129,7 @@ class Codebook:
     def encode(self, activations):
         """Quantize (n, K) activations to centroid indices (n, num_subspaces)."""
         subspaces, _ = split_subspaces(activations, self.vector_length)
-        indices = np.empty((subspaces.shape[1], self.num_subspaces), dtype=np.int64)
-        for s in range(self.num_subspaces):
-            indices[:, s] = nearest_centroid(
-                subspaces[s], self.centroids[s], self.metric
-            )
-        return indices
+        return batched_nearest_centroid(subspaces, self.centroids, self.metric)
 
     def decode(self, indices):
         """Reconstruct (n, K) activations from indices (n, num_subspaces)."""

@@ -13,7 +13,38 @@ import numpy as np
 
 from .codebook import Codebook, split_subspaces
 
-__all__ = ["PSumLUT", "lut_matmul", "lut_storage_bits"]
+__all__ = ["PSumLUT", "gather_accumulate", "lut_matmul", "lut_storage_bits"]
+
+
+def gather_accumulate(table, indices):
+    """Fused steps 3-4 of Fig. 2: gather + accumulate over all subspaces.
+
+    Parameters
+    ----------
+    table:
+        PSum LUT of shape (num_subspaces, c, n_out).
+    indices:
+        (m, num_subspaces) centroid indices.
+
+    Returns
+    -------
+    (m, n_out) approximate GEMM result. This is the single hot kernel both
+    :meth:`PSumLUT.lookup_accumulate` and the serving engine execute, so the
+    batched online path is bit-identical to the sequential offline one.
+    The subspace loop beats a one-shot (m, s, n_out) gather: each iteration
+    is one contiguous fancy-indexed read plus an in-place add, with no big
+    temporary to reduce over a strided axis.
+    """
+    table = np.asarray(table)
+    indices = np.asarray(indices)
+    num_subspaces = table.shape[0]
+    if indices.shape[1] != num_subspaces:
+        raise ValueError("index width %d != num_subspaces %d"
+                         % (indices.shape[1], num_subspaces))
+    out = table[0][indices[:, 0]]  # fancy indexing: always a fresh array
+    for s in range(1, num_subspaces):
+        out += table[s][indices[:, s]]
+    return out
 
 
 def lut_storage_bits(k, v, c, n, entry_bits=32):
@@ -87,14 +118,7 @@ class PSumLUT:
         -------
         (m, n_out) approximate GEMM result.
         """
-        indices = np.asarray(indices)
-        if indices.shape[1] != self.num_subspaces:
-            raise ValueError("index width %d != num_subspaces %d"
-                             % (indices.shape[1], self.num_subspaces))
-        out = np.zeros((indices.shape[0], self.n_out))
-        for s in range(self.num_subspaces):
-            out += self.table[s][indices[:, s]]
-        return out
+        return gather_accumulate(self.table, indices)
 
 
 def lut_matmul(activations, weight, codebook=None, v=4, c=16, metric="l2",

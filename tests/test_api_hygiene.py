@@ -35,6 +35,9 @@ PUBLIC_MODULES = [
     "repro.baselines.specs",
     "repro.evaluation", "repro.evaluation.runner",
     "repro.evaluation.report",
+    "repro.serving", "repro.serving.compiler", "repro.serving.engine",
+    "repro.serving.batcher", "repro.serving.server",
+    "repro.serving.metrics",
 ]
 
 
@@ -53,7 +56,7 @@ def test_all_exports_resolve(name):
 
 @pytest.mark.parametrize("name", [
     "repro.vq", "repro.lutboost", "repro.hw", "repro.sim", "repro.dse",
-    "repro.baselines", "repro.evaluation", "repro.nn",
+    "repro.baselines", "repro.evaluation", "repro.nn", "repro.serving",
 ])
 def test_public_classes_documented(name):
     module = importlib.import_module(name)

@@ -17,6 +17,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 @pytest.mark.parametrize("script", [
     "quickstart.py",
     "simulate_accelerator.py",
+    "serve_model.py",
 ])
 def test_fast_example_runs(script):
     result = subprocess.run(

@@ -1,0 +1,102 @@
+"""Batcher semantics: batch bounds, timeout dispatch, admission control."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import AdmissionError, MicroBatcher
+
+
+def _echo(batch):
+    return batch * 2.0
+
+
+class TestBatching:
+    def test_results_map_back_to_requests(self):
+        with MicroBatcher(_echo, max_batch_size=4, max_wait_s=0.01) as mb:
+            futures = [mb.submit(np.full(3, float(i))) for i in range(10)]
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(future.result(5),
+                                              np.full(3, 2.0 * i))
+
+    def test_max_batch_size_respected(self):
+        sizes = []
+        with MicroBatcher(_echo, max_batch_size=4, max_wait_s=0.05,
+                          workers=1, on_batch=lambda n, s, l: sizes.append(n)) as mb:
+            futures = [mb.submit(np.zeros(2)) for _ in range(11)]
+            for future in futures:
+                future.result(5)
+        assert sizes and max(sizes) <= 4
+        assert sum(sizes) == 11
+
+    def test_singleton_dispatched_after_timeout(self):
+        """One lonely request must not wait for a full batch."""
+        with MicroBatcher(_echo, max_batch_size=64, max_wait_s=0.05) as mb:
+            start = time.monotonic()
+            result = mb.submit(np.ones(2)).result(5)
+            elapsed = time.monotonic() - start
+        np.testing.assert_array_equal(result, 2.0 * np.ones(2))
+        assert elapsed < 2.0
+
+    def test_batch_fuses_waiting_requests(self):
+        sizes = []
+        release = threading.Event()
+
+        def slow(batch):
+            release.wait(5)
+            return batch
+
+        with MicroBatcher(slow, max_batch_size=8, max_wait_s=0.2, workers=1,
+                          on_batch=lambda n, s, l: sizes.append(n)) as mb:
+            first = mb.submit(np.zeros(1))
+            rest = [mb.submit(np.zeros(1)) for _ in range(5)]
+            release.set()
+            for future in [first] + rest:
+                future.result(5)
+        # The worker took one batch (possibly just the first request) and
+        # everything queued while it ran fused into the next batch.
+        assert len(sizes) <= 3
+        assert sum(sizes) == 6
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises(self):
+        block = threading.Event()
+
+        def stuck(batch):
+            block.wait(10)
+            return batch
+
+        mb = MicroBatcher(stuck, max_batch_size=1, max_wait_s=0.0,
+                          workers=1, max_pending=2)
+        try:
+            first = mb.submit(np.zeros(1))
+            time.sleep(0.1)  # let the worker take it and get stuck
+            mb.submit(np.zeros(1))
+            mb.submit(np.zeros(1))
+            with pytest.raises(AdmissionError, match="queue full"):
+                mb.submit(np.zeros(1))
+        finally:
+            block.set()
+            mb.close()
+        assert first.result(5) is not None
+
+    def test_submit_after_close_raises(self):
+        mb = MicroBatcher(_echo)
+        mb.close()
+        with pytest.raises(AdmissionError, match="shut down"):
+            mb.submit(np.zeros(1))
+
+
+class TestFailurePropagation:
+    def test_exception_reaches_every_future(self):
+        def boom(batch):
+            raise RuntimeError("kernel exploded")
+
+        with MicroBatcher(boom, max_batch_size=4, max_wait_s=0.01) as mb:
+            futures = [mb.submit(np.zeros(1)) for _ in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    future.result(5)

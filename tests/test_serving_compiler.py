@@ -1,0 +1,136 @@
+"""Tests for lowering converted models into packed KernelPlans."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost.converter import ConversionPolicy, calibrate_model, convert_model
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.nn.layers import Linear, Module
+from repro.serving import CompileError, compile_model
+from repro.serving.compiler import PRECISION_DTYPES
+
+
+@pytest.fixture(scope="module")
+def converted_lenet():
+    rng = np.random.default_rng(0)
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(24, 1, 16, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def converted_mlp():
+    rng = np.random.default_rng(1)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return model
+
+
+class TestTraceAndLower:
+    def test_lenet_step_sequence(self, converted_lenet):
+        plan = compile_model(converted_lenet, (1, 16, 16))
+        kinds = [s.kind for s in plan.steps]
+        assert kinds == [
+            "lut_gemm", "relu", "avg_pool",
+            "lut_gemm", "relu", "avg_pool",
+            "flatten",
+            "lut_gemm", "relu", "lut_gemm", "relu", "lut_gemm",
+        ]
+        assert plan.num_lut_layers == 5
+
+    def test_mlp_inline_reshape_becomes_flatten(self, converted_mlp):
+        # MLP.forward flattens with x.reshape(n, -1) when fed images.
+        plan = compile_model(converted_mlp, (4, 4))
+        assert plan.steps[0].kind == "flatten"
+
+    def test_uncalibrated_model_rejected(self):
+        model = mlp(16, hidden=32, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        with pytest.raises(CompileError, match="uncalibrated"):
+            compile_model(model, (16,))
+
+    def test_unconverted_model_rejected(self):
+        with pytest.raises(CompileError, match="no calibrated LUT"):
+            compile_model(mlp(16, hidden=32, num_classes=4), (16,))
+
+    def test_untraceable_topology_rejected(self, converted_mlp):
+        class Residual(Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def forward(self, x):
+                return self.inner(x) + x * 0.5
+
+        inner = mlp(8, hidden=8, num_classes=8)
+        convert_model(inner, ConversionPolicy(v=4, c=8))
+        calibrate_model(inner, np.random.default_rng(2).normal(size=(32, 8)))
+        with pytest.raises(CompileError, match="disagrees|shape"):
+            compile_model(Residual(inner), (8,))
+
+
+class TestPackedBuffers:
+    def test_single_contiguous_arrays(self, converted_lenet):
+        plan = compile_model(converted_lenet, (1, 16, 16))
+        assert plan.centroids.ndim == 3
+        assert plan.centroids.flags["C_CONTIGUOUS"]
+        assert plan.tables.ndim == 1
+        total = sum(
+            layer["num_subspaces"] * plan.c * layer["n_out"]
+            for layer in plan.layers
+        )
+        assert plan.tables.size == total
+        assert plan.total_subspaces == sum(
+            layer["num_subspaces"] for layer in plan.layers)
+
+    def test_steps_view_into_packed_buffers(self, converted_lenet):
+        plan = compile_model(converted_lenet, (1, 16, 16))
+        for step in plan.steps:
+            if step.kind != "lut_gemm":
+                continue
+            assert step.params["centroids"].base is plan.centroids
+            table = step.params["table"]
+            assert table.base is plan.tables or table.base.base is plan.tables
+
+    @pytest.mark.parametrize("precision", sorted(PRECISION_DTYPES))
+    def test_precision_dtypes(self, converted_mlp, precision):
+        plan = compile_model(converted_mlp, (16,), precision=precision)
+        assert plan.dtype == np.dtype(PRECISION_DTYPES[precision])
+        assert plan.tables.dtype == plan.dtype
+        assert plan.storage_bytes() > 0
+
+    def test_mixed_config_rejected(self):
+        rng = np.random.default_rng(3)
+        model = mlp(16, hidden=32, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        calibrate_model(model, rng.normal(size=(40, 16)))
+        # Force one operator to a different c after conversion.
+        from repro.lutboost.converter import lut_operators
+
+        _, op = lut_operators(model)[0]
+        op.c = 4
+        op.centroids.data = op.centroids.data[:, :4, :]
+        with pytest.raises(CompileError, match="mixed"):
+            compile_model(model, (16,), verify=False)
+
+
+class TestSimulatorBridge:
+    def test_workloads_scale_with_batch(self, converted_lenet):
+        plan = compile_model(converted_lenet, (1, 16, 16))
+        w1 = plan.workloads(1)
+        w8 = plan.workloads(8)
+        assert len(w1) == plan.num_lut_layers
+        for a, b in zip(w1, w8):
+            assert b.m == 8 * a.m
+            assert (a.k, a.n, a.v, a.c) == (b.k, b.n, b.v, b.c)
+        # Conv layers see out_h * out_w rows per sample, linear layers one.
+        assert w1[0].m == 16 * 16
+        assert w1[-1].m == 1
+
+    def test_bad_sample_shape_rejected(self, converted_mlp):
+        with pytest.raises(CompileError, match="sample_input"):
+            compile_model(converted_mlp, (16,),
+                          sample_input=np.zeros((2, 9)))

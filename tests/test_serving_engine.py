@@ -1,0 +1,149 @@
+"""Engine correctness: batched execution vs the sequential LUT reference."""
+
+import numpy as np
+import pytest
+
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+    lut_operators,
+)
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.nn import functional as F
+from repro.serving import PlanCache, ServingEngine, compile_model, execute_plan
+
+
+@pytest.fixture(scope="module")
+def converted_lenet():
+    rng = np.random.default_rng(0)
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(24, 1, 16, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def converted_mlp():
+    rng = np.random.default_rng(1)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return model
+
+
+def _sequential_lenet_reference(model, x):
+    """Per-request serving reference: chain each operator's lut_inference
+    with plain numpy glue, one request at a time (the pre-serving path)."""
+    outs = []
+    for i in range(x.shape[0]):
+        h = x[i : i + 1]
+        h = np.maximum(model.conv1.lut_inference(h), 0.0)
+        h = F.avg_pool2d(h, 2)
+        h = np.maximum(model.conv2.lut_inference(h), 0.0)
+        h = F.avg_pool2d(h, 2)
+        h = h.reshape(1, -1)
+        h = np.maximum(model.fc1.lut_inference(h), 0.0)
+        h = np.maximum(model.fc2.lut_inference(h), 0.0)
+        outs.append(model.fc3.lut_inference(h)[0])
+    return np.stack(outs)
+
+
+class TestBitIdentity:
+    def test_fp64_batched_matches_sequential_lut_reference(self,
+                                                           converted_lenet):
+        """The acceptance property: one batched pass == N sequential
+        per-request passes through the offline lut_matmul kernels, bitwise."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(16, 1, 16, 16))
+        plan = compile_model(converted_lenet, (1, 16, 16), precision="fp64")
+        batched = execute_plan(plan, x)
+        reference = _sequential_lenet_reference(converted_lenet, x)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_fp64_batch_invariance(self, converted_lenet):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(12, 1, 16, 16))
+        plan = compile_model(converted_lenet, (1, 16, 16), precision="fp64")
+        whole = execute_plan(plan, x)
+        singles = np.concatenate(
+            [execute_plan(plan, x[i : i + 1]) for i in range(12)])
+        np.testing.assert_array_equal(whole, singles)
+
+    def test_fp32_batch_invariance(self, converted_lenet):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(12, 1, 16, 16)).astype(np.float32)
+        plan = compile_model(converted_lenet, (1, 16, 16), precision="fp32")
+        whole = execute_plan(plan, x)
+        halves = np.concatenate(
+            [execute_plan(plan, x[:5]), execute_plan(plan, x[5:])])
+        np.testing.assert_array_equal(whole, halves)
+
+    def test_fp32_close_to_fp64(self, converted_lenet):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(6, 1, 16, 16))
+        p32 = compile_model(converted_lenet, (1, 16, 16), precision="fp32")
+        p64 = compile_model(converted_lenet, (1, 16, 16), precision="fp64")
+        np.testing.assert_allclose(
+            execute_plan(p32, x).astype(np.float64),
+            execute_plan(p64, x), rtol=1e-3, atol=1e-4)
+
+    def test_mlp_matches_per_request_lut_matmul(self, converted_mlp):
+        """Same property spelled with the raw vq primitives."""
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(9, 16))
+        plan = compile_model(converted_mlp, (16,), precision="fp64")
+        batched = execute_plan(plan, x)
+        ops = [op for _, op in lut_operators(converted_mlp)]
+        rows = []
+        for i in range(9):
+            h = x[i : i + 1]
+            for j, op in enumerate(ops):
+                book, lut = op.export_lut()
+                h = lut.lookup_accumulate(book.encode(h)) + op.bias.data
+                if j < len(ops) - 1:
+                    h = np.maximum(h, 0.0)
+            rows.append(h[0])
+        np.testing.assert_array_equal(batched, np.stack(rows))
+
+
+class TestPlanCache:
+    def test_lru_hit_and_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b" (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.hits == 3
+        assert cache.misses == 1
+
+    def test_engine_caches_per_config(self, converted_mlp):
+        engine = ServingEngine(cache_size=4)
+        p1 = engine.plan_for(converted_mlp, (16,))
+        p2 = engine.plan_for(converted_mlp, (16,))
+        assert p1 is p2
+        assert engine.cache.hits == 1
+        assert engine.cache.misses == 1
+        p3 = engine.plan_for(converted_mlp, (16,), precision="fp64")
+        assert p3 is not p1
+        assert engine.cache.misses == 2
+
+    def test_engine_infer(self, converted_mlp):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(5, 16))
+        engine = ServingEngine()
+        out = engine.infer(converted_mlp, x, precision="fp64")
+        plan = engine.plan_for(converted_mlp, (16,), precision="fp64")
+        np.testing.assert_array_equal(out, execute_plan(plan, x))
+        assert engine.cache.hits >= 1
+
+
+class TestValidation:
+    def test_wrong_batch_shape_rejected(self, converted_mlp):
+        plan = compile_model(converted_mlp, (16,))
+        with pytest.raises(ValueError, match="input shape"):
+            execute_plan(plan, np.zeros((3, 9)))

@@ -1,0 +1,109 @@
+"""End-to-end LUTServer behaviour plus metrics/reporting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.report import format_serving_summary
+from repro.lutboost.converter import ConversionPolicy, calibrate_model, convert_model
+from repro.models.mlp import mlp
+from repro.serving import (
+    CyclePredictor,
+    LUTServer,
+    ServingConfig,
+    ServingMetrics,
+    compile_model,
+    execute_plan,
+    percentile,
+)
+from repro.sim.engine import SimConfig
+
+
+@pytest.fixture(scope="module")
+def converted_mlp():
+    rng = np.random.default_rng(1)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return model
+
+
+class TestServer:
+    def test_submit_results_match_direct_execution(self, converted_mlp):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 16))
+        cfg = ServingConfig(max_batch_size=8, max_wait_ms=1.0,
+                            precision="fp64")
+        with LUTServer(converted_mlp, (16,), cfg) as server:
+            expected = execute_plan(server.plan, x)
+            futures = [server.submit(row) for row in x]
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(future.result(10), expected[i])
+
+    def test_infer_many_preserves_order(self, converted_mlp):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(10, 16))
+        with LUTServer(converted_mlp, (16,)) as server:
+            out = server.infer_many(x, timeout=10)
+            np.testing.assert_array_equal(out, execute_plan(server.plan, x))
+
+    def test_bad_request_shape_rejected(self, converted_mlp):
+        with LUTServer(converted_mlp, (16,)) as server:
+            with pytest.raises(ValueError, match="request shape"):
+                server.submit(np.zeros(9))
+
+    def test_metrics_accumulate(self, converted_mlp):
+        rng = np.random.default_rng(4)
+        with LUTServer(converted_mlp, (16,)) as server:
+            server.infer_many(rng.normal(size=(12, 16)), timeout=10)
+            summary = server.metrics.summary()
+        assert summary["requests"] == 12
+        assert summary["batches"] >= 1
+        assert summary["requests_per_s"] > 0
+        assert summary["p99_ms"] >= summary["p50_ms"] >= 0.0
+        # The sim bridge annotates every batch with predicted cycles.
+        assert summary["predicted_cycles"] > 0
+        assert summary["predicted_ms"] > 0
+        assert "measured_over_predicted" in summary
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([], 50) == 0.0
+
+    def test_record_and_reset(self):
+        metrics = ServingMetrics()
+        metrics.record_batch(4, 0.01, [0.01, 0.02, 0.03, 0.04])
+        assert metrics.request_count == 4
+        assert metrics.batch_count == 1
+        summary = metrics.summary()
+        assert summary["mean_batch_size"] == 4
+        assert "predicted_cycles" not in summary
+        metrics.reset()
+        assert metrics.request_count == 0
+
+    def test_cycle_predictor_memoizes(self, converted_mlp):
+        plan = compile_model(converted_mlp, (16,))
+        predictor = CyclePredictor(plan, SimConfig())
+        c1 = predictor.cycles(8)
+        c2 = predictor.cycles(8)
+        assert c1 == c2 > 0
+        assert predictor.cycles(16) > c1
+        assert predictor.seconds(8) == pytest.approx(
+            c1 / predictor.sim_config.frequency_hz)
+
+    def test_report_renders(self, converted_mlp):
+        plan = compile_model(converted_mlp, (16,))
+        metrics = ServingMetrics(CyclePredictor(plan, SimConfig()))
+        metrics.record_batch(2, 0.004, [0.004, 0.005])
+        text = metrics.report(title="unit serving report")
+        assert "unit serving report" in text
+        assert "latency p99 (ms)" in text
+        assert "predicted LUT-DLA" in text
+
+    def test_format_serving_summary_minimal(self):
+        text = format_serving_summary({"requests": 0})
+        assert "requests" in text
