@@ -7,11 +7,14 @@ use ``benchmark.pedantic(..., rounds=1)`` since one round is already a full
 training run.
 """
 
-import numpy as np
+import json
+import os
+import pathlib
+
 import pytest
 
 from repro.lutboost.trainer import train_epochs
-from repro.nn import Adam, evaluate_accuracy
+from repro.nn import Adam
 
 
 def emit(title, text):
@@ -19,6 +22,26 @@ def emit(title, text):
     print(title)
     print("=" * 72)
     print(text)
+
+
+def record_serving_bench(section, payload):
+    """Merge one section into the serving benchmark artifact.
+
+    CI uploads the resulting ``BENCH_serving.json`` per commit so the
+    req/s trajectory (and the per-layer predicted-cycle profiles) can be
+    tracked over time; ``BENCH_SERVING_JSON`` overrides the output path.
+    """
+    path = pathlib.Path(os.environ.get("BENCH_SERVING_JSON",
+                                       "BENCH_serving.json"))
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def pretrain(model, train, epochs=8, lr=3e-3, batch_size=32, forward=None):

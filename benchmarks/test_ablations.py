@@ -9,7 +9,6 @@ credits for LUT-DLA's wins:
 - progressive vs one-shot centroid calibration (LUTBoost robustness).
 """
 
-import numpy as np
 import pytest
 from conftest import emit
 

@@ -11,7 +11,6 @@ training for 18 quantized layers; the *trends* are what this figure
 asserts.
 """
 
-import numpy as np
 from conftest import emit, pretrain
 
 from repro.datasets import cifar10_like

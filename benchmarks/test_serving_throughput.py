@@ -1,11 +1,20 @@
-"""Serving-throughput trajectory: requests/sec at batch sizes {1, 8, 64}.
+"""Serving-throughput trajectory: req/s per batch size and per topology.
 
 Not a paper figure — this records the serving subsystem's performance so
-future PRs have a trajectory to beat. Each row serves the same open-loop
-burst of single-sample requests through a :class:`LUTServer` whose
-``max_batch_size`` is the row's batch size; batch size 1 is serving with
-dynamic batching effectively disabled (the per-request path), larger rows
-show what request fusion buys on the packed-kernel engine.
+future PRs have a trajectory to beat. Two views:
+
+1. **Batch sweep** (LeNet): the same open-loop burst of single-sample
+   requests served through a :class:`LUTServer` whose ``max_batch_size``
+   is the row's batch size; batch size 1 is serving with dynamic batching
+   effectively disabled (the per-request path), larger rows show what
+   request fusion buys on the packed-kernel engine.
+2. **Topology sweep**: one burst per compiled topology — feed-forward
+   (LeNet), residual (resnet20) and attention (bert_mini) — the scenario
+   axis the DAG compiler unlocked, with the simulator's per-layer
+   predicted-cycle profile attached.
+
+Both views are merged into ``BENCH_serving.json`` (override the path with
+``BENCH_SERVING_JSON``), which CI uploads as a per-commit artifact.
 """
 
 import time
@@ -20,13 +29,18 @@ from repro.lutboost.converter import (
 )
 from repro.evaluation import format_table
 from repro.models.lenet import lenet
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
 from repro.serving import LUTServer, ServingConfig
 
-from conftest import emit
+from conftest import emit, record_serving_bench
 
 BATCH_SIZES = (1, 8, 64)
 REQUESTS = 320
 TRIALS = 5
+
+TOPOLOGY_REQUESTS = 96
+TOPOLOGY_BATCH = 32
 
 
 @pytest.fixture(scope="module")
@@ -78,8 +92,72 @@ def test_serving_throughput_scales_with_batch_size(converted_lenet):
     ]
     emit("Serving throughput (LeNet-16, v=4 c=16, fp32 plan, burst of %d)"
          % REQUESTS, format_table(rows, floatfmt="%.4g"))
+    record_serving_bench("batch_sweep", {
+        "model": "lenet", "requests": REQUESTS, "rows": rows})
 
     # Perf floor (kept conservative so shared-CPU noise cannot flake CI):
     # dynamic batching must buy a large multiple over per-request serving.
     assert rates[8] > rates[1]
     assert rates[64] >= 3.0 * rates[1], rates
+
+
+def _topologies():
+    """(name, converted model, input_shape, request batch, sample) rows."""
+    rng = np.random.default_rng(2)
+
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(16, 1, 16, 16)))
+    requests = rng.normal(size=(TOPOLOGY_REQUESTS, 1, 16, 16))
+    yield "lenet", model, (1, 16, 16), requests, None
+
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, 16, 16)))
+    requests = rng.normal(size=(TOPOLOGY_REQUESTS, 3, 16, 16))
+    yield "resnet20", model, (3, 16, 16), requests, None
+
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    tokens = rng.integers(0, 64, size=(TOPOLOGY_REQUESTS, 16))
+    calibrate_model(model, tokens[:6])
+    yield "bert_mini", model, (16,), tokens, tokens[:3]
+
+
+def test_topology_throughput_profiles():
+    """Serve every supported topology class and record its profile."""
+    rows = []
+    profiles = {}
+    for name, model, input_shape, requests, sample in _topologies():
+        config = ServingConfig(max_batch_size=TOPOLOGY_BATCH, max_wait_ms=2.0,
+                               max_pending=4 * TOPOLOGY_REQUESTS)
+        with LUTServer(model, input_shape, config, name=name,
+                       sample_input=sample) as server:
+            server.infer_many(requests[:4])  # warm the kernels
+            server.metrics.reset()
+            rate = _serve_burst(server, requests)
+            summary = server.metrics.summary()
+            assert summary["requests"] == TOPOLOGY_REQUESTS
+            breakdown = server.metrics.predictor.breakdown(TOPOLOGY_BATCH)
+            rows.append({
+                "topology": name,
+                "lut_layers": server.plan.num_lut_layers,
+                "steps": len(server.plan.steps),
+                "req_per_s": rate,
+                "p50_ms": summary["p50_ms"],
+                "p99_ms": summary["p99_ms"],
+                "predicted_batch_ms": summary.get("predicted_ms", 0.0),
+            })
+            profiles[name] = {
+                "row": rows[-1],
+                "predicted_cycles_per_layer": breakdown,
+            }
+    emit("Serving throughput per topology (fp32 plans, burst of %d, "
+         "max_batch=%d)" % (TOPOLOGY_REQUESTS, TOPOLOGY_BATCH),
+         format_table(rows, floatfmt="%.4g"))
+    path = record_serving_bench("topologies", profiles)
+    emit("Artifact", "wrote %s" % path)
+
+    by_name = {row["topology"]: row for row in rows}
+    assert set(by_name) == {"lenet", "resnet20", "bert_mini"}
+    assert all(row["req_per_s"] > 0 for row in rows)

@@ -7,10 +7,9 @@ CIFAR-like CNNs reproduce the qualitative ordering (FP32 >= LUT-L2 >=
 LUT-L1, BF16+INT8 within ~1 point of FP32 deployment).
 """
 
-import numpy as np
 from conftest import emit, pretrain
 
-from repro.datasets import cifar10_like, cifar100_like, mnist_like
+from repro.datasets import cifar10_like, mnist_like
 from repro.evaluation import format_table
 from repro.lutboost import MultistageTrainer, lut_operators
 from repro.models import lenet, mlp, vgg11

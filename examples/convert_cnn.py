@@ -11,7 +11,6 @@ CNN and the MNIST-like synthetic dataset:
 Run:  python examples/convert_cnn.py
 """
 
-import numpy as np
 
 from repro.datasets import mnist_like
 from repro.evaluation import evaluate_design, format_table

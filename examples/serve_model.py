@@ -1,13 +1,25 @@
-"""Serving quickstart: convert LeNet, compile a plan, serve a burst.
+"""Serving quickstart: compile and serve all three topology classes.
 
-The online counterpart of ``quickstart.py``:
+The online counterpart of ``quickstart.py``. The DAG plan compiler lowers
+any model built from the traced op set — feed-forward chains, residual
+CNNs and transformer encoders — into a flat, slot-addressed KernelPlan
+(packed codebooks + PSum LUTs + fused kernel steps) that the batched
+engine executes with no model objects or autograd in the loop. This
+script walks the full menu:
 
-1. convert a LeNet to LUT operators and calibrate the codebooks,
-2. compile it into a flat KernelPlan (packed codebooks + PSum LUTs),
+1. convert each model to LUT operators and calibrate the codebooks,
+2. compile it into a KernelPlan (automatic inside ``LUTServer``),
 3. stand up a LUTServer (dynamic micro-batching + worker threads),
 4. fire a burst of single-sample requests at it,
 5. print throughput, p50/p99 latency and the cycle-accurate simulator's
    predicted LUT-DLA latency for the same batches.
+
+Topologies served below:
+
+- ``lenet``     — feed-forward conv/pool/linear chain,
+- ``resnet20``  — residual blocks (fan-out + elementwise add),
+- ``bert_mini`` — transformer encoder (embedding gather, layernorm,
+  fused batched attention, softmax, GELU FFN, mean-pool head).
 
 Run:  python examples/serve_model.py
 """
@@ -20,38 +32,57 @@ from repro.lutboost.converter import (
     convert_model,
 )
 from repro.models.lenet import lenet
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
 from repro.serving import LUTServer, ServingConfig
 
 BATCH = 32          # dynamic-batching bound
-REQUESTS = 256      # burst size
+REQUESTS = 128      # burst size per topology
 IMAGE = 16
+SEQ = 16
 
 rng = np.random.default_rng(0)
 
-# 1. Convert + calibrate (LUTBoost steps 1-2; training skipped for brevity).
-model = lenet(image_size=IMAGE)
-replaced = convert_model(model, ConversionPolicy(v=4, c=16))
-calibrate_model(model, rng.normal(size=(32, 1, IMAGE, IMAGE)))
-print("converted %d operators to LUT form" % len(replaced))
 
-# 2-3. Compile and serve. Construction compiles the plan (cached LRU in the
-# engine) and starts the worker pool.
+def build_topologies():
+    """Yield (name, converted model, input_shape, requests, sample)."""
+    model = lenet(image_size=IMAGE)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(32, 1, IMAGE, IMAGE)))
+    yield ("lenet", model, (1, IMAGE, IMAGE),
+           rng.normal(size=(REQUESTS, 1, IMAGE, IMAGE)), None)
+
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, IMAGE, IMAGE)))
+    yield ("resnet20", model, (3, IMAGE, IMAGE),
+           rng.normal(size=(REQUESTS, 3, IMAGE, IMAGE)), None)
+
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    tokens = rng.integers(0, 64, size=(REQUESTS, SEQ))
+    calibrate_model(model, tokens[:8])
+    # Token models pass real ids as the trace/verification sample.
+    yield "bert_mini", model, (SEQ,), tokens, tokens[:3]
+
+
 config = ServingConfig(max_batch_size=BATCH, max_wait_ms=2.0)
-with LUTServer(model, (1, IMAGE, IMAGE), config) as server:
-    print("plan: %r" % server.plan)
+for name, model, input_shape, requests, sample in build_topologies():
+    with LUTServer(model, input_shape, config, name=name,
+                   sample_input=sample) as server:
+        print("%s plan: %r" % (name, server.plan))
 
-    # 4. Burst of single-sample requests -> futures -> results.
-    requests = rng.normal(size=(REQUESTS, 1, IMAGE, IMAGE))
-    futures = [server.submit(x) for x in requests]
-    outputs = np.stack([f.result(30) for f in futures])
-    print("served %d requests, output shape %s" % (REQUESTS, outputs.shape))
+        futures = [server.submit(x) for x in requests]
+        outputs = np.stack([f.result(30) for f in futures])
+        print("served %d requests, output shape %s"
+              % (REQUESTS, outputs.shape))
 
-    # 5. Throughput / latency / predicted-cycle report.
-    print()
-    print(server.metrics.report(title="LeNet serving burst"))
+        print()
+        print(server.metrics.report(title="%s serving burst" % name))
+        print()
 
-    summary = server.metrics.summary()
-    assert summary["requests"] == REQUESTS
-    assert summary["predicted_cycles"] > 0
+        summary = server.metrics.summary()
+        assert summary["requests"] == REQUESTS
+        assert summary["predicted_cycles"] > 0
 
 print("OK")

@@ -20,7 +20,6 @@ smaller area.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..hw.accelerator import LUTDLADesign
 from .analytical import compute_cost, gemm_cost, memory_cost, omega_breakdown, omega_cycles

@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..hw.dpe import dpe_cost
-from ..hw.imm import IMMConfig
 from ..hw.memory import SRAM
 
 __all__ = ["EnergyBreakdown", "gemm_energy_breakdown"]

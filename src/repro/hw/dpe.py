@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from .arith import (
-    UnitCost,
     abs_diff,
     comparator,
     fp_add,

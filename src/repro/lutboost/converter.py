@@ -14,7 +14,13 @@ from ..nn.layers import Conv2d, Linear, Module
 from ..nn.tensor import Tensor, no_grad
 from .lut_layers import LUTConv2d, LUTLinear
 
-__all__ = ["ConversionPolicy", "convert_model", "calibrate_model", "lut_operators"]
+__all__ = [
+    "ConversionPolicy",
+    "convert_model",
+    "calibrate_model",
+    "lut_operators",
+    "refresh_batchnorm",
+]
 
 
 class ConversionPolicy:

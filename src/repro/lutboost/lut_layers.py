@@ -22,9 +22,9 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.init import kaiming_uniform
-from ..nn.layers import Linear, Conv2d, Module, Parameter
+from ..nn.layers import Module, Parameter
 from ..nn.tensor import Tensor
-from ..vq.codebook import Codebook, split_subspaces
+from ..vq.codebook import Codebook
 from ..vq.distances import batched_nearest_centroid
 from ..vq.lut import PSumLUT
 from ..vq.quant import fake_quant_int8, to_bf16
@@ -274,6 +274,11 @@ class LUTLinear(Module, _LUTOperatorMixin):
     def _kernel_geometry(self):
         return {"kind": "linear"}
 
+    def __repr__(self):
+        return "LUTLinear(%d -> %d, v=%d, c=%d, metric=%r%s)" % (
+            self.in_features, self.out_features, self.v, self.c, self.metric,
+            "" if self.calibrated else ", uncalibrated")
+
 
 class LUTConv2d(Module, _LUTOperatorMixin):
     """Drop-in LUT replacement for :class:`repro.nn.Conv2d`.
@@ -354,3 +359,8 @@ class LUTConv2d(Module, _LUTOperatorMixin):
             "in_channels": self.in_channels,
             "out_channels": self.out_channels,
         }
+
+    def __repr__(self):
+        return "LUTConv2d(%d -> %d, k=%d, v=%d, c=%d, metric=%r%s)" % (
+            self.in_channels, self.out_channels, self.kernel_size, self.v,
+            self.c, self.metric, "" if self.calibrated else ", uncalibrated")

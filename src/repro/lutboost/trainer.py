@@ -14,7 +14,6 @@ init, everything trained at once) that Fig. 7 and Table II compare against.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..nn import functional as F
 from ..nn.data import DataLoader, evaluate_accuracy

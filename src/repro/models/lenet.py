@@ -10,10 +10,7 @@ from ..nn.layers import (
     Flatten,
     Linear,
     Module,
-    ReLU,
-    Sequential,
 )
-from ..nn import functional as F
 
 __all__ = ["LeNet", "lenet"]
 

@@ -12,14 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import functional as F
 from ..nn.layers import (
     BatchNorm2d,
     Conv2d,
     GlobalAvgPool2d,
     Linear,
     Module,
-    ReLU,
     Sequential,
 )
 

@@ -47,10 +47,12 @@ class TransformerClassifier(Module):
         self.head = Linear(dim, num_classes, rng=rng)
 
     def forward(self, tokens):
-        if isinstance(tokens, Tensor):
-            tokens = tokens.data
-        tokens = np.asarray(tokens).astype(np.int64)
-        seq = tokens.shape[1]
+        # Keep the original ``tokens`` object (Tensor or array) flowing into
+        # the embedding: Embedding handles the int cast itself, and the
+        # serving tracer relies on value identity to recognise the lookup
+        # as input-dependent rather than a bakeable constant.
+        data = tokens.data if isinstance(tokens, Tensor) else np.asarray(tokens)
+        seq = data.shape[1]
         if seq > self.max_len:
             raise ValueError("sequence length %d exceeds max_len %d"
                              % (seq, self.max_len))

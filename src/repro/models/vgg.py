@@ -7,7 +7,6 @@ import numpy as np
 from ..nn.layers import (
     BatchNorm2d,
     Conv2d,
-    Flatten,
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,

@@ -1,12 +1,14 @@
 """High-throughput serving runtime for LUTBoost-converted models.
 
-The online counterpart of the offline pipeline: ``compiler`` lowers a
-converted model into a flat :class:`KernelPlan` (packed codebooks + PSum
-LUTs, a short fused-kernel step list), ``engine`` executes plans and caches
-them LRU-style, ``batcher`` fuses single requests into dynamic
-micro-batches drained by a thread pool, ``server`` is the future-based
-front-end with admission control, and ``metrics`` tracks throughput /
-latency percentiles alongside the simulator's predicted LUT-DLA cycles.
+The online counterpart of the offline pipeline: ``compiler`` traces a
+converted model into an SSA dataflow graph (feed-forward, residual and
+attention topologies) and lowers it to a flat :class:`KernelPlan` (packed
+codebooks + PSum LUTs, a slot-addressed fused-kernel step list),
+``engine`` executes plans and caches them LRU-style, ``batcher`` fuses
+single requests into dynamic micro-batches drained by a thread pool,
+``server`` is the future-based front-end with admission control, and
+``metrics`` tracks throughput / latency percentiles alongside the
+simulator's predicted LUT-DLA cycles.
 """
 
 from .batcher import AdmissionError, MicroBatcher

@@ -6,21 +6,33 @@ For serving that traversal *is* the bottleneck: the arithmetic per layer is
 a handful of fused numpy kernels, so everything else is interpreter
 overhead. The compiler removes it in two moves:
 
-1. **Trace** one forward pass of the model on a sample input, recording the
-   leaf operations in true execution order (module calls and the few tensor
-   methods the model zoo applies directly, e.g. ``x.relu()``).
+1. **Trace** one forward pass of the model on a sample input into an
+   SSA-style dataflow graph. Every leaf module call and every traced
+   tensor operation becomes a node that names the *value ids* of its
+   inputs, so fan-out, residual ``add``, ``layernorm``, ``softmax`` and
+   the attention matmuls are all representable — not just linear module
+   chains. Dead values (e.g. baked positional-embedding constants' index
+   arrays) are eliminated, and transpose+matmul(+scale) chains are fused
+   into batched attention-score steps.
 2. **Pack** every LUT operator's per-subspace codebook and PSum LUT into
    single contiguous numpy arrays — one ``(total_subspaces, c, v)`` centroid
-   block and one flat LUT buffer sliced per layer — and lower the trace to a
-   short list of :class:`KernelStep` records that reference views into those
-   buffers.
+   block and one flat LUT buffer sliced per layer — and lower the graph to
+   a list of :class:`KernelStep` records whose operands are *numbered
+   buffer slots* instead of a single implicit activation.
 
 Executing the plan (:mod:`repro.serving.engine`) is then a tight loop of
-fused argmin-index + gather-accumulate kernels with no model objects, no
-autograd, and no per-layer Python dispatch. Compilation verifies the plan by
-replaying the sample input and comparing against the model's own forward
-pass, so unsupported topologies fail loudly at compile time instead of
-serving wrong answers.
+fused kernels over a slot file, with no model objects, no autograd, and no
+per-layer Python dispatch. Compilation verifies the plan by replaying the
+sample input (at the traced batch size *and* at batch 1, which catches
+mis-symbolised batch dimensions) and comparing against the model's own
+forward pass, so unsupported topologies fail loudly at compile time
+instead of serving wrong answers.
+
+Supported topologies: feed-forward CNN/MLP chains, residual CNNs
+(``ResNetCIFAR`` / ``ResNetImageNet``) and transformer encoders
+(``TransformerClassifier``) — anything whose forward pass is built from
+the leaf modules below plus the traced tensor ops (add/sub/mul, matmul,
+reshape, transpose, mean, relu/tanh, ``F.softmax``, ``F.gelu``).
 """
 
 from __future__ import annotations
@@ -36,9 +48,11 @@ from ..nn.layers import (
     BatchNorm2d,
     Conv2d,
     Dropout,
+    Embedding,
     Flatten,
     GELU,
     GlobalAvgPool2d,
+    LayerNorm,
     Linear,
     MaxPool2d,
     Module,
@@ -67,30 +81,46 @@ PRECISION_DTYPES = {
 }
 
 # Replay-verification tolerances per precision (vs the float64 model
-# forward). bf16+int8 intentionally changes numerics, so only shapes are
-# checked there.
+# forward). A wrong graph disagrees at O(1), so the gate only needs to be
+# far below that; fp32 is loose enough that legitimate single-precision
+# accumulation through deep residual/attention stacks is not rejected.
+# bf16+int8 intentionally changes numerics, so only shapes are checked.
 _VERIFY_TOLERANCES = {
-    "fp32": (1e-3, 1e-5),
+    "fp32": (1e-2, 1e-3),
     "fp64": (1e-6, 1e-9),
 }
+
+# Default trace batch size. 3 is deliberately odd and small: no layer
+# width, sequence length or head count in the model zoo equals it, so a
+# dimension matching the batch size in a traced reshape really is the
+# batch dimension (and the batch-1 verification replay double-checks).
+_TRACE_BATCH = 3
 
 
 class KernelStep:
     """One fused operation of a compiled forward pass.
 
-    ``kind`` is one of ``lut_gemm``, ``gemm``, ``conv2d``, ``relu``,
-    ``tanh``, ``gelu``, ``flatten``, ``max_pool``, ``avg_pool``,
-    ``global_avg_pool`` or ``batchnorm``; ``params`` holds the arrays and
-    geometry the executor needs (views into the plan's packed buffers for
-    LUT steps).
+    ``kind`` names the kernel (``lut_gemm``, ``gemm``, ``conv2d``,
+    ``relu``, ``tanh``, ``gelu``, ``flatten``, ``reshape``, ``transpose``,
+    ``mean``, ``add``, ``sub``, ``mul``, ``matmul``, ``attention_scores``,
+    ``softmax``, ``layernorm``, ``embedding``, ``const``, ``max_pool``,
+    ``avg_pool``, ``global_avg_pool`` or ``batchnorm``); ``inputs`` are the
+    buffer-slot ids the kernel reads, ``out`` the slot it writes, and
+    ``release`` the slots whose last use this step is (the executor frees
+    them afterwards). ``params`` holds the arrays and geometry the executor
+    needs (views into the plan's packed buffers for LUT steps).
     """
 
-    def __init__(self, kind, **params):
+    def __init__(self, kind, inputs=(), out=0, release=(), **params):
         self.kind = kind
+        self.inputs = tuple(inputs)
+        self.out = int(out)
+        self.release = tuple(release)
         self.params = params
 
     def __repr__(self):
-        return "KernelStep(%s)" % (self.kind,)
+        return "KernelStep(%s: %s -> %d)" % (
+            self.kind, list(self.inputs), self.out)
 
 
 class KernelPlan:
@@ -99,19 +129,21 @@ class KernelPlan:
     Attributes
     ----------
     steps:
-        Ordered :class:`KernelStep` list; executing them in sequence is the
-        whole forward pass.
+        Ordered :class:`KernelStep` list; executing them in sequence over a
+        ``num_slots``-entry buffer file (slot 0 holds the request batch,
+        ``output_slot`` the result) is the whole forward pass.
     centroids:
         Single ``(total_subspaces, c, v)`` array holding every LUT layer's
         codebook back to back; layer ``i`` owns the slice recorded in
         ``layers[i]["subspace_slice"]``.
     tables:
-        Single flat float64 buffer holding every PSum LUT; layer ``i``'s
+        Single flat buffer holding every PSum LUT; layer ``i``'s
         ``(s_i, c, n_i)`` table is a zero-copy reshaped view.
     """
 
     def __init__(self, steps, centroids, tables, layers, v, c, metric,
-                 precision, input_shape, model_name=""):
+                 precision, input_shape, num_slots, output_slot,
+                 model_name=""):
         self.steps = list(steps)
         self.centroids = centroids
         self.tables = tables
@@ -122,6 +154,8 @@ class KernelPlan:
         self.metric = metric
         self.precision = precision
         self.input_shape = tuple(input_shape)
+        self.num_slots = int(num_slots)
+        self.output_slot = int(output_slot)
         self.model_name = model_name
 
     # ------------------------------------------------------------------
@@ -157,41 +191,196 @@ class KernelPlan:
 
     def __repr__(self):
         return ("KernelPlan(%s: %d steps, %d LUT layers, %d subspaces, "
-                "%.1f KiB packed)" % (
+                "%d slots, %.1f KiB packed)" % (
                     self.model_name or "model", len(self.steps),
                     self.num_lut_layers, self.total_subspaces,
-                    self.storage_bytes() / 1024.0))
+                    self.num_slots, self.storage_bytes() / 1024.0))
 
 
 # ----------------------------------------------------------------------
 # Tracing
 # ----------------------------------------------------------------------
 
-# Leaf module types the lowering understands. Containers (Sequential, the
-# model classes themselves) recurse through __call__ and are never recorded.
+# Leaf module types the lowering understands. Containers (Sequential,
+# residual blocks, attention blocks, the model classes themselves) recurse
+# through __call__ and are never recorded — their internal glue is traced
+# at the tensor level instead.
 _LEAF_TYPES = (
     LUTLinear, LUTConv2d, Linear, Conv2d, ReLU, Tanh, GELU, Flatten,
-    MaxPool2d, AvgPool2d, GlobalAvgPool2d, BatchNorm2d, Dropout,
+    MaxPool2d, AvgPool2d, GlobalAvgPool2d, BatchNorm2d, LayerNorm,
+    Embedding, Dropout,
 )
 
 
-class _Trace:
-    """Record (op, payload) pairs for one forward pass.
+class _Node:
+    """One SSA value of the traced graph: ``kind(inputs) -> vid``."""
 
-    Module calls are intercepted at ``Module.__call__``; the tensor-method
-    activations the model zoo uses inline (``x.relu()``, ``x.tanh()``,
-    ``x.reshape(n, -1)``) are intercepted on :class:`Tensor`. Anything that
-    happens *inside* a recorded leaf module is suppressed so each leaf
-    lowers to exactly one step.
+    __slots__ = ("vid", "kind", "inputs", "params", "shape")
+
+    def __init__(self, vid, kind, inputs, shape, params):
+        self.vid = vid
+        self.kind = kind
+        self.inputs = tuple(inputs)
+        self.shape = tuple(shape)
+        self.params = params
+
+    def __repr__(self):
+        return "_Node(%d = %s%s)" % (self.vid, self.kind, list(self.inputs))
+
+
+class _Trace:
+    """Record the SSA dataflow graph of one forward pass.
+
+    Value id 0 is the model input; every recorded operation appends a node
+    whose output gets the next id. ``env`` maps live Tensor objects to the
+    value id that produced them (``keepalive`` pins them so CPython cannot
+    recycle an id mid-trace). Anything that happens *inside* a recorded
+    leaf module is suppressed so each leaf lowers to exactly one node.
     """
 
-    def __init__(self):
-        self.ops = []
+    def __init__(self, model, sample):
+        self.model = model
+        self.model_name = type(model).__name__
+        self.sample = sample
+        self.sample_int = sample.astype(np.int64)
+        self.batch = sample.shape[0]
+        self.names = {id(m): n for n, m in model.named_modules()}
+        self.nodes = []
+        self.env = {}
+        self.keepalive = []
         self._suppress = 0
+        self._next_vid = 1
 
-    def record(self, kind, payload=None):
-        if not self._suppress:
-            self.ops.append((kind, payload))
+    # ------------------------------------------------------------------
+    def register_input(self, tensor):
+        self.env[id(tensor)] = 0
+        self.keepalive.append(tensor)
+
+    def alias(self, tensor, vid):
+        self.env[id(tensor)] = vid
+        self.keepalive.append(tensor)
+
+    def vid_of(self, tensor, context):
+        """Value id of ``tensor``, or a CompileError naming the consumer."""
+        vid = self.env.get(id(tensor))
+        if vid is None:
+            raise CompileError(
+                "cannot compile %s: %s consumes a tensor produced by an "
+                "operation the tracer did not capture; only leaf module "
+                "calls and the traced tensor ops (add/sub/mul, matmul, "
+                "reshape, transpose, mean, relu, tanh, softmax, gelu) can "
+                "be lowered" % (self.model_name, context))
+        return vid
+
+    def add_node(self, kind, inputs, out_tensor, **params):
+        shape = out_tensor.shape if isinstance(out_tensor, Tensor) \
+            else np.shape(out_tensor)
+        node = _Node(self._next_vid, kind, inputs, shape, params)
+        self.nodes.append(node)
+        self._next_vid += 1
+        if isinstance(out_tensor, Tensor):
+            self.alias(out_tensor, node.vid)
+        return node
+
+    def module_label(self, module):
+        name = self.names.get(id(module))
+        if name:
+            return "module %r (%s)" % (name, type(module).__name__)
+        return "module %r" % (module,)
+
+    # ------------------------------------------------------------------
+    # Recording callbacks (invoked by the patched methods, never while
+    # suppressed).
+    # ------------------------------------------------------------------
+    def record_module(self, module, args, out):
+        label = self.module_label(module)
+        if isinstance(module, Embedding):
+            self._record_embedding(module, args, out, label)
+            return
+        tensor_args = [a for a in args if isinstance(a, Tensor)]
+        if len(tensor_args) != 1:
+            raise CompileError(
+                "cannot compile %s: %s takes %d tensor arguments; only "
+                "single-input leaf modules can be lowered"
+                % (self.model_name, label, len(tensor_args)))
+        vid = self.vid_of(tensor_args[0], label)
+        if isinstance(module, Dropout):
+            self.alias(out, vid)  # identity in eval mode
+            return
+        self.add_node("module", [vid], out, module=module)
+
+    def _record_embedding(self, module, args, out, label):
+        """Embedding calls take raw index arrays, so value identity can be
+        broken by the model's own ``tokens.data`` plumbing. A call on the
+        (integer-cast) sample input is an input-dependent gather; any other
+        index array is static at compile time and bakes to a constant (the
+        positional-embedding pattern)."""
+        arg = args[0] if args else None
+        if isinstance(arg, Tensor) and id(arg) in self.env:
+            self.add_node("module", [self.env[id(arg)]], out, module=module)
+            return
+        arr = np.asarray(arg.data if isinstance(arg, Tensor) else arg)
+        if (arr.shape == self.sample.shape
+                and np.array_equal(arr.astype(np.int64), self.sample_int)):
+            self.add_node("module", [0], out, module=module)
+        else:
+            self.add_node("const", [], out, value=out.data.copy())
+
+    def record_binary(self, kind, out, left, right, commutative=False):
+        if isinstance(left, Tensor) and isinstance(right, Tensor):
+            self.add_node(kind, [self.vid_of(left, "op %r" % kind),
+                                 self.vid_of(right, "op %r" % kind)], out)
+            return
+        if isinstance(left, Tensor):
+            tensor, const, reverse = left, right, False
+        else:
+            tensor, const, reverse = right, left, not commutative
+        if isinstance(const, np.ndarray):
+            const = np.asarray(const, dtype=np.float64)
+        else:
+            const = float(const)
+        self.add_node(kind, [self.vid_of(tensor, "op %r" % kind)], out,
+                      const=const, reverse=reverse)
+
+    def record_reshape(self, out, tensor, shape):
+        vid = self.vid_of(tensor, "op 'reshape'")
+        if out.ndim >= 1 and out.shape[0] != self.batch:
+            raise CompileError(
+                "cannot compile %s: inline reshape %r -> %r does not keep "
+                "the batch dimension leading; only batch-preserving "
+                "reshapes can be lowered"
+                % (self.model_name, tensor.shape, out.shape))
+        if out.ndim == 2:
+            self.add_node("flatten", [vid], out)
+        else:
+            self.add_node("reshape", [vid], out, tail=tuple(out.shape[1:]))
+
+    def record_transpose(self, out, tensor, axes):
+        vid = self.vid_of(tensor, "op 'transpose'")
+        if not axes:
+            axes = tuple(reversed(range(tensor.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if axes[0] != 0:
+            raise CompileError(
+                "cannot compile %s: transpose%r moves the batch axis; only "
+                "batch-leading transposes can be lowered"
+                % (self.model_name, tuple(axes)))
+        self.add_node("transpose", [vid], out, axes=tuple(int(a) for a in axes))
+
+    def record_mean(self, out, tensor, axis, keepdims):
+        vid = self.vid_of(tensor, "op 'mean'")
+        if axis is None:
+            raise CompileError(
+                "cannot compile %s: full-tensor mean() collapses the batch "
+                "dimension" % (self.model_name,))
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % tensor.ndim for a in axes)
+        if 0 in axes:
+            raise CompileError(
+                "cannot compile %s: mean over the batch axis cannot be "
+                "lowered" % (self.model_name,))
+        self.add_node("mean", [vid], out, axis=axes, keepdims=bool(keepdims))
 
 
 # Tracing patches class-level methods, so only one trace may run at a time
@@ -200,186 +389,434 @@ _TRACE_LOCK = threading.Lock()
 
 
 def _trace_forward(model, sample):
-    trace = _Trace()
+    trace = _Trace(model, sample)
     # Patches are class-wide; confine their effect to this thread so a
     # concurrent forward pass elsewhere is neither recorded nor rejected.
     trace_thread = threading.get_ident()
-    original_call = Module.__call__
-    original_relu = Tensor.relu
-    original_tanh = Tensor.tanh
-    original_reshape = Tensor.reshape
 
     def _foreign():
         return threading.get_ident() != trace_thread
 
+    def _suppressing(original):
+        """Run ``original`` with inner recording suppressed; return both
+        the output and whether this call should record (outermost,
+        non-foreign)."""
+        def invoke(*args, **kwargs):
+            if _foreign() or trace._suppress:
+                return original(*args, **kwargs), False
+            trace._suppress += 1
+            try:
+                return original(*args, **kwargs), True
+            finally:
+                trace._suppress -= 1
+        return invoke
+
+    original_call = Module.__call__
+    call_inner = _suppressing(original_call)
+
     def traced_call(module, *args, **kwargs):
-        if (_foreign() or trace._suppress
-                or not isinstance(module, _LEAF_TYPES)):
+        if not isinstance(module, _LEAF_TYPES):
             return original_call(module, *args, **kwargs)
-        trace._suppress += 1
-        try:
-            out = original_call(module, *args, **kwargs)
-        finally:
-            trace._suppress -= 1
-        trace.record("module", module)
+        out, record = call_inner(module, *args, **kwargs)
+        if record:
+            trace.record_module(module, args, out)
         return out
 
-    def traced_relu(tensor):
-        out = original_relu(tensor)
-        if not _foreign():
-            trace.record("relu")
-        return out
+    def traced_binary(original, kind, commutative, swap=False):
+        inner = _suppressing(original)
 
-    def traced_tanh(tensor):
-        out = original_tanh(tensor)
-        if not _foreign():
-            trace.record("tanh")
-        return out
+        def traced(tensor, other):
+            out, record = inner(tensor, other)
+            if record:
+                left, right = (other, tensor) if swap else (tensor, other)
+                trace.record_binary(kind, out, left, right, commutative)
+            return out
+        return traced
+
+    def traced_unary(original, kind):
+        inner = _suppressing(original)
+
+        def traced(tensor):
+            out, record = inner(tensor)
+            if record:
+                trace.add_node(kind, [trace.vid_of(tensor, "op %r" % kind)],
+                               out)
+            return out
+        return traced
+
+    reshape_inner = _suppressing(Tensor.reshape)
 
     def traced_reshape(tensor, *shape):
-        out = original_reshape(tensor, *shape)
-        if not _foreign() and not trace._suppress:
-            if out.ndim == 2 and out.shape[0] == tensor.shape[0]:
-                trace.record("flatten")
-            else:
-                raise CompileError(
-                    "unsupported inline reshape %r -> %r; only "
-                    "(batch, -1) flattening can be lowered"
-                    % (tensor.shape, out.shape))
+        out, record = reshape_inner(tensor, *shape)
+        if record:
+            trace.record_reshape(out, tensor, shape)
         return out
 
+    transpose_inner = _suppressing(Tensor.transpose)
+
+    def traced_transpose(tensor, *axes):
+        out, record = transpose_inner(tensor, *axes)
+        if record:
+            trace.record_transpose(out, tensor, axes)
+        return out
+
+    mean_inner = _suppressing(Tensor.mean)
+
+    def traced_mean(tensor, axis=None, keepdims=False):
+        out, record = mean_inner(tensor, axis=axis, keepdims=keepdims)
+        if record:
+            trace.record_mean(out, tensor, axis, keepdims)
+        return out
+
+    softmax_inner = _suppressing(F.softmax)
+
+    def traced_softmax(x, axis=-1):
+        out, record = softmax_inner(x, axis=axis)
+        if record:
+            trace.add_node("softmax", [trace.vid_of(x, "op 'softmax'")], out,
+                           axis=int(axis))
+        return out
+
+    gelu_inner = _suppressing(F.gelu)
+
+    def traced_gelu(x):
+        out, record = gelu_inner(x)
+        if record:
+            trace.add_node("gelu", [trace.vid_of(x, "op 'gelu'")], out)
+        return out
+
+    patches = [
+        (Module, "__call__", traced_call),
+        (Tensor, "__add__", traced_binary(Tensor.__add__, "add", True)),
+        (Tensor, "__radd__", traced_binary(Tensor.__radd__, "add", True)),
+        (Tensor, "__sub__", traced_binary(Tensor.__sub__, "sub", False)),
+        (Tensor, "__rsub__",
+         traced_binary(Tensor.__rsub__, "sub", False, swap=True)),
+        (Tensor, "__mul__", traced_binary(Tensor.__mul__, "mul", True)),
+        (Tensor, "__rmul__", traced_binary(Tensor.__rmul__, "mul", True)),
+        (Tensor, "__matmul__",
+         traced_binary(Tensor.__matmul__, "matmul", False)),
+        (Tensor, "relu", traced_unary(Tensor.relu, "relu")),
+        (Tensor, "tanh", traced_unary(Tensor.tanh, "tanh")),
+        (Tensor, "reshape", traced_reshape),
+        (Tensor, "transpose", traced_transpose),
+        (Tensor, "mean", traced_mean),
+        (F, "softmax", traced_softmax),
+        (F, "gelu", traced_gelu),
+    ]
+
     with _TRACE_LOCK:
-        Module.__call__ = traced_call
-        Tensor.relu = traced_relu
-        Tensor.tanh = traced_tanh
-        Tensor.reshape = traced_reshape
+        originals = [(owner, name, getattr(owner, name))
+                     for owner, name, _ in patches]
+        for owner, name, traced in patches:
+            setattr(owner, name, traced)
         was_training = model.training
         model.eval()
         try:
             with no_grad():
-                model(Tensor(sample))
+                input_tensor = Tensor(sample)
+                trace.register_input(input_tensor)
+                output = model(input_tensor)
         finally:
-            Module.__call__ = original_call
-            Tensor.relu = original_relu
-            Tensor.tanh = original_tanh
-            Tensor.reshape = original_reshape
+            for owner, name, original in originals:
+                setattr(owner, name, original)
             model.train(was_training)
-    return trace.ops
+
+    output_vid = trace.env.get(id(output)) if isinstance(output, Tensor) \
+        else None
+    if output_vid is None:
+        raise CompileError(
+            "cannot compile %s: the forward pass produced its output "
+            "through operations the tracer did not capture"
+            % (trace.model_name,))
+    return trace, output_vid
+
+
+# ----------------------------------------------------------------------
+# Graph cleanup: dead-value elimination + attention fusion
+# ----------------------------------------------------------------------
+
+def _prune_graph(trace, output_vid):
+    """Keep only nodes the output depends on (baked constants' producers
+    and values computed but never consumed disappear here)."""
+    by_vid = {node.vid: node for node in trace.nodes}
+    needed = set()
+    stack = [output_vid]
+    while stack:
+        vid = stack.pop()
+        if vid in needed or vid == 0:
+            continue
+        needed.add(vid)
+        stack.extend(by_vid[vid].inputs)
+    nodes = [node for node in trace.nodes if node.vid in needed]
+    if not any(0 in node.inputs for node in nodes):
+        raise CompileError(
+            "cannot compile %s: the compiled plan does not depend on the "
+            "model input (the tracer captured only constant computations)"
+            % (trace.model_name,))
+    return nodes
+
+
+def _fuse_attention(nodes):
+    """Peephole: ``k.transpose(..., -1, -2) @ q`` chains followed by a
+    scalar scale become one batched ``attention_scores`` step, so the
+    engine never materialises the transposed key tensor."""
+    by_vid = {node.vid: node for node in nodes}
+    consumers = {}
+    for node in nodes:
+        for vid in node.inputs:
+            consumers.setdefault(vid, []).append(node.vid)
+    dropped = set()
+
+    def swaps_last_two(axes):
+        ndim = len(axes)
+        return (ndim >= 2 and tuple(axes[:-2]) == tuple(range(ndim - 2))
+                and axes[-2] == ndim - 1 and axes[-1] == ndim - 2)
+
+    for node in nodes:
+        if node.kind != "matmul" or len(node.inputs) != 2:
+            continue
+        rhs = by_vid.get(node.inputs[1])
+        if (rhs is None or rhs.kind != "transpose"
+                or not swaps_last_two(rhs.params["axes"])
+                or consumers.get(rhs.vid) != [node.vid]):
+            continue
+        node.kind = "attention_scores"
+        node.inputs = (node.inputs[0], rhs.inputs[0])
+        node.params = {"scale": 1.0}
+        dropped.add(rhs.vid)
+    for node in nodes:
+        if (node.kind != "mul" or "const" not in node.params
+                or not np.isscalar(node.params["const"])):
+            continue
+        src = by_vid.get(node.inputs[0])
+        if (src is None or src.kind != "attention_scores"
+                or src.vid in dropped
+                or consumers.get(src.vid) != [node.vid]):
+            continue
+        node.kind = "attention_scores"
+        node.inputs = src.inputs
+        node.params = {"scale": src.params["scale"] * node.params["const"]}
+        dropped.add(src.vid)
+    return [node for node in nodes if node.vid not in dropped]
 
 
 # ----------------------------------------------------------------------
 # Lowering
 # ----------------------------------------------------------------------
 
-def _lower_ops(ops, precision):
-    """Turn a trace into steps + packed LUT buffers."""
-    dtype = PRECISION_DTYPES[precision]
-    # export_lut() knows "fp32" (no quantization) and "bf16+int8"; the
-    # serving fp32/fp64 split is purely a packing dtype choice.
-    export_precision = "bf16+int8" if precision == "bf16+int8" else "fp32"
-    specs = []       # export_kernel() dicts, one per LUT operator
-    raw_steps = []   # (kind, payload) where lut steps carry a spec index
-    for kind, payload in ops:
-        if kind != "module":
-            raw_steps.append((kind, None))
-            continue
-        module = payload
-        if isinstance(module, (LUTLinear, LUTConv2d)):
-            if not module.calibrated:
-                raise CompileError(
-                    "cannot compile an uncalibrated LUT operator; run "
-                    "calibrate_model() first")
-            specs.append(module.export_kernel(export_precision))
-            raw_steps.append(("lut_gemm", len(specs) - 1))
-        elif isinstance(module, Linear):
-            raw_steps.append(("gemm", {
-                "weight": module.weight.data.astype(dtype),
-                "bias": None if module.bias is None
-                else module.bias.data.astype(dtype),
-            }))
-        elif isinstance(module, Conv2d):
-            k = module.in_channels * module.kernel_size**2
-            raw_steps.append(("conv2d", {
-                "weight": np.ascontiguousarray(
-                    module.weight.data.reshape(
-                        module.out_channels, k).T).astype(dtype),
-                "bias": None if module.bias is None
-                else module.bias.data.astype(dtype),
-                "kernel_size": module.kernel_size,
-                "stride": module.stride,
-                "padding": module.padding,
-                "out_channels": module.out_channels,
-            }))
-        elif isinstance(module, ReLU):
-            raw_steps.append(("relu", None))
-        elif isinstance(module, Tanh):
-            raw_steps.append(("tanh", None))
-        elif isinstance(module, GELU):
-            raw_steps.append(("gelu", None))
-        elif isinstance(module, Flatten):
-            raw_steps.append(("flatten", None))
-        elif isinstance(module, MaxPool2d):
-            raw_steps.append(("max_pool", {
-                "kernel_size": module.kernel_size, "stride": module.stride}))
-        elif isinstance(module, AvgPool2d):
-            raw_steps.append(("avg_pool", {
-                "kernel_size": module.kernel_size, "stride": module.stride}))
-        elif isinstance(module, GlobalAvgPool2d):
-            raw_steps.append(("global_avg_pool", None))
-        elif isinstance(module, BatchNorm2d):
-            var = module.running_var + module.eps
-            scale = module.weight.data / np.sqrt(var)
-            shift = module.bias.data - module.running_mean * scale
-            raw_steps.append(("batchnorm", {
-                "scale": scale.reshape(1, -1, 1, 1).astype(dtype),
-                "shift": shift.reshape(1, -1, 1, 1).astype(dtype)}))
-        elif isinstance(module, Dropout):
-            continue  # identity in eval mode
-        else:  # pragma: no cover - guarded by _LEAF_TYPES
-            raise CompileError("cannot lower module %r" % (module,))
-    return raw_steps, specs
+def _lower_module(trace, node, dtype, export_precision, specs):
+    """Lower one leaf-module node to (step kind, params); LUT operators
+    append their export spec and lower later (after packing)."""
+    module = node.params["module"]
+    if isinstance(module, (LUTLinear, LUTConv2d)):
+        if not module.calibrated:
+            raise CompileError(
+                "cannot compile %s: %s is not calibrated; run "
+                "calibrate_model() first"
+                % (trace.model_name, trace.module_label(module)))
+        specs.append((node, module.export_kernel(export_precision)))
+        return "lut_gemm", {"spec_index": len(specs) - 1}
+    if isinstance(module, Linear):
+        return "gemm", {
+            "weight": module.weight.data.astype(dtype),
+            "bias": None if module.bias is None
+            else module.bias.data.astype(dtype),
+        }
+    if isinstance(module, Conv2d):
+        k = module.in_channels * module.kernel_size**2
+        return "conv2d", {
+            "weight": np.ascontiguousarray(
+                module.weight.data.reshape(
+                    module.out_channels, k).T).astype(dtype),
+            "bias": None if module.bias is None
+            else module.bias.data.astype(dtype),
+            "kernel_size": module.kernel_size,
+            "stride": module.stride,
+            "padding": module.padding,
+            "out_channels": module.out_channels,
+        }
+    if isinstance(module, ReLU):
+        return "relu", {}
+    if isinstance(module, Tanh):
+        return "tanh", {}
+    if isinstance(module, GELU):
+        return "gelu", {}
+    if isinstance(module, Flatten):
+        return "flatten", {}
+    if isinstance(module, MaxPool2d):
+        return "max_pool", {"kernel_size": module.kernel_size,
+                            "stride": module.stride}
+    if isinstance(module, AvgPool2d):
+        return "avg_pool", {"kernel_size": module.kernel_size,
+                            "stride": module.stride}
+    if isinstance(module, GlobalAvgPool2d):
+        return "global_avg_pool", {}
+    if isinstance(module, BatchNorm2d):
+        var = module.running_var + module.eps
+        scale = module.weight.data / np.sqrt(var)
+        shift = module.bias.data - module.running_mean * scale
+        return "batchnorm", {
+            "scale": scale.reshape(1, -1, 1, 1).astype(dtype),
+            "shift": shift.reshape(1, -1, 1, 1).astype(dtype)}
+    if isinstance(module, LayerNorm):
+        return "layernorm", {
+            "weight": module.weight.data.astype(dtype),
+            "bias": module.bias.data.astype(dtype),
+            "eps": module.eps}
+    if isinstance(module, Embedding):
+        return "embedding", {"weight": module.weight.data.astype(dtype)}
+    raise CompileError(
+        "cannot compile %s: no lowering for %s"
+        % (trace.model_name, trace.module_label(module)))
 
 
-def _pack_specs(specs, dtype):
+def _lower_tensor_op(node, dtype):
+    """Lower one traced tensor-op node to (step kind, params)."""
+    params = dict(node.params)
+    if node.kind == "const":
+        params["value"] = np.asarray(params["value"]).astype(dtype)
+    elif "const" in params and isinstance(params["const"], np.ndarray):
+        params["const"] = params["const"].astype(dtype)
+    return node.kind, params
+
+
+def _pack_specs(trace, specs, dtype):
     """Concatenate per-layer codebooks/LUTs into single contiguous arrays."""
     if not specs:
         raise CompileError(
-            "model contains no calibrated LUT operators; convert it with "
-            "lutboost before compiling a serving plan")
-    v = specs[0]["v"]
-    c = specs[0]["c"]
-    metric = specs[0]["metric"]
-    for spec in specs:
+            "model %s contains no calibrated LUT operators; convert it "
+            "with lutboost before compiling a serving plan"
+            % (trace.model_name,))
+    first = specs[0][1]
+    v, c, metric = first["v"], first["c"], first["metric"]
+    for _, spec in specs:
         if (spec["v"], spec["c"], spec["metric"]) != (v, c, metric):
             raise CompileError(
                 "mixed (v, c, metric) configurations cannot share packed "
                 "buffers: %r vs %r"
                 % ((v, c, metric), (spec["v"], spec["c"], spec["metric"])))
     centroids = np.concatenate(
-        [spec["centroids"] for spec in specs], axis=0).astype(dtype)
+        [spec["centroids"] for _, spec in specs], axis=0).astype(dtype)
     tables = np.concatenate(
-        [np.ascontiguousarray(spec["table"]).ravel() for spec in specs]
+        [np.ascontiguousarray(spec["table"]).ravel() for _, spec in specs]
     ).astype(dtype)
     layers = []
     sub_off = 0
     tab_off = 0
-    for i, spec in enumerate(specs):
+    batch = trace.batch
+    shape_of = _shape_lookup(trace)
+    for i, (node, spec) in enumerate(specs):
         s = spec["centroids"].shape[0]
         size = s * c * spec["n_out"]
+        in_shape = shape_of(node.inputs[0])
+        if spec["kind"] == "conv2d":
+            out_h = F.conv_output_size(in_shape[2], spec["kernel_size"],
+                                       spec["stride"], spec["padding"])
+            out_w = F.conv_output_size(in_shape[3], spec["kernel_size"],
+                                       spec["stride"], spec["padding"])
+            rows_per_sample = out_h * out_w
+        else:
+            rows_per_sample = int(
+                np.prod(in_shape[:-1], dtype=np.int64)) // batch
+        name = trace.names.get(id(node.params["module"])) or "lut%d" % i
         layers.append({
-            "name": "lut%d" % i,
+            "name": name,
             "kind": spec["kind"],
             "k": spec["k"],
             "n_out": spec["n_out"],
             "num_subspaces": s,
             "subspace_slice": slice(sub_off, sub_off + s),
             "table_slice": slice(tab_off, tab_off + size),
-            "rows_per_sample": 1,  # conv layers overwrite after shape prop
+            "rows_per_sample": rows_per_sample,
         })
         sub_off += s
         tab_off += size
     return centroids, tables, layers, v, c, metric
 
+
+def _shape_lookup(trace):
+    by_vid = {node.vid: node for node in trace.nodes}
+
+    def shape_of(vid):
+        return trace.sample.shape if vid == 0 else by_vid[vid].shape
+    return shape_of
+
+
+def _lower_graph(trace, output_vid, precision):
+    """Turn the pruned graph into slot-addressed steps + packed buffers."""
+    dtype = PRECISION_DTYPES[precision]
+    # export_lut() knows "fp32" (no quantization) and "bf16+int8"; the
+    # serving fp32/fp64 split is purely a packing dtype choice.
+    export_precision = "bf16+int8" if precision == "bf16+int8" else "fp32"
+
+    nodes = _fuse_attention(_prune_graph(trace, output_vid))
+    specs = []
+    lowered = []  # (node, kind, params)
+    for node in nodes:
+        if node.kind == "module":
+            kind, params = _lower_module(trace, node, dtype,
+                                         export_precision, specs)
+        else:
+            kind, params = _lower_tensor_op(node, dtype)
+        lowered.append((node, kind, params))
+
+    centroids, tables, layers, v, c, metric = _pack_specs(trace, specs, dtype)
+
+    # Slot assignment: slot 0 is the input, each surviving node gets one.
+    slot_of = {0: 0}
+    for i, node in enumerate(nodes):
+        slot_of[node.vid] = i + 1
+    num_slots = len(nodes) + 1
+    output_slot = slot_of[output_vid]
+
+    # Last-use analysis so the executor can free intermediate buffers.
+    last_use = {}
+    for i, node in enumerate(nodes):
+        for vid in node.inputs:
+            last_use[slot_of[vid]] = i
+
+    steps = []
+    for i, (node, kind, params) in enumerate(lowered):
+        release = tuple(slot for slot, last in last_use.items()
+                        if last == i and slot != output_slot)
+        if kind == "lut_gemm":
+            index = params["spec_index"]
+            layer = layers[index]
+            spec = specs[index][1]
+            step = KernelStep(
+                "lut_gemm",
+                inputs=[slot_of[v_] for v_ in node.inputs],
+                out=slot_of[node.vid],
+                release=release,
+                layer=index,
+                op=layer["kind"],
+                k=layer["k"],
+                n_out=layer["n_out"],
+                centroids=centroids[layer["subspace_slice"]],
+                table=tables[layer["table_slice"]].reshape(
+                    layer["num_subspaces"], c, layer["n_out"]),
+                bias=None if spec["bias"] is None
+                else spec["bias"].astype(dtype),
+                metric=metric,
+            )
+            if layer["kind"] == "conv2d":
+                step.params.update(
+                    kernel_size=spec["kernel_size"], stride=spec["stride"],
+                    padding=spec["padding"],
+                    out_channels=spec["out_channels"])
+            steps.append(step)
+        else:
+            steps.append(KernelStep(
+                kind, inputs=[slot_of[v_] for v_ in node.inputs],
+                out=slot_of[node.vid], release=release, **params))
+    return steps, centroids, tables, layers, v, c, metric, num_slots, \
+        output_slot
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
 
 def compile_model(model, input_shape, precision="fp32", sample_input=None,
                   verify=True, rtol=1e-6, atol=1e-8, name=""):
@@ -388,11 +825,13 @@ def compile_model(model, input_shape, precision="fp32", sample_input=None,
     Parameters
     ----------
     model:
-        A converted and calibrated model from the in-repo zoo (feed-forward
-        topology; residual/attention graphs raise :class:`CompileError`).
+        A converted and calibrated model from the in-repo zoo. Feed-forward
+        chains, residual CNNs and transformer encoders all lower; a
+        topology using operations outside the traced set raises
+        :class:`CompileError` naming the offending op and model class.
     input_shape:
-        Per-request shape excluding the batch axis — ``(C, H, W)`` for CNNs
-        or ``(K,)`` for MLPs.
+        Per-request shape excluding the batch axis — ``(C, H, W)`` for
+        CNNs, ``(K,)`` for MLPs, ``(seq_len,)`` for token models.
     precision:
         ``"fp32"`` (single-precision deployment default), ``"fp64"``
         (double-precision reference — bit-identical to the offline
@@ -401,133 +840,64 @@ def compile_model(model, input_shape, precision="fp32", sample_input=None,
     sample_input:
         Optional (batch, \\*input_shape) array used for tracing and
         verification; a small random batch is generated when omitted.
+        Token models should pass a batch of real token ids so the traced
+        embedding gathers see representative indices.
     verify:
-        Replay the sample through the compiled plan and require the result
-        to match the model's own eval-mode forward pass.
+        Replay the sample through the compiled plan — at the traced batch
+        size and again at batch 1 — and require both results to match the
+        model's own eval-mode forward pass.
     """
-    from .engine import execute_plan
-
     if precision not in PRECISION_DTYPES:
         raise CompileError("unknown precision %r (expected one of %s)"
                            % (precision, sorted(PRECISION_DTYPES)))
-    dtype = PRECISION_DTYPES[precision]
     input_shape = tuple(int(d) for d in input_shape)
     if sample_input is None:
         rng = np.random.default_rng(0)
-        sample_input = rng.normal(size=(2,) + input_shape)
+        sample_input = rng.normal(size=(_TRACE_BATCH,) + input_shape)
     sample = np.asarray(sample_input, dtype=np.float64)
     if sample.shape[1:] != input_shape:
         raise CompileError("sample_input shape %r does not match "
                            "input_shape %r" % (sample.shape[1:], input_shape))
 
-    ops = _trace_forward(model, sample)
-    raw_steps, specs = _lower_ops(ops, precision)
-    centroids, tables, layers, v, c, metric = _pack_specs(specs, dtype)
-
-    steps = []
-    for kind, payload in raw_steps:
-        if kind == "lut_gemm":
-            layer = layers[payload]
-            step = KernelStep(
-                "lut_gemm",
-                layer=payload,
-                op=layer["kind"],
-                k=layer["k"],
-                n_out=layer["n_out"],
-                centroids=centroids[layer["subspace_slice"]],
-                table=tables[layer["table_slice"]].reshape(
-                    layer["num_subspaces"], c, layer["n_out"]),
-                bias=None if specs[payload]["bias"] is None
-                else specs[payload]["bias"].astype(dtype),
-                metric=metric,
-            )
-            spec = specs[payload]
-            if layer["kind"] == "conv2d":
-                step.params.update(
-                    kernel_size=spec["kernel_size"], stride=spec["stride"],
-                    padding=spec["padding"], out_channels=spec["out_channels"])
-            steps.append(step)
-        elif payload is None:
-            steps.append(KernelStep(kind))
-        else:
-            steps.append(KernelStep(kind, **payload))
+    trace, output_vid = _trace_forward(model, sample)
+    (steps, centroids, tables, layers, v, c, metric, num_slots,
+     output_slot) = _lower_graph(trace, output_vid, precision)
 
     plan = KernelPlan(steps, centroids, tables, layers, v, c, metric,
-                      precision, input_shape,
+                      precision, input_shape, num_slots, output_slot,
                       model_name=name or type(model).__name__)
-    _propagate_shapes(plan, sample.shape[0])
 
     if verify:
-        got = execute_plan(plan, sample)
-        was_training = model.training
-        model.eval()
-        try:
-            with no_grad():
-                want = model(Tensor(sample)).data
-        finally:
-            model.train(was_training)
-        if got.shape != want.shape:
-            raise CompileError(
-                "compiled plan output shape %r != model output shape %r; "
-                "the model topology is not supported"
-                % (got.shape, want.shape))
-        if precision in _VERIFY_TOLERANCES:
-            check_rtol, check_atol = _VERIFY_TOLERANCES[precision]
-            check_rtol = max(check_rtol, rtol)
-            check_atol = max(check_atol, atol)
-            if not np.allclose(got.astype(np.float64), want,
-                               rtol=check_rtol, atol=check_atol):
-                raise CompileError(
-                    "compiled plan disagrees with the model forward pass "
-                    "(max abs err %.3g); the model performs operations the "
-                    "tracer did not capture"
-                    % float(np.max(np.abs(got - want))))
+        for batch in (sample, sample[:1]):
+            _verify_plan(plan, model, batch, precision, rtol, atol)
     return plan
 
 
-def _propagate_shapes(plan, batch):
-    """Fill in per-layer rows_per_sample by propagating the sample shape.
+def _verify_plan(plan, model, sample, precision, rtol, atol):
+    from .engine import execute_plan
 
-    Conv LUT layers see ``out_h * out_w`` activation rows per input sample
-    after im2col; the simulator bridge needs that multiplier to size
-    GemmWorkloads for arbitrary batch sizes.
-    """
-    shape = (batch,) + plan.input_shape
-    for step in plan.steps:
-        if step.kind == "lut_gemm" and step.params["op"] == "conv2d":
-            _, _, h, w = shape
-            out_h = F.conv_output_size(h, step.params["kernel_size"],
-                                       step.params["stride"],
-                                       step.params["padding"])
-            out_w = F.conv_output_size(w, step.params["kernel_size"],
-                                       step.params["stride"],
-                                       step.params["padding"])
-            plan.layers[step.params["layer"]]["rows_per_sample"] = \
-                out_h * out_w
-            shape = (shape[0], step.params["out_channels"], out_h, out_w)
-        elif step.kind == "lut_gemm":
-            plan.layers[step.params["layer"]]["rows_per_sample"] = int(
-                np.prod(shape[1:-1], dtype=np.int64)) if len(shape) > 2 else 1
-            shape = shape[:-1] + (step.params["n_out"],)
-        elif step.kind == "conv2d":
-            _, _, h, w = shape
-            out_h = F.conv_output_size(h, step.params["kernel_size"],
-                                       step.params["stride"],
-                                       step.params["padding"])
-            out_w = F.conv_output_size(w, step.params["kernel_size"],
-                                       step.params["stride"],
-                                       step.params["padding"])
-            shape = (shape[0], step.params["out_channels"], out_h, out_w)
-        elif step.kind == "gemm":
-            shape = shape[:-1] + (step.params["weight"].shape[1],)
-        elif step.kind == "flatten":
-            shape = (shape[0], int(np.prod(shape[1:], dtype=np.int64)))
-        elif step.kind in ("max_pool", "avg_pool"):
-            n, ch, h, w = shape
-            kernel = step.params["kernel_size"]
-            stride = step.params["stride"]
-            shape = (n, ch, F.conv_output_size(h, kernel, stride, 0),
-                     F.conv_output_size(w, kernel, stride, 0))
-        elif step.kind == "global_avg_pool":
-            shape = shape[:2]
-        # elementwise steps keep the shape
+    got = execute_plan(plan, sample)
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            want = model(Tensor(sample)).data
+    finally:
+        model.train(was_training)
+    if got.shape != want.shape:
+        raise CompileError(
+            "compiled plan for %s produced output shape %r != model output "
+            "shape %r at batch size %d; the model topology is not supported"
+            % (plan.model_name, got.shape, want.shape, sample.shape[0]))
+    if precision in _VERIFY_TOLERANCES:
+        check_rtol, check_atol = _VERIFY_TOLERANCES[precision]
+        check_rtol = max(check_rtol, rtol)
+        check_atol = max(check_atol, atol)
+        if not np.allclose(got.astype(np.float64), want,
+                           rtol=check_rtol, atol=check_atol):
+            raise CompileError(
+                "compiled plan for %s disagrees with the model forward "
+                "pass at batch size %d (max abs err %.3g); the model "
+                "performs operations the tracer did not capture"
+                % (plan.model_name, sample.shape[0],
+                   float(np.max(np.abs(got - want)))))

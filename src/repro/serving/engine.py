@@ -1,11 +1,15 @@
 """Execute compiled :class:`~repro.serving.compiler.KernelPlan` objects.
 
-``execute_plan`` is the whole online inference path: a loop over a handful
-of :class:`KernelStep` records dispatching to fused numpy kernels. The LUT
-steps run exactly the same two kernels as the offline reference
+``execute_plan`` is the whole online inference path: a loop over
+:class:`KernelStep` records dispatching to fused numpy kernels over a
+numbered buffer-slot file (slot 0 holds the request batch, intermediate
+slots are freed at their last use, ``plan.output_slot`` holds the result).
+The LUT steps run exactly the same two kernels as the offline reference
 (:func:`repro.vq.distances.batched_nearest_centroid` +
-:func:`repro.vq.lut.gather_accumulate`), so a batched serving result is
-bit-identical to running ``lut_inference`` per request.
+:func:`repro.vq.lut.gather_accumulate`), and the residual/attention glue
+steps run the shared :mod:`repro.vq.kernels`, so a batched serving result
+is bit-identical to running the per-request ``lut_inference`` + fused
+kernel chain one request at a time.
 
 :class:`ServingEngine` wraps execution with an LRU cache of compiled plans
 keyed by (model, v, c, precision) so repeat traffic against the same
@@ -21,6 +25,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..nn import functional as F
+from ..vq import kernels
 from ..vq.codebook import split_subspaces
 from ..vq.distances import batched_nearest_centroid
 from ..vq.lut import gather_accumulate
@@ -71,12 +76,6 @@ def _conv2d(step, x):
     return out.reshape(n, out_h, out_w, p["out_channels"]).transpose(0, 3, 1, 2)
 
 
-def _gelu(step, x):
-    c = float(np.sqrt(2.0 / np.pi))
-    inner = (x + 0.044715 * x**3) * c
-    return 0.5 * x * (np.tanh(inner) + 1.0)
-
-
 def _pool(step, x, reduce_fn):
     p = step.params
     n, ch, h, w = x.shape
@@ -86,14 +85,61 @@ def _pool(step, x, reduce_fn):
     return reduce_fn(patches, axis=2).reshape(n, ch, out_h, out_w)
 
 
+def _binary(op):
+    """Elementwise binary kernel taking two slots, or one slot + a baked
+    constant (``reverse`` flips the operand order for non-commutative
+    ops like ``const - x``)."""
+    def kernel(step, *xs):
+        if len(xs) == 2:
+            return op(xs[0], xs[1])
+        const = step.params["const"]
+        if step.params.get("reverse"):
+            return op(const, xs[0])
+        return op(xs[0], const)
+    return kernel
+
+
+def _matmul(step, *xs):
+    if len(xs) == 2:
+        return kernels.attention_context(xs[0], xs[1])
+    const = step.params["const"]
+    if step.params.get("reverse"):
+        return const @ xs[0]
+    return xs[0] @ const
+
+
+def _attention_scores(step, q, k):
+    return kernels.attention_scores(q, k, step.params["scale"])
+
+
+def _mean(step, x):
+    return x.mean(axis=step.params["axis"],
+                  keepdims=step.params["keepdims"])
+
+
 _KERNELS = {
     "lut_gemm": _lut_gemm,
     "gemm": _gemm,
     "conv2d": _conv2d,
     "relu": lambda step, x: np.maximum(x, 0.0),
     "tanh": lambda step, x: np.tanh(x),
-    "gelu": _gelu,
+    "gelu": lambda step, x: kernels.gelu(x),
     "flatten": lambda step, x: x.reshape(x.shape[0], -1),
+    "reshape": lambda step, x: x.reshape((x.shape[0],)
+                                         + step.params["tail"]),
+    "transpose": lambda step, x: x.transpose(step.params["axes"]),
+    "mean": _mean,
+    "add": _binary(kernels.elementwise_add),
+    "sub": _binary(lambda a, b: a - b),
+    "mul": _binary(lambda a, b: a * b),
+    "matmul": _matmul,
+    "attention_scores": _attention_scores,
+    "softmax": lambda step, x: kernels.softmax(x, step.params["axis"]),
+    "layernorm": lambda step, x: kernels.layer_norm(
+        x, step.params["weight"], step.params["bias"], step.params["eps"]),
+    "embedding": lambda step, x: kernels.embedding_gather(
+        step.params["weight"], x),
+    "const": lambda step: step.params["value"],
     "max_pool": lambda step, x: _pool(step, x, np.max),
     "avg_pool": lambda step, x: _pool(step, x, np.mean),
     "global_avg_pool": lambda step, x: x.mean(axis=(2, 3)),
@@ -107,15 +153,22 @@ def execute_plan(plan, batch):
 
     Pure numpy, threadsafe (the plan is read-only), and GIL-friendly: the
     heavy kernels release the GIL inside numpy, which is what lets the
-    batcher's thread pool overlap batches.
+    batcher's thread pool overlap batches. Steps read and write numbered
+    buffer slots; a slot is freed at its recorded last use so peak memory
+    stays proportional to the graph's live set, not its length.
     """
     x = np.asarray(batch, dtype=plan.dtype)
     if x.shape[1:] != plan.input_shape:
         raise ValueError("batch shape %r does not match plan input shape %r"
                          % (x.shape[1:], plan.input_shape))
+    slots = [None] * plan.num_slots
+    slots[0] = x
     for step in plan.steps:
-        x = _KERNELS[step.kind](step, x)
-    return x
+        args = [slots[i] for i in step.inputs]
+        slots[step.out] = _KERNELS[step.kind](step, *args)
+        for i in step.release:
+            slots[i] = None
+    return slots[plan.output_slot]
 
 
 # ----------------------------------------------------------------------

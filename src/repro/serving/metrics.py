@@ -56,6 +56,19 @@ class CyclePredictor:
         """Predicted wall-clock seconds at the simulated clock frequency."""
         return self.cycles(batch_size) / self.sim_config.frequency_hz
 
+    def breakdown(self, batch_size):
+        """Per-LUT-layer predicted cycles for one batch: {layer: cycles}.
+
+        Layer keys are the converted module's qualified name (e.g.
+        ``blocks.0.attn.q_proj``), so the profile doubles as an AIWC-style
+        workload characterization of the served topology — the per-layer
+        rows the benchmark artifact records per commit.
+        """
+        workloads = self.plan.workloads(int(batch_size))
+        results, _ = simulate_workloads(workloads, self.sim_config)
+        return {w.name: int(r.total_cycles)
+                for w, r in zip(workloads, results)}
+
 
 class ServingMetrics:
     """Threadsafe accumulator for the serving runtime's observations."""
@@ -85,7 +98,7 @@ class ServingMetrics:
                 self._started_at = now - float(batch_seconds)
             self._batch_sizes.append(int(batch_size))
             self._batch_seconds.append(float(batch_seconds))
-            self._latencies.extend(float(l) for l in latencies)
+            self._latencies.extend(float(lat) for lat in latencies)
             self._last_done_at = now
 
     def reset(self):

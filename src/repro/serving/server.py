@@ -60,11 +60,18 @@ class LUTServer:
     """Serve one converted model behind a dynamic micro-batching queue."""
 
     def __init__(self, model, input_shape, config=None, engine=None,
-                 name=None, annotate_cycles=True):
+                 name=None, annotate_cycles=True, sample_input=None):
         self.config = config or ServingConfig()
         self.engine = engine or ServingEngine(self.config.cache_size)
+        compile_kwargs = {}
+        if sample_input is not None:
+            # Token models trace on real ids rather than the default random
+            # normals (the graph is the same either way, but representative
+            # samples make the compile-time verification meaningful).
+            compile_kwargs["sample_input"] = sample_input
         self.plan = self.engine.plan_for(
-            model, input_shape, precision=self.config.precision, key=name)
+            model, input_shape, precision=self.config.precision, key=name,
+            **compile_kwargs)
         predictor = None
         if annotate_cycles:
             predictor = CyclePredictor(self.plan, self.config.sim_config)

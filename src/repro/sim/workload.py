@@ -16,7 +16,6 @@ Two sources:
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..lutboost.lut_layers import GemmWorkload, LUTConv2d, LUTLinear
 

@@ -11,6 +11,14 @@ from .distances import (
     nearest_centroid,
     pairwise_distance,
 )
+from .kernels import (
+    attention_context,
+    attention_scores,
+    elementwise_add,
+    embedding_gather,
+    layer_norm,
+    softmax,
+)
 from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
 from .lut import (
     PSumLUT,
@@ -48,6 +56,12 @@ __all__ = [
     "lut_matmul",
     "lut_storage_bits",
     "exact_subspace_matmul",
+    "elementwise_add",
+    "layer_norm",
+    "softmax",
+    "embedding_gather",
+    "attention_scores",
+    "attention_context",
     "to_bf16",
     "to_fp16",
     "quantize_int8",

@@ -1,0 +1,92 @@
+"""Fused numpy inference kernels shared by the serving engine and tests.
+
+The DAG plan compiler (:mod:`repro.serving.compiler`) lowers residual and
+attention topologies to a small vocabulary of fused steps. Every step that
+is *not* a LUT gather lowers to one of the kernels here: elementwise
+residual add, layer normalisation, softmax, embedding gather and the
+batched attention matmuls. Keeping them in one module serves two purposes:
+
+1. The serving engine and the offline per-request reference path execute
+   literally the same functions, which is what makes the fp64 serving
+   output bit-identical to chaining each operator's ``lut_inference`` with
+   these kernels one request at a time (the acceptance property of the
+   serving tests).
+2. They are the numpy analogue of the LUT-DLA's non-GEMM vector units: the
+   paper's accelerator spends its cycles in the CCU/IMM on the quantized
+   GEMMs, while activations, normalisation and attention glue run on the
+   host/vector path — exactly the split these kernels model.
+
+All kernels are rowwise (per-sample) computations, so executing a stacked
+batch equals executing each request alone — the batch-invariance the
+micro-batching server relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "elementwise_add",
+    "layer_norm",
+    "softmax",
+    "gelu",
+    "embedding_gather",
+    "attention_scores",
+    "attention_context",
+]
+
+
+def elementwise_add(a, b):
+    """Broadcasting elementwise add — the residual-connection kernel."""
+    return a + b
+
+
+def layer_norm(x, weight, bias, eps=1e-5):
+    """Layer normalisation over the trailing feature dimension.
+
+    Matches :class:`repro.nn.layers.LayerNorm` in eval mode up to the usual
+    float reassociation; in fp64 the serving engine and the per-request
+    reference both call this function, so they agree bitwise.
+    """
+    mu = x.mean(axis=-1, keepdims=True)
+    var = ((x - mu) ** 2).mean(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * weight + bias
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis`` (attention-score kernel)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def gelu(x):
+    """Tanh-approximation GELU (matches :func:`repro.nn.functional.gelu`)."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + 0.044715 * x**3) * c
+    return 0.5 * x * (np.tanh(inner) + 1.0)
+
+
+def embedding_gather(weight, indices):
+    """Token-id to dense-row gather: ``weight[indices]``.
+
+    ``indices`` may arrive as the plan's float dtype (the engine converts
+    whole request batches to one dtype); they are truncated to int64 the
+    same way :class:`repro.nn.layers.Embedding` truncates, so the serving
+    path and the model forward agree exactly.
+    """
+    return weight[np.asarray(indices).astype(np.int64)]
+
+
+def attention_scores(q, k, scale):
+    """Scaled attention logits ``(q @ k^T) * scale`` over stacked heads.
+
+    ``q`` and ``k`` are (..., seq, head_dim); the matmul contracts the last
+    axis of ``q`` with the transposed last two axes of ``k``.
+    """
+    return (q @ np.swapaxes(k, -1, -2)) * scale
+
+
+def attention_context(attn, v):
+    """Attention-weighted value mix ``attn @ v`` over stacked heads."""
+    return attn @ v

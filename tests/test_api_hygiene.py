@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.nn.layers", "repro.nn.optim", "repro.nn.data", "repro.nn.init",
     "repro.vq", "repro.vq.distances", "repro.vq.kmeans",
     "repro.vq.codebook", "repro.vq.lut", "repro.vq.quant",
+    "repro.vq.kernels",
     "repro.lutboost", "repro.lutboost.lut_layers",
     "repro.lutboost.converter", "repro.lutboost.trainer",
     "repro.lutboost.reconstruction",

@@ -1,6 +1,5 @@
 """Tests for baseline accelerator models (ALU curves, NVDLA, Gemmini, PQA)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

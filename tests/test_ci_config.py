@@ -1,0 +1,87 @@
+"""CI configuration stays valid and in sync with the repo's test tiers.
+
+The workflow cannot run inside the test environment, so this is the
+"equivalent dry-run": parse ``.github/workflows/ci.yml``, assert the job
+graph exists, and assert each job runs the documented command against a
+marker/config that actually exists (e.g. the ``slow`` marker the smoke
+tier deselects, the ruff config in pyproject.toml, the benchmark module
+the bench job uploads).
+"""
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKFLOW = ROOT / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _run_lines(job):
+    return [step["run"] for step in job["steps"] if "run" in step]
+
+
+def test_workflow_parses_and_has_expected_jobs(workflow):
+    assert set(workflow["jobs"]) == {"smoke", "lint", "bench", "full"}
+    # "on" parses as YAML boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers and "pull_request" in triggers
+    assert "schedule" in triggers and "workflow_dispatch" in triggers
+
+
+def test_smoke_job_runs_fast_tier(workflow):
+    runs = " ".join(_run_lines(workflow["jobs"]["smoke"]))
+    assert '-m "not slow"' in runs
+    assert "pytest" in runs
+    # The perf-floor benchmark belongs to the bench job, not the gate.
+    assert "--ignore=benchmarks/test_serving_throughput.py" in runs
+    # These tests must not silently skip inside the smoke job.
+    assert "pyyaml" in runs
+    # The tier the job deselects must exist in pytest.ini.
+    assert "slow:" in (ROOT / "pytest.ini").read_text()
+    # Warnings-as-errors for the repro package is enforced via pytest.ini.
+    assert "error:::repro" in (ROOT / "pytest.ini").read_text()
+
+
+def test_jobs_cache_pip(workflow):
+    for name in ("smoke", "lint", "bench", "full"):
+        steps = workflow["jobs"][name]["steps"]
+        setups = [s for s in steps
+                  if "setup-python" in str(s.get("uses", ""))]
+        assert setups and setups[0]["with"]["cache"] == "pip", name
+
+
+def test_lint_job_matches_ruff_config(workflow):
+    runs = _run_lines(workflow["jobs"]["lint"])
+    assert any("ruff check" in r for r in runs)
+    assert any("ruff format --check" in r for r in runs)
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert "[tool.ruff" in pyproject
+
+
+def test_bench_job_uploads_serving_artifact(workflow):
+    job = workflow["jobs"]["bench"]
+    runs = " ".join(_run_lines(job))
+    assert "benchmarks/test_serving_throughput.py" in runs
+    assert (ROOT / "benchmarks" / "test_serving_throughput.py").exists()
+    uploads = [s for s in job["steps"]
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert uploads and uploads[0]["with"]["path"] == "BENCH_serving.json"
+    # The benchmark must write where the job uploads from.
+    env = next(s.get("env", {}) for s in job["steps"]
+               if "test_serving_throughput" in str(s.get("run", "")))
+    assert env["BENCH_SERVING_JSON"] == "BENCH_serving.json"
+
+
+def test_full_job_runs_whole_suite_on_schedule_only(workflow):
+    job = workflow["jobs"]["full"]
+    assert "schedule" in job["if"] and "workflow_dispatch" in job["if"]
+    runs = " ".join(_run_lines(job))
+    assert "pytest -q" in runs
+    assert "not slow" not in runs

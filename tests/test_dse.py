@@ -1,6 +1,5 @@
 """Tests for the co-design space exploration engine (Algorithm 2)."""
 
-import numpy as np
 import pytest
 
 from repro.dse import (

@@ -1,10 +1,9 @@
 """Tests for the first-principles energy accounting."""
 
-import pytest
 
 from repro.evaluation.energy import EnergyBreakdown, gemm_energy_breakdown
 from repro.evaluation import evaluate_design
-from repro.hw import DESIGN1, DESIGN2, LUTDLADesign
+from repro.hw import DESIGN1, LUTDLADesign
 from repro.lutboost import GemmWorkload
 
 

@@ -1,6 +1,5 @@
 """Tests for dPE / CCU / IMM cost models (Figs. 5, 9, Table VII)."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (

@@ -12,7 +12,7 @@ from repro.lutboost import (
 from repro.lutboost.converter import refresh_batchnorm
 from repro.models.resnet import ResNetCIFAR
 from repro.models import mlp
-from repro.nn import Adam, BatchNorm2d, Tensor, evaluate_accuracy
+from repro.nn import Adam, BatchNorm2d, evaluate_accuracy
 from repro.nn.data import ArrayDataset
 from repro.lutboost.trainer import train_epochs
 

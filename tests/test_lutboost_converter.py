@@ -1,7 +1,6 @@
 """Tests for model conversion (operator replacement + calibration)."""
 
 import numpy as np
-import pytest
 
 from repro.lutboost import (
     ConversionPolicy,

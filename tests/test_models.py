@@ -1,6 +1,5 @@
 """Tests for the model zoo (topology, shapes, trainability)."""
 
-import numpy as np
 import pytest
 
 from repro.models import (

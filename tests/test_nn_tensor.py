@@ -106,7 +106,9 @@ class TestGradients:
             b = Tensor(rng.normal(size=(3, 4)) + 3.0, requires_grad=True)
         out = t_op(a, b).sum()
         out.backward()
-        fn = lambda ad, bd: n_op(ad, bd).sum()
+        def fn(ad, bd):
+            return n_op(ad, bd).sum()
+
         for t, i in ((a, 0), (b, 1)):
             num = gradcheck(fn, [a.data, b.data], i)
             np.testing.assert_allclose(t.grad, num, atol=1e-5)

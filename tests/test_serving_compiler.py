@@ -1,4 +1,6 @@
-"""Tests for lowering converted models into packed KernelPlans."""
+"""Tests for lowering converted models into packed, slot-addressed plans."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -6,7 +8,10 @@ import pytest
 from repro.lutboost.converter import ConversionPolicy, calibrate_model, convert_model
 from repro.models.lenet import lenet
 from repro.models.mlp import mlp
-from repro.nn.layers import Linear, Module
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
 from repro.serving import CompileError, compile_model
 from repro.serving.compiler import PRECISION_DTYPES
 
@@ -29,6 +34,24 @@ def converted_mlp():
     return model
 
 
+@pytest.fixture(scope="module")
+def converted_resnet20():
+    rng = np.random.default_rng(2)
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, 16, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def converted_bert_mini():
+    rng = np.random.default_rng(3)
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.integers(0, 64, size=(6, 8)))
+    return model
+
+
 class TestTraceAndLower:
     def test_lenet_step_sequence(self, converted_lenet):
         plan = compile_model(converted_lenet, (1, 16, 16))
@@ -46,17 +69,32 @@ class TestTraceAndLower:
         plan = compile_model(converted_mlp, (4, 4))
         assert plan.steps[0].kind == "flatten"
 
-    def test_uncalibrated_model_rejected(self):
+    def test_steps_form_slot_ssa(self, converted_lenet):
+        """Every step reads defined slots and writes a fresh one."""
+        plan = compile_model(converted_lenet, (1, 16, 16))
+        defined = {0}
+        for step in plan.steps:
+            assert all(i in defined for i in step.inputs), step
+            assert step.out not in defined, "slot reassigned: %r" % step
+            defined.add(step.out)
+        assert plan.output_slot in defined
+        assert plan.num_slots == len(defined)
+
+    def test_uncalibrated_model_rejected_names_module(self):
         model = mlp(16, hidden=32, num_classes=4)
         convert_model(model, ConversionPolicy(v=4, c=8))
-        with pytest.raises(CompileError, match="uncalibrated"):
+        with pytest.raises(CompileError,
+                           match=r"net\.layers\.0.*not calibrated"):
             compile_model(model, (16,))
 
     def test_unconverted_model_rejected(self):
         with pytest.raises(CompileError, match="no calibrated LUT"):
             compile_model(mlp(16, hidden=32, num_classes=4), (16,))
 
-    def test_untraceable_topology_rejected(self, converted_mlp):
+
+class TestResidualAndAttentionTopologies:
+    def test_inline_residual_module_compiles(self, converted_mlp):
+        """Fan-out + residual add — unservable before the DAG compiler."""
         class Residual(Module):
             def __init__(self, inner):
                 super().__init__()
@@ -67,9 +105,194 @@ class TestTraceAndLower:
 
         inner = mlp(8, hidden=8, num_classes=8)
         convert_model(inner, ConversionPolicy(v=4, c=8))
-        calibrate_model(inner, np.random.default_rng(2).normal(size=(32, 8)))
-        with pytest.raises(CompileError, match="disagrees|shape"):
-            compile_model(Residual(inner), (8,))
+        calibrate_model(inner, np.random.default_rng(4).normal(size=(32, 8)))
+        plan = compile_model(Residual(inner), (8,), precision="fp64")
+        kinds = [s.kind for s in plan.steps]
+        assert "add" in kinds
+
+    def test_resnet20_compiles(self, converted_resnet20):
+        plan = compile_model(converted_resnet20, (3, 16, 16))
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.count("add") == 9          # one residual add per block
+        assert "batchnorm" in kinds
+        assert "global_avg_pool" in kinds
+        assert plan.num_lut_layers == 22
+        # Residual fan-out: some slot feeds more than one step.
+        reads = [i for s in plan.steps for i in s.inputs]
+        assert any(reads.count(slot) > 1 for slot in set(reads))
+
+    def test_bert_mini_compiles(self, converted_bert_mini):
+        rng = np.random.default_rng(5)
+        sample = rng.integers(0, 64, size=(3, 8))
+        plan = compile_model(converted_bert_mini, (8,), sample_input=sample)
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.count("attention_scores") == 3   # fused per block
+        assert kinds.count("softmax") == 3
+        assert kinds.count("layernorm") == 7          # 2/block + final norm
+        assert kinds.count("embedding") == 1          # token gather
+        assert kinds.count("const") == 1              # baked positions
+        assert plan.num_lut_layers == 19
+
+    def test_attention_fusion_drops_key_transpose(self, converted_bert_mini):
+        """k.transpose @ q + scale fold into one attention_scores step, so
+        no plain matmul-with-transposed-operand survives per block."""
+        rng = np.random.default_rng(6)
+        sample = rng.integers(0, 64, size=(3, 8))
+        plan = compile_model(converted_bert_mini, (8,), sample_input=sample)
+        scores = [s for s in plan.steps if s.kind == "attention_scores"]
+        assert all(s.params["scale"] == pytest.approx(1.0 / np.sqrt(8))
+                   for s in scores)
+        # attn @ v remains a plain batched matmul, one per block.
+        assert sum(1 for s in plan.steps if s.kind == "matmul") == 3
+
+    def test_lut_layers_carry_module_names(self, converted_bert_mini):
+        rng = np.random.default_rng(7)
+        sample = rng.integers(0, 64, size=(3, 8))
+        plan = compile_model(converted_bert_mini, (8,), sample_input=sample)
+        names = [layer["name"] for layer in plan.layers]
+        assert "blocks.0.attn.q_proj" in names
+        assert "blocks.2.ffn_out" in names
+        assert "head" in names
+        workloads = plan.workloads(4)
+        assert [w.name for w in workloads] == names
+
+
+class TestCompileErrors:
+    def test_uncaptured_op_names_op_and_model(self, converted_mlp):
+        class SigmoidGlue(Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def forward(self, x):
+                return self.inner(x.sigmoid() + x)
+
+        inner = mlp(8, hidden=8, num_classes=4)
+        convert_model(inner, ConversionPolicy(v=4, c=8))
+        calibrate_model(inner, np.random.default_rng(8).normal(size=(32, 8)))
+        with pytest.raises(CompileError,
+                           match=r"SigmoidGlue.*'add'.*did not capture"):
+            compile_model(SigmoidGlue(inner), (8,))
+
+    def test_uncaptured_output_names_model(self, converted_mlp):
+        class SigmoidHead(Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def forward(self, x):
+                return self.inner(x).sigmoid()
+
+        inner = mlp(8, hidden=8, num_classes=4)
+        convert_model(inner, ConversionPolicy(v=4, c=8))
+        calibrate_model(inner, np.random.default_rng(9).normal(size=(32, 8)))
+        with pytest.raises(CompileError,
+                           match="SigmoidHead.*did not capture"):
+            compile_model(SigmoidHead(inner), (8,))
+
+    def test_batch_moving_transpose_rejected(self, converted_mlp):
+        class SwapBatch(Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def forward(self, x):
+                return self.inner(x.transpose(1, 0).transpose(1, 0))
+
+        inner = mlp(8, hidden=8, num_classes=4)
+        convert_model(inner, ConversionPolicy(v=4, c=8))
+        calibrate_model(inner, np.random.default_rng(10).normal(size=(32, 8)))
+        with pytest.raises(CompileError,
+                           match="SwapBatch.*transpose.*batch"):
+            compile_model(SwapBatch(inner), (8,))
+
+    def test_trace_failure_restores_patched_methods(self, converted_mlp):
+        original_add = Tensor.__add__
+        original_call = Module.__call__
+
+        class Bad(Module):
+            def forward(self, x):
+                return (x.sigmoid() + x).relu()
+
+        with pytest.raises(CompileError):
+            compile_model(Bad(), (8,))
+        assert Tensor.__add__ is original_add
+        assert Module.__call__ is original_call
+
+
+class TestTraceThreadSafety:
+    def test_concurrent_compiles_serialize_correctly(self):
+        """Class-level patching is serialized by the trace lock: N threads
+        compiling different models concurrently must all produce verified
+        plans (verification alone catches cross-talk, since a polluted
+        trace replays to the wrong output)."""
+        from repro.serving import execute_plan
+
+        rng = np.random.default_rng(11)
+        models = []
+        for seed in range(4):
+            model = mlp(12, hidden=16, num_classes=3 + seed, seed=seed)
+            convert_model(model, ConversionPolicy(v=4, c=8))
+            calibrate_model(model, rng.normal(size=(32, 12)))
+            models.append(model)
+
+        plans = [None] * len(models)
+        errors = []
+        barrier = threading.Barrier(len(models))
+
+        def compile_one(i):
+            try:
+                barrier.wait(timeout=10)
+                plans[i] = compile_model(models[i], (12,), precision="fp64")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=compile_one, args=(i,))
+                   for i in range(len(models))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        x = rng.normal(size=(5, 12))
+        for i, (model, plan) in enumerate(zip(models, plans)):
+            assert plan is not None
+            assert plan.steps[-1].params["n_out"] == 3 + i
+            got = execute_plan(plan, x)
+            from repro.nn.tensor import no_grad
+            with no_grad():
+                want = model.eval()(Tensor(x)).data
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    def test_foreign_thread_forward_not_recorded(self, converted_mlp,
+                                                 converted_lenet):
+        """A forward pass on another thread during a trace must neither
+        pollute the traced graph nor be rejected."""
+        rng = np.random.default_rng(12)
+        stop = threading.Event()
+        failures = []
+
+        def hammer():
+            x = rng.normal(size=(2, 16))
+            from repro.nn.tensor import no_grad
+            while not stop.is_set():
+                try:
+                    with no_grad():
+                        converted_mlp(Tensor(x))
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(3):
+                plan = compile_model(converted_lenet, (1, 16, 16))
+                assert [s.kind for s in plan.steps].count("lut_gemm") == 5
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not failures, failures
 
 
 class TestPackedBuffers:
@@ -103,7 +326,7 @@ class TestPackedBuffers:
         assert plan.storage_bytes() > 0
 
     def test_mixed_config_rejected(self):
-        rng = np.random.default_rng(3)
+        rng = np.random.default_rng(13)
         model = mlp(16, hidden=32, num_classes=4)
         convert_model(model, ConversionPolicy(v=4, c=8))
         calibrate_model(model, rng.normal(size=(40, 16)))
@@ -129,6 +352,17 @@ class TestSimulatorBridge:
         # Conv layers see out_h * out_w rows per sample, linear layers one.
         assert w1[0].m == 16 * 16
         assert w1[-1].m == 1
+
+    def test_transformer_workload_rows_scale_with_sequence(
+            self, converted_bert_mini):
+        rng = np.random.default_rng(14)
+        sample = rng.integers(0, 64, size=(3, 8))
+        plan = compile_model(converted_bert_mini, (8,), sample_input=sample)
+        by_name = {w.name: w for w in plan.workloads(1)}
+        # Per-token projections see seq_len rows per request; the pooled
+        # classifier head sees one.
+        assert by_name["blocks.0.attn.q_proj"].m == 8
+        assert by_name["head"].m == 1
 
     def test_bad_sample_shape_rejected(self, converted_mlp):
         with pytest.raises(CompileError, match="sample_input"):

@@ -11,8 +11,11 @@ from repro.lutboost.converter import (
 )
 from repro.models.lenet import lenet
 from repro.models.mlp import mlp
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
 from repro.nn import functional as F
 from repro.serving import PlanCache, ServingEngine, compile_model, execute_plan
+from repro.vq import kernels
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +36,24 @@ def converted_mlp():
     return model
 
 
+@pytest.fixture(scope="module")
+def converted_resnet20():
+    rng = np.random.default_rng(2)
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, 16, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def converted_bert_mini():
+    rng = np.random.default_rng(3)
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.integers(0, 64, size=(6, 8)))
+    return model
+
+
 def _sequential_lenet_reference(model, x):
     """Per-request serving reference: chain each operator's lut_inference
     with plain numpy glue, one request at a time (the pre-serving path)."""
@@ -47,6 +68,83 @@ def _sequential_lenet_reference(model, x):
         h = np.maximum(model.fc1.lut_inference(h), 0.0)
         h = np.maximum(model.fc2.lut_inference(h), 0.0)
         outs.append(model.fc3.lut_inference(h)[0])
+    return np.stack(outs)
+
+
+def _folded_batchnorm(bn, x):
+    """Eval-mode BatchNorm as the compiled scale/shift fold applies it."""
+    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+    shift = bn.bias.data - bn.running_mean * scale
+    return x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+
+
+def _sequential_resnet_reference(model, x):
+    """Per-request residual-topology reference: each block chains
+    lut_inference convolutions, folded batchnorm and the shared
+    elementwise-add kernel exactly as the compiled plan does."""
+    def run_block(block, h):
+        out = np.maximum(
+            _folded_batchnorm(block.bn1, block.conv1.lut_inference(h)), 0.0)
+        out = _folded_batchnorm(block.bn2, block.conv2.lut_inference(out))
+        identity = h
+        if block.shortcut is not None:
+            identity = _folded_batchnorm(
+                block.shortcut_bn, block.shortcut.lut_inference(h))
+        return np.maximum(kernels.elementwise_add(out, identity), 0.0)
+
+    outs = []
+    for i in range(x.shape[0]):
+        h = x[i : i + 1]
+        h = np.maximum(
+            _folded_batchnorm(model.stem_bn, model.stem.lut_inference(h)),
+            0.0)
+        for stage in (model.stage1, model.stage2, model.stage3):
+            for block in stage:
+                h = run_block(block, h)
+        h = h.mean(axis=(2, 3))
+        outs.append(model.fc.lut_inference(h)[0])
+    return np.stack(outs)
+
+
+def _sequential_bert_reference(model, tokens):
+    """Per-request attention-topology reference: per-operator
+    lut_inference plus the shared fused kernels (embedding gather,
+    layernorm, batched attention matmuls, softmax, gelu, residual add)."""
+    outs = []
+    seq = tokens.shape[1]
+    dim, heads = model.dim, model.blocks[0].attn.num_heads
+    head_dim = dim // heads
+    pos = model.pos_embed.weight.data[:seq]
+    for i in range(tokens.shape[0]):
+        toks = tokens[i : i + 1]
+        h = kernels.embedding_gather(model.tok_embed.weight.data, toks)
+        h = kernels.elementwise_add(h, pos)
+        for block in model.blocks:
+            a = kernels.layer_norm(h, block.norm1.weight.data,
+                                   block.norm1.bias.data, block.norm1.eps)
+
+            def split_heads(t):
+                return t.reshape(1, seq, heads, head_dim).transpose(0, 2, 1, 3)
+
+            q = split_heads(block.attn.q_proj.lut_inference(a))
+            k = split_heads(block.attn.k_proj.lut_inference(a))
+            v = split_heads(block.attn.v_proj.lut_inference(a))
+            scores = kernels.attention_scores(q, k, 1.0 / np.sqrt(head_dim))
+            attn = kernels.softmax(scores, axis=-1)
+            ctx = kernels.attention_context(attn, v)
+            ctx = ctx.transpose(0, 2, 1, 3).reshape(1, seq, dim)
+            h = kernels.elementwise_add(
+                h, block.attn.out_proj.lut_inference(ctx))
+            a2 = kernels.layer_norm(h, block.norm2.weight.data,
+                                    block.norm2.bias.data, block.norm2.eps)
+            hidden = kernels.gelu(block.ffn_in.lut_inference(a2))
+            h = kernels.elementwise_add(
+                h, block.ffn_out.lut_inference(hidden))
+        h = kernels.layer_norm(h, model.final_norm.weight.data,
+                               model.final_norm.bias.data,
+                               model.final_norm.eps)
+        pooled = h.mean(axis=1)
+        outs.append(model.head.lut_inference(pooled)[0])
     return np.stack(outs)
 
 
@@ -106,6 +204,87 @@ class TestBitIdentity:
                     h = np.maximum(h, 0.0)
             rows.append(h[0])
         np.testing.assert_array_equal(batched, np.stack(rows))
+
+
+class TestResidualTopology:
+    def test_resnet20_fp64_matches_sequential_reference(
+            self, converted_resnet20):
+        """Acceptance: batched residual serving == per-request
+        lut_inference chain through every block, bitwise at fp64."""
+        rng = np.random.default_rng(20)
+        x = rng.normal(size=(6, 3, 16, 16))
+        plan = compile_model(converted_resnet20, (3, 16, 16),
+                             precision="fp64")
+        batched = execute_plan(plan, x)
+        reference = _sequential_resnet_reference(converted_resnet20, x)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_resnet20_fp64_batch_invariance(self, converted_resnet20):
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=(5, 3, 16, 16))
+        plan = compile_model(converted_resnet20, (3, 16, 16),
+                             precision="fp64")
+        whole = execute_plan(plan, x)
+        singles = np.concatenate(
+            [execute_plan(plan, x[i : i + 1]) for i in range(5)])
+        np.testing.assert_array_equal(whole, singles)
+
+    def test_resnet20_fp32_serves(self, converted_resnet20):
+        rng = np.random.default_rng(22)
+        x = rng.normal(size=(4, 3, 16, 16))
+        p32 = compile_model(converted_resnet20, (3, 16, 16),
+                            precision="fp32")
+        p64 = compile_model(converted_resnet20, (3, 16, 16),
+                            precision="fp64")
+        np.testing.assert_allclose(
+            execute_plan(p32, x).astype(np.float64),
+            execute_plan(p64, x), rtol=5e-3, atol=5e-4)
+
+
+class TestAttentionTopology:
+    def test_bert_mini_fp64_matches_sequential_reference(
+            self, converted_bert_mini):
+        """Acceptance: batched attention serving == per-request
+        lut_inference + fused-kernel chain, bitwise at fp64."""
+        rng = np.random.default_rng(23)
+        tokens = rng.integers(0, 64, size=(7, 8))
+        plan = compile_model(converted_bert_mini, (8,), precision="fp64",
+                             sample_input=tokens[:3])
+        batched = execute_plan(plan, tokens)
+        reference = _sequential_bert_reference(converted_bert_mini, tokens)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_bert_mini_fp64_batch_invariance(self, converted_bert_mini):
+        rng = np.random.default_rng(24)
+        tokens = rng.integers(0, 64, size=(6, 8))
+        plan = compile_model(converted_bert_mini, (8,), precision="fp64",
+                             sample_input=tokens[:3])
+        whole = execute_plan(plan, tokens)
+        singles = np.concatenate(
+            [execute_plan(plan, tokens[i : i + 1]) for i in range(6)])
+        np.testing.assert_array_equal(whole, singles)
+
+    def test_baked_positions_are_input_independent(self, converted_bert_mini):
+        """The positional table is a compile-time constant, the token
+        gather is not: different tokens must change the output."""
+        rng = np.random.default_rng(25)
+        sample = rng.integers(0, 64, size=(3, 8))
+        plan = compile_model(converted_bert_mini, (8,), precision="fp64",
+                             sample_input=sample)
+        a = execute_plan(plan, np.full((1, 8), 5))
+        b = execute_plan(plan, np.full((1, 8), 11))
+        assert np.abs(a - b).max() > 0
+
+
+class TestSlotFile:
+    def test_intermediate_slots_released(self, converted_resnet20):
+        """Every non-output slot must be freed by some step's release
+        list, so peak memory tracks the live set."""
+        plan = compile_model(converted_resnet20, (3, 16, 16))
+        released = {slot for step in plan.steps for slot in step.release}
+        written = {step.out for step in plan.steps} | {0}
+        assert plan.output_slot not in released
+        assert released == written - {plan.output_slot}
 
 
 class TestPlanCache:

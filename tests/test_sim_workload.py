@@ -1,6 +1,5 @@
 """Tests for workload extraction (model -> GEMM lists)."""
 
-import numpy as np
 import pytest
 
 from repro.lutboost import ConversionPolicy, convert_model
