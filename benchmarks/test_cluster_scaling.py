@@ -1,0 +1,94 @@
+"""Cluster scaling trajectory: aggregate req/s at 1, 2 and 4 workers.
+
+The multi-process companion of ``test_serving_throughput.py``: the same
+open-loop lenet burst served through a :class:`ClusterServer` at
+increasing worker-process counts. Thread workers share one GIL; shard
+processes do not, so on a multi-core host the aggregate rate must scale
+with workers — the whole point of the cluster subsystem. Results are
+merged into ``BENCH_serving.json`` under ``cluster_scaling`` so CI
+tracks the scaling curve per commit.
+
+The >= 1.8x floor at 4 workers is asserted only on hosts with >= 4 CPUs:
+on fewer cores the extra processes time-slice one core and the measured
+"scaling" is just scheduler noise (the row is still recorded).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterServer, ModelSpec
+from repro.evaluation import format_table
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.lenet import lenet
+
+from conftest import emit, record_serving_bench
+
+WORKER_COUNTS = (1, 2, 4)
+REQUESTS = 192
+TRIALS = 3
+SCALING_FLOOR = 1.8  # 4-worker aggregate vs 1-worker, multi-core hosts
+
+
+@pytest.fixture(scope="module")
+def converted_lenet():
+    rng = np.random.default_rng(0)
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(32, 1, 16, 16)))
+    return model
+
+
+def _serve_burst(cluster, requests):
+    start = time.perf_counter()
+    futures = [cluster.submit("lenet", x) for x in requests]
+    for future in futures:
+        future.result(120)
+    return len(requests) / (time.perf_counter() - start)
+
+
+def test_cluster_scaling_with_worker_processes(converted_lenet):
+    rng = np.random.default_rng(1)
+    requests = rng.normal(size=(REQUESTS, 1, 16, 16))
+    rates = {}
+    for workers in WORKER_COUNTS:
+        config = ClusterConfig(workers=workers, max_batch_size=32,
+                               max_wait_ms=2.0,
+                               max_pending=4 * REQUESTS)
+        with ClusterServer(
+                {"lenet": ModelSpec(converted_lenet, (1, 16, 16))},
+                config) as cluster:
+            cluster.infer_many("lenet", requests[:8], timeout=120)  # warm
+            best = 0.0
+            for _ in range(TRIALS):
+                best = max(best, _serve_burst(cluster, requests))
+            rates[workers] = best
+            assert cluster.alive_workers() == workers
+            cluster.shutdown(drain=True)
+
+    rows = [
+        {
+            "workers": workers,
+            "req_per_s": rates[workers],
+            "vs_1_worker": "%.2fx" % (rates[workers] / rates[1]),
+        }
+        for workers in WORKER_COUNTS
+    ]
+    emit("Cluster scaling (LeNet-16, fp32 plans, burst of %d, host cpus=%s)"
+         % (REQUESTS, os.cpu_count()), format_table(rows, floatfmt="%.4g"))
+    record_serving_bench("cluster_scaling", {
+        "model": "lenet", "requests": REQUESTS,
+        "host_cpus": os.cpu_count(), "rows": rows})
+
+    assert all(rate > 0 for rate in rates.values()), rates
+    if (os.cpu_count() or 1) >= 4:
+        assert rates[4] >= SCALING_FLOOR * rates[1], rates
+    else:
+        pytest.skip("host has %s CPUs; scaling floor needs >= 4 "
+                    "(rates recorded: %s)" % (os.cpu_count(), rates))

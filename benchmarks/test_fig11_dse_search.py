@@ -23,8 +23,7 @@ def _run():
     rng = np.random.default_rng(0)
     # Clustered activation sample: the oracle rewards larger c, smaller v.
     centers = rng.normal(size=(32, 48)) * 2
-    activations = centers[rng.integers(0, 32, 512)] \
-        + rng.normal(scale=0.3, size=(512, 48))
+    activations = centers[rng.integers(0, 32, 512)] + rng.normal(scale=0.3, size=(512, 48))
     oracle = QuantizationErrorOracle(activations, base_accuracy=0.92,
                                      sensitivity=3.0)
     engine = CoDesignSearchEngine(

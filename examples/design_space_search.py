@@ -25,8 +25,7 @@ workload = GemmWorkload(512, 768, 768, v=4, c=16, name="qkv")
 # Accuracy oracle from clustered synthetic activations.
 rng = np.random.default_rng(0)
 prototypes = rng.normal(size=(48, 768))
-activations = prototypes[rng.integers(0, 48, 1024)] \
-    + rng.normal(scale=0.3, size=(1024, 768))
+activations = prototypes[rng.integers(0, 48, 1024)] + rng.normal(scale=0.3, size=(1024, 768))
 oracle = QuantizationErrorOracle(activations, base_accuracy=0.9,
                                  sensitivity=3.0)
 

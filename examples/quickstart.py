@@ -23,8 +23,7 @@ rng = np.random.default_rng(0)
 # Activation rows cluster around 12 prototypes (neural-net feature maps
 # have exactly this kind of semantic redundancy — the paper's premise).
 prototypes = rng.normal(size=(12, K)) * 2.0
-activations = prototypes[rng.integers(0, 12, M)] \
-    + rng.normal(scale=0.1, size=(M, K))
+activations = prototypes[rng.integers(0, 12, M)] + rng.normal(scale=0.1, size=(M, K))
 weights = rng.normal(size=(K, N))
 
 # 1. Learn the codebook (Fig. 2 step 1).

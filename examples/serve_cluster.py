@@ -1,0 +1,123 @@
+"""Cluster serving quickstart: shards, shared plans, TCP traffic.
+
+The multi-process counterpart of ``serve_model.py``. One host runs:
+
+1. a :class:`ClusterServer` with ``WORKERS`` spawned worker processes —
+   each maps the *same* packed codebook/PSum-LUT tables out of shared
+   memory (one copy total, published by the parent's plan store);
+2. a pace-weighted least-outstanding-work router that prices a request
+   by the cycle simulator's predicted LUT-DLA cycles for its topology
+   (a bert_mini request costs a different number of work units than a
+   lenet one);
+3. an asyncio TCP front-end speaking length-prefixed JSON/npy frames,
+   multiplexing every client connection on one event loop.
+
+The traffic below interleaves all three topology classes — feed-forward
+(lenet), residual (resnet20) and attention (bert_mini) — through one
+:class:`ClusterClient` connection, then prints the per-model cluster
+report and the per-shard routing picture.
+
+Run:  python examples/serve_cluster.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    ModelSpec,
+)
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.lenet import lenet
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
+
+WORKERS = 2         # shard processes (raise to your core count)
+REQUESTS = 48       # per topology
+IMAGE = 16
+SEQ = 16
+
+rng = np.random.default_rng(0)
+
+
+def build_specs():
+    """Convert + calibrate the three topology classes into ModelSpecs."""
+    model = lenet(image_size=IMAGE)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(32, 1, IMAGE, IMAGE)))
+    specs = {"lenet": ModelSpec(model, (1, IMAGE, IMAGE))}
+    traffic = {"lenet": rng.normal(size=(REQUESTS, 1, IMAGE, IMAGE))}
+
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, IMAGE, IMAGE)))
+    specs["resnet20"] = ModelSpec(model, (3, IMAGE, IMAGE))
+    traffic["resnet20"] = rng.normal(size=(REQUESTS, 3, IMAGE, IMAGE))
+
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    tokens = rng.integers(0, 64, size=(REQUESTS, SEQ))
+    calibrate_model(model, tokens[:8])
+    # Token models pass real ids as the trace/verification sample.
+    specs["bert_mini"] = ModelSpec(model, (SEQ,), sample_input=tokens[:3])
+    traffic["bert_mini"] = tokens
+    return specs, traffic
+
+
+def main():
+    specs, traffic = build_specs()
+    config = ClusterConfig(workers=WORKERS, max_batch_size=16,
+                           max_wait_ms=2.0)
+    with ClusterServer(specs, config) as cluster:
+        print("cluster up: %r" % cluster)
+        print("shared plan store: %.1f KiB in %d segments"
+              % (cluster.store.storage_bytes() / 1024.0, len(cluster.store)))
+
+        with ClusterTCPServer(cluster) as tcp:
+            host, port = tcp.address
+            print("TCP front-end on %s:%d" % (host, port))
+            with ClusterClient(host, port) as client:
+                client.ping()
+                # Interleave the three topologies into one mixed burst:
+                # the client pipelines per model, the router spreads each
+                # request across shards by predicted-cycle backlog.
+                outputs = {}
+                for name, requests in traffic.items():
+                    outputs[name] = client.infer_many(name, requests)
+                    print("served %d %s requests -> output %s"
+                          % (len(requests), name, outputs[name].shape))
+                # Metrics are recorded just after each batch's futures
+                # resolve; poll briefly so the summary has caught up with
+                # the last batch before we assert on it.
+                total = sum(len(t) for t in traffic.values())
+                deadline = time.monotonic() + 5.0
+                summary = client.metrics()
+                while (summary["requests"] < total
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                    summary = client.metrics()
+
+        print()
+        print(cluster.report(title="mixed-topology cluster burst"))
+        print()
+        for shard in summary["shards"]:
+            print("shard %d: alive=%s served %d requests (recent %.0f req/s)"
+                  % (shard["index"], shard["alive"], shard["requests"],
+                     shard["requests_per_s"]))
+
+        assert summary["requests"] == total
+        assert all(out.shape[0] == REQUESTS for out in outputs.values())
+        cluster.shutdown(drain=True)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Multi-process sharded serving over a shared plan store.
+
+The scaling layer above :mod:`repro.serving`: ``planstore`` publishes
+compiled KernelPlans into ``multiprocessing.shared_memory`` (one copy of
+every packed codebook/PSum-LUT table, mapped read-only by all workers),
+``worker`` runs one serving engine per spawned process, ``router``
+balances requests by pace-weighted least outstanding predicted LUT-DLA
+cycles, ``server`` ties them into :class:`ClusterServer` (crash
+re-routing, graceful drain), and ``net`` fronts the cluster with an
+asyncio TCP server speaking length-prefixed JSON/npy frames.
+"""
+
+from .net import (
+    ClusterClient,
+    ClusterTCPServer,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .planstore import PlanHandle, SharedPlanStore, plan_from_spec, plan_to_spec
+from .router import LeastWorkRouter, NoShardAvailable
+from .server import ClusterConfig, ClusterServer, ModelSpec, Shard
+from .worker import ShardCrashed, ShardProcess, worker_main
+
+__all__ = [
+    "plan_to_spec",
+    "plan_from_spec",
+    "PlanHandle",
+    "SharedPlanStore",
+    "worker_main",
+    "ShardProcess",
+    "ShardCrashed",
+    "LeastWorkRouter",
+    "NoShardAvailable",
+    "ModelSpec",
+    "ClusterConfig",
+    "Shard",
+    "ClusterServer",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "ClusterTCPServer",
+    "ClusterClient",
+]

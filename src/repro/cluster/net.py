@@ -1,0 +1,396 @@
+"""Asyncio TCP front-end: thousands of sockets, one event loop, N shards.
+
+The cluster's compute path is thread-pools + worker processes; the I/O
+path is a single ``asyncio`` event loop multiplexing every client
+connection. A request is parsed off the socket, handed to
+:meth:`ClusterServer.submit` (which returns a ``concurrent.futures``
+future immediately — the event loop never blocks on inference), and the
+response is written back whenever the shard finishes, so slow batches on
+one connection never stall another.
+
+Wire format (little endian is never used — lengths are network order):
+
+    frame    := u32_be body_length | body
+    body     := header_json | 0x0A | payload?
+    payload  := ``numpy.save`` bytes (dtype + shape + C-order data)
+
+Request headers:
+
+    {"id": 7, "model": "lenet"}       + npy payload  -> inference
+    {"id": 8, "op": "metrics"}        (no payload)   -> cluster summary
+    {"id": 9, "op": "ping"}           (no payload)   -> liveness probe
+
+Response headers echo the id: ``{"id": 7, "ok": true}`` with an npy
+payload for inference hits, ``{"id": 7, "ok": false, "error": "..."}``
+on failure (unknown model, shape mismatch, admission control, crash).
+Requests may be pipelined; responses come back in completion order, so
+clients match on ``id``.
+
+:class:`ClusterClient` is the blocking counterpart for scripts and
+tests; it pipelines bursts and reorders responses transparently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+
+__all__ = [
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "ClusterTCPServer",
+    "ClusterClient",
+]
+
+# One length prefix bounds everything a peer can make us buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+_HEADER_SEP = b"\n"
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent a frame this protocol cannot parse."""
+
+
+# ----------------------------------------------------------------------
+# Framing (shared by server and client)
+# ----------------------------------------------------------------------
+
+def encode_frame(header, array=None):
+    """Serialise one frame: length prefix + JSON header [+ npy payload]."""
+    body = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body += _HEADER_SEP
+    if array is not None:
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
+        body += buf.getvalue()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds the %d byte cap"
+                            % (len(body), MAX_FRAME_BYTES))
+    return struct.pack("!I", len(body)) + body
+
+
+def decode_frame(body):
+    """Parse one frame body into ``(header dict, array or None)``."""
+    sep = body.find(_HEADER_SEP)
+    if sep < 0:
+        raise ProtocolError("frame has no header/payload separator")
+    try:
+        header = json.loads(body[:sep].decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError("frame header is not valid JSON: %s" % exc) from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    payload = body[sep + 1:]
+    if not payload:
+        return header, None
+    try:
+        array = np.load(io.BytesIO(payload), allow_pickle=False)
+    except ValueError as exc:
+        raise ProtocolError("frame payload is not a valid npy array: %s"
+                            % exc) from exc
+    return header, array
+
+
+async def _read_frame(reader):
+    """Read one length-prefixed frame; returns None at clean EOF."""
+    try:
+        prefix = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = struct.unpack("!I", prefix)
+    if not 0 < length <= MAX_FRAME_BYTES:
+        raise ProtocolError("frame length %d outside (0, %d]"
+                            % (length, MAX_FRAME_BYTES))
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+
+class ClusterTCPServer:
+    """Serve a :class:`ClusterServer` over TCP.
+
+    Use inside an existing event loop (``await server.start()``), or let
+    it own a loop in a daemon thread (``start_in_thread()`` — the shape
+    scripts and tests want). ``port=0`` binds an ephemeral port;
+    ``address`` holds the bound ``(host, port)`` once listening.
+    """
+
+    def __init__(self, cluster, host="127.0.0.1", port=0):
+        self.cluster = cluster
+        self.host = host
+        self.port = int(port)
+        self.address = None
+        self._server = None
+        self._loop = None
+        self._thread = None
+        self._started = threading.Event()
+        self._startup_error = None
+
+    # ------------------------------------------------------------------
+    async def start(self):
+        """Bind and start accepting connections on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def stop_async(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        """One task per connection; one extra task per in-flight request."""
+        write_lock = asyncio.Lock()
+        replies = set()
+        try:
+            while True:
+                body = await _read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    header, array = decode_frame(body)
+                except ProtocolError as exc:
+                    await self._respond(writer, write_lock,
+                                        {"id": None, "ok": False,
+                                         "error": str(exc)})
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_one(writer, write_lock, header, array))
+                replies.add(task)
+                task.add_done_callback(replies.discard)
+            if replies:
+                await asyncio.gather(*replies, return_exceptions=True)
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for task in replies:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError lands here when the server stops while
+                # the connection is open; finishing cleanly (rather than
+                # re-raising into asyncio's connection_made callback)
+                # keeps shutdown silent. The task is ending either way.
+                pass
+
+    async def _serve_one(self, writer, write_lock, header, array):
+        request_id = header.get("id")
+        reply = {"id": request_id, "ok": True}
+        payload = None
+        try:
+            op = header.get("op", "infer")
+            if op == "ping":
+                pass
+            elif op == "metrics":
+                reply["summary"] = self.cluster.summary()
+            elif op == "infer":
+                if array is None:
+                    raise ProtocolError("inference request carries no array")
+                future = self.cluster.submit(header.get("model"), array)
+                payload = await asyncio.wrap_future(future)
+            else:
+                raise ProtocolError("unknown op %r" % (op,))
+        except Exception as exc:  # noqa: BLE001 - reported to the peer
+            reply = {"id": request_id, "ok": False,
+                     "error": "%s: %s" % (type(exc).__name__, exc)}
+            payload = None
+        await self._respond(writer, write_lock, reply, payload)
+
+    async def _respond(self, writer, write_lock, header, payload=None):
+        frame = encode_frame(header, payload)
+        async with write_lock:
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Thread-owned event loop (scripts / tests)
+    # ------------------------------------------------------------------
+    def start_in_thread(self, timeout=30.0):
+        """Run the server on its own event loop in a daemon thread.
+
+        Blocks until the socket is listening and returns the bound
+        ``(host, port)``; pair with :meth:`stop`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.new_event_loop()
+
+        def run():
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.start())
+                self._started.set()
+                self._loop.run_forever()
+                self._loop.run_until_complete(self.stop_async())
+                # Let open connection handlers unwind instead of leaking
+                # "task was destroyed but it is pending" at loop close.
+                pending = asyncio.all_tasks(self._loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+            except Exception as exc:  # surface bind errors to the caller
+                self._startup_error = exc
+                self._started.set()
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(target=run, name="lut-cluster-tcp",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("TCP server did not start within %.1fs"
+                               % timeout)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.address
+
+    def stop(self, timeout=10.0):
+        """Stop a thread-owned server and join its loop thread.
+
+        Safe after a failed ``start_in_thread`` (the loop is already
+        closed then, and stopping it again would mask the bind error).
+        """
+        if self._thread is None:
+            return
+        if not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self):
+        self.start_in_thread()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Blocking client
+# ----------------------------------------------------------------------
+
+class ClusterClient:
+    """Blocking client speaking the length-prefixed frame protocol.
+
+    Single-threaded convenience for scripts, benchmarks and tests: it
+    pipelines whole bursts (all requests written before the first
+    response is read) and matches responses by id, which is exactly the
+    pattern the asyncio server is built to overlap.
+    """
+
+    def __init__(self, host, port, timeout=60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _send(self, header, array=None):
+        self._next_id += 1
+        header = dict(header, id=self._next_id)
+        self._file.write(encode_frame(header, array))
+        return self._next_id
+
+    def _recv(self):
+        prefix = self._file.read(4)
+        if len(prefix) < 4:
+            raise ConnectionError("server closed the connection")
+        (length,) = struct.unpack("!I", prefix)
+        body = self._file.read(length)
+        if len(body) < length:
+            raise ConnectionError("server closed the connection mid-frame")
+        return decode_frame(body)
+
+    def _flush(self):
+        self._file.flush()
+
+    @staticmethod
+    def _check(header):
+        if not header.get("ok"):
+            raise RuntimeError("server error: %s"
+                               % header.get("error", "unknown"))
+
+    # ------------------------------------------------------------------
+    def ping(self):
+        self._send({"op": "ping"})
+        self._flush()
+        header, _ = self._recv()
+        self._check(header)
+        return True
+
+    def metrics(self):
+        """The cluster's :meth:`ClusterServer.summary` dict."""
+        self._send({"op": "metrics"})
+        self._flush()
+        header, _ = self._recv()
+        self._check(header)
+        return header["summary"]
+
+    def infer(self, model, x):
+        """One request, one response."""
+        return self.infer_many(model, [x])[0]
+
+    def infer_many(self, model, xs):
+        """Pipeline a burst of single-sample requests; ordered results.
+
+        All frames are written back to back, then responses (which arrive
+        in completion order) are collected and re-ordered by request id.
+        Every response of the burst is drained off the socket before any
+        error is raised, so a failed request never desynchronises the
+        connection — the client object stays usable.
+        """
+        ids = [self._send({"model": model}, x) for x in xs]
+        self._flush()
+        by_id = {}
+        errors = []
+        for _ in ids:
+            header, payload = self._recv()
+            if header.get("ok"):
+                by_id[header["id"]] = payload
+            else:
+                errors.append((header.get("id"),
+                               header.get("error", "unknown")))
+        if errors:
+            raise RuntimeError(
+                "server error on %d of %d requests; first: %s"
+                % (len(errors), len(ids), errors[0][1]))
+        missing = [i for i in ids if i not in by_id]
+        if missing:
+            raise ConnectionError("no response for request ids %s" % missing)
+        return np.stack([by_id[i] for i in ids])
+
+    # ------------------------------------------------------------------
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,234 @@
+"""Shared plan store: compiled KernelPlans published over shared memory.
+
+A :class:`~repro.serving.compiler.KernelPlan` is two things: a pile of
+big, read-only numpy arrays (the packed codebook block, the PSum-LUT
+block, dense-layer weights, baked constants) and a small step list that
+names them. ``plan_to_spec`` splits a plan along exactly that line — a
+picklable *manifest* plus an ordered array table — and
+:class:`SharedPlanStore` writes the array table into one
+``multiprocessing.shared_memory`` segment per plan
+(:mod:`repro.vq.sharedmem` does the aligned packing).
+
+Workers receive a :class:`PlanHandle` — segment name + manifest + block
+metadata, all plain picklable Python — and ``load()`` maps the same
+physical pages read-only: N worker processes serve from *one* copy of
+every table, and publishing a new plan never touches the workers'
+address-space layout. LUT steps are not even serialised as arrays: their
+codebook/table operands are recorded as (layer, slice) references and
+rebuilt as views into the packed blocks on load, mirroring how the
+compiler builds them in the first place.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+import numpy as np
+
+from ..serving.compiler import KernelPlan, KernelStep
+from ..vq.sharedmem import attach_block, create_block
+
+__all__ = ["plan_to_spec", "plan_from_spec", "PlanHandle", "SharedPlanStore"]
+
+
+def _encode_params(params, arrays):
+    """Replace ndarray values with ``{"__array__": index}`` references."""
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, np.ndarray):
+            out[key] = {"__array__": len(arrays)}
+            arrays.append(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_params(params, arrays):
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, dict) and "__array__" in value:
+            out[key] = arrays[value["__array__"]]
+        else:
+            out[key] = value
+    return out
+
+
+def plan_to_spec(plan):
+    """Split ``plan`` into (manifest, arrays).
+
+    The manifest is pure picklable Python (no numpy objects, no slices);
+    ``arrays`` is the ordered table the manifest's ``__array__`` markers
+    index into. Array 0 is always the packed centroid block and array 1
+    the packed LUT block; ``lut_gemm`` steps reference them by layer
+    rather than carrying their own views.
+    """
+    arrays = [plan.centroids, plan.tables]
+    layers = []
+    for layer in plan.layers:
+        row = dict(layer)
+        row["subspace_slice"] = (layer["subspace_slice"].start,
+                                 layer["subspace_slice"].stop)
+        row["table_slice"] = (layer["table_slice"].start,
+                              layer["table_slice"].stop)
+        layers.append(row)
+    steps = []
+    for step in plan.steps:
+        params = dict(step.params)
+        if step.kind == "lut_gemm":
+            # Views into the packed blocks are rebuilt from the layer row
+            # on load; serialising them would defeat the shared packing.
+            params.pop("centroids", None)
+            params.pop("table", None)
+        steps.append({
+            "kind": step.kind,
+            "inputs": list(step.inputs),
+            "out": step.out,
+            "release": list(step.release),
+            "params": _encode_params(params, arrays),
+        })
+    manifest = {
+        "steps": steps,
+        "layers": layers,
+        "v": plan.v,
+        "c": plan.c,
+        "metric": plan.metric,
+        "precision": plan.precision,
+        "input_shape": list(plan.input_shape),
+        "num_slots": plan.num_slots,
+        "output_slot": plan.output_slot,
+        "model_name": plan.model_name,
+    }
+    return manifest, arrays
+
+
+def plan_from_spec(manifest, arrays):
+    """Rebuild a :class:`KernelPlan` from (manifest, arrays).
+
+    ``arrays`` may be ordinary ndarrays or read-only shared memory views
+    — the executor never writes plan state, so both serve identically.
+    """
+    layers = []
+    for row in manifest["layers"]:
+        layer = dict(row)
+        layer["subspace_slice"] = slice(*row["subspace_slice"])
+        layer["table_slice"] = slice(*row["table_slice"])
+        layers.append(layer)
+    centroids, tables = arrays[0], arrays[1]
+    c = int(manifest["c"])
+    steps = []
+    for record in manifest["steps"]:
+        params = _decode_params(record["params"], arrays)
+        if record["kind"] == "lut_gemm":
+            layer = layers[params["layer"]]
+            params["centroids"] = centroids[layer["subspace_slice"]]
+            params["table"] = tables[layer["table_slice"]].reshape(
+                layer["num_subspaces"], c, layer["n_out"])
+        steps.append(KernelStep(record["kind"], inputs=record["inputs"],
+                                out=record["out"],
+                                release=record["release"], **params))
+    return KernelPlan(
+        steps, centroids, tables, layers, manifest["v"], manifest["c"],
+        manifest["metric"], manifest["precision"],
+        tuple(manifest["input_shape"]), manifest["num_slots"],
+        manifest["output_slot"], model_name=manifest["model_name"])
+
+
+class PlanHandle:
+    """Picklable pointer to one published plan.
+
+    Carries everything a worker needs to reconstruct the plan: the shared
+    memory segment name, the block metadata, and the manifest. ``load()``
+    attaches the segment and rebuilds the plan over zero-copy views. The
+    attached :class:`SharedMemory` object is pinned onto the returned
+    plan (``plan.segment``): numpy views hold only a *reference* to the
+    mapping, so dropping the segment object would unmap the tables under
+    live kernels.
+
+    ``creator_pid`` records which process owns the segment — the only
+    process whose :class:`SharedPlanStore` may unlink it. Worker attaches
+    stay registered with the (shared, idempotent) resource tracker; see
+    :func:`repro.vq.sharedmem.attach_segment`.
+    """
+
+    def __init__(self, key, segment, meta, manifest, creator_pid=None):
+        self.key = key
+        self.segment = segment
+        self.meta = meta
+        self.manifest = manifest
+        self.creator_pid = creator_pid
+
+    def load(self):
+        shm, arrays = attach_block(self.segment, self.meta)
+        plan = plan_from_spec(self.manifest, arrays)
+        plan.segment = shm  # pin the mapping to the plan's lifetime
+        return plan
+
+    def __repr__(self):
+        return "PlanHandle(%r @ %s)" % (self.key, self.segment)
+
+
+class SharedPlanStore:
+    """Publish compiled plans into shared memory; own the segments.
+
+    The store is the single writer: ``publish`` packs one plan into one
+    fresh segment and returns its :class:`PlanHandle`. Readers (worker
+    processes) only ever attach. ``close()`` unlinks every segment; it is
+    also registered as a finalizer so an abandoned store cannot leak
+    system-global shared memory.
+    """
+
+    def __init__(self):
+        self._segments = []
+        self._handles = {}
+        self._lock = threading.Lock()
+        self._finalizer = weakref.finalize(
+            self, SharedPlanStore._release, self._segments)
+
+    def publish(self, key, plan):
+        manifest, arrays = plan_to_spec(plan)
+        shm, meta = create_block(arrays)
+        handle = PlanHandle(key, shm.name, meta, manifest,
+                            creator_pid=os.getpid())
+        with self._lock:
+            if key in self._handles:
+                raise KeyError("plan %r is already published" % (key,))
+            self._segments.append(shm)
+            self._handles[key] = handle
+        return handle
+
+    def handles(self):
+        with self._lock:
+            return dict(self._handles)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._handles)
+
+    def storage_bytes(self):
+        """Total bytes of shared segments the store owns."""
+        with self._lock:
+            return sum(shm.size for shm in self._segments)
+
+    @staticmethod
+    def _release(segments):
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        segments.clear()
+
+    def close(self):
+        with self._lock:
+            self._finalizer.detach()
+            self._release(self._segments)
+            self._handles.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

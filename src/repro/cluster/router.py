@@ -1,0 +1,141 @@
+"""Least-outstanding-work request routing across shards.
+
+Every topology the cluster serves has a *predicted cost* — the cycle
+simulator's per-request LUT-DLA cycles for that plan (the same Eq. (5)
+numbers the metrics report), so a bert_mini request weighs its true
+multiple of a lenet request instead of counting as "one". The router
+keeps, per shard, the sum of predicted cycles dispatched but not yet
+completed, and sends each new request to the shard whose queue is
+cheapest.
+
+Raw outstanding work assumes identical shards; they rarely are (noisy
+neighbours, heterogeneous hosts). Each shard's recent
+:class:`~repro.serving.metrics.MetricsWindow` snapshot supplies a
+measured *pace* — seconds per served request — and the router scales a
+shard's outstanding work by its pace relative to the fleet, so a shard
+running slow organically receives less traffic without any explicit
+health state. Dead shards are excluded outright (``mark_down``), which
+is how crash re-routing composes: the server marks the shard down and
+re-dispatches, and the router never offers it again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["NoShardAvailable", "LeastWorkRouter"]
+
+# How long a pace estimate stays cached before window snapshots are
+# recomputed. Routing happens per request; snapshots per window scan.
+_PACE_REFRESH_S = 0.05
+
+
+class NoShardAvailable(RuntimeError):
+    """Every shard is down (or excluded by the caller)."""
+
+
+class LeastWorkRouter:
+    """Pick shards by pace-weighted least outstanding predicted work.
+
+    Parameters
+    ----------
+    request_cycles:
+        ``{topology key: predicted cycles per single request}`` — the
+        router's unit of work, from the cluster's cycle predictors.
+    windows:
+        Optional ``{shard index: MetricsWindow}`` supplying measured pace.
+        Without windows the router is plain least-outstanding-work.
+    """
+
+    def __init__(self, request_cycles, windows=None):
+        self.request_cycles = {key: max(float(c), 1.0)
+                               for key, c in request_cycles.items()}
+        self._windows = dict(windows or {})
+        self._outstanding = {}
+        self._down = set()
+        self._lock = threading.Lock()
+        self._pace = {}
+        self._pace_at = 0.0
+
+    # ------------------------------------------------------------------
+    def add_shard(self, index):
+        with self._lock:
+            self._outstanding.setdefault(index, 0.0)
+
+    def mark_down(self, index):
+        with self._lock:
+            self._down.add(index)
+
+    def alive_shards(self):
+        with self._lock:
+            return [i for i in self._outstanding if i not in self._down]
+
+    def outstanding(self, index):
+        with self._lock:
+            return self._outstanding.get(index, 0.0)
+
+    # ------------------------------------------------------------------
+    def _cost(self, key):
+        return self.request_cycles.get(key, 1.0)
+
+    def _refresh_pace(self):
+        """Recompute relative pace factors from the shard windows.
+
+        Pace is each shard's measured seconds-per-request divided by the
+        fleet mean; shards without recent traffic ride at 1.0. Called
+        with the lock held, at most every ``_PACE_REFRESH_S``.
+        """
+        now = time.monotonic()
+        if now - self._pace_at < _PACE_REFRESH_S:
+            return
+        self._pace_at = now
+        rates = {}
+        for index, window in self._windows.items():
+            snap = window.snapshot()
+            if snap["requests"]:
+                rates[index] = snap["seconds_per_request"]
+        if not rates:
+            self._pace = {}
+            return
+        fleet = sum(rates.values()) / len(rates)
+        if fleet <= 0:
+            self._pace = {}
+            return
+        self._pace = {index: rate / fleet for index, rate in rates.items()}
+
+    def pick(self, key, exclude=()):
+        """Cheapest alive shard for one ``key`` request; raises
+        :class:`NoShardAvailable` when none qualifies. The caller must
+        pair every pick with :meth:`started` / :meth:`finished`."""
+        cost = self._cost(key)
+        with self._lock:
+            self._refresh_pace()
+            best = None
+            best_score = None
+            for index, work in self._outstanding.items():
+                if index in self._down or index in exclude:
+                    continue
+                score = (work + cost) * self._pace.get(index, 1.0)
+                if best_score is None or score < best_score:
+                    best, best_score = index, score
+            if best is None:
+                raise NoShardAvailable(
+                    "no shard can take %r (down: %s, excluded: %s)"
+                    % (key, sorted(self._down), sorted(exclude)))
+            return best
+
+    def started(self, index, key):
+        with self._lock:
+            self._outstanding[index] = (
+                self._outstanding.get(index, 0.0) + self._cost(key))
+
+    def finished(self, index, key):
+        with self._lock:
+            self._outstanding[index] = max(
+                0.0, self._outstanding.get(index, 0.0) - self._cost(key))
+
+    def __repr__(self):
+        with self._lock:
+            return "LeastWorkRouter(%d shards, %d down)" % (
+                len(self._outstanding), len(self._down))

@@ -1,0 +1,384 @@
+"""Multi-process sharded serving: one host, N engines, one front door.
+
+``LUTServer`` saturates one process; the GIL caps what its thread pool
+can extract from a multi-core host. :class:`ClusterServer` goes wide:
+
+1. compile every model's :class:`KernelPlan` once, in the parent;
+2. publish the packed codebook/PSum-LUT blocks into shared memory
+   (:class:`~repro.cluster.planstore.SharedPlanStore`) — N workers, one
+   copy of every table;
+3. spawn N worker processes (:class:`~repro.cluster.worker.ShardProcess`,
+   spawn-safe), each mapping all plans read-only;
+4. front each shard with per-topology micro-batchers, routed by
+   pace-weighted least outstanding predicted cycles
+   (:class:`~repro.cluster.router.LeastWorkRouter`, costs from the cycle
+   simulator).
+
+A worker crash is survivable by construction: the shard raises
+:class:`ShardCrashed` into its in-flight batches, the server marks the
+shard down and re-dispatches every affected request to a healthy shard —
+the caller's future just resolves a little later. ``shutdown(drain=True)``
+flushes every queued request before joining the workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..serving.autotune import Autotuner
+from ..serving.batcher import AdmissionError, MicroBatcher
+from ..serving.compiler import compile_model
+from ..serving.metrics import CyclePredictor, MetricsWindow, ServingMetrics
+from .planstore import SharedPlanStore
+from .router import LeastWorkRouter, NoShardAvailable
+from .worker import ShardCrashed, ShardProcess
+
+__all__ = ["ModelSpec", "ClusterConfig", "Shard", "ClusterServer"]
+
+
+class ModelSpec:
+    """One model the cluster should serve, pre-compilation.
+
+    ``sample_input`` follows the same contract as
+    :func:`~repro.serving.compiler.compile_model`: token models pass a
+    batch of real ids so tracing and verification see representative
+    indices.
+    """
+
+    def __init__(self, model, input_shape, sample_input=None, precision=None):
+        self.model = model
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.sample_input = sample_input
+        self.precision = precision  # None -> the cluster config's default
+
+
+class ClusterConfig:
+    """Tunables of one :class:`ClusterServer` deployment.
+
+    ``workers`` is the number of *processes* (shards). The batching knobs
+    apply per (shard, topology) queue; with ``autotune=True`` each queue
+    hill-climbs its own ``max_batch_size`` / ``max_wait_ms`` from its
+    recent throughput, so differently-loaded shards settle differently.
+    """
+
+    def __init__(self, workers=2, max_batch_size=32, max_wait_ms=2.0,
+                 max_pending=1024, precision="fp32", sim_config=None,
+                 autotune=False, autotune_interval=24, start_timeout=120.0):
+        self.workers = int(workers)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_pending = int(max_pending)
+        self.precision = precision
+        self.sim_config = sim_config
+        self.autotune = bool(autotune)
+        self.autotune_interval = int(autotune_interval)
+        self.start_timeout = float(start_timeout)
+
+    def __repr__(self):
+        return ("ClusterConfig(workers=%d, max_batch=%d, max_wait=%.1fms, "
+                "precision=%r%s)" % (
+                    self.workers, self.max_batch_size, self.max_wait_ms,
+                    self.precision, ", autotune" if self.autotune else ""))
+
+
+class Shard:
+    """Parent-side shard: worker process + per-topology batch queues.
+
+    Each topology gets its own :class:`MicroBatcher` (requests of
+    different plans cannot stack into one batch); all of them funnel into
+    the shard's single worker pipe. ``window`` aggregates every batch the
+    shard completes — the router's pace signal; ``metrics[key]`` keeps
+    the per-topology books.
+    """
+
+    def __init__(self, index, handles, plan_keys, config, predictors):
+        self.index = index
+        self.process = ShardProcess(index, handles,
+                                    start_timeout=config.start_timeout)
+        self.window = MetricsWindow()
+        self.metrics = {}
+        self.batchers = {}
+        self.autotuners = {}
+        for key in plan_keys:
+            metrics = ServingMetrics(predictors.get(key))
+            batcher = MicroBatcher(
+                self._executor(key),
+                max_batch_size=config.max_batch_size,
+                max_wait_s=config.max_wait_ms / 1e3,
+                workers=1,
+                max_pending=config.max_pending,
+                on_batch=self._observer(key, metrics),
+            )
+            self.metrics[key] = metrics
+            self.batchers[key] = batcher
+            if config.autotune:
+                self.autotuners[key] = Autotuner(
+                    batcher, interval_batches=config.autotune_interval,
+                    max_batch=max(config.max_batch_size, config.max_pending))
+
+    def _executor(self, key):
+        def run_batch(stacked):
+            return self.process.execute(key, stacked)
+        return run_batch
+
+    def _observer(self, key, metrics):
+        def on_batch(batch_size, batch_seconds, latencies):
+            metrics.record_batch(batch_size, batch_seconds, latencies)
+            self.window.record(batch_size, batch_seconds, latencies)
+            tuner = self.autotuners.get(key)
+            if tuner is not None:
+                tuner.on_batch(batch_size, batch_seconds, latencies)
+        return on_batch
+
+    @property
+    def alive(self):
+        return self.process.alive
+
+    def submit(self, key, x):
+        return self.batchers[key].submit(x)
+
+    def pending(self):
+        return sum(b.pending() for b in self.batchers.values())
+
+    def close(self, drain, timeout):
+        for batcher in self.batchers.values():
+            batcher.close(timeout, drain=drain)
+        self.process.stop(timeout)
+
+    def __repr__(self):
+        return "Shard(%d, %s, %d topologies)" % (
+            self.index, "alive" if self.alive else "down",
+            len(self.batchers))
+
+
+class ClusterServer:
+    """Serve a dict of converted models across worker processes.
+
+    Typical use::
+
+        specs = {
+            "lenet": ModelSpec(lenet_model, (1, 16, 16)),
+            "bert_mini": ModelSpec(bert, (16,), sample_input=tokens[:3]),
+        }
+        with ClusterServer(specs, ClusterConfig(workers=4)) as cluster:
+            future = cluster.submit("lenet", image)
+            print(future.result())
+    """
+
+    def __init__(self, specs, config=None):
+        self.config = config or ClusterConfig()
+        if self.config.workers < 1:
+            raise ValueError("a cluster needs at least one worker process")
+        self.store = SharedPlanStore()
+        self.plans = {}
+        self.predictors = {}
+        self.shards = []
+        started = False
+        try:
+            for key, spec in specs.items():
+                precision = spec.precision or self.config.precision
+                plan = compile_model(
+                    spec.model, spec.input_shape, precision=precision,
+                    sample_input=spec.sample_input, name=key)
+                self.plans[key] = plan
+                self.store.publish(key, plan)
+                self.predictors[key] = CyclePredictor(
+                    plan, self.config.sim_config)
+            handles = self.store.handles()
+            plan_keys = list(self.plans)
+            # Append as each shard comes up so a mid-construction failure
+            # can tear down the shards (and their worker processes) that
+            # already started instead of leaking them.
+            for i in range(self.config.workers):
+                self.shards.append(
+                    Shard(i, handles, plan_keys, self.config,
+                          self.predictors))
+            started = True
+        finally:
+            if not started:
+                self._teardown(drain=False, timeout=5.0)
+        request_cycles = {key: predictor.cycles(1)
+                          for key, predictor in self.predictors.items()}
+        self.router = LeastWorkRouter(
+            request_cycles,
+            windows={shard.index: shard.window for shard in self.shards})
+        for shard in self.shards:
+            self.router.add_shard(shard.index)
+        self._by_index = {shard.index: shard for shard in self.shards}
+        self._lock = threading.Lock()
+        self._accepting = True
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, key, x):
+        """Route one request; returns a Future resolving to its output.
+
+        The future survives worker crashes: if the chosen shard dies
+        before the batch completes, the request is transparently
+        re-dispatched to a healthy shard (each shard is tried at most
+        once). It fails only when every shard is gone or the plan itself
+        raises.
+        """
+        if key not in self.plans:
+            raise KeyError("unknown model %r (serving: %s)"
+                           % (key, sorted(self.plans)))
+        if not self._accepting:
+            raise AdmissionError("cluster is shut down")
+        x = np.asarray(x)
+        plan = self.plans[key]
+        if x.shape != plan.input_shape:
+            raise ValueError("request shape %r does not match plan input "
+                             "shape %r" % (x.shape, plan.input_shape))
+        outer = Future()
+        self._dispatch(key, x, outer, tried=set())
+        return outer
+
+    def _dispatch(self, key, x, outer, tried, refused=0):
+        """Pick a shard and chain its inner future onto ``outer``."""
+        while True:
+            try:
+                index = self.router.pick(key, exclude=tried)
+            except NoShardAvailable as exc:
+                if refused:
+                    # Shards are alive but their queues are full: surface
+                    # the documented backpressure signal, not a dead
+                    # fleet.
+                    outer.set_exception(AdmissionError(
+                        "%d shard(s) refused admission (queues at "
+                        "max_pending)" % refused))
+                else:
+                    outer.set_exception(exc)
+                return
+            shard = self._by_index[index]
+            tried.add(index)
+            try:
+                inner = shard.submit(key, x)
+            except AdmissionError:
+                # Queue full (or shard closing): spill to the next shard.
+                refused += 1
+                continue
+            except ShardCrashed:
+                self._shard_down(index)
+                continue
+            self.router.started(index, key)
+            inner.add_done_callback(
+                lambda f: self._settle(f, key, x, outer, index, tried))
+            return
+
+    def _settle(self, inner, key, x, outer, index, tried):
+        """Inner-future completion: resolve, or re-route after a crash."""
+        self.router.finished(index, key)
+        try:
+            exc = inner.exception()
+            if exc is None:
+                outer.set_result(inner.result())
+            elif isinstance(exc, ShardCrashed):
+                self._shard_down(index)
+                self._dispatch(key, x, outer, tried)
+            else:
+                outer.set_exception(exc)
+        except BaseException as unexpected:  # never lose a future
+            if not outer.done():
+                outer.set_exception(unexpected)
+
+    def _shard_down(self, index):
+        self.router.mark_down(index)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def infer(self, key, x, timeout=None):
+        return self.submit(key, x).result(timeout)
+
+    def infer_many(self, key, xs, timeout=None):
+        futures = [self.submit(key, x) for x in xs]
+        return np.stack([f.result(timeout) for f in futures])
+
+    def pending(self):
+        return sum(shard.pending() for shard in self.shards)
+
+    def alive_workers(self):
+        return sum(1 for shard in self.shards if shard.alive)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def summary(self):
+        """Cluster-wide view: per-model aggregates + per-shard snapshots.
+
+        ``models[key]`` sums served requests over all shards and adds the
+        per-shard recent req/s (concurrent windows, so the sum is the
+        aggregate service rate). ``shards`` carries each shard's recent
+        window snapshot for dashboards.
+        """
+        models = {}
+        for key in self.plans:
+            requests = sum(s.metrics[key].request_count for s in self.shards)
+            batches = sum(s.metrics[key].batch_count for s in self.shards)
+            rate = sum(s.metrics[key].window.snapshot()["requests_per_s"]
+                       for s in self.shards)
+            models[key] = {"requests": requests, "batches": batches,
+                           "requests_per_s": rate}
+        return {
+            "workers": len(self.shards),
+            "alive_workers": self.alive_workers(),
+            "requests": sum(m["requests"] for m in models.values()),
+            "models": models,
+            "shards": [{"index": s.index, "alive": s.alive,
+                        "outstanding_cycles":
+                            self.router.outstanding(s.index),
+                        **s.window.snapshot()}
+                       for s in self.shards],
+        }
+
+    def report(self, title="cluster metrics"):
+        from ..evaluation.report import format_table
+
+        summary = self.summary()
+        rows = [{"model": key, **stats}
+                for key, stats in sorted(summary["models"].items())]
+        header = "%s — %d/%d workers alive, %d requests served" % (
+            title, summary["alive_workers"], summary["workers"],
+            summary["requests"])
+        return header + "\n" + format_table(rows, floatfmt="%.4g")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _teardown(self, drain, timeout):
+        for shard in getattr(self, "shards", []):
+            try:
+                shard.close(drain, timeout)
+            except Exception:
+                shard.process.kill()
+        self.store.close()
+
+    def shutdown(self, drain=True, timeout=30.0):
+        """Stop the cluster; ``drain=True`` flushes every queued request.
+
+        Admission stops first (cluster-level and per-batcher), queued
+        work is executed to completion, then workers get a polite stop
+        and are joined; the shared memory segments are unlinked last, so
+        no worker ever sees its tables disappear mid-batch.
+        """
+        if not self._accepting:
+            return
+        self._accepting = False
+        self._teardown(drain, timeout)
+
+    def close(self, timeout=10.0):
+        self.shutdown(drain=False, timeout=timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+
+    def __repr__(self):
+        return "ClusterServer(%d models, %d/%d workers alive)" % (
+            len(self.plans), self.alive_workers(), len(self.shards))

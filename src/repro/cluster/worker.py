@@ -1,0 +1,164 @@
+"""Worker processes: one serving engine per core, fed over a pipe.
+
+``worker_main`` is the spawn-safe child entry point: it attaches every
+published plan from the shared store (zero-copy views onto the packed
+codebook/LUT segments), then sits in a request loop on its end of a
+``multiprocessing.Pipe`` executing batches. Because plans arrive as
+:class:`~repro.cluster.planstore.PlanHandle` objects — segment names plus
+manifests — the child never pickles a model, an autograd graph, or a
+table: process start-up cost is the interpreter import plus one ``mmap``
+per plan.
+
+:class:`ShardProcess` is the parent-side proxy: it owns the process and
+the pipe, serialises RPCs with a lock (the pipe is the shard's single
+lane; the worker executes serially anyway), and converts a dead worker
+into :class:`ShardCrashed` so the router can re-dispatch in-flight work
+instead of failing it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+
+import numpy as np
+
+from ..serving.engine import ServingEngine
+
+__all__ = ["ShardCrashed", "worker_main", "ShardProcess"]
+
+# Workers are CPython processes started fresh ("spawn"): no inherited
+# locks, no forked thread state, importable on every platform.
+_CTX = mp.get_context("spawn")
+
+
+class ShardCrashed(RuntimeError):
+    """The shard's worker process died (or its pipe broke) mid-flight."""
+
+
+def worker_main(conn, handles):
+    """Child entry point: attach plans, serve RPCs until told to stop.
+
+    Protocol (parent -> child):
+        ``("run", job_id, key, batch)``  execute ``batch`` on plan ``key``
+        ``("stop",)``                    drain-free exit
+    Replies (child -> parent):
+        ``("ready", plan_count)`` once all plans are mapped,
+        ``("ok", job_id, result)`` / ``("err", job_id, message)`` per job.
+
+    Execution goes through a :class:`ServingEngine`'s ``run`` so a future
+    per-worker plan cache slots in unchanged; errors are stringified (an
+    exception object may not unpickle in the parent) and never kill the
+    loop — only a broken pipe or ``stop`` does.
+    """
+    engine = ServingEngine()
+    plans = {key: handle.load() for key, handle in handles.items()}
+    conn.send(("ready", len(plans)))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, job_id, key, batch = msg
+        try:
+            result = engine.run(plans[key], batch)
+            conn.send(("ok", job_id, result))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("err", job_id, "%s: %s" % (type(exc).__name__, exc)))
+    conn.close()
+
+
+class ShardProcess:
+    """Parent-side handle on one worker process.
+
+    ``execute`` is the only hot call: send one batch, block for its
+    reply. It is thread-safe (per-topology batcher threads share the
+    shard) and fails fast with :class:`ShardCrashed` once the process is
+    gone, which the cluster server converts into a re-route.
+    """
+
+    def __init__(self, index, handles, start_timeout=60.0):
+        self.index = index
+        self._jobs = itertools.count()
+        self._lock = threading.Lock()
+        self._conn, child_conn = _CTX.Pipe()
+        self.process = _CTX.Process(
+            target=worker_main, args=(child_conn, handles),
+            name="lut-shard-%d" % index, daemon=True)
+        self.process.start()
+        # The child owns its end now; dropping the parent's reference is
+        # what turns a child death into EOFError on recv.
+        child_conn.close()
+        self._alive = True
+        if not self._conn.poll(start_timeout):
+            self.kill()
+            raise ShardCrashed("shard %d did not become ready within %.1fs"
+                               % (index, start_timeout))
+        try:
+            ready = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            # The child died before sending "ready" (e.g. a plan failed
+            # to load); a dead pipe polls readable, then recv hits EOF.
+            self.kill()
+            raise ShardCrashed("shard %d died during startup (exit code %s)"
+                               % (index, self.process.exitcode)) from exc
+        if ready[0] != "ready":
+            self.kill()
+            raise ShardCrashed("shard %d sent %r instead of ready"
+                               % (index, ready[0]))
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self):
+        return self._alive and self.process.is_alive()
+
+    def execute(self, key, batch):
+        """Run one stacked batch on the worker; returns the result array."""
+        with self._lock:
+            if not self._alive:
+                raise ShardCrashed("shard %d is down" % self.index)
+            job_id = next(self._jobs)
+            try:
+                self._conn.send(("run", job_id, key, np.asarray(batch)))
+                reply = self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self._alive = False
+                raise ShardCrashed(
+                    "shard %d worker died mid-request" % self.index) from exc
+        tag, got_id, payload = reply
+        if got_id != job_id:
+            self._alive = False
+            raise ShardCrashed(
+                "shard %d desynchronised (job %d != %d)"
+                % (self.index, got_id, job_id))
+        if tag == "err":
+            raise RuntimeError("shard %d: %s" % (self.index, payload))
+        return payload
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout=10.0):
+        """Polite shutdown: send stop, join; escalate to kill on timeout."""
+        with self._lock:
+            self._alive = False
+            try:
+                self._conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.kill()
+        self._conn.close()
+
+    def kill(self):
+        self._alive = False
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(5.0)
+
+    def __repr__(self):
+        state = "alive" if self.alive else "down"
+        return "ShardProcess(%d, pid=%s, %s)" % (
+            self.index, self.process.pid, state)

@@ -46,8 +46,9 @@ class SyntheticImageSpec:
 def _smooth_field(rng, channels, size, cutoff=3):
     """Low-frequency random field: random spectrum below ``cutoff``."""
     spectrum = np.zeros((channels, size, size), dtype=np.complex128)
-    spectrum[:, :cutoff, :cutoff] = rng.normal(size=(channels, cutoff, cutoff)) \
-        + 1j * rng.normal(size=(channels, cutoff, cutoff))
+    spectrum[:, :cutoff, :cutoff] = rng.normal(
+        size=(channels, cutoff, cutoff)
+    ) + 1j * rng.normal(size=(channels, cutoff, cutoff))
     field = np.fft.ifft2(spectrum, axes=(-2, -1)).real
     field /= np.abs(field).max() + 1e-12
     return field

@@ -6,15 +6,19 @@ attention topologies) and lowers it to a flat :class:`KernelPlan` (packed
 codebooks + PSum LUTs, a slot-addressed fused-kernel step list),
 ``engine`` executes plans and caches them LRU-style, ``batcher`` fuses
 single requests into dynamic micro-batches drained by a thread pool,
-``server`` is the future-based front-end with admission control, and
-``metrics`` tracks throughput / latency percentiles alongside the
-simulator's predicted LUT-DLA cycles.
+``server`` is the future-based front-end with admission control and
+graceful drain, ``autotune`` hill-climbs the batching knobs from recent
+throughput, and ``metrics`` tracks throughput / latency percentiles
+(cumulative and over a sliding :class:`MetricsWindow`) alongside the
+simulator's predicted LUT-DLA cycles. :mod:`repro.cluster` stacks
+multi-process sharding and a TCP front-end on top of these pieces.
 """
 
+from .autotune import Autotuner
 from .batcher import AdmissionError, MicroBatcher
 from .compiler import CompileError, KernelPlan, KernelStep, compile_model
 from .engine import PlanCache, ServingEngine, execute_plan
-from .metrics import CyclePredictor, ServingMetrics, percentile
+from .metrics import CyclePredictor, MetricsWindow, ServingMetrics, percentile
 from .server import LUTServer, ServingConfig
 
 __all__ = [
@@ -27,7 +31,9 @@ __all__ = [
     "ServingEngine",
     "AdmissionError",
     "MicroBatcher",
+    "Autotuner",
     "CyclePredictor",
+    "MetricsWindow",
     "ServingMetrics",
     "percentile",
     "ServingConfig",

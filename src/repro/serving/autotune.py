@@ -1,0 +1,162 @@
+"""Online hill-climb of the micro-batching knobs.
+
+``max_batch_size`` and ``max_wait_ms`` trade latency against fusion: the
+right point depends on the topology, the host, and the instantaneous
+offered load, so a fixed default leaves throughput on the table. The
+:class:`Autotuner` closes the loop with the simplest controller that
+works: measure recent req/s over an interval of batches (the
+:class:`~repro.serving.metrics.MetricsWindow` history), step one knob in
+one direction, keep going while throughput improves, revert and try the
+next (knob, direction) when it stops.
+
+The controller is deliberately decoupled from wall-clock plumbing:
+:meth:`observe` feeds it measurements (unit tests drive it with synthetic
+rates), :meth:`on_batch` is the live hook that derives measurements from
+served traffic. Settings changes go through
+:meth:`~repro.serving.batcher.MicroBatcher.set_tuning`, which live
+batchers pick up at their next batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Autotuner"]
+
+# (knob, direction) proposals, cycled when a move stops paying.
+_MOVES = (
+    ("batch", +1),
+    ("wait", +1),
+    ("batch", -1),
+    ("wait", -1),
+)
+
+
+class Autotuner:
+    """Greedy coordinate hill-climb over (max_batch_size, max_wait_ms).
+
+    Parameters
+    ----------
+    batcher:
+        The live :class:`MicroBatcher` (or anything exposing
+        ``max_batch_size``, ``max_wait_s`` and ``set_tuning``).
+    interval_batches:
+        Measurement cadence of the live hook: one hill-climb step per
+        this many completed batches.
+    tolerance:
+        Fractional improvement a move must deliver to be kept; absorbs
+        run-to-run throughput noise.
+    """
+
+    def __init__(self, batcher, interval_batches=24, min_batch=1,
+                 max_batch=1024, min_wait_ms=0.25, max_wait_ms=50.0,
+                 batch_factor=2.0, wait_factor=2.0, tolerance=0.05,
+                 decay=0.98):
+        self.batcher = batcher
+        self.interval_batches = int(interval_batches)
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.min_wait_ms = float(min_wait_ms)
+        self.max_wait_ms = float(max_wait_ms)
+        self.batch_factor = float(batch_factor)
+        self.wait_factor = float(wait_factor)
+        self.tolerance = float(tolerance)
+        self.decay = float(decay)
+
+        self.best = self._current()
+        self.best_rate = 0.0
+        self.steps = 0
+        self.history = []
+        self._move = 0
+        self._lock = threading.Lock()
+        self._interval_batches = 0
+        self._interval_requests = 0
+        self._interval_started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def _current(self):
+        return (int(self.batcher.max_batch_size),
+                float(self.batcher.max_wait_s) * 1e3)
+
+    def _clamped(self, settings, move):
+        """Apply one (knob, direction) move to ``settings``, clamped."""
+        batch, wait_ms = settings
+        knob, direction = _MOVES[move % len(_MOVES)]
+        if knob == "batch":
+            factor = self.batch_factor if direction > 0 else 1.0 / self.batch_factor
+            batch = min(self.max_batch,
+                        max(self.min_batch, int(round(batch * factor))))
+        else:
+            factor = self.wait_factor if direction > 0 else 1.0 / self.wait_factor
+            wait_ms = min(self.max_wait_ms, max(self.min_wait_ms,
+                                                wait_ms * factor))
+        return (batch, wait_ms)
+
+    def _apply(self, settings):
+        self.batcher.set_tuning(max_batch_size=settings[0],
+                                max_wait_s=settings[1] / 1e3)
+
+    # ------------------------------------------------------------------
+    def observe(self, requests_per_s):
+        """One hill-climb step for a measured throughput.
+
+        The measurement is attributed to the *currently applied*
+        settings: keep climbing in the same direction while it beats the
+        best rate seen (by ``tolerance``), otherwise fall back to the
+        best settings and rotate to the next (knob, direction) proposal.
+        The best rate decays slightly per step so the controller re-probes
+        under drifting load instead of freezing on a stale peak.
+        """
+        with self._lock:
+            rate = float(requests_per_s)
+            current = self._current()
+            self.steps += 1
+            self.history.append((current, rate))
+            if rate > self.best_rate * (1.0 + self.tolerance):
+                self.best = current
+                self.best_rate = rate
+            else:
+                self._move += 1
+            self.best_rate *= self.decay
+            proposal = self._clamped(self.best, self._move)
+            if proposal == self.best:
+                # The move is clamped into a no-op; rotate past it.
+                self._move += 1
+                proposal = self._clamped(self.best, self._move)
+            self._apply(proposal)
+
+    def on_batch(self, batch_size, batch_seconds, latencies):
+        """Live hook: chained after the metrics sink by the server."""
+        step_args = None
+        with self._lock:
+            self._interval_batches += 1
+            self._interval_requests += int(batch_size)
+            if self._interval_batches >= self.interval_batches:
+                now = time.monotonic()
+                elapsed = max(now - self._interval_started, 1e-9)
+                step_args = self._interval_requests / elapsed
+                self._interval_batches = 0
+                self._interval_requests = 0
+                self._interval_started = now
+        if step_args is not None:
+            self.observe(step_args)
+
+    # ------------------------------------------------------------------
+    def state(self):
+        with self._lock:
+            batch, wait_ms = self._current()
+            return {
+                "max_batch_size": batch,
+                "max_wait_ms": wait_ms,
+                "best_batch_size": self.best[0],
+                "best_wait_ms": self.best[1],
+                "best_rate": self.best_rate,
+                "steps": self.steps,
+            }
+
+    def __repr__(self):
+        state = self.state()
+        return ("Autotuner(batch=%d, wait=%.2fms, best=%.1f req/s after "
+                "%d steps)" % (state["max_batch_size"], state["max_wait_ms"],
+                               state["best_rate"], state["steps"]))

@@ -73,6 +73,9 @@ class MicroBatcher:
         self._queue = deque()
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
+        self._drained = threading.Condition(self._lock)
+        self._inflight = 0
+        self._accepting = True
         self._running = True
         self._threads = [
             threading.Thread(target=self._worker, name="lut-serve-%d" % i,
@@ -91,7 +94,7 @@ class MicroBatcher:
         """
         request = _Request(np.asarray(x))
         with self._lock:
-            if not self._running:
+            if not self._accepting:
                 raise AdmissionError("batcher is shut down")
             if len(self._queue) >= self.max_pending:
                 raise AdmissionError(
@@ -110,13 +113,47 @@ class MicroBatcher:
         with self._lock:
             return len(self._queue)
 
-    def close(self, timeout=5.0):
-        """Stop accepting work, drain the queue, join the workers."""
+    def inflight(self):
+        """Requests scheduled into a batch but not yet resolved."""
         with self._lock:
+            return self._inflight
+
+    def set_tuning(self, max_batch_size=None, max_wait_s=None):
+        """Adjust the batching knobs of a live batcher (autotuner hook).
+
+        Workers re-read both values at every batch they collect, so the
+        new settings apply from the next batch on; values are clamped to
+        sane bounds rather than validated.
+        """
+        if max_batch_size is not None:
+            self.max_batch_size = max(1, int(max_batch_size))
+        if max_wait_s is not None:
+            self.max_wait_s = max(0.0, float(max_wait_s))
+
+    def close(self, timeout=5.0, drain=False):
+        """Stop admission and shut the worker pool down.
+
+        With ``drain=True`` (graceful): new ``submit`` calls are refused
+        immediately, but every already-queued request is executed and its
+        future resolved before the workers exit — nothing in flight is
+        dropped. Without it, queued-but-unscheduled requests fail with
+        :class:`AdmissionError` (in-flight batches still complete). Either
+        way the call returns once the workers are joined; ``timeout``
+        bounds both the drain wait and each join.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            self._accepting = False
+            if drain:
+                while self._running and (self._queue or self._inflight):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drained.wait(min(remaining, 0.05))
             self._running = False
             self._ready.notify_all()
         for thread in self._threads:
-            thread.join(timeout)
+            thread.join(max(0.0, deadline - time.monotonic()) + 0.1)
         with self._lock:
             leftovers = list(self._queue)
             self._queue.clear()
@@ -146,44 +183,60 @@ class MicroBatcher:
                     batch.append(self._queue.popleft())
                     continue
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._running:
+                # No point waiting for companions once admission is closed
+                # (a draining shutdown has nothing left to submit).
+                if remaining <= 0 or not self._running or not self._accepting:
                     break
                 self._ready.wait(remaining)
             if self._queue:
                 # More than one batch is backlogged; hand the surplus to an
                 # idle worker now instead of letting it sleep out its poll.
                 self._ready.notify()
+            self._inflight += len(batch)
             return batch
+
+    def _settle(self, taken):
+        """Retire ``taken`` scheduled requests; wake a draining closer."""
+        with self._lock:
+            self._inflight -= taken
+            if not self._queue and not self._inflight:
+                self._drained.notify_all()
 
     def _worker(self):
         while True:
-            batch = self._collect()
-            if not batch:
+            collected = self._collect()
+            if not collected:
                 return
-            # Transition futures to RUNNING; a request whose cancel() won the
-            # race is dropped here, and the rest can no longer be cancelled,
-            # so set_result/set_exception below cannot raise InvalidStateError.
-            batch = [request for request in batch
-                     if request.future.set_running_or_notify_cancel()]
-            if not batch:
-                continue
-            start = time.monotonic()
             try:
-                stacked = np.stack([request.payload for request in batch])
-                results = self._run_batch(stacked)
-            except BaseException as exc:  # resolve every waiter
-                for request in batch:
-                    request.future.set_exception(exc)
-                continue
-            done = time.monotonic()
-            for i, request in enumerate(batch):
-                request.future.set_result(results[i])
-            if self.on_batch is not None:
-                try:
-                    latencies = [done - request.enqueued_at
-                                 for request in batch]
-                    self.on_batch(len(batch), done - start, latencies)
-                except Exception:
-                    # Telemetry must never kill a worker; results are
-                    # already delivered at this point.
-                    pass
+                self._run_collected(collected)
+            finally:
+                self._settle(len(collected))
+
+    def _run_collected(self, collected):
+        # Transition futures to RUNNING; a request whose cancel() won the
+        # race is dropped here, and the rest can no longer be cancelled,
+        # so set_result/set_exception below cannot raise InvalidStateError.
+        batch = [request for request in collected
+                 if request.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        start = time.monotonic()
+        try:
+            stacked = np.stack([request.payload for request in batch])
+            results = self._run_batch(stacked)
+        except BaseException as exc:  # resolve every waiter
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        done = time.monotonic()
+        for i, request in enumerate(batch):
+            request.future.set_result(results[i])
+        if self.on_batch is not None:
+            try:
+                latencies = [done - request.enqueued_at
+                             for request in batch]
+                self.on_batch(len(batch), done - start, latencies)
+            except Exception:
+                # Telemetry must never kill a worker; results are
+                # already delivered at this point.
+                pass

@@ -273,8 +273,7 @@ class _Trace:
         return vid
 
     def add_node(self, kind, inputs, out_tensor, **params):
-        shape = out_tensor.shape if isinstance(out_tensor, Tensor) \
-            else np.shape(out_tensor)
+        shape = out_tensor.shape if isinstance(out_tensor, Tensor) else np.shape(out_tensor)
         node = _Node(self._next_vid, kind, inputs, shape, params)
         self.nodes.append(node)
         self._next_vid += 1
@@ -522,8 +521,7 @@ def _trace_forward(model, sample):
                 setattr(owner, name, original)
             model.train(was_training)
 
-    output_vid = trace.env.get(id(output)) if isinstance(output, Tensor) \
-        else None
+    output_vid = trace.env.get(id(output)) if isinstance(output, Tensor) else None
     if output_vid is None:
         raise CompileError(
             "cannot compile %s: the forward pass produced its output "
@@ -810,8 +808,7 @@ def _lower_graph(trace, output_vid, precision):
             steps.append(KernelStep(
                 kind, inputs=[slot_of[v_] for v_ in node.inputs],
                 out=slot_of[node.vid], release=release, **params))
-    return steps, centroids, tables, layers, v, c, metric, num_slots, \
-        output_slot
+    return steps, centroids, tables, layers, v, c, metric, num_slots, output_slot
 
 
 # ----------------------------------------------------------------------

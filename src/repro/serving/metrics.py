@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 import numpy as np
 
 from ..sim.engine import SimConfig, simulate_workloads
 
-__all__ = ["CyclePredictor", "ServingMetrics", "percentile"]
+__all__ = ["CyclePredictor", "MetricsWindow", "ServingMetrics", "percentile"]
 
 
 def percentile(values, p):
@@ -70,11 +71,72 @@ class CyclePredictor:
                 for w, r in zip(workloads, results)}
 
 
+class MetricsWindow:
+    """Sliding window over the last ``maxlen`` completed batches.
+
+    The cumulative :class:`ServingMetrics` answers "how did this
+    deployment do overall"; the window answers "how is it doing *right
+    now*" — the signal the cluster router and the autotuner act on.
+    ``snapshot()`` is cheap, picklable, and self-contained, so per-shard
+    windows can be compared across processes without sharing state.
+    """
+
+    def __init__(self, maxlen=64):
+        self.maxlen = int(maxlen)
+        self._rows = deque(maxlen=self.maxlen)  # (done_at, size, secs, lat)
+        self._lock = threading.Lock()
+
+    def record(self, batch_size, batch_seconds, latencies):
+        mean_latency = (float(np.mean(latencies)) if len(latencies) else 0.0)
+        with self._lock:
+            self._rows.append((time.monotonic(), int(batch_size),
+                               float(batch_seconds), mean_latency))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._rows)
+
+    def clear(self):
+        with self._lock:
+            self._rows.clear()
+
+    def snapshot(self):
+        """Recent-traffic view: req/s, batch shape and pace over the window.
+
+        ``requests_per_s`` divides the window's request count by its time
+        span (first batch start to last batch end). ``seconds_per_request``
+        is the measured service pace — the router's scale factor from
+        predicted work to expected wall time on this shard.
+        """
+        with self._lock:
+            rows = list(self._rows)
+        if not rows:
+            return {"batches": 0, "requests": 0, "requests_per_s": 0.0,
+                    "mean_batch_size": 0.0, "mean_batch_seconds": 0.0,
+                    "mean_latency_s": 0.0, "seconds_per_request": 0.0,
+                    "span_s": 0.0}
+        requests = sum(size for _, size, _, _ in rows)
+        busy = sum(secs for _, _, secs, _ in rows)
+        first_start = rows[0][0] - rows[0][2]
+        span = max(rows[-1][0] - first_start, 1e-9)
+        return {
+            "batches": len(rows),
+            "requests": requests,
+            "requests_per_s": requests / span,
+            "mean_batch_size": requests / len(rows),
+            "mean_batch_seconds": busy / len(rows),
+            "mean_latency_s": float(np.mean([lat for _, _, _, lat in rows])),
+            "seconds_per_request": busy / max(requests, 1),
+            "span_s": span,
+        }
+
+
 class ServingMetrics:
     """Threadsafe accumulator for the serving runtime's observations."""
 
-    def __init__(self, predictor=None):
+    def __init__(self, predictor=None, window=64):
         self.predictor = predictor
+        self.window = MetricsWindow(window)
         self._lock = threading.Lock()
         self._latencies = []
         self._batch_sizes = []
@@ -100,6 +162,7 @@ class ServingMetrics:
             self._batch_seconds.append(float(batch_seconds))
             self._latencies.extend(float(lat) for lat in latencies)
             self._last_done_at = now
+        self.window.record(batch_size, batch_seconds, latencies)
 
     def reset(self):
         with self._lock:
@@ -108,6 +171,7 @@ class ServingMetrics:
             self._batch_seconds = []
             self._started_at = time.monotonic()
             self._last_done_at = self._started_at
+        self.window.clear()
 
     # ------------------------------------------------------------------
     @property

@@ -21,6 +21,7 @@ import os
 
 import numpy as np
 
+from .autotune import Autotuner
 from .batcher import MicroBatcher
 from .engine import ServingEngine, execute_plan
 from .metrics import CyclePredictor, ServingMetrics
@@ -39,7 +40,7 @@ class ServingConfig:
 
     def __init__(self, max_batch_size=64, max_wait_ms=2.0, workers=None,
                  max_pending=1024, precision="fp32", cache_size=8,
-                 sim_config=None):
+                 sim_config=None, autotune=False, autotune_interval=24):
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.workers = int(workers) if workers else (os.cpu_count() or 1)
@@ -48,12 +49,18 @@ class ServingConfig:
         self.cache_size = int(cache_size)
         # SimConfig for predicted-cycle annotation; None disables it.
         self.sim_config = sim_config
+        # Hill-climb max_batch_size / max_wait_ms from recent req/s
+        # (:mod:`repro.serving.autotune`); the configured values above
+        # become the starting point rather than a fixed operating point.
+        self.autotune = bool(autotune)
+        self.autotune_interval = int(autotune_interval)
 
     def __repr__(self):
         return ("ServingConfig(max_batch=%d, max_wait=%.1fms, workers=%d, "
-                "max_pending=%d, precision=%r)" % (
+                "max_pending=%d, precision=%r%s)" % (
                     self.max_batch_size, self.max_wait_ms, self.workers,
-                    self.max_pending, self.precision))
+                    self.max_pending, self.precision,
+                    ", autotune" if self.autotune else ""))
 
 
 class LUTServer:
@@ -82,13 +89,26 @@ class LUTServer:
             max_wait_s=self.config.max_wait_ms / 1e3,
             workers=self.config.workers,
             max_pending=self.config.max_pending,
-            on_batch=self.metrics.record_batch,
+            on_batch=self._on_batch,
         )
+        self.autotuner = None
+        if self.config.autotune:
+            self.autotuner = Autotuner(
+                self._batcher,
+                interval_batches=self.config.autotune_interval,
+                max_batch=max(self.config.max_batch_size,
+                              self.config.max_pending),
+            )
         self._closed = False
 
     # ------------------------------------------------------------------
     def _run_batch(self, stacked):
         return execute_plan(self.plan, stacked)
+
+    def _on_batch(self, batch_size, batch_seconds, latencies):
+        self.metrics.record_batch(batch_size, batch_seconds, latencies)
+        if self.autotuner is not None:
+            self.autotuner.on_batch(batch_size, batch_seconds, latencies)
 
     def submit(self, x):
         """Enqueue one request (shape ``input_shape``); returns a Future.
@@ -118,16 +138,29 @@ class LUTServer:
     def pending(self):
         return self._batcher.pending()
 
-    def close(self, timeout=5.0):
+    def shutdown(self, drain=True, timeout=10.0):
+        """Stop the server; with ``drain=True`` nothing queued is dropped.
+
+        Admission stops immediately (new ``submit`` calls raise
+        :class:`~repro.serving.batcher.AdmissionError`), every queued and
+        in-flight request is executed and its future resolved, then the
+        worker threads are joined. ``drain=False`` is the old abrupt
+        behaviour: queued-but-unscheduled futures fail instead.
+        """
         if not self._closed:
             self._closed = True
-            self._batcher.close(timeout)
+            self._batcher.close(timeout, drain=drain)
+
+    def close(self, timeout=5.0):
+        """Abrupt shutdown (``shutdown(drain=False)``), kept for callers
+        that want teardown latency bounded by one batch, not a queue."""
+        self.shutdown(drain=False, timeout=timeout)
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc):
-        self.close()
+        self.shutdown()
 
     def __repr__(self):
         return "LUTServer(%r, %r)" % (self.plan, self.config)

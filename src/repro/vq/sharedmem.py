@@ -1,0 +1,123 @@
+"""Zero-copy array blocks over ``multiprocessing.shared_memory``.
+
+The serving compiler packs every LUT layer's codebook and PSum LUT into
+contiguous numpy arrays; this module is the transport that lets N worker
+processes map those same tables without N copies. A *block* is one shared
+memory segment holding a sequence of C-contiguous arrays back to back
+(64-byte aligned, the packing a DMA engine would use), described by a
+picklable metadata list of ``(offset, shape, dtype_str)`` rows.
+
+The creator writes once (:func:`create_block`), ships the segment name
+plus metadata to the workers (both are plain picklable Python), and every
+worker maps read-only views straight onto the segment
+(:func:`attach_block`) — the kernels then stream out of the same physical
+pages in every process.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ALIGNMENT",
+    "block_layout",
+    "create_block",
+    "attach_block",
+    "map_block",
+    "attach_segment",
+]
+
+# Segment offsets are aligned so every array starts on a cache-line
+# boundary regardless of its neighbours' sizes.
+ALIGNMENT = 64
+
+
+def _aligned(offset):
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def block_layout(arrays):
+    """Plan the packing of ``arrays``: (meta rows, total bytes).
+
+    Each meta row is ``(offset, shape, dtype_str)`` — plain picklable
+    Python, safe to ship to a spawned worker. ``dtype_str`` is numpy's
+    endian-explicit encoding (``"<f4"`` etc.), so a mapped view never
+    guesses byte order.
+    """
+    meta = []
+    offset = 0
+    for arr in arrays:
+        arr = np.asarray(arr)
+        offset = _aligned(offset)
+        meta.append((offset, tuple(int(d) for d in arr.shape), arr.dtype.str))
+        offset += arr.nbytes
+    return meta, max(offset, 1)
+
+
+def create_block(arrays, name=None):
+    """Pack ``arrays`` into a fresh shared memory segment.
+
+    Returns ``(shm, meta)``; the caller owns the segment and must
+    eventually ``close()`` + ``unlink()`` it (:class:`SharedPlanStore`
+    does). Arrays are copied once, C-contiguously, at their aligned
+    offsets.
+    """
+    meta, nbytes = block_layout(arrays)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+    for arr, (offset, shape, dtype) in zip(arrays, meta):
+        dst = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        dst[...] = np.ascontiguousarray(arr)
+    return shm, meta
+
+
+def map_block(shm, meta, writeable=False):
+    """Zero-copy array views onto an attached segment, one per meta row.
+
+    Views are read-only by default: the block is shared state and the
+    serving kernels only ever read their tables.
+    """
+    arrays = []
+    for offset, shape, dtype in meta:
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        arr.flags.writeable = bool(writeable)
+        arrays.append(arr)
+    return arrays
+
+
+def attach_segment(name, untrack=False):
+    """Attach an existing segment by name.
+
+    Attaching registers the segment with the resource tracker as if this
+    process created it. That is exactly right for the cluster: spawned
+    workers *share* the parent's tracker process, where registration is
+    idempotent and the creator's ``unlink()`` retires the entry once —
+    so the default is to leave tracking alone. ``untrack=True`` is only
+    for a genuinely foreign process (own tracker, attaching to a segment
+    somebody else owns), where the tracker would otherwise unlink the
+    segment out from under its owner when this process exits (fixed
+    upstream by ``track=False`` in 3.13; this tree supports 3.10+).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:  # best effort: private API, but the 3.10/3.11/3.12 spelling
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def attach_block(name, meta, untrack=False):
+    """Attach + map in one call: returns ``(shm, arrays)``.
+
+    The returned arrays alias the segment, but numpy holds only a
+    *reference* to ``shm.buf``, not a buffer export — if ``shm`` is
+    garbage collected the mapping is torn down underneath the views and
+    the next read is a segfault. Whoever keeps the arrays MUST keep
+    ``shm`` alive alongside them.
+    """
+    shm = attach_segment(name, untrack=untrack)
+    return shm, map_block(shm, meta)

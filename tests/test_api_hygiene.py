@@ -17,7 +17,7 @@ PUBLIC_MODULES = [
     "repro.nn.layers", "repro.nn.optim", "repro.nn.data", "repro.nn.init",
     "repro.vq", "repro.vq.distances", "repro.vq.kmeans",
     "repro.vq.codebook", "repro.vq.lut", "repro.vq.quant",
-    "repro.vq.kernels",
+    "repro.vq.kernels", "repro.vq.sharedmem",
     "repro.lutboost", "repro.lutboost.lut_layers",
     "repro.lutboost.converter", "repro.lutboost.trainer",
     "repro.lutboost.reconstruction",
@@ -38,7 +38,9 @@ PUBLIC_MODULES = [
     "repro.evaluation.report",
     "repro.serving", "repro.serving.compiler", "repro.serving.engine",
     "repro.serving.batcher", "repro.serving.server",
-    "repro.serving.metrics",
+    "repro.serving.metrics", "repro.serving.autotune",
+    "repro.cluster", "repro.cluster.planstore", "repro.cluster.worker",
+    "repro.cluster.router", "repro.cluster.server", "repro.cluster.net",
 ]
 
 
@@ -58,6 +60,7 @@ def test_all_exports_resolve(name):
 @pytest.mark.parametrize("name", [
     "repro.vq", "repro.lutboost", "repro.hw", "repro.sim", "repro.dse",
     "repro.baselines", "repro.evaluation", "repro.nn", "repro.serving",
+    "repro.cluster",
 ])
 def test_public_classes_documented(name):
     module = importlib.import_module(name)

@@ -27,12 +27,10 @@ class TestALUCurves:
             assert all(a > b for a, b in zip(energies, energies[1:]))
 
     def test_add_more_efficient_than_mult(self):
-        assert alu_efficiency(8, "int_add")[0] > \
-            alu_efficiency(8, "int_mult")[0]
+        assert alu_efficiency(8, "int_add")[0] > alu_efficiency(8, "int_mult")[0]
 
     def test_int_more_efficient_than_fp(self):
-        assert alu_efficiency(32, "int_mult")[1] > \
-            alu_efficiency(32, "fp_mult")[1]
+        assert alu_efficiency(32, "int_mult")[1] > alu_efficiency(32, "fp_mult")[1]
 
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
@@ -131,8 +129,7 @@ class TestPQA:
     def test_load_not_overlapped(self):
         model = pqa_default()
         wl = GemmWorkload(512, 768, 768, v=4, c=32)
-        assert model.gemm_cycles(wl) == \
-            model.load_cycles(wl) + model.lookup_cycles(wl)
+        assert model.gemm_cycles(wl) == model.load_cycles(wl) + model.lookup_cycles(wl)
 
     def test_memory_far_exceeds_lutdla(self):
         from repro.hw import IMMConfig, imm_sram_kb

@@ -39,8 +39,9 @@ def test_smoke_job_runs_fast_tier(workflow):
     runs = " ".join(_run_lines(workflow["jobs"]["smoke"]))
     assert '-m "not slow"' in runs
     assert "pytest" in runs
-    # The perf-floor benchmark belongs to the bench job, not the gate.
+    # The perf-floor benchmarks belong to the bench job, not the gate.
     assert "--ignore=benchmarks/test_serving_throughput.py" in runs
+    assert "--ignore=benchmarks/test_cluster_scaling.py" in runs
     # These tests must not silently skip inside the smoke job.
     assert "pyyaml" in runs
     # The tier the job deselects must exist in pytest.ini.
@@ -63,6 +64,10 @@ def test_lint_job_matches_ruff_config(workflow):
     assert any("ruff format --check" in r for r in runs)
     pyproject = (ROOT / "pyproject.toml").read_text()
     assert "[tool.ruff" in pyproject
+    # The format gate is blocking since the ruff-format migration: no
+    # step in the lint job may be advisory.
+    for step in workflow["jobs"]["lint"]["steps"]:
+        assert not step.get("continue-on-error"), step
 
 
 def test_bench_job_uploads_serving_artifact(workflow):
@@ -70,6 +75,10 @@ def test_bench_job_uploads_serving_artifact(workflow):
     runs = " ".join(_run_lines(job))
     assert "benchmarks/test_serving_throughput.py" in runs
     assert (ROOT / "benchmarks" / "test_serving_throughput.py").exists()
+    # The cluster scaling sweep feeds the cluster_scaling section of the
+    # same artifact.
+    assert "benchmarks/test_cluster_scaling.py" in runs
+    assert (ROOT / "benchmarks" / "test_cluster_scaling.py").exists()
     uploads = [s for s in job["steps"]
                if "upload-artifact" in str(s.get("uses", ""))]
     assert uploads and uploads[0]["with"]["path"] == "BENCH_serving.json"

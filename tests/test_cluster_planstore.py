@@ -1,0 +1,179 @@
+"""Plan serialisation + shared-memory round trips (single process)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    PlanHandle,
+    SharedPlanStore,
+    plan_from_spec,
+    plan_to_spec,
+)
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+from repro.serving import compile_model, execute_plan
+from repro.vq.sharedmem import (
+    ALIGNMENT,
+    attach_block,
+    block_layout,
+    create_block,
+    map_block,
+)
+
+
+@pytest.fixture(scope="module")
+def plan_and_model():
+    rng = np.random.default_rng(1)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return compile_model(model, (16,), precision="fp64"), model
+
+
+class TestArrayBlocks:
+    def test_layout_aligns_every_array(self):
+        arrays = [np.zeros(3, dtype=np.float32), np.zeros((2, 5)),
+                  np.arange(7, dtype=np.int64)]
+        meta, nbytes = block_layout(arrays)
+        for offset, shape, dtype in meta:
+            assert offset % ALIGNMENT == 0
+        assert nbytes >= sum(a.nbytes for a in arrays)
+
+    def test_block_round_trip_preserves_bits(self):
+        rng = np.random.default_rng(2)
+        arrays = [
+            rng.normal(size=(4, 6)),
+            rng.normal(size=(3, 2, 5)).astype(np.float32),
+            rng.integers(0, 100, size=17),
+            np.array(1.5),  # 0-d
+        ]
+        shm, meta = create_block(arrays)
+        try:
+            views = map_block(shm, meta)
+            for arr, view in zip(arrays, views):
+                np.testing.assert_array_equal(view, arr)
+                assert view.dtype == arr.dtype
+                assert not view.flags.writeable
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attach_by_name_sees_same_bytes(self):
+        arrays = [np.arange(12.0).reshape(3, 4)]
+        shm, meta = create_block(arrays)
+        try:
+            other, views = attach_block(shm.name, meta)
+            np.testing.assert_array_equal(views[0], arrays[0])
+            del views
+            other.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_non_contiguous_input_is_packed_contiguously(self):
+        base = np.arange(24.0).reshape(4, 6)
+        arrays = [base[:, ::2]]  # strided view
+        shm, meta = create_block(arrays)
+        try:
+            (view,) = map_block(shm, meta)
+            np.testing.assert_array_equal(view, base[:, ::2])
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestPlanSpec:
+    def test_manifest_is_plain_python(self, plan_and_model):
+        plan, _ = plan_and_model
+        manifest, arrays = plan_to_spec(plan)
+        # Picklable without numpy: every ndarray is hoisted into the table.
+        blob = pickle.dumps(manifest)
+        assert b"numpy" not in blob
+        assert arrays[0] is plan.centroids
+        assert arrays[1] is plan.tables
+
+    def test_round_trip_is_bit_identical(self, plan_and_model):
+        plan, _ = plan_and_model
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(9, 16))
+        rebuilt = plan_from_spec(*plan_to_spec(plan))
+        np.testing.assert_array_equal(execute_plan(rebuilt, x),
+                                      execute_plan(plan, x))
+        assert rebuilt.precision == plan.precision
+        assert rebuilt.input_shape == plan.input_shape
+        assert rebuilt.num_lut_layers == plan.num_lut_layers
+
+    def test_lut_steps_rebuild_views_into_packed_blocks(self, plan_and_model):
+        plan, _ = plan_and_model
+        rebuilt = plan_from_spec(*plan_to_spec(plan))
+        luts = [s for s in rebuilt.steps if s.kind == "lut_gemm"]
+        assert luts
+        for step in luts:
+            assert step.params["centroids"].base is not None
+            assert step.params["table"].base is not None
+
+
+class TestSharedPlanStore:
+    def test_publish_load_executes_identically(self, plan_and_model):
+        plan, _ = plan_and_model
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(5, 16))
+        with SharedPlanStore() as store:
+            handle = store.publish("mlp", plan)
+            assert len(store) == 1
+            assert store.storage_bytes() >= plan.storage_bytes()
+            loaded = handle.load()
+            np.testing.assert_array_equal(execute_plan(loaded, x),
+                                          execute_plan(plan, x))
+
+    def test_handle_survives_pickling(self, plan_and_model):
+        plan, _ = plan_and_model
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 16))
+        with SharedPlanStore() as store:
+            handle = store.publish("mlp", plan)
+            clone = pickle.loads(pickle.dumps(handle))
+            assert isinstance(clone, PlanHandle)
+            loaded = clone.load()
+            np.testing.assert_array_equal(execute_plan(loaded, x),
+                                          execute_plan(plan, x))
+
+    def test_loaded_plan_pins_its_segment(self, plan_and_model):
+        """The mapping must survive the handle being garbage collected."""
+        plan, _ = plan_and_model
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(3, 16))
+        with SharedPlanStore() as store:
+            store.publish("mlp", plan)
+            # The temporary handle dies right after load(); the plan's
+            # pinned segment keeps the views valid.
+            loaded = pickle.loads(
+                pickle.dumps(store.handles()["mlp"])).load()
+            assert loaded.segment is not None
+            np.testing.assert_array_equal(execute_plan(loaded, x),
+                                          execute_plan(plan, x))
+
+    def test_duplicate_key_rejected(self, plan_and_model):
+        plan, _ = plan_and_model
+        with SharedPlanStore() as store:
+            store.publish("mlp", plan)
+            with pytest.raises(KeyError, match="already published"):
+                store.publish("mlp", plan)
+
+    def test_close_unlinks_segments(self, plan_and_model):
+        from multiprocessing import shared_memory
+
+        plan, _ = plan_and_model
+        store = SharedPlanStore()
+        handle = store.publish("mlp", plan)
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.segment)
+        assert len(store) == 0
+        store.close()  # idempotent

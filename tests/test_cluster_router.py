@@ -1,0 +1,103 @@
+"""Routing policy: least outstanding predicted work, pace weighting."""
+
+import pytest
+
+from repro.cluster import LeastWorkRouter, NoShardAvailable
+from repro.serving import MetricsWindow
+
+
+def make_router(n=3, costs=None, windows=None):
+    router = LeastWorkRouter(costs or {"m": 100.0}, windows=windows)
+    for i in range(n):
+        router.add_shard(i)
+    return router
+
+
+class TestLeastWork:
+    def test_spreads_equal_requests_across_idle_shards(self):
+        router = make_router(3)
+        picks = []
+        for _ in range(6):
+            index = router.pick("m")
+            router.started(index, "m")
+            picks.append(index)
+        # With equal costs the six requests land two per shard.
+        assert sorted(picks) == [0, 0, 1, 1, 2, 2]
+
+    def test_completion_frees_capacity(self):
+        router = make_router(2)
+        first = router.pick("m")
+        router.started(first, "m")
+        other = router.pick("m")
+        assert other != first
+        router.finished(first, "m")
+        assert router.outstanding(first) == 0.0
+
+    def test_costs_weight_the_backlog(self):
+        router = LeastWorkRouter({"heavy": 1000.0, "light": 10.0})
+        router.add_shard(0)
+        router.add_shard(1)
+        index = router.pick("heavy")
+        router.started(index, "heavy")
+        # One heavy request outweighs many lights: they all go elsewhere.
+        for _ in range(5):
+            light = router.pick("light")
+            assert light != index
+            router.started(light, "light")
+
+    def test_unknown_key_defaults_to_unit_cost(self):
+        router = make_router(2)
+        index = router.pick("never-registered")
+        router.started(index, "never-registered")
+        assert router.pick("never-registered") != index
+
+
+class TestAvailability:
+    def test_down_shard_is_never_picked(self):
+        router = make_router(2)
+        router.mark_down(0)
+        assert router.alive_shards() == [1]
+        for _ in range(4):
+            assert router.pick("m") == 1
+
+    def test_exclusion_for_retries(self):
+        router = make_router(2)
+        index = router.pick("m")
+        assert router.pick("m", exclude={index}) != index
+
+    def test_no_shard_available_raises(self):
+        router = make_router(2)
+        router.mark_down(0)
+        with pytest.raises(NoShardAvailable):
+            router.pick("m", exclude={1})
+
+
+class TestPaceWeighting:
+    def test_slow_shard_gets_less_traffic(self):
+        fast, slow = MetricsWindow(), MetricsWindow()
+        # Same batch sizes, 10x the service time on the slow shard.
+        for _ in range(8):
+            fast.record(8, 0.01, [0.01] * 8)
+            slow.record(8, 0.10, [0.10] * 8)
+        router = LeastWorkRouter({"m": 100.0}, windows={0: fast, 1: slow})
+        router.add_shard(0)
+        router.add_shard(1)
+        picks = {0: 0, 1: 0}
+        for _ in range(10):
+            index = router.pick("m")
+            router.started(index, "m")
+            picks[index] += 1
+        assert picks[0] > picks[1], picks
+
+    def test_no_traffic_means_neutral_pace(self):
+        router = LeastWorkRouter({"m": 100.0},
+                                 windows={0: MetricsWindow(),
+                                          1: MetricsWindow()})
+        router.add_shard(0)
+        router.add_shard(1)
+        picks = set()
+        for _ in range(2):
+            index = router.pick("m")
+            router.started(index, "m")
+            picks.add(index)
+        assert picks == {0, 1}

@@ -1,0 +1,169 @@
+"""ClusterServer end to end: sharded serving, crashes, drain, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterServer, ModelSpec
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+from repro.serving import AdmissionError, execute_plan
+
+
+@pytest.fixture(scope="module")
+def converted_mlp():
+    rng = np.random.default_rng(1)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def cluster(converted_mlp):
+    config = ClusterConfig(workers=2, max_batch_size=8, max_wait_ms=1.0,
+                           precision="fp64")
+    server = ClusterServer(
+        {"mlp": ModelSpec(converted_mlp, (16,))}, config)
+    yield server
+    server.shutdown(drain=False, timeout=10.0)
+
+
+class TestServing:
+    def test_results_bit_identical_to_local_plan(self, cluster):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(24, 16))
+        expected = execute_plan(cluster.plans["mlp"], x)
+        out = cluster.infer_many("mlp", x, timeout=60)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_unknown_model_rejected(self, cluster):
+        with pytest.raises(KeyError, match="unknown model"):
+            cluster.submit("nope", np.zeros(16))
+
+    def test_bad_shape_rejected(self, cluster):
+        with pytest.raises(ValueError, match="request shape"):
+            cluster.submit("mlp", np.zeros(9))
+
+    def test_worker_error_reply_propagates_without_crash(self, cluster):
+        # An execution error inside the worker comes back as an "err"
+        # reply (stringified), raises in the parent, and leaves the
+        # worker loop alive and serving.
+        shard = cluster.shards[0]
+        with pytest.raises(RuntimeError, match="shard 0"):
+            shard.process.execute("no-such-plan", np.zeros((1, 16)))
+        assert shard.alive
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 16))
+        np.testing.assert_array_equal(
+            cluster.infer_many("mlp", x, timeout=60),
+            execute_plan(cluster.plans["mlp"], x))
+
+    def test_summary_and_report(self, cluster):
+        rng = np.random.default_rng(4)
+        cluster.infer_many("mlp", rng.normal(size=(8, 16)), timeout=60)
+        summary = cluster.summary()
+        assert summary["workers"] == 2
+        assert summary["alive_workers"] == 2
+        assert summary["models"]["mlp"]["requests"] >= 8
+        assert len(summary["shards"]) == 2
+        text = cluster.report()
+        assert "workers alive" in text and "mlp" in text
+
+    def test_requests_spread_over_both_shards(self, cluster):
+        rng = np.random.default_rng(5)
+        cluster.infer_many("mlp", rng.normal(size=(64, 16)), timeout=60)
+        served = [s.metrics["mlp"].request_count for s in cluster.shards]
+        assert all(count > 0 for count in served), served
+
+
+class TestCrashRecovery:
+    def test_killed_worker_reroutes_without_losing_requests(
+            self, converted_mlp):
+        config = ClusterConfig(workers=2, max_batch_size=4, max_wait_ms=0.5,
+                               precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            rng = np.random.default_rng(6)
+            x = rng.normal(size=(32, 16))
+            expected = execute_plan(cluster.plans["mlp"], x)
+            # Warm both shards, then kill one out from under the router.
+            cluster.infer_many("mlp", x[:4], timeout=60)
+            victim = cluster.shards[0]
+            victim.process.process.kill()
+            victim.process.process.join(10.0)
+            futures = [cluster.submit("mlp", row) for row in x]
+            outs = np.stack([f.result(60) for f in futures])
+            np.testing.assert_array_equal(outs, expected)
+            assert cluster.alive_workers() == 1
+            summary = cluster.summary()
+            assert summary["alive_workers"] == 1
+            # The survivor served the whole burst.
+            survivor = cluster.shards[1]
+            assert survivor.metrics["mlp"].request_count >= len(x)
+
+    def test_all_workers_dead_fails_cleanly(self, converted_mlp):
+        from repro.cluster import NoShardAvailable, ShardCrashed
+
+        config = ClusterConfig(workers=1, max_batch_size=4,
+                               precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            cluster.shards[0].process.process.kill()
+            cluster.shards[0].process.process.join(10.0)
+            future = cluster.submit("mlp", np.zeros(16))
+            with pytest.raises((NoShardAvailable, ShardCrashed)):
+                future.result(60)
+
+
+class TestLifecycle:
+    def test_drain_shutdown_flushes_queued_requests(self, converted_mlp):
+        config = ClusterConfig(workers=2, max_batch_size=4, max_wait_ms=5.0,
+                               precision="fp64")
+        cluster = ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                                config)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(24, 16))
+        expected = execute_plan(cluster.plans["mlp"], x)
+        futures = [cluster.submit("mlp", row) for row in x]
+        cluster.shutdown(drain=True, timeout=60.0)
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(1), expected[i])
+        with pytest.raises(AdmissionError, match="shut down"):
+            cluster.submit("mlp", x[0])
+
+    def test_shutdown_unlinks_shared_segments(self, converted_mlp):
+        from multiprocessing import shared_memory
+
+        config = ClusterConfig(workers=1, precision="fp64")
+        cluster = ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                                config)
+        segments = [h.segment for h in cluster.store.handles().values()]
+        assert segments
+        cluster.shutdown(drain=True)
+        for name in segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_zero_workers_rejected(self, converted_mlp):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                          ClusterConfig(workers=0))
+
+
+class TestAutotunedCluster:
+    def test_autotune_runs_per_shard(self, converted_mlp):
+        config = ClusterConfig(workers=1, max_batch_size=4, max_wait_ms=0.5,
+                               autotune=True, autotune_interval=2,
+                               precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            rng = np.random.default_rng(8)
+            for _ in range(4):
+                cluster.infer_many("mlp", rng.normal(size=(16, 16)),
+                                   timeout=60)
+            shard = cluster.shards[0]
+            assert shard.autotuners["mlp"].steps >= 1

@@ -1,0 +1,85 @@
+"""Cluster serving is bit-identical to single-process serving (fp64).
+
+The satellite guarantee of the shared plan store: publishing a compiled
+plan through ``multiprocessing.shared_memory`` and executing it in a
+spawned worker must reproduce the parent's ``execute_plan`` output *bit
+for bit* at fp64 — for every supported topology class (feed-forward,
+residual, attention). Any drift would mean the packed tables or the step
+list were perturbed in transit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterServer, ModelSpec
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.lenet import lenet
+from repro.models.resnet import resnet20
+from repro.models.transformer import bert_mini
+from repro.serving import execute_plan
+
+REQUESTS = 12
+
+
+def _specs_and_traffic():
+    rng = np.random.default_rng(0)
+
+    model = lenet(image_size=16)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(16, 1, 16, 16)))
+    specs = {"lenet": ModelSpec(model, (1, 16, 16))}
+    traffic = {"lenet": rng.normal(size=(REQUESTS, 1, 16, 16))}
+
+    model = resnet20(width=8)
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.normal(size=(6, 3, 16, 16)))
+    specs["resnet20"] = ModelSpec(model, (3, 16, 16))
+    traffic["resnet20"] = rng.normal(size=(REQUESTS, 3, 16, 16))
+
+    model = bert_mini()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    tokens = rng.integers(0, 64, size=(REQUESTS, 16))
+    calibrate_model(model, tokens[:6])
+    specs["bert_mini"] = ModelSpec(model, (16,), sample_input=tokens[:3])
+    traffic["bert_mini"] = tokens
+    return specs, traffic
+
+
+@pytest.fixture(scope="module")
+def cluster_and_traffic():
+    specs, traffic = _specs_and_traffic()
+    config = ClusterConfig(workers=2, max_batch_size=6, max_wait_ms=1.0,
+                           precision="fp64")
+    cluster = ClusterServer(specs, config)
+    yield cluster, traffic
+    cluster.shutdown(drain=True, timeout=30.0)
+
+
+@pytest.mark.parametrize("name", ["lenet", "resnet20", "bert_mini"])
+def test_fp64_cluster_bit_identical_to_single_process(
+        cluster_and_traffic, name):
+    cluster, traffic = cluster_and_traffic
+    requests = traffic[name]
+    expected = execute_plan(cluster.plans[name], np.asarray(requests))
+    out = cluster.infer_many(name, requests, timeout=120)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_mixed_traffic_interleaves_cleanly(cluster_and_traffic):
+    """Interleaved submissions across all three topologies stay correct."""
+    cluster, traffic = cluster_and_traffic
+    expected = {name: execute_plan(cluster.plans[name], np.asarray(xs))
+                for name, xs in traffic.items()}
+    futures = []
+    for i in range(REQUESTS):
+        for name in traffic:
+            futures.append((name, i,
+                            cluster.submit(name, traffic[name][i])))
+    for name, i, future in futures:
+        np.testing.assert_array_equal(future.result(120), expected[name][i])
+    summary = cluster.summary()
+    assert summary["alive_workers"] == 2

@@ -72,8 +72,7 @@ class TestImageDatasets:
             d = ((flat[:, None, :] - means[None]) ** 2).sum(-1)
             return (np.argmin(d, axis=1) == test.labels).mean()
 
-        assert probe_accuracy(cifar10_like, 10) > \
-            probe_accuracy(cifar100_like, 20)
+        assert probe_accuracy(cifar10_like, 10) > probe_accuracy(cifar100_like, 20)
 
     def test_normalized(self):
         train, _ = cifar10_like(train_size=128, test_size=8)

@@ -42,8 +42,7 @@ class TestAnalyticalModels:
     def test_omega_is_max_of_parts(self):
         parts = omega_breakdown(512, 768, 768, 4, 16, beta=683, n_imm=2,
                                 n_ccu=1)
-        assert omega_cycles(512, 768, 768, 4, 16, 683, 2, 1) == \
-            max(parts.values())
+        assert omega_cycles(512, 768, 768, 4, 16, 683, 2, 1) == max(parts.values())
 
     def test_omega_lookup_shrinks_with_imms(self):
         a = omega_breakdown(512, 768, 768, 4, 16, 683, 1, 1, tn=16)

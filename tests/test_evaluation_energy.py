@@ -40,8 +40,8 @@ class TestEnergyBreakdown:
                              n_imm=2)
         big = LUTDLADesign("b", v=3, c=32, tn=128, m_tile=256, n_ccu=1,
                            n_imm=2)
-        assert gemm_energy_breakdown(WORKLOAD, big).similarity_mj > \
-            gemm_energy_breakdown(WORKLOAD, small).similarity_mj
+        assert (gemm_energy_breakdown(WORKLOAD, big).similarity_mj
+                > gemm_energy_breakdown(WORKLOAD, small).similarity_mj)
 
     def test_consistent_with_power_model(self):
         """Count-based energy must agree with power x time within the

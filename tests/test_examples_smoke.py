@@ -18,6 +18,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
     "quickstart.py",
     "simulate_accelerator.py",
     "serve_model.py",
+    "serve_cluster.py",
 ])
 def test_fast_example_runs(script):
     result = subprocess.run(

@@ -21,8 +21,7 @@ class TestSRAM:
         assert per_bit_tiny > 2 * per_bit_big
 
     def test_read_energy_grows_with_width(self):
-        assert SRAM(8 * KB, 256).read_energy_pj() > \
-            SRAM(8 * KB, 32).read_energy_pj()
+        assert SRAM(8 * KB, 256).read_energy_pj() > SRAM(8 * KB, 32).read_energy_pj()
 
     def test_write_costs_more_than_read(self):
         mem = SRAM(8 * KB, 64)
@@ -45,8 +44,7 @@ class TestSRAM:
             SRAM(8, 0)
 
     def test_node_scaling(self):
-        assert SRAM(8 * KB, 64, node=16).area_um2() < \
-            SRAM(8 * KB, 64, node=28).area_um2()
+        assert SRAM(8 * KB, 64, node=16).area_um2() < SRAM(8 * KB, 64, node=28).area_um2()
 
     def test_repr(self):
         assert "KB" in repr(SRAM(8 * KB, 64, name="lut"))
@@ -56,12 +54,10 @@ class TestRegisterFile:
     def test_denser_cost_than_sram_per_bit(self):
         rf = RegisterFile(1024, 32)
         sram = SRAM(1024 * 64, 32)
-        assert rf.area_um2() / rf.bits > \
-            (sram.area_um2() - 2000) / sram.bits  # vs raw SRAM density
+        assert rf.area_um2() / rf.bits > (sram.area_um2() - 2000) / sram.bits  # vs raw SRAM density
 
     def test_read_energy(self):
-        assert RegisterFile(1024, 64).read_energy_pj() > \
-            RegisterFile(1024, 16).read_energy_pj()
+        assert RegisterFile(1024, 64).read_energy_pj() > RegisterFile(1024, 16).read_energy_pj()
 
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):

@@ -32,8 +32,7 @@ class TestLUTLinear:
                                           clustered_matrix):
         out = calibrated_linear(Tensor(clustered_matrix[:10]))
         # Quantized output differs from exact but is close on clustered data.
-        exact = clustered_matrix[:10] @ calibrated_linear.weight.data \
-            + calibrated_linear.bias.data
+        exact = clustered_matrix[:10] @ calibrated_linear.weight.data + calibrated_linear.bias.data
         assert not np.allclose(out.data, exact)
         rel = np.linalg.norm(out.data - exact) / np.linalg.norm(exact)
         assert rel < 0.15
@@ -43,8 +42,7 @@ class TestLUTLinear:
         x = clustered_matrix[:10]
         out = calibrated_linear(Tensor(x))
         book, lut = calibrated_linear.export_lut()
-        expected = lut.lookup_accumulate(book.encode(x)) \
-            + calibrated_linear.bias.data
+        expected = lut.lookup_accumulate(book.encode(x)) + calibrated_linear.bias.data
         np.testing.assert_allclose(out.data, expected, atol=1e-9)
 
     def test_lut_inference_matches_forward(self, calibrated_linear,

@@ -39,8 +39,7 @@ class TestResNetCIFAR:
         assert out.shape == (2, 10)
 
     def test_param_count_grows_with_depth(self):
-        assert resnet32(width=4).num_parameters() > \
-            resnet20(width=4).num_parameters()
+        assert resnet32(width=4).num_parameters() > resnet20(width=4).num_parameters()
 
     def test_downsampling_stages(self, rng):
         model = resnet20(width=4)
@@ -67,8 +66,7 @@ class TestResNetImageNet:
         assert out.shape == (2, 20)
 
     def test_resnet34_deeper(self):
-        assert resnet34(width=4).num_parameters() > \
-            resnet18(width=4).num_parameters()
+        assert resnet34(width=4).num_parameters() > resnet18(width=4).num_parameters()
 
     def test_rejects_unsupported_depth(self):
         from repro.models.resnet import ResNetImageNet
@@ -115,8 +113,7 @@ class TestTransformers:
         assert out.shape == (2, 3)
 
     def test_distil_is_smaller(self):
-        assert distilbert_mini().num_parameters() < \
-            bert_mini().num_parameters()
+        assert distilbert_mini().num_parameters() < bert_mini().num_parameters()
 
     def test_rejects_long_sequence(self, rng):
         model = TransformerClassifier(16, 2, max_len=8)

@@ -87,8 +87,7 @@ class TestHardwareInvariants:
     @settings(max_examples=20, deadline=None)
     @given(st.integers(2, 32))
     def test_dpe_metric_ordering_holds_everywhere(self, v):
-        assert dpe_area_um2(v, "l2") > dpe_area_um2(v, "l1") \
-            > dpe_area_um2(v, "chebyshev")
+        assert dpe_area_um2(v, "l2") > dpe_area_um2(v, "l1") > dpe_area_um2(v, "chebyshev")
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(2, 128), st.integers(8, 512), st.integers(8, 1024))
@@ -124,8 +123,7 @@ class TestDataflowInvariants:
         full_lut = analyze_dataflow("MNK", m, k, n, v, c).lut_bytes
         assume(full_lut > 2 * (ls.scratchpad_bytes + ls.indices_bytes))
         for name in ("MNK", "NMK", "MKN"):
-            assert ls.total_bytes <= \
-                analyze_dataflow(name, m, k, n, v, c).total_bytes
+            assert ls.total_bytes <= analyze_dataflow(name, m, k, n, v, c).total_bytes
 
     @settings(max_examples=25, deadline=None)
     @given(st.integers(32, 256), st.integers(32, 256), st.integers(32, 256),

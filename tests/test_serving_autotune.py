@@ -1,0 +1,142 @@
+"""Autotuner hill-climb mechanics + MetricsWindow recent-traffic math."""
+
+import time
+
+import numpy as np
+
+from repro.serving import Autotuner, LUTServer, MetricsWindow, ServingConfig
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+
+
+class FakeBatcher:
+    """Just the knobs the autotuner touches."""
+
+    def __init__(self, max_batch_size=8, max_wait_s=0.002):
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+
+    def set_tuning(self, max_batch_size=None, max_wait_s=None):
+        if max_batch_size is not None:
+            self.max_batch_size = max(1, int(max_batch_size))
+        if max_wait_s is not None:
+            self.max_wait_s = max(0.0, float(max_wait_s))
+
+
+class TestMetricsWindow:
+    def test_empty_snapshot(self):
+        snap = MetricsWindow().snapshot()
+        assert snap["batches"] == 0
+        assert snap["requests_per_s"] == 0.0
+        assert snap["seconds_per_request"] == 0.0
+
+    def test_snapshot_counts_recent_batches(self):
+        window = MetricsWindow(maxlen=4)
+        for _ in range(6):
+            window.record(8, 0.01, [0.01] * 8)
+        snap = window.snapshot()
+        # Only the last maxlen batches are in view.
+        assert snap["batches"] == 4
+        assert snap["requests"] == 32
+        assert snap["mean_batch_size"] == 8.0
+        assert snap["seconds_per_request"] == 0.01 / 8
+        assert snap["requests_per_s"] > 0
+
+    def test_clear(self):
+        window = MetricsWindow()
+        window.record(2, 0.01, [0.01, 0.01])
+        window.clear()
+        assert len(window) == 0
+        assert window.snapshot()["batches"] == 0
+
+
+class TestHillClimb:
+    def test_improvement_keeps_climbing_batch(self):
+        batcher = FakeBatcher(max_batch_size=8)
+        tuner = Autotuner(batcher, max_batch=128)
+        # Rates keep improving: the first move (batch up) is retained and
+        # repeated from the new best each step.
+        for rate in (100.0, 150.0, 220.0, 330.0):
+            tuner.observe(rate)
+        assert batcher.max_batch_size > 8
+        assert tuner.best[0] >= 16
+
+    def test_degradation_reverts_to_best(self):
+        batcher = FakeBatcher(max_batch_size=8, max_wait_s=0.002)
+        tuner = Autotuner(batcher, max_batch=128)
+        tuner.observe(100.0)   # baseline at (8, 2ms); proposes (16, 2ms)
+        tuner.observe(10.0)    # (16, 2ms) is much worse
+        # The controller fell back to the best-known settings before
+        # stepping the next knob, so batch never runs away upward.
+        assert tuner.best[0] == 8
+        assert batcher.max_batch_size in (8, 16)
+        tuner.observe(10.0)    # the next proposal is worse too
+        assert tuner.best[0] == 8
+
+    def test_moves_rotate_through_both_knobs(self):
+        batcher = FakeBatcher(max_batch_size=8, max_wait_s=0.002)
+        tuner = Autotuner(batcher, max_batch=128)
+        waits = set()
+        batches = set()
+        for _ in range(12):
+            tuner.observe(50.0)  # flat rate: every move "fails"
+            waits.add(round(batcher.max_wait_s * 1e3, 3))
+            batches.add(batcher.max_batch_size)
+        assert len(waits) > 1, "max_wait_ms was never explored"
+        assert len(batches) > 1, "max_batch_size was never explored"
+
+    def test_settings_stay_clamped(self):
+        batcher = FakeBatcher(max_batch_size=4, max_wait_s=0.001)
+        tuner = Autotuner(batcher, min_batch=1, max_batch=16,
+                          min_wait_ms=0.5, max_wait_ms=4.0)
+        rng = np.random.default_rng(0)
+        for _ in range(64):
+            tuner.observe(float(rng.uniform(10, 1000)))
+            assert 1 <= batcher.max_batch_size <= 16
+            assert 0.5e-3 <= batcher.max_wait_s <= 4.0e-3
+
+    def test_state_reports_current_and_best(self):
+        batcher = FakeBatcher()
+        tuner = Autotuner(batcher)
+        tuner.observe(123.0)
+        state = tuner.state()
+        assert state["steps"] == 1
+        assert state["best_rate"] > 0
+        assert state["max_batch_size"] == batcher.max_batch_size
+        assert "Autotuner(" in repr(tuner)
+
+
+class TestLiveHook:
+    def test_on_batch_steps_every_interval(self):
+        batcher = FakeBatcher()
+        tuner = Autotuner(batcher, interval_batches=3)
+        for _ in range(3):
+            tuner.on_batch(4, 0.001, [0.001] * 4)
+        assert tuner.steps == 1
+        for _ in range(2):
+            tuner.on_batch(4, 0.001, [0.001] * 4)
+        assert tuner.steps == 1  # interval not complete yet
+        tuner.on_batch(4, 0.001, [0.001] * 4)
+        assert tuner.steps == 2
+
+    def test_served_traffic_drives_the_tuner(self):
+        rng = np.random.default_rng(5)
+        model = mlp(16, hidden=32, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        calibrate_model(model, rng.normal(size=(40, 16)))
+        config = ServingConfig(max_batch_size=4, max_wait_ms=0.5,
+                               autotune=True, autotune_interval=4,
+                               max_pending=4096)
+        with LUTServer(model, (16,), config) as server:
+            assert server.autotuner is not None
+            for _ in range(6):
+                server.infer_many(rng.normal(size=(32, 16)), timeout=30)
+                time.sleep(0.002)
+            assert server.autotuner.steps >= 1
+            state = server.autotuner.state()
+            assert state["max_batch_size"] >= 1
+            assert state["best_rate"] > 0

@@ -90,6 +90,107 @@ class TestAdmissionControl:
             mb.submit(np.zeros(1))
 
 
+class TestGracefulDrain:
+    def test_drain_flushes_queued_requests(self):
+        """Everything queued at shutdown must still execute (not cancel)."""
+        release = threading.Event()
+        executed = []
+
+        def slow(batch):
+            release.wait(10)
+            executed.append(len(batch))
+            return batch * 2.0
+
+        mb = MicroBatcher(slow, max_batch_size=2, max_wait_s=0.0, workers=1,
+                          max_pending=64)
+        futures = [mb.submit(np.full(2, float(i))) for i in range(9)]
+        closer = threading.Thread(
+            target=lambda: mb.close(timeout=10.0, drain=True))
+        closer.start()
+        time.sleep(0.05)  # the closer is now waiting on the backlog
+        release.set()
+        closer.join(10.0)
+        assert not closer.is_alive()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(1),
+                                          np.full(2, 2.0 * i))
+        assert sum(executed) == 9
+        assert mb.pending() == 0 and mb.inflight() == 0
+
+    def test_drain_refuses_new_admissions(self):
+        release = threading.Event()
+
+        def slow(batch):
+            release.wait(10)
+            return batch
+
+        mb = MicroBatcher(slow, max_batch_size=1, max_wait_s=0.0, workers=1)
+        queued = mb.submit(np.zeros(1))
+        closer = threading.Thread(
+            target=lambda: mb.close(timeout=10.0, drain=True))
+        closer.start()
+        time.sleep(0.05)
+        with pytest.raises(AdmissionError, match="shut down"):
+            mb.submit(np.zeros(1))
+        release.set()
+        closer.join(10.0)
+        assert queued.result(1) is not None
+
+    def test_abrupt_close_cancels_queued_requests(self):
+        """The old contract: drain=False fails what never got scheduled."""
+        release = threading.Event()
+
+        def stuck(batch):
+            release.wait(10)
+            return batch
+
+        mb = MicroBatcher(stuck, max_batch_size=1, max_wait_s=0.0, workers=1)
+        running = mb.submit(np.zeros(1))
+        time.sleep(0.05)  # worker takes it and blocks
+        queued = [mb.submit(np.zeros(1)) for _ in range(3)]
+        # Close while the worker is still stuck: the queued requests are
+        # cancelled with AdmissionError, the in-flight one still lands.
+        mb.close(timeout=0.3, drain=False)
+        for future in queued:
+            with pytest.raises(AdmissionError, match="before execution"):
+                future.result(1)
+        release.set()
+        assert running.result(5) is not None
+
+    def test_drain_on_idle_batcher_returns_quickly(self):
+        mb = MicroBatcher(_echo, workers=2)
+        start = time.monotonic()
+        mb.close(timeout=5.0, drain=True)
+        assert time.monotonic() - start < 2.0
+
+
+class TestTuning:
+    def test_set_tuning_applies_and_clamps(self):
+        mb = MicroBatcher(_echo, max_batch_size=8, max_wait_s=0.01)
+        try:
+            mb.set_tuning(max_batch_size=32, max_wait_s=0.02)
+            assert mb.max_batch_size == 32
+            assert mb.max_wait_s == 0.02
+            mb.set_tuning(max_batch_size=0, max_wait_s=-1.0)
+            assert mb.max_batch_size == 1
+            assert mb.max_wait_s == 0.0
+            mb.set_tuning()  # no-op
+            assert mb.max_batch_size == 1
+        finally:
+            mb.close()
+
+    def test_new_batch_bound_applies_to_next_batches(self):
+        sizes = []
+        with MicroBatcher(_echo, max_batch_size=16, max_wait_s=0.05,
+                          workers=1,
+                          on_batch=lambda n, s, l: sizes.append(n)) as mb:
+            mb.set_tuning(max_batch_size=2)
+            futures = [mb.submit(np.zeros(1)) for _ in range(8)]
+            for future in futures:
+                future.result(5)
+        assert sizes and max(sizes) <= 2
+
+
 class TestFailurePropagation:
     def test_exception_reaches_every_future(self):
         def boom(batch):

@@ -66,6 +66,36 @@ class TestServer:
         assert "measured_over_predicted" in summary
 
 
+class TestShutdown:
+    def test_shutdown_drains_queued_work(self, converted_mlp):
+        """shutdown(drain=True) resolves every queued future correctly."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 16))
+        cfg = ServingConfig(max_batch_size=4, max_wait_ms=0.1, workers=1,
+                            precision="fp64", max_pending=256)
+        server = LUTServer(converted_mlp, (16,), cfg)
+        expected = execute_plan(server.plan, x)
+        futures = [server.submit(row) for row in x]
+        server.shutdown(drain=True, timeout=30.0)
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(1), expected[i])
+        assert server.pending() == 0
+
+    def test_submit_after_shutdown_raises(self, converted_mlp):
+        from repro.serving import AdmissionError
+
+        server = LUTServer(converted_mlp, (16,))
+        server.shutdown()
+        with pytest.raises(AdmissionError):
+            server.submit(np.zeros(16))
+
+    def test_shutdown_is_idempotent(self, converted_mlp):
+        server = LUTServer(converted_mlp, (16,))
+        server.shutdown(drain=True)
+        server.shutdown(drain=True)
+        server.close()
+
+
 class TestMetrics:
     def test_percentile_nearest_rank(self):
         values = [float(i) for i in range(1, 101)]
