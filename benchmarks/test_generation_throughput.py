@@ -1,0 +1,106 @@
+"""Generation throughput: prefill vs decode tokens/s for ``gpt_nano``.
+
+Not a paper figure — the first trajectory row for the generation
+subsystem, so future PRs (fused decode kernels, wider decode batches,
+speculative paths) have a number to beat. Two phases are measured
+separately because their economics differ:
+
+- **prefill** amortises over the whole prompt: one bucketed batched pass
+  scores every prompt position (tokens/s counts prompt tokens);
+- **decode** pays one engine pass per generated token, amortised only
+  across the sequences sharing the continuous-batching tick (tokens/s
+  counts generated tokens, summed over concurrent sessions).
+
+Prefill must therefore sustain a (much) higher token rate than decode —
+asserted qualitatively. Results merge into ``BENCH_serving.json`` under
+``generation`` (override the path with ``BENCH_SERVING_JSON``), which CI
+uploads per commit.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation import format_table
+from repro.gen import GenConfig, GeneratorServer, compile_generation
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models import gpt_nano
+from repro.serving import execute_plan
+
+from conftest import emit, record_serving_bench
+
+BUCKETS = (8, 16, 32)
+PREFILL_BATCH = 16
+PREFILL_TRIALS = 5
+SESSIONS = 12
+MAX_NEW = 16
+PROMPT_LEN = 12
+
+
+@pytest.fixture(scope="module")
+def gen_setup():
+    rng = np.random.default_rng(0)
+    model = gpt_nano()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.integers(0, 64, size=(8, 16)))
+    plan = compile_generation(model, buckets=BUCKETS, precision="fp32",
+                              name="gpt_nano")
+    return model, plan
+
+
+def test_prefill_vs_decode_tokens_per_second(gen_setup):
+    model, plan = gen_setup
+    rng = np.random.default_rng(1)
+
+    # Prefill rate: stacked prompt batches through each bucket plan.
+    prefill_rows = []
+    for bucket in BUCKETS:
+        prompts = rng.integers(0, 64, size=(PREFILL_BATCH, bucket))
+        execute_plan(plan.prefill[bucket], prompts, return_taps=True)  # warm
+        best = 0.0
+        for _ in range(PREFILL_TRIALS):
+            start = time.perf_counter()
+            execute_plan(plan.prefill[bucket], prompts, return_taps=True)
+            elapsed = time.perf_counter() - start
+            best = max(best, PREFILL_BATCH * bucket / elapsed)
+        prefill_rows.append({"bucket": bucket,
+                             "prompt_tokens_per_s": best})
+
+    # Decode rate: concurrent sessions sharing the continuous-batch tick.
+    with GeneratorServer(model, plan=plan,
+                         config=GenConfig(precision="fp32")) as server:
+        prompts = [rng.integers(0, 64, size=PROMPT_LEN)
+                   for _ in range(SESSIONS)]
+        start = time.perf_counter()
+        sessions = [server.generate(p, MAX_NEW) for p in prompts]
+        token_counts = [len(s.result(300)) for s in sessions]
+        elapsed = time.perf_counter() - start
+    generated = sum(token_counts)
+    decode_rate = generated / elapsed
+
+    rows = prefill_rows + [{"bucket": "decode (%d sessions)" % SESSIONS,
+                            "prompt_tokens_per_s": decode_rate}]
+    emit("Generation throughput (gpt_nano, fp32 plans)",
+         format_table(rows, floatfmt="%.4g"))
+    record_serving_bench("generation", {
+        "model": "gpt_nano",
+        "prefill": prefill_rows,
+        "decode": {
+            "sessions": SESSIONS,
+            "max_new_tokens": MAX_NEW,
+            "prompt_len": PROMPT_LEN,
+            "generated_tokens": generated,
+            "tokens_per_s": decode_rate,
+        },
+    })
+
+    assert generated == SESSIONS * MAX_NEW
+    assert decode_rate > 0
+    # Prefill amortises the whole prompt per pass; decode pays one pass
+    # per token. The gap is the point of the split — assert it exists.
+    assert max(r["prompt_tokens_per_s"] for r in prefill_rows) > decode_rate

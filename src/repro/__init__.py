@@ -14,6 +14,10 @@ Public API layout:
 - :mod:`repro.evaluation` — end-to-end latency / energy runner.
 - :mod:`repro.serving` — batched online inference runtime (plan compiler,
   dynamic micro-batching server, throughput/latency metrics).
+- :mod:`repro.gen` — autoregressive generation (bucketed prefill plans,
+  KV-cached decode steps, continuous-batching token streaming).
+- :mod:`repro.cluster` — multi-process sharded serving (shared plan
+  store, least-work router, asyncio TCP front-end).
 """
 
 __version__ = "1.0.0"

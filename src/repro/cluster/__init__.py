@@ -19,7 +19,15 @@ from .net import (
 )
 from .planstore import PlanHandle, SharedPlanStore, plan_from_spec, plan_to_spec
 from .router import LeastWorkRouter, NoShardAvailable
-from .server import ClusterConfig, ClusterServer, ModelSpec, Shard
+from .server import (
+    ClusterConfig,
+    ClusterGenStream,
+    ClusterServer,
+    GenerationError,
+    GenModelSpec,
+    ModelSpec,
+    Shard,
+)
 from .worker import ShardCrashed, ShardProcess, worker_main
 
 __all__ = [
@@ -33,9 +41,12 @@ __all__ = [
     "LeastWorkRouter",
     "NoShardAvailable",
     "ModelSpec",
+    "GenModelSpec",
+    "GenerationError",
     "ClusterConfig",
     "Shard",
     "ClusterServer",
+    "ClusterGenStream",
     "ProtocolError",
     "encode_frame",
     "decode_frame",

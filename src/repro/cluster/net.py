@@ -19,6 +19,9 @@ Request headers:
     {"id": 7, "model": "lenet"}       + npy payload  -> inference
     {"id": 8, "op": "metrics"}        (no payload)   -> cluster summary
     {"id": 9, "op": "ping"}           (no payload)   -> liveness probe
+    {"id": 10, "op": "generate", "model": "gpt_nano",
+     "max_new_tokens": 16, "eos_token": null}
+                                      + npy prompt   -> token stream
 
 Response headers echo the id: ``{"id": 7, "ok": true}`` with an npy
 payload for inference hits, ``{"id": 7, "ok": false, "error": "..."}``
@@ -26,8 +29,18 @@ on failure (unknown model, shape mismatch, admission control, crash).
 Requests may be pipelined; responses come back in completion order, so
 clients match on ``id``.
 
+A ``generate`` request is answered by a *sequence* of frames sharing its
+id: one ``{"id": 10, "ok": true, "stream": true, "token": t, "index": j}``
+per generated token as the worker's decode batch advances, terminated by
+``{"id": 10, "ok": true, "done": true, "tokens": [...]}`` carrying the
+full sequence (or a normal error frame). Stream frames interleave freely
+with other responses on the connection; clients route by id.
+
 :class:`ClusterClient` is the blocking counterpart for scripts and
-tests; it pipelines bursts and reorders responses transparently.
+tests; it pipelines bursts, reorders responses transparently, and
+reconnects once on a broken pipe (a restarted server is transparent
+between requests; a stream cut mid-generation is not replayable, since
+the worker-side KV cache died with the connection's session).
 """
 
 from __future__ import annotations
@@ -176,7 +189,12 @@ class ClusterTCPServer:
                 task.add_done_callback(replies.discard)
             if replies:
                 await asyncio.gather(*replies, return_exceptions=True)
-        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+        except (ProtocolError, ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # CancelledError: the server is stopping while this
+            # connection is idle in a read; finishing the handler (the
+            # finally still closes the writer) keeps asyncio's stream
+            # callback from logging the cancellation as an error.
             pass
         finally:
             for task in replies:
@@ -207,6 +225,9 @@ class ClusterTCPServer:
                     raise ProtocolError("inference request carries no array")
                 future = self.cluster.submit(header.get("model"), array)
                 payload = await asyncio.wrap_future(future)
+            elif op == "generate":
+                await self._serve_generate(writer, write_lock, header, array)
+                return
             else:
                 raise ProtocolError("unknown op %r" % (op,))
         except Exception as exc:  # noqa: BLE001 - reported to the peer
@@ -214,6 +235,54 @@ class ClusterTCPServer:
                      "error": "%s: %s" % (type(exc).__name__, exc)}
             payload = None
         await self._respond(writer, write_lock, reply, payload)
+
+    async def _serve_generate(self, writer, write_lock, header, array):
+        """Stream one generation session's tokens as per-id frames.
+
+        Worker polls are blocking RPCs, so each next-token fetch hops
+        through the default executor — the event loop keeps multiplexing
+        every other connection (and other streams) between tokens.
+        """
+        request_id = header.get("id")
+        loop = asyncio.get_running_loop()
+        done = object()
+        stream = None
+        try:
+            if array is None:
+                raise ProtocolError("generation request carries no prompt")
+            prompt = np.asarray(array).ravel().astype(np.int64)
+            # Session start is a blocking worker RPC (prefill behind the
+            # shard's pipe lock) — off the loop, like every poll below.
+            stream = await loop.run_in_executor(
+                None, lambda: self.cluster.generate(
+                    header.get("model"), prompt,
+                    max_new_tokens=header.get("max_new_tokens"),
+                    eos_token=header.get("eos_token")))
+            tokens = iter(stream)
+            index = 0
+            while True:
+                token = await loop.run_in_executor(None, next, tokens, done)
+                if token is done:
+                    break
+                await self._respond(
+                    writer, write_lock,
+                    {"id": request_id, "ok": True, "stream": True,
+                     "token": int(token), "index": index})
+                index += 1
+            await self._respond(
+                writer, write_lock,
+                {"id": request_id, "ok": True, "done": True,
+                 "tokens": [int(t) for t in stream.tokens]})
+        except Exception as exc:  # noqa: BLE001 - reported to the peer
+            await self._respond(
+                writer, write_lock,
+                {"id": request_id, "ok": False,
+                 "error": "%s: %s" % (type(exc).__name__, exc)})
+        finally:
+            # A client that vanished mid-stream must not pin its
+            # worker-side KV cache: abandon the session (no-op if done).
+            if stream is not None and not stream.done:
+                await loop.run_in_executor(None, stream.close)
 
     async def _respond(self, writer, write_lock, header, payload=None):
         frame = encode_frame(header, payload)
@@ -299,13 +368,59 @@ class ClusterClient:
     Single-threaded convenience for scripts, benchmarks and tests: it
     pipelines whole bursts (all requests written before the first
     response is read) and matches responses by id, which is exactly the
-    pattern the asyncio server is built to overlap.
+    pattern the asyncio server is built to overlap. Stream frames
+    (generation tokens) interleaved with other responses are routed by id
+    through a small stash.
+
+    On a broken pipe (server restarted between requests) the client
+    reconnects once and replays the failed request; inference and
+    telemetry requests are idempotent, so the retry is safe. A connection
+    lost *mid-stream* is not replayed — the worker-side session died with
+    the server — and surfaces as :class:`ConnectionError`.
     """
 
+    _RETRIABLE = (ConnectionError, BrokenPipeError, EOFError, OSError)
+
     def __init__(self, host, port, timeout=60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
         self._next_id = 0
+        self._sock = None
+        self._file = None
+        self._stash = {}
+        # Bumped per (re)connect so stale stream generators fail fast
+        # instead of blocking a full socket timeout on the new socket.
+        self._conn_gen = 0
+        self._connect()
+
+    def _connect(self):
+        self.close()
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._file = self._sock.makefile("rwb")
+        self._stash = {}
+        self._conn_gen += 1
+        # Request ids whose remaining frames should be dropped on sight
+        # (abandoned generate() streams) — nothing will ever claim them.
+        self._discard = set()
+
+    def _with_retry(self, attempt):
+        """Run one request round trip, reconnecting (once) on a dead
+        connection and replaying the attempt.
+
+        Socket timeouts are *not* retried: a slow server is not a dead
+        one, and replaying a burst at a struggling server doubles its
+        work. Note that a reconnect starts a fresh connection — frames
+        of any still-open generate() stream died with the old socket.
+        """
+        try:
+            return attempt()
+        except TimeoutError:  # socket.timeout — server alive but slow
+            raise
+        except self._RETRIABLE:
+            self._connect()
+            return attempt()
 
     # ------------------------------------------------------------------
     def _send(self, header, array=None):
@@ -324,6 +439,29 @@ class ClusterClient:
             raise ConnectionError("server closed the connection mid-frame")
         return decode_frame(body)
 
+    def _recv_matching(self, wanted):
+        """Next frame whose id is in ``wanted``; stash frames for other
+        requests (pipelined bursts / interleaved streams) until theirs.
+        Frames of abandoned streams are dropped instead of stashed."""
+        for rid in wanted:
+            stashed = self._stash.get(rid)
+            if stashed:
+                frame = stashed.pop(0)
+                if not stashed:
+                    del self._stash[rid]
+                return frame
+        while True:
+            header, payload = self._recv()
+            rid = header.get("id")
+            if rid in wanted:
+                return header, payload
+            if rid in self._discard:
+                # Terminal frame of an abandoned stream: forget the id.
+                if header.get("done") or not header.get("ok"):
+                    self._discard.discard(rid)
+                continue
+            self._stash.setdefault(rid, []).append((header, payload))
+
     def _flush(self):
         self._file.flush()
 
@@ -335,19 +473,23 @@ class ClusterClient:
 
     # ------------------------------------------------------------------
     def ping(self):
-        self._send({"op": "ping"})
-        self._flush()
-        header, _ = self._recv()
-        self._check(header)
-        return True
+        def attempt():
+            rid = self._send({"op": "ping"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return True
+        return self._with_retry(attempt)
 
     def metrics(self):
         """The cluster's :meth:`ClusterServer.summary` dict."""
-        self._send({"op": "metrics"})
-        self._flush()
-        header, _ = self._recv()
-        self._check(header)
-        return header["summary"]
+        def attempt():
+            rid = self._send({"op": "metrics"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["summary"]
+        return self._with_retry(attempt)
 
     def infer(self, model, x):
         """One request, one response."""
@@ -360,34 +502,106 @@ class ClusterClient:
         in completion order) are collected and re-ordered by request id.
         Every response of the burst is drained off the socket before any
         error is raised, so a failed request never desynchronises the
-        connection — the client object stays usable.
+        connection — the client object stays usable. A dead connection
+        reconnects once and replays the whole burst.
         """
-        ids = [self._send({"model": model}, x) for x in xs]
-        self._flush()
-        by_id = {}
-        errors = []
-        for _ in ids:
-            header, payload = self._recv()
-            if header.get("ok"):
-                by_id[header["id"]] = payload
-            else:
-                errors.append((header.get("id"),
-                               header.get("error", "unknown")))
-        if errors:
-            raise RuntimeError(
-                "server error on %d of %d requests; first: %s"
-                % (len(errors), len(ids), errors[0][1]))
-        missing = [i for i in ids if i not in by_id]
-        if missing:
-            raise ConnectionError("no response for request ids %s" % missing)
-        return np.stack([by_id[i] for i in ids])
+        def attempt():
+            ids = [self._send({"model": model}, x) for x in xs]
+            self._flush()
+            by_id = {}
+            errors = []
+            for _ in ids:
+                header, payload = self._recv_matching(set(ids))
+                if header.get("ok"):
+                    by_id[header["id"]] = payload
+                else:
+                    errors.append((header.get("id"),
+                                   header.get("error", "unknown")))
+            if errors:
+                raise RuntimeError(
+                    "server error on %d of %d requests; first: %s"
+                    % (len(errors), len(ids), errors[0][1]))
+            missing = [i for i in ids if i not in by_id]
+            if missing:
+                raise ConnectionError("no response for request ids %s"
+                                      % missing)
+            return np.stack([by_id[i] for i in ids])
+        return self._with_retry(attempt)
+
+    # ------------------------------------------------------------------
+    def generate(self, model, prompt, max_new_tokens=None, eos_token=None):
+        """Stream one generation; yields token ids as frames arrive.
+
+        The session is started eagerly (with the reconnect-and-replay
+        guard, so a restarted server is transparent *before* the first
+        token); the returned generator then reads one stream frame per
+        token and finishes on the ``done`` frame.
+        """
+        header = {"op": "generate", "model": model}
+        if max_new_tokens is not None:
+            header["max_new_tokens"] = int(max_new_tokens)
+        if eos_token is not None:
+            header["eos_token"] = int(eos_token)
+        prompt = np.asarray(prompt, dtype=np.int64).ravel()
+
+        def attempt():
+            rid = self._send(header, prompt)
+            self._flush()
+            return rid, self._recv_matching({rid})
+        rid, first = self._with_retry(attempt)
+        born = self._conn_gen
+
+        def stream():
+            frame = first
+            finished = False
+            try:
+                while True:
+                    head, _ = frame
+                    try:
+                        self._check(head)
+                        if head.get("done"):
+                            finished = True
+                            return
+                    except RuntimeError:
+                        finished = True  # error frame is terminal too
+                        raise
+                    yield int(head["token"])
+                    if self._conn_gen != born:
+                        # The client reconnected (another request's
+                        # retry): this stream's session died with the
+                        # old socket and its frames will never arrive.
+                        finished = True
+                        raise ConnectionError(
+                            "generation stream lost: the connection was "
+                            "re-established mid-stream")
+                    frame = self._recv_matching({rid})
+            finally:
+                if not finished:
+                    # Abandoned mid-stream: drop this id's future frames
+                    # (stashed and incoming) instead of accreting them.
+                    self._stash.pop(rid, None)
+                    self._discard.add(rid)
+        return stream()
+
+    def generate_all(self, model, prompt, max_new_tokens=None,
+                     eos_token=None):
+        """Blocking convenience: the full generated token list."""
+        return list(self.generate(model, prompt, max_new_tokens, eos_token))
 
     # ------------------------------------------------------------------
     def close(self):
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self):
         return self

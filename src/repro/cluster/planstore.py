@@ -99,6 +99,8 @@ def plan_to_spec(plan):
         "num_slots": plan.num_slots,
         "output_slot": plan.output_slot,
         "model_name": plan.model_name,
+        "tap_slots": dict(getattr(plan, "tap_slots", {})),
+        "extra_inputs": dict(getattr(plan, "extra_inputs", {})),
     }
     return manifest, arrays
 
@@ -132,7 +134,9 @@ def plan_from_spec(manifest, arrays):
         steps, centroids, tables, layers, manifest["v"], manifest["c"],
         manifest["metric"], manifest["precision"],
         tuple(manifest["input_shape"]), manifest["num_slots"],
-        manifest["output_slot"], model_name=manifest["model_name"])
+        manifest["output_slot"], model_name=manifest["model_name"],
+        tap_slots=manifest.get("tap_slots"),
+        extra_inputs=manifest.get("extra_inputs"))
 
 
 class PlanHandle:

@@ -67,6 +67,21 @@ class LeastWorkRouter:
         with self._lock:
             self._down.add(index)
 
+    def revive(self, index, window=None):
+        """Re-admit a respawned shard: cleared backlog, fresh pace window.
+
+        The replacement worker shares nothing with its predecessor, so
+        outstanding work is zeroed (the crash already re-routed it) and
+        the dead process's pace measurements are replaced by the new
+        shard's — it rides at fleet-average pace until it has traffic.
+        """
+        with self._lock:
+            self._down.discard(index)
+            self._outstanding[index] = 0.0
+            if window is not None:
+                self._windows[index] = window
+            self._pace.pop(index, None)
+
     def alive_shards(self):
         with self._lock:
             return [i for i in self._outstanding if i not in self._down]

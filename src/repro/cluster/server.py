@@ -24,6 +24,8 @@ flushes every queued request before joining the workers.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future
 
 import numpy as np
@@ -36,7 +38,8 @@ from .planstore import SharedPlanStore
 from .router import LeastWorkRouter, NoShardAvailable
 from .worker import ShardCrashed, ShardProcess
 
-__all__ = ["ModelSpec", "ClusterConfig", "Shard", "ClusterServer"]
+__all__ = ["ModelSpec", "GenModelSpec", "GenerationError", "ClusterConfig",
+           "Shard", "ClusterGenStream", "ClusterServer"]
 
 
 class ModelSpec:
@@ -55,6 +58,28 @@ class ModelSpec:
         self.precision = precision  # None -> the cluster config's default
 
 
+class GenModelSpec:
+    """One decoder model the cluster should serve *autoregressively*.
+
+    Compiles through :func:`repro.gen.compiler.compile_generation` into
+    bucketed prefill plans plus a decode-step plan, all published through
+    the shared plan store like any other plan. Generation sessions pin to
+    one shard (their KV caches live in that worker process) and stream
+    tokens back through :meth:`ClusterServer.generate`.
+    """
+
+    def __init__(self, model, buckets=None, sample_prompts=None,
+                 precision=None):
+        self.model = model
+        self.buckets = buckets
+        self.sample_prompts = sample_prompts
+        self.precision = precision
+
+
+class GenerationError(RuntimeError):
+    """A generation session failed (its shard crashed mid-stream)."""
+
+
 class ClusterConfig:
     """Tunables of one :class:`ClusterServer` deployment.
 
@@ -66,7 +91,8 @@ class ClusterConfig:
 
     def __init__(self, workers=2, max_batch_size=32, max_wait_ms=2.0,
                  max_pending=1024, precision="fp32", sim_config=None,
-                 autotune=False, autotune_interval=24, start_timeout=120.0):
+                 autotune=False, autotune_interval=24, start_timeout=120.0,
+                 respawn=True, default_max_new_tokens=16):
         self.workers = int(workers)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -76,6 +102,11 @@ class ClusterConfig:
         self.autotune = bool(autotune)
         self.autotune_interval = int(autotune_interval)
         self.start_timeout = float(start_timeout)
+        # Resurrect crashed workers from the shared plan store (in-flight
+        # work still re-routes; the replacement rejoins the router once
+        # it maps the plans). Disable for pure re-route semantics.
+        self.respawn = bool(respawn)
+        self.default_max_new_tokens = int(default_max_new_tokens)
 
     def __repr__(self):
         return ("ClusterConfig(workers=%d, max_batch=%d, max_wait=%.1fms, "
@@ -94,9 +125,10 @@ class Shard:
     the per-topology books.
     """
 
-    def __init__(self, index, handles, plan_keys, config, predictors):
+    def __init__(self, index, handles, plan_keys, config, predictors,
+                 gen_meta=None):
         self.index = index
-        self.process = ShardProcess(index, handles,
+        self.process = ShardProcess(index, handles, gen_meta=gen_meta,
                                     start_timeout=config.start_timeout)
         self.window = MetricsWindow()
         self.metrics = {}
@@ -154,6 +186,115 @@ class Shard:
             len(self.batchers))
 
 
+class ClusterGenStream:
+    """Pull-based token stream for one cluster generation session.
+
+    Iterating (or calling :meth:`result`) polls the pinned worker; a poll
+    with no queued tokens advances that worker's shared decode batch one
+    tick, so polling *is* the decode scheduler — concurrent sessions on a
+    shard advance together regardless of which client polls. ``tokens``
+    accumulates everything received.
+    """
+
+    def __init__(self, cluster, key, shard, sid, first_tokens, done):
+        self._cluster = cluster
+        self._key = key
+        self._shard = shard
+        self._sid = sid
+        self.tokens = list(first_tokens)
+        self._buffer = deque(first_tokens)
+        self._done = bool(done)
+        self._error = None
+        self._settled = False
+        if self._done:
+            self._settle()
+
+    def _settle(self):
+        if not self._settled:
+            self._settled = True
+            self._cluster._gen_finished(self._shard.index, self._key)
+
+    @property
+    def done(self):
+        return self._done
+
+    def _poll(self):
+        try:
+            reply = self._shard.process.request("gen_poll", self._key,
+                                                self._sid)
+        except ShardCrashed as exc:
+            self._done = True
+            self._settle()
+            self._cluster._shard_down(self._shard.index)
+            self._error = GenerationError(
+                "shard %d crashed mid-generation (its KV caches are "
+                "gone); restart the session" % self._shard.index)
+            raise self._error from exc
+        except RuntimeError as exc:
+            # A worker-side error reply (the worker itself is healthy):
+            # the session is unusable — settle the router's credit and
+            # free its worker-side state instead of leaking both.
+            self._done = True
+            self._settle()
+            try:
+                self._shard.process.request("gen_drop", self._key,
+                                            self._sid)
+            except (ShardCrashed, RuntimeError):
+                pass
+            self._error = GenerationError(
+                "generation failed on shard %d: %s"
+                % (self._shard.index, exc))
+            raise self._error from exc
+        new = [int(t) for t in reply["tokens"]]
+        self.tokens.extend(new)
+        self._buffer.extend(new)
+        self._cluster._gen_stats[self._key]["tokens"] += len(new)
+        if reply["done"]:
+            self._done = True
+            self._settle()
+        return bool(new)
+
+    def __iter__(self):
+        if self._error is not None:
+            raise self._error
+        while True:
+            while self._buffer:
+                yield self._buffer.popleft()
+            if self._done:
+                return
+            if not self._poll() and not self._done:
+                time.sleep(0.001)
+
+    def result(self, timeout=120.0):
+        """Block until the session completes; returns the token list."""
+        if self._error is not None:
+            raise self._error
+        deadline = time.monotonic() + timeout
+        while not self._done:
+            if time.monotonic() > deadline:
+                raise TimeoutError("generation did not finish within %.1fs"
+                                   % timeout)
+            if not self._poll() and not self._done:
+                time.sleep(0.001)
+        return list(self.tokens)
+
+    def close(self):
+        """Abandon the session (frees its worker-side KV cache)."""
+        if self._done:
+            return
+        self._done = True
+        self._settle()
+        try:
+            self._shard.process.request("gen_drop", self._key, self._sid)
+        except (ShardCrashed, RuntimeError):
+            pass
+
+    def __repr__(self):
+        return "ClusterGenStream(%r@shard%d, %d tokens%s)" % (
+            self._key, self._shard.index, len(self.tokens),
+            ", done" if self._done else "")
+
+
 class ClusterServer:
     """Serve a dict of converted models across worker processes.
 
@@ -174,12 +315,18 @@ class ClusterServer:
             raise ValueError("a cluster needs at least one worker process")
         self.store = SharedPlanStore()
         self.plans = {}
+        self.gen_plans = {}
         self.predictors = {}
         self.shards = []
+        self._gen_meta = {}
+        self._gen_stats = {}
         started = False
         try:
             for key, spec in specs.items():
                 precision = spec.precision or self.config.precision
+                if isinstance(spec, GenModelSpec):
+                    self._compile_gen(key, spec, precision)
+                    continue
                 plan = compile_model(
                     spec.model, spec.input_shape, precision=precision,
                     sample_input=spec.sample_input, name=key)
@@ -187,15 +334,13 @@ class ClusterServer:
                 self.store.publish(key, plan)
                 self.predictors[key] = CyclePredictor(
                     plan, self.config.sim_config)
-            handles = self.store.handles()
-            plan_keys = list(self.plans)
+            self._handles = self.store.handles()
+            self._plan_keys = list(self.plans)
             # Append as each shard comes up so a mid-construction failure
             # can tear down the shards (and their worker processes) that
             # already started instead of leaking them.
             for i in range(self.config.workers):
-                self.shards.append(
-                    Shard(i, handles, plan_keys, self.config,
-                          self.predictors))
+                self.shards.append(self._spawn_shard(i))
             started = True
         finally:
             if not started:
@@ -209,7 +354,38 @@ class ClusterServer:
             self.router.add_shard(shard.index)
         self._by_index = {shard.index: shard for shard in self.shards}
         self._lock = threading.Lock()
+        self._respawning = set()
+        self._respawn_threads = []
         self._accepting = True
+
+    def _compile_gen(self, key, spec, precision):
+        from ..gen.compiler import compile_generation
+
+        gen_plan = compile_generation(
+            spec.model, buckets=spec.buckets, precision=precision,
+            sample_prompts=spec.sample_prompts, name=key)
+        self.gen_plans[key] = gen_plan
+        prefill_keys = []
+        for bucket, plan in sorted(gen_plan.prefill.items()):
+            store_key = "%s::prefill%d" % (key, bucket)
+            self.store.publish(store_key, plan)
+            prefill_keys.append((bucket, store_key))
+        decode_key = "%s::decode" % key
+        self.store.publish(decode_key, gen_plan.decode)
+        self._gen_meta[key] = {
+            "prefill_keys": prefill_keys,
+            "decode_key": decode_key,
+            "geometry": dict(gen_plan.meta),
+        }
+        self._gen_stats[key] = {"sessions": 0, "tokens": 0}
+        # Sessions are priced at one decode step; the router only needs a
+        # relative weight to balance generation against batch traffic.
+        self.predictors[key] = CyclePredictor(
+            gen_plan.decode, self.config.sim_config)
+
+    def _spawn_shard(self, index):
+        return Shard(index, self._handles, self._plan_keys, self.config,
+                     self.predictors, gen_meta=self._gen_meta)
 
     # ------------------------------------------------------------------
     # Request path
@@ -287,6 +463,105 @@ class ClusterServer:
 
     def _shard_down(self, index):
         self.router.mark_down(index)
+        if not (self.config.respawn and self._accepting):
+            return
+        with self._lock:
+            if index in self._respawning or not self._accepting:
+                return
+            self._respawning.add(index)
+            thread = threading.Thread(
+                target=self._respawn, args=(index,),
+                name="lut-cluster-respawn-%d" % index, daemon=True)
+            # Start before the thread is visible to shutdown()'s join
+            # loop — joining a never-started Thread raises. Prune the
+            # finished entries here so a crash-prone fleet's bookkeeping
+            # stays bounded.
+            thread.start()
+            self._respawn_threads[:] = [
+                t for t in self._respawn_threads if t.is_alive()]
+            self._respawn_threads.append(thread)
+
+    def _respawn(self, index):
+        """Resurrect a crashed worker from the shared plan store.
+
+        The dead shard's queues are torn down (their in-flight requests
+        already re-routed), a fresh worker process maps the same shared
+        segments, and the shard rejoins the router — generation sessions
+        that lived on the dead worker are lost (their KV caches died with
+        it), but capacity recovers without any recompilation.
+        """
+        try:
+            old = self._by_index[index]
+            try:
+                old.close(drain=False, timeout=2.0)
+            except Exception:
+                old.process.kill()
+            shard = self._spawn_shard(index)
+        except Exception:
+            # Spawn failed (e.g. mid-shutdown unlink); stay routed-around.
+            with self._lock:
+                self._respawning.discard(index)
+            return
+        with self._lock:
+            if not self._accepting:
+                self._respawning.discard(index)
+                shard.close(drain=False, timeout=2.0)
+                return
+            self._by_index[index] = shard
+            self.shards[self.shards.index(old)] = shard
+            self.router.revive(index, window=shard.window)
+            self._respawning.discard(index)
+
+    # ------------------------------------------------------------------
+    # Generation path
+    # ------------------------------------------------------------------
+    def generate(self, key, prompt, max_new_tokens=None, eos_token=None):
+        """Start one generation session; returns a token stream.
+
+        The session pins to one shard (picked by the router) and its KV
+        cache lives in that worker process; the returned
+        :class:`ClusterGenStream` pulls tokens as the worker's shared
+        decode batch advances. A crash of the pinned shard fails the
+        stream with :class:`GenerationError` (cached state cannot be
+        re-routed) — with ``respawn`` enabled the worker itself comes
+        back for subsequent sessions.
+        """
+        if key not in self.gen_plans:
+            raise KeyError("unknown generation model %r (serving: %s)"
+                           % (key, sorted(self.gen_plans)))
+        if not self._accepting:
+            raise AdmissionError("cluster is shut down")
+        max_new = (self.config.default_max_new_tokens
+                   if max_new_tokens is None else int(max_new_tokens))
+        if max_new < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        tried = set()
+        while True:
+            index = self.router.pick(key, exclude=tried)
+            shard = self._by_index[index]
+            tried.add(index)
+            try:
+                reply = shard.process.request("gen_start", key,
+                                              prompt, max_new, eos_token)
+            except ShardCrashed:
+                self._shard_down(index)
+                continue
+            self.router.started(index, key)
+            stats = self._gen_stats[key]
+            stats["sessions"] += 1
+            stats["tokens"] += len(reply["tokens"])
+            return ClusterGenStream(self, key, shard, reply["sid"],
+                                    reply["tokens"], reply["done"])
+
+    def generate_all(self, key, prompt, max_new_tokens=None, eos_token=None,
+                     timeout=120.0):
+        """Blocking convenience: the full generated token list."""
+        return self.generate(key, prompt, max_new_tokens,
+                             eos_token).result(timeout)
+
+    def _gen_finished(self, index, key):
+        self.router.finished(index, key)
 
     # ------------------------------------------------------------------
     # Conveniences
@@ -323,7 +598,7 @@ class ClusterServer:
                        for s in self.shards)
             models[key] = {"requests": requests, "batches": batches,
                            "requests_per_s": rate}
-        return {
+        summary = {
             "workers": len(self.shards),
             "alive_workers": self.alive_workers(),
             "requests": sum(m["requests"] for m in models.values()),
@@ -334,6 +609,10 @@ class ClusterServer:
                         **s.window.snapshot()}
                        for s in self.shards],
         }
+        if self._gen_stats:
+            summary["generation"] = {
+                key: dict(stats) for key, stats in self._gen_stats.items()}
+        return summary
 
     def report(self, title="cluster metrics"):
         from ..evaluation.report import format_table
@@ -368,6 +647,9 @@ class ClusterServer:
         if not self._accepting:
             return
         self._accepting = False
+        deadline = time.monotonic() + timeout
+        for thread in list(getattr(self, "_respawn_threads", [])):
+            thread.join(max(0.0, deadline - time.monotonic()))
         self._teardown(drain, timeout)
 
     def close(self, timeout=10.0):

@@ -37,15 +37,31 @@ class ShardCrashed(RuntimeError):
     """The shard's worker process died (or its pipe broke) mid-flight."""
 
 
-def worker_main(conn, handles):
+def worker_main(conn, handles, gen_meta=None):
     """Child entry point: attach plans, serve RPCs until told to stop.
 
     Protocol (parent -> child):
         ``("run", job_id, key, batch)``  execute ``batch`` on plan ``key``
+        ``("gen_start", job_id, key, prompt, max_new, eos)``
+                                         prefill + admit one generation
+        ``("gen_poll", job_id, key, sid)``
+                                         drain that session's new tokens,
+                                         advancing the shared decode batch
+                                         one tick when none are queued
+        ``("gen_drop", job_id, key, sid)``
+                                         abandon a session (free its KV)
         ``("stop",)``                    drain-free exit
     Replies (child -> parent):
         ``("ready", plan_count)`` once all plans are mapped,
         ``("ok", job_id, result)`` / ``("err", job_id, message)`` per job.
+
+    Generation sessions live worker-side: ``gen_meta`` maps a model key to
+    its bucket/decode plan names in ``handles`` plus the decoder geometry,
+    and each key lazily builds a :class:`~repro.gen.session.GenCore` whose
+    KV caches stay in this process. Because the RPC loop is serial, a
+    ``gen_poll`` tick *is* the continuous-batching scheduler: every live
+    session of this worker advances together on whichever session polls
+    first, and its tokens queue until their own poll drains them.
 
     Execution goes through a :class:`ServingEngine`'s ``run`` so a future
     per-worker plan cache slots in unchanged; errors are stringified (an
@@ -54,6 +70,29 @@ def worker_main(conn, handles):
     """
     engine = ServingEngine()
     plans = {key: handle.load() for key, handle in handles.items()}
+    gen_meta = gen_meta or {}
+    cores = {}
+    pending = {}  # (key, sid) -> [tokens...]
+    finished = set()
+
+    def core_for(key):
+        if key not in cores:
+            from ..gen.compiler import GenPlan
+            from ..gen.session import GenCore
+
+            meta = gen_meta[key]
+            prefill = {int(bucket): plans[plan_key]
+                       for bucket, plan_key in meta["prefill_keys"]}
+            cores[key] = GenCore(GenPlan(prefill, plans[meta["decode_key"]],
+                                         meta["geometry"]))
+        return cores[key]
+
+    def tick(key):
+        for sid, token, done in core_for(key).step():
+            pending.setdefault((key, sid), []).append(token)
+            if done:
+                finished.add((key, sid))
+
     conn.send(("ready", len(plans)))
     while True:
         try:
@@ -62,10 +101,38 @@ def worker_main(conn, handles):
             break
         if msg[0] == "stop":
             break
-        _, job_id, key, batch = msg
+        op, job_id = msg[0], msg[1]
         try:
-            result = engine.run(plans[key], batch)
-            conn.send(("ok", job_id, result))
+            if op == "run":
+                _, _, key, batch = msg
+                conn.send(("ok", job_id, engine.run(plans[key], batch)))
+            elif op == "gen_start":
+                _, _, key, prompt, max_new, eos = msg
+                sid, first, done = core_for(key).start(prompt, max_new, eos)
+                # A session done at start is fully reported here — the
+                # parent never polls it, so nothing may linger in
+                # `finished` (that set is only drained by polls).
+                conn.send(("ok", job_id,
+                           {"sid": sid, "tokens": [first], "done": done}))
+            elif op == "gen_poll":
+                _, _, key, sid = msg
+                if (not pending.get((key, sid))
+                        and (key, sid) not in finished):
+                    tick(key)
+                tokens = pending.pop((key, sid), [])
+                done = (key, sid) in finished
+                if done:
+                    finished.discard((key, sid))
+                conn.send(("ok", job_id, {"tokens": tokens, "done": done}))
+            elif op == "gen_drop":
+                _, _, key, sid = msg
+                if key in cores:
+                    cores[key].drop(sid)
+                pending.pop((key, sid), None)
+                finished.discard((key, sid))
+                conn.send(("ok", job_id, True))
+            else:
+                conn.send(("err", job_id, "unknown op %r" % (op,)))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             conn.send(("err", job_id, "%s: %s" % (type(exc).__name__, exc)))
     conn.close()
@@ -80,13 +147,13 @@ class ShardProcess:
     gone, which the cluster server converts into a re-route.
     """
 
-    def __init__(self, index, handles, start_timeout=60.0):
+    def __init__(self, index, handles, gen_meta=None, start_timeout=60.0):
         self.index = index
         self._jobs = itertools.count()
         self._lock = threading.Lock()
         self._conn, child_conn = _CTX.Pipe()
         self.process = _CTX.Process(
-            target=worker_main, args=(child_conn, handles),
+            target=worker_main, args=(child_conn, handles, gen_meta),
             name="lut-shard-%d" % index, daemon=True)
         self.process.start()
         # The child owns its end now; dropping the parent's reference is
@@ -117,12 +184,16 @@ class ShardProcess:
 
     def execute(self, key, batch):
         """Run one stacked batch on the worker; returns the result array."""
+        return self.request("run", key, np.asarray(batch))
+
+    def request(self, op, *args):
+        """One lock-serialised RPC round trip (``run`` and the gen ops)."""
         with self._lock:
             if not self._alive:
                 raise ShardCrashed("shard %d is down" % self.index)
             job_id = next(self._jobs)
             try:
-                self._conn.send(("run", job_id, key, np.asarray(batch)))
+                self._conn.send((op, job_id) + args)
                 reply = self._conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 self._alive = False

@@ -1,0 +1,36 @@
+"""Autoregressive decoder serving: bucketed prefill, KV-cached decode.
+
+The generation subsystem layers on the serving plan machinery:
+:func:`compile_generation` turns a converted causal decoder into a
+:class:`GenPlan` (per-bucket prefill plans with K/V taps + a decode-step
+plan), :class:`GeneratorServer` serves it with batched prefill and a
+continuous-batching decode loop streaming tokens per session, and
+:func:`lut_generate` is the cacheless per-request reference the fp64
+engine output is bit-identical to. The cluster layer
+(:mod:`repro.cluster`) ships the same plans to worker processes and
+streams tokens over TCP.
+"""
+
+from .compiler import GenPlan, compile_generation, default_buckets, kv_tap_names
+from .reference import lut_generate, reference_logits
+from .session import (
+    GenConfig,
+    GenCore,
+    GenSession,
+    GeneratorServer,
+    KVCache,
+)
+
+__all__ = [
+    "GenPlan",
+    "compile_generation",
+    "default_buckets",
+    "kv_tap_names",
+    "lut_generate",
+    "reference_logits",
+    "KVCache",
+    "GenCore",
+    "GenConfig",
+    "GenSession",
+    "GeneratorServer",
+]

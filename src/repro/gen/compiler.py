@@ -1,0 +1,378 @@
+"""Compile a causal decoder LM into a generation plan.
+
+Autoregressive serving needs two different compiled artifacts from one
+model:
+
+1. **Bucketed prefill plans.** The DAG tracer only produces fixed-shape
+   plans, so variable-length prompts are served by compiling the model
+   once per *sequence bucket* and right-padding each prompt to its
+   smallest covering bucket. Causal masking makes the padding free: a pad
+   token can only influence positions at or after itself, so the rows of
+   real positions are bit-identical to unpadded execution (the property
+   tests in ``tests/test_gen_kernels.py`` pin this down). Each bucket plan
+   additionally *taps* the per-layer split-head K/V tensors
+   (:func:`repro.serving.compiler.compile_model` ``taps=``), which is how
+   one prefill pass both scores the prompt and fills the KV cache.
+
+2. **A decode-step plan.** One step consumes a single new token per
+   sequence against the cached K/V: embed token + position, and per layer
+   project Q/K/V from the (batch, dim) activations, append K/V into the
+   stacked caches (``kv_append``), and run fused masked attention over the
+   cache (``cached_attention``). This plan is hand-lowered from the module
+   structure rather than traced — cache mutation has no SSA form — but it
+   reuses the exact same :class:`~repro.serving.compiler.KernelPlan`
+   container, packed-buffer layout, step kinds and executor as every other
+   plan, so it ships through the shared-memory plan store and runs on
+   cluster workers unchanged.
+
+Both artifacts execute the shared :mod:`repro.vq.kernels`, which is what
+makes a full fp64 generation (prefill + N decode steps) bit-identical to
+the per-request :func:`repro.gen.reference.lut_generate` reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lutboost.lut_layers import LUTLinear
+from ..nn.layers import Linear
+from ..serving.compiler import (
+    CompileError,
+    KernelPlan,
+    KernelStep,
+    PRECISION_DTYPES,
+    pack_lut_specs,
+)
+
+__all__ = ["GenPlan", "compile_generation", "default_buckets", "kv_tap_names"]
+
+
+def kv_tap_names(num_layers):
+    """The tap names a decoder plan exposes: k0, v0, k1, v1, ..."""
+    return [("k%d" % i, "v%d" % i) for i in range(num_layers)]
+
+
+def default_buckets(max_len, smallest=8):
+    """Power-of-two sequence buckets up to ``max_len`` (inclusive)."""
+    buckets = []
+    size = min(smallest, max_len)
+    while size < max_len:
+        buckets.append(size)
+        size *= 2
+    buckets.append(max_len)
+    return tuple(sorted(set(buckets)))
+
+
+class GenPlan:
+    """Everything one decoder model needs to generate: buckets + decode.
+
+    Attributes
+    ----------
+    prefill:
+        ``{bucket_length: KernelPlan}`` — fixed-shape plans with per-layer
+        K/V tap slots.
+    decode:
+        The single-token :class:`KernelPlan` (extra inputs: ``positions``,
+        ``lengths``, per-layer ``k_cache_i`` / ``v_cache_i``).
+    meta:
+        Plain-dict geometry (picklable, shipped to cluster workers):
+        ``num_layers``, ``num_heads``, ``head_dim``, ``dim``,
+        ``vocab_size``, ``max_len``, ``pad_token``, ``precision``.
+    """
+
+    def __init__(self, prefill, decode, meta):
+        self.prefill = {int(length): plan for length, plan in prefill.items()}
+        self.decode = decode
+        self.meta = dict(meta)
+
+    @property
+    def buckets(self):
+        return tuple(sorted(self.prefill))
+
+    @property
+    def precision(self):
+        return self.meta["precision"]
+
+    @property
+    def dtype(self):
+        return self.decode.dtype
+
+    @property
+    def num_layers(self):
+        return self.meta["num_layers"]
+
+    @property
+    def max_len(self):
+        return self.meta["max_len"]
+
+    def bucket_for(self, length):
+        """Smallest bucket covering a prompt of ``length`` tokens."""
+        for bucket in self.buckets:
+            if bucket >= length:
+                return bucket
+        raise ValueError("prompt of %d tokens exceeds the largest bucket %d"
+                         % (length, self.buckets[-1]))
+
+    def pad_prompt(self, prompt):
+        """Right-pad ``prompt`` into its bucket; returns (padded, bucket)."""
+        prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        bucket = self.bucket_for(len(prompt))
+        padded = np.full(bucket, self.meta["pad_token"], dtype=np.int64)
+        padded[:len(prompt)] = prompt
+        return padded, bucket
+
+    def storage_bytes(self):
+        plans = list(self.prefill.values()) + [self.decode]
+        return sum(plan.storage_bytes() for plan in plans)
+
+    def __repr__(self):
+        return "GenPlan(%s: buckets %s, %d layers, %s)" % (
+            self.decode.model_name, list(self.buckets),
+            self.num_layers, self.precision)
+
+
+# ----------------------------------------------------------------------
+# Decode-step plan construction
+# ----------------------------------------------------------------------
+
+class _DecodeBuilder:
+    """Slot bookkeeping for the hand-lowered decode graph."""
+
+    def __init__(self):
+        self.steps = []          # (kind, inputs, out, params) — lut steps
+        self.num_slots = 1       # slot 0 is the token batch
+        self.extra_inputs = {}
+        self.tap_slots = {}
+
+    def new_slot(self):
+        slot = self.num_slots
+        self.num_slots += 1
+        return slot
+
+    def extra(self, name):
+        slot = self.new_slot()
+        self.extra_inputs[name] = slot
+        return slot
+
+    def emit(self, kind, inputs, **params):
+        out = self.new_slot()
+        self.steps.append((kind, tuple(inputs), out, params))
+        return out
+
+    def tap(self, name, slot):
+        self.tap_slots[name] = slot
+
+
+def _decoder_blocks(model):
+    blocks = getattr(model, "blocks", None)
+    if not blocks or not all(hasattr(b, "attn") and hasattr(b.attn, "k_proj")
+                             for b in blocks):
+        raise CompileError(
+            "cannot compile generation plans for %s: expected a "
+            "TransformerDecoderLM-style model (blocks of causal attention "
+            "+ FFN)" % (type(model).__name__,))
+    return blocks
+
+
+def _emit_projection(builder, module, name, x_slot, dtype, export_precision,
+                     specs):
+    """Emit a Linear/LUTLinear projection of a (batch, features) slot."""
+    if isinstance(module, LUTLinear):
+        if not module.calibrated:
+            raise CompileError(
+                "cannot compile generation plans: LUT operator %r is not "
+                "calibrated; run calibrate_model() first" % (name,))
+        specs.append((name, module.export_kernel(export_precision)))
+        return builder.emit("lut_gemm", [x_slot], spec_index=len(specs) - 1)
+    if isinstance(module, Linear):
+        return builder.emit(
+            "gemm", [x_slot],
+            weight=module.weight.data.astype(dtype),
+            bias=None if module.bias is None
+            else module.bias.data.astype(dtype))
+    raise CompileError("cannot lower projection %r (%s) into a decode step"
+                       % (name, type(module).__name__))
+
+
+def _emit_layernorm(builder, norm, x_slot, dtype):
+    return builder.emit("layernorm", [x_slot],
+                        weight=norm.weight.data.astype(dtype),
+                        bias=norm.bias.data.astype(dtype), eps=norm.eps)
+
+
+def _pack_decode_specs(specs, dtype, model_name):
+    """Pack the decode projections through the serving compiler's shared
+    packer (one byte layout for every plan producer); a decode step
+    touches one activation row per sample."""
+    return pack_lut_specs([(name, 1, spec) for name, spec in specs],
+                          dtype, model_name)
+
+
+def _build_decode_plan(model, precision, name):
+    """Hand-lower one decode step into a KernelPlan.
+
+    Input slot 0 holds the (batch,) token ids; extra inputs carry the
+    (batch,) positions and cache fills plus the stacked per-layer KV
+    caches; taps expose the step's freshly projected K/V so the session
+    layer can append them to its per-sequence caches.
+    """
+    dtype = PRECISION_DTYPES[precision]
+    export_precision = "bf16+int8" if precision == "bf16+int8" else "fp32"
+    blocks = _decoder_blocks(model)
+    heads = model.num_heads
+    head_dim = model.head_dim
+    dim = model.dim
+    scale = 1.0 / np.sqrt(head_dim)
+
+    builder = _DecodeBuilder()
+    specs = []
+    positions = builder.extra("positions")
+    lengths = builder.extra("lengths")
+    caches = [(builder.extra("k_cache_%d" % i), builder.extra("v_cache_%d" % i))
+              for i in range(len(blocks))]
+
+    tok = builder.emit("embedding", [0],
+                       weight=model.tok_embed.weight.data.astype(dtype))
+    pos = builder.emit("embedding", [positions],
+                       weight=model.pos_embed.weight.data.astype(dtype))
+    x = builder.emit("add", [tok, pos])
+    # cached_attention masks by *valid* rows, which include the row this
+    # step appends at index ``lengths``.
+    valid = builder.emit("add", [lengths], const=1)
+    for i, block in enumerate(blocks):
+        attn = block.attn
+        h = _emit_layernorm(builder, block.norm1, x, dtype)
+        q = _emit_projection(builder, attn.q_proj, "blocks.%d.attn.q_proj" % i,
+                             h, dtype, export_precision, specs)
+        k = _emit_projection(builder, attn.k_proj, "blocks.%d.attn.k_proj" % i,
+                             h, dtype, export_precision, specs)
+        v = _emit_projection(builder, attn.v_proj, "blocks.%d.attn.v_proj" % i,
+                             h, dtype, export_precision, specs)
+        q_h = builder.emit("reshape", [q], tail=(heads, head_dim))
+        k_h = builder.emit("reshape", [k], tail=(heads, head_dim))
+        v_h = builder.emit("reshape", [v], tail=(heads, head_dim))
+        builder.tap("k%d" % i, k_h)
+        builder.tap("v%d" % i, v_h)
+        k_cache = builder.emit("kv_append", [caches[i][0], k_h, lengths])
+        v_cache = builder.emit("kv_append", [caches[i][1], v_h, lengths])
+        ctx = builder.emit("cached_attention", [q_h, k_cache, v_cache, valid],
+                           scale=scale)
+        ctx_flat = builder.emit("reshape", [ctx], tail=(dim,))
+        out = _emit_projection(builder, attn.out_proj,
+                               "blocks.%d.attn.out_proj" % i,
+                               ctx_flat, dtype, export_precision, specs)
+        x = builder.emit("add", [x, out])
+        h2 = _emit_layernorm(builder, block.norm2, x, dtype)
+        f = _emit_projection(builder, block.ffn_in, "blocks.%d.ffn_in" % i,
+                             h2, dtype, export_precision, specs)
+        g = builder.emit("gelu", [f])
+        f2 = _emit_projection(builder, block.ffn_out, "blocks.%d.ffn_out" % i,
+                              g, dtype, export_precision, specs)
+        x = builder.emit("add", [x, f2])
+    x = _emit_layernorm(builder, model.final_norm, x, dtype)
+    logits = _emit_projection(builder, model.head, "head", x, dtype,
+                              export_precision, specs)
+
+    centroids, tables, layers, v, c, metric = _pack_decode_specs(
+        specs, dtype, name)
+    steps = []
+    for kind, inputs, out, params in builder.steps:
+        if kind == "lut_gemm":
+            index = params["spec_index"]
+            layer = layers[index]
+            spec = specs[index][1]
+            steps.append(KernelStep(
+                "lut_gemm", inputs=inputs, out=out,
+                layer=index, op="linear", k=layer["k"],
+                n_out=layer["n_out"],
+                centroids=centroids[layer["subspace_slice"]],
+                table=tables[layer["table_slice"]].reshape(
+                    layer["num_subspaces"], c, layer["n_out"]),
+                bias=None if spec["bias"] is None
+                else spec["bias"].astype(dtype),
+                metric=metric))
+        else:
+            steps.append(KernelStep(kind, inputs=inputs, out=out, **params))
+    return KernelPlan(
+        steps, centroids, tables, layers, v, c, metric, precision,
+        input_shape=(), num_slots=builder.num_slots, output_slot=logits,
+        model_name=name, tap_slots=builder.tap_slots,
+        extra_inputs=builder.extra_inputs)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def compile_generation(model, buckets=None, precision="fp32",
+                       sample_prompts=None, verify=True, name=""):
+    """Compile a decoder LM into a :class:`GenPlan`.
+
+    Parameters
+    ----------
+    model:
+        A converted + calibrated :class:`~repro.models.TransformerDecoderLM`
+        (or structurally equivalent causal decoder).
+    buckets:
+        Sequence-length buckets for prefill; defaults to powers of two up
+        to ``model.max_len``. Prompts are right-padded to their smallest
+        covering bucket.
+    precision:
+        Same vocabulary as the serving compiler: ``fp32`` / ``fp64`` /
+        ``bf16+int8``. ``fp64`` is the bit-identical reference precision.
+    sample_prompts:
+        Optional ``(n, max_len)`` int array of representative token ids;
+        each bucket traces and verifies on a slice of it. Random ids are
+        generated when omitted.
+    verify:
+        Per-bucket plan verification (replay vs the model forward) — the
+        standard :func:`compile_model` gate.
+    """
+    name = name or type(model).__name__
+    blocks = _decoder_blocks(model)
+    max_len = int(model.max_len)
+    buckets = tuple(sorted(set(int(b) for b in (buckets or
+                                                default_buckets(max_len)))))
+    if not buckets:
+        raise CompileError("at least one sequence bucket is required")
+    if buckets[0] < 2:
+        raise CompileError("sequence buckets must be >= 2 tokens")
+    if buckets[-1] > max_len:
+        raise CompileError("bucket %d exceeds the model's max_len %d"
+                           % (buckets[-1], max_len))
+    if sample_prompts is None:
+        rng = np.random.default_rng(0)
+        sample_prompts = rng.integers(0, model.vocab_size, size=(3, max_len))
+    sample_prompts = np.asarray(sample_prompts)
+
+    from ..serving.compiler import compile_model
+
+    tap_pairs = kv_tap_names(len(blocks))
+
+    def taps(m):
+        out = {}
+        for (k_name, v_name), block in zip(tap_pairs, m.blocks):
+            out[k_name] = block.attn.last_k
+            out[v_name] = block.attn.last_v
+        return out
+
+    prefill = {}
+    for bucket in buckets:
+        prefill[bucket] = compile_model(
+            model, (bucket,), precision=precision,
+            sample_input=sample_prompts[:3, :bucket], verify=verify,
+            taps=taps, name="%s@prefill%d" % (name, bucket))
+
+    decode = _build_decode_plan(model, precision, "%s@decode" % name)
+    meta = {
+        "num_layers": len(blocks),
+        "num_heads": int(model.num_heads),
+        "head_dim": int(model.head_dim),
+        "dim": int(model.dim),
+        "vocab_size": int(model.vocab_size),
+        "max_len": max_len,
+        "pad_token": 0,
+        "precision": precision,
+        "name": name,
+    }
+    return GenPlan(prefill, decode, meta)

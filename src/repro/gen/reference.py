@@ -1,0 +1,134 @@
+"""Per-request reference path for autoregressive generation.
+
+``lut_generate`` is the generation analogue of chaining ``lut_inference``
+per request: one prompt, no batching, no buckets, no KV cache — every
+emitted token recomputes the full prefix through the LUT operators'
+offline inference path plus the shared :mod:`repro.vq.kernels`. It is the
+obviously-correct baseline the engine must reproduce: at fp64 the
+:class:`~repro.gen.session.GeneratorServer` (padded bucketed prefill +
+continuous-batched cached decode, locally or across the cluster's TCP
+streaming path) must emit the *bit-identical* token sequence.
+
+The kernels module is written so that sharing it really does pin the bits:
+attention contractions are einsum (shape-independent per entry) and the
+masked softmaxes normalise with a running sum (padding-independent), so
+"same functions, different batching/padding" cannot drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lutboost.lut_layers import LUTConv2d, LUTLinear
+from ..nn.layers import Linear
+from ..vq import kernels
+
+__all__ = ["reference_logits", "lut_generate"]
+
+
+def _project(module, x, export_precision):
+    """One Linear/LUTLinear projection on a raw (rows, features) array."""
+    if isinstance(module, (LUTLinear, LUTConv2d)):
+        return module.lut_inference(x, precision=export_precision)
+    if isinstance(module, Linear):
+        out = x @ module.weight.data
+        if module.bias is not None:
+            out = out + module.bias.data
+        return out
+    raise TypeError("cannot project through %s" % (type(module).__name__,))
+
+
+def _norm(norm, x):
+    return kernels.layer_norm(x, norm.weight.data, norm.bias.data, norm.eps)
+
+
+def reference_logits(model, tokens, export_precision="fp32",
+                     return_kv=False):
+    """fp64 logits of one prompt through the per-request LUT path.
+
+    Parameters
+    ----------
+    model:
+        A converted :class:`~repro.models.TransformerDecoderLM`.
+    tokens:
+        1-D int token ids, length <= ``model.max_len``.
+    export_precision:
+        LUT export mode ('fp32' for the fp64/fp32 serving plans,
+        'bf16+int8' for the quantized deployment plans).
+    return_kv:
+        Also return the per-layer split-head K/V lists
+        (``[(heads, seq, head_dim), ...]``) — the values a prefill tap
+        must reproduce.
+
+    Returns
+    -------
+    (seq, vocab) float64 logits; position ``i`` scores token ``i + 1``.
+    """
+    tokens = np.asarray(tokens, dtype=np.int64).ravel()
+    seq = len(tokens)
+    if seq < 1:
+        raise ValueError("prompt must hold at least one token")
+    if seq > model.max_len:
+        raise ValueError("prompt of %d tokens exceeds max_len %d"
+                         % (seq, model.max_len))
+    heads, head_dim, dim = model.num_heads, model.head_dim, model.dim
+    scale = 1.0 / np.sqrt(head_dim)
+
+    x = (kernels.embedding_gather(model.tok_embed.weight.data, tokens)
+         + kernels.embedding_gather(model.pos_embed.weight.data,
+                                    np.arange(seq)))
+    kv = []
+    for block in model.blocks:
+        attn = block.attn
+        h = _norm(block.norm1, x)
+
+        def split(mat):
+            return mat.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+
+        q = split(_project(attn.q_proj, h, export_precision))
+        k = split(_project(attn.k_proj, h, export_precision))
+        v = split(_project(attn.v_proj, h, export_precision))
+        kv.append((k, v))
+        # The stable (einsum) attention kernels: the decode engine computes
+        # single-query rows against these same values, and only the
+        # shape-stable contractions make those rows bitwise comparable.
+        scores = kernels.attention_scores_stable(q, k, scale)
+        weights = kernels.causal_softmax(scores)
+        ctx = kernels.attention_context_stable(weights, v)
+        ctx = ctx.transpose(1, 0, 2).reshape(seq, dim)
+        x = x + _project(attn.out_proj, ctx, export_precision)
+        h2 = _norm(block.norm2, x)
+        hidden = kernels.gelu(_project(block.ffn_in, h2, export_precision))
+        x = x + _project(block.ffn_out, hidden, export_precision)
+    x = _norm(model.final_norm, x)
+    logits = _project(model.head, x, export_precision)
+    if return_kv:
+        return logits, kv
+    return logits
+
+
+def lut_generate(model, prompt, max_new_tokens, eos_token=None,
+                 export_precision="fp32"):
+    """Greedy generation through the per-request reference path.
+
+    Recomputes the full prefix for every emitted token (quadratic, cacheless
+    — deliberately the simplest correct implementation). Returns the list
+    of generated token ids; generation stops after ``max_new_tokens`` or on
+    ``eos_token`` (which is included in the output, mirroring the engine).
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be >= 1")
+    tokens = list(np.asarray(prompt, dtype=np.int64).ravel())
+    if len(tokens) + max_new_tokens > model.max_len:
+        raise ValueError(
+            "prompt of %d + %d new tokens exceeds max_len %d"
+            % (len(tokens), max_new_tokens, model.max_len))
+    generated = []
+    for _ in range(max_new_tokens):
+        logits = reference_logits(model, tokens, export_precision)
+        nxt = int(np.argmax(logits[-1]))
+        generated.append(nxt)
+        tokens.append(nxt)
+        if eos_token is not None and nxt == eos_token:
+            break
+    return generated

@@ -1,0 +1,451 @@
+"""Generation sessions: KV caches, continuous batching, streaming.
+
+Three layers, separated so the cluster can reuse the middle one:
+
+- :class:`KVCache` — one sequence's per-layer K/V arrays at fixed capacity
+  (``prompt + max_new_tokens``), filled by a prefill tap and appended to
+  by every decode step. This is the worker-resident state of a session.
+- :class:`GenCore` — a single-threaded generation state machine over one
+  :class:`~repro.gen.compiler.GenPlan`: ``start``/``admit`` run prefill
+  and register a sequence, ``step()`` advances *every* live sequence by
+  one token as a single stacked decode batch (continuous batching —
+  sequences join the batch the tick after their prefill lands and leave
+  the tick they finish). Thread-unsafe by design; front-ends serialise.
+- :class:`GeneratorServer` — the in-process front-end: per-bucket prefill
+  micro-batchers (concurrent prompts of one bucket stack into one padded
+  prefill), a decode thread driving ``GenCore.step``, and
+  :class:`GenSession` streaming handles that yield tokens as they land.
+
+Decode batches stack each sequence's caches into ``(batch, heads, T, hd)``
+arrays padded to the longest member; masked attention gives padded slots
+exactly zero weight, and a lone sequence is run as a duplicated pair (BLAS
+dispatches single-row GEMMs differently), so every emitted token is
+bit-identical at fp64 to the cacheless per-request reference — regardless
+of which sequences happen to share a tick.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+
+from ..serving.batcher import AdmissionError, MicroBatcher
+from ..serving.engine import execute_plan
+from .compiler import compile_generation
+
+__all__ = ["KVCache", "GenCore", "GenConfig", "GenSession",
+           "GeneratorServer"]
+
+
+class KVCache:
+    """Per-sequence, per-layer K/V at fixed capacity (zero-initialised so
+    stacked padding contributes exact zeros)."""
+
+    def __init__(self, num_layers, num_heads, capacity, head_dim, dtype):
+        self.k = np.zeros((num_layers, num_heads, capacity, head_dim),
+                          dtype=dtype)
+        self.v = np.zeros_like(self.k)
+        self.length = 0
+
+    @property
+    def capacity(self):
+        return self.k.shape[2]
+
+    def load_prefill(self, k_layers, v_layers, length):
+        """Adopt the first ``length`` positions of a prefill tap
+        (per-layer ``(heads, bucket, head_dim)`` arrays)."""
+        for layer, (k, v) in enumerate(zip(k_layers, v_layers)):
+            self.k[layer, :, :length] = k[:, :length]
+            self.v[layer, :, :length] = v[:, :length]
+        self.length = length
+
+    def append(self, k_new, v_new):
+        """Append one position (``(layers, heads, head_dim)`` each)."""
+        self.k[:, :, self.length] = k_new
+        self.v[:, :, self.length] = v_new
+        self.length += 1
+
+    def nbytes(self):
+        return self.k.nbytes + self.v.nbytes
+
+
+class _Sequence:
+    __slots__ = ("sid", "prompt_len", "cache", "next_token", "generated",
+                 "max_new_tokens", "eos_token", "done")
+
+    def __init__(self, sid, prompt_len, cache, max_new_tokens, eos_token):
+        self.sid = sid
+        self.prompt_len = prompt_len
+        self.cache = cache
+        self.next_token = None
+        self.generated = []
+        self.max_new_tokens = max_new_tokens
+        self.eos_token = eos_token
+        self.done = False
+
+
+class GenCore:
+    """Generation state machine over one compiled :class:`GenPlan`.
+
+    Not thread-safe: the single-process server guards it with a lock, the
+    cluster worker drives it from its one RPC loop. Sequence ids are
+    handed out by ``start``/``admit`` and retired automatically when a
+    sequence finishes (``max_new_tokens`` reached or EOS emitted).
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        meta = plan.meta
+        self.num_layers = meta["num_layers"]
+        self.num_heads = meta["num_heads"]
+        self.head_dim = meta["head_dim"]
+        self.max_len = meta["max_len"]
+        self._sequences = {}
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def active(self):
+        return len(self._sequences)
+
+    def cache_bytes(self):
+        """Worker-side KV memory currently pinned by live sequences."""
+        return sum(s.cache.nbytes() for s in self._sequences.values())
+
+    def validate(self, prompt, max_new_tokens):
+        prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        if len(prompt) < 1:
+            raise ValueError("prompt must hold at least one token")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if len(prompt) + max_new_tokens > self.max_len:
+            raise ValueError(
+                "prompt of %d + %d new tokens exceeds max_len %d"
+                % (len(prompt), max_new_tokens, self.max_len))
+        self.plan.bucket_for(len(prompt))
+        return prompt
+
+    # ------------------------------------------------------------------
+    def start(self, prompt, max_new_tokens, eos_token=None):
+        """Prefill one prompt (unbatched) and admit it; returns
+        ``(sid, first_token, done)``."""
+        prompt = self.validate(prompt, max_new_tokens)
+        padded, bucket = self.plan.pad_prompt(prompt)
+        logits, taps = execute_plan(self.plan.prefill[bucket], padded[None],
+                                    return_taps=True)
+        return self.admit(prompt, logits[0],
+                          {name: tap[0] for name, tap in taps.items()},
+                          max_new_tokens, eos_token)
+
+    def admit(self, prompt, logits_rows, taps_row, max_new_tokens,
+              eos_token=None):
+        """Register a prefilled sequence; returns ``(sid, first, done)``.
+
+        ``logits_rows`` is the (bucket, vocab) prefill output for this
+        request, ``taps_row`` its per-layer K/V tap slices.
+        """
+        prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        length = len(prompt)
+        sid = next(self._ids)
+        cache = KVCache(self.num_layers, self.num_heads,
+                        length + max_new_tokens, self.head_dim,
+                        self.plan.dtype)
+        cache.load_prefill([taps_row["k%d" % i] for i in range(self.num_layers)],
+                           [taps_row["v%d" % i] for i in range(self.num_layers)],
+                           length)
+        seq = _Sequence(sid, length, cache, max_new_tokens, eos_token)
+        first = int(np.argmax(logits_rows[length - 1]))
+        seq.generated.append(first)
+        seq.next_token = first
+        seq.done = (max_new_tokens == 1
+                    or (eos_token is not None and first == eos_token))
+        if not seq.done:
+            self._sequences[sid] = seq
+        return sid, first, seq.done
+
+    def drop(self, sid):
+        """Abandon a sequence (client went away); frees its KV cache."""
+        self._sequences.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    def step(self):
+        """Advance every live sequence one token; returns
+        ``[(sid, token, done), ...]`` (empty when nothing is active)."""
+        seqs = list(self._sequences.values())
+        if not seqs:
+            return []
+        # A lone sequence is decoded as a duplicated pair: single-row
+        # GEMMs take a different BLAS path whose bits differ from the
+        # same row inside a taller matrix, and bit-identity to the
+        # reference is the contract. Row 1's results are discarded.
+        rows = seqs if len(seqs) > 1 else seqs * 2
+        tokens = np.array([s.next_token for s in rows], dtype=np.int64)
+        lengths = np.array([s.cache.length for s in rows], dtype=np.int64)
+        capacity = int(lengths.max()) + 1
+        extras = {"positions": lengths.copy(), "lengths": lengths}
+        for layer in range(self.num_layers):
+            k_stack = np.zeros((len(rows), self.num_heads, capacity,
+                                self.head_dim), dtype=self.plan.dtype)
+            v_stack = np.zeros_like(k_stack)
+            for i, s in enumerate(rows):
+                fill = s.cache.length
+                k_stack[i, :, :fill] = s.cache.k[layer, :, :fill]
+                v_stack[i, :, :fill] = s.cache.v[layer, :, :fill]
+            extras["k_cache_%d" % layer] = k_stack
+            extras["v_cache_%d" % layer] = v_stack
+        logits, taps = execute_plan(self.plan.decode, tokens, extras=extras,
+                                    return_taps=True)
+        events = []
+        for i, s in enumerate(seqs):
+            k_new = np.stack([taps["k%d" % layer][i]
+                              for layer in range(self.num_layers)])
+            v_new = np.stack([taps["v%d" % layer][i]
+                              for layer in range(self.num_layers)])
+            s.cache.append(k_new, v_new)
+            token = int(np.argmax(logits[i]))
+            s.generated.append(token)
+            s.next_token = token
+            s.done = (len(s.generated) >= s.max_new_tokens
+                      or (s.eos_token is not None and token == s.eos_token))
+            if s.done:
+                del self._sequences[s.sid]
+            events.append((s.sid, token, s.done))
+        return events
+
+
+# ----------------------------------------------------------------------
+# Streaming front-end
+# ----------------------------------------------------------------------
+
+class GenConfig:
+    """Tunables of one :class:`GeneratorServer` deployment."""
+
+    def __init__(self, max_batch_size=16, max_wait_ms=2.0, max_pending=256,
+                 precision="fp32", decode_idle_ms=2.0,
+                 default_max_new_tokens=16):
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_pending = int(max_pending)
+        self.precision = precision
+        # How long the decode thread sleeps when no sequence is live.
+        self.decode_idle_ms = float(decode_idle_ms)
+        self.default_max_new_tokens = int(default_max_new_tokens)
+
+    def __repr__(self):
+        return ("GenConfig(max_batch=%d, max_wait=%.1fms, precision=%r)"
+                % (self.max_batch_size, self.max_wait_ms, self.precision))
+
+
+class GenSession:
+    """Streaming handle for one generation request.
+
+    Iterate to receive tokens as the decode loop emits them, or call
+    :meth:`result` to block for the full sequence. ``tokens`` accumulates
+    everything emitted so far; every iterator replays from the start and
+    then follows live, so iteration, re-iteration and ``result`` all
+    compose (a finished session can be iterated any number of times).
+    """
+
+    def __init__(self, prompt, max_new_tokens):
+        self.prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        self.max_new_tokens = max_new_tokens
+        self.tokens = []
+        self.error = None
+        self._cond = threading.Condition()
+        self._finished = threading.Event()
+
+    # -- producer side (server threads) --------------------------------
+    def _push(self, token):
+        with self._cond:
+            self.tokens.append(token)
+            self._cond.notify_all()
+
+    def _finish(self, error=None):
+        if self._finished.is_set():
+            return
+        with self._cond:
+            self.error = error
+            self._finished.set()
+            self._cond.notify_all()
+
+    # -- consumer side --------------------------------------------------
+    @property
+    def done(self):
+        return self._finished.is_set()
+
+    def __iter__(self):
+        index = 0
+        while True:
+            with self._cond:
+                while (index >= len(self.tokens)
+                       and not self._finished.is_set()):
+                    self._cond.wait()
+                if index >= len(self.tokens):
+                    if self.error is not None:
+                        raise self.error
+                    return
+                token = self.tokens[index]
+                index += 1
+            yield token
+
+    def result(self, timeout=None):
+        """Block until generation finishes; returns the token list."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError("generation did not finish within %r s"
+                               % (timeout,))
+        if self.error is not None:
+            raise self.error
+        return list(self.tokens)
+
+
+class GeneratorServer:
+    """Serve autoregressive generation for one decoder model.
+
+    Prefill goes through one micro-batcher per sequence bucket (concurrent
+    prompts of a bucket stack into one padded batch through the serving
+    engine); decode runs on a dedicated thread that advances all live
+    sequences each tick through :meth:`GenCore.step` — sequences join and
+    leave the shared batch per token. Tokens stream back through
+    :class:`GenSession`.
+    """
+
+    def __init__(self, model, buckets=None, config=None, plan=None,
+                 name=None):
+        self.config = config or GenConfig()
+        self.plan = plan or compile_generation(
+            model, buckets=buckets, precision=self.config.precision,
+            name=name or type(model).__name__)
+        self.core = GenCore(self.plan)
+        self._lock = threading.Lock()      # guards core + session map
+        self._sessions = {}                # sid -> GenSession
+        self._stop = threading.Event()
+        self._closed = False
+        self._batchers = {
+            bucket: MicroBatcher(
+                self._prefill_runner(bucket),
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_ms / 1e3,
+                workers=1,
+                max_pending=self.config.max_pending)
+            for bucket in self.plan.buckets
+        }
+        self._decoder = threading.Thread(target=self._decode_loop,
+                                         name="lut-gen-decode", daemon=True)
+        self._decoder.start()
+
+    # ------------------------------------------------------------------
+    def _prefill_runner(self, bucket):
+        plan = self.plan.prefill[bucket]
+
+        def run(stacked):
+            logits, taps = execute_plan(plan, stacked, return_taps=True)
+            return [
+                (logits[i], {name: tap[i] for name, tap in taps.items()})
+                for i in range(len(stacked))
+            ]
+        return run
+
+    def _decode_loop(self):
+        while not self._stop.is_set():
+            try:
+                with self._lock:
+                    events = self.core.step()
+                    pairs = [(self._sessions.get(sid), token, done)
+                             for sid, token, done in events]
+                    for sid, _, done in events:
+                        if done:
+                            self._sessions.pop(sid, None)
+            except BaseException as exc:  # noqa: BLE001 - fail loudly
+                # A decode-step failure would otherwise strand every live
+                # session until its timeout; fail them with the cause.
+                with self._lock:
+                    broken = list(self._sessions.items())
+                    self._sessions.clear()
+                    for sid, _ in broken:
+                        self.core.drop(sid)
+                for _, session in broken:
+                    session._finish(exc)
+                continue
+            for session, token, done in pairs:
+                if session is None:
+                    continue
+                session._push(token)
+                if done:
+                    session._finish()
+            if not events:
+                self._stop.wait(self.config.decode_idle_ms / 1e3)
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt, max_new_tokens=None, eos_token=None):
+        """Start one generation; returns a :class:`GenSession` stream."""
+        if self._closed:
+            raise AdmissionError("generator server is shut down")
+        max_new = (self.config.default_max_new_tokens
+                   if max_new_tokens is None else int(max_new_tokens))
+        prompt = self.core.validate(prompt, max_new)
+        session = GenSession(prompt, max_new)
+        padded, bucket = self.plan.pad_prompt(prompt)
+        future = self._batchers[bucket].submit(padded)
+
+        def admit(fut):
+            try:
+                logits_rows, taps_row = fut.result()
+                with self._lock:
+                    sid, first, done = self.core.admit(
+                        prompt, logits_rows, taps_row, max_new, eos_token)
+                    if not done:
+                        self._sessions[sid] = session
+                    # Push inside the critical section: once the lock
+                    # drops, the decode thread may emit token 2 — the
+                    # first token must already be queued.
+                    session._push(first)
+                if done:
+                    session._finish()
+            except BaseException as exc:  # noqa: BLE001 - fed to the waiter
+                session._finish(exc)
+
+        future.add_done_callback(admit)
+        return session
+
+    def generate_all(self, prompt, max_new_tokens=None, eos_token=None,
+                     timeout=120.0):
+        """Blocking convenience: full token list for one prompt."""
+        return self.generate(prompt, max_new_tokens, eos_token).result(timeout)
+
+    # ------------------------------------------------------------------
+    def active_sessions(self):
+        with self._lock:
+            return self.core.active()
+
+    def shutdown(self, drain=True, timeout=30.0):
+        """Stop the server; ``drain=True`` finishes live sequences first."""
+        if self._closed:
+            return
+        self._closed = True
+        deadline = threading.Event()
+        for batcher in self._batchers.values():
+            batcher.close(timeout, drain=drain)
+        if drain:
+            end = timeout
+            step = 0.01
+            while end > 0 and self.active_sessions():
+                deadline.wait(step)
+                end -= step
+        self._stop.set()
+        self._decoder.join(timeout)
+        with self._lock:
+            leftovers = list(self._sessions.values())
+            self._sessions.clear()
+        for session in leftovers:
+            session._finish(AdmissionError(
+                "generator server shut down before completion"))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+
+    def __repr__(self):
+        return "GeneratorServer(%r, %r)" % (self.plan, self.config)

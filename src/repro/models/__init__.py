@@ -12,6 +12,7 @@ from .resnet import (
     resnet34,
     resnet56,
 )
+from .gpt import TransformerDecoderLM, gpt_nano
 from .transformer import (
     TransformerClassifier,
     bert_mini,
@@ -36,6 +37,8 @@ __all__ = [
     "MLP",
     "mlp",
     "TransformerClassifier",
+    "TransformerDecoderLM",
+    "gpt_nano",
     "bert_mini",
     "distilbert_mini",
     "opt_mini",

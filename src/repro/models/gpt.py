@@ -1,0 +1,76 @@
+"""Mini autoregressive decoder (GPT-style) for the generation subsystem.
+
+The serving stack's encoder models classify whole sequences; this decoder
+predicts the *next token* at every position, which is the workload the
+:mod:`repro.gen` subsystem serves: prefill a prompt through a bucketed
+batched plan, then decode one token at a time against a KV cache. The
+QKV/FFN/head Linear layers are the GEMMs the LUT conversion replaces,
+exactly as in the encoder zoo — ``gpt_nano`` is deliberately tiny so the
+whole prefill + decode path is testable bit-for-bit in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    TransformerDecoderLayer,
+)
+from ..nn.tensor import Tensor
+
+__all__ = ["TransformerDecoderLM", "gpt_nano"]
+
+
+class TransformerDecoderLM(Module):
+    """Token embedding + learned positions + causal decoder stack + LM head.
+
+    ``forward(tokens)`` maps ``(batch, seq)`` token ids to
+    ``(batch, seq, vocab)`` next-token logits; position ``i``'s logits
+    depend only on tokens ``0..i`` (causal masking), which is what makes
+    right-padded bucket execution bit-identical at real positions.
+    """
+
+    def __init__(self, vocab_size, dim=32, num_heads=4, num_layers=2,
+                 ffn_dim=None, max_len=32, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        ffn_dim = ffn_dim or 4 * dim
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.max_len = max_len
+        self.tok_embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos_embed = Embedding(max_len, dim, rng=rng)
+        self.blocks = [
+            TransformerDecoderLayer(dim, num_heads, ffn_dim, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self.head = Linear(dim, vocab_size, rng=rng)
+
+    def forward(self, tokens):
+        # Keep the original ``tokens`` object flowing into the embedding
+        # (Embedding casts to int itself); the serving tracer relies on
+        # value identity to see the lookup as input-dependent.
+        data = tokens.data if isinstance(tokens, Tensor) else np.asarray(tokens)
+        seq = data.shape[1]
+        if seq > self.max_len:
+            raise ValueError("sequence length %d exceeds max_len %d"
+                             % (seq, self.max_len))
+        x = self.tok_embed(tokens) + self.pos_embed(np.arange(seq))
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.head(x)
+
+
+def gpt_nano(vocab_size=64, seed=0):
+    """Smallest decoder of the zoo: 2 blocks, 4 heads, dim 32, 32 positions."""
+    return TransformerDecoderLM(vocab_size, dim=32, num_heads=4,
+                                num_layers=2, ffn_dim=64, max_len=32,
+                                seed=seed)

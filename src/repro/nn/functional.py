@@ -14,6 +14,7 @@ from .tensor import Tensor
 
 __all__ = [
     "softmax",
+    "causal_softmax",
     "log_softmax",
     "cross_entropy",
     "mse_loss",
@@ -35,6 +36,26 @@ def softmax(x, axis=-1):
     shifted = x - x.max(axis=axis, keepdims=True).detach()
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def causal_softmax(x):
+    """Causal-masked softmax over the last axis of ``(..., q, k)`` scores.
+
+    Query ``i`` attends to keys ``j <= i + (k - q)`` — the decoder
+    attention mask. Implemented as an additive ``-inf`` mask feeding the
+    standard softmax so the straight-through/softmax backward pass applies
+    unchanged (masked positions have exactly zero weight and zero
+    gradient). The serving tracer records a call to this function as one
+    fused ``causal_softmax`` step.
+    """
+    q, k = x.shape[-2], x.shape[-1]
+    offset = k - q
+    if offset < 0:
+        raise ValueError("causal scores need k >= q, got shape %r"
+                         % (x.shape,))
+    keep = np.arange(k)[None, :] <= np.arange(q)[:, None] + offset
+    mask = np.where(keep, 0.0, -np.inf)
+    return softmax(x + Tensor(mask))
 
 
 def log_softmax(x, axis=-1):

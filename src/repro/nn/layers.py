@@ -33,7 +33,9 @@ __all__ = [
     "GlobalAvgPool2d",
     "Dropout",
     "MultiHeadSelfAttention",
+    "CausalSelfAttention",
     "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
 ]
 
 
@@ -349,6 +351,69 @@ class MultiHeadSelfAttention(Module):
         ctx = attn @ v  # (batch, heads, seq, head_dim)
         ctx = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
         return self.out_proj(ctx)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head *causal* self-attention (decoder-style).
+
+    Identical projection structure to :class:`MultiHeadSelfAttention` —
+    the same four Linear GEMMs the LUT conversion targets — but the score
+    softmax is masked so position ``i`` only attends to ``j <= i``. The
+    split-head K/V tensors of the latest forward pass are kept on the
+    module (``last_k`` / ``last_v``): the generation compiler taps them to
+    expose the prefill KV cache as extra plan outputs.
+    """
+
+    def __init__(self, dim, num_heads, rng=None):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.last_k = None
+        self.last_v = None
+
+    def forward(self, x):
+        batch, seq, _ = x.shape
+
+        def split_heads(t):
+            return t.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+                0, 2, 1, 3
+            )
+
+        q = split_heads(self.q_proj(x))
+        k = split_heads(self.k_proj(x))
+        v = split_heads(self.v_proj(x))
+        self.last_k, self.last_v = k, v
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        attn = F.causal_softmax(scores)
+        ctx = attn @ v  # (batch, heads, seq, head_dim)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out_proj(ctx)
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-LN transformer decoder block (causal attention + FFN)."""
+
+    def __init__(self, dim, num_heads, ffn_dim, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attn = CausalSelfAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+
+    def forward(self, x):
+        x = x + self.attn(self.norm1(x))
+        hidden = F.gelu(self.ffn_in(self.norm2(x)))
+        return x + self.ffn_out(hidden)
 
 
 class TransformerEncoderLayer(Module):

@@ -13,31 +13,36 @@ the tape in reverse topological order.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Per-thread, like torch: a process-wide flag would let two threads'
+# nested no_grad() blocks interleave enter/exit and leave autograd
+# disabled for everyone (concurrent plan verifications used to trip
+# exactly this race).
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction (like torch.no_grad)."""
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled():
-    """Return True when operations should record the autograd tape."""
-    return _GRAD_ENABLED
+    """Return True when operations on this thread should record the
+    autograd tape."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad, shape):

@@ -29,10 +29,16 @@ forward pass, so unsupported topologies fail loudly at compile time
 instead of serving wrong answers.
 
 Supported topologies: feed-forward CNN/MLP chains, residual CNNs
-(``ResNetCIFAR`` / ``ResNetImageNet``) and transformer encoders
-(``TransformerClassifier``) — anything whose forward pass is built from
+(``ResNetCIFAR`` / ``ResNetImageNet``), transformer encoders
+(``TransformerClassifier``) and causal decoders
+(``TransformerDecoderLM``) — anything whose forward pass is built from
 the leaf modules below plus the traced tensor ops (add/sub/mul, matmul,
-reshape, transpose, mean, relu/tanh, ``F.softmax``, ``F.gelu``).
+reshape, transpose, mean, relu/tanh, ``F.softmax``,
+``F.causal_softmax``, ``F.gelu``). Plans may additionally *tap* named
+intermediate tensors (kept live and returned beside the output — how the
+generation compiler exposes per-layer K/V) and declare named extra input
+slots bound at execution time (KV caches, positions, lengths for the
+decode-step plans :mod:`repro.gen` hand-lowers).
 """
 
 from __future__ import annotations
@@ -103,7 +109,8 @@ class KernelStep:
     ``kind`` names the kernel (``lut_gemm``, ``gemm``, ``conv2d``,
     ``relu``, ``tanh``, ``gelu``, ``flatten``, ``reshape``, ``transpose``,
     ``mean``, ``add``, ``sub``, ``mul``, ``matmul``, ``attention_scores``,
-    ``softmax``, ``layernorm``, ``embedding``, ``const``, ``max_pool``,
+    ``softmax``, ``causal_softmax``, ``kv_append``, ``cached_attention``,
+    ``layernorm``, ``embedding``, ``const``, ``max_pool``,
     ``avg_pool``, ``global_avg_pool`` or ``batchnorm``); ``inputs`` are the
     buffer-slot ids the kernel reads, ``out`` the slot it writes, and
     ``release`` the slots whose last use this step is (the executor frees
@@ -143,7 +150,7 @@ class KernelPlan:
 
     def __init__(self, steps, centroids, tables, layers, v, c, metric,
                  precision, input_shape, num_slots, output_slot,
-                 model_name=""):
+                 model_name="", tap_slots=None, extra_inputs=None):
         self.steps = list(steps)
         self.centroids = centroids
         self.tables = tables
@@ -157,6 +164,12 @@ class KernelPlan:
         self.num_slots = int(num_slots)
         self.output_slot = int(output_slot)
         self.model_name = model_name
+        # Named auxiliary outputs (slot ids kept live to the end of the
+        # plan — the generation compiler taps per-layer K/V here) and
+        # named auxiliary inputs (slots the executor binds from caller
+        # ``extras`` before stepping — KV caches, positions, lengths).
+        self.tap_slots = dict(tap_slots or {})
+        self.extra_inputs = dict(extra_inputs or {})
 
     # ------------------------------------------------------------------
     @property
@@ -484,6 +497,15 @@ def _trace_forward(model, sample):
             trace.add_node("gelu", [trace.vid_of(x, "op 'gelu'")], out)
         return out
 
+    causal_inner = _suppressing(F.causal_softmax)
+
+    def traced_causal_softmax(x):
+        out, record = causal_inner(x)
+        if record:
+            trace.add_node("causal_softmax",
+                           [trace.vid_of(x, "op 'causal_softmax'")], out)
+        return out
+
     patches = [
         (Module, "__call__", traced_call),
         (Tensor, "__add__", traced_binary(Tensor.__add__, "add", True)),
@@ -502,6 +524,7 @@ def _trace_forward(model, sample):
         (Tensor, "mean", traced_mean),
         (F, "softmax", traced_softmax),
         (F, "gelu", traced_gelu),
+        (F, "causal_softmax", traced_causal_softmax),
     ]
 
     with _TRACE_LOCK:
@@ -534,12 +557,13 @@ def _trace_forward(model, sample):
 # Graph cleanup: dead-value elimination + attention fusion
 # ----------------------------------------------------------------------
 
-def _prune_graph(trace, output_vid):
-    """Keep only nodes the output depends on (baked constants' producers
-    and values computed but never consumed disappear here)."""
+def _prune_graph(trace, output_vid, tap_vids=()):
+    """Keep only nodes the output (or a tapped value) depends on (baked
+    constants' producers and values computed but never consumed disappear
+    here)."""
     by_vid = {node.vid: node for node in trace.nodes}
     needed = set()
-    stack = [output_vid]
+    stack = [output_vid, *tap_vids]
     while stack:
         vid = stack.pop()
         if vid in needed or vid == 0:
@@ -555,10 +579,12 @@ def _prune_graph(trace, output_vid):
     return nodes
 
 
-def _fuse_attention(nodes):
+def _fuse_attention(nodes, keep_vids=()):
     """Peephole: ``k.transpose(..., -1, -2) @ q`` chains followed by a
     scalar scale become one batched ``attention_scores`` step, so the
-    engine never materialises the transposed key tensor."""
+    engine never materialises the transposed key tensor. Nodes in
+    ``keep_vids`` (tapped values) are never fused away."""
+    keep_vids = set(keep_vids)
     by_vid = {node.vid: node for node in nodes}
     consumers = {}
     for node in nodes:
@@ -576,6 +602,7 @@ def _fuse_attention(nodes):
             continue
         rhs = by_vid.get(node.inputs[1])
         if (rhs is None or rhs.kind != "transpose"
+                or rhs.vid in keep_vids
                 or not swaps_last_two(rhs.params["axes"])
                 or consumers.get(rhs.vid) != [node.vid]):
             continue
@@ -589,7 +616,7 @@ def _fuse_attention(nodes):
             continue
         src = by_vid.get(node.inputs[0])
         if (src is None or src.kind != "attention_scores"
-                or src.vid in dropped
+                or src.vid in dropped or src.vid in keep_vids
                 or consumers.get(src.vid) != [node.vid]):
             continue
         node.kind = "attention_scores"
@@ -679,34 +706,61 @@ def _lower_tensor_op(node, dtype):
     return node.kind, params
 
 
-def _pack_specs(trace, specs, dtype):
-    """Concatenate per-layer codebooks/LUTs into single contiguous arrays."""
-    if not specs:
+def pack_lut_specs(entries, dtype, model_name):
+    """Concatenate per-layer codebooks/LUTs into single contiguous arrays.
+
+    ``entries`` is ``[(name, rows_per_sample, spec), ...]`` in execution
+    order, each ``spec`` an :meth:`export_kernel` dict. This is the one
+    packing layout every plan producer shares — the traced serving plans
+    below and the generation compiler's hand-lowered decode plans — so
+    the slot executor and the shared-memory plan store only ever see one
+    byte layout.
+    """
+    if not entries:
         raise CompileError(
             "model %s contains no calibrated LUT operators; convert it "
             "with lutboost before compiling a serving plan"
-            % (trace.model_name,))
-    first = specs[0][1]
+            % (model_name,))
+    first = entries[0][2]
     v, c, metric = first["v"], first["c"], first["metric"]
-    for _, spec in specs:
+    for _, _, spec in entries:
         if (spec["v"], spec["c"], spec["metric"]) != (v, c, metric):
             raise CompileError(
                 "mixed (v, c, metric) configurations cannot share packed "
                 "buffers: %r vs %r"
                 % ((v, c, metric), (spec["v"], spec["c"], spec["metric"])))
     centroids = np.concatenate(
-        [spec["centroids"] for _, spec in specs], axis=0).astype(dtype)
+        [spec["centroids"] for _, _, spec in entries], axis=0).astype(dtype)
     tables = np.concatenate(
-        [np.ascontiguousarray(spec["table"]).ravel() for _, spec in specs]
-    ).astype(dtype)
+        [np.ascontiguousarray(spec["table"]).ravel()
+         for _, _, spec in entries]).astype(dtype)
     layers = []
     sub_off = 0
     tab_off = 0
-    batch = trace.batch
-    shape_of = _shape_lookup(trace)
-    for i, (node, spec) in enumerate(specs):
+    for name, rows_per_sample, spec in entries:
         s = spec["centroids"].shape[0]
         size = s * c * spec["n_out"]
+        layers.append({
+            "name": name,
+            "kind": spec["kind"],
+            "k": spec["k"],
+            "n_out": spec["n_out"],
+            "num_subspaces": s,
+            "subspace_slice": slice(sub_off, sub_off + s),
+            "table_slice": slice(tab_off, tab_off + size),
+            "rows_per_sample": int(rows_per_sample),
+        })
+        sub_off += s
+        tab_off += size
+    return centroids, tables, layers, v, c, metric
+
+
+def _pack_specs(trace, specs, dtype):
+    """Pack the traced LUT nodes (geometry from the traced shapes)."""
+    batch = trace.batch
+    shape_of = _shape_lookup(trace)
+    entries = []
+    for i, (node, spec) in enumerate(specs):
         in_shape = shape_of(node.inputs[0])
         if spec["kind"] == "conv2d":
             out_h = F.conv_output_size(in_shape[2], spec["kernel_size"],
@@ -718,19 +772,8 @@ def _pack_specs(trace, specs, dtype):
             rows_per_sample = int(
                 np.prod(in_shape[:-1], dtype=np.int64)) // batch
         name = trace.names.get(id(node.params["module"])) or "lut%d" % i
-        layers.append({
-            "name": name,
-            "kind": spec["kind"],
-            "k": spec["k"],
-            "n_out": spec["n_out"],
-            "num_subspaces": s,
-            "subspace_slice": slice(sub_off, sub_off + s),
-            "table_slice": slice(tab_off, tab_off + size),
-            "rows_per_sample": rows_per_sample,
-        })
-        sub_off += s
-        tab_off += size
-    return centroids, tables, layers, v, c, metric
+        entries.append((name, rows_per_sample, spec))
+    return pack_lut_specs(entries, dtype, trace.model_name)
 
 
 def _shape_lookup(trace):
@@ -741,14 +784,21 @@ def _shape_lookup(trace):
     return shape_of
 
 
-def _lower_graph(trace, output_vid, precision):
+def _lower_graph(trace, output_vid, precision, tap_vids=None):
     """Turn the pruned graph into slot-addressed steps + packed buffers."""
     dtype = PRECISION_DTYPES[precision]
+    tap_vids = dict(tap_vids or {})
     # export_lut() knows "fp32" (no quantization) and "bf16+int8"; the
     # serving fp32/fp64 split is purely a packing dtype choice.
     export_precision = "bf16+int8" if precision == "bf16+int8" else "fp32"
 
-    nodes = _fuse_attention(_prune_graph(trace, output_vid))
+    nodes = _fuse_attention(_prune_graph(trace, output_vid,
+                                         tap_vids.values()),
+                            keep_vids=tap_vids.values())
+    # Causal (decoder) graphs serve variable-length buckets, so their
+    # attention contractions must be bitwise shape-stable (the einsum
+    # kernels); encoder graphs keep the faster BLAS kernels.
+    causal = any(node.kind == "causal_softmax" for node in nodes)
     specs = []
     lowered = []  # (node, kind, params)
     for node in nodes:
@@ -757,6 +807,10 @@ def _lower_graph(trace, output_vid, precision):
                                          export_precision, specs)
         else:
             kind, params = _lower_tensor_op(node, dtype)
+        if causal and kind == "attention_scores":
+            params["stable"] = True
+        if causal and kind == "matmul" and len(node.inputs) == 2:
+            params["stable"] = True
         lowered.append((node, kind, params))
 
     centroids, tables, layers, v, c, metric = _pack_specs(trace, specs, dtype)
@@ -767,8 +821,11 @@ def _lower_graph(trace, output_vid, precision):
         slot_of[node.vid] = i + 1
     num_slots = len(nodes) + 1
     output_slot = slot_of[output_vid]
+    tap_slots = {name: slot_of[vid] for name, vid in tap_vids.items()}
+    keep_slots = set(tap_slots.values()) | {output_slot}
 
-    # Last-use analysis so the executor can free intermediate buffers.
+    # Last-use analysis so the executor can free intermediate buffers
+    # (tapped slots stay live — they are returned alongside the output).
     last_use = {}
     for i, node in enumerate(nodes):
         for vid in node.inputs:
@@ -777,7 +834,7 @@ def _lower_graph(trace, output_vid, precision):
     steps = []
     for i, (node, kind, params) in enumerate(lowered):
         release = tuple(slot for slot, last in last_use.items()
-                        if last == i and slot != output_slot)
+                        if last == i and slot not in keep_slots)
         if kind == "lut_gemm":
             index = params["spec_index"]
             layer = layers[index]
@@ -808,7 +865,8 @@ def _lower_graph(trace, output_vid, precision):
             steps.append(KernelStep(
                 kind, inputs=[slot_of[v_] for v_ in node.inputs],
                 out=slot_of[node.vid], release=release, **params))
-    return steps, centroids, tables, layers, v, c, metric, num_slots, output_slot
+    return (steps, centroids, tables, layers, v, c, metric, num_slots,
+            output_slot, tap_slots)
 
 
 # ----------------------------------------------------------------------
@@ -816,7 +874,7 @@ def _lower_graph(trace, output_vid, precision):
 # ----------------------------------------------------------------------
 
 def compile_model(model, input_shape, precision="fp32", sample_input=None,
-                  verify=True, rtol=1e-6, atol=1e-8, name=""):
+                  verify=True, rtol=1e-6, atol=1e-8, name="", taps=None):
     """Compile a LUTBoost-converted model into a :class:`KernelPlan`.
 
     Parameters
@@ -843,6 +901,13 @@ def compile_model(model, input_shape, precision="fp32", sample_input=None,
         Replay the sample through the compiled plan — at the traced batch
         size and again at batch 1 — and require both results to match the
         model's own eval-mode forward pass.
+    taps:
+        Optional callable ``model -> {name: Tensor}`` invoked after the
+        traced forward pass. Each named tensor must be a value the tracer
+        captured; its buffer slot is recorded in ``plan.tap_slots`` and
+        kept live so ``execute_plan(..., return_taps=True)`` can return it
+        alongside the output (how the generation compiler exposes the
+        per-layer K/V of a prefill pass).
     """
     if precision not in PRECISION_DTYPES:
         raise CompileError("unknown precision %r (expected one of %s)"
@@ -857,12 +922,23 @@ def compile_model(model, input_shape, precision="fp32", sample_input=None,
                            "input_shape %r" % (sample.shape[1:], input_shape))
 
     trace, output_vid = _trace_forward(model, sample)
+    tap_vids = {}
+    if taps is not None:
+        for tap_name, tensor in taps(model).items():
+            vid = trace.env.get(id(tensor)) if tensor is not None else None
+            if vid is None:
+                raise CompileError(
+                    "cannot compile %s: tap %r does not name a tensor the "
+                    "tracer captured" % (trace.model_name, tap_name))
+            tap_vids[tap_name] = vid
     (steps, centroids, tables, layers, v, c, metric, num_slots,
-     output_slot) = _lower_graph(trace, output_vid, precision)
+     output_slot, tap_slots) = _lower_graph(trace, output_vid, precision,
+                                            tap_vids)
 
     plan = KernelPlan(steps, centroids, tables, layers, v, c, metric,
                       precision, input_shape, num_slots, output_slot,
-                      model_name=name or type(model).__name__)
+                      model_name=name or type(model).__name__,
+                      tap_slots=tap_slots)
 
     if verify:
         for batch in (sample, sample[:1]):

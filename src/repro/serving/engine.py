@@ -101,6 +101,8 @@ def _binary(op):
 
 def _matmul(step, *xs):
     if len(xs) == 2:
+        if step.params.get("stable"):
+            return kernels.attention_context_stable(xs[0], xs[1])
         return kernels.attention_context(xs[0], xs[1])
     const = step.params["const"]
     if step.params.get("reverse"):
@@ -109,7 +111,18 @@ def _matmul(step, *xs):
 
 
 def _attention_scores(step, q, k):
+    if step.params.get("stable"):
+        return kernels.attention_scores_stable(q, k, step.params["scale"])
     return kernels.attention_scores(q, k, step.params["scale"])
+
+
+def _kv_append(step, cache, new, lengths):
+    return kernels.kv_append(cache, new, lengths)
+
+
+def _cached_attention(step, q, k_cache, v_cache, lengths):
+    return kernels.cached_attention(q, k_cache, v_cache, lengths,
+                                    step.params["scale"])
 
 
 def _mean(step, x):
@@ -134,7 +147,10 @@ _KERNELS = {
     "mul": _binary(lambda a, b: a * b),
     "matmul": _matmul,
     "attention_scores": _attention_scores,
+    "kv_append": _kv_append,
+    "cached_attention": _cached_attention,
     "softmax": lambda step, x: kernels.softmax(x, step.params["axis"]),
+    "causal_softmax": lambda step, x: kernels.causal_softmax(x),
     "layernorm": lambda step, x: kernels.layer_norm(
         x, step.params["weight"], step.params["bias"], step.params["eps"]),
     "embedding": lambda step, x: kernels.embedding_gather(
@@ -148,7 +164,7 @@ _KERNELS = {
 }
 
 
-def execute_plan(plan, batch):
+def execute_plan(plan, batch, extras=None, return_taps=False):
     """Run one request batch (batch, \\*input_shape) through ``plan``.
 
     Pure numpy, threadsafe (the plan is read-only), and GIL-friendly: the
@@ -156,6 +172,13 @@ def execute_plan(plan, batch):
     batcher's thread pool overlap batches. Steps read and write numbered
     buffer slots; a slot is freed at its recorded last use so peak memory
     stays proportional to the graph's live set, not its length.
+
+    ``extras`` binds the plan's named auxiliary input slots
+    (``plan.extra_inputs`` — KV caches, positions, lengths for decode-step
+    plans); arrays are bound as-is, so the caller owns their dtypes and
+    any in-place mutation (``kv_append`` writes into the bound cache).
+    With ``return_taps=True`` the result is ``(output, {name: array})``
+    for the plan's ``tap_slots`` — the prefill path's per-layer K/V.
     """
     x = np.asarray(batch, dtype=plan.dtype)
     if x.shape[1:] != plan.input_shape:
@@ -163,11 +186,24 @@ def execute_plan(plan, batch):
                          % (x.shape[1:], plan.input_shape))
     slots = [None] * plan.num_slots
     slots[0] = x
+    extra_inputs = getattr(plan, "extra_inputs", None)
+    if extra_inputs:
+        extras = extras or {}
+        missing = sorted(set(extra_inputs) - set(extras))
+        if missing:
+            raise ValueError("plan %s needs extra inputs %s"
+                             % (plan.model_name, missing))
+        for name, slot in extra_inputs.items():
+            slots[slot] = extras[name]
     for step in plan.steps:
         args = [slots[i] for i in step.inputs]
         slots[step.out] = _KERNELS[step.kind](step, *args)
         for i in step.release:
             slots[i] = None
+    if return_taps:
+        taps = {name: slots[slot]
+                for name, slot in getattr(plan, "tap_slots", {}).items()}
+        return slots[plan.output_slot], taps
     return slots[plan.output_slot]
 
 

@@ -3,8 +3,10 @@
 The DAG plan compiler (:mod:`repro.serving.compiler`) lowers residual and
 attention topologies to a small vocabulary of fused steps. Every step that
 is *not* a LUT gather lowers to one of the kernels here: elementwise
-residual add, layer normalisation, softmax, embedding gather and the
-batched attention matmuls. Keeping them in one module serves two purposes:
+residual add, layer normalisation, softmax (plain, causal and
+length-masked), embedding gather, the batched attention matmuls and the
+KV-cache primitives of the decoder path. Keeping them in one module serves
+two purposes:
 
 1. The serving engine and the offline per-request reference path execute
    literally the same functions, which is what makes the fp64 serving
@@ -18,7 +20,24 @@ batched attention matmuls. Keeping them in one module serves two purposes:
 
 All kernels are rowwise (per-sample) computations, so executing a stacked
 batch equals executing each request alone — the batch-invariance the
-micro-batching server relies on.
+micro-batching server relies on. The generation path adds a second,
+stronger invariance requirement: a *padded* batch (right-padded prompts in
+a sequence bucket, zero-padded KV caches in a ragged decode batch) must
+reproduce the unpadded per-sequence result bit for bit. Two implementation
+choices guarantee it:
+
+- The *stable* attention contractions use ``np.einsum`` rather than BLAS
+  matmul. einsum accumulates each output element independently and
+  sequentially, so a result entry does not change when the operand gains
+  extra rows (BLAS gemv/gemm pick different instruction mixes per shape —
+  an M=1 decode-step matmul is *not* bitwise a row of the M=seq prefill
+  matmul). Encoder plans keep the plain BLAS kernels: their comparisons
+  are always like-shaped, and einsum is ~10x slower here.
+- The masked softmaxes normalise with a running (``cumsum``) denominator.
+  ``ndarray.sum`` is pairwise with length-dependent grouping, so the same
+  row padded with exact zeros can sum to different last bits; a running
+  sum is strictly sequential and therefore invariant under any number of
+  trailing zeros (masked positions contribute ``exp(-inf) == 0.0``).
 """
 
 from __future__ import annotations
@@ -29,10 +48,16 @@ __all__ = [
     "elementwise_add",
     "layer_norm",
     "softmax",
+    "causal_softmax",
+    "masked_softmax",
     "gelu",
     "embedding_gather",
     "attention_scores",
     "attention_context",
+    "attention_scores_stable",
+    "attention_context_stable",
+    "kv_append",
+    "cached_attention",
 ]
 
 
@@ -60,6 +85,59 @@ def softmax(x, axis=-1):
     return e / e.sum(axis=axis, keepdims=True)
 
 
+def _running_row_sum(e):
+    """Strictly sequential sum over the last axis, as a keepdims column.
+
+    Unlike ``ndarray.sum`` (pairwise, with grouping that depends on the row
+    *length*), a running sum over a row equals the running sum over the
+    same row extended with exact zeros — the property that makes the
+    masked softmaxes below invariant under bucket / KV-cache padding.
+    """
+    return np.cumsum(e, axis=-1)[..., -1:]
+
+
+def _masked_softmax_from(masked):
+    """Softmax of pre-masked logits (``-inf`` marks excluded positions)."""
+    shifted = masked - masked.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / _running_row_sum(e)
+
+
+def causal_softmax(x):
+    """Causal-masked softmax over the last axis of ``(..., q, k)`` scores.
+
+    Query row ``i`` may attend to key ``j`` iff ``j <= i + (k - q)`` — for
+    the square prefill case (``q == k``) that is the standard lower
+    triangle; a ``k > q`` tail lets a suffix of queries attend to a longer
+    key prefix. Masked entries come out as exact ``0.0``, so right-padding
+    a causal sequence never perturbs the rows of real positions.
+    """
+    q, k = x.shape[-2], x.shape[-1]
+    offset = k - q
+    if offset < 0:
+        raise ValueError("causal scores need k >= q, got shape %r"
+                         % (x.shape,))
+    keep = np.arange(k)[None, :] <= np.arange(q)[:, None] + offset
+    return _masked_softmax_from(np.where(keep, x, -np.inf))
+
+
+def masked_softmax(x, lengths):
+    """Length-masked softmax over the last axis.
+
+    ``lengths`` must broadcast against ``x``'s leading axes (pass
+    ``lengths[:, None]`` for per-batch lengths over stacked heads):
+    position ``j`` of a row participates iff ``j < length``. Every length
+    must be >= 1 — a fully masked row has no finite softmax. Masked
+    entries are exact ``0.0``.
+    """
+    x = np.asarray(x)
+    lengths = np.asarray(lengths)
+    if np.any(lengths < 1):
+        raise ValueError("masked_softmax needs every length >= 1")
+    valid = np.arange(x.shape[-1]) < np.expand_dims(lengths, -1)
+    return _masked_softmax_from(np.where(valid, x, -np.inf))
+
+
 def gelu(x):
     """Tanh-approximation GELU (matches :func:`repro.nn.functional.gelu`)."""
     c = float(np.sqrt(2.0 / np.pi))
@@ -82,7 +160,11 @@ def attention_scores(q, k, scale):
     """Scaled attention logits ``(q @ k^T) * scale`` over stacked heads.
 
     ``q`` and ``k`` are (..., seq, head_dim); the matmul contracts the last
-    axis of ``q`` with the transposed last two axes of ``k``.
+    axis of ``q`` with the transposed last two axes of ``k``. BLAS-backed:
+    encoder serving compares like-shaped computations only (a batched
+    request stacks more *slices*, never changes a slice's shape), so the
+    fast path is bit-safe there. Decoder plans must use
+    :func:`attention_scores_stable` instead — see its docstring.
     """
     return (q @ np.swapaxes(k, -1, -2)) * scale
 
@@ -90,3 +172,61 @@ def attention_scores(q, k, scale):
 def attention_context(attn, v):
     """Attention-weighted value mix ``attn @ v`` over stacked heads."""
     return attn @ v
+
+
+def attention_scores_stable(q, k, scale):
+    """Shape-stable attention logits for the generation paths.
+
+    einsum accumulates every (query, key) logit independently and
+    sequentially, so an entry's bits do not depend on how many other rows
+    ride in the operands — a bucket-padded prefill matches the unpadded
+    reference, and a decode step's single-query row matches the same row
+    of a full-sequence computation (BLAS picks different instruction
+    mixes per shape; an M=1 gemv is *not* bitwise a gemm row). ~10x
+    slower than the BLAS kernel at this repo's sizes, which is why only
+    causal (decoder) plans pay for it.
+    """
+    return np.einsum("...ih,...jh->...ij", q, k) * scale
+
+
+def attention_context_stable(attn, v):
+    """Shape-stable context mix for the generation paths.
+
+    einsum for the same reason as :func:`attention_scores_stable`:
+    entries only see their own row of ``attn``, and exact-zero attention
+    weights (from the masked softmaxes) contribute exactly nothing, so KV
+    padding cannot shift the context of real positions.
+    """
+    return np.einsum("...ij,...jh->...ih", attn, v)
+
+
+def kv_append(cache, new, lengths):
+    """Write one new key/value row per sequence into a stacked KV cache.
+
+    ``cache`` is (batch, heads, capacity, head_dim), ``new`` is
+    (batch, heads, head_dim) — the decode step's freshly projected K or V —
+    and ``lengths[i]`` is sequence ``i``'s current cache fill. The write is
+    in place (the decode engine owns the stacked batch copy) and the cache
+    is returned so the step slots compose like any other kernel.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if np.any(lengths >= cache.shape[2]):
+        raise ValueError("KV cache overflow: lengths %s vs capacity %d"
+                         % (lengths.tolist(), cache.shape[2]))
+    cache[np.arange(cache.shape[0]), :, lengths, :] = new
+    return cache
+
+
+def cached_attention(q, k_cache, v_cache, lengths, scale):
+    """Fused single-position attention against a stacked KV cache.
+
+    ``q`` is (batch, heads, head_dim) — the one new query per sequence —
+    and the caches are (batch, heads, capacity, head_dim) holding
+    ``lengths[i]`` valid positions each (*including* the row this step
+    appended). Scores beyond a sequence's length are masked to exact zero
+    weight, so ragged decode batches padded to a common capacity match the
+    per-sequence unpadded computation bit for bit.
+    """
+    scores = np.einsum("bhd,bhjd->bhj", q, k_cache) * scale
+    attn = masked_softmax(scores, np.asarray(lengths)[:, None])
+    return np.einsum("bhj,bhjd->bhd", attn, v_cache)

@@ -9,6 +9,32 @@ def rng():
     return np.random.default_rng(0)
 
 
+@pytest.fixture(scope="session")
+def gen_model():
+    """Converted + calibrated gpt_nano shared by the generation tests."""
+    from repro.lutboost.converter import (
+        ConversionPolicy,
+        calibrate_model,
+        convert_model,
+    )
+    from repro.models import gpt_nano
+
+    rng = np.random.default_rng(7)
+    model = gpt_nano()
+    convert_model(model, ConversionPolicy(v=4, c=16))
+    calibrate_model(model, rng.integers(0, 64, size=(6, 16)))
+    return model
+
+
+@pytest.fixture(scope="session")
+def gen_plan_fp64(gen_model):
+    """fp64 generation plan (buckets 8/16/32) for bit-identity tests."""
+    from repro.gen import compile_generation
+
+    return compile_generation(gen_model, buckets=(8, 16, 32),
+                              precision="fp64", name="gpt_nano")
+
+
 @pytest.fixture
 def clustered_matrix(rng):
     """A (200, 16) matrix whose rows cluster tightly around 8 prototypes.

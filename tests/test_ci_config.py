@@ -42,6 +42,7 @@ def test_smoke_job_runs_fast_tier(workflow):
     # The perf-floor benchmarks belong to the bench job, not the gate.
     assert "--ignore=benchmarks/test_serving_throughput.py" in runs
     assert "--ignore=benchmarks/test_cluster_scaling.py" in runs
+    assert "--ignore=benchmarks/test_generation_throughput.py" in runs
     # These tests must not silently skip inside the smoke job.
     assert "pyyaml" in runs
     # The tier the job deselects must exist in pytest.ini.
@@ -76,9 +77,11 @@ def test_bench_job_uploads_serving_artifact(workflow):
     assert "benchmarks/test_serving_throughput.py" in runs
     assert (ROOT / "benchmarks" / "test_serving_throughput.py").exists()
     # The cluster scaling sweep feeds the cluster_scaling section of the
-    # same artifact.
+    # same artifact, the generation benchmark its generation section.
     assert "benchmarks/test_cluster_scaling.py" in runs
     assert (ROOT / "benchmarks" / "test_cluster_scaling.py").exists()
+    assert "benchmarks/test_generation_throughput.py" in runs
+    assert (ROOT / "benchmarks" / "test_generation_throughput.py").exists()
     uploads = [s for s in job["steps"]
                if "upload-artifact" in str(s.get("uses", ""))]
     assert uploads and uploads[0]["with"]["path"] == "BENCH_serving.json"

@@ -1,0 +1,132 @@
+"""Crash resurrection and client reconnection.
+
+PR-3 made crashes survivable by routing around the corpse; these tests
+cover the recovery half: :class:`ClusterServer` respawns a crashed worker
+from the shared plan store and re-admits it to the router, and
+:class:`ClusterClient` reconnects (once) over a server restart so a
+long-lived client session survives a front-end bounce.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    ModelSpec,
+)
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+from repro.serving import execute_plan
+
+
+@pytest.fixture(scope="module")
+def converted_mlp():
+    rng = np.random.default_rng(0)
+    model = mlp(16, hidden=16, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(32, 16)))
+    return model
+
+
+def _wait_for(predicate, timeout=45.0, interval=0.2):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestShardRespawn:
+    def test_killed_worker_is_resurrected_and_readmitted(self,
+                                                         converted_mlp):
+        config = ClusterConfig(workers=2, max_batch_size=4, max_wait_ms=0.5,
+                               precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            rng = np.random.default_rng(1)
+            x = rng.normal(size=(16, 16))
+            expected = execute_plan(cluster.plans["mlp"], x)
+            cluster.infer_many("mlp", x[:4], timeout=60)
+            victim = cluster.shards[0]
+            victim.process.process.kill()
+            victim.process.process.join(10.0)
+            # The burst that discovers the corpse still completes (re-route)
+            # and triggers the respawn.
+            np.testing.assert_array_equal(
+                cluster.infer_many("mlp", x, timeout=60), expected)
+            assert _wait_for(lambda: cluster.alive_workers() == 2), \
+                cluster.summary()
+            assert _wait_for(
+                lambda: sorted(cluster.router.alive_shards()) == [0, 1])
+            # The resurrected shard serves correct results (it starts with
+            # zero outstanding work, so the next burst reaches it).
+            np.testing.assert_array_equal(
+                cluster.infer_many("mlp", x, timeout=60), expected)
+            assert cluster.shards[0].metrics["mlp"].request_count > 0
+            assert cluster.summary()["alive_workers"] == 2
+
+    def test_respawn_disabled_keeps_reroute_semantics(self, converted_mlp):
+        config = ClusterConfig(workers=2, max_batch_size=4, max_wait_ms=0.5,
+                               precision="fp64", respawn=False)
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            cluster.shards[0].process.process.kill()
+            cluster.shards[0].process.process.join(10.0)
+            rng = np.random.default_rng(2)
+            x = rng.normal(size=(8, 16))
+            cluster.infer_many("mlp", x, timeout=60)
+            time.sleep(1.0)
+            assert cluster.alive_workers() == 1
+
+
+class TestClientReconnect:
+    def test_reconnects_after_server_restart(self, converted_mlp):
+        config = ClusterConfig(workers=1, precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            rng = np.random.default_rng(3)
+            x = rng.normal(size=(6, 16))
+            expected = execute_plan(cluster.plans["mlp"], x)
+            first = ClusterTCPServer(cluster)
+            host, port = first.start_in_thread()
+            client = ClusterClient(host, port)
+            try:
+                np.testing.assert_array_equal(
+                    client.infer_many("mlp", x), expected)
+                # Bounce the front-end on the same port mid-session.
+                first.stop()
+                second = ClusterTCPServer(cluster, host=host, port=port)
+                second.start_in_thread()
+                try:
+                    # One retry reconnects and replays the burst.
+                    np.testing.assert_array_equal(
+                        client.infer_many("mlp", x), expected)
+                    assert client.ping()
+                    assert client.metrics()["workers"] == 1
+                finally:
+                    second.stop()
+            finally:
+                client.close()
+
+    def test_dead_server_still_raises(self, converted_mlp):
+        config = ClusterConfig(workers=1, precision="fp64")
+        with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
+                           config) as cluster:
+            server = ClusterTCPServer(cluster)
+            host, port = server.start_in_thread()
+            client = ClusterClient(host, port)
+            server.stop()
+            # No listener any more: the single retry fails too.
+            with pytest.raises(OSError):
+                client.ping()
+            client.close()

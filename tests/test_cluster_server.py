@@ -83,8 +83,10 @@ class TestServing:
 class TestCrashRecovery:
     def test_killed_worker_reroutes_without_losing_requests(
             self, converted_mlp):
+        # respawn=False pins the pure re-route behaviour this test is
+        # about; test_cluster_recovery.py covers resurrection.
         config = ClusterConfig(workers=2, max_batch_size=4, max_wait_ms=0.5,
-                               precision="fp64")
+                               precision="fp64", respawn=False)
         with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
                            config) as cluster:
             rng = np.random.default_rng(6)
@@ -109,7 +111,7 @@ class TestCrashRecovery:
         from repro.cluster import NoShardAvailable, ShardCrashed
 
         config = ClusterConfig(workers=1, max_batch_size=4,
-                               precision="fp64")
+                               precision="fp64", respawn=False)
         with ClusterServer({"mlp": ModelSpec(converted_mlp, (16,))},
                            config) as cluster:
             cluster.shards[0].process.process.kill()

@@ -19,6 +19,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
     "simulate_accelerator.py",
     "serve_model.py",
     "serve_cluster.py",
+    "generate_text.py",
 ])
 def test_fast_example_runs(script):
     result = subprocess.run(

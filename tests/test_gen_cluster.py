@@ -1,0 +1,116 @@
+"""Cluster generation: worker-side KV caches + TCP token streaming.
+
+Acceptance property, cluster half: greedy fp64 generation through the
+whole distributed path — plans published via shared memory, sessions
+pinned to spawned workers, tokens streamed over the asyncio TCP front-end
+— is bit-identical to the per-request ``lut_generate`` reference for
+prompts hitting every bucket.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    GenModelSpec,
+)
+from repro.gen import lut_generate
+
+MAX_NEW = 6
+PROMPT_LENGTHS = (5, 11, 23)
+
+
+@pytest.fixture(scope="module")
+def cluster(gen_model):
+    config = ClusterConfig(workers=2, precision="fp64")
+    cluster = ClusterServer(
+        {"gpt_nano": GenModelSpec(gen_model, buckets=(8, 16, 32))}, config)
+    yield cluster
+    cluster.shutdown(drain=True, timeout=30.0)
+
+
+@pytest.fixture(scope="module")
+def tcp(cluster):
+    with ClusterTCPServer(cluster) as server:
+        yield server
+
+
+class TestInProcess:
+    @pytest.mark.parametrize("length", PROMPT_LENGTHS)
+    def test_generate_is_bit_identical_to_reference(self, gen_model,
+                                                    cluster, length):
+        rng = np.random.default_rng(length)
+        prompt = rng.integers(0, 64, size=length)
+        got = cluster.generate_all("gpt_nano", prompt, MAX_NEW)
+        assert got == lut_generate(gen_model, prompt, MAX_NEW)
+
+    def test_sessions_spread_and_interleave(self, gen_model, cluster):
+        rng = np.random.default_rng(77)
+        prompts = [rng.integers(0, 64, size=int(n))
+                   for n in rng.integers(2, 24, size=6)]
+        streams = [cluster.generate("gpt_nano", p, 4) for p in prompts]
+        shards = {s._shard.index for s in streams}
+        for prompt, stream in zip(prompts, streams):
+            assert stream.result(120) == lut_generate(gen_model, prompt, 4)
+        assert len(shards) == 2  # sessions pinned across both workers
+
+    def test_unknown_model_and_oversize_prompt(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.generate("nope", [1, 2, 3])
+        with pytest.raises(RuntimeError, match="max_len"):
+            # Worker-side validation surfaces synchronously at start.
+            cluster.generate("gpt_nano", np.zeros(33, dtype=int), 2)
+
+    def test_summary_counts_generation(self, cluster):
+        summary = cluster.summary()
+        assert summary["generation"]["gpt_nano"]["sessions"] >= 1
+        assert summary["generation"]["gpt_nano"]["tokens"] >= MAX_NEW
+        assert "gpt_nano" not in summary["models"]
+
+
+class TestTCPStreaming:
+    @pytest.mark.parametrize("length", PROMPT_LENGTHS)
+    def test_streamed_tokens_are_bit_identical(self, gen_model, cluster,
+                                               tcp, length):
+        rng = np.random.default_rng(length + 100)
+        prompt = rng.integers(0, 64, size=length)
+        host, port = tcp.address
+        with ClusterClient(host, port) as client:
+            got = list(client.generate("gpt_nano", prompt, MAX_NEW))
+        assert got == lut_generate(gen_model, prompt, MAX_NEW)
+
+    def test_stream_interleaves_with_other_requests(self, gen_model,
+                                                    cluster, tcp):
+        """Metrics frames issued mid-stream are routed around the open
+        token stream by the client's id stash."""
+        rng = np.random.default_rng(5)
+        prompt = rng.integers(0, 64, size=7)
+        host, port = tcp.address
+        with ClusterClient(host, port) as client:
+            stream = client.generate("gpt_nano", prompt, MAX_NEW)
+            first = next(stream)
+            summary = client.metrics()
+            rest = list(stream)
+        assert [first] + rest == lut_generate(gen_model, prompt, MAX_NEW)
+        assert summary["workers"] == 2
+
+    def test_generate_all_and_eos(self, gen_model, cluster, tcp):
+        rng = np.random.default_rng(6)
+        prompt = rng.integers(0, 64, size=5)
+        eos = lut_generate(gen_model, prompt, MAX_NEW)[1]
+        host, port = tcp.address
+        with ClusterClient(host, port) as client:
+            got = client.generate_all("gpt_nano", prompt, MAX_NEW,
+                                      eos_token=eos)
+        assert got == lut_generate(gen_model, prompt, MAX_NEW,
+                                   eos_token=eos)
+        assert got[-1] == eos and len(got) == 2
+
+    def test_server_error_frame(self, cluster, tcp):
+        host, port = tcp.address
+        with ClusterClient(host, port) as client:
+            with pytest.raises(RuntimeError):
+                client.generate_all("missing_model", [1, 2, 3], 2)

@@ -1,0 +1,154 @@
+"""Generation compiler: buckets, K/V taps, and the decode-step plan.
+
+The fp64 contract tested here is the layer below full generation: one
+prefill pass through a bucketed plan must reproduce the per-request
+reference logits *and* K/V bit-for-bit at every real position, and the
+hand-lowered decode plan must expose exactly the extra inputs/taps the
+session layer binds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gen import (
+    compile_generation,
+    default_buckets,
+    kv_tap_names,
+    reference_logits,
+)
+from repro.models import gpt_nano
+from repro.serving import execute_plan
+from repro.serving.compiler import CompileError
+
+
+class TestStructure:
+    def test_default_buckets(self):
+        assert default_buckets(32) == (8, 16, 32)
+        assert default_buckets(24) == (8, 16, 24)
+        assert default_buckets(6) == (6,)
+
+    def test_plan_shape(self, gen_plan_fp64):
+        plan = gen_plan_fp64
+        assert plan.buckets == (8, 16, 32)
+        assert plan.precision == "fp64"
+        assert plan.num_layers == 2
+        for bucket, prefill in plan.prefill.items():
+            assert prefill.input_shape == (bucket,)
+            assert set(prefill.tap_slots) == {
+                name for pair in kv_tap_names(2) for name in pair}
+        decode = plan.decode
+        assert decode.input_shape == ()
+        assert set(decode.extra_inputs) == {
+            "positions", "lengths", "k_cache_0", "v_cache_0",
+            "k_cache_1", "v_cache_1"}
+        assert set(decode.tap_slots) == {"k0", "v0", "k1", "v1"}
+        # Decode projections are real LUT workloads the simulator prices.
+        names = [w.name for w in decode.workloads(1)]
+        assert "blocks.0.attn.q_proj" in names and "head" in names
+
+    def test_bucket_selection_and_padding(self, gen_plan_fp64):
+        assert gen_plan_fp64.bucket_for(3) == 8
+        assert gen_plan_fp64.bucket_for(8) == 8
+        assert gen_plan_fp64.bucket_for(9) == 16
+        with pytest.raises(ValueError):
+            gen_plan_fp64.bucket_for(33)
+        padded, bucket = gen_plan_fp64.pad_prompt([5, 6, 7])
+        assert bucket == 8 and list(padded[:3]) == [5, 6, 7]
+        assert np.all(padded[3:] == 0)
+
+    def test_unconverted_model_is_rejected(self):
+        with pytest.raises(CompileError):
+            compile_generation(gpt_nano(seed=3), buckets=(8,))
+
+    def test_bad_buckets_are_rejected(self, gen_model):
+        with pytest.raises(CompileError):
+            compile_generation(gen_model, buckets=(8, 64))
+        with pytest.raises(CompileError):
+            compile_generation(gen_model, buckets=(1,))
+
+
+class TestPrefillBitIdentity:
+    @pytest.mark.parametrize("length", [5, 11, 23])
+    def test_padded_prefill_matches_reference_rows(self, gen_model,
+                                                   gen_plan_fp64, length):
+        """Logits and K/V taps at real positions are bitwise the
+        per-request reference, despite bucket padding and batching."""
+        rng = np.random.default_rng(length)
+        prompts = rng.integers(0, 64, size=(3, length))
+        bucket = gen_plan_fp64.bucket_for(length)
+        stacked = np.zeros((3, bucket), dtype=np.int64)
+        stacked[:, :length] = prompts
+        logits, taps = execute_plan(gen_plan_fp64.prefill[bucket], stacked,
+                                    return_taps=True)
+        for i in range(3):
+            want, want_kv = reference_logits(gen_model, prompts[i],
+                                             return_kv=True)
+            np.testing.assert_array_equal(logits[i, :length], want)
+            for layer, (k_ref, v_ref) in enumerate(want_kv):
+                np.testing.assert_array_equal(
+                    taps["k%d" % layer][i][:, :length], k_ref)
+                np.testing.assert_array_equal(
+                    taps["v%d" % layer][i][:, :length], v_ref)
+
+    def test_fp32_padding_invariance(self, gen_model):
+        """Across dtypes: the fp32 engine is also padding-invariant
+        (against itself — fp32 vs the fp64 reference only agrees to
+        tolerance)."""
+        plan = compile_generation(gen_model, buckets=(8, 16),
+                                  precision="fp32", name="gpt_nano_fp32")
+        rng = np.random.default_rng(0)
+        prompts = rng.integers(0, 64, size=(2, 5))
+        padded8 = np.zeros((2, 8), dtype=np.int64)
+        padded8[:, :5] = prompts
+        padded16 = np.zeros((2, 16), dtype=np.int64)
+        padded16[:, :5] = prompts
+        out8, taps8 = execute_plan(plan.prefill[8], padded8,
+                                   return_taps=True)
+        out16, taps16 = execute_plan(plan.prefill[16], padded16,
+                                     return_taps=True)
+        np.testing.assert_array_equal(out8[:, :5], out16[:, :5])
+        np.testing.assert_array_equal(taps8["k0"][:, :, :5],
+                                      taps16["k0"][:, :, :5])
+
+
+class TestDecodeStep:
+    def test_one_decode_step_is_bitwise_reference(self, gen_model,
+                                                  gen_plan_fp64):
+        """Feed token L against a prefill-loaded cache; the logits must be
+        bitwise the reference's full-recompute row L."""
+        plan = gen_plan_fp64
+        rng = np.random.default_rng(1)
+        length = 6
+        prompts = rng.integers(0, 64, size=(2, length))
+        bucket = plan.bucket_for(length)
+        stacked = np.zeros((2, bucket), dtype=np.int64)
+        stacked[:, :length] = prompts
+        logits, taps = execute_plan(plan.prefill[bucket], stacked,
+                                    return_taps=True)
+        next_tokens = np.argmax(logits[:, length - 1], axis=-1)
+        heads, head_dim = plan.meta["num_heads"], plan.meta["head_dim"]
+        extras = {
+            "positions": np.full(2, length, dtype=np.int64),
+            "lengths": np.full(2, length, dtype=np.int64),
+        }
+        for layer in range(plan.num_layers):
+            k = np.zeros((2, heads, length + 1, head_dim))
+            v = np.zeros_like(k)
+            k[:, :, :length] = taps["k%d" % layer][:, :, :length]
+            v[:, :, :length] = taps["v%d" % layer][:, :, :length]
+            extras["k_cache_%d" % layer] = k
+            extras["v_cache_%d" % layer] = v
+        step_logits, step_taps = execute_plan(
+            plan.decode, next_tokens, extras=extras, return_taps=True)
+        for i in range(2):
+            ref, ref_kv = reference_logits(
+                gen_model, list(prompts[i]) + [int(next_tokens[i])],
+                return_kv=True)
+            np.testing.assert_array_equal(step_logits[i], ref[-1])
+            for layer in range(plan.num_layers):
+                np.testing.assert_array_equal(
+                    step_taps["k%d" % layer][i], ref_kv[layer][0][:, -1])
+                # kv_append wrote the new row into the bound cache too.
+                np.testing.assert_array_equal(
+                    extras["k_cache_%d" % layer][i, :, length],
+                    ref_kv[layer][0][:, -1])

@@ -1,0 +1,172 @@
+"""Padding/causal-mask kernel properties the generation engine rests on.
+
+The generation subsystem's bit-identity guarantee reduces to a handful of
+kernel-level invariances: right-padding a causal batch, zero-padding a KV
+cache, and shrinking a decode batch to a single row must all reproduce the
+per-sequence unpadded computation *bit for bit*, in every serving dtype.
+These property tests sweep lengths and dtypes so a kernel regression (say,
+swapping the running-sum softmax denominator back to pairwise ``sum``)
+fails here with a pinpoint signature instead of as a mysterious token
+mismatch three layers up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vq import kernels
+
+DTYPES = [np.float32, np.float64]
+
+
+def _rand(rng, shape, dtype):
+    return rng.normal(size=shape).astype(dtype)
+
+
+class TestCausalSoftmax:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_rows_sum_to_one_and_mask_is_exact_zero(self, rng, dtype):
+        scores = _rand(rng, (2, 3, 7, 7), dtype)
+        attn = kernels.causal_softmax(scores)
+        np.testing.assert_allclose(attn.sum(-1), 1.0, rtol=1e-5)
+        for i in range(7):
+            assert np.all(attn[..., i, i + 1:] == 0.0)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("length,padded", [(1, 8), (3, 8), (5, 16),
+                                               (7, 8), (9, 32), (13, 16),
+                                               (16, 32), (31, 32)])
+    def test_right_padding_invariance(self, rng, dtype, length, padded):
+        """Real rows of a padded causal softmax equal the unpadded result
+        bitwise — the property that makes sequence buckets free."""
+        scores = _rand(rng, (4, length, length), dtype)
+        grown = _rand(rng, (4, padded, padded), dtype)
+        grown[:, :length, :length] = scores
+        want = kernels.causal_softmax(scores)
+        got = kernels.causal_softmax(grown)[:, :length, :length]
+        np.testing.assert_array_equal(got, want)
+
+    def test_rectangular_offset_mask(self):
+        # 2 queries against 5 keys: query 0 sees keys 0..3, query 1 all 5.
+        attn = kernels.causal_softmax(np.zeros((2, 5)))
+        assert attn[0, 4] == 0.0 and attn[1, 4] > 0.0
+
+    def test_rejects_more_queries_than_keys(self):
+        with pytest.raises(ValueError):
+            kernels.causal_softmax(np.zeros((5, 3)))
+
+
+class TestMaskedSoftmax:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_per_row_softmax_over_prefix(self, rng, dtype):
+        x = _rand(rng, (6, 17), dtype)
+        lengths = np.array([1, 4, 7, 11, 16, 17])
+        out = kernels.masked_softmax(x, lengths)
+        for i, length in enumerate(lengths):
+            # Bitwise: masking to `length` equals running on the exact
+            # prefix alone (padding-length invariance, any length).
+            exact = kernels.masked_softmax(x[i:i + 1, :length],
+                                           np.array([length]))
+            np.testing.assert_array_equal(out[i, :length], exact[0])
+            # Semantics: a softmax over the prefix (up to reassociation —
+            # plain softmax normalises with a pairwise sum).
+            np.testing.assert_allclose(
+                out[i, :length], kernels.softmax(x[i:i + 1, :length])[0],
+                rtol=1e-6 if x.dtype == np.float32 else 1e-12)
+            assert np.all(out[i, length:] == 0.0)
+
+    def test_rejects_zero_lengths(self):
+        with pytest.raises(ValueError):
+            kernels.masked_softmax(np.zeros((2, 4)), np.array([3, 0]))
+
+
+class TestAttentionEinsumStability:
+    """The decode step computes M=1 attention slices; BLAS matmul bits
+    depend on M, so the *stable* kernel variants (which causal plans and
+    the generation reference share) must be shape-independent per entry.
+    The plain BLAS kernels stay for encoder plans, whose comparisons are
+    always like-shaped."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scores_single_query_is_bitwise_row(self, rng, dtype):
+        q = _rand(rng, (2, 4, 12, 8), dtype)
+        k = _rand(rng, (2, 4, 12, 8), dtype)
+        full = kernels.attention_scores_stable(q, k, 0.25)
+        one = kernels.attention_scores_stable(q[:, :, 5:6], k, 0.25)
+        np.testing.assert_array_equal(one[:, :, 0], full[:, :, 5])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("length,padded", [(3, 8), (5, 16), (9, 12),
+                                               (13, 32)])
+    def test_zero_padded_keys_and_values_are_free(self, rng, dtype, length,
+                                                  padded):
+        q = _rand(rng, (3, 2, length, 8), dtype)
+        k = _rand(rng, (3, 2, length, 8), dtype)
+        v = _rand(rng, (3, 2, length, 8), dtype)
+        kp = np.zeros((3, 2, padded, 8), dtype)
+        vp = np.zeros_like(kp)
+        kp[:, :, :length] = k
+        vp[:, :, :length] = v
+        want = kernels.attention_scores_stable(q, k, 1.0)
+        got = kernels.attention_scores_stable(q, kp, 1.0)[..., :length]
+        np.testing.assert_array_equal(got, want)
+        attn = kernels.causal_softmax(want)
+        attn_p = np.zeros((3, 2, length, padded), dtype)
+        attn_p[..., :length] = attn
+        np.testing.assert_array_equal(
+            kernels.attention_context_stable(attn_p, vp),
+            kernels.attention_context_stable(attn, v))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_stable_and_blas_kernels_agree_to_tolerance(self, rng, dtype):
+        q = _rand(rng, (2, 4, 12, 8), dtype)
+        k = _rand(rng, (2, 4, 12, 8), dtype)
+        np.testing.assert_allclose(
+            kernels.attention_scores_stable(q, k, 0.5),
+            kernels.attention_scores(q, k, 0.5),
+            rtol=1e-4 if dtype == np.float32 else 1e-12,
+            atol=1e-6 if dtype == np.float32 else 1e-15)
+
+
+class TestKVAppend:
+    def test_writes_each_sequence_at_its_fill(self, rng):
+        cache = np.zeros((3, 2, 6, 4))
+        new = rng.normal(size=(3, 2, 4))
+        lengths = np.array([0, 2, 5])
+        out = kernels.kv_append(cache, new, lengths)
+        assert out is cache
+        for i, fill in enumerate(lengths):
+            np.testing.assert_array_equal(cache[i, :, fill], new[i])
+            assert np.all(cache[i, :, fill + 1:] == 0.0)
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            kernels.kv_append(np.zeros((1, 2, 4, 3)), np.zeros((1, 2, 3)),
+                              np.array([4]))
+
+
+class TestCachedAttention:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_unpadded_per_sequence_attention(self, rng, dtype):
+        """A ragged batch padded to the longest member equals each
+        sequence's own full causal attention row, bit for bit."""
+        heads, head_dim = 2, 8
+        lengths = [1, 4, 7]
+        capacity = max(lengths)
+        per_seq = [(_rand(rng, (heads, n, head_dim), dtype),
+                    _rand(rng, (heads, n, head_dim), dtype))
+                   for n in lengths]
+        q = _rand(rng, (len(lengths), heads, head_dim), dtype)
+        k_stack = np.zeros((len(lengths), heads, capacity, head_dim), dtype)
+        v_stack = np.zeros_like(k_stack)
+        for i, (k, v) in enumerate(per_seq):
+            k_stack[i, :, :lengths[i]] = k
+            v_stack[i, :, :lengths[i]] = v
+        got = kernels.cached_attention(q, k_stack, v_stack,
+                                       np.array(lengths), 0.5)
+        for i, (k, v) in enumerate(per_seq):
+            scores = kernels.attention_scores_stable(q[i][:, None, :], k,
+                                                     0.5)
+            attn = kernels.masked_softmax(scores, np.full((heads, 1),
+                                                          lengths[i]))
+            want = kernels.attention_context_stable(attn, v)[:, 0, :]
+            np.testing.assert_array_equal(got[i], want)
