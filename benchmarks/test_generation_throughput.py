@@ -83,10 +83,20 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
     generated = sum(token_counts)
     decode_rate = generated / elapsed
 
+    # Plan memory: the shared block table means one codebook/LUT copy
+    # per model rather than one per bucket (plus decode) — tracked per
+    # commit alongside the token rates.
+    shared_bytes = plan.storage_bytes()
+    unshared_bytes = plan.unshared_storage_bytes()
+
     rows = prefill_rows + [{"bucket": "decode (%d sessions)" % SESSIONS,
                             "prompt_tokens_per_s": decode_rate}]
     emit("Generation throughput (gpt_nano, fp32 plans)",
          format_table(rows, floatfmt="%.4g"))
+    emit("Generation plan memory (gpt_nano, %d buckets)" % len(BUCKETS),
+         "shared table: %.1f KiB; per-bucket copies would be %.1f KiB "
+         "(%.2fx)" % (shared_bytes / 1024.0, unshared_bytes / 1024.0,
+                      unshared_bytes / shared_bytes))
     record_serving_bench("generation", {
         "model": "gpt_nano",
         "prefill": prefill_rows,
@@ -97,10 +107,19 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
             "generated_tokens": generated,
             "tokens_per_s": decode_rate,
         },
+        "gen_plan_bytes": {
+            "buckets": list(BUCKETS),
+            "shared": int(shared_bytes),
+            "unshared": int(unshared_bytes),
+            "ratio": unshared_bytes / shared_bytes,
+        },
     })
 
     assert generated == SESSIONS * MAX_NEW
     assert decode_rate > 0
+    # The shared block table is the acceptance floor of the memory work:
+    # three buckets + decode must shrink >= 2.5x vs per-plan copies.
+    assert unshared_bytes / shared_bytes >= 2.5
     # Prefill amortises the whole prompt per pass; decode pays one pass
     # per token. The gap is the point of the split — assert it exists.
     assert max(r["prompt_tokens_per_s"] for r in prefill_rows) > decode_rate

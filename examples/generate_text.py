@@ -17,6 +17,10 @@ The decoder counterpart of ``serve_model.py`` / ``serve_cluster.py``. A
 
 At fp64 both paths emit exactly the tokens of the cacheless per-request
 reference ``lut_generate`` — the bit-identity contract of the subsystem.
+The same contract extends to *sampled* decoding: a
+:class:`~repro.gen.SamplingConfig` rides the session (and the TCP
+header), and its counter-based RNG makes a ``(seed, prompt)`` pair
+reproduce the identical stream on every path.
 
 Run:  python examples/generate_text.py
 """
@@ -30,7 +34,7 @@ from repro.cluster import (
     ClusterTCPServer,
     GenModelSpec,
 )
-from repro.gen import GenConfig, GeneratorServer, lut_generate
+from repro.gen import GenConfig, GeneratorServer, SamplingConfig, lut_generate
 from repro.lutboost.converter import (
     ConversionPolicy,
     calibrate_model,
@@ -60,6 +64,11 @@ def main():
     with GeneratorServer(model, buckets=BUCKETS,
                          config=GenConfig(precision="fp64")) as server:
         print("plan: %r" % server.plan)
+        print("plan memory: %.0f KiB shared table (%.1fx less than "
+              "per-bucket copies)"
+              % (server.plan.storage_bytes() / 1024.0,
+                 server.plan.unshared_storage_bytes()
+                 / server.plan.storage_bytes()))
         sessions = [server.generate(p, MAX_NEW) for p in prompts]
         for prompt, session in zip(prompts, sessions):
             tokens = session.result(120)
@@ -68,6 +77,17 @@ def main():
             print("prompt len %2d (bucket %2d) -> %s"
                   % (len(prompt), server.plan.bucket_for(len(prompt)),
                      tokens))
+
+        # Sampled decoding: same (seed, prompt) -> same stream, even
+        # while other sessions share the decode batch.
+        policy = SamplingConfig(temperature=0.9, top_k=32, seed=7)
+        twin_a = server.generate(prompts[0], MAX_NEW, sampling=policy)
+        twin_b = server.generate(prompts[0], MAX_NEW, sampling=policy)
+        sampled = twin_a.result(120)
+        assert sampled == twin_b.result(120)
+        assert sampled == lut_generate(model, prompts[0], MAX_NEW,
+                                       sampling=policy)
+        print("sampled (T=0.9, top_k=32, seed=7)  -> %s" % sampled)
 
     print()
     print("== cluster + TCP streaming ==")
@@ -86,6 +106,14 @@ def main():
                     reference = lut_generate(model, prompt, MAX_NEW)
                     assert streamed == reference, (streamed, reference)
                     print("streamed len %2d -> %s" % (len(prompt), streamed))
+                # The sampling policy rides the request header; the
+                # counter RNG reproduces the in-process stream exactly.
+                policy = SamplingConfig(temperature=0.9, top_k=32, seed=7)
+                sampled = client.generate_all("gpt_nano", prompts[0],
+                                              MAX_NEW, sampling=policy)
+                assert sampled == lut_generate(model, prompts[0], MAX_NEW,
+                                               sampling=policy)
+                print("sampled over TCP              -> %s" % sampled)
         stats = cluster.summary()["generation"]["gpt_nano"]
         print("cluster served %d sessions / %d tokens"
               % (stats["sessions"], stats["tokens"]))

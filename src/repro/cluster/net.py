@@ -20,8 +20,15 @@ Request headers:
     {"id": 8, "op": "metrics"}        (no payload)   -> cluster summary
     {"id": 9, "op": "ping"}           (no payload)   -> liveness probe
     {"id": 10, "op": "generate", "model": "gpt_nano",
-     "max_new_tokens": 16, "eos_token": null}
+     "max_new_tokens": 16, "eos_token": null,
+     "sampling": {"temperature": 0.8, "top_k": 40,
+                  "top_p": 0.95, "seed": 7}}
                                       + npy prompt   -> token stream
+
+The optional ``sampling`` field is ``SamplingConfig.to_dict()`` — omit
+it (or send null) for greedy decode. Because the sampling RNG is
+counter-based on ``(seed, step)``, a seeded request reproduces the same
+token stream over the wire as in process.
 
 Response headers echo the id: ``{"id": 7, "ok": true}`` with an npy
 payload for inference hits, ``{"id": 7, "ok": false, "error": "..."}``
@@ -53,6 +60,8 @@ import struct
 import threading
 
 import numpy as np
+
+from ..gen.sampling import SamplingConfig
 
 __all__ = [
     "ProtocolError",
@@ -251,13 +260,17 @@ class ClusterTCPServer:
             if array is None:
                 raise ProtocolError("generation request carries no prompt")
             prompt = np.asarray(array).ravel().astype(np.int64)
+            # Parse the policy before touching the cluster so a malformed
+            # header fails as a protocol error, not a worker error.
+            sampling = SamplingConfig.from_dict(header.get("sampling"))
             # Session start is a blocking worker RPC (prefill behind the
             # shard's pipe lock) — off the loop, like every poll below.
             stream = await loop.run_in_executor(
                 None, lambda: self.cluster.generate(
                     header.get("model"), prompt,
                     max_new_tokens=header.get("max_new_tokens"),
-                    eos_token=header.get("eos_token")))
+                    eos_token=header.get("eos_token"),
+                    sampling=sampling))
             tokens = iter(stream)
             index = 0
             while True:
@@ -529,19 +542,24 @@ class ClusterClient:
         return self._with_retry(attempt)
 
     # ------------------------------------------------------------------
-    def generate(self, model, prompt, max_new_tokens=None, eos_token=None):
+    def generate(self, model, prompt, max_new_tokens=None, eos_token=None,
+                 sampling=None):
         """Stream one generation; yields token ids as frames arrive.
 
         The session is started eagerly (with the reconnect-and-replay
         guard, so a restarted server is transparent *before* the first
         token); the returned generator then reads one stream frame per
-        token and finishes on the ``done`` frame.
+        token and finishes on the ``done`` frame. ``sampling`` (a
+        :class:`~repro.gen.sampling.SamplingConfig` or its dict form)
+        rides the request header; omit it for greedy decode.
         """
         header = {"op": "generate", "model": model}
         if max_new_tokens is not None:
             header["max_new_tokens"] = int(max_new_tokens)
         if eos_token is not None:
             header["eos_token"] = int(eos_token)
+        if sampling is not None:
+            header["sampling"] = SamplingConfig.from_dict(sampling).to_dict()
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
 
         def attempt():
@@ -584,9 +602,10 @@ class ClusterClient:
         return stream()
 
     def generate_all(self, model, prompt, max_new_tokens=None,
-                     eos_token=None):
+                     eos_token=None, sampling=None):
         """Blocking convenience: the full generated token list."""
-        return list(self.generate(model, prompt, max_new_tokens, eos_token))
+        return list(self.generate(model, prompt, max_new_tokens, eos_token,
+                                  sampling))
 
     # ------------------------------------------------------------------
     def close(self):

@@ -5,9 +5,12 @@ big, read-only numpy arrays (the packed codebook block, the PSum-LUT
 block, dense-layer weights, baked constants) and a small step list that
 names them. ``plan_to_spec`` splits a plan along exactly that line — a
 picklable *manifest* plus an ordered array table — and
-:class:`SharedPlanStore` writes the array table into one
-``multiprocessing.shared_memory`` segment per plan
-(:mod:`repro.vq.sharedmem` does the aligned packing).
+:class:`SharedPlanStore` writes the array table into a
+``multiprocessing.shared_memory`` segment (:mod:`repro.vq.sharedmem`
+does the aligned packing). ``publish_group`` serialises a *set* of plans
+through one identity-deduplicated table into one segment, so plans that
+share arrays — a generation model's bucket/decode plans after the
+compiler shares their block tables — publish every shared buffer once.
 
 Workers receive a :class:`PlanHandle` — segment name + manifest + block
 metadata, all plain picklable Python — and ``load()`` maps the same
@@ -27,19 +30,40 @@ import weakref
 
 import numpy as np
 
-from ..serving.compiler import KernelPlan, KernelStep
-from ..vq.sharedmem import attach_block, create_block
+from ..serving.compiler import KernelPlan, KernelStep, lut_block_views
+from ..vq.sharedmem import attach_block_cached, create_block
 
 __all__ = ["plan_to_spec", "plan_from_spec", "PlanHandle", "SharedPlanStore"]
 
 
-def _encode_params(params, arrays):
+class _ArrayTable:
+    """Ordered array table deduplicating by object identity.
+
+    Passing one table through several ``plan_to_spec`` calls is how a
+    plan *group* (a generation model's bucket + decode plans, which the
+    compiler binds to shared block/weight objects) serialises every
+    shared array exactly once: the manifests' ``__array__`` markers of
+    all plans index into the same table.
+    """
+
+    def __init__(self):
+        self.arrays = []
+        self._index = {}
+
+    def add(self, arr):
+        key = id(arr)
+        if key not in self._index:
+            self._index[key] = len(self.arrays)
+            self.arrays.append(arr)  # the reference also pins the id
+        return self._index[key]
+
+
+def _encode_params(params, table):
     """Replace ndarray values with ``{"__array__": index}`` references."""
     out = {}
     for key, value in params.items():
         if isinstance(value, np.ndarray):
-            out[key] = {"__array__": len(arrays)}
-            arrays.append(value)
+            out[key] = {"__array__": table.add(value)}
         else:
             out[key] = value
     return out
@@ -55,16 +79,21 @@ def _decode_params(params, arrays):
     return out
 
 
-def plan_to_spec(plan):
+def plan_to_spec(plan, table=None):
     """Split ``plan`` into (manifest, arrays).
 
     The manifest is pure picklable Python (no numpy objects, no slices);
     ``arrays`` is the ordered table the manifest's ``__array__`` markers
-    index into. Array 0 is always the packed centroid block and array 1
-    the packed LUT block; ``lut_gemm`` steps reference them by layer
-    rather than carrying their own views.
+    index into (``manifest["centroids_index"]`` / ``"tables_index"`` name
+    the packed blocks; ``lut_gemm`` steps reference them by layer rather
+    than carrying their own views). Passing an existing :class:`_ArrayTable`
+    appends into it instead — arrays already present (by object identity)
+    are referenced, not duplicated, which is how a group of plans sharing
+    one block table serialises it once.
     """
-    arrays = [plan.centroids, plan.tables]
+    table = _ArrayTable() if table is None else table
+    centroids_index = table.add(plan.centroids)
+    tables_index = table.add(plan.tables)
     layers = []
     for layer in plan.layers:
         row = dict(layer)
@@ -86,11 +115,13 @@ def plan_to_spec(plan):
             "inputs": list(step.inputs),
             "out": step.out,
             "release": list(step.release),
-            "params": _encode_params(params, arrays),
+            "params": _encode_params(params, table),
         })
     manifest = {
         "steps": steps,
         "layers": layers,
+        "centroids_index": centroids_index,
+        "tables_index": tables_index,
         "v": plan.v,
         "c": plan.c,
         "metric": plan.metric,
@@ -102,7 +133,7 @@ def plan_to_spec(plan):
         "tap_slots": dict(getattr(plan, "tap_slots", {})),
         "extra_inputs": dict(getattr(plan, "extra_inputs", {})),
     }
-    return manifest, arrays
+    return manifest, table.arrays
 
 
 def plan_from_spec(manifest, arrays):
@@ -117,16 +148,16 @@ def plan_from_spec(manifest, arrays):
         layer["subspace_slice"] = slice(*row["subspace_slice"])
         layer["table_slice"] = slice(*row["table_slice"])
         layers.append(layer)
-    centroids, tables = arrays[0], arrays[1]
+    centroids = arrays[manifest.get("centroids_index", 0)]
+    tables = arrays[manifest.get("tables_index", 1)]
     c = int(manifest["c"])
     steps = []
     for record in manifest["steps"]:
         params = _decode_params(record["params"], arrays)
         if record["kind"] == "lut_gemm":
             layer = layers[params["layer"]]
-            params["centroids"] = centroids[layer["subspace_slice"]]
-            params["table"] = tables[layer["table_slice"]].reshape(
-                layer["num_subspaces"], c, layer["n_out"])
+            params["centroids"], params["table"] = lut_block_views(
+                centroids, tables, layer, c)
         steps.append(KernelStep(record["kind"], inputs=record["inputs"],
                                 out=record["out"],
                                 release=record["release"], **params))
@@ -163,8 +194,18 @@ class PlanHandle:
         self.manifest = manifest
         self.creator_pid = creator_pid
 
-    def load(self):
-        shm, arrays = attach_block(self.segment, self.meta)
+    def load(self, segments=None):
+        """Attach the segment and rebuild the plan over zero-copy views.
+
+        ``segments`` is an optional ``{segment_name: (shm, arrays)}``
+        cache shared between loads: handles published as a group live in
+        one segment, and loading them through one cache maps it once and
+        hands every plan the *same* array objects (shared blocks stay
+        object-shared in the worker, exactly as the compiler built them).
+        """
+        shm, arrays = attach_block_cached(
+            self.segment, self.meta,
+            segments if segments is not None else {})
         plan = plan_from_spec(self.manifest, arrays)
         plan.segment = shm  # pin the mapping to the plan's lifetime
         return plan
@@ -177,10 +218,11 @@ class SharedPlanStore:
     """Publish compiled plans into shared memory; own the segments.
 
     The store is the single writer: ``publish`` packs one plan into one
-    fresh segment and returns its :class:`PlanHandle`. Readers (worker
-    processes) only ever attach. ``close()`` unlinks every segment; it is
-    also registered as a finalizer so an abandoned store cannot leak
-    system-global shared memory.
+    fresh segment and returns its :class:`PlanHandle`; ``publish_group``
+    packs a set of plans into one segment with a shared, deduplicated
+    array table. Readers (worker processes) only ever attach. ``close()``
+    unlinks every segment; it is also registered as a finalizer so an
+    abandoned store cannot leak system-global shared memory.
     """
 
     def __init__(self):
@@ -191,16 +233,41 @@ class SharedPlanStore:
             self, SharedPlanStore._release, self._segments)
 
     def publish(self, key, plan):
-        manifest, arrays = plan_to_spec(plan)
-        shm, meta = create_block(arrays)
-        handle = PlanHandle(key, shm.name, meta, manifest,
-                            creator_pid=os.getpid())
+        return self.publish_group({key: plan})[key]
+
+    def publish_group(self, plans):
+        """Publish several plans into ONE segment with a shared table.
+
+        ``plans`` is ``{key: KernelPlan}``. The group serialises through
+        a single deduplicated array table: arrays the plans share *by
+        object* — a generation model's codebook/LUT block and dense
+        weights after :func:`repro.gen.compiler.share_plan_tables` — are
+        written once, so the segment holds the block table once per
+        model instead of once per bucket. Every returned handle names
+        the same segment with its own manifest; workers that load them
+        through one segment cache share a single mapping.
+        """
+        if not plans:
+            raise ValueError("publish_group needs at least one plan")
+        table = _ArrayTable()
+        manifests = {key: plan_to_spec(plan, table)[0]
+                     for key, plan in plans.items()}
+        shm, meta = create_block(table.arrays)
+        pid = os.getpid()
         with self._lock:
-            if key in self._handles:
-                raise KeyError("plan %r is already published" % (key,))
+            taken = sorted(key for key in plans if key in self._handles)
+            if taken:
+                shm.close()
+                shm.unlink()
+                raise KeyError("plan %r is already published" % (taken[0],))
             self._segments.append(shm)
-            self._handles[key] = handle
-        return handle
+            handles = {}
+            for key in plans:
+                handle = PlanHandle(key, shm.name, meta, manifests[key],
+                                    creator_pid=pid)
+                self._handles[key] = handle
+                handles[key] = handle
+        return handles
 
     def handles(self):
         with self._lock:

@@ -30,6 +30,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from ..gen.sampling import SamplingConfig
 from ..serving.autotune import Autotuner
 from ..serving.batcher import AdmissionError, MicroBatcher
 from ..serving.compiler import compile_model
@@ -365,13 +366,19 @@ class ClusterServer:
             spec.model, buckets=spec.buckets, precision=precision,
             sample_prompts=spec.sample_prompts, name=key)
         self.gen_plans[key] = gen_plan
+        # One group publish: the compiler bound all plans to one shared
+        # block table, and publish_group writes it into the segment once
+        # — shard memory for a gen model scales with the model, not the
+        # bucket count.
+        group = {}
         prefill_keys = []
         for bucket, plan in sorted(gen_plan.prefill.items()):
             store_key = "%s::prefill%d" % (key, bucket)
-            self.store.publish(store_key, plan)
+            group[store_key] = plan
             prefill_keys.append((bucket, store_key))
         decode_key = "%s::decode" % key
-        self.store.publish(decode_key, gen_plan.decode)
+        group[decode_key] = gen_plan.decode
+        self.store.publish_group(group)
         self._gen_meta[key] = {
             "prefill_keys": prefill_keys,
             "decode_key": decode_key,
@@ -515,7 +522,8 @@ class ClusterServer:
     # ------------------------------------------------------------------
     # Generation path
     # ------------------------------------------------------------------
-    def generate(self, key, prompt, max_new_tokens=None, eos_token=None):
+    def generate(self, key, prompt, max_new_tokens=None, eos_token=None,
+                 sampling=None):
         """Start one generation session; returns a token stream.
 
         The session pins to one shard (picked by the router) and its KV
@@ -524,7 +532,15 @@ class ClusterServer:
         decode batch advances. A crash of the pinned shard fails the
         stream with :class:`GenerationError` (cached state cannot be
         re-routed) — with ``respawn`` enabled the worker itself comes
-        back for subsequent sessions.
+        back for subsequent sessions, and because the sampling RNG is a
+        pure function of ``(seed, step)``, re-running the same
+        ``(sampling.seed, prompt)`` on the respawned fleet reproduces
+        the identical stream.
+
+        ``sampling`` is the session's
+        :class:`~repro.gen.sampling.SamplingConfig` (``None`` = greedy);
+        it ships to the pinned worker on the ``gen_start`` RPC in its
+        plain-dict wire form.
         """
         if key not in self.gen_plans:
             raise KeyError("unknown generation model %r (serving: %s)"
@@ -535,6 +551,7 @@ class ClusterServer:
                    if max_new_tokens is None else int(max_new_tokens))
         if max_new < 1:
             raise ValueError("max_new_tokens must be >= 1")
+        policy = SamplingConfig.from_dict(sampling).to_dict()
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
         tried = set()
         while True:
@@ -542,8 +559,8 @@ class ClusterServer:
             shard = self._by_index[index]
             tried.add(index)
             try:
-                reply = shard.process.request("gen_start", key,
-                                              prompt, max_new, eos_token)
+                reply = shard.process.request("gen_start", key, prompt,
+                                              max_new, eos_token, policy)
             except ShardCrashed:
                 self._shard_down(index)
                 continue
@@ -555,10 +572,10 @@ class ClusterServer:
                                     reply["tokens"], reply["done"])
 
     def generate_all(self, key, prompt, max_new_tokens=None, eos_token=None,
-                     timeout=120.0):
+                     sampling=None, timeout=120.0):
         """Blocking convenience: the full generated token list."""
-        return self.generate(key, prompt, max_new_tokens,
-                             eos_token).result(timeout)
+        return self.generate(key, prompt, max_new_tokens, eos_token,
+                             sampling).result(timeout)
 
     def _gen_finished(self, index, key):
         self.router.finished(index, key)

@@ -24,6 +24,7 @@ import threading
 
 import numpy as np
 
+from ..gen.sampling import SamplingConfig
 from ..serving.engine import ServingEngine
 
 __all__ = ["ShardCrashed", "worker_main", "ShardProcess"]
@@ -42,8 +43,11 @@ def worker_main(conn, handles, gen_meta=None):
 
     Protocol (parent -> child):
         ``("run", job_id, key, batch)``  execute ``batch`` on plan ``key``
-        ``("gen_start", job_id, key, prompt, max_new, eos)``
+        ``("gen_start", job_id, key, prompt, max_new, eos, sampling)``
                                          prefill + admit one generation
+                                         (``sampling`` is a
+                                         ``SamplingConfig.to_dict()`` or
+                                         ``None`` for greedy)
         ``("gen_poll", job_id, key, sid)``
                                          drain that session's new tokens,
                                          advancing the shared decode batch
@@ -69,7 +73,12 @@ def worker_main(conn, handles, gen_meta=None):
     loop — only a broken pipe or ``stop`` does.
     """
     engine = ServingEngine()
-    plans = {key: handle.load() for key, handle in handles.items()}
+    # One mapping per segment, shared by every plan living in it (group-
+    # published gen plans): the cache must outlive the plans, which pin
+    # their shm objects but share them through it.
+    segments = {}
+    plans = {key: handle.load(segments=segments)
+             for key, handle in handles.items()}
     gen_meta = gen_meta or {}
     cores = {}
     pending = {}  # (key, sid) -> [tokens...]
@@ -107,8 +116,10 @@ def worker_main(conn, handles, gen_meta=None):
                 _, _, key, batch = msg
                 conn.send(("ok", job_id, engine.run(plans[key], batch)))
             elif op == "gen_start":
-                _, _, key, prompt, max_new, eos = msg
-                sid, first, done = core_for(key).start(prompt, max_new, eos)
+                _, _, key, prompt, max_new, eos, sampling = msg
+                sid, first, done = core_for(key).start(
+                    prompt, max_new, eos,
+                    sampling=SamplingConfig.from_dict(sampling))
                 # A session done at start is fully reported here — the
                 # parent never polls it, so nothing may linger in
                 # `finished` (that set is only drained by polls).

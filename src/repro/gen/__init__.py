@@ -3,16 +3,27 @@
 The generation subsystem layers on the serving plan machinery:
 :func:`compile_generation` turns a converted causal decoder into a
 :class:`GenPlan` (per-bucket prefill plans with K/V taps + a decode-step
-plan), :class:`GeneratorServer` serves it with batched prefill and a
+plan, all bound to one shared codebook/LUT block table),
+:class:`GeneratorServer` serves it with batched prefill and a
 continuous-batching decode loop streaming tokens per session, and
 :func:`lut_generate` is the cacheless per-request reference the fp64
-engine output is bit-identical to. The cluster layer
-(:mod:`repro.cluster`) ships the same plans to worker processes and
-streams tokens over TCP.
+engine output is bit-identical to. Decoding policy is per session:
+:class:`SamplingConfig` selects greedy (the default) or
+temperature/top-k/top-p sampling with a counter-based RNG, so a
+``(seed, prompt)`` pair names one reproducible stream on every path.
+The cluster layer (:mod:`repro.cluster`) ships the same plans to worker
+processes and streams tokens over TCP.
 """
 
-from .compiler import GenPlan, compile_generation, default_buckets, kv_tap_names
+from .compiler import (
+    GenPlan,
+    compile_generation,
+    default_buckets,
+    kv_tap_names,
+    share_plan_tables,
+)
 from .reference import lut_generate, reference_logits
+from .sampling import SamplingConfig, counter_uniform, sample_tokens
 from .session import (
     GenConfig,
     GenCore,
@@ -26,8 +37,12 @@ __all__ = [
     "compile_generation",
     "default_buckets",
     "kv_tap_names",
+    "share_plan_tables",
     "lut_generate",
     "reference_logits",
+    "SamplingConfig",
+    "counter_uniform",
+    "sample_tokens",
     "KVCache",
     "GenCore",
     "GenConfig",

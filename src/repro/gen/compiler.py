@@ -32,6 +32,8 @@ the per-request :func:`repro.gen.reference.lut_generate` reference.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..lutboost.lut_layers import LUTLinear
@@ -41,10 +43,13 @@ from ..serving.compiler import (
     KernelPlan,
     KernelStep,
     PRECISION_DTYPES,
+    lut_block_views,
     pack_lut_specs,
+    unique_array_bytes,
 )
 
-__all__ = ["GenPlan", "compile_generation", "default_buckets", "kv_tap_names"]
+__all__ = ["GenPlan", "compile_generation", "default_buckets",
+           "kv_tap_names", "share_plan_tables"]
 
 
 def kv_tap_names(num_layers):
@@ -121,14 +126,93 @@ class GenPlan:
         padded[:len(prompt)] = prompt
         return padded, bucket
 
+    def plans(self):
+        """Every KernelPlan of this model: buckets (ascending) + decode."""
+        return [self.prefill[bucket] for bucket in self.buckets] + [self.decode]
+
     def storage_bytes(self):
-        plans = list(self.prefill.values()) + [self.decode]
-        return sum(plan.storage_bytes() for plan in plans)
+        """Actual bytes held across all plans (shared buffers counted
+        once — after :func:`share_plan_tables` the codebook/LUT block and
+        the dense weights exist once per *model*, not once per bucket)."""
+        return unique_array_bytes(self.plans())
+
+    def unshared_storage_bytes(self):
+        """What the same plans would occupy with per-bucket copies (each
+        plan charged in isolation) — the pre-sharing baseline the memory
+        regression tests compare against."""
+        return sum(unique_array_bytes([plan]) for plan in self.plans())
 
     def __repr__(self):
         return "GenPlan(%s: buckets %s, %d layers, %s)" % (
             self.decode.model_name, list(self.buckets),
             self.num_layers, self.precision)
+
+
+# ----------------------------------------------------------------------
+# Shared block tables
+# ----------------------------------------------------------------------
+
+def _rebind_lut_views(plan):
+    """Point every lut_gemm step's operands back into the plan's (possibly
+    rebound) packed blocks — the same views the packers build."""
+    for step in plan.steps:
+        if step.kind != "lut_gemm":
+            continue
+        layer = plan.layers[step.params["layer"]]
+        (step.params["centroids"],
+         step.params["table"]) = lut_block_views(plan.centroids, plan.tables,
+                                                 layer, plan.c)
+
+
+def share_plan_tables(plans):
+    """Bind ``plans`` to one shared codebook/LUT block table, in place.
+
+    Every plan of a generation model packs the same LUT operators in the
+    same order (the trace follows the forward pass; the decode builder
+    mirrors it), so their packed centroid/LUT blocks are bitwise equal —
+    verified here, then collapsed onto the first plan's arrays with every
+    ``lut_gemm`` step re-viewed into the shared blocks. Dense step
+    operands (weights, biases, baked constants) are content-deduplicated
+    across the plans the same way, so e.g. the token-embedding matrix
+    exists once per model rather than once per bucket. Net effect: plan
+    memory scales with the model, not with ``len(buckets)``.
+
+    Sharing objects (not just bytes) is also what lets the cluster plan
+    store serialise the whole group into a single shared-memory segment
+    with one copy of every table (`SharedPlanStore.publish_group`).
+    """
+    if not plans:
+        return plans
+    first = plans[0]
+    for plan in plans[1:]:
+        if (plan.centroids.dtype != first.centroids.dtype
+                or not np.array_equal(plan.centroids, first.centroids)
+                or not np.array_equal(plan.tables, first.tables)):
+            raise CompileError(
+                "plan %s does not pack the same codebook/LUT blocks as %s; "
+                "block tables can only be shared between plans compiled "
+                "from the same converted model"
+                % (plan.model_name, first.model_name))
+        plan.centroids = first.centroids
+        plan.tables = first.tables
+        _rebind_lut_views(plan)
+    pool = {}
+    for plan in plans:
+        for step in plan.steps:
+            for key, value in step.params.items():
+                if not isinstance(value, np.ndarray):
+                    continue
+                if step.kind == "lut_gemm" and key in ("centroids", "table"):
+                    continue  # already views into the shared blocks
+                # Key on a digest, not the raw bytes: keeping tobytes()
+                # copies alive in the pool would transiently double the
+                # very weights this function exists to deduplicate.
+                digest = hashlib.blake2b(
+                    np.ascontiguousarray(value).view(np.uint8).reshape(-1),
+                    digest_size=16).digest()
+                fingerprint = (value.dtype.str, value.shape, digest)
+                step.params[key] = pool.setdefault(fingerprint, value)
+    return plans
 
 
 # ----------------------------------------------------------------------
@@ -281,13 +365,14 @@ def _build_decode_plan(model, precision, name):
             index = params["spec_index"]
             layer = layers[index]
             spec = specs[index][1]
+            centroid_view, table_view = lut_block_views(
+                centroids, tables, layer, c)
             steps.append(KernelStep(
                 "lut_gemm", inputs=inputs, out=out,
                 layer=index, op="linear", k=layer["k"],
                 n_out=layer["n_out"],
-                centroids=centroids[layer["subspace_slice"]],
-                table=tables[layer["table_slice"]].reshape(
-                    layer["num_subspaces"], c, layer["n_out"]),
+                centroids=centroid_view,
+                table=table_view,
                 bias=None if spec["bias"] is None
                 else spec["bias"].astype(dtype),
                 metric=metric))
@@ -364,6 +449,10 @@ def compile_generation(model, buckets=None, precision="fp32",
             taps=taps, name="%s@prefill%d" % (name, bucket))
 
     decode = _build_decode_plan(model, precision, "%s@decode" % name)
+    # All bucket plans and the decode plan pack identical blocks; collapse
+    # them onto one shared table (verification above ran pre-sharing, and
+    # rebinding bitwise-equal arrays cannot change any result).
+    share_plan_tables([prefill[bucket] for bucket in buckets] + [decode])
     meta = {
         "num_layers": len(blocks),
         "num_heads": int(model.num_heads),

@@ -22,6 +22,7 @@ import numpy as np
 from ..lutboost.lut_layers import LUTConv2d, LUTLinear
 from ..nn.layers import Linear
 from ..vq import kernels
+from .sampling import SamplingConfig, sample_tokens
 
 __all__ = ["reference_logits", "lut_generate"]
 
@@ -108,25 +109,32 @@ def reference_logits(model, tokens, export_precision="fp32",
 
 
 def lut_generate(model, prompt, max_new_tokens, eos_token=None,
-                 export_precision="fp32"):
-    """Greedy generation through the per-request reference path.
+                 export_precision="fp32", sampling=None):
+    """Generation through the per-request reference path.
 
     Recomputes the full prefix for every emitted token (quadratic, cacheless
     — deliberately the simplest correct implementation). Returns the list
     of generated token ids; generation stops after ``max_new_tokens`` or on
     ``eos_token`` (which is included in the output, mirroring the engine).
+
+    ``sampling`` is the :class:`~repro.gen.sampling.SamplingConfig` to
+    decode under (``None`` = the greedy default). Token ``t`` of the
+    stream is drawn at RNG counter ``(sampling.seed, t)``, the same
+    convention the engine uses — so a seeded reference stream is the
+    exact sequence every serving path must reproduce.
     """
     if max_new_tokens < 1:
         raise ValueError("max_new_tokens must be >= 1")
+    sampling = SamplingConfig.from_dict(sampling)
     tokens = list(np.asarray(prompt, dtype=np.int64).ravel())
     if len(tokens) + max_new_tokens > model.max_len:
         raise ValueError(
             "prompt of %d + %d new tokens exceeds max_len %d"
             % (len(tokens), max_new_tokens, model.max_len))
     generated = []
-    for _ in range(max_new_tokens):
+    for step in range(max_new_tokens):
         logits = reference_logits(model, tokens, export_precision)
-        nxt = int(np.argmax(logits[-1]))
+        nxt = int(sample_tokens(logits[-1][None], [sampling], [step])[0])
         generated.append(nxt)
         tokens.append(nxt)
         if eos_token is not None and nxt == eos_token:

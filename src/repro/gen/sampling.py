@@ -1,0 +1,231 @@
+"""Batched sampling policies with a counter-based deterministic RNG.
+
+Serving sampled traffic has a correctness problem greedy decode does not:
+the output is stochastic, so "is the engine right?" stops being a bitwise
+question unless the randomness itself is pinned down. This module pins it
+down twice over:
+
+1. **Counter-based randomness.** The uniform draw behind a sampled token
+   is a pure function of ``(seed, step)`` — a splitmix64-style integer
+   hash, not a stateful generator. No generator state means no
+   order-of-arrival dependence: the same request produces the same stream
+   whether it decodes alone, inside a continuous batch, on another shard,
+   or over TCP, and a crashed worker's replacement reproduces it exactly.
+2. **Row-independent vectorisation.** :func:`sample_tokens` draws one
+   token per row of a logits batch, each row under its own
+   :class:`SamplingConfig`, using only elementwise ops and per-row
+   reductions along the vocabulary axis — so a row's token never depends
+   on which other rows happen to share its decode tick (property-tested
+   in ``tests/test_gen_sampling.py``).
+
+Filtering follows the usual order: temperature scales the logits, top-k
+keeps the k highest, top-p keeps the minimal probability-mass prefix of
+what survived, and the renormalised distribution is inverted at the
+counter uniform. Ties in the logits break toward the lower token id
+(stable sort), which is also why ``temperature == 0`` — the greedy
+default — is bitwise ``np.argmax``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SamplingConfig", "counter_uniform", "sample_tokens"]
+
+_FIELDS = ("temperature", "top_k", "top_p", "seed")
+
+# splitmix64 constants (Steele et al.); exact uint64 arithmetic makes the
+# stream platform- and numpy-version-independent.
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_STEP_SALT = np.uint64(0xD1B54A32D192ED03)
+
+
+class SamplingConfig:
+    """One request's decoding policy.
+
+    The default (``temperature=0``) is greedy argmax — the mode whose
+    fp64 output is bit-identical to ``lut_generate`` and therefore the
+    serving stack's reference contract. Any positive temperature samples;
+    ``top_k`` / ``top_p`` filter the distribution first (both may be
+    combined; with ``temperature=0`` they are irrelevant and ignored).
+    ``seed`` keys the counter RNG: the token at decode step ``t`` is a
+    pure function of ``(seed, t)`` and the (deterministic) logits, so a
+    ``(seed, prompt)`` pair names one reproducible stream on every
+    serving path.
+    """
+
+    __slots__ = _FIELDS
+
+    def __init__(self, temperature=0.0, top_k=None, top_p=None, seed=0):
+        temperature = float(temperature)
+        if not temperature >= 0.0:  # also rejects NaN
+            raise ValueError("temperature must be >= 0 (0 means greedy), "
+                             "got %r" % (temperature,))
+        if top_k is not None:
+            top_k = int(top_k)
+            if top_k < 1:
+                raise ValueError("top_k must be >= 1 or None, got %r"
+                                 % (top_k,))
+        if top_p is not None:
+            top_p = float(top_p)
+            if not 0.0 < top_p <= 1.0:
+                raise ValueError("top_p must be in (0, 1] or None, got %r"
+                                 % (top_p,))
+        seed = int(seed)
+        if seed < 0:
+            raise ValueError("seed must be a non-negative integer, got %r"
+                             % (seed,))
+        self.temperature = temperature
+        self.top_k = top_k
+        self.top_p = top_p
+        self.seed = seed
+
+    @property
+    def greedy(self):
+        return self.temperature == 0.0
+
+    # -- wire format ----------------------------------------------------
+    def to_dict(self):
+        """Plain-JSON form (the TCP header / worker RPC payload)."""
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`; ``None`` means the greedy default.
+
+        Missing keys take their defaults; unknown keys are rejected so a
+        typo'd policy fails loudly instead of silently going greedy.
+        """
+        if data is None:
+            return cls()
+        if isinstance(data, SamplingConfig):
+            return data
+        unknown = sorted(set(data) - set(_FIELDS))
+        if unknown:
+            raise ValueError("unknown sampling fields %s (expected %s)"
+                             % (unknown, list(_FIELDS)))
+        return cls(**data)
+
+    # -- value semantics -------------------------------------------------
+    def _key(self):
+        return tuple(getattr(self, name) for name in _FIELDS)
+
+    def __eq__(self, other):
+        if not isinstance(other, SamplingConfig):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        if self.greedy:
+            return "SamplingConfig(greedy)"
+        parts = ["temperature=%g" % self.temperature]
+        if self.top_k is not None:
+            parts.append("top_k=%d" % self.top_k)
+        if self.top_p is not None:
+            parts.append("top_p=%g" % self.top_p)
+        parts.append("seed=%d" % self.seed)
+        return "SamplingConfig(%s)" % ", ".join(parts)
+
+
+def _splitmix64(x):
+    """Vectorised splitmix64 finaliser over uint64 arrays (wrapping)."""
+    x = x + _GAMMA
+    x = (x ^ (x >> np.uint64(30))) * _MIX1
+    x = (x ^ (x >> np.uint64(27))) * _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def counter_uniform(seeds, steps):
+    """Uniform float64 draws in ``[0, 1)``, one per ``(seed, step)`` pair.
+
+    Counter-based (no state): element ``i`` depends only on
+    ``(seeds[i], steps[i])``, with full 53-bit mantissa resolution. This
+    is the entire source of randomness in the sampling path, which is
+    what makes a sampled stream reproducible across batching, sharding
+    and the wire.
+    """
+    seeds = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))
+    steps = np.atleast_1d(np.asarray(steps, dtype=np.uint64))
+    mixed = _splitmix64(_splitmix64(seeds) ^ (steps * _STEP_SALT))
+    return (mixed >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+def sample_tokens(logits, policies, steps):
+    """Draw one token per row of ``logits``, each row under its own policy.
+
+    Parameters
+    ----------
+    logits:
+        ``(rows, vocab)`` scores (any float dtype; promoted to float64 so
+        the sampled stream is dtype-independent given identical logits).
+    policies:
+        One :class:`SamplingConfig` per row.
+    steps:
+        One non-negative decode-step index per row — the RNG counter
+        (step 0 is the token sampled from the prefill logits).
+
+    Returns the ``(rows,)`` int64 token ids. Greedy rows are bitwise
+    ``np.argmax``; sampled rows invert the filtered, renormalised
+    distribution at :func:`counter_uniform`. Every operation is
+    elementwise or a per-row reduction, so a row's draw is independent of
+    its batch neighbours.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (rows, vocab), got shape %r"
+                         % (logits.shape,))
+    rows, vocab = logits.shape
+    policies = list(policies)
+    steps = np.asarray(steps, dtype=np.int64).ravel()
+    if len(policies) != rows or len(steps) != rows:
+        raise ValueError("need one policy and one step per row: %d rows, "
+                         "%d policies, %d steps"
+                         % (rows, len(policies), len(steps)))
+    if rows and steps.min() < 0:
+        raise ValueError("decode step indices must be >= 0")
+
+    temps = np.array([p.temperature for p in policies], dtype=np.float64)
+    greedy = temps == 0.0
+    if bool(np.all(greedy)):
+        # Hot path: default greedy traffic never pays for a sort.
+        return np.argmax(logits, axis=-1).astype(np.int64)
+    # Descending stable sort: ties keep ascending token order, so
+    # position 0 is exactly np.argmax's first-occurrence maximum.
+    order = np.argsort(-logits, axis=-1, kind="stable")
+    tokens = order[:, 0].astype(np.int64)
+
+    ks = np.array([vocab if p.top_k is None else min(p.top_k, vocab)
+                   for p in policies], dtype=np.int64)
+    ps = np.array([1.0 if p.top_p is None else p.top_p for p in policies],
+                  dtype=np.float64)
+    uniforms = counter_uniform([p.seed for p in policies], steps)
+
+    sorted_logits = np.take_along_axis(logits, order, axis=-1)
+    safe_temps = np.where(greedy, 1.0, temps)
+    # Shift by the row max before scaling: exp() stays in (0, 1], so a
+    # tiny temperature underflows the tail to exact zeros (greedy limit)
+    # instead of overflowing the head.
+    scaled = (sorted_logits - sorted_logits[:, :1]) / safe_temps[:, None]
+    mass = np.exp(scaled)
+    position = np.arange(vocab)[None, :]
+    mass = np.where(position < ks[:, None], mass, 0.0)
+    probs = mass / mass.sum(axis=-1, keepdims=True)
+    # Top-p keeps the minimal prefix whose mass reaches p: position j
+    # survives iff the mass strictly before it is below p (position 0
+    # always survives, so the filter can never empty a row).
+    before = np.cumsum(probs, axis=-1) - probs
+    mass = np.where(before < ps[:, None], mass, 0.0)
+    probs = mass / mass.sum(axis=-1, keepdims=True)
+    cdf = np.cumsum(probs, axis=-1)
+    picked = np.sum(cdf <= uniforms[:, None], axis=-1)
+    # Guard the u ~ 1 edge: float renormalisation can leave the final
+    # kept cdf a ulp under 1, which would step past the support.
+    last_kept = np.maximum((mass > 0.0).sum(axis=-1) - 1, 0)
+    picked = np.minimum(picked, last_kept)
+    sampled = np.take_along_axis(order, picked[:, None], axis=-1)[:, 0]
+    return np.where(greedy, tokens, sampled).astype(np.int64)

@@ -34,6 +34,7 @@ import numpy as np
 from ..serving.batcher import AdmissionError, MicroBatcher
 from ..serving.engine import execute_plan
 from .compiler import compile_generation
+from .sampling import SamplingConfig, sample_tokens
 
 __all__ = ["KVCache", "GenCore", "GenConfig", "GenSession",
            "GeneratorServer"]
@@ -73,9 +74,10 @@ class KVCache:
 
 class _Sequence:
     __slots__ = ("sid", "prompt_len", "cache", "next_token", "generated",
-                 "max_new_tokens", "eos_token", "done")
+                 "max_new_tokens", "eos_token", "sampling", "done")
 
-    def __init__(self, sid, prompt_len, cache, max_new_tokens, eos_token):
+    def __init__(self, sid, prompt_len, cache, max_new_tokens, eos_token,
+                 sampling):
         self.sid = sid
         self.prompt_len = prompt_len
         self.cache = cache
@@ -83,6 +85,7 @@ class _Sequence:
         self.generated = []
         self.max_new_tokens = max_new_tokens
         self.eos_token = eos_token
+        self.sampling = sampling
         self.done = False
 
 
@@ -127,7 +130,7 @@ class GenCore:
         return prompt
 
     # ------------------------------------------------------------------
-    def start(self, prompt, max_new_tokens, eos_token=None):
+    def start(self, prompt, max_new_tokens, eos_token=None, sampling=None):
         """Prefill one prompt (unbatched) and admit it; returns
         ``(sid, first_token, done)``."""
         prompt = self.validate(prompt, max_new_tokens)
@@ -136,16 +139,19 @@ class GenCore:
                                     return_taps=True)
         return self.admit(prompt, logits[0],
                           {name: tap[0] for name, tap in taps.items()},
-                          max_new_tokens, eos_token)
+                          max_new_tokens, eos_token, sampling)
 
     def admit(self, prompt, logits_rows, taps_row, max_new_tokens,
-              eos_token=None):
+              eos_token=None, sampling=None):
         """Register a prefilled sequence; returns ``(sid, first, done)``.
 
         ``logits_rows`` is the (bucket, vocab) prefill output for this
-        request, ``taps_row`` its per-layer K/V tap slices.
+        request, ``taps_row`` its per-layer K/V tap slices. ``sampling``
+        is the sequence's :class:`SamplingConfig` (``None`` = greedy);
+        its first token is drawn at RNG counter 0.
         """
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
+        sampling = SamplingConfig.from_dict(sampling)
         length = len(prompt)
         sid = next(self._ids)
         cache = KVCache(self.num_layers, self.num_heads,
@@ -154,8 +160,10 @@ class GenCore:
         cache.load_prefill([taps_row["k%d" % i] for i in range(self.num_layers)],
                            [taps_row["v%d" % i] for i in range(self.num_layers)],
                            length)
-        seq = _Sequence(sid, length, cache, max_new_tokens, eos_token)
-        first = int(np.argmax(logits_rows[length - 1]))
+        seq = _Sequence(sid, length, cache, max_new_tokens, eos_token,
+                        sampling)
+        first = int(sample_tokens(np.asarray(logits_rows[length - 1])[None],
+                                  [sampling], [0])[0])
         seq.generated.append(first)
         seq.next_token = first
         seq.done = (max_new_tokens == 1
@@ -196,6 +204,12 @@ class GenCore:
             extras["v_cache_%d" % layer] = v_stack
         logits, taps = execute_plan(self.plan.decode, tokens, extras=extras,
                                     return_taps=True)
+        # One vectorised draw for the whole tick: row i is sampled under
+        # sequence i's own policy at its own step counter (length of the
+        # stream so far), so batch composition cannot shift any stream.
+        chosen = sample_tokens(logits[:len(seqs)],
+                               [s.sampling for s in seqs],
+                               [len(s.generated) for s in seqs])
         events = []
         for i, s in enumerate(seqs):
             k_new = np.stack([taps["k%d" % layer][i]
@@ -203,7 +217,7 @@ class GenCore:
             v_new = np.stack([taps["v%d" % layer][i]
                               for layer in range(self.num_layers)])
             s.cache.append(k_new, v_new)
-            token = int(np.argmax(logits[i]))
+            token = int(chosen[i])
             s.generated.append(token)
             s.next_token = token
             s.done = (len(s.generated) >= s.max_new_tokens
@@ -377,12 +391,19 @@ class GeneratorServer:
                 self._stop.wait(self.config.decode_idle_ms / 1e3)
 
     # ------------------------------------------------------------------
-    def generate(self, prompt, max_new_tokens=None, eos_token=None):
-        """Start one generation; returns a :class:`GenSession` stream."""
+    def generate(self, prompt, max_new_tokens=None, eos_token=None,
+                 sampling=None):
+        """Start one generation; returns a :class:`GenSession` stream.
+
+        ``sampling`` is the per-session :class:`SamplingConfig` (``None``
+        = greedy). Policies are per session within the shared decode
+        batch: each tick samples every live row under its own config.
+        """
         if self._closed:
             raise AdmissionError("generator server is shut down")
         max_new = (self.config.default_max_new_tokens
                    if max_new_tokens is None else int(max_new_tokens))
+        sampling = SamplingConfig.from_dict(sampling)
         prompt = self.core.validate(prompt, max_new)
         session = GenSession(prompt, max_new)
         padded, bucket = self.plan.pad_prompt(prompt)
@@ -393,7 +414,8 @@ class GeneratorServer:
                 logits_rows, taps_row = fut.result()
                 with self._lock:
                     sid, first, done = self.core.admit(
-                        prompt, logits_rows, taps_row, max_new, eos_token)
+                        prompt, logits_rows, taps_row, max_new, eos_token,
+                        sampling)
                     if not done:
                         self._sessions[sid] = session
                     # Push inside the critical section: once the lock
@@ -409,9 +431,10 @@ class GeneratorServer:
         return session
 
     def generate_all(self, prompt, max_new_tokens=None, eos_token=None,
-                     timeout=120.0):
+                     sampling=None, timeout=120.0):
         """Blocking convenience: full token list for one prompt."""
-        return self.generate(prompt, max_new_tokens, eos_token).result(timeout)
+        return self.generate(prompt, max_new_tokens, eos_token,
+                             sampling).result(timeout)
 
     # ------------------------------------------------------------------
     def active_sessions(self):

@@ -67,7 +67,18 @@ from ..nn.layers import (
 )
 from ..nn.tensor import Tensor, no_grad
 
-__all__ = ["CompileError", "KernelStep", "KernelPlan", "compile_model"]
+__all__ = ["CompileError", "KernelStep", "KernelPlan", "compile_model",
+           "lut_block_views", "plan_arrays", "unique_array_bytes"]
+
+
+def lut_block_views(centroids, tables, layer, c):
+    """The (codebook, table) views a ``lut_gemm`` step reads for one
+    packed layer row — the single definition of the packed-block slicing
+    convention, shared by the plan compilers, the shared-memory plan
+    store and the gen compiler's block-table sharing."""
+    return (centroids[layer["subspace_slice"]],
+            tables[layer["table_slice"]].reshape(
+                layer["num_subspaces"], int(c), layer["n_out"]))
 
 
 class CompileError(RuntimeError):
@@ -208,6 +219,42 @@ class KernelPlan:
                     self.model_name or "model", len(self.steps),
                     self.num_lut_layers, self.total_subspaces,
                     self.num_slots, self.storage_bytes() / 1024.0))
+
+
+def plan_arrays(plan):
+    """Every ndarray a plan holds: packed blocks + step param arrays."""
+    yield plan.centroids
+    yield plan.tables
+    for step in plan.steps:
+        for value in step.params.values():
+            if isinstance(value, np.ndarray):
+                yield value
+
+
+def _array_root(arr):
+    """The owning array of a view chain (the buffer actually allocated)."""
+    while isinstance(arr.base, np.ndarray):
+        arr = arr.base
+    return arr
+
+
+def unique_array_bytes(plans):
+    """Bytes held by ``plans``, counting each underlying buffer once.
+
+    Views (a LUT step's codebook/table slices, shared dense weights)
+    resolve to their root buffer, so plans that reference one shared
+    block table — a :class:`~repro.gen.compiler.GenPlan` after the
+    compiler shares its blocks — are charged for it once, while a pile
+    of independently packed plans is charged per copy. This is the
+    measurement behind the gen-plan memory regression tests and the
+    ``gen_plan_bytes`` benchmark record.
+    """
+    seen = {}
+    for plan in plans:
+        for arr in plan_arrays(plan):
+            root = _array_root(arr)
+            seen[id(root)] = root.nbytes
+    return sum(seen.values())
 
 
 # ----------------------------------------------------------------------
@@ -839,6 +886,8 @@ def _lower_graph(trace, output_vid, precision, tap_vids=None):
             index = params["spec_index"]
             layer = layers[index]
             spec = specs[index][1]
+            centroid_view, table_view = lut_block_views(
+                centroids, tables, layer, c)
             step = KernelStep(
                 "lut_gemm",
                 inputs=[slot_of[v_] for v_ in node.inputs],
@@ -848,9 +897,8 @@ def _lower_graph(trace, output_vid, precision, tap_vids=None):
                 op=layer["kind"],
                 k=layer["k"],
                 n_out=layer["n_out"],
-                centroids=centroids[layer["subspace_slice"]],
-                table=tables[layer["table_slice"]].reshape(
-                    layer["num_subspaces"], c, layer["n_out"]),
+                centroids=centroid_view,
+                table=table_view,
                 bias=None if spec["bias"] is None
                 else spec["bias"].astype(dtype),
                 metric=metric,

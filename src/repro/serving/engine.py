@@ -186,15 +186,23 @@ def execute_plan(plan, batch, extras=None, return_taps=False):
                          % (x.shape[1:], plan.input_shape))
     slots = [None] * plan.num_slots
     slots[0] = x
-    extra_inputs = getattr(plan, "extra_inputs", None)
-    if extra_inputs:
-        extras = extras or {}
-        missing = sorted(set(extra_inputs) - set(extras))
-        if missing:
-            raise ValueError("plan %s needs extra inputs %s"
-                             % (plan.model_name, missing))
-        for name, slot in extra_inputs.items():
-            slots[slot] = extras[name]
+    extra_inputs = getattr(plan, "extra_inputs", None) or {}
+    extras = extras or {}
+    missing = sorted(set(extra_inputs) - set(extras))
+    if missing:
+        raise ValueError("plan %s needs extra inputs %s"
+                         % (plan.model_name, missing))
+    # An unknown extra would silently not flow anywhere — a caller bug
+    # (typo'd cache name, wrong plan) that must fail loudly, not serve
+    # garbage-by-omission.
+    unknown = sorted(set(extras) - set(extra_inputs))
+    if unknown:
+        raise ValueError("plan %s does not declare extra inputs %s "
+                         "(declared: %s)"
+                         % (plan.model_name, unknown,
+                            sorted(extra_inputs) or "none"))
+    for name, slot in extra_inputs.items():
+        slots[slot] = extras[name]
     for step in plan.steps:
         args = [slots[i] for i in step.inputs]
         slots[step.out] = _KERNELS[step.kind](step, *args)

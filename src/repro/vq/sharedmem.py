@@ -25,6 +25,7 @@ __all__ = [
     "block_layout",
     "create_block",
     "attach_block",
+    "attach_block_cached",
     "map_block",
     "attach_segment",
 ]
@@ -121,3 +122,19 @@ def attach_block(name, meta, untrack=False):
     """
     shm = attach_segment(name, untrack=untrack)
     return shm, map_block(shm, meta)
+
+
+def attach_block_cached(name, meta, cache, untrack=False):
+    """:func:`attach_block` through a ``{name: (shm, arrays)}`` cache.
+
+    Several plans may live in one segment (a generation model's bucket
+    plans share one block table); attaching through a shared cache gives
+    every consumer in the process the *same* mapping and the same array
+    objects, so N plans of one segment cost one ``mmap`` and shared
+    operands stay literally shared (``np.shares_memory`` across plans
+    holds, and byte accounting does not multi-count). The cache owns the
+    lifetime question: keep it alive as long as any returned array.
+    """
+    if name not in cache:
+        cache[name] = attach_block(name, meta, untrack=untrack)
+    return cache[name]

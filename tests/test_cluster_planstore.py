@@ -1,4 +1,11 @@
-"""Plan serialisation + shared-memory round trips (single process)."""
+"""Plan serialisation + shared-memory round trips (single process).
+
+Includes the shared-table half of the gen-plan memory work: a *group* of
+plans (bucket prefills + decode bound to one block table by the
+compiler) publishes through one deduplicated array table into one
+segment, and loading the group through a shared segment cache hands
+every plan views into literally the same mapping.
+"""
 
 import pickle
 
@@ -11,6 +18,7 @@ from repro.cluster import (
     plan_from_spec,
     plan_to_spec,
 )
+from repro.cluster.planstore import _ArrayTable
 from repro.lutboost.converter import (
     ConversionPolicy,
     calibrate_model,
@@ -18,9 +26,11 @@ from repro.lutboost.converter import (
 )
 from repro.models.mlp import mlp
 from repro.serving import compile_model, execute_plan
+from repro.serving.compiler import KernelPlan, KernelStep
 from repro.vq.sharedmem import (
     ALIGNMENT,
     attach_block,
+    attach_block_cached,
     block_layout,
     create_block,
     map_block,
@@ -117,6 +127,198 @@ class TestPlanSpec:
         for step in luts:
             assert step.params["centroids"].base is not None
             assert step.params["table"].base is not None
+
+
+def _root(arr):
+    while isinstance(arr.base, np.ndarray):
+        arr = arr.base
+    return arr
+
+
+def _random_blocks(rng):
+    """Random packed-block geometry: (centroids, tables, layers, v, c)."""
+    c = int(rng.integers(2, 6))
+    v = int(rng.integers(2, 5))
+    cent_parts, table_parts, layers = [], [], []
+    sub_off = tab_off = 0
+    for i in range(int(rng.integers(1, 4))):
+        s = int(rng.integers(1, 4))
+        n_out = int(rng.integers(2, 7))
+        cent_parts.append(rng.normal(size=(s, c, v)))
+        table_parts.append(rng.normal(size=s * c * n_out))
+        layers.append({
+            "name": "lut%d" % i,
+            "kind": "linear",
+            "k": s * v,
+            "n_out": n_out,
+            "num_subspaces": s,
+            "subspace_slice": slice(sub_off, sub_off + s),
+            "table_slice": slice(tab_off, tab_off + s * c * n_out),
+            "rows_per_sample": 1,
+        })
+        sub_off += s
+        tab_off += s * c * n_out
+    return (np.concatenate(cent_parts), np.concatenate(table_parts),
+            layers, v, c)
+
+
+def _random_plan(rng, blocks=None, shared_weight=None):
+    """A synthetic KernelPlan with randomized shape, taps, extra inputs.
+
+    ``blocks`` reuses another plan's packed arrays (the shared-table
+    pattern the gen compiler produces); ``shared_weight`` injects a dense
+    operand shared by object across plans.
+    """
+    centroids, tables, layers, v, c = blocks or _random_blocks(rng)
+    num_slots = [1]
+
+    def new_slot():
+        num_slots[0] += 1
+        return num_slots[0] - 1
+
+    extra_inputs = {"aux%d" % i: new_slot()
+                    for i in range(int(rng.integers(0, 3)))}
+    steps = []
+    prev = 0
+    for i, layer in enumerate(layers):
+        out = new_slot()
+        steps.append(KernelStep(
+            "lut_gemm", inputs=[prev], out=out, layer=i, op="linear",
+            k=layer["k"], n_out=layer["n_out"],
+            centroids=centroids[layer["subspace_slice"]],
+            table=tables[layer["table_slice"]].reshape(
+                layer["num_subspaces"], c, layer["n_out"]),
+            bias=(rng.normal(size=layer["n_out"])
+                  if rng.random() < 0.5 else None),
+            metric="l2"))
+        prev = out
+    weight = (shared_weight if shared_weight is not None
+              else rng.normal(size=(layers[-1]["n_out"], 5)))
+    out = new_slot()
+    steps.append(KernelStep("gemm", inputs=[prev], out=out,
+                            weight=weight, bias=None))
+    prev = out
+    for slot in extra_inputs.values():
+        out = new_slot()
+        steps.append(KernelStep("add", inputs=[prev, slot], out=out,
+                                release=(prev,)))
+        prev = out
+    tap_slots = {"tap0": steps[0].out} if rng.random() < 0.7 else {}
+    return KernelPlan(
+        steps, centroids, tables, layers, v, c, "l2", "fp64",
+        input_shape=(int(layers[0]["k"]),), num_slots=num_slots[0],
+        output_slot=prev, model_name="fuzz", tap_slots=tap_slots,
+        extra_inputs=extra_inputs)
+
+
+def _assert_plans_equal(a, b):
+    assert len(a.steps) == len(b.steps)
+    for sa, sb in zip(a.steps, b.steps):
+        assert sa.kind == sb.kind
+        assert tuple(sa.inputs) == tuple(sb.inputs)
+        assert sa.out == sb.out
+        assert tuple(sa.release) == tuple(sb.release)
+        assert set(sa.params) == set(sb.params)
+        for key, va in sa.params.items():
+            vb = sb.params[key]
+            if isinstance(va, np.ndarray):
+                assert vb.dtype == va.dtype
+                np.testing.assert_array_equal(vb, va)
+            else:
+                assert vb == va
+    assert a.layers == b.layers
+    assert (a.v, a.c, a.metric, a.precision) == (b.v, b.c, b.metric,
+                                                 b.precision)
+    assert a.input_shape == b.input_shape
+    assert a.num_slots == b.num_slots and a.output_slot == b.output_slot
+    assert a.tap_slots == b.tap_slots
+    assert a.extra_inputs == b.extra_inputs
+
+
+class TestSpecFuzz:
+    """Randomized plan shapes survive the (manifest, arrays) round trip,
+    and rebuilt LUT operands are views into the shared blocks."""
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_random_plan_round_trips_bitwise(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        plan = _random_plan(rng)
+        manifest, arrays = plan_to_spec(plan)
+        assert b"numpy" not in pickle.dumps(manifest)
+        rebuilt = plan_from_spec(manifest, arrays)
+        _assert_plans_equal(plan, rebuilt)
+        for step in rebuilt.steps:
+            if step.kind != "lut_gemm":
+                continue
+            assert _root(step.params["centroids"]) is rebuilt.centroids
+            assert _root(step.params["table"]) is rebuilt.tables
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_plans_sharing_blocks_serialise_them_once(self, trial):
+        rng = np.random.default_rng(200 + trial)
+        first = _random_plan(rng)
+        shared_weight = rng.normal(size=(3, 3))
+        blocks = (first.centroids, first.tables, first.layers,
+                  first.v, first.c)
+        # Two more plans over the same blocks; two share a dense operand.
+        second = _random_plan(rng, blocks=blocks,
+                              shared_weight=shared_weight)
+        third = _random_plan(rng, blocks=blocks, shared_weight=shared_weight)
+        solo = sum(len(plan_to_spec(p)[1]) for p in (first, second, third))
+        table = _ArrayTable()
+        manifests = [plan_to_spec(p, table)[0]
+                     for p in (first, second, third)]
+        assert len(table.arrays) < solo  # dedup actually collapsed entries
+        rebuilt = [plan_from_spec(m, table.arrays) for m in manifests]
+        for plan, clone in zip((first, second, third), rebuilt):
+            _assert_plans_equal(plan, clone)
+        # Shared objects stay shared after the round trip: one table in
+        # the arrays list means one object in every rebuilt plan.
+        assert rebuilt[0].centroids is rebuilt[1].centroids
+        assert rebuilt[1].centroids is rebuilt[2].centroids
+        assert rebuilt[0].tables is rebuilt[2].tables
+        gemm_1 = [s for s in rebuilt[1].steps if s.kind == "gemm"][0]
+        gemm_2 = [s for s in rebuilt[2].steps if s.kind == "gemm"][0]
+        assert gemm_1.params["weight"] is gemm_2.params["weight"]
+
+
+class TestGroupPublish:
+    def test_gen_plan_group_lives_in_one_segment(self, gen_plan_fp64):
+        plans = {"prefill%d" % bucket: plan
+                 for bucket, plan in gen_plan_fp64.prefill.items()}
+        plans["decode"] = gen_plan_fp64.decode
+        rng = np.random.default_rng(11)
+        prompts = rng.integers(0, 64, size=(2, 8))
+        with SharedPlanStore() as store:
+            handles = store.publish_group(plans)
+            assert len({h.segment for h in handles.values()}) == 1
+            # The segment carries the shared table once: it is bounded by
+            # the deduplicated byte count (plus alignment), far under the
+            # per-bucket-copies baseline.
+            assert store.storage_bytes() >= gen_plan_fp64.storage_bytes()
+            assert (store.storage_bytes()
+                    < 0.5 * gen_plan_fp64.unshared_storage_bytes())
+            cache = {}
+            loaded = {key: handle.load(segments=cache)
+                      for key, handle in handles.items()}
+            assert len(cache) == 1  # one mmap for the whole group
+            assert (loaded["prefill8"].centroids
+                    is loaded["decode"].centroids)
+            assert np.shares_memory(loaded["prefill8"].tables,
+                                    loaded["prefill16"].tables)
+            np.testing.assert_array_equal(
+                execute_plan(loaded["prefill8"], prompts),
+                execute_plan(gen_plan_fp64.prefill[8], prompts))
+
+    def test_publish_group_duplicate_key_is_atomic(self, plan_and_model):
+        plan, _ = plan_and_model
+        with SharedPlanStore() as store:
+            store.publish("mlp", plan)
+            before = store.storage_bytes()
+            with pytest.raises(KeyError, match="already published"):
+                store.publish_group({"other": plan, "mlp": plan})
+            assert sorted(store.handles()) == ["mlp"]
+            assert store.storage_bytes() == before  # segment was unlinked
 
 
 class TestSharedPlanStore:

@@ -15,10 +15,11 @@ from repro.gen import (
     default_buckets,
     kv_tap_names,
     reference_logits,
+    share_plan_tables,
 )
 from repro.models import gpt_nano
 from repro.serving import execute_plan
-from repro.serving.compiler import CompileError
+from repro.serving.compiler import CompileError, unique_array_bytes
 
 
 class TestStructure:
@@ -65,6 +66,69 @@ class TestStructure:
             compile_generation(gen_model, buckets=(8, 64))
         with pytest.raises(CompileError):
             compile_generation(gen_model, buckets=(1,))
+
+
+def _root(arr):
+    while isinstance(arr.base, np.ndarray):
+        arr = arr.base
+    return arr
+
+
+class TestSharedBlockTable:
+    """All bucket plans + the decode plan reference one block table."""
+
+    def test_plans_share_one_block_object(self, gen_plan_fp64):
+        plans = gen_plan_fp64.plans()
+        first = plans[0]
+        for plan in plans[1:]:
+            assert plan.centroids is first.centroids
+            assert plan.tables is first.tables
+        for plan in plans:
+            for step in plan.steps:
+                if step.kind != "lut_gemm":
+                    continue
+                assert _root(step.params["centroids"]) is first.centroids
+                assert _root(step.params["table"]) is first.tables
+
+    def test_dense_params_are_content_deduped(self, gen_plan_fp64):
+        """The token-embedding matrix (and every other dense operand that
+        repeats across plans) exists once per model."""
+        plans = gen_plan_fp64.plans()
+        weights = [step.params["weight"] for plan in plans
+                   for step in plan.steps if step.kind == "embedding"]
+        # One tok-embedding gather per plan plus the decode plan's
+        # pos-embedding gather (prefill bakes positions to constants):
+        # across len(plans) + 1 steps only two distinct matrices exist.
+        assert len(weights) == len(plans) + 1
+        assert len({id(w) for w in weights}) == 2
+
+    def test_memory_regression_floor(self, gen_plan_fp64):
+        """Shared-table GenPlan memory: >= 2.5x under the per-bucket-copy
+        baseline with three buckets, and within 1.2x of a single bucket
+        plan (the irreducible floor is one block table + one weight set).
+        """
+        shared = gen_plan_fp64.storage_bytes()
+        unshared = gen_plan_fp64.unshared_storage_bytes()
+        assert unshared / shared >= 2.5, (shared, unshared)
+        biggest_bucket = max(
+            unique_array_bytes([plan])
+            for plan in gen_plan_fp64.prefill.values())
+        assert shared <= 1.2 * biggest_bucket, (shared, biggest_bucket)
+
+    def test_share_rejects_mismatched_blocks(self, gen_plan_fp64):
+        rng = np.random.default_rng(0)
+        model = gpt_nano(seed=9)
+        from repro.lutboost.converter import (
+            ConversionPolicy,
+            calibrate_model,
+            convert_model,
+        )
+
+        convert_model(model, ConversionPolicy(v=4, c=16))
+        calibrate_model(model, rng.integers(0, 64, size=(6, 16)))
+        foreign = compile_generation(model, buckets=(8,), name="other")
+        with pytest.raises(CompileError, match="codebook/LUT blocks"):
+            share_plan_tables([gen_plan_fp64.decode, foreign.decode])
 
 
 class TestPrefillBitIdentity:
