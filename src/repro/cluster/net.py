@@ -24,11 +24,25 @@ Request headers:
      "sampling": {"temperature": 0.8, "top_k": 40,
                   "top_p": 0.95, "seed": 7}}
                                       + npy prompt   -> token stream
+    {"id": 11, "op": "stats"}         (no payload)   -> per-shard windows +
+                                                       profiler/telemetry
+    {"id": 12, "op": "trace", "trace": "<hex id>"}   -> recorded spans
+    {"id": 13, "op": "obs", "tracing": true,
+     "profiling": true}               (no payload)   -> toggle tracing /
+                                                       worker profiling
 
 The optional ``sampling`` field is ``SamplingConfig.to_dict()`` — omit
 it (or send null) for greedy decode. Because the sampling RNG is
 counter-based on ``(seed, step)``, a seeded request reproduces the same
 token stream over the wire as in process.
+
+``infer`` and ``generate`` headers may carry a ``trace`` field — a hex
+trace id (or a ``{"trace": id, "span": parent}`` context) minted by the
+client. The front-end adopts it for the request, ships it to the picked
+worker inside the RPC tuple, and the worker force-enables its tracer
+for just that request — so one id stitches client, front-end, router
+decision, worker prefill and decode ticks into a single trace,
+retrievable via ``op: trace`` and exportable as a Chrome trace.
 
 Response headers echo the id: ``{"id": 7, "ok": true}`` with an npy
 payload for inference hits, ``{"id": 7, "ok": false, "error": "..."}``
@@ -58,10 +72,12 @@ import json
 import socket
 import struct
 import threading
+import time
 
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.tracer import TRACE
 
 __all__ = [
     "ProtocolError",
@@ -78,6 +94,23 @@ _HEADER_SEP = b"\n"
 
 class ProtocolError(RuntimeError):
     """The peer sent a frame this protocol cannot parse."""
+
+
+def _trace_ctx(header):
+    """The request's trace context from its ``trace`` header field.
+
+    Accepts a bare hex id (a fresh root) or a full context dict; returns
+    the wire-form dict :meth:`Tracer.activated` takes, or ``None``.
+    """
+    raw = header.get("trace")
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        return {"trace": raw, "span": None}
+    if isinstance(raw, dict) and "trace" in raw:
+        return {"trace": raw["trace"], "span": raw.get("span")}
+    raise ProtocolError("trace field must be a hex id or a "
+                        "{trace, span} object")
 
 
 # ----------------------------------------------------------------------
@@ -223,17 +256,61 @@ class ClusterTCPServer:
         request_id = header.get("id")
         reply = {"id": request_id, "ok": True}
         payload = None
+        loop = asyncio.get_running_loop()
         try:
             op = header.get("op", "infer")
             if op == "ping":
                 pass
             elif op == "metrics":
                 reply["summary"] = self.cluster.summary()
+            elif op == "stats":
+                # Blocking worker RPCs behind the shard pipe locks — off
+                # the loop, like inference itself.
+                reply["stats"] = await loop.run_in_executor(
+                    None, self.cluster.stats)
+            elif op == "trace":
+                reply["spans"] = await loop.run_in_executor(
+                    None, self.cluster.trace_spans, header.get("trace"))
+            elif op == "obs":
+                if "tracing" in header:
+                    # Front-end process-global switch: traced *requests*
+                    # work without it (their ctx force-enables per hop),
+                    # but always-on span collection wants it.
+                    (TRACE.enable if header["tracing"] else TRACE.disable)()
+                acked = None
+                if "profiling" in header:
+                    # How many workers acknowledged the toggle (a dead
+                    # shard cannot, a respawned one comes back off).
+                    acked = await loop.run_in_executor(
+                        None, self.cluster.set_profiling,
+                        bool(header["profiling"]))
+                reply["obs"] = {"tracing": TRACE.enabled,
+                                "profiling": acked}
             elif op == "infer":
                 if array is None:
                     raise ProtocolError("inference request carries no array")
-                future = self.cluster.submit(header.get("model"), array)
+                ctx = _trace_ctx(header)
+                t0 = time.monotonic()
+                if ctx is None:
+                    future = self.cluster.submit(header.get("model"), array)
+                else:
+                    # Submit under the request's context so the batcher
+                    # captures it (its per-request span re-joins this
+                    # trace when the batch resolves).
+                    with TRACE.tracing(ctx):
+                        future = self.cluster.submit(
+                            header.get("model"), array)
                 payload = await asyncio.wrap_future(future)
+                if ctx is not None:
+                    with TRACE.tracing(ctx):
+                        TRACE.record_span(
+                            "tcp.infer", t0, time.monotonic(), ctx=ctx,
+                            cat="net", model=header.get("model"))
+                elif TRACE.enabled:
+                    # Globally-enabled tracing covers untraced requests
+                    # too: each roots its own fresh trace.
+                    TRACE.record_span("tcp.infer", t0, time.monotonic(),
+                                      cat="net", model=header.get("model"))
             elif op == "generate":
                 await self._serve_generate(writer, write_lock, header, array)
                 return
@@ -263,14 +340,29 @@ class ClusterTCPServer:
             # Parse the policy before touching the cluster so a malformed
             # header fails as a protocol error, not a worker error.
             sampling = SamplingConfig.from_dict(header.get("sampling"))
-            # Session start is a blocking worker RPC (prefill behind the
-            # shard's pipe lock) — off the loop, like every poll below.
-            stream = await loop.run_in_executor(
-                None, lambda: self.cluster.generate(
+            ctx = _trace_ctx(header)
+            t0 = time.monotonic()
+
+            def start_session():
+                return self.cluster.generate(
                     header.get("model"), prompt,
                     max_new_tokens=header.get("max_new_tokens"),
                     eos_token=header.get("eos_token"),
-                    sampling=sampling))
+                    sampling=sampling)
+
+            def traced_start():
+                # Executor threads inherit no context: re-activate the
+                # request's (force-enabling tracing for its duration) so
+                # the router pick, the gen_start RPC and the stream's
+                # captured context all join this trace.
+                if ctx is None:
+                    return start_session()
+                with TRACE.tracing(ctx):
+                    return start_session()
+
+            # Session start is a blocking worker RPC (prefill behind the
+            # shard's pipe lock) — off the loop, like every poll below.
+            stream = await loop.run_in_executor(None, traced_start)
             tokens = iter(stream)
             index = 0
             while True:
@@ -282,10 +374,19 @@ class ClusterTCPServer:
                     {"id": request_id, "ok": True, "stream": True,
                      "token": int(token), "index": index})
                 index += 1
-            await self._respond(
-                writer, write_lock,
-                {"id": request_id, "ok": True, "done": True,
-                 "tokens": [int(t) for t in stream.tokens]})
+            done_frame = {"id": request_id, "ok": True, "done": True,
+                          "tokens": [int(t) for t in stream.tokens]}
+            if stream.telemetry is not None:
+                # The worker's final per-session numbers (TTFT includes
+                # worker-side prefill; ITL is its decode tick pace).
+                done_frame["telemetry"] = stream.telemetry
+            await self._respond(writer, write_lock, done_frame)
+            if ctx is not None:
+                with TRACE.tracing(ctx):
+                    TRACE.record_span(
+                        "tcp.generate", t0, time.monotonic(), ctx=ctx,
+                        cat="net", model=header.get("model"),
+                        tokens=len(stream.tokens))
         except Exception as exc:  # noqa: BLE001 - reported to the peer
             await self._respond(
                 writer, write_lock,
@@ -402,6 +503,9 @@ class ClusterClient:
         self._sock = None
         self._file = None
         self._stash = {}
+        #: The latest finished stream's per-session telemetry (TTFT and
+        #: inter-token latency, from the ``done`` frame), or None.
+        self.last_telemetry = None
         # Bumped per (re)connect so stale stream generators fail fast
         # instead of blocking a full socket timeout on the new socket.
         self._conn_gen = 0
@@ -504,6 +608,44 @@ class ClusterClient:
             return header["summary"]
         return self._with_retry(attempt)
 
+    def stats(self):
+        """Cluster-wide observability snapshot (``op: stats``): per-shard
+        windows plus merged profiler aggregates and token telemetry."""
+        def attempt():
+            rid = self._send({"op": "stats"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["stats"]
+        return self._with_retry(attempt)
+
+    def trace(self, trace_id=None):
+        """Spans recorded across the cluster (optionally one trace id),
+        as plain dicts ready for :func:`repro.obs.export.to_chrome_trace`."""
+        def attempt():
+            rid = self._send({"op": "trace", "trace": trace_id})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["spans"]
+        return self._with_retry(attempt)
+
+    def set_obs(self, tracing=None, profiling=None):
+        """Toggle front-end tracing and/or worker per-step profiling."""
+        request = {"op": "obs"}
+        if tracing is not None:
+            request["tracing"] = bool(tracing)
+        if profiling is not None:
+            request["profiling"] = bool(profiling)
+
+        def attempt():
+            rid = self._send(dict(request))
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header.get("obs")
+        return self._with_retry(attempt)
+
     def infer(self, model, x):
         """One request, one response."""
         return self.infer_many(model, [x])[0]
@@ -543,7 +685,7 @@ class ClusterClient:
 
     # ------------------------------------------------------------------
     def generate(self, model, prompt, max_new_tokens=None, eos_token=None,
-                 sampling=None):
+                 sampling=None, trace=None):
         """Stream one generation; yields token ids as frames arrive.
 
         The session is started eagerly (with the reconnect-and-replay
@@ -551,7 +693,12 @@ class ClusterClient:
         token); the returned generator then reads one stream frame per
         token and finishes on the ``done`` frame. ``sampling`` (a
         :class:`~repro.gen.sampling.SamplingConfig` or its dict form)
-        rides the request header; omit it for greedy decode.
+        rides the request header; omit it for greedy decode. ``trace``
+        is an optional trace id (mint one with
+        :func:`repro.obs.new_trace_id`) — the whole request is traced
+        end to end under it, retrievable via :meth:`trace`. When the
+        stream finishes, the session's own TTFT/ITL numbers (from the
+        ``done`` frame) land on :attr:`last_telemetry`.
         """
         header = {"op": "generate", "model": model}
         if max_new_tokens is not None:
@@ -560,6 +707,8 @@ class ClusterClient:
             header["eos_token"] = int(eos_token)
         if sampling is not None:
             header["sampling"] = SamplingConfig.from_dict(sampling).to_dict()
+        if trace is not None:
+            header["trace"] = trace
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
 
         def attempt():
@@ -579,6 +728,8 @@ class ClusterClient:
                         self._check(head)
                         if head.get("done"):
                             finished = True
+                            if "telemetry" in head:
+                                self.last_telemetry = head["telemetry"]
                             return
                     except RuntimeError:
                         finished = True  # error frame is terminal too

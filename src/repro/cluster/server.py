@@ -31,6 +31,9 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.profiler import StepProfiler
+from ..obs.telemetry import TokenTelemetry
+from ..obs.tracer import TRACE
 from ..serving.autotune import Autotuner
 from ..serving.batcher import AdmissionError, MicroBatcher
 from ..serving.compiler import compile_model
@@ -197,7 +200,8 @@ class ClusterGenStream:
     accumulates everything received.
     """
 
-    def __init__(self, cluster, key, shard, sid, first_tokens, done):
+    def __init__(self, cluster, key, shard, sid, first_tokens, done,
+                 telemetry=None):
         self._cluster = cluster
         self._key = key
         self._shard = shard
@@ -207,8 +211,13 @@ class ClusterGenStream:
         self._done = bool(done)
         self._error = None
         self._settled = False
-        if self._done:
-            self._settle()
+        # The worker's per-session TTFT/ITL snapshot, refreshed by every
+        # poll reply that carries one (final numbers land with `done`).
+        self.telemetry = telemetry
+        # Polls happen on whatever thread iterates the stream; the trace
+        # context active at session start is captured so every poll RPC
+        # (and the worker's decode ticks behind it) joins the same trace.
+        self._ctx = TRACE.context() if TRACE.enabled else None
 
     def _settle(self):
         if not self._settled:
@@ -219,10 +228,15 @@ class ClusterGenStream:
     def done(self):
         return self._done
 
+    def _request(self, op):
+        if self._ctx is None:
+            return self._shard.process.request(op, self._key, self._sid)
+        with TRACE.tracing(self._ctx):
+            return self._shard.process.request(op, self._key, self._sid)
+
     def _poll(self):
         try:
-            reply = self._shard.process.request("gen_poll", self._key,
-                                                self._sid)
+            reply = self._request("gen_poll")
         except ShardCrashed as exc:
             self._done = True
             self._settle()
@@ -238,8 +252,7 @@ class ClusterGenStream:
             self._done = True
             self._settle()
             try:
-                self._shard.process.request("gen_drop", self._key,
-                                            self._sid)
+                self._request("gen_drop")
             except (ShardCrashed, RuntimeError):
                 pass
             self._error = GenerationError(
@@ -249,6 +262,8 @@ class ClusterGenStream:
         new = [int(t) for t in reply["tokens"]]
         self.tokens.extend(new)
         self._buffer.extend(new)
+        if "telemetry" in reply:
+            self.telemetry = reply["telemetry"]
         self._cluster._gen_stats[self._key]["tokens"] += len(new)
         if reply["done"]:
             self._done = True
@@ -286,7 +301,7 @@ class ClusterGenStream:
         self._done = True
         self._settle()
         try:
-            self._shard.process.request("gen_drop", self._key, self._sid)
+            self._request("gen_drop")
         except (ShardCrashed, RuntimeError):
             pass
 
@@ -438,6 +453,10 @@ class ClusterServer:
                 return
             shard = self._by_index[index]
             tried.add(index)
+            # Zero-duration event marking the routing decision (a traced
+            # re-route shows up as several picks on one trace).
+            TRACE.instant("router.pick", cat="router", shard=index,
+                          model=key)
             try:
                 inner = shard.submit(key, x)
             except AdmissionError:
@@ -558,6 +577,8 @@ class ClusterServer:
             index = self.router.pick(key, exclude=tried)
             shard = self._by_index[index]
             tried.add(index)
+            TRACE.instant("router.pick", cat="router", shard=index,
+                          model=key)
             try:
                 reply = shard.process.request("gen_start", key, prompt,
                                               max_new, eos_token, policy)
@@ -569,7 +590,8 @@ class ClusterServer:
             stats["sessions"] += 1
             stats["tokens"] += len(reply["tokens"])
             return ClusterGenStream(self, key, shard, reply["sid"],
-                                    reply["tokens"], reply["done"])
+                                    reply["tokens"], reply["done"],
+                                    telemetry=reply.get("telemetry"))
 
     def generate_all(self, key, prompt, max_new_tokens=None, eos_token=None,
                      sampling=None, timeout=120.0):
@@ -604,17 +626,26 @@ class ClusterServer:
 
         ``models[key]`` sums served requests over all shards and adds the
         per-shard recent req/s (concurrent windows, so the sum is the
-        aggregate service rate). ``shards`` carries each shard's recent
-        window snapshot for dashboards.
+        aggregate service rate); its ``per_shard`` rows are each shard's
+        own recent window *for this model*, which is where per-model
+        imbalance shows (the shard-level windows below mix every model's
+        traffic together). ``shards`` carries each shard's recent window
+        snapshot for dashboards.
         """
         models = {}
         for key in self.plans:
-            requests = sum(s.metrics[key].request_count for s in self.shards)
-            batches = sum(s.metrics[key].batch_count for s in self.shards)
-            rate = sum(s.metrics[key].window.snapshot()["requests_per_s"]
-                       for s in self.shards)
-            models[key] = {"requests": requests, "batches": batches,
-                           "requests_per_s": rate}
+            per_shard = [{"shard": s.index,
+                          **s.metrics[key].window.snapshot()}
+                         for s in self.shards]
+            models[key] = {
+                "requests": sum(s.metrics[key].request_count
+                                for s in self.shards),
+                "batches": sum(s.metrics[key].batch_count
+                               for s in self.shards),
+                "requests_per_s": sum(row["requests_per_s"]
+                                      for row in per_shard),
+                "per_shard": per_shard,
+            }
         summary = {
             "workers": len(self.shards),
             "alive_workers": self.alive_workers(),
@@ -631,11 +662,81 @@ class ClusterServer:
                 key: dict(stats) for key, stats in self._gen_stats.items()}
         return summary
 
+    def stats(self):
+        """Cluster-wide observability snapshot (the ``op: stats`` body).
+
+        Per shard: the recent traffic window plus the worker's own
+        numbers — per-step profiler aggregates and per-model token
+        telemetry — fetched over the pipe (dead shards report window
+        only). Cluster-wide: profiler aggregates merged across workers,
+        telemetry merged per model (merged percentiles are token-count
+        weighted means of the shard percentiles — each shard's own row
+        stays exact).
+        """
+        rows = []
+        profiler_snaps = []
+        telemetry = {}
+        for shard in self.shards:
+            row = {"index": shard.index, "alive": shard.alive,
+                   "window": shard.window.snapshot()}
+            if shard.alive:
+                try:
+                    worker = shard.process.request("stats")
+                except (ShardCrashed, RuntimeError):
+                    worker = None
+                if worker:
+                    row["worker"] = worker
+                    profiler_snaps.append(worker.get("profiler") or {})
+                    for key, snap in (worker.get("telemetry") or {}).items():
+                        telemetry.setdefault(key, []).append(snap)
+            rows.append(row)
+        return {
+            "shards": rows,
+            "profiler": StepProfiler.merge(profiler_snaps),
+            "telemetry": {key: TokenTelemetry.merge(snaps)
+                          for key, snaps in telemetry.items()},
+        }
+
+    def trace_spans(self, trace_id=None):
+        """Recorded spans — front-end process plus every alive worker —
+        as plain dicts sorted by start time (``None`` fetches all).
+
+        One stitched list is possible because every process records on
+        the same boot-relative monotonic clock and traced RPCs carry the
+        trace id across the pipe; feed the result to
+        :func:`repro.obs.export.to_chrome_trace` / ``span_tree``.
+        """
+        spans = [s.to_dict() for s in TRACE.spans(trace_id)]
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                spans.extend(shard.process.request("trace", trace_id))
+            except (ShardCrashed, RuntimeError):
+                continue
+        spans.sort(key=lambda d: (d["ts_us"], d["span"]))
+        return spans
+
+    def set_profiling(self, enabled=True):
+        """Toggle per-step profiling in every alive worker; returns how
+        many acknowledged (a respawned worker comes back unprofiled)."""
+        done = 0
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                shard.process.request("obs", bool(enabled))
+                done += 1
+            except (ShardCrashed, RuntimeError):
+                continue
+        return done
+
     def report(self, title="cluster metrics"):
         from ..evaluation.report import format_table
 
         summary = self.summary()
-        rows = [{"model": key, **stats}
+        rows = [{"model": key,
+                 **{k: v for k, v in stats.items() if k != "per_shard"}}
                 for key, stats in sorted(summary["models"].items())]
         header = "%s — %d/%d workers alive, %d requests served" % (
             title, summary["alive_workers"], summary["workers"],

@@ -25,6 +25,8 @@ import threading
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.profiler import StepProfiler
+from ..obs.tracer import TRACE
 from ..serving.engine import ServingEngine
 
 __all__ = ["ShardCrashed", "worker_main", "ShardProcess"]
@@ -41,19 +43,30 @@ class ShardCrashed(RuntimeError):
 def worker_main(conn, handles, gen_meta=None):
     """Child entry point: attach plans, serve RPCs until told to stop.
 
-    Protocol (parent -> child):
-        ``("run", job_id, key, batch)``  execute ``batch`` on plan ``key``
-        ``("gen_start", job_id, key, prompt, max_new, eos, sampling)``
+    Protocol (parent -> child) — every request carries a trace context
+    ``ctx`` in its third slot (a ``Tracer.context()`` dict, or ``None``
+    for untraced requests; with a context the worker force-enables its
+    tracer for the request, so worker-side spans join the caller's
+    trace):
+        ``("run", job_id, ctx, key, batch)``
+                                         execute ``batch`` on plan ``key``
+        ``("gen_start", job_id, ctx, key, prompt, max_new, eos, sampling)``
                                          prefill + admit one generation
                                          (``sampling`` is a
                                          ``SamplingConfig.to_dict()`` or
                                          ``None`` for greedy)
-        ``("gen_poll", job_id, key, sid)``
+        ``("gen_poll", job_id, ctx, key, sid)``
                                          drain that session's new tokens,
                                          advancing the shared decode batch
                                          one tick when none are queued
-        ``("gen_drop", job_id, key, sid)``
+        ``("gen_drop", job_id, ctx, key, sid)``
                                          abandon a session (free its KV)
+        ``("trace", job_id, ctx, trace_id)``
+                                         this worker's recorded spans as
+                                         plain dicts (all, or one trace)
+        ``("stats", job_id, ctx)``       profiler + per-model telemetry
+                                         snapshots (the ``op: stats`` rows)
+        ``("obs", job_id, ctx, enable)`` toggle per-step profiling
         ``("stop",)``                    drain-free exit
     Replies (child -> parent):
         ``("ready", plan_count)`` once all plans are mapped,
@@ -83,6 +96,7 @@ def worker_main(conn, handles, gen_meta=None):
     cores = {}
     pending = {}  # (key, sid) -> [tokens...]
     finished = set()
+    profiler = None  # StepProfiler once the parent sends ("obs", .., True)
 
     def core_for(key):
         if key not in cores:
@@ -94,6 +108,7 @@ def worker_main(conn, handles, gen_meta=None):
                        for bucket, plan_key in meta["prefill_keys"]}
             cores[key] = GenCore(GenPlan(prefill, plans[meta["decode_key"]],
                                          meta["geometry"]))
+            cores[key].profiler = profiler
         return cores[key]
 
     def tick(key):
@@ -101,6 +116,64 @@ def worker_main(conn, handles, gen_meta=None):
             pending.setdefault((key, sid), []).append(token)
             if done:
                 finished.add((key, sid))
+
+    def handle(op, args):
+        nonlocal profiler
+        if op == "run":
+            key, batch = args
+            return engine.run(plans[key], batch, profiler=profiler)
+        if op == "gen_start":
+            key, prompt, max_new, eos, sampling = args
+            core = core_for(key)
+            sid, first, done = core.start(
+                prompt, max_new, eos,
+                sampling=SamplingConfig.from_dict(sampling))
+            # A session done at start is fully reported here — the
+            # parent never polls it, so nothing may linger in
+            # `finished` (that set is only drained by polls).
+            reply = {"sid": sid, "tokens": [first], "done": done}
+            if done:
+                reply["telemetry"] = core.telemetry.session_snapshot(sid)
+            return reply
+        if op == "gen_poll":
+            key, sid = args
+            if not pending.get((key, sid)) and (key, sid) not in finished:
+                tick(key)
+            tokens = pending.pop((key, sid), [])
+            done = (key, sid) in finished
+            if done:
+                finished.discard((key, sid))
+            reply = {"tokens": tokens, "done": done}
+            snap = core_for(key).telemetry.session_snapshot(sid)
+            if snap is not None:
+                reply["telemetry"] = snap
+            return reply
+        if op == "gen_drop":
+            key, sid = args
+            if key in cores:
+                cores[key].drop(sid)
+            pending.pop((key, sid), None)
+            finished.discard((key, sid))
+            return True
+        if op == "trace":
+            (trace_id,) = args
+            return [s.to_dict() for s in TRACE.spans(trace_id)]
+        if op == "stats":
+            return {
+                "profiler": (profiler.snapshot()
+                             if profiler is not None else {}),
+                "telemetry": {key: core.telemetry.snapshot()
+                              for key, core in cores.items()},
+                "active": {key: core.active()
+                           for key, core in cores.items()},
+            }
+        if op == "obs":
+            (enable,) = args
+            profiler = StepProfiler() if enable else None
+            for core in cores.values():
+                core.profiler = profiler
+            return bool(enable)
+        raise ValueError("unknown op %r" % (op,))
 
     conn.send(("ready", len(plans)))
     while True:
@@ -110,40 +183,19 @@ def worker_main(conn, handles, gen_meta=None):
             break
         if msg[0] == "stop":
             break
-        op, job_id = msg[0], msg[1]
+        op, job_id, ctx = msg[0], msg[1], msg[2]
         try:
-            if op == "run":
-                _, _, key, batch = msg
-                conn.send(("ok", job_id, engine.run(plans[key], batch)))
-            elif op == "gen_start":
-                _, _, key, prompt, max_new, eos, sampling = msg
-                sid, first, done = core_for(key).start(
-                    prompt, max_new, eos,
-                    sampling=SamplingConfig.from_dict(sampling))
-                # A session done at start is fully reported here — the
-                # parent never polls it, so nothing may linger in
-                # `finished` (that set is only drained by polls).
-                conn.send(("ok", job_id,
-                           {"sid": sid, "tokens": [first], "done": done}))
-            elif op == "gen_poll":
-                _, _, key, sid = msg
-                if (not pending.get((key, sid))
-                        and (key, sid) not in finished):
-                    tick(key)
-                tokens = pending.pop((key, sid), [])
-                done = (key, sid) in finished
-                if done:
-                    finished.discard((key, sid))
-                conn.send(("ok", job_id, {"tokens": tokens, "done": done}))
-            elif op == "gen_drop":
-                _, _, key, sid = msg
-                if key in cores:
-                    cores[key].drop(sid)
-                pending.pop((key, sid), None)
-                finished.discard((key, sid))
-                conn.send(("ok", job_id, True))
+            if ctx is not None:
+                # A traced request: adopt the caller's context for the
+                # duration so every span this worker records (prefill,
+                # decode ticks, engine steps) joins the caller's trace,
+                # under one RPC-scoped parent span.
+                with TRACE.tracing(ctx), \
+                        TRACE.span("shard.rpc", cat="worker", op=op):
+                    result = handle(op, msg[3:])
             else:
-                conn.send(("err", job_id, "unknown op %r" % (op,)))
+                result = handle(op, msg[3:])
+            conn.send(("ok", job_id, result))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             conn.send(("err", job_id, "%s: %s" % (type(exc).__name__, exc)))
     conn.close()
@@ -198,13 +250,18 @@ class ShardProcess:
         return self.request("run", key, np.asarray(batch))
 
     def request(self, op, *args):
-        """One lock-serialised RPC round trip (``run`` and the gen ops)."""
+        """One lock-serialised RPC round trip (``run``, gen and obs ops).
+
+        The caller's active trace context (when tracing is enabled in
+        this process) rides the message's third slot, so the worker's
+        spans for this request join the caller's trace."""
+        ctx = TRACE.context() if TRACE.enabled else None
         with self._lock:
             if not self._alive:
                 raise ShardCrashed("shard %d is down" % self.index)
             job_id = next(self._jobs)
             try:
-                self._conn.send((op, job_id) + args)
+                self._conn.send((op, job_id, ctx) + args)
                 reply = self._conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 self._alive = False

@@ -28,9 +28,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 
 import numpy as np
 
+from ..obs.profiler import StepProfiler
+from ..obs.telemetry import TokenTelemetry
+from ..obs.tracer import TRACE
 from ..serving.batcher import AdmissionError, MicroBatcher
 from ..serving.engine import execute_plan
 from .compiler import compile_generation
@@ -107,6 +111,10 @@ class GenCore:
         self.max_len = meta["max_len"]
         self._sequences = {}
         self._ids = itertools.count()
+        # TTFT/ITL per session (always on: a few appends per token is
+        # noise next to a decode step); per-step profiling stays opt-in.
+        self.telemetry = TokenTelemetry()
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def active(self):
@@ -133,27 +141,35 @@ class GenCore:
     def start(self, prompt, max_new_tokens, eos_token=None, sampling=None):
         """Prefill one prompt (unbatched) and admit it; returns
         ``(sid, first_token, done)``."""
+        opened_at = time.monotonic()
         prompt = self.validate(prompt, max_new_tokens)
         padded, bucket = self.plan.pad_prompt(prompt)
-        logits, taps = execute_plan(self.plan.prefill[bucket], padded[None],
-                                    return_taps=True)
+        with TRACE.span("gen.prefill", cat="gen", bucket=int(bucket),
+                        prompt_len=int(len(prompt))):
+            logits, taps = execute_plan(self.plan.prefill[bucket],
+                                        padded[None], return_taps=True,
+                                        profiler=self.profiler)
         return self.admit(prompt, logits[0],
                           {name: tap[0] for name, tap in taps.items()},
-                          max_new_tokens, eos_token, sampling)
+                          max_new_tokens, eos_token, sampling,
+                          opened_at=opened_at)
 
     def admit(self, prompt, logits_rows, taps_row, max_new_tokens,
-              eos_token=None, sampling=None):
+              eos_token=None, sampling=None, opened_at=None):
         """Register a prefilled sequence; returns ``(sid, first, done)``.
 
         ``logits_rows`` is the (bucket, vocab) prefill output for this
         request, ``taps_row`` its per-layer K/V tap slices. ``sampling``
         is the sequence's :class:`SamplingConfig` (``None`` = greedy);
-        its first token is drawn at RNG counter 0.
+        its first token is drawn at RNG counter 0. ``opened_at``
+        backdates the telemetry clock to when the request entered the
+        system, so TTFT includes prefill queueing, not just this call.
         """
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
         sampling = SamplingConfig.from_dict(sampling)
         length = len(prompt)
         sid = next(self._ids)
+        self.telemetry.open(sid, opened_at)
         cache = KVCache(self.num_layers, self.num_heads,
                         length + max_new_tokens, self.head_dim,
                         self.plan.dtype)
@@ -168,13 +184,17 @@ class GenCore:
         seq.next_token = first
         seq.done = (max_new_tokens == 1
                     or (eos_token is not None and first == eos_token))
+        self.telemetry.token(sid)
         if not seq.done:
             self._sequences[sid] = seq
+        else:
+            self.telemetry.close(sid)
         return sid, first, seq.done
 
     def drop(self, sid):
         """Abandon a sequence (client went away); frees its KV cache."""
         self._sequences.pop(sid, None)
+        self.telemetry.close(sid)
 
     # ------------------------------------------------------------------
     def step(self):
@@ -183,6 +203,13 @@ class GenCore:
         seqs = list(self._sequences.values())
         if not seqs:
             return []
+        with TRACE.span("decode.tick", cat="gen", sessions=len(seqs)):
+            return self._step(seqs)
+
+    def _step(self, seqs):
+        profiler = self.profiler
+        plan_name = self.plan.decode.model_name
+        clock = profiler.clock if profiler is not None else None
         # A lone sequence is decoded as a duplicated pair: single-row
         # GEMMs take a different BLAS path whose bits differ from the
         # same row inside a taller matrix, and bit-identity to the
@@ -192,6 +219,7 @@ class GenCore:
         lengths = np.array([s.cache.length for s in rows], dtype=np.int64)
         capacity = int(lengths.max()) + 1
         extras = {"positions": lengths.copy(), "lengths": lengths}
+        t0 = clock() if profiler is not None else 0.0
         for layer in range(self.num_layers):
             k_stack = np.zeros((len(rows), self.num_heads, capacity,
                                 self.head_dim), dtype=self.plan.dtype)
@@ -202,14 +230,22 @@ class GenCore:
                 v_stack[i, :, :fill] = s.cache.v[layer, :, :fill]
             extras["k_cache_%d" % layer] = k_stack
             extras["v_cache_%d" % layer] = v_stack
+        if profiler is not None:
+            # The per-tick Python cost around the plan: cache stacking
+            # before, sampling after — the dispatch overhead rows the
+            # recorded-decode-loop roadmap item aims to delete.
+            profiler.record(plan_name, "kv_stack", clock() - t0)
         logits, taps = execute_plan(self.plan.decode, tokens, extras=extras,
-                                    return_taps=True)
+                                    return_taps=True, profiler=profiler)
         # One vectorised draw for the whole tick: row i is sampled under
         # sequence i's own policy at its own step counter (length of the
         # stream so far), so batch composition cannot shift any stream.
+        t0 = clock() if profiler is not None else 0.0
         chosen = sample_tokens(logits[:len(seqs)],
                                [s.sampling for s in seqs],
                                [len(s.generated) for s in seqs])
+        if profiler is not None:
+            profiler.record(plan_name, "sampling", clock() - t0)
         events = []
         for i, s in enumerate(seqs):
             k_new = np.stack([taps["k%d" % layer][i]
@@ -222,8 +258,10 @@ class GenCore:
             s.next_token = token
             s.done = (len(s.generated) >= s.max_new_tokens
                       or (s.eos_token is not None and token == s.eos_token))
+            self.telemetry.token(s.sid)
             if s.done:
                 del self._sequences[s.sid]
+                self.telemetry.close(s.sid)
             events.append((s.sid, token, s.done))
         return events
 
@@ -353,7 +391,8 @@ class GeneratorServer:
         plan = self.plan.prefill[bucket]
 
         def run(stacked):
-            logits, taps = execute_plan(plan, stacked, return_taps=True)
+            logits, taps = execute_plan(plan, stacked, return_taps=True,
+                                        profiler=self.core.profiler)
             return [
                 (logits[i], {name: tap[i] for name, tap in taps.items()})
                 for i in range(len(stacked))
@@ -401,6 +440,7 @@ class GeneratorServer:
         """
         if self._closed:
             raise AdmissionError("generator server is shut down")
+        opened_at = time.monotonic()
         max_new = (self.config.default_max_new_tokens
                    if max_new_tokens is None else int(max_new_tokens))
         sampling = SamplingConfig.from_dict(sampling)
@@ -415,7 +455,7 @@ class GeneratorServer:
                 with self._lock:
                     sid, first, done = self.core.admit(
                         prompt, logits_rows, taps_row, max_new, eos_token,
-                        sampling)
+                        sampling, opened_at=opened_at)
                     if not done:
                         self._sessions[sid] = session
                     # Push inside the critical section: once the lock
@@ -440,6 +480,33 @@ class GeneratorServer:
     def active_sessions(self):
         with self._lock:
             return self.core.active()
+
+    def enable_profiling(self):
+        """Attach a :class:`StepProfiler` to prefill and decode steps."""
+        with self._lock:
+            if self.core.profiler is None:
+                self.core.profiler = StepProfiler()
+            return self.core.profiler
+
+    def disable_profiling(self):
+        with self._lock:
+            self.core.profiler = None
+
+    def profile(self):
+        """Per-step measured aggregates, keyed by plan then step label
+        (prefill plans and the decode plan report separately)."""
+        with self._lock:
+            profiler = self.core.profiler
+        return profiler.snapshot() if profiler is not None else {}
+
+    def metrics(self):
+        """Token telemetry snapshot: TTFT and inter-token latency
+        percentiles (``ttft_ms`` / ``itl_ms`` with p50/p99) plus the
+        number of sequences currently in the decode batch."""
+        with self._lock:
+            snap = self.core.telemetry.snapshot()
+            snap["live_sessions"] = self.core.active()
+        return snap
 
     def shutdown(self, drain=True, timeout=30.0):
         """Stop the server; ``drain=True`` finishes live sequences first."""

@@ -1,0 +1,42 @@
+"""Observability: request tracing, per-kernel profiling, token telemetry.
+
+The measurement layer under the whole serving stack, with no dependency
+on it (so every subsystem can import obs without cycles):
+
+- ``tracer`` — monotonic-clock spans in per-thread ring buffers with
+  request-scoped trace ids propagated via contextvars, worker-pipe slots
+  and TCP headers; zero-cost when disabled (:data:`TRACE` is the
+  process-wide singleton all instrumented layers record into).
+- ``profiler`` — :class:`StepProfiler`, the opt-in per-step timing hook
+  of ``execute_plan``: measured milliseconds per step kind and module,
+  lined up against :class:`CyclePredictor` predicted cycles.
+- ``export`` — Chrome trace-event JSON (``chrome://tracing``/Perfetto
+  loadable, round-trippable) and a plain-text span tree.
+- ``telemetry`` — :class:`TokenTelemetry`: TTFT and inter-token latency
+  percentiles per generation session and pooled per server/shard.
+"""
+
+from .export import (
+    from_chrome_trace,
+    save_chrome_trace,
+    span_tree,
+    to_chrome_trace,
+)
+from .profiler import StepProfiler, step_label
+from .telemetry import TokenTelemetry, latency_stats
+from .tracer import TRACE, Span, Tracer, new_trace_id
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACE",
+    "new_trace_id",
+    "StepProfiler",
+    "step_label",
+    "to_chrome_trace",
+    "from_chrome_trace",
+    "save_chrome_trace",
+    "span_tree",
+    "TokenTelemetry",
+    "latency_stats",
+]

@@ -1,0 +1,129 @@
+"""Trace exporters: Chrome trace-event JSON and a plain-text span tree.
+
+``to_chrome_trace`` emits the Trace Event Format that ``chrome://tracing``
+and Perfetto load directly (complete ``"X"`` events with microsecond
+``ts``/``dur``, one process row per pid); ``from_chrome_trace`` is its
+inverse, so a dumped trace round-trips back into span dicts — the schema
+contract the tests pin. ``span_tree`` renders a stitched trace as an
+indented tree for terminals and logs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Span
+
+__all__ = ["to_chrome_trace", "from_chrome_trace", "save_chrome_trace",
+           "span_tree"]
+
+
+def _as_dict(span):
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def to_chrome_trace(spans, process_names=None):
+    """Spans -> Chrome trace-event document (a JSON-serialisable dict).
+
+    Span identity (trace/span/parent ids) rides in each event's ``args``
+    so nothing is lost in the round trip. ``process_names`` optionally
+    maps pid -> label (e.g. ``{1234: "front-end", 1240: "shard 0"}``),
+    emitted as ``process_name`` metadata events.
+    """
+    events = []
+    pids = set()
+    for span in spans:
+        s = _as_dict(span)
+        pids.add(s["pid"])
+        events.append({
+            "name": s["name"],
+            "cat": s.get("cat", "obs"),
+            "ph": "X",
+            "ts": s["ts_us"],
+            "dur": s["dur_us"],
+            "pid": s["pid"],
+            "tid": s["tid"],
+            "args": dict(s.get("args", {}),
+                         trace=s["trace"], span=s["span"],
+                         parent=s.get("parent")),
+        })
+    for pid in sorted(pids):
+        label = (process_names or {}).get(pid)
+        if label:
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def from_chrome_trace(doc):
+    """Chrome trace-event document -> span dicts (metadata events dropped).
+
+    Accepts a dict, a JSON string, or the bare event list form.
+    """
+    if isinstance(doc, (str, bytes)):
+        doc = json.loads(doc)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        spans.append({
+            "trace": args.pop("trace", None),
+            "span": args.pop("span", None),
+            "parent": args.pop("parent", None),
+            "name": event["name"],
+            "cat": event.get("cat", "obs"),
+            "ts_us": event["ts"],
+            "dur_us": event["dur"],
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+            "args": args,
+        })
+    spans.sort(key=lambda s: (s["ts_us"], s["span"] or 0))
+    return spans
+
+
+def save_chrome_trace(path, spans, process_names=None):
+    """Write spans as a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(spans, process_names), fh, indent=1)
+    return path
+
+
+def span_tree(spans):
+    """Render spans as an indented text tree, one trace per root block.
+
+    Children attach by parent span id; spans whose parent was evicted
+    from a ring (or lives in an uncollected process) surface as roots of
+    their trace rather than disappearing.
+    """
+    spans = [_as_dict(s) for s in spans]
+    spans.sort(key=lambda s: (s["ts_us"], s["span"] or 0))
+    by_id = {s["span"]: s for s in spans}
+    children = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    lines = []
+
+    def render(span, depth):
+        extra = "".join(" %s=%s" % (k, v)
+                        for k, v in sorted(span.get("args", {}).items()))
+        dur = ("[instant]" if span["dur_us"] == 0
+               else "%.3fms" % (span["dur_us"] / 1e3))
+        lines.append("%s%s %s%s" % ("  " * depth, span["name"], dur, extra))
+        for child in children.get(span["span"], []):
+            render(child, depth + 1)
+
+    seen_traces = []
+    for root in roots:
+        if root["trace"] not in seen_traces:
+            seen_traces.append(root["trace"])
+            lines.append("trace %s" % root["trace"])
+        render(root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Per-step engine profiling: measured milliseconds next to predicted cycles.
+
+:class:`StepProfiler` is the opt-in timing hook of
+:func:`repro.serving.engine.execute_plan`: when a profiler is passed (or
+installed on a server), every kernel step's wall time is accumulated under
+``(plan name, step kind, module name)``. Aggregates are plain dicts —
+picklable, mergeable across cluster workers, JSON-exportable — and
+:meth:`StepProfiler.versus_predicted` lines the measured per-module
+milliseconds up against :meth:`CyclePredictor.breakdown`'s predicted
+cycles, turning the paper's Eq. (5) predicted-vs-measured comparison into
+a per-layer table.
+
+The decode-step rows (``kv_append``, ``cached_attention``, sampling glue)
+are the numbers that quantify per-tick Python dispatch overhead — the
+baseline the recorded-decode-loop work on the ROADMAP aims to remove.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["StepProfiler", "step_label"]
+
+
+def step_label(plan, step):
+    """Stable aggregation key for one step: ``kind`` or ``kind:module``.
+
+    LUT steps carry their converted module's qualified name (via the
+    plan's layer table), so profiles read like the predictor's breakdown;
+    glue steps aggregate by kind alone.
+    """
+    if step.kind == "lut_gemm":
+        index = step.params.get("layer")
+        if index is not None and index < len(plan.layers):
+            name = plan.layers[index].get("name")
+            if name:
+                return "lut_gemm:%s" % name
+    return step.kind
+
+
+class StepProfiler:
+    """Threadsafe accumulator of per-step wall time.
+
+    ``record`` is the hot call: one monotonic delta filed under a string
+    key. The executor computes the label once per step per call; batcher
+    threads share one profiler, so the increment is lock-guarded (the
+    lock is uncontended relative to kernel runtimes).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}  # (plan, label) -> [count, total_s, min_s, max_s]
+        self.clock = time.perf_counter
+
+    def record(self, plan_name, label, seconds):
+        key = (plan_name, label)
+        with self._lock:
+            row = self._rows.get(key)
+            if row is None:
+                self._rows[key] = [1, seconds, seconds, seconds]
+            else:
+                row[0] += 1
+                row[1] += seconds
+                if seconds < row[2]:
+                    row[2] = seconds
+                if seconds > row[3]:
+                    row[3] = seconds
+
+    def clear(self):
+        with self._lock:
+            self._rows.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._rows)
+
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """``{plan: {label: {calls, total_ms, mean_ms, min_ms, max_ms}}}``."""
+        with self._lock:
+            rows = {key: list(row) for key, row in self._rows.items()}
+        out = {}
+        for (plan, label), (count, total, lo, hi) in rows.items():
+            out.setdefault(plan, {})[label] = {
+                "calls": count,
+                "total_ms": total * 1e3,
+                "mean_ms": total / count * 1e3,
+                "min_ms": lo * 1e3,
+                "max_ms": hi * 1e3,
+            }
+        return out
+
+    @staticmethod
+    def merge(snapshots):
+        """Combine snapshots from many profilers (cluster-wide view).
+
+        Calls and totals add; min/max extremise; means recompute from the
+        merged totals.
+        """
+        out = {}
+        for snap in snapshots:
+            for plan, labels in (snap or {}).items():
+                into = out.setdefault(plan, {})
+                for label, row in labels.items():
+                    have = into.get(label)
+                    if have is None:
+                        into[label] = dict(row)
+                        continue
+                    have["calls"] += row["calls"]
+                    have["total_ms"] += row["total_ms"]
+                    have["min_ms"] = min(have["min_ms"], row["min_ms"])
+                    have["max_ms"] = max(have["max_ms"], row["max_ms"])
+                    have["mean_ms"] = have["total_ms"] / have["calls"]
+        return out
+
+    # ------------------------------------------------------------------
+    def versus_predicted(self, plan, predictor, batch_size):
+        """Measured-vs-predicted rows for one plan's LUT modules.
+
+        Returns ``[{module, measured_mean_ms, calls, predicted_cycles,
+        predicted_ms}, ...]`` — the serving-time form of the paper's
+        predicted/measured comparison, per layer. Modules the profiler
+        has not seen yet are omitted.
+        """
+        breakdown = predictor.breakdown(batch_size)
+        freq = predictor.sim_config.frequency_hz
+        measured = self.snapshot().get(plan.model_name, {})
+        rows = []
+        for module, cycles in breakdown.items():
+            row = measured.get("lut_gemm:%s" % module)
+            if row is None:
+                continue
+            rows.append({
+                "module": module,
+                "calls": row["calls"],
+                "measured_mean_ms": row["mean_ms"],
+                "predicted_cycles": cycles,
+                "predicted_ms": cycles / freq * 1e3,
+            })
+        return rows
+
+    def __repr__(self):
+        return "StepProfiler(%d rows)" % len(self)

@@ -22,6 +22,8 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from ..obs.tracer import TRACE
+
 __all__ = ["AdmissionError", "MicroBatcher"]
 
 
@@ -30,12 +32,16 @@ class AdmissionError(RuntimeError):
 
 
 class _Request:
-    __slots__ = ("payload", "future", "enqueued_at")
+    __slots__ = ("payload", "future", "enqueued_at", "trace")
 
     def __init__(self, payload):
         self.payload = payload
         self.future = Future()
         self.enqueued_at = time.monotonic()
+        # The submitter's trace context, captured here because the batch
+        # executes on a worker thread that inherits no contextvars; the
+        # per-request span recorded at resolve time re-joins this trace.
+        self.trace = TRACE.context() if TRACE.enabled else None
 
 
 class MicroBatcher:
@@ -212,6 +218,19 @@ class MicroBatcher:
             finally:
                 self._settle(len(collected))
 
+    def _trace_batch(self, batch, start, done):
+        """Span per traced member: queue wait + execution, re-parented to
+        the submitter's trace (the worker thread has no context of its
+        own). Only runs when tracing is enabled at resolve time."""
+        size = len(batch)
+        for request in batch:
+            if request.trace is None:
+                continue
+            TRACE.record_span(
+                "batcher.request", request.enqueued_at, done,
+                ctx=request.trace, cat="batcher", batch_size=size,
+                queue_wait_ms=round((start - request.enqueued_at) * 1e3, 3))
+
     def _run_collected(self, collected):
         # Transition futures to RUNNING; a request whose cancel() won the
         # race is dropped here, and the rest can no longer be cancelled,
@@ -231,6 +250,8 @@ class MicroBatcher:
         done = time.monotonic()
         for i, request in enumerate(batch):
             request.future.set_result(results[i])
+        if TRACE.enabled:
+            self._trace_batch(batch, start, done)
         if self.on_batch is not None:
             try:
                 latencies = [done - request.enqueued_at

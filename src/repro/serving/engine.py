@@ -25,6 +25,8 @@ from collections import OrderedDict
 import numpy as np
 
 from ..nn import functional as F
+from ..obs.profiler import step_label
+from ..obs.tracer import TRACE
 from ..vq import kernels
 from ..vq.codebook import split_subspaces
 from ..vq.distances import batched_nearest_centroid
@@ -164,7 +166,7 @@ _KERNELS = {
 }
 
 
-def execute_plan(plan, batch, extras=None, return_taps=False):
+def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
     """Run one request batch (batch, \\*input_shape) through ``plan``.
 
     Pure numpy, threadsafe (the plan is read-only), and GIL-friendly: the
@@ -179,6 +181,14 @@ def execute_plan(plan, batch, extras=None, return_taps=False):
     any in-place mutation (``kv_append`` writes into the bound cache).
     With ``return_taps=True`` the result is ``(output, {name: array})``
     for the plan's ``tap_slots`` — the prefill path's per-layer K/V.
+
+    ``profiler`` (a :class:`~repro.obs.profiler.StepProfiler`) opts this
+    call into per-step timing, keyed by step kind and — for LUT steps —
+    module name; ``None`` keeps the unmeasured step loop, so profiling
+    costs nothing unless a caller asks for it. Independently, one
+    ``engine.execute`` span is recorded per call when the process tracer
+    is enabled (per batch, not per step: the span names where a request's
+    time went, the profiler says which kernel took it).
     """
     x = np.asarray(batch, dtype=plan.dtype)
     if x.shape[1:] != plan.input_shape:
@@ -203,11 +213,24 @@ def execute_plan(plan, batch, extras=None, return_taps=False):
                             sorted(extra_inputs) or "none"))
     for name, slot in extra_inputs.items():
         slots[slot] = extras[name]
-    for step in plan.steps:
-        args = [slots[i] for i in step.inputs]
-        slots[step.out] = _KERNELS[step.kind](step, *args)
-        for i in step.release:
-            slots[i] = None
+    with TRACE.span("engine.execute", cat="engine", plan=plan.model_name,
+                    batch=int(x.shape[0]) if x.ndim else 1):
+        if profiler is None:
+            for step in plan.steps:
+                args = [slots[i] for i in step.inputs]
+                slots[step.out] = _KERNELS[step.kind](step, *args)
+                for i in step.release:
+                    slots[i] = None
+        else:
+            clock = profiler.clock
+            for step in plan.steps:
+                args = [slots[i] for i in step.inputs]
+                t0 = clock()
+                slots[step.out] = _KERNELS[step.kind](step, *args)
+                profiler.record(plan.model_name, step_label(plan, step),
+                                clock() - t0)
+                for i in step.release:
+                    slots[i] = None
     if return_taps:
         taps = {name: slots[slot]
                 for name, slot in getattr(plan, "tap_slots", {}).items()}
@@ -304,9 +327,9 @@ class ServingEngine:
         self.cache.put(cache_key, (weakref.ref(model), plan))
         return plan
 
-    def run(self, plan, batch):
+    def run(self, plan, batch, profiler=None):
         """Execute one batch through a compiled plan."""
-        return execute_plan(plan, batch)
+        return execute_plan(plan, batch, profiler=profiler)
 
     def infer(self, model, batch, precision="fp32", key=None):
         """One-call convenience: plan_for + run."""

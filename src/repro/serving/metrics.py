@@ -38,10 +38,33 @@ class CyclePredictor:
     """
 
     def __init__(self, plan, sim_config=None):
-        self.plan = plan
         self.sim_config = sim_config or SimConfig()
         self._cache = {}
         self._lock = threading.Lock()
+        self._plan = plan
+
+    @property
+    def plan(self):
+        return self._plan
+
+    @plan.setter
+    def plan(self, plan):
+        """Swap the predicted plan; the memo cache dies with the old one.
+
+        A hot plan swap (new co-design point, recalibrated codebook)
+        changes the workloads behind every cached batch size — keeping
+        the memos would keep reporting the *old* plan's cycles forever
+        (``ServingMetrics.reset()`` never cleared them). Clearing here
+        ties cache validity to plan identity instead of metrics resets.
+        """
+        with self._lock:
+            self._plan = plan
+            self._cache.clear()
+
+    def clear(self):
+        """Drop the memoised cycle counts (they recompute on demand)."""
+        with self._lock:
+            self._cache.clear()
 
     def cycles(self, batch_size):
         """Total predicted LUT-DLA cycles for one batch of ``batch_size``."""
@@ -49,7 +72,7 @@ class CyclePredictor:
         with self._lock:
             if batch_size not in self._cache:
                 _, total = simulate_workloads(
-                    self.plan.workloads(batch_size), self.sim_config)
+                    self._plan.workloads(batch_size), self.sim_config)
                 self._cache[batch_size] = int(total)
             return self._cache[batch_size]
 

@@ -21,6 +21,7 @@ import os
 
 import numpy as np
 
+from ..obs.profiler import StepProfiler
 from .autotune import Autotuner
 from .batcher import MicroBatcher
 from .engine import ServingEngine, execute_plan
@@ -99,11 +100,37 @@ class LUTServer:
                 max_batch=max(self.config.max_batch_size,
                               self.config.max_pending),
             )
+        # Opt-in per-step profiler (None keeps the unmeasured engine
+        # loop); the attribute is read per batch, so toggling is live.
+        self.profiler = None
         self._closed = False
 
     # ------------------------------------------------------------------
+    def enable_profiling(self):
+        """Attach a :class:`StepProfiler` to every subsequent batch."""
+        if self.profiler is None:
+            self.profiler = StepProfiler()
+        return self.profiler
+
+    def disable_profiling(self):
+        self.profiler = None
+
+    def profile(self):
+        """Per-step measured aggregates for this server's plan (empty
+        until :meth:`enable_profiling`)."""
+        if self.profiler is None:
+            return {}
+        return self.profiler.snapshot().get(self.plan.model_name, {})
+
+    def profile_versus_predicted(self, batch_size):
+        """Measured-vs-predicted per-module rows (needs the predictor)."""
+        if self.profiler is None or self.metrics.predictor is None:
+            return []
+        return self.profiler.versus_predicted(
+            self.plan, self.metrics.predictor, batch_size)
+
     def _run_batch(self, stacked):
-        return execute_plan(self.plan, stacked)
+        return execute_plan(self.plan, stacked, profiler=self.profiler)
 
     def _on_batch(self, batch_size, batch_seconds, latencies):
         self.metrics.record_batch(batch_size, batch_seconds, latencies)

@@ -43,6 +43,7 @@ def test_smoke_job_runs_fast_tier(workflow):
     assert "--ignore=benchmarks/test_serving_throughput.py" in runs
     assert "--ignore=benchmarks/test_cluster_scaling.py" in runs
     assert "--ignore=benchmarks/test_generation_throughput.py" in runs
+    assert "--ignore=benchmarks/test_observability.py" in runs
     # These tests must not silently skip inside the smoke job.
     assert "pyyaml" in runs
     # The tier the job deselects must exist in pytest.ini.
@@ -82,13 +83,20 @@ def test_bench_job_uploads_serving_artifact(workflow):
     assert (ROOT / "benchmarks" / "test_cluster_scaling.py").exists()
     assert "benchmarks/test_generation_throughput.py" in runs
     assert (ROOT / "benchmarks" / "test_generation_throughput.py").exists()
+    # The observability benchmark feeds the observability section (the
+    # tracing-overhead gate) and the Chrome trace sample artifact.
+    assert "benchmarks/test_observability.py" in runs
+    assert (ROOT / "benchmarks" / "test_observability.py").exists()
     uploads = [s for s in job["steps"]
                if "upload-artifact" in str(s.get("uses", ""))]
-    assert uploads and uploads[0]["with"]["path"] == "BENCH_serving.json"
-    # The benchmark must write where the job uploads from.
+    paths = [step["with"]["path"] for step in uploads]
+    assert "BENCH_serving.json" in paths
+    assert "BENCH_trace_sample.json" in paths
+    # The benchmarks must write where the job uploads from.
     env = next(s.get("env", {}) for s in job["steps"]
                if "test_serving_throughput" in str(s.get("run", "")))
     assert env["BENCH_SERVING_JSON"] == "BENCH_serving.json"
+    assert env["BENCH_TRACE_JSON"] == "BENCH_trace_sample.json"
 
 
 def test_full_job_runs_whole_suite_on_schedule_only(workflow):

@@ -1,0 +1,444 @@
+"""Observability units: tracer, profiler, exporters, token telemetry.
+
+Also pins the serving-layer contracts that ride on them: profiled
+``execute_plan`` runs are bit-identical to unprofiled ones, the batcher
+re-joins a submitter's trace across its worker threads, and
+``CyclePredictor``'s memo cache survives ``ServingMetrics.reset()`` but
+dies with a plan swap.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+from repro.obs import (
+    TRACE,
+    StepProfiler,
+    TokenTelemetry,
+    Tracer,
+    from_chrome_trace,
+    latency_stats,
+    new_trace_id,
+    save_chrome_trace,
+    span_tree,
+    step_label,
+    to_chrome_trace,
+)
+from repro.serving import LUTServer, ServingConfig, compile_model, execute_plan
+from repro.serving.metrics import CyclePredictor, ServingMetrics
+
+
+@pytest.fixture(scope="module")
+def lut_mlp():
+    rng = np.random.default_rng(3)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    return model
+
+
+@pytest.fixture(scope="module")
+def mlp_plan(lut_mlp):
+    return compile_model(lut_mlp, (16,), precision="fp64", name="mlp")
+
+
+@pytest.fixture
+def tracer():
+    """A private enabled tracer (module-singleton state stays untouched)."""
+    t = Tracer(capacity=64)
+    t.enable()
+    return t
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+class TestTracer:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        assert not t.enabled
+        assert t.span("a") is t.span("b")  # no allocation when disabled
+        with t.span("a"):
+            pass
+        assert t.spans() == []
+
+    def test_spans_nest_under_one_trace(self, tracer):
+        with tracer.span("outer", cat="t") as outer:
+            with tracer.span("inner", cat="t", layer=3) as inner:
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["outer", "inner"]
+        assert spans[0].trace == spans[1].trace == outer.trace
+        assert spans[1].parent == outer.span
+        assert spans[0].parent is None
+        assert inner.trace == outer.trace
+        assert spans[1].args == {"layer": 3}
+        assert spans[0].dur_us >= spans[1].dur_us
+
+    def test_sibling_spans_root_separate_traces(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.spans()
+        assert a.trace != b.trace
+
+    def test_context_round_trips_through_a_thread(self, tracer):
+        """The wire-context dict re-activates in a foreign thread (the
+        executor/batcher hop) and spans recorded there join the trace."""
+        seen = {}
+
+        def work(ctx):
+            with Tracer.activated(ctx):
+                with tracer.span("threaded"):
+                    seen["ctx"] = Tracer.context()
+
+        with tracer.span("root") as root:
+            ctx = Tracer.context()
+            assert ctx == {"trace": root.trace, "span": root.span}
+            thread = threading.Thread(
+                target=tracer.run_with, args=(ctx, work, ctx))
+            thread.start()
+            thread.join()
+        spans = tracer.spans(root.trace)
+        assert {s.name for s in spans} == {"root", "threaded"}
+        threaded = next(s for s in spans if s.name == "threaded")
+        assert threaded.parent == root.span
+        assert seen["ctx"]["trace"] == root.trace
+
+    def test_record_span_backdates_and_instant_is_zero_length(self, tracer):
+        tracer.record_span("late", 1.0, 1.5,
+                           ctx={"trace": "cafe", "span": 9}, queued=4)
+        tracer.instant("mark")
+        late = next(s for s in tracer.spans() if s.name == "late")
+        mark = next(s for s in tracer.spans() if s.name == "mark")
+        assert (late.trace, late.parent) == ("cafe", 9)
+        assert late.ts_us == 1_000_000 and late.dur_us == 500_000
+        assert late.args == {"queued": 4}
+        assert mark.dur_us == 0
+
+    def test_tracing_force_enables_and_restores(self):
+        t = Tracer()
+        with t.tracing({"trace": "feed", "span": None}):
+            assert t.enabled
+            with t.span("forced"):
+                pass
+        assert not t.enabled
+        (span,) = t.spans()
+        assert span.trace == "feed" and span.parent is None
+
+    def test_ring_capacity_bounds_each_thread(self):
+        t = Tracer(capacity=8)
+        t.enable()
+        for i in range(20):
+            with t.span("s%d" % i):
+                pass
+        spans = t.spans()
+        assert len(spans) == 8
+        assert spans[-1].name == "s19"  # newest survive, oldest evicted
+
+    def test_span_ids_embed_the_pid(self, tracer):
+        """Cross-process uniqueness: ids carry the pid above the
+        counter bits, so a stitched trace's parent links never collide
+        between the front-end and a worker (both count from 1)."""
+        import os
+
+        with tracer.span("a") as a:
+            pass
+        assert a.span >> 40 == os.getpid() & 0x3FFFFF
+        assert a.span < 1 << 53  # stays exact through JSON float64
+
+    def test_clear_and_trace_filter(self, tracer):
+        with tracer.span("keep") as keep:
+            pass
+        with tracer.span("other"):
+            pass
+        assert [s.name for s in tracer.spans(keep.trace)] == ["keep"]
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+# ----------------------------------------------------------------------
+# Step profiler
+# ----------------------------------------------------------------------
+
+class TestStepProfiler:
+    def test_record_and_snapshot_math(self):
+        prof = StepProfiler()
+        for seconds in (0.010, 0.030, 0.020):
+            prof.record("m", "lut_gemm:fc1", seconds)
+        prof.record("m", "relu", 0.001)
+        snap = prof.snapshot()
+        row = snap["m"]["lut_gemm:fc1"]
+        assert row["calls"] == 3
+        assert row["total_ms"] == pytest.approx(60.0)
+        assert row["mean_ms"] == pytest.approx(20.0)
+        assert row["min_ms"] == pytest.approx(10.0)
+        assert row["max_ms"] == pytest.approx(30.0)
+        assert snap["m"]["relu"]["calls"] == 1
+
+    def test_merge_adds_calls_and_extremises(self):
+        a, b = StepProfiler(), StepProfiler()
+        a.record("m", "k", 0.010)
+        b.record("m", "k", 0.030)
+        b.record("m", "only_b", 0.005)
+        merged = StepProfiler.merge([a.snapshot(), b.snapshot(), None])
+        row = merged["m"]["k"]
+        assert row["calls"] == 2
+        assert row["mean_ms"] == pytest.approx(20.0)
+        assert row["min_ms"] == pytest.approx(10.0)
+        assert row["max_ms"] == pytest.approx(30.0)
+        assert "only_b" in merged["m"]
+
+    def test_step_labels_name_lut_modules(self, mlp_plan):
+        labels = [step_label(mlp_plan, step) for step in mlp_plan.steps]
+        lut = [lab for lab in labels if lab.startswith("lut_gemm:")]
+        assert len(lut) == len(mlp_plan.layers)
+        for layer in mlp_plan.layers:
+            assert "lut_gemm:%s" % layer["name"] in lut
+
+    def test_profiled_execution_is_bit_identical(self, mlp_plan, rng):
+        batch = rng.normal(size=(5, 16))
+        plain = execute_plan(mlp_plan, batch)
+        prof = StepProfiler()
+        profiled = execute_plan(mlp_plan, batch, profiler=prof)
+        np.testing.assert_array_equal(plain, profiled)
+        rows = prof.snapshot()["mlp"]
+        for layer in mlp_plan.layers:
+            assert rows["lut_gemm:%s" % layer["name"]]["calls"] == 1
+
+    def test_versus_predicted_lines_up_modules(self, mlp_plan):
+        prof = StepProfiler()
+        execute_plan(mlp_plan, np.zeros((4, 16)), profiler=prof)
+        predictor = CyclePredictor(mlp_plan)
+        rows = prof.versus_predicted(mlp_plan, predictor, batch_size=4)
+        assert {r["module"] for r in rows} == \
+            {layer["name"] for layer in mlp_plan.layers}
+        for row in rows:
+            assert row["predicted_cycles"] > 0
+            assert row["predicted_ms"] > 0
+            assert row["measured_mean_ms"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Token telemetry
+# ----------------------------------------------------------------------
+
+class TestTokenTelemetry:
+    def test_ttft_and_itl_math_on_a_fake_clock(self):
+        tel = TokenTelemetry()
+        now = [100.0]
+        tel.clock = lambda: now[0]
+        tel.open(0)
+        now[0] = 100.25
+        tel.token(0)  # TTFT = 250ms
+        now[0] = 100.35
+        tel.token(0)  # ITL 100ms
+        now[0] = 100.55
+        tel.token(0)  # ITL 200ms
+        tel.close(0)
+        snap = tel.snapshot()
+        assert snap["sessions"] == 1 and snap["tokens"] == 3
+        assert snap["active_sessions"] == 0
+        assert snap["ttft_ms"]["p50_ms"] == pytest.approx(250.0)
+        assert snap["itl_ms"]["count"] == 2
+        assert snap["itl_ms"]["mean_ms"] == pytest.approx(150.0)
+        assert snap["itl_ms"]["max_ms"] == pytest.approx(200.0)
+
+    def test_opened_at_backdates_ttft(self):
+        tel = TokenTelemetry()
+        now = [50.0]
+        tel.clock = lambda: now[0]
+        tel.open(1, opened_at=49.0)  # queued for 1s before admission
+        now[0] = 50.5
+        tel.token(1)
+        assert tel.snapshot()["ttft_ms"]["p50_ms"] == pytest.approx(1500.0)
+
+    def test_session_snapshot_live_then_closed(self):
+        tel = TokenTelemetry()
+        now = [0.0]
+        tel.clock = lambda: now[0]
+        tel.open(7)
+        now[0] = 0.1
+        tel.token(7)
+        live = tel.session_snapshot(7)
+        assert live["done"] is False
+        assert live["ttft_ms"] == pytest.approx(100.0)
+        tel.close(7)
+        final = tel.session_snapshot(7)
+        assert final["done"] is True
+        assert final["tokens"] == 1
+        assert tel.session_snapshot(999) is None
+
+    def test_close_is_idempotent_and_drop_safe(self):
+        tel = TokenTelemetry()
+        tel.close(42)  # never opened: ignored
+        tel.open(1)
+        tel.close(1)
+        tel.close(1)
+        assert tel.snapshot()["sessions"] == 1
+
+    def test_merge_weights_percentiles_by_token_count(self):
+        a, b = TokenTelemetry(), TokenTelemetry()
+        for tel, sid, ttft in ((a, 0, 0.1), (b, 1, 0.3)):
+            now = [0.0]
+            tel.clock = lambda now=now: now[0]
+            tel.open(sid)
+            now[0] = ttft
+            tel.token(sid)
+            tel.close(sid)
+        # b saw 3x the tokens: its percentiles weigh 3x in the merge.
+        b._tokens = 3
+        merged = TokenTelemetry.merge([a.snapshot(), b.snapshot(), None])
+        assert merged["sessions"] == 2 and merged["tokens"] == 4
+        assert merged["ttft_ms"]["count"] == 2
+        assert merged["ttft_ms"]["max_ms"] == pytest.approx(300.0)
+
+    def test_latency_stats_empty(self):
+        empty = latency_stats([])
+        assert empty == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                         "p99_ms": 0.0, "max_ms": 0.0}
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+class TestExport:
+    def _spans(self, tracer):
+        with tracer.span("request", cat="net", model="m"):
+            with tracer.span("engine", cat="engine"):
+                pass
+        return tracer.spans()
+
+    def test_chrome_trace_schema(self, tracer):
+        spans = self._spans(tracer)
+        doc = to_chrome_trace(spans, process_names={spans[0].pid: "front"})
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 2
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+            assert event["args"]["trace"] == spans[0].trace
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "front"
+        json.dumps(doc)  # the document is pure JSON
+
+    def test_round_trip_preserves_span_identity(self, tracer):
+        spans = self._spans(tracer)
+        recovered = from_chrome_trace(json.dumps(to_chrome_trace(spans)))
+        assert recovered == [s.to_dict() for s in spans]
+
+    def test_save_chrome_trace_loads_back(self, tracer, tmp_path):
+        spans = self._spans(tracer)
+        path = save_chrome_trace(tmp_path / "trace.json", spans)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert from_chrome_trace(doc) == [s.to_dict() for s in spans]
+
+    def test_span_tree_indents_children(self, tracer):
+        spans = self._spans(tracer)
+        text = span_tree(spans)
+        lines = text.splitlines()
+        assert lines[0] == "trace %s" % spans[0].trace
+        assert lines[1].startswith("  request")
+        assert lines[2].startswith("    engine")
+        assert "model=m" in lines[1]
+
+    def test_orphan_parents_surface_as_roots(self):
+        orphan = {"trace": "t", "span": 5, "parent": 99, "name": "lost",
+                  "cat": "obs", "ts_us": 0, "dur_us": 1, "pid": 1, "tid": 1,
+                  "args": {}}
+        assert "lost" in span_tree([orphan])
+
+
+# ----------------------------------------------------------------------
+# Serving integration: batcher trace capture + LUTServer profiling
+# ----------------------------------------------------------------------
+
+class TestServingIntegration:
+    def test_batcher_rejoins_submitter_trace(self, lut_mlp, rng):
+        """A request submitted under an active trace gets a
+        ``batcher.request`` span on that trace even though the batch
+        resolves on a worker thread with no context of its own."""
+        config = ServingConfig(max_batch_size=4, max_wait_ms=1.0, workers=2)
+        TRACE.enable()
+        try:
+            with LUTServer(lut_mlp, (16,), config=config,
+                           annotate_cycles=False) as server:
+                with TRACE.span("client", cat="test") as root:
+                    server.infer(rng.normal(size=16))
+            spans = TRACE.spans(root.trace)
+        finally:
+            TRACE.disable()
+            TRACE.clear()
+        names = [s.name for s in spans]
+        assert "batcher.request" in names
+        request = next(s for s in spans if s.name == "batcher.request")
+        assert request.parent == root.span
+        assert request.args["batch_size"] >= 1
+        assert request.args["queue_wait_ms"] >= 0
+
+    def test_server_profiling_toggles_live(self, lut_mlp, rng):
+        config = ServingConfig(max_batch_size=4, max_wait_ms=1.0, workers=1)
+        with LUTServer(lut_mlp, (16,), config=config) as server:
+            assert server.profile() == {}
+            server.infer(rng.normal(size=16))
+            assert server.profile() == {}  # still off
+            server.enable_profiling()
+            server.infer_many(rng.normal(size=(6, 16)))
+            profile = server.profile()
+            assert any(label.startswith("lut_gemm:") for label in profile)
+            rows = server.profile_versus_predicted(batch_size=4)
+            assert rows and all(r["predicted_cycles"] > 0 for r in rows)
+            server.disable_profiling()
+            assert server.profile() == {}
+
+
+# ----------------------------------------------------------------------
+# CyclePredictor cache-vs-plan-identity (the reset() regression)
+# ----------------------------------------------------------------------
+
+class TestCyclePredictorPlanSwap:
+    def test_metrics_reset_keeps_the_memo_cache(self, mlp_plan):
+        predictor = CyclePredictor(mlp_plan)
+        metrics = ServingMetrics(predictor)
+        cycles = predictor.cycles(4)
+        assert predictor._cache == {4: cycles}
+        metrics.record_batch(4, 0.01, [0.01] * 4)
+        metrics.reset()
+        # Benchmarks reset metrics every trial; re-simulating every
+        # cached batch size each time would dwarf the measurement.
+        assert predictor._cache == {4: cycles}
+        assert predictor.cycles(4) == cycles
+
+    def test_plan_swap_invalidates_the_cache(self, lut_mlp, mlp_plan, rng):
+        bigger = mlp(16, hidden=64, num_classes=4)
+        convert_model(bigger, ConversionPolicy(v=4, c=8))
+        calibrate_model(bigger, rng.normal(size=(40, 16)))
+        swapped = compile_model(bigger, (16,), precision="fp64", name="mlp2")
+
+        predictor = CyclePredictor(mlp_plan)
+        before = predictor.cycles(2)
+        predictor.plan = swapped
+        assert predictor._cache == {}  # stale memos died with the old plan
+        after = predictor.cycles(2)
+        assert after != before  # a wider hidden layer costs more cycles
+        assert predictor.plan is swapped
+
+    def test_explicit_clear(self, mlp_plan):
+        predictor = CyclePredictor(mlp_plan)
+        predictor.cycles(1)
+        predictor.clear()
+        assert predictor._cache == {}

@@ -1,0 +1,240 @@
+"""Cluster-wide observability over the full distributed path.
+
+The acceptance trace: a single trace id minted client-side follows one
+TCP ``generate`` request through the front-end, the router's placement
+decision, the pinned worker's prefill and at least two decode ticks —
+and the stitched span list round-trips through the Chrome trace-event
+exporter. Alongside it: ``op: stats`` (merged per-step profiles + token
+telemetry), per-shard ``MetricsWindow`` rows in ``op: metrics``, and the
+per-session TTFT/ITL numbers riding the stream's ``done`` frame.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    GenModelSpec,
+    ModelSpec,
+)
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models.mlp import mlp
+from repro.obs import from_chrome_trace, new_trace_id, span_tree, to_chrome_trace
+
+pytestmark = pytest.mark.slow
+
+MAX_NEW = 6
+
+
+@pytest.fixture(scope="module")
+def cluster(gen_model):
+    rng = np.random.default_rng(21)
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    config = ClusterConfig(workers=2, max_batch_size=8, max_wait_ms=1.0,
+                           precision="fp64")
+    cluster = ClusterServer(
+        {"mlp": ModelSpec(model, (16,)),
+         "gpt_nano": GenModelSpec(gen_model, buckets=(8, 16, 32))},
+        config)
+    yield cluster
+    cluster.shutdown(drain=False, timeout=15.0)
+
+
+@pytest.fixture(scope="module")
+def tcp(cluster):
+    with ClusterTCPServer(cluster) as server:
+        yield server
+
+
+@pytest.fixture
+def client(tcp):
+    host, port = tcp.address
+    with ClusterClient(host, port) as client:
+        yield client
+
+
+def _traced_generation(client, seed=31):
+    """One traced TCP generation; returns (trace id, tokens, spans)."""
+    rng = np.random.default_rng(seed)
+    prompt = rng.integers(0, 64, size=7)
+    tid = new_trace_id()
+    tokens = list(client.generate("gpt_nano", prompt, MAX_NEW, trace=tid))
+    return tid, tokens, client.trace(tid)
+
+
+class TestEndToEndTrace:
+    def test_one_trace_id_stitches_every_layer(self, client):
+        tid, tokens, spans = _traced_generation(client)
+        assert len(tokens) == MAX_NEW
+        assert spans, "traced request recorded no spans"
+        assert {s["trace"] for s in spans} == {tid}
+
+        names = [s["name"] for s in spans]
+        # Front-end, router and worker all contributed to the one trace.
+        assert "tcp.generate" in names
+        assert "router.pick" in names
+        assert "shard.rpc" in names
+        assert "gen.prefill" in names
+        # MAX_NEW tokens need MAX_NEW - 1 decode ticks after prefill.
+        assert names.count("decode.tick") >= 2
+        # ...and they genuinely span processes: the front-end's pid plus
+        # the pinned worker's.
+        assert len({s["pid"] for s in spans}) >= 2
+        # Span ids stay unique across processes (the pid rides in the
+        # id), so parent links in the stitched list are unambiguous.
+        assert len({s["span"] for s in spans}) == len(spans)
+
+    def test_trace_is_isolated_and_ordered(self, client):
+        first, _, first_spans = _traced_generation(client, seed=41)
+        second, _, second_spans = _traced_generation(client, seed=42)
+        assert first != second
+        assert {s["trace"] for s in first_spans} == {first}
+        assert {s["trace"] for s in second_spans} == {second}
+        starts = [s["ts_us"] for s in second_spans]
+        assert starts == sorted(starts)  # stitched list is time-ordered
+
+    def test_worker_spans_parent_under_the_rpc(self, client):
+        _, _, spans = _traced_generation(client, seed=43)
+        by_id = {s["span"]: s for s in spans}
+        prefill = next(s for s in spans if s["name"] == "gen.prefill")
+        assert by_id[prefill["parent"]]["name"] == "shard.rpc"
+        for tick in (s for s in spans if s["name"] == "decode.tick"):
+            assert by_id[tick["parent"]]["name"] == "shard.rpc"
+
+    def test_untraced_requests_record_nothing(self, cluster, client):
+        rng = np.random.default_rng(44)
+        before = len(cluster.trace_spans())
+        assert len(list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=5), 3))) == 3
+        client.infer("mlp", rng.normal(size=16))
+        assert len(cluster.trace_spans()) == before
+
+
+class TestChromeExport:
+    def test_wire_spans_round_trip_through_chrome_json(self, client,
+                                                       tmp_path):
+        tid, _, spans = _traced_generation(client, seed=51)
+        doc = to_chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        text = json.dumps(doc)  # JSON-clean straight off the wire
+        recovered = from_chrome_trace(text)
+        assert recovered == spans
+
+        path = tmp_path / "generate.trace.json"
+        with open(path, "w") as fh:
+            fh.write(text)
+        with open(path) as fh:
+            assert from_chrome_trace(json.load(fh)) == spans
+
+    def test_span_tree_renders_the_stitched_trace(self, client):
+        tid, _, spans = _traced_generation(client, seed=52)
+        text = span_tree(spans)
+        assert text.startswith("trace %s" % tid)
+        for name in ("tcp.generate", "gen.prefill", "decode.tick"):
+            assert name in text
+
+
+class TestStatsAndMetrics:
+    def test_metrics_carries_per_shard_windows(self, cluster, client):
+        rng = np.random.default_rng(61)
+        client.infer_many("mlp", rng.normal(size=(12, 16)))
+        summary = client.metrics()
+        rows = summary["models"]["mlp"]["per_shard"]
+        assert [row["shard"] for row in rows] == [0, 1]
+        for row in rows:
+            assert {"requests", "batches", "requests_per_s"} <= set(row)
+        assert sum(row["requests"] for row in rows) >= 12
+        # The shard-level rows still mix all models' traffic together.
+        assert {s["index"] for s in summary["shards"]} == {0, 1}
+
+    def test_stats_merges_profiler_and_telemetry(self, cluster, client):
+        assert client.set_obs(profiling=True)["profiling"] == 2
+        try:
+            rng = np.random.default_rng(62)
+            client.infer_many("mlp", rng.normal(size=(6, 16)))
+            assert len(list(client.generate(
+                "gpt_nano", rng.integers(0, 64, size=9), MAX_NEW))) == MAX_NEW
+            stats = client.stats()
+        finally:
+            client.set_obs(profiling=False)
+
+        assert len(stats["shards"]) == 2
+        for row in stats["shards"]:
+            assert row["alive"] and "worker" in row
+
+        profiler = stats["profiler"]
+        assert any(label.startswith("lut_gemm:")
+                   for label in profiler["mlp"])
+        decode = profiler["gpt_nano@decode"]
+        for label in ("kv_append", "cached_attention", "sampling",
+                      "kv_stack"):
+            assert decode[label]["calls"] >= MAX_NEW - 1
+            assert decode[label]["total_ms"] >= 0.0
+        assert any(key.startswith("gpt_nano@prefill") for key in profiler)
+
+        telemetry = stats["telemetry"]["gpt_nano"]
+        assert telemetry["sessions"] >= 1
+        assert telemetry["ttft_ms"]["count"] >= 1
+        assert telemetry["ttft_ms"]["p50_ms"] > 0
+        assert telemetry["itl_ms"]["count"] >= MAX_NEW - 1
+        assert telemetry["itl_ms"]["p99_ms"] >= telemetry["itl_ms"]["p50_ms"]
+
+    def test_profiling_is_off_after_disable(self, client, rng):
+        # The previous test's finally turned profiling back off: new
+        # traffic must accumulate nothing.
+        client.infer("mlp", rng.normal(size=16))
+        assert client.stats()["profiler"] == {}
+        # The toggle reports how many workers acknowledged it.
+        assert client.set_obs(profiling=False)["profiling"] == 2
+
+    def test_done_frame_carries_session_telemetry(self, cluster, client):
+        rng = np.random.default_rng(63)
+        assert client.last_telemetry is None
+        tokens = list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=11), MAX_NEW))
+        session = client.last_telemetry
+        assert session is not None and session["done"] is True
+        assert session["tokens"] == len(tokens) == MAX_NEW
+        assert session["ttft_ms"] > 0
+        assert session["itl_ms"]["count"] == MAX_NEW - 1
+
+    def test_in_process_stream_telemetry(self, cluster):
+        rng = np.random.default_rng(64)
+        stream = cluster.generate("gpt_nano", rng.integers(0, 64, size=5),
+                                  MAX_NEW)
+        tokens = stream.result(120)
+        assert len(tokens) == MAX_NEW
+        session = stream.telemetry
+        assert session is not None and session["done"] is True
+        assert session["tokens"] == MAX_NEW
+
+
+class TestObsToggleOverTCP:
+    def test_front_end_tracing_toggle(self, cluster, client):
+        """``op: obs {tracing: true}`` flips the front-end's global
+        switch: even *untraced* requests record spans until it is turned
+        back off."""
+        rng = np.random.default_rng(71)
+        reply = client.set_obs(tracing=True)
+        assert reply["tracing"] is True
+        try:
+            client.infer("mlp", rng.normal(size=16))
+            spans = cluster.trace_spans()
+            assert any(s["name"] == "tcp.infer" for s in spans)
+            assert any(s["name"] == "router.pick" for s in spans)
+        finally:
+            assert client.set_obs(tracing=False)["tracing"] is False
+        before = len(cluster.trace_spans())
+        client.infer("mlp", rng.normal(size=16))
+        assert len(cluster.trace_spans()) == before
