@@ -1,0 +1,92 @@
+"""Append one trajectory record to ``BENCH_history.jsonl``.
+
+``BENCH_serving.json`` is regenerated from scratch on every bench run,
+so the uploaded artifact only ever shows the *current* numbers — the
+throughput trajectory across commits was reconstructable only by
+downloading every historical artifact by hand. This script distils the
+fresh artifact into a one-line record::
+
+    {"commit": ..., "date": ..., "decode_toks": ..., "prefill_toks": ...,
+     "reqs": ...}
+
+and appends it to ``BENCH_history.jsonl`` (committed seed + uploaded as
+its own CI artifact), keeping the whole trajectory greppable in one
+file. Appending is idempotent per commit: re-running the bench job for
+the same SHA replaces that commit's record instead of duplicating it.
+
+Usage (what the bench job runs)::
+
+    python benchmarks/append_history.py \
+        --fresh BENCH_serving.json --history BENCH_history.jsonl
+"""
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+
+def current_commit():
+    """Commit under test: ``$GITHUB_SHA`` in CI, ``git rev-parse`` locally."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short=12", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def history_record(bench, commit, date):
+    """Distil one serving artifact into the trajectory's line format."""
+    generation = bench.get("generation", {})
+    prefill = generation.get("prefill", ())
+    rows = bench.get("batch_sweep", {}).get("rows", ())
+    return {
+        "commit": commit,
+        "date": date,
+        "decode_toks": generation.get("decode", {}).get("tokens_per_s"),
+        "prefill_toks": (max(float(r["prompt_tokens_per_s"]) for r in prefill)
+                         if prefill else None),
+        "reqs": (max(float(r["req_per_s"]) for r in rows) if rows else None),
+    }
+
+
+def append(history_path, record):
+    """Append ``record``, replacing any earlier line for the same commit."""
+    path = pathlib.Path(history_path)
+    lines = []
+    if path.exists():
+        lines = [json.loads(line) for line in path.read_text().splitlines()
+                 if line.strip()]
+    lines = [line for line in lines if line.get("commit") != record["commit"]]
+    lines.append(record)
+    path.write_text("".join(json.dumps(line, sort_keys=True) + "\n"
+                            for line in lines))
+    return len(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="BENCH_serving.json",
+                        help="freshly generated serving artifact")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="trajectory file to append to")
+    args = parser.parse_args(argv)
+
+    bench = json.loads(pathlib.Path(args.fresh).read_text())
+    date = datetime.datetime.now(datetime.timezone.utc).date().isoformat()
+    record = history_record(bench, current_commit(), date)
+    total = append(args.history, record)
+    print("appended %s -> %s (%d records)"
+          % (json.dumps(record, sort_keys=True), args.history, total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""CI perf-regression gate: fresh BENCH_serving.json vs BENCH_baseline.json.
+
+CI has always uploaded ``BENCH_serving.json`` per commit, but never
+compared it to anything — a decode-throughput regression (or a fusion
+win) was invisible unless someone diffed artifacts by hand. This script
+is the bench job's last step: it loads the freshly generated artifact,
+diffs the gated metrics against the committed ``BENCH_baseline.json``,
+prints a markdown delta table (appended to ``$GITHUB_STEP_SUMMARY`` when
+set, so the comparison shows on the run page), and exits non-zero when
+
+- any throughput metric (decode/prefill tokens/s, serving and cluster
+  req/s) drops more than ``--threshold`` (default 20%) below baseline,
+- a baseline metric disappears from the fresh artifact (a benchmark
+  silently stopped reporting), or
+- the disabled-tracing cost exceeds the absolute 5% budget (the same
+  gate ``test_tracing_overhead_gate`` asserts, re-checked here so the
+  artifact and the gate can never disagree).
+
+Metrics present only in the fresh artifact are reported as ``new`` and
+pass — that is how a PR introduces a metric before its baseline exists.
+Refresh the baseline *intentionally* by copying the fresh artifact over
+``BENCH_baseline.json`` in the PR that moves the numbers.
+
+Usage (what the bench job runs)::
+
+    python benchmarks/check_regression.py \
+        --fresh BENCH_serving.json --baseline BENCH_baseline.json
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+# Throughput may drop this fraction below baseline before the gate
+# fails. Generous on purpose: shared CI runners jitter, and the gate
+# must only catch real regressions, not noisy neighbours.
+THRESHOLD = 0.20
+
+# Absolute ceiling on the disabled-tracing cost fraction, matching the
+# acceptance gate in benchmarks/test_observability.py.
+TRACING_GATE = 0.05
+
+
+def extract_metrics(bench):
+    """Flatten the gated throughput metrics out of a serving artifact.
+
+    Every metric is higher-is-better; the tracing-cost gate is handled
+    separately because it is an absolute budget, not a baseline diff.
+    """
+    metrics = {}
+    generation = bench.get("generation", {})
+    decode = generation.get("decode", {})
+    if "tokens_per_s" in decode:
+        metrics["generation.decode.tok_per_s"] = float(decode["tokens_per_s"])
+    if "unrecorded_tokens_per_s" in decode:
+        metrics["generation.decode.unrecorded_tok_per_s"] = \
+            float(decode["unrecorded_tokens_per_s"])
+    for row in generation.get("prefill", ()):
+        metrics["generation.prefill[%s].tok_per_s" % row["bucket"]] = \
+            float(row["prompt_tokens_per_s"])
+    for section in ("batch_sweep", "cluster_scaling"):
+        rows = bench.get(section, {}).get("rows", ())
+        if rows:
+            metrics["%s.best_req_per_s" % section] = \
+                max(float(row["req_per_s"]) for row in rows)
+    return metrics
+
+
+def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE):
+    """Diff two serving artifacts; returns ``(rows, failures)``.
+
+    ``rows`` drive the markdown table; ``failures`` is a list of human
+    readable reasons (empty means the gate passes).
+    """
+    fresh_metrics = extract_metrics(fresh)
+    base_metrics = extract_metrics(baseline)
+    rows, failures = [], []
+    for name in sorted(set(fresh_metrics) | set(base_metrics)):
+        base = base_metrics.get(name)
+        current = fresh_metrics.get(name)
+        if current is None:
+            rows.append({"metric": name, "baseline": base, "current": None,
+                         "delta": None, "status": "missing"})
+            failures.append("%s: present in baseline but absent from the "
+                            "fresh artifact" % name)
+        elif base is None:
+            rows.append({"metric": name, "baseline": None, "current": current,
+                         "delta": None, "status": "new"})
+        else:
+            delta = (current - base) / base
+            ok = delta >= -threshold
+            rows.append({"metric": name, "baseline": base, "current": current,
+                         "delta": delta, "status": "ok" if ok else "FAIL"})
+            if not ok:
+                failures.append("%s: %.1f -> %.1f (%+.1f%%, limit -%.0f%%)"
+                                % (name, base, current, delta * 100.0,
+                                   threshold * 100.0))
+
+    fraction = fresh.get("observability", {}) \
+                    .get("tracing_overhead", {}) \
+                    .get("disabled_overhead_fraction")
+    if fraction is not None:
+        base_fraction = baseline.get("observability", {}) \
+                                .get("tracing_overhead", {}) \
+                                .get("disabled_overhead_fraction")
+        ok = fraction <= tracing_gate
+        rows.append({"metric": "observability.disabled_tracing_fraction",
+                     "baseline": base_fraction, "current": fraction,
+                     "delta": None, "status": "ok" if ok else "FAIL"})
+        if not ok:
+            failures.append("disabled-tracing cost %.2f%% exceeds the "
+                            "%.0f%% budget"
+                            % (fraction * 100.0, tracing_gate * 100.0))
+    return rows, failures
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if abs(value) < 1.0:
+        return "%.4f" % value
+    return "%.1f" % value
+
+
+def markdown_table(rows, failures):
+    lines = ["## Perf regression gate", "",
+             "| metric | baseline | current | delta | status |",
+             "|---|---:|---:|---:|---|"]
+    for row in rows:
+        delta = ("%+.1f%%" % (row["delta"] * 100.0)
+                 if row["delta"] is not None else "-")
+        lines.append("| %s | %s | %s | %s | %s |"
+                     % (row["metric"], _fmt(row["baseline"]),
+                        _fmt(row["current"]), delta, row["status"]))
+    lines.append("")
+    if failures:
+        lines.append("**GATE FAILED**")
+        lines.extend("- %s" % reason for reason in failures)
+    else:
+        lines.append("Gate passed: no metric dropped more than the "
+                     "threshold, tracing budget respected.")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="BENCH_serving.json",
+                        help="freshly generated serving artifact")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="committed baseline artifact")
+    parser.add_argument("--threshold", type=float, default=THRESHOLD,
+                        help="max allowed fractional drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(pathlib.Path(args.fresh).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    rows, failures = compare(fresh, baseline, threshold=args.threshold)
+    report = markdown_table(rows, failures)
+    print(report)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

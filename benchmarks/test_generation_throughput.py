@@ -9,7 +9,10 @@ separately because their economics differ:
   scores every prompt position (tokens/s counts prompt tokens);
 - **decode** pays one engine pass per generated token, amortised only
   across the sequences sharing the continuous-batching tick (tokens/s
-  counts generated tokens, summed over concurrent sessions).
+  counts generated tokens, summed over concurrent sessions). Measured
+  both recorded (fused megastep replay, the serving default) and
+  unrecorded (interpreted per-step loop), with the speedup recorded so
+  the regression gate can watch it.
 
 Prefill must therefore sustain a (much) higher token rate than decode —
 asserted qualitatively. Results merge into ``BENCH_serving.json`` under
@@ -40,6 +43,7 @@ PREFILL_TRIALS = 5
 SESSIONS = 12
 MAX_NEW = 16
 PROMPT_LEN = 12
+DECODE_TRIALS = 3
 
 
 @pytest.fixture(scope="module")
@@ -72,16 +76,31 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
                              "prompt_tokens_per_s": best})
 
     # Decode rate: concurrent sessions sharing the continuous-batch tick.
-    with GeneratorServer(model, plan=plan,
-                         config=GenConfig(precision="fp32")) as server:
-        prompts = [rng.integers(0, 64, size=PROMPT_LEN)
-                   for _ in range(SESSIONS)]
-        start = time.perf_counter()
-        sessions = [server.generate(p, MAX_NEW) for p in prompts]
-        token_counts = [len(s.result(300)) for s in sessions]
-        elapsed = time.perf_counter() - start
-    generated = sum(token_counts)
-    decode_rate = generated / elapsed
+    # Measured twice — recorded (fused megastep replay over persistent KV
+    # stacks, the default) and unrecorded (interpreted per-step loop) —
+    # so the trajectory tracks both the product number and the win.
+    def run_decode(record):
+        # Best-of-N bursts, mirroring the prefill methodology: a shared
+        # single-core host jitters 20%+ between runs, and the regression
+        # gate needs the repeatable (best-case) rate, not one draw.
+        with GeneratorServer(model, plan=plan,
+                             config=GenConfig(precision="fp32",
+                                              record=record)) as server:
+            prompts = [rng.integers(0, 64, size=PROMPT_LEN)
+                       for _ in range(SESSIONS)]
+            generated, best = 0, 0.0
+            for _ in range(DECODE_TRIALS):
+                start = time.perf_counter()
+                sessions = [server.generate(p, MAX_NEW) for p in prompts]
+                token_counts = [len(s.result(300)) for s in sessions]
+                elapsed = time.perf_counter() - start
+                generated = sum(token_counts)
+                best = max(best, generated / elapsed)
+        return generated, best
+
+    unrecorded_generated, unrecorded_rate = run_decode(record=False)
+    generated, decode_rate = run_decode(record=True)
+    recorded_speedup = decode_rate / unrecorded_rate
 
     # Plan memory: the shared block table means one codebook/LUT copy
     # per model rather than one per bucket (plus decode) — tracked per
@@ -89,10 +108,17 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
     shared_bytes = plan.storage_bytes()
     unshared_bytes = plan.unshared_storage_bytes()
 
-    rows = prefill_rows + [{"bucket": "decode (%d sessions)" % SESSIONS,
-                            "prompt_tokens_per_s": decode_rate}]
+    rows = prefill_rows + [
+        {"bucket": "decode (%d sessions, recorded)" % SESSIONS,
+         "prompt_tokens_per_s": decode_rate},
+        {"bucket": "decode (%d sessions, unrecorded)" % SESSIONS,
+         "prompt_tokens_per_s": unrecorded_rate},
+    ]
     emit("Generation throughput (gpt_nano, fp32 plans)",
          format_table(rows, floatfmt="%.4g"))
+    emit("Recorded decode speedup",
+         "%.0f tok/s recorded vs %.0f tok/s interpreted (%.2fx)"
+         % (decode_rate, unrecorded_rate, recorded_speedup))
     emit("Generation plan memory (gpt_nano, %d buckets)" % len(BUCKETS),
          "shared table: %.1f KiB; per-bucket copies would be %.1f KiB "
          "(%.2fx)" % (shared_bytes / 1024.0, unshared_bytes / 1024.0,
@@ -106,6 +132,8 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
             "prompt_len": PROMPT_LEN,
             "generated_tokens": generated,
             "tokens_per_s": decode_rate,
+            "unrecorded_tokens_per_s": unrecorded_rate,
+            "recorded_speedup": recorded_speedup,
         },
         "gen_plan_bytes": {
             "buckets": list(BUCKETS),
@@ -116,6 +144,7 @@ def test_prefill_vs_decode_tokens_per_second(gen_setup):
     })
 
     assert generated == SESSIONS * MAX_NEW
+    assert unrecorded_generated == SESSIONS * MAX_NEW
     assert decode_rate > 0
     # The shared block table is the acceptance floor of the memory work:
     # three buckets + decode must shrink >= 2.5x vs per-plan copies.

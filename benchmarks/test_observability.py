@@ -12,9 +12,12 @@ Three records merged into the ``observability`` section of
    of *enabled* tracing is tracked per commit too.
 2. **Decode step breakdown** — per-step-kind measured milliseconds for
    gpt_nano decode ticks (``kv_append``, ``cached_attention``,
-   ``sampling``, ``kv_stack``, per-module ``lut_gemm``), the numbers the
-   recorded-decode-loop work on the ROADMAP aims to shrink, plus the
-   TTFT/ITL percentiles from the same run.
+   ``sampling``, ``kv_bind``, per-module ``lut_gemm``). Recorded decode
+   runs the fused megastep's inner kernels interpreted under the
+   profiler so these rows still line up with ``versus_predicted()``;
+   the per-tick ``kv_stack`` copy of the old loop is gone, replaced by
+   a per-batch-composition ``kv_bind``. TTFT/ITL percentiles ride
+   along from the same run.
 3. **Chrome trace sample** — one traced TCP generation through a
    2-worker cluster, exported with :func:`save_chrome_trace`; CI uploads
    the file (``BENCH_TRACE_JSON``, default ``BENCH_trace_sample.json``)
@@ -200,7 +203,9 @@ def test_decode_step_breakdown(gen_setup):
     record_serving_bench("observability", PAYLOAD)
 
     assert generated == SESSIONS * MAX_NEW
-    for label in ("kv_append", "cached_attention", "sampling", "kv_stack"):
+    # Recorded decode replaces the per-tick "kv_stack" copy with a
+    # per-composition "kv_bind" of the persistent stacks.
+    for label in ("kv_append", "cached_attention", "sampling", "kv_bind"):
         assert decode[label]["calls"] > 0, label
     assert any(label.startswith("lut_gemm:") for label in decode)
     assert telemetry["ttft_ms"]["count"] == SESSIONS

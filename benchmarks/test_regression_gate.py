@@ -1,0 +1,196 @@
+"""Unit tests for the CI perf-regression gate and the trajectory log.
+
+These run in the smoke tier (no benchmarks executed — the gate logic is
+pure dict-diffing), so a broken ``check_regression.py`` fails every PR
+immediately rather than only surfacing when the bench job's last step
+crashes. The committed ``BENCH_baseline.json`` and seeded
+``BENCH_history.jsonl`` are validated here too: the baseline must carry
+every gated metric, and the gate must pass when the fresh artifact *is*
+the baseline (otherwise the refreshed baseline in this PR would fail
+its own build).
+"""
+
+import json
+import pathlib
+
+import append_history
+import check_regression
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_baseline.json"
+HISTORY = ROOT / "BENCH_history.jsonl"
+
+
+def _artifact(decode=5000.0, prefill=35000.0, reqs=4000.0, cluster=3300.0,
+              tracing=0.02):
+    return {
+        "generation": {
+            "decode": {"tokens_per_s": decode,
+                       "unrecorded_tokens_per_s": decode / 1.25},
+            "prefill": [{"bucket": 8, "prompt_tokens_per_s": prefill}],
+        },
+        "batch_sweep": {"rows": [{"max_batch": 1, "req_per_s": reqs / 4},
+                                 {"max_batch": 64, "req_per_s": reqs}]},
+        "cluster_scaling": {"rows": [{"workers": 2, "req_per_s": cluster}]},
+        "observability": {
+            "tracing_overhead": {"disabled_overhead_fraction": tracing}},
+    }
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        rows, failures = check_regression.compare(_artifact(), _artifact())
+        assert failures == []
+        assert all(row["status"] == "ok" for row in rows)
+        # Every gated family is represented in the table.
+        metrics = {row["metric"] for row in rows}
+        assert "generation.decode.tok_per_s" in metrics
+        assert "generation.prefill[8].tok_per_s" in metrics
+        assert "batch_sweep.best_req_per_s" in metrics
+        assert "cluster_scaling.best_req_per_s" in metrics
+        assert "observability.disabled_tracing_fraction" in metrics
+
+    def test_small_drop_and_any_gain_pass(self):
+        fresh = _artifact(decode=5000.0 * 0.85, prefill=35000.0 * 2)
+        _, failures = check_regression.compare(fresh, _artifact())
+        assert failures == []
+
+    def test_large_decode_drop_fails(self):
+        # The helper derives the unrecorded rate from the recorded one,
+        # so a 30% decode drop fails both decode metrics — and only them.
+        fresh = _artifact(decode=5000.0 * 0.70)
+        rows, failures = check_regression.compare(fresh, _artifact())
+        assert len(failures) == 2
+        assert all("decode" in f for f in failures)
+        failed = sorted(r["metric"] for r in rows if r["status"] == "FAIL")
+        assert failed == ["generation.decode.tok_per_s",
+                          "generation.decode.unrecorded_tok_per_s"]
+
+    def test_serving_req_drop_fails(self):
+        fresh = _artifact(reqs=4000.0 * 0.5)
+        _, failures = check_regression.compare(fresh, _artifact())
+        assert any("batch_sweep.best_req_per_s" in f for f in failures)
+
+    def test_tracing_budget_is_absolute_not_relative(self):
+        # Baseline already over budget: the fresh artifact still fails —
+        # the 5% ceiling cannot be inherited away.
+        fresh = _artifact(tracing=0.08)
+        base = _artifact(tracing=0.09)
+        _, failures = check_regression.compare(fresh, base)
+        assert any("disabled-tracing" in f for f in failures)
+        _, failures = check_regression.compare(_artifact(tracing=0.049), base)
+        assert failures == []
+
+    def test_missing_metric_fails_but_new_metric_passes(self):
+        fresh = _artifact()
+        del fresh["cluster_scaling"]
+        rows, failures = check_regression.compare(fresh, _artifact())
+        assert any("cluster_scaling" in f for f in failures)
+        base = _artifact()
+        del base["cluster_scaling"]
+        rows, failures = check_regression.compare(_artifact(), base)
+        assert failures == []
+        status = {r["metric"]: r["status"] for r in rows}
+        assert status["cluster_scaling.best_req_per_s"] == "new"
+
+    def test_threshold_is_configurable(self):
+        fresh = _artifact(decode=5000.0 * 0.85)
+        _, failures = check_regression.compare(fresh, _artifact(),
+                                               threshold=0.10)
+        assert any("generation.decode.tok_per_s" in f for f in failures)
+
+
+class TestMainAndReport:
+    def test_markdown_table_shape(self):
+        rows, failures = check_regression.compare(
+            _artifact(decode=100.0), _artifact())
+        report = check_regression.markdown_table(rows, failures)
+        assert "| metric | baseline | current | delta | status |" in report
+        assert "GATE FAILED" in report
+        assert "generation.decode.tok_per_s" in report
+
+    def test_main_exit_codes_and_step_summary(self, tmp_path, monkeypatch):
+        fresh = tmp_path / "fresh.json"
+        base = tmp_path / "base.json"
+        summary = tmp_path / "summary.md"
+        base.write_text(json.dumps(_artifact()))
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+
+        fresh.write_text(json.dumps(_artifact()))
+        assert check_regression.main(["--fresh", str(fresh),
+                                      "--baseline", str(base)]) == 0
+        assert "Gate passed" in summary.read_text()
+
+        fresh.write_text(json.dumps(_artifact(decode=100.0)))
+        assert check_regression.main(["--fresh", str(fresh),
+                                      "--baseline", str(base)]) == 1
+        assert "GATE FAILED" in summary.read_text()
+
+
+class TestCommittedBaseline:
+    def test_baseline_carries_every_gated_metric(self):
+        baseline = json.loads(BASELINE.read_text())
+        metrics = check_regression.extract_metrics(baseline)
+        assert "generation.decode.tok_per_s" in metrics
+        assert "generation.decode.unrecorded_tok_per_s" in metrics
+        assert "batch_sweep.best_req_per_s" in metrics
+        assert "cluster_scaling.best_req_per_s" in metrics
+        assert any(m.startswith("generation.prefill[") for m in metrics)
+        fraction = baseline["observability"]["tracing_overhead"][
+            "disabled_overhead_fraction"]
+        assert fraction <= check_regression.TRACING_GATE
+
+    def test_baseline_passes_against_itself(self):
+        baseline = json.loads(BASELINE.read_text())
+        _, failures = check_regression.compare(baseline, baseline)
+        assert failures == []
+
+    def test_baseline_records_the_recorded_decode_win(self):
+        # The fusion PR's acceptance number, pinned into the baseline the
+        # gate now defends: recorded decode beats the interpreted loop.
+        decode = json.loads(BASELINE.read_text())["generation"]["decode"]
+        assert decode["recorded_speedup"] > 1.0
+        assert decode["tokens_per_s"] > decode["unrecorded_tokens_per_s"]
+
+
+class TestHistory:
+    def test_record_distils_the_artifact(self):
+        record = append_history.history_record(_artifact(), "abc123",
+                                               "2026-08-07")
+        assert record == {"commit": "abc123", "date": "2026-08-07",
+                          "decode_toks": 5000.0, "prefill_toks": 35000.0,
+                          "reqs": 4000.0}
+
+    def test_append_is_idempotent_per_commit(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        first = append_history.history_record(_artifact(), "aaa", "d1")
+        assert append_history.append(history, first) == 1
+        rerun = append_history.history_record(_artifact(decode=6000.0),
+                                              "aaa", "d1")
+        assert append_history.append(history, rerun) == 1
+        second = append_history.history_record(_artifact(), "bbb", "d2")
+        assert append_history.append(history, second) == 2
+        lines = [json.loads(line)
+                 for line in history.read_text().splitlines()]
+        assert [line["commit"] for line in lines] == ["aaa", "bbb"]
+        assert lines[0]["decode_toks"] == 6000.0
+
+    def test_main_appends_from_artifact(self, tmp_path, monkeypatch):
+        fresh = tmp_path / "fresh.json"
+        history = tmp_path / "h.jsonl"
+        fresh.write_text(json.dumps(_artifact()))
+        monkeypatch.setenv("GITHUB_SHA", "f" * 40)
+        assert append_history.main(["--fresh", str(fresh),
+                                    "--history", str(history)]) == 0
+        (line,) = history.read_text().splitlines()
+        record = json.loads(line)
+        assert record["commit"] == "f" * 12
+        assert record["decode_toks"] == 5000.0
+
+    def test_seeded_history_is_valid_jsonl(self):
+        lines = [json.loads(line)
+                 for line in HISTORY.read_text().splitlines()]
+        assert lines, "BENCH_history.jsonl must be seeded"
+        for record in lines:
+            assert set(record) == {"commit", "date", "decode_toks",
+                                   "prefill_toks", "reqs"}

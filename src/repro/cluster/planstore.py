@@ -79,6 +79,51 @@ def _decode_params(params, arrays):
     return out
 
 
+def _encode_step(step, table):
+    """One step → a picklable record; recursive for composite steps.
+
+    A composite megastep nests its fused inner steps under
+    ``params["steps"]`` — those are real :class:`KernelStep` objects
+    (shared by identity with the unfused plan, so the group table still
+    writes each operand once) and encode through the same path.
+    ``lut_gemm`` operand views are dropped at every depth: they are
+    rebuilt from the layer rows on load. The lazily compiled closure
+    lives on the step *object* (``step._compiled``), never in params, so
+    nothing non-picklable can reach the manifest.
+    """
+    params = dict(step.params)
+    if step.kind == "lut_gemm":
+        # Views into the packed blocks are rebuilt from the layer row
+        # on load; serialising them would defeat the shared packing.
+        params.pop("centroids", None)
+        params.pop("table", None)
+    elif step.kind == "composite":
+        params["steps"] = [_encode_step(inner, table)
+                           for inner in step.params["steps"]]
+    return {
+        "kind": step.kind,
+        "inputs": list(step.inputs),
+        "out": step.out,
+        "release": list(step.release),
+        "params": _encode_params(params, table),
+    }
+
+
+def _decode_step(record, arrays, centroids, tables, layers, c):
+    """Inverse of :func:`_encode_step` (same recursion, same views)."""
+    params = _decode_params(record["params"], arrays)
+    if record["kind"] == "lut_gemm":
+        layer = layers[params["layer"]]
+        params["centroids"], params["table"] = lut_block_views(
+            centroids, tables, layer, c)
+    elif record["kind"] == "composite":
+        params["steps"] = [
+            _decode_step(inner, arrays, centroids, tables, layers, c)
+            for inner in params["steps"]]
+    return KernelStep(record["kind"], inputs=record["inputs"],
+                      out=record["out"], release=record["release"], **params)
+
+
 def plan_to_spec(plan, table=None):
     """Split ``plan`` into (manifest, arrays).
 
@@ -102,21 +147,7 @@ def plan_to_spec(plan, table=None):
         row["table_slice"] = (layer["table_slice"].start,
                               layer["table_slice"].stop)
         layers.append(row)
-    steps = []
-    for step in plan.steps:
-        params = dict(step.params)
-        if step.kind == "lut_gemm":
-            # Views into the packed blocks are rebuilt from the layer row
-            # on load; serialising them would defeat the shared packing.
-            params.pop("centroids", None)
-            params.pop("table", None)
-        steps.append({
-            "kind": step.kind,
-            "inputs": list(step.inputs),
-            "out": step.out,
-            "release": list(step.release),
-            "params": _encode_params(params, table),
-        })
+    steps = [_encode_step(step, table) for step in plan.steps]
     manifest = {
         "steps": steps,
         "layers": layers,
@@ -151,16 +182,8 @@ def plan_from_spec(manifest, arrays):
     centroids = arrays[manifest.get("centroids_index", 0)]
     tables = arrays[manifest.get("tables_index", 1)]
     c = int(manifest["c"])
-    steps = []
-    for record in manifest["steps"]:
-        params = _decode_params(record["params"], arrays)
-        if record["kind"] == "lut_gemm":
-            layer = layers[params["layer"]]
-            params["centroids"], params["table"] = lut_block_views(
-                centroids, tables, layer, c)
-        steps.append(KernelStep(record["kind"], inputs=record["inputs"],
-                                out=record["out"],
-                                release=record["release"], **params))
+    steps = [_decode_step(record, arrays, centroids, tables, layers, c)
+             for record in manifest["steps"]]
     return KernelPlan(
         steps, centroids, tables, layers, manifest["v"], manifest["c"],
         manifest["metric"], manifest["precision"],

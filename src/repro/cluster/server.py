@@ -73,11 +73,14 @@ class GenModelSpec:
     """
 
     def __init__(self, model, buckets=None, sample_prompts=None,
-                 precision=None):
+                 precision=None, record=True):
         self.model = model
         self.buckets = buckets
         self.sample_prompts = sample_prompts
         self.precision = precision
+        # Publish recorded (fused) plan variants alongside the
+        # interpreted ones; workers replay them on the decode hot path.
+        self.record = bool(record)
 
 
 class GenerationError(RuntimeError):
@@ -379,24 +382,38 @@ class ClusterServer:
 
         gen_plan = compile_generation(
             spec.model, buckets=spec.buckets, precision=precision,
-            sample_prompts=spec.sample_prompts, name=key)
+            sample_prompts=spec.sample_prompts, name=key,
+            record=getattr(spec, "record", True))
         self.gen_plans[key] = gen_plan
         # One group publish: the compiler bound all plans to one shared
         # block table, and publish_group writes it into the segment once
         # — shard memory for a gen model scales with the model, not the
-        # bucket count.
+        # bucket count. Recorded (fused) variants ride in the same group:
+        # their composite steps nest the interpreted plans' arrays by
+        # identity, so the table dedup makes them nearly free to publish.
         group = {}
         prefill_keys = []
+        recorded_prefill_keys = []
         for bucket, plan in sorted(gen_plan.prefill.items()):
             store_key = "%s::prefill%d" % (key, bucket)
             group[store_key] = plan
             prefill_keys.append((bucket, store_key))
         decode_key = "%s::decode" % key
         group[decode_key] = gen_plan.decode
+        recorded_decode_key = None
+        if gen_plan.recorded_decode is not None:
+            for bucket, plan in sorted(gen_plan.recorded_prefill.items()):
+                store_key = "%s::rprefill%d" % (key, bucket)
+                group[store_key] = plan
+                recorded_prefill_keys.append((bucket, store_key))
+            recorded_decode_key = "%s::rdecode" % key
+            group[recorded_decode_key] = gen_plan.recorded_decode
         self.store.publish_group(group)
         self._gen_meta[key] = {
             "prefill_keys": prefill_keys,
             "decode_key": decode_key,
+            "recorded_prefill_keys": recorded_prefill_keys,
+            "recorded_decode_key": recorded_decode_key,
             "geometry": dict(gen_plan.meta),
         }
         self._gen_stats[key] = {"sessions": 0, "tokens": 0}

@@ -106,8 +106,20 @@ def worker_main(conn, handles, gen_meta=None):
             meta = gen_meta[key]
             prefill = {int(bucket): plans[plan_key]
                        for bucket, plan_key in meta["prefill_keys"]}
+            # Recorded (fused) variants ride the same published group:
+            # a respawned worker rebuilds them from the store exactly
+            # like the interpreted plans, and GenCore replays them on
+            # the decode hot path whenever they are present.
+            recorded_prefill = {
+                int(bucket): plans[plan_key]
+                for bucket, plan_key in meta.get("recorded_prefill_keys",
+                                                 ())} or None
+            recorded_key = meta.get("recorded_decode_key")
+            recorded_decode = plans[recorded_key] if recorded_key else None
             cores[key] = GenCore(GenPlan(prefill, plans[meta["decode_key"]],
-                                         meta["geometry"]))
+                                         meta["geometry"],
+                                         recorded_prefill=recorded_prefill,
+                                         recorded_decode=recorded_decode))
             cores[key].profiler = profiler
         return cores[key]
 

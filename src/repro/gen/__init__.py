@@ -5,7 +5,10 @@ The generation subsystem layers on the serving plan machinery:
 :class:`GenPlan` (per-bucket prefill plans with K/V taps + a decode-step
 plan, all bound to one shared codebook/LUT block table),
 :class:`GeneratorServer` serves it with batched prefill and a
-continuous-batching decode loop streaming tokens per session, and
+continuous-batching decode loop streaming tokens per session —
+replaying *recorded* fused plans (:class:`DecodeRecording`) on the
+decode hot path so steady-state ticks cost one compiled-closure call
+instead of a per-step Python loop — and
 :func:`lut_generate` is the cacheless per-request reference the fp64
 engine output is bit-identical to. Decoding policy is per session:
 :class:`SamplingConfig` selects greedy (the default) or
@@ -22,6 +25,7 @@ from .compiler import (
     kv_tap_names,
     share_plan_tables,
 )
+from .record import DecodeRecording
 from .reference import lut_generate, reference_logits
 from .sampling import SamplingConfig, counter_uniform, sample_tokens
 from .session import (
@@ -40,6 +44,7 @@ __all__ = [
     "share_plan_tables",
     "lut_generate",
     "reference_logits",
+    "DecodeRecording",
     "SamplingConfig",
     "counter_uniform",
     "sample_tokens",

@@ -82,13 +82,26 @@ class GenPlan:
     meta:
         Plain-dict geometry (picklable, shipped to cluster workers):
         ``num_layers``, ``num_heads``, ``head_dim``, ``dim``,
-        ``vocab_size``, ``max_len``, ``pad_token``, ``precision``.
+        ``vocab_size``, ``max_len``, ``pad_token``, ``precision``,
+        ``recorded``.
+    recorded_prefill / recorded_decode:
+        Fused ("recorded") variants of the same plans — each one is a
+        single composite megastep nesting the original steps by identity
+        (see :func:`repro.serving.record.fuse_plan`), so they add no
+        array storage and run the exact same kernels in the exact same
+        order. ``None`` when compiled with ``record=False``.
     """
 
-    def __init__(self, prefill, decode, meta):
+    def __init__(self, prefill, decode, meta, recorded_prefill=None,
+                 recorded_decode=None):
         self.prefill = {int(length): plan for length, plan in prefill.items()}
         self.decode = decode
         self.meta = dict(meta)
+        self.recorded_prefill = (
+            None if recorded_prefill is None
+            else {int(length): plan
+                  for length, plan in recorded_prefill.items()})
+        self.recorded_decode = recorded_decode
 
     @property
     def buckets(self):
@@ -390,7 +403,8 @@ def _build_decode_plan(model, precision, name):
 # ----------------------------------------------------------------------
 
 def compile_generation(model, buckets=None, precision="fp32",
-                       sample_prompts=None, verify=True, name=""):
+                       sample_prompts=None, verify=True, name="",
+                       record=True):
     """Compile a decoder LM into a :class:`GenPlan`.
 
     Parameters
@@ -412,6 +426,12 @@ def compile_generation(model, buckets=None, precision="fp32",
     verify:
         Per-bucket plan verification (replay vs the model forward) — the
         standard :func:`compile_model` gate.
+    record:
+        Also build the fused ("recorded") plan variants that the session
+        layer replays without per-step Python dispatch. Fusion nests the
+        original steps by identity, so it costs no extra storage and
+        cannot change any result; set ``record=False`` to serve from the
+        interpreted plans only.
     """
     name = name or type(model).__name__
     blocks = _decoder_blocks(model)
@@ -453,6 +473,17 @@ def compile_generation(model, buckets=None, precision="fp32",
     # them onto one shared table (verification above ran pre-sharing, and
     # rebinding bitwise-equal arrays cannot change any result).
     share_plan_tables([prefill[bucket] for bucket in buckets] + [decode])
+    # Fuse AFTER sharing: the composite steps nest the shared-table step
+    # objects by identity, and their closures compile lazily on first
+    # run, so they always bind the final (deduplicated) arrays.
+    recorded_prefill = None
+    recorded_decode = None
+    if record:
+        from ..serving.record import fuse_plan
+
+        recorded_prefill = {bucket: fuse_plan(prefill[bucket])
+                            for bucket in buckets}
+        recorded_decode = fuse_plan(decode)
     meta = {
         "num_layers": len(blocks),
         "num_heads": int(model.num_heads),
@@ -463,5 +494,6 @@ def compile_generation(model, buckets=None, precision="fp32",
         "pad_token": 0,
         "precision": precision,
         "name": name,
+        "recorded": bool(record),
     }
-    return GenPlan(prefill, decode, meta)
+    return GenPlan(prefill, decode, meta, recorded_prefill, recorded_decode)

@@ -1,0 +1,154 @@
+"""Recorded decode loops: persistent KV stacks, one closure call per tick.
+
+The unrecorded decode tick (:meth:`repro.gen.session.GenCore._step`)
+rebuilds its world every token: it zero-allocates per-layer
+``(rows, heads, capacity, head_dim)`` stacks, copies every sequence's KV
+cache into them, builds the extras dict, walks the decode plan's ~40
+steps through the engine's Python loop, then copies each freshly
+projected K/V row *back* into the per-sequence caches. All of that is
+per-tick overhead the plan itself does not need.
+
+:class:`DecodeRecording` is the recorded replacement. ``bind`` runs once
+per batch *composition* (a sequence joined or finished): it allocates the
+stacked caches at full capacity, loads each row either from the
+sequence's prefill cache (first time) or from the previous recording's
+stack (survivors), and preallocates one slot file with the extras — the
+stacks and the shared fill array — bound permanently. From then on the
+stacks *are* the KV caches: ``tick`` writes the token batch into slot 0,
+runs the fused megastep (one compiled closure call — see
+:mod:`repro.serving.record`), advances the fill array in place, and
+returns the logits. ``kv_append`` inside the plan writes straight into
+the persistent stacks, so there is no per-tick stacking, no writeback,
+and no per-step Python between tokens.
+
+Bit-exactness is preserved by construction: the fused plan runs the same
+kernels in the same order, and padding a row's cache to full capacity
+instead of the tick's exact maximum is invisible to
+``cached_attention`` — masked positions get exact-zero weight and the
+running-sum softmax denominator ignores exact-zero tails (see
+:mod:`repro.vq.kernels`). The contract tests compare recorded output
+bit for bit against the unrecorded engine and ``lut_generate``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..serving.engine import _KERNELS
+from ..serving.record import run_composite, run_composite_steps
+
+__all__ = ["DecodeRecording"]
+
+
+class DecodeRecording:
+    """Persistent decode state for one batch composition.
+
+    Owns the stacked per-layer K/V caches, the shared fill array (bound
+    to both the ``positions`` and ``lengths`` extras — their values are
+    identical on the decode step), and the preallocated slot file for a
+    fused decode plan. ``sids`` names the bound row order; the session
+    layer rebinds whenever the set or order of live sequences changes.
+    """
+
+    def __init__(self, plan, num_layers, num_heads, head_dim):
+        self.plan = plan
+        self.num_layers = int(num_layers)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.sids = ()
+        self.fill = None
+        self.k = []
+        self.v = []
+        self._slots = None
+
+    # ------------------------------------------------------------------
+    def bind(self, rows):
+        """(Re)bind the recording to ``rows`` (``_Sequence`` objects).
+
+        Rows whose ``cache`` is set are fresh from prefill: their
+        per-sequence cache is copied in once and then dropped (the stack
+        is the cache from here on — ``cache is None`` is the marker that
+        a sequence's KV lives in the recording). Rows already bound copy
+        forward from the previous stack, so rebinding costs one pass of
+        slice copies, not a prefill replay.
+        """
+        plan = self.plan
+        dtype = plan.dtype
+        count = len(rows)
+        capacity = max(s.prompt_len + s.max_new_tokens for s in rows)
+        old_index = {}
+        for i, sid in enumerate(self.sids):
+            old_index.setdefault(sid, i)
+        new_k = [np.zeros((count, self.num_heads, capacity, self.head_dim),
+                          dtype=dtype) for _ in range(self.num_layers)]
+        new_v = [np.zeros_like(k) for k in new_k]
+        fill = np.zeros(count, dtype=np.int64)
+        for i, seq in enumerate(rows):
+            if seq.cache is not None:
+                length = seq.cache.length
+                for layer in range(self.num_layers):
+                    new_k[layer][i, :, :length] = seq.cache.k[layer, :, :length]
+                    new_v[layer][i, :, :length] = seq.cache.v[layer, :, :length]
+            else:
+                j = old_index[seq.sid]
+                length = int(self.fill[j])
+                for layer in range(self.num_layers):
+                    new_k[layer][i, :, :length] = self.k[layer][j, :, :length]
+                    new_v[layer][i, :, :length] = self.v[layer][j, :, :length]
+            fill[i] = length
+        for seq in rows:
+            seq.cache = None
+        self.k, self.v, self.fill = new_k, new_v, fill
+        self.sids = tuple(seq.sid for seq in rows)
+        slots = [None] * plan.num_slots
+        extra = plan.extra_inputs
+        # One shared array serves both extras: the new token's position
+        # equals the cache fill, and no kernel mutates either operand.
+        slots[extra["positions"]] = fill
+        slots[extra["lengths"]] = fill
+        for layer in range(self.num_layers):
+            slots[extra["k_cache_%d" % layer]] = new_k[layer]
+            slots[extra["v_cache_%d" % layer]] = new_v[layer]
+        self._slots = slots
+
+    # ------------------------------------------------------------------
+    def tick(self, tokens, profiler=None):
+        """Advance every bound row one token; returns the logits batch.
+
+        The fast path is one compiled-closure call over the persistent
+        slot file. With a profiler the inner steps run interpreted (per-
+        kernel rows, same arithmetic) over a *copy* of the slot list so
+        the persistent extras bindings survive the interpreter's release
+        bookkeeping; the KV writes still land in the bound stacks either
+        way.
+        """
+        plan = self.plan
+        slots = self._slots if profiler is None else list(self._slots)
+        # Mirror execute_plan's batch conversion bit for bit: token ids
+        # enter the plan in its float dtype.
+        slots[0] = np.asarray(tokens, dtype=plan.dtype)
+        for step in plan.steps:
+            if step.kind == "composite":
+                if profiler is None:
+                    run_composite(plan, step, slots)
+                else:
+                    run_composite_steps(plan, step, slots, profiler)
+            else:
+                args = [slots[i] for i in step.inputs]
+                slots[step.out] = _KERNELS[step.kind](step, *args)
+        logits = slots[plan.output_slot]
+        # The plan appended one K/V row per sequence at index ``fill``;
+        # advancing in place updates positions and lengths for the next
+        # tick through the same bound array.
+        self.fill += 1
+        return logits
+
+    # ------------------------------------------------------------------
+    def nbytes(self):
+        """Bytes pinned by the stacked caches (the recording's KV state)."""
+        return sum(k.nbytes + v.nbytes for k, v in zip(self.k, self.v))
+
+    def __repr__(self):
+        return "DecodeRecording(%s: %d rows, fill %s)" % (
+            self.plan.model_name, len(self.sids),
+            None if self.fill is None else self.fill.tolist())

@@ -38,6 +38,7 @@ from ..obs.tracer import TRACE
 from ..serving.batcher import AdmissionError, MicroBatcher
 from ..serving.engine import execute_plan
 from .compiler import compile_generation
+from .record import DecodeRecording
 from .sampling import SamplingConfig, sample_tokens
 
 __all__ = ["KVCache", "GenCore", "GenConfig", "GenSession",
@@ -102,7 +103,7 @@ class GenCore:
     sequence finishes (``max_new_tokens`` reached or EOS emitted).
     """
 
-    def __init__(self, plan):
+    def __init__(self, plan, record=True):
         self.plan = plan
         meta = plan.meta
         self.num_layers = meta["num_layers"]
@@ -111,6 +112,13 @@ class GenCore:
         self.max_len = meta["max_len"]
         self._sequences = {}
         self._ids = itertools.count()
+        # Recorded decode: replay the fused megastep plan over persistent
+        # KV stacks (no per-step Python, no per-tick stacking/writeback).
+        # Falls back to the interpreted loop when the plan was compiled
+        # without recorded variants or the caller opts out.
+        self._record = (bool(record)
+                        and getattr(plan, "recorded_decode", None) is not None)
+        self._recording = None
         # TTFT/ITL per session (always on: a few appends per token is
         # noise next to a decode step); per-step profiling stays opt-in.
         self.telemetry = TokenTelemetry()
@@ -120,9 +128,31 @@ class GenCore:
     def active(self):
         return len(self._sequences)
 
+    @property
+    def recording(self):
+        """True when decode ticks replay the recorded megastep plan."""
+        return self._record
+
+    def prefill_plan(self, bucket):
+        """The plan ``start`` (and the server's prefill batchers) should
+        run for ``bucket`` — the fused variant when recording."""
+        if self._record and self.plan.recorded_prefill is not None:
+            fused = self.plan.recorded_prefill.get(bucket)
+            if fused is not None:
+                return fused
+        return self.plan.prefill[bucket]
+
     def cache_bytes(self):
-        """Worker-side KV memory currently pinned by live sequences."""
-        return sum(s.cache.nbytes() for s in self._sequences.values())
+        """Worker-side KV memory currently pinned by live sequences.
+
+        Recorded sequences live inside the shared stacks (their
+        per-sequence cache is dropped at first bind), so the recording's
+        footprint is charged once alongside any not-yet-bound caches."""
+        total = sum(s.cache.nbytes() for s in self._sequences.values()
+                    if s.cache is not None)
+        if self._recording is not None:
+            total += self._recording.nbytes()
+        return total
 
     def validate(self, prompt, max_new_tokens):
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
@@ -146,7 +176,7 @@ class GenCore:
         padded, bucket = self.plan.pad_prompt(prompt)
         with TRACE.span("gen.prefill", cat="gen", bucket=int(bucket),
                         prompt_len=int(len(prompt))):
-            logits, taps = execute_plan(self.plan.prefill[bucket],
+            logits, taps = execute_plan(self.prefill_plan(bucket),
                                         padded[None], return_taps=True,
                                         profiler=self.profiler)
         return self.admit(prompt, logits[0],
@@ -202,9 +232,28 @@ class GenCore:
         ``[(sid, token, done), ...]`` (empty when nothing is active)."""
         seqs = list(self._sequences.values())
         if not seqs:
+            self._recording = None  # batch drained: release the stacks
             return []
         with TRACE.span("decode.tick", cat="gen", sessions=len(seqs)):
+            if self._record:
+                return self._step_recorded(seqs)
             return self._step(seqs)
+
+    def step_many(self, max_ticks):
+        """Replay up to ``max_ticks`` decode ticks back to back.
+
+        The recorded fast path shines here: between ticks there is no
+        admission, no stacking and no rebind, so the loop is one closure
+        call per token. Stops early when the batch composition is about
+        to change (a sequence finished) or the batch drains; returns the
+        concatenated events."""
+        events = []
+        for _ in range(int(max_ticks)):
+            tick = self.step()
+            events.extend(tick)
+            if not tick or any(done for _, _, done in tick):
+                break
+        return events
 
     def _step(self, seqs):
         profiler = self.profiler
@@ -265,6 +314,55 @@ class GenCore:
             events.append((s.sid, token, s.done))
         return events
 
+    def _step_recorded(self, seqs):
+        """One decode tick through the recorded megastep plan.
+
+        Same arithmetic as :meth:`_step` — the fused plan nests the
+        identical steps, the persistent full-capacity stacks are
+        bit-equivalent to per-tick stacking (see
+        :mod:`repro.gen.record`), and the lone-pair duplication rule is
+        preserved. What disappears is the per-tick Python: stacking,
+        extras dicts, tap writeback and the ~40-step dispatch loop all
+        collapse into one ``tick`` call."""
+        profiler = self.profiler
+        plan = self.plan.recorded_decode
+        plan_name = plan.model_name
+        clock = profiler.clock if profiler is not None else None
+        rows = seqs if len(seqs) > 1 else seqs * 2
+        rec = self._recording
+        if rec is None:
+            rec = self._recording = DecodeRecording(
+                plan, self.num_layers, self.num_heads, self.head_dim)
+        if rec.sids != tuple(s.sid for s in rows):
+            t0 = clock() if profiler is not None else 0.0
+            rec.bind(rows)
+            if profiler is not None:
+                # The recorded analogue of the interpreted loop's
+                # per-tick "kv_stack" row: paid only when the batch
+                # composition changes, not per token.
+                profiler.record(plan_name, "kv_bind", clock() - t0)
+        tokens = np.array([s.next_token for s in rows], dtype=np.int64)
+        logits = rec.tick(tokens, profiler)
+        t0 = clock() if profiler is not None else 0.0
+        chosen = sample_tokens(logits[:len(seqs)],
+                               [s.sampling for s in seqs],
+                               [len(s.generated) for s in seqs])
+        if profiler is not None:
+            profiler.record(plan_name, "sampling", clock() - t0)
+        events = []
+        for i, s in enumerate(seqs):
+            token = int(chosen[i])
+            s.generated.append(token)
+            s.next_token = token
+            s.done = (len(s.generated) >= s.max_new_tokens
+                      or (s.eos_token is not None and token == s.eos_token))
+            self.telemetry.token(s.sid)
+            if s.done:
+                del self._sequences[s.sid]
+                self.telemetry.close(s.sid)
+            events.append((s.sid, token, s.done))
+        return events
+
 
 # ----------------------------------------------------------------------
 # Streaming front-end
@@ -275,7 +373,7 @@ class GenConfig:
 
     def __init__(self, max_batch_size=16, max_wait_ms=2.0, max_pending=256,
                  precision="fp32", decode_idle_ms=2.0,
-                 default_max_new_tokens=16):
+                 default_max_new_tokens=16, record=True):
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.max_pending = int(max_pending)
@@ -283,10 +381,15 @@ class GenConfig:
         # How long the decode thread sleeps when no sequence is live.
         self.decode_idle_ms = float(decode_idle_ms)
         self.default_max_new_tokens = int(default_max_new_tokens)
+        # Replay recorded (fused) plans on the decode/prefill hot paths;
+        # False serves from the interpreted per-step loop instead.
+        self.record = bool(record)
 
     def __repr__(self):
-        return ("GenConfig(max_batch=%d, max_wait=%.1fms, precision=%r)"
-                % (self.max_batch_size, self.max_wait_ms, self.precision))
+        return ("GenConfig(max_batch=%d, max_wait=%.1fms, precision=%r, "
+                "record=%r)"
+                % (self.max_batch_size, self.max_wait_ms, self.precision,
+                   self.record))
 
 
 class GenSession:
@@ -367,8 +470,8 @@ class GeneratorServer:
         self.config = config or GenConfig()
         self.plan = plan or compile_generation(
             model, buckets=buckets, precision=self.config.precision,
-            name=name or type(model).__name__)
-        self.core = GenCore(self.plan)
+            name=name or type(model).__name__, record=self.config.record)
+        self.core = GenCore(self.plan, record=self.config.record)
         self._lock = threading.Lock()      # guards core + session map
         self._sessions = {}                # sid -> GenSession
         self._stop = threading.Event()
@@ -388,7 +491,7 @@ class GeneratorServer:
 
     # ------------------------------------------------------------------
     def _prefill_runner(self, bucket):
-        plan = self.plan.prefill[bucket]
+        plan = self.core.prefill_plan(bucket)
 
         def run(stacked):
             logits, taps = execute_plan(plan, stacked, return_taps=True,

@@ -36,6 +36,11 @@ def step_label(plan, step):
             name = plan.layers[index].get("name")
             if name:
                 return "lut_gemm:%s" % name
+    if step.kind == "composite":
+        # Recorded megasteps profile under their recording label; under a
+        # profiler the engine runs their inner steps interpreted, so the
+        # per-kernel rows above still appear alongside this one.
+        return step.params.get("label") or "composite"
     return step.kind
 
 

@@ -37,11 +37,14 @@ _CTX = contextvars.ContextVar("repro_obs_trace", default=None)
 
 # Span ids must be unique across every process contributing to one
 # stitched trace (the front-end and each worker all record spans), so
-# the per-process counter is offset by the pid: 22 pid bits above 40
-# counter bits stays inside 2^53 (exact in JSON/float64) and two
-# concurrently-live processes can never mint the same id. Computed at
-# import — workers are spawned, so each child imports fresh.
-_SPAN_BASE = (os.getpid() & 0x3FFFFF) << 40
+# the per-process counter is offset by the pid: 22 pid bits above 31
+# counter bits is exactly 53 bits, so ids stay exact in JSON/float64
+# even for pids above 2^13 (the old 22+40 layout overflowed 2^53 there)
+# and two concurrently-live processes can never mint the same id (Linux
+# pid_max caps at 2^22). Computed at import — workers are spawned, so
+# each child imports fresh. Wrapping the counter into a neighbour's
+# range would take 2^31 spans; the ring buffers retain far fewer.
+_SPAN_BASE = (os.getpid() & 0x3FFFFF) << 31
 _COUNTER = itertools.count(1)
 
 
@@ -52,7 +55,7 @@ def new_trace_id():
 
 def _new_span_id():
     # itertools.count advances atomically under the GIL: no lock.
-    return _SPAN_BASE | next(_COUNTER)
+    return _SPAN_BASE | (next(_COUNTER) & 0x7FFFFFFF)
 
 
 class Span:

@@ -7,8 +7,11 @@ codebooks + PSum LUTs, a slot-addressed fused-kernel step list),
 ``engine`` executes plans and caches them LRU-style, ``batcher`` fuses
 single requests into dynamic micro-batches drained by a thread pool,
 ``server`` is the future-based front-end with admission control and
-graceful drain, ``autotune`` hill-climbs the batching knobs from recent
-throughput, and ``metrics`` tracks throughput / latency percentiles
+graceful drain, ``record`` fuses a plan's step list into one composite
+megastep replayed as a compiled straight-line closure (no per-step
+Python on the hot path), ``autotune`` hill-climbs the batching knobs
+from recent throughput, and ``metrics`` tracks throughput / latency
+percentiles
 (cumulative and over a sliding :class:`MetricsWindow`) alongside the
 simulator's predicted LUT-DLA cycles. :mod:`repro.cluster` stacks
 multi-process sharding and a TCP front-end on top of these pieces.
@@ -19,6 +22,7 @@ from .batcher import AdmissionError, MicroBatcher
 from .compiler import CompileError, KernelPlan, KernelStep, compile_model
 from .engine import PlanCache, ServingEngine, execute_plan
 from .metrics import CyclePredictor, MetricsWindow, ServingMetrics, percentile
+from .record import check_composite, fuse_plan
 from .server import LUTServer, ServingConfig
 
 __all__ = [
@@ -29,6 +33,8 @@ __all__ = [
     "execute_plan",
     "PlanCache",
     "ServingEngine",
+    "fuse_plan",
+    "check_composite",
     "AdmissionError",
     "MicroBatcher",
     "Autotuner",

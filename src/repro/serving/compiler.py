@@ -122,7 +122,9 @@ class KernelStep:
     ``mean``, ``add``, ``sub``, ``mul``, ``matmul``, ``attention_scores``,
     ``softmax``, ``causal_softmax``, ``kv_append``, ``cached_attention``,
     ``layernorm``, ``embedding``, ``const``, ``max_pool``,
-    ``avg_pool``, ``global_avg_pool`` or ``batchnorm``); ``inputs`` are the
+    ``avg_pool``, ``global_avg_pool``, ``batchnorm`` or ``composite`` — a
+    recorded megastep whose ``params["steps"]`` nests the fused inner
+    steps, see :mod:`repro.serving.record`); ``inputs`` are the
     buffer-slot ids the kernel reads, ``out`` the slot it writes, and
     ``release`` the slots whose last use this step is (the executor frees
     them afterwards). ``params`` holds the arrays and geometry the executor
@@ -222,10 +224,19 @@ class KernelPlan:
 
 
 def plan_arrays(plan):
-    """Every ndarray a plan holds: packed blocks + step param arrays."""
+    """Every ndarray a plan holds: packed blocks + step param arrays.
+
+    Recurses into ``composite`` steps (recorded plans nest their fused
+    step list in ``params["steps"]``), so memory accounting and the plan
+    store see the same arrays whether or not a plan is fused.
+    """
     yield plan.centroids
     yield plan.tables
-    for step in plan.steps:
+    stack = list(plan.steps)
+    while stack:
+        step = stack.pop()
+        if step.kind == "composite":
+            stack.extend(step.params["steps"])
         for value in step.params.values():
             if isinstance(value, np.ndarray):
                 yield value

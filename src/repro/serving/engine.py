@@ -31,6 +31,7 @@ from ..vq import kernels
 from ..vq.codebook import split_subspaces
 from ..vq.distances import batched_nearest_centroid
 from ..vq.lut import gather_accumulate
+from . import record
 from .compiler import compile_model
 
 __all__ = ["execute_plan", "PlanCache", "ServingEngine"]
@@ -133,6 +134,9 @@ def _mean(step, x):
 
 
 _KERNELS = {
+    # "composite" is not in this table: the executor special-cases it
+    # (compiled-closure fast path / interpreted profiled path) because a
+    # composite operates on the slot file, not on unpacked arguments.
     "lut_gemm": _lut_gemm,
     "gemm": _gemm,
     "conv2d": _conv2d,
@@ -217,6 +221,11 @@ def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
                     batch=int(x.shape[0]) if x.ndim else 1):
         if profiler is None:
             for step in plan.steps:
+                if step.kind == "composite":
+                    # Recorded megastep: one compiled closure replaces the
+                    # per-step loop (see repro.serving.record).
+                    record.run_composite(plan, step, slots)
+                    continue
                 args = [slots[i] for i in step.inputs]
                 slots[step.out] = _KERNELS[step.kind](step, *args)
                 for i in step.release:
@@ -224,6 +233,11 @@ def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
         else:
             clock = profiler.clock
             for step in plan.steps:
+                if step.kind == "composite":
+                    # Profiled runs interpret the inner steps so recorded
+                    # plans report the same per-kernel rows as unrecorded.
+                    record.run_composite_steps(plan, step, slots, profiler)
+                    continue
                 args = [slots[i] for i in step.inputs]
                 t0 = clock()
                 slots[step.out] = _KERNELS[step.kind](step, *args)

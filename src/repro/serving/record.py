@@ -1,0 +1,336 @@
+"""Plan recording: fold a step list into one compiled composite megastep.
+
+``execute_plan`` walks a :class:`~repro.serving.compiler.KernelPlan`'s
+step list through Python — per step, per call, per decode token. For the
+generation hot path that dispatch is pure overhead: the decode plan runs
+the same ~40 steps every tick. :func:`fuse_plan` removes it by *recording*
+the plan once: the whole step list is folded into a single ``composite``
+:class:`KernelStep` whose inner steps compile (lazily, on first
+execution) into one straight-line Python function. Elementwise chains
+(residual adds, reshapes, GELU, baked constants) inline as direct numpy
+expressions, LUT projections inline as their three-kernel pipeline
+(subspace split → batched argmin-encode → LUT gather) with the packed
+block views bound as locals, and the ``kv_append`` → ``cached_attention``
+tail runs back to back with the shared :mod:`repro.vq.kernels` bound
+directly — no ``_KERNELS`` dict lookups, no argument-list building, no
+per-step release loop. Because every generated line calls (or textually
+mirrors) the exact kernel the interpreter would have called, a recorded
+plan is bit-identical to its unrecorded source at every precision — the
+contract :func:`check_composite` verifies kernel by kernel.
+
+The compiled closure reads external slots (the request batch, bound
+extras such as KV caches) from the shared slot file and writes back only
+the slots something outside the composite observes: tap slots and the
+output slot. That is what lets :class:`repro.gen.record.DecodeRecording`
+preallocate one slot file and replay N decode ticks through one function
+call per tick with no per-step Python at all.
+
+Profiled execution intentionally bypasses the closure:
+:func:`run_composite_steps` interprets the inner steps one by one with
+per-step timing, so a recorded plan reports the same
+``lut_gemm:<module>`` / ``cached_attention`` profiler rows as its
+unrecorded source and ``StepProfiler.versus_predicted`` keeps lining up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vq import kernels
+from ..vq.codebook import split_subspaces
+from ..vq.distances import batched_nearest_centroid
+from ..vq.lut import gather_accumulate
+from .compiler import KernelPlan, KernelStep
+
+__all__ = ["fuse_plan", "run_composite", "run_composite_steps",
+           "check_composite"]
+
+
+def fuse_plan(plan, label=None):
+    """Return the recorded variant of ``plan``: one composite megastep.
+
+    The composite's ``params["steps"]`` holds the original
+    :class:`KernelStep` objects (shared, not copied — the recorded plan
+    references the same packed blocks and dense weights, so publishing
+    both variants through the plan store serialises every array once).
+    Slot numbering, taps and extra inputs are unchanged; the fused plan
+    drops into ``execute_plan`` wherever the original did. Fusing an
+    already-fused plan returns it unchanged.
+    """
+    if any(step.kind == "composite" for step in plan.steps):
+        return plan
+    composite = KernelStep(
+        "composite", inputs=(0,), out=plan.output_slot,
+        steps=list(plan.steps),
+        label=("recorded:%s" % plan.model_name) if label is None else label)
+    return KernelPlan(
+        [composite], plan.centroids, plan.tables, plan.layers, plan.v,
+        plan.c, plan.metric, plan.precision, plan.input_shape,
+        plan.num_slots, plan.output_slot, model_name=plan.model_name,
+        tap_slots=dict(getattr(plan, "tap_slots", {}) or {}),
+        extra_inputs=dict(getattr(plan, "extra_inputs", {}) or {}))
+
+
+# ----------------------------------------------------------------------
+# Codegen
+# ----------------------------------------------------------------------
+
+def _emit_step(index, step, env, lines):
+    """Append the source lines computing ``v<out>`` for one inner step.
+
+    Specialised kinds inline their numpy expression (or call the shared
+    kernel with params pre-bound into ``env``); anything else falls back
+    to the engine's generic kernel with the step object bound — still one
+    direct call, just without textual inlining.
+    """
+    args = ["v%d" % slot for slot in step.inputs]
+    out = "v%d" % step.out
+    p = step.params
+    kind = step.kind
+
+    def bind(name, value):
+        key = "p%d_%s" % (index, name)
+        env[key] = value
+        return key
+
+    if kind == "lut_gemm" and p.get("op") == "linear":
+        cb = bind("cb", p["centroids"])
+        tb = bind("tb", p["table"])
+        lines.append("_t = %s.reshape(-1, %d)" % (args[0], p["k"]))
+        lines.append("_t, _ = _split(_t, %d)" % (p["centroids"].shape[2],))
+        lines.append("_t = _encode(_t, %s, %r)" % (cb, p["metric"]))
+        lines.append("_t = _gather(%s, _t)" % (tb,))
+        if p["bias"] is not None:
+            lines.append("_t = _t + %s" % (bind("bias", p["bias"]),))
+        lines.append("%s = _t.reshape(%s.shape[:-1] + (%d,))"
+                     % (out, args[0], p["n_out"]))
+    elif kind == "gemm":
+        lines.append("%s = %s @ %s" % (out, args[0], bind("w", p["weight"])))
+        if p["bias"] is not None:
+            lines.append("%s = %s + %s" % (out, out, bind("b", p["bias"])))
+    elif kind == "embedding":
+        lines.append("%s = _emb(%s, %s)"
+                     % (out, bind("w", p["weight"]), args[0]))
+    elif kind == "layernorm":
+        lines.append("%s = _ln(%s, %s, %s, %s)"
+                     % (out, args[0], bind("w", p["weight"]),
+                        bind("b", p["bias"]), bind("eps", p["eps"])))
+    elif kind in ("add", "sub", "mul"):
+        op = {"add": "+", "sub": "-", "mul": "*"}[kind]
+        if len(args) == 2:
+            lines.append("%s = %s %s %s" % (out, args[0], op, args[1]))
+        else:
+            const = bind("c", p["const"])
+            left, right = ((const, args[0]) if p.get("reverse")
+                           else (args[0], const))
+            lines.append("%s = %s %s %s" % (out, left, op, right))
+    elif kind == "reshape":
+        lines.append("%s = %s.reshape((%s.shape[0],) + %r)"
+                     % (out, args[0], args[0], tuple(p["tail"])))
+    elif kind == "flatten":
+        lines.append("%s = %s.reshape(%s.shape[0], -1)"
+                     % (out, args[0], args[0]))
+    elif kind == "transpose":
+        lines.append("%s = %s.transpose(%r)"
+                     % (out, args[0], tuple(p["axes"])))
+    elif kind == "gelu":
+        lines.append("%s = _gelu(%s)" % (out, args[0]))
+    elif kind == "relu":
+        lines.append("%s = _np.maximum(%s, 0.0)" % (out, args[0]))
+    elif kind == "tanh":
+        lines.append("%s = _np.tanh(%s)" % (out, args[0]))
+    elif kind == "kv_append":
+        lines.append("%s = _kva(%s, %s, %s)" % (out, *args))
+    elif kind == "cached_attention":
+        lines.append("%s = _catt(%s, %s, %s, %s, %s)"
+                     % (out, args[0], args[1], args[2], args[3],
+                        bind("scale", p["scale"])))
+    elif kind == "attention_scores":
+        fn = "_scores_stable" if p.get("stable") else "_scores"
+        lines.append("%s = %s(%s, %s, %s)"
+                     % (out, fn, args[0], args[1],
+                        bind("scale", p["scale"])))
+    elif kind == "matmul" and len(args) == 2:
+        fn = "_context_stable" if p.get("stable") else "_context"
+        lines.append("%s = %s(%s, %s)" % (out, fn, args[0], args[1]))
+    elif kind == "softmax":
+        lines.append("%s = _softmax(%s, %r)" % (out, args[0], p["axis"]))
+    elif kind == "causal_softmax":
+        lines.append("%s = _csoftmax(%s)" % (out, args[0]))
+    elif kind == "const":
+        lines.append("%s = %s" % (out, bind("value", p["value"])))
+    else:
+        # conv2d, pools, batchnorm, const-matmul, ... — one direct call
+        # into the engine's kernel table with the step object bound.
+        step_name = bind("step", step)
+        lines.append("%s = _kernels[%r](%s%s)"
+                     % (out, kind, step_name,
+                        "".join(", " + a for a in args)))
+
+
+def _compile_composite(plan, step, debug=False):
+    """Compile one composite step into a straight-line closure.
+
+    The closure reads slots written outside the composite (slot 0, bound
+    extras) from the slot file, keeps everything else in locals, releases
+    locals at their recorded last use, and writes back only tap slots and
+    the plan output. With ``debug=True`` the signature becomes
+    ``run(slots, trace)`` and every inner step also appends its result to
+    ``trace`` — the hook :func:`check_composite` uses to name the first
+    diverging kernel.
+    """
+    from .engine import _KERNELS
+
+    inner = step.params["steps"]
+    store = set((getattr(plan, "tap_slots", {}) or {}).values())
+    store.add(plan.output_slot)
+    env = {
+        "_np": np,
+        "_split": split_subspaces,
+        "_encode": batched_nearest_centroid,
+        "_gather": gather_accumulate,
+        "_emb": kernels.embedding_gather,
+        "_ln": kernels.layer_norm,
+        "_gelu": kernels.gelu,
+        "_kva": kernels.kv_append,
+        "_catt": kernels.cached_attention,
+        "_scores": kernels.attention_scores,
+        "_scores_stable": kernels.attention_scores_stable,
+        "_context": kernels.attention_context,
+        "_context_stable": kernels.attention_context_stable,
+        "_softmax": kernels.softmax,
+        "_csoftmax": kernels.causal_softmax,
+        "_kernels": _KERNELS,
+    }
+    lines = []
+    # Slots the composite reads before any inner step writes them come
+    # from the slot file (the request batch, bound extras).
+    written = set()
+    external = []
+    for s in inner:
+        for slot in s.inputs:
+            if slot not in written and slot not in external:
+                external.append(slot)
+        written.add(s.out)
+    for slot in sorted(external):
+        lines.append("v%d = slots[%d]" % (slot, slot))
+    for index, s in enumerate(inner):
+        _emit_step(index, s, env, lines)
+        if s.out in store:
+            lines.append("slots[%d] = v%d" % (s.out, s.out))
+        if debug:
+            lines.append("trace.append(v%d)" % (s.out,))
+        for slot in s.release:
+            # Locals only: the slot file keeps its external bindings (a
+            # recorded decode loop reuses them across ticks).
+            lines.append("v%d = None" % (slot,))
+    signature = "slots, trace" if debug else "slots"
+    src = "def _run(%s):\n%s" % (
+        signature, "".join("    %s\n" % line for line in lines) or "    pass\n")
+    namespace = {}
+    label = step.params.get("label") or "composite"
+    exec(compile(src, "<%s>" % label, "exec"), env, namespace)  # noqa: S102
+    return namespace["_run"]
+
+
+def run_composite(plan, step, slots):
+    """Execute one composite step's compiled closure over ``slots``.
+
+    Compilation is lazy and cached on the step object (an attribute, so
+    it never serialises through the plan store; a worker that rebuilds
+    the plan from a manifest recompiles on first use). Laziness also
+    guarantees the closure binds the step's *final* param arrays — fuse
+    after any table sharing or rebinding, never before.
+    """
+    run = getattr(step, "_compiled", None)
+    if run is None:
+        run = step._compiled = _compile_composite(plan, step)
+    run(slots)
+
+
+def run_composite_steps(plan, step, slots, profiler=None):
+    """Interpret a composite's inner steps one by one over ``slots``.
+
+    The profiled twin of :func:`run_composite`: identical arithmetic
+    (same kernels, same order), but each inner step is timed and filed
+    under its own label, so recorded plans profile exactly like their
+    unrecorded sources. Also the fallback for executing composites
+    without compiling them.
+    """
+    from ..obs.profiler import step_label
+    from .engine import _KERNELS
+
+    if profiler is None:
+        for s in step.params["steps"]:
+            args = [slots[i] for i in s.inputs]
+            slots[s.out] = _KERNELS[s.kind](s, *args)
+            for i in s.release:
+                slots[i] = None
+        return
+    clock = profiler.clock
+    for s in step.params["steps"]:
+        args = [slots[i] for i in s.inputs]
+        t0 = clock()
+        slots[s.out] = _KERNELS[s.kind](s, *args)
+        profiler.record(plan.model_name, step_label(plan, s), clock() - t0)
+        for i in s.release:
+            slots[i] = None
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness diagnosis
+# ----------------------------------------------------------------------
+
+def _bitwise_equal(a, b):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (a.dtype == b.dtype and a.shape == b.shape
+            and a.tobytes() == b.tobytes())
+
+
+def check_composite(plan, batch, extras=None):
+    """Verify a fused plan kernel by kernel; name the first divergence.
+
+    Runs the plan twice on ``batch`` (+ ``extras``): once interpreting
+    every inner step through the engine's kernel table, once through the
+    compiled closure in debug mode, each against its own *copy* of the
+    extras (``kv_append`` mutates caches in place). Returns ``None`` when
+    every inner step's result is bit-identical, else the
+    :func:`~repro.obs.profiler.step_label` of the first diverging step —
+    so a fusion regression fails CI with a named kernel, not a generic
+    token mismatch.
+    """
+    from .engine import _KERNELS
+
+    from ..obs.profiler import step_label
+
+    extras = extras or {}
+
+    def fresh_slots():
+        slots = [None] * plan.num_slots
+        slots[0] = np.asarray(batch, dtype=plan.dtype)
+        for name, slot in (getattr(plan, "extra_inputs", {}) or {}).items():
+            value = extras[name]
+            slots[slot] = (value.copy()
+                           if isinstance(value, np.ndarray) else value)
+        return slots
+
+    for step in plan.steps:
+        if step.kind != "composite":
+            continue
+        inner = step.params["steps"]
+        # Reference: interpret, capturing each result as produced (no
+        # releases — slot reuse must not mask an intermediate mismatch).
+        slots = fresh_slots()
+        expected = []
+        for s in inner:
+            args = [slots[i] for i in s.inputs]
+            slots[s.out] = _KERNELS[s.kind](s, *args)
+            expected.append(slots[s.out])
+        # Candidate: the compiled closure with a per-step trace.
+        trace = []
+        _compile_composite(plan, step, debug=True)(fresh_slots(), trace)
+        for s, want, got in zip(inner, expected, trace):
+            if not _bitwise_equal(want, got):
+                return step_label(plan, s)
+    return None

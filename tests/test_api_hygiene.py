@@ -39,6 +39,9 @@ PUBLIC_MODULES = [
     "repro.serving", "repro.serving.compiler", "repro.serving.engine",
     "repro.serving.batcher", "repro.serving.server",
     "repro.serving.metrics", "repro.serving.autotune",
+    "repro.serving.record",
+    "repro.gen", "repro.gen.compiler", "repro.gen.session",
+    "repro.gen.sampling", "repro.gen.reference", "repro.gen.record",
     "repro.cluster", "repro.cluster.planstore", "repro.cluster.worker",
     "repro.cluster.router", "repro.cluster.server", "repro.cluster.net",
 ]

@@ -28,11 +28,22 @@ def _run_lines(job):
 
 
 def test_workflow_parses_and_has_expected_jobs(workflow):
-    assert set(workflow["jobs"]) == {"smoke", "lint", "bench", "full"}
+    assert set(workflow["jobs"]) == {"smoke", "lint", "determinism",
+                                     "bench", "full"}
     # "on" parses as YAML boolean True.
     triggers = workflow.get("on", workflow.get(True))
     assert "push" in triggers and "pull_request" in triggers
     assert "schedule" in triggers and "workflow_dispatch" in triggers
+
+
+def test_superseded_runs_are_cancelled(workflow):
+    concurrency = workflow["concurrency"]
+    assert concurrency["cancel-in-progress"] is True
+    # Pushes share a per-ref group; nightly runs must not cancel each
+    # other, so the scheduled group keys on the unique run id.
+    assert "github.ref" in concurrency["group"]
+    assert "github.run_id" in concurrency["group"]
+    assert "schedule" in concurrency["group"]
 
 
 def test_smoke_job_runs_fast_tier(workflow):
@@ -53,11 +64,23 @@ def test_smoke_job_runs_fast_tier(workflow):
 
 
 def test_jobs_cache_pip(workflow):
-    for name in ("smoke", "lint", "bench", "full"):
+    for name in ("smoke", "lint", "determinism", "bench", "full"):
         steps = workflow["jobs"][name]["steps"]
         setups = [s for s in steps
                   if "setup-python" in str(s.get("uses", ""))]
         assert setups and setups[0]["with"]["cache"] == "pip", name
+    # The bench job additionally keeps the pip cache warm with an
+    # explicit actions/cache step (keyed on this workflow file).
+    caches = [s for s in workflow["jobs"]["bench"]["steps"]
+              if "actions/cache" in str(s.get("uses", ""))]
+    assert caches and "~/.cache/pip" in caches[0]["with"]["path"]
+    assert "restore-keys" in caches[0]["with"]
+
+
+def test_determinism_job_runs_recorded_contract(workflow):
+    runs = " ".join(_run_lines(workflow["jobs"]["determinism"]))
+    assert "tests/test_gen_recorded.py" in runs
+    assert (ROOT / "tests" / "test_gen_recorded.py").exists()
 
 
 def test_lint_job_matches_ruff_config(workflow):
@@ -91,12 +114,38 @@ def test_bench_job_uploads_serving_artifact(workflow):
                if "upload-artifact" in str(s.get("uses", ""))]
     paths = [step["with"]["path"] for step in uploads]
     assert "BENCH_serving.json" in paths
+    assert "BENCH_history.jsonl" in paths
     assert "BENCH_trace_sample.json" in paths
     # The benchmarks must write where the job uploads from.
     env = next(s.get("env", {}) for s in job["steps"]
                if "test_serving_throughput" in str(s.get("run", "")))
     assert env["BENCH_SERVING_JSON"] == "BENCH_serving.json"
     assert env["BENCH_TRACE_JSON"] == "BENCH_trace_sample.json"
+
+
+def test_bench_job_gates_against_committed_baseline(workflow):
+    """The regression gate runs after the benchmarks, against the
+    baseline and artifact paths that actually exist in the repo."""
+    runs = _run_lines(workflow["jobs"]["bench"])
+    gate = next(r for r in runs if "check_regression" in r)
+    assert "--fresh BENCH_serving.json" in gate
+    assert "--baseline BENCH_baseline.json" in gate
+    assert (ROOT / "benchmarks" / "check_regression.py").exists()
+    assert (ROOT / "BENCH_baseline.json").exists()
+    # Step order: generate, gate, append history, upload.
+    order = [i for i, r in enumerate(runs)
+             if "test_serving_throughput" in r or "check_regression" in r
+             or "append_history" in r]
+    assert order == sorted(order) and len(order) == 3
+
+
+def test_bench_job_appends_trajectory_history(workflow):
+    runs = " ".join(_run_lines(workflow["jobs"]["bench"]))
+    assert "append_history" in runs
+    assert "--history BENCH_history.jsonl" in runs
+    assert (ROOT / "benchmarks" / "append_history.py").exists()
+    # The committed seed keeps the trajectory non-empty from day one.
+    assert (ROOT / "BENCH_history.jsonl").read_text().strip()
 
 
 def test_full_job_runs_whole_suite_on_schedule_only(workflow):

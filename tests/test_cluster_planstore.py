@@ -211,21 +211,31 @@ def _random_plan(rng, blocks=None, shared_weight=None):
         extra_inputs=extra_inputs)
 
 
+def _assert_steps_equal(sa, sb):
+    assert sa.kind == sb.kind
+    assert tuple(sa.inputs) == tuple(sb.inputs)
+    assert sa.out == sb.out
+    assert tuple(sa.release) == tuple(sb.release)
+    assert set(sa.params) == set(sb.params)
+    for key, va in sa.params.items():
+        vb = sb.params[key]
+        if sa.kind == "composite" and key == "steps":
+            # Composite megasteps nest real KernelStep objects; compare
+            # them recursively (object equality would compare identity).
+            assert len(va) == len(vb)
+            for inner_a, inner_b in zip(va, vb):
+                _assert_steps_equal(inner_a, inner_b)
+        elif isinstance(va, np.ndarray):
+            assert vb.dtype == va.dtype
+            np.testing.assert_array_equal(vb, va)
+        else:
+            assert vb == va
+
+
 def _assert_plans_equal(a, b):
     assert len(a.steps) == len(b.steps)
     for sa, sb in zip(a.steps, b.steps):
-        assert sa.kind == sb.kind
-        assert tuple(sa.inputs) == tuple(sb.inputs)
-        assert sa.out == sb.out
-        assert tuple(sa.release) == tuple(sb.release)
-        assert set(sa.params) == set(sb.params)
-        for key, va in sa.params.items():
-            vb = sb.params[key]
-            if isinstance(va, np.ndarray):
-                assert vb.dtype == va.dtype
-                np.testing.assert_array_equal(vb, va)
-            else:
-                assert vb == va
+        _assert_steps_equal(sa, sb)
     assert a.layers == b.layers
     assert (a.v, a.c, a.metric, a.precision) == (b.v, b.c, b.metric,
                                                  b.precision)
@@ -281,6 +291,46 @@ class TestSpecFuzz:
         gemm_2 = [s for s in rebuilt[2].steps if s.kind == "gemm"][0]
         assert gemm_1.params["weight"] is gemm_2.params["weight"]
 
+    @pytest.mark.parametrize("trial", range(8))
+    def test_recorded_plan_round_trips_bitwise(self, trial):
+        """Fused (composite-megastep) plans survive the manifest round
+        trip: the nested steps re-encode recursively, lut operands
+        rebuild as views into the shared blocks at any depth, and the
+        rebuilt composite executes bit-identically (recompiling its
+        closure from the decoded steps)."""
+        from repro.serving.record import fuse_plan
+
+        rng = np.random.default_rng(300 + trial)
+        plan = _random_plan(rng)
+        fused = fuse_plan(plan)
+        manifest, arrays = plan_to_spec(fused)
+        assert b"numpy" not in pickle.dumps(manifest)
+        rebuilt = plan_from_spec(manifest, arrays)
+        _assert_plans_equal(fused, rebuilt)
+        (composite,) = rebuilt.steps
+        assert composite.kind == "composite"
+        assert not hasattr(composite, "_compiled")  # closures never ship
+        for step in composite.params["steps"]:
+            if step.kind != "lut_gemm":
+                continue
+            assert _root(step.params["centroids"]) is rebuilt.centroids
+            assert _root(step.params["table"]) is rebuilt.tables
+
+    def test_fused_and_unfused_variants_share_one_table(self):
+        """Publishing a plan together with its recorded variant adds no
+        arrays: the composite nests the interpreted plan's steps (and
+        operands) by identity, exactly how the gen compiler groups them."""
+        from repro.serving.record import fuse_plan
+
+        rng = np.random.default_rng(400)
+        plan = _random_plan(rng)
+        fused = fuse_plan(plan)
+        solo = len(plan_to_spec(plan)[1])
+        table = _ArrayTable()
+        plan_to_spec(plan, table)
+        plan_to_spec(fused, table)
+        assert len(table.arrays) == solo
+
 
 class TestGroupPublish:
     def test_gen_plan_group_lives_in_one_segment(self, gen_plan_fp64):
@@ -309,6 +359,38 @@ class TestGroupPublish:
             np.testing.assert_array_equal(
                 execute_plan(loaded["prefill8"], prompts),
                 execute_plan(gen_plan_fp64.prefill[8], prompts))
+
+    def test_recorded_gen_plans_publish_and_replay(self, gen_plan_fp64):
+        """Recorded (fused) gen plans ride the published group and, once
+        rebuilt from the store, execute bit-identically to the
+        interpreted plans — the worker-respawn path in miniature."""
+        plans = {
+            "prefill8": gen_plan_fp64.prefill[8],
+            "rprefill8": gen_plan_fp64.recorded_prefill[8],
+            "decode": gen_plan_fp64.decode,
+            "rdecode": gen_plan_fp64.recorded_decode,
+        }
+        rng = np.random.default_rng(12)
+        prompts = rng.integers(0, 64, size=(3, 8))
+        with SharedPlanStore() as store:
+            handles = store.publish_group(plans)
+            cache = {}
+            loaded = {key: handle.load(segments=cache)
+                      for key, handle in handles.items()}
+            assert len(cache) == 1
+            want, want_taps = execute_plan(loaded["prefill8"], prompts,
+                                           return_taps=True)
+            got, got_taps = execute_plan(loaded["rprefill8"], prompts,
+                                         return_taps=True)
+            np.testing.assert_array_equal(got, want)
+            assert set(got_taps) == set(want_taps)
+            for name in want_taps:
+                np.testing.assert_array_equal(got_taps[name],
+                                              want_taps[name])
+            (composite,) = loaded["rdecode"].steps
+            assert composite.kind == "composite"
+            assert len(composite.params["steps"]) == len(
+                loaded["decode"].steps)
 
     def test_publish_group_duplicate_key_is_atomic(self, plan_and_model):
         plan, _ = plan_and_model

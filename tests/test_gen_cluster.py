@@ -166,6 +166,37 @@ class TestSampledDeterminism:
                 client.generate_all("gpt_nano", [1, 2, 3], 2,
                                     sampling={"temprature": 1.0})
 
+    def test_respawned_worker_rebuilds_recorded_plans(self, gen_model,
+                                                      cluster):
+        """Kill every worker: the respawned fleet reloads the published
+        group — including the recorded (fused) variants — from the plan
+        store. Proof it actually *replays* them: a profiled generation
+        shows the recorded path's ``kv_bind`` row, and the stream is
+        still the reference bit for bit."""
+        for shard in list(cluster.shards):
+            shard.process.process.kill()
+            shard.process.process.join(10.0)
+        # Crash detection is lazy: poke the dead fleet until the router
+        # notices (kicking off respawns), then wait for both workers.
+        def fleet_is_back():
+            try:
+                cluster.generate_all("gpt_nano", [1, 2, 3], 1)
+            except Exception:
+                return False
+            return cluster.alive_workers() == 2
+
+        assert _wait_for(fleet_is_back), cluster.summary()
+        assert cluster.set_profiling(True) == 2
+        try:
+            rng = np.random.default_rng(13)
+            prompt = rng.integers(0, 64, size=9)
+            got = cluster.generate_all("gpt_nano", prompt, MAX_NEW)
+            assert got == lut_generate(gen_model, prompt, MAX_NEW)
+            decode = cluster.stats()["profiler"]["gpt_nano@decode"]
+            assert decode["kv_bind"]["calls"] >= 1
+        finally:
+            cluster.set_profiling(False)
+
     def test_crash_respawn_reproduces_the_stream(self, gen_model, cluster):
         """Kill the pinned worker mid-generation: the live stream fails
         (its KV cache died), but the respawned fleet reproduces the

@@ -1,0 +1,268 @@
+"""Recorded decode determinism: fused megasteps never change a bit.
+
+The recorded hot path (one compiled closure per decode tick over
+persistent KV stacks, :mod:`repro.gen.record`) carries the same
+acceptance contract as every other serving path: fp64 output must be
+bit-identical to the interpreted engine and the per-request
+``lut_generate`` reference — every bucket, greedy and seeded sampling,
+in process and over TCP. When fusion ever breaks that,
+:func:`repro.serving.record.check_composite` fails with a *named*
+kernel (the first inner step whose compiled result diverges from the
+interpreter's), not a generic token mismatch — pinned here with a
+deliberately corrupted kernel table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    GenModelSpec,
+)
+from repro.gen import (
+    GenConfig,
+    GenCore,
+    GeneratorServer,
+    SamplingConfig,
+    lut_generate,
+)
+from repro.serving.record import check_composite, fuse_plan
+
+MAX_NEW = 8
+PROMPT_LENGTHS = (5, 11, 23)  # one prompt per bucket (8 / 16 / 32)
+SAMPLING = SamplingConfig(temperature=0.85, top_k=16, seed=321)
+
+
+def _drain(core, prompt, max_new, sampling=None):
+    """Run one prompt through a GenCore; returns the emitted tokens."""
+    sid, first, done = core.start(prompt, max_new, sampling=sampling)
+    tokens = [first]
+    while core.active():
+        for _, token, _ in core.step():
+            tokens.append(token)
+    return tokens
+
+
+def _drain_many(core, prompts, max_new, sampling=None, stagger_after=2):
+    """Staggered continuous batching: admit some, tick, admit the rest."""
+    tokens = {}
+    for prompt in prompts[:stagger_after]:
+        sid, first, _ = core.start(prompt, max_new, sampling=sampling)
+        tokens[sid] = [first]
+    for _ in range(3):
+        for sid, token, _ in core.step():
+            tokens[sid].append(token)
+    for prompt in prompts[stagger_after:]:
+        sid, first, _ = core.start(prompt, max_new, sampling=sampling)
+        tokens[sid] = [first]
+    while core.active():
+        for sid, token, _ in core.step():
+            tokens[sid].append(token)
+    return [tokens[sid] for sid in sorted(tokens)]
+
+
+class TestFusion:
+    def test_fused_plans_nest_original_steps_by_identity(self, gen_plan_fp64):
+        decode = gen_plan_fp64.decode
+        fused = gen_plan_fp64.recorded_decode
+        (composite,) = fused.steps
+        assert composite.kind == "composite"
+        assert composite.params["label"] == "recorded:%s" % decode.model_name
+        assert all(a is b for a, b in zip(composite.params["steps"],
+                                          decode.steps))
+        assert fused.output_slot == decode.output_slot
+        assert fused.extra_inputs == decode.extra_inputs
+        assert gen_plan_fp64.meta["recorded"] is True
+
+    def test_fusing_is_idempotent(self, gen_plan_fp64):
+        fused = gen_plan_fp64.recorded_decode
+        assert fuse_plan(fused) is fused
+
+    def test_recorded_variants_add_no_storage(self, gen_model):
+        from repro.gen import compile_generation
+        from repro.serving.compiler import unique_array_bytes
+
+        plan = compile_generation(gen_model, buckets=(8, 16), verify=False,
+                                  precision="fp64", name="gpt_nano")
+        base = plan.plans()
+        recorded = list(plan.recorded_prefill.values())
+        recorded.append(plan.recorded_decode)
+        # Composite params nest the interpreted steps' arrays by identity:
+        # counting the recorded variants in adds zero unique bytes.
+        assert (unique_array_bytes(base + recorded)
+                == unique_array_bytes(base))
+
+    def test_compile_can_opt_out(self, gen_model):
+        from repro.gen import compile_generation
+
+        plan = compile_generation(gen_model, buckets=(8,), verify=False,
+                                  precision="fp64", record=False,
+                                  name="gpt_nano")
+        assert plan.recorded_decode is None
+        assert plan.recorded_prefill is None
+        assert plan.meta["recorded"] is False
+        core = GenCore(plan)  # record=True requested, nothing to replay
+        assert not core.recording
+
+
+class TestNamedKernelDiagnosis:
+    @pytest.mark.parametrize("bucket", (8, 16, 32))
+    def test_check_composite_passes_every_bucket(self, gen_plan_fp64,
+                                                 bucket):
+        rng = np.random.default_rng(bucket)
+        batch = rng.integers(0, 64, size=(3, bucket))
+        assert check_composite(gen_plan_fp64.recorded_prefill[bucket],
+                               batch) is None
+
+    def test_corrupted_kernel_is_named(self, gen_plan_fp64, monkeypatch):
+        """A fusion regression must fail CI naming the diverging kernel:
+        skew the engine's gelu entry (the interpreter reference) so the
+        compiled closure's inlined gelu no longer matches it."""
+        from repro.serving import engine
+
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, 64, size=(2, 8))
+        fused = gen_plan_fp64.recorded_prefill[8]
+        assert check_composite(fused, batch) is None
+        real = engine._KERNELS["gelu"]
+        monkeypatch.setitem(engine._KERNELS, "gelu",
+                            lambda step, x: real(step, x) * (1.0 + 1e-12))
+        assert check_composite(fused, batch) == "gelu"
+
+
+class TestRecordedBitExactness:
+    """fp64 recorded output == interpreted output == lut_generate."""
+
+    @pytest.mark.parametrize("length", PROMPT_LENGTHS)
+    def test_single_session_matches_reference(self, gen_model,
+                                              gen_plan_fp64, length):
+        rng = np.random.default_rng(length)
+        prompt = rng.integers(0, 64, size=length)
+        want = lut_generate(gen_model, prompt, MAX_NEW)
+        recorded = _drain(GenCore(gen_plan_fp64, record=True), prompt,
+                          MAX_NEW)
+        interpreted = _drain(GenCore(gen_plan_fp64, record=False), prompt,
+                             MAX_NEW)
+        assert recorded == interpreted == want
+
+    @pytest.mark.parametrize("sampling", (None, SAMPLING),
+                             ids=("greedy", "sampled"))
+    def test_staggered_batches_match_interpreted(self, gen_plan_fp64,
+                                                 sampling):
+        """Sessions joining and leaving the recorded batch (rebinding the
+        persistent stacks mid-stream) change nothing: every stream equals
+        the interpreted engine's, across all three buckets at once."""
+        rng = np.random.default_rng(99)
+        prompts = [rng.integers(0, 64, size=n) for n in (5, 11, 23, 7)]
+        recorded = _drain_many(GenCore(gen_plan_fp64, record=True),
+                               prompts, MAX_NEW, sampling=sampling)
+        interpreted = _drain_many(GenCore(gen_plan_fp64, record=False),
+                                  prompts, MAX_NEW, sampling=sampling)
+        assert recorded == interpreted
+
+    @pytest.mark.parametrize("sampling", (None, SAMPLING),
+                             ids=("greedy", "sampled"))
+    def test_generator_server_record_toggle_is_invisible(self, gen_model,
+                                                         gen_plan_fp64,
+                                                         sampling):
+        rng = np.random.default_rng(5)
+        prompts = [rng.integers(0, 64, size=n) for n in (6, 13, 22)]
+        results = {}
+        for record in (True, False):
+            config = GenConfig(precision="fp64", record=record)
+            with GeneratorServer(gen_model, plan=gen_plan_fp64,
+                                 config=config) as server:
+                assert server.core.recording is record
+                sessions = [server.generate(p, MAX_NEW, sampling=sampling)
+                            for p in prompts]
+                results[record] = [s.result(120) for s in sessions]
+        assert results[True] == results[False]
+        if sampling is None:
+            assert results[True] == [lut_generate(gen_model, p, MAX_NEW)
+                                     for p in prompts]
+
+    def test_step_many_replays_identically(self, gen_plan_fp64):
+        rng = np.random.default_rng(17)
+        prompts = [rng.integers(0, 64, size=n) for n in (5, 11)]
+        tokens = {}
+        core = GenCore(gen_plan_fp64, record=True)
+        for prompt in prompts:
+            sid, first, _ = core.start(prompt, MAX_NEW)
+            tokens[sid] = [first]
+        while core.active():
+            events = core.step_many(1000)
+            assert events  # active batch must make progress
+            for sid, token, _ in events:
+                tokens[sid].append(token)
+        want = _drain_many(GenCore(gen_plan_fp64, record=False), prompts,
+                           MAX_NEW, stagger_after=2)
+        assert [tokens[sid] for sid in sorted(tokens)] == want
+
+    def test_profiler_reports_fused_kernel_rows(self, gen_plan_fp64):
+        """Under a profiler the recorded tick interprets the composite's
+        inner steps, so per-kernel rows (``lut_gemm:<module>``,
+        ``cached_attention``) still feed ``versus_predicted()`` — plus
+        the recorded-path rows ``kv_bind`` and ``sampling``."""
+        from repro.obs.profiler import StepProfiler
+
+        rng = np.random.default_rng(23)
+        core = GenCore(gen_plan_fp64, record=True)
+        core.profiler = StepProfiler()
+        _drain(core, rng.integers(0, 64, size=9), MAX_NEW)
+        decode = core.profiler.snapshot()[gen_plan_fp64.decode.model_name]
+        assert decode["kv_bind"]["calls"] >= 1
+        assert decode["sampling"]["calls"] >= MAX_NEW - 1
+        assert decode["kv_append"]["calls"] >= (MAX_NEW - 1) * 2
+        assert decode["cached_attention"]["calls"] >= (MAX_NEW - 1) * 2
+        assert any(label.startswith("lut_gemm:") for label in decode)
+
+    def test_recording_frees_stacks_when_batch_drains(self, gen_plan_fp64):
+        rng = np.random.default_rng(31)
+        core = GenCore(gen_plan_fp64, record=True)
+        _drain(core, rng.integers(0, 64, size=5), MAX_NEW)
+        assert core.step() == []  # drained tick releases the recording
+        assert core.cache_bytes() == 0
+
+
+class TestRecordedOverTCP:
+    def test_recorded_and_unrecorded_clusters_agree(self, gen_model):
+        """Full distributed path, both modes: plans published through the
+        store, workers rebuilding them from manifests, tokens streamed
+        over TCP — recorded output equals unrecorded equals reference,
+        greedy and sampled."""
+        rng = np.random.default_rng(41)
+        prompts = [rng.integers(0, 64, size=n) for n in PROMPT_LENGTHS]
+        streams = {}
+        for record in (True, False):
+            config = ClusterConfig(workers=1, precision="fp64")
+            spec = GenModelSpec(gen_model, buckets=(8, 16, 32),
+                                record=record)
+            cluster = ClusterServer({"gpt_nano": spec}, config)
+            try:
+                meta = cluster._gen_meta["gpt_nano"]
+                if record:
+                    assert meta["recorded_decode_key"] == "gpt_nano::rdecode"
+                    assert [b for b, _ in meta["recorded_prefill_keys"]] \
+                        == [8, 16, 32]
+                else:
+                    assert meta["recorded_decode_key"] is None
+                with ClusterTCPServer(cluster) as tcp:
+                    host, port = tcp.address
+                    with ClusterClient(host, port) as client:
+                        streams[record] = [
+                            list(client.generate("gpt_nano", p, MAX_NEW))
+                            for p in prompts
+                        ] + [
+                            client.generate_all("gpt_nano", p, MAX_NEW,
+                                                sampling=SAMPLING)
+                            for p in prompts
+                        ]
+            finally:
+                cluster.shutdown(drain=True, timeout=30.0)
+        assert streams[True] == streams[False]
+        greedy = streams[True][:len(prompts)]
+        assert greedy == [lut_generate(gen_model, p, MAX_NEW)
+                          for p in prompts]

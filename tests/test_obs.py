@@ -149,13 +149,16 @@ class TestTracer:
     def test_span_ids_embed_the_pid(self, tracer):
         """Cross-process uniqueness: ids carry the pid above the
         counter bits, so a stitched trace's parent links never collide
-        between the front-end and a worker (both count from 1)."""
+        between the front-end and a worker (both count from 1). 22 pid
+        bits + 31 counter bits is exactly 53: every id must stay exact
+        through JSON float64 no matter how large the pid is."""
         import os
 
         with tracer.span("a") as a:
             pass
-        assert a.span >> 40 == os.getpid() & 0x3FFFFF
+        assert a.span >> 31 == os.getpid() & 0x3FFFFF
         assert a.span < 1 << 53  # stays exact through JSON float64
+        assert ((0x3FFFFF << 31) | 0x7FFFFFFF) < 1 << 53  # worst case
 
     def test_clear_and_trace_filter(self, tracer):
         with tracer.span("keep") as keep:

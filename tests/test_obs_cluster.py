@@ -177,10 +177,13 @@ class TestStatsAndMetrics:
         assert any(label.startswith("lut_gemm:")
                    for label in profiler["mlp"])
         decode = profiler["gpt_nano@decode"]
-        for label in ("kv_append", "cached_attention", "sampling",
-                      "kv_stack"):
+        for label in ("kv_append", "cached_attention", "sampling"):
             assert decode[label]["calls"] >= MAX_NEW - 1
             assert decode[label]["total_ms"] >= 0.0
+        # Recorded decode binds the persistent KV stacks per batch
+        # composition, not per tick: at least the initial bind shows up.
+        assert decode["kv_bind"]["calls"] >= 1
+        assert decode["kv_bind"]["total_ms"] >= 0.0
         assert any(key.startswith("gpt_nano@prefill") for key in profiler)
 
         telemetry = stats["telemetry"]["gpt_nano"]
