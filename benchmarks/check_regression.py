@@ -14,7 +14,11 @@ set, so the comparison shows on the run page), and exits non-zero when
   silently stopped reporting), or
 - the disabled-tracing cost exceeds the absolute 5% budget (the same
   gate ``test_tracing_overhead_gate`` asserts, re-checked here so the
-  artifact and the gate can never disagree).
+  artifact and the gate can never disagree), or
+- the always-on metrics-plane cost exceeds its own absolute 5% budget
+  (mirroring ``test_metrics_plane_overhead``; checked only when the
+  fresh artifact carries the ``observability.metrics`` record, so older
+  artifacts still gate cleanly).
 
 Metrics present only in the fresh artifact are reported as ``new`` and
 pass — that is how a PR introduces a metric before its baseline exists.
@@ -42,6 +46,10 @@ THRESHOLD = 0.20
 # acceptance gate in benchmarks/test_observability.py.
 TRACING_GATE = 0.05
 
+# Absolute ceiling on the always-on metrics write cost fraction,
+# matching test_metrics_plane_overhead in the same file.
+METRICS_GATE = 0.05
+
 
 def extract_metrics(bench):
     """Flatten the gated throughput metrics out of a serving artifact.
@@ -68,7 +76,8 @@ def extract_metrics(bench):
     return metrics
 
 
-def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE):
+def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE,
+            metrics_gate=METRICS_GATE):
     """Diff two serving artifacts; returns ``(rows, failures)``.
 
     ``rows`` drive the markdown table; ``failures`` is a list of human
@@ -113,6 +122,22 @@ def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE):
             failures.append("disabled-tracing cost %.2f%% exceeds the "
                             "%.0f%% budget"
                             % (fraction * 100.0, tracing_gate * 100.0))
+
+    fraction = fresh.get("observability", {}) \
+                    .get("metrics", {}) \
+                    .get("enabled_overhead_fraction")
+    if fraction is not None:
+        base_fraction = baseline.get("observability", {}) \
+                                .get("metrics", {}) \
+                                .get("enabled_overhead_fraction")
+        ok = fraction <= metrics_gate
+        rows.append({"metric": "observability.metrics_overhead_fraction",
+                     "baseline": base_fraction, "current": fraction,
+                     "delta": None, "status": "ok" if ok else "FAIL"})
+        if not ok:
+            failures.append("always-on metrics cost %.2f%% exceeds the "
+                            "%.0f%% budget"
+                            % (fraction * 100.0, metrics_gate * 100.0))
     return rows, failures
 
 

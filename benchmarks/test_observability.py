@@ -1,6 +1,6 @@
 """Observability overhead gate + decode-step profile + trace artifact.
 
-Three records merged into the ``observability`` section of
+Four records merged into the ``observability`` section of
 ``BENCH_serving.json``:
 
 1. **Tracing overhead** — the same LeNet serving burst with tracing off
@@ -23,6 +23,14 @@ Three records merged into the ``observability`` section of
    the file (``BENCH_TRACE_JSON``, default ``BENCH_trace_sample.json``)
    so every commit has a loadable ``chrome://tracing`` specimen of the
    stitched front-end → router → worker trace.
+4. **Metrics plane cost** — per-write cost of the Prometheus registry's
+   hot paths (counter ``inc``, histogram ``observe``, and both with the
+   ``enabled`` kill switch off), the scrape+render latency of the
+   registry populated by a real serving burst, and the derived
+   ``enabled_overhead_fraction`` — per-write cost x writes/request x
+   measured request rate. The acceptance gate: always-on metrics must
+   consume ≤5% of serving time (re-checked by ``check_regression.py``
+   against the committed artifact).
 """
 
 import json
@@ -49,7 +57,14 @@ from repro.lutboost.converter import (
 )
 from repro.models import gpt_nano
 from repro.models.lenet import lenet
-from repro.obs import TRACE, from_chrome_trace, new_trace_id, save_chrome_trace
+from repro.obs import (
+    METRICS,
+    TRACE,
+    from_chrome_trace,
+    new_trace_id,
+    render_text,
+    save_chrome_trace,
+)
 from repro.serving import LUTServer, ServingConfig
 
 from conftest import emit, record_serving_bench
@@ -62,6 +77,13 @@ NULL_SPAN_CALLS = 200_000
 # plus headroom for future call sites. Deliberately generous — the gate
 # must stay honest as instrumentation spreads.
 SPANS_PER_REQUEST = 8
+
+# Registry writes one request costs on the serving path: the batcher's
+# request counter and queue-wait observe, the amortised batch-size and
+# engine-execute observes, the router's pick histogram and counter on
+# the cluster path, plus headroom for future call sites.
+METRIC_WRITES_PER_REQUEST = 12
+NULL_WRITE_CALLS = 200_000
 
 SESSIONS = 6
 MAX_NEW = 12
@@ -164,6 +186,92 @@ def test_tracing_overhead_gate(converted_lenet):
     # bound: best-of-N bursts on a shared single-core host still jitter
     # well past 10% in either direction.
     assert rate_off >= 0.70 * rate_on, (rate_off, rate_on)
+
+
+def test_metrics_plane_overhead(converted_lenet):
+    rng = np.random.default_rng(5)
+    requests = rng.normal(size=(REQUESTS, 1, 16, 16))
+    config = ServingConfig(max_batch_size=32, max_wait_ms=2.0,
+                           max_pending=4 * REQUESTS)
+    assert METRICS.enabled
+    with LUTServer(converted_lenet, (1, 16, 16), config) as server:
+        server.infer_many(requests[:8])  # warm the kernels
+        rate = 0.0
+        for _ in range(TRIALS):
+            rate = max(rate, _serve_burst(server, requests))
+
+    # Per-write cost of the registry's hot paths, measured directly on
+    # the cells the instrumented layers actually write through.
+    counter = METRICS.counter("bench_writes_total", "bench",
+                              labels=("op",)).labels(op="x")
+    hist = METRICS.histogram("bench_write_ms", "bench").labels()
+
+    def _per_call(fn):
+        start = time.perf_counter()
+        for _ in range(NULL_WRITE_CALLS):
+            fn()
+        return (time.perf_counter() - start) / NULL_WRITE_CALLS
+
+    inc_s = _per_call(counter.inc)
+    observe_s = _per_call(lambda: hist.observe(0.37))
+    METRICS.enabled = False
+    try:
+        disabled_s = _per_call(counter.inc)
+    finally:
+        METRICS.enabled = True
+
+    # Fraction of each second of serving spent writing metrics: the
+    # costlier write kind x writes per request x requests per second.
+    write_s = max(inc_s, observe_s)
+    enabled_fraction = write_s * METRIC_WRITES_PER_REQUEST * rate
+
+    # Scrape cost over the registry as the burst actually populated it.
+    start = time.perf_counter()
+    snap = METRICS.snapshot()
+    snapshot_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    text = render_text(snap)
+    render_ms = (time.perf_counter() - start) * 1e3
+    series = sum(len(entry["series"]) for entry in snap.values())
+
+    emit("Metrics plane (registry writes against %.0f req/s)" % rate,
+         format_table([
+             {"path": "counter.inc", "ns_per_call": inc_s * 1e9},
+             {"path": "histogram.observe", "ns_per_call": observe_s * 1e9},
+             {"path": "disabled write", "ns_per_call": disabled_s * 1e9},
+         ], floatfmt="%.4g"))
+    emit("Metrics overhead",
+         "%.0f ns/write x%d writes/request x %.0f req/s = %.4f%% of "
+         "serving time (gate: <= 5%%); scrape %d families / %d series "
+         "in %.2f ms + %.2f ms render"
+         % (write_s * 1e9, METRIC_WRITES_PER_REQUEST, rate,
+            enabled_fraction * 100.0, len(snap), series, snapshot_ms,
+            render_ms))
+    PAYLOAD["metrics"] = {
+        "model": "lenet",
+        "requests": REQUESTS,
+        "req_per_s": rate,
+        "counter_inc_ns": inc_s * 1e9,
+        "histogram_observe_ns": observe_s * 1e9,
+        "disabled_write_ns": disabled_s * 1e9,
+        "writes_per_request_budget": METRIC_WRITES_PER_REQUEST,
+        "enabled_overhead_fraction": enabled_fraction,
+        "scrape_families": len(snap),
+        "scrape_series": series,
+        "snapshot_ms": snapshot_ms,
+        "render_ms": render_ms,
+    }
+    record_serving_bench("observability", PAYLOAD)
+
+    # The acceptance gate: always-on metrics cost <= 5% of serving time.
+    assert enabled_fraction <= 0.05, PAYLOAD["metrics"]
+    # The kill switch must actually short-circuit the write (loose
+    # bound: both paths are tens of ns, well inside timer jitter).
+    assert disabled_s <= inc_s * 1.5, (disabled_s, inc_s)
+    # The burst's own instrumentation reached the exposition output
+    # (the batcher is named after its plan's model).
+    assert 'repro_batcher_requests_total{batcher="LeNet"}' in text
+    assert 'repro_engine_execute_ms_bucket{le="+Inf",plan="LeNet"}' in text
 
 
 def test_decode_step_breakdown(gen_setup):

@@ -81,6 +81,23 @@ class TestCompare:
         _, failures = check_regression.compare(_artifact(tracing=0.049), base)
         assert failures == []
 
+    def test_metrics_budget_is_absolute_and_optional(self):
+        # Without the observability.metrics record the gate stays quiet
+        # (older artifacts predate the metrics plane) ...
+        _, failures = check_regression.compare(_artifact(), _artifact())
+        assert failures == []
+        # ... and with it the 5% ceiling is absolute, like tracing's.
+        fresh = _artifact()
+        fresh["observability"]["metrics"] = {
+            "enabled_overhead_fraction": 0.08}
+        rows, failures = check_regression.compare(fresh, _artifact())
+        assert any("always-on metrics" in f for f in failures)
+        status = {r["metric"]: r["status"] for r in rows}
+        assert status["observability.metrics_overhead_fraction"] == "FAIL"
+        fresh["observability"]["metrics"]["enabled_overhead_fraction"] = 0.01
+        _, failures = check_regression.compare(fresh, _artifact())
+        assert failures == []
+
     def test_missing_metric_fails_but_new_metric_passes(self):
         fresh = _artifact()
         del fresh["cluster_scaling"]
@@ -139,6 +156,9 @@ class TestCommittedBaseline:
         fraction = baseline["observability"]["tracing_overhead"][
             "disabled_overhead_fraction"]
         assert fraction <= check_regression.TRACING_GATE
+        metrics = baseline["observability"]["metrics"][
+            "enabled_overhead_fraction"]
+        assert metrics <= check_regression.METRICS_GATE
 
     def test_baseline_passes_against_itself(self):
         baseline = json.loads(BASELINE.read_text())

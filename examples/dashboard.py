@@ -1,0 +1,183 @@
+"""Live terminal dashboard over the cluster's production metrics plane.
+
+One screen, refreshed in place, built entirely from the wire ops a real
+operations console would use — nothing here touches cluster internals:
+
+- ``op: health``   — one-line verdict: workers alive, queue depth, which
+  SLOs are burning, how many traces the flight recorder holds;
+- ``op: slo``      — per-objective compliance and multi-window burn
+  rates, merged across the front-end and every worker process;
+- ``op: stats``    — the merged Prometheus snapshot (per-shard request
+  counters, queue depths, KV bytes) for the per-shard table;
+- ``op: flight``   — the tail-sampled flight recorder's retained traces
+  (breaches/errors/samples), newest first.
+
+The declared TTFT objective is set deliberately tight (0.5 ms) so the
+demo traffic *breaches* it: the SLO panel shows a live burn rate and the
+flight recorder fills with inspectable traces — run
+``client.flight(worst=True)`` afterwards for the Chrome-trace document
+of the slowest offender.
+
+When stdout is a terminal the screen redraws in place (ANSI home+clear);
+piped output just prints each frame. Run:  python examples/dashboard.py
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    ClusterTCPServer,
+    GenModelSpec,
+    ModelSpec,
+)
+from repro.lutboost.converter import (
+    ConversionPolicy,
+    calibrate_model,
+    convert_model,
+)
+from repro.models import gpt_nano
+from repro.models.mlp import mlp
+from repro.obs import Objective
+from repro.obs.metrics import parse_label_key
+
+WORKERS = 2
+FRAMES = 3
+MAX_NEW = 8
+
+rng = np.random.default_rng(11)
+
+
+def build_cluster():
+    model = mlp(16, hidden=32, num_classes=4)
+    convert_model(model, ConversionPolicy(v=4, c=8))
+    calibrate_model(model, rng.normal(size=(40, 16)))
+    gen = gpt_nano()
+    convert_model(gen, ConversionPolicy(v=4, c=16))
+    calibrate_model(gen, rng.integers(0, 64, size=(8, 16)))
+
+    objectives = [
+        # Tight on purpose: prefill alone takes ~1 ms, so every first
+        # token breaches and the burn-rate panel lights up.
+        Objective("ttft_p99", "repro_gen_ttft_ms", threshold_ms=0.5,
+                  target=0.9,
+                  description="90% of first tokens in 0.5 ms"),
+        Objective("itl_p99", "repro_gen_itl_ms", threshold_ms=250.0,
+                  target=0.99, description="99% of ticks in 250 ms"),
+        Objective("error_rate", "repro_tcp_requests_total", kind="errors",
+                  bad_metric="repro_tcp_errors_total", target=0.999,
+                  description="99.9% of wire requests succeed"),
+    ]
+    config = ClusterConfig(workers=WORKERS, max_batch_size=8,
+                           max_wait_ms=1.0, objectives=objectives,
+                           flight=True, flight_capacity=32)
+    return ClusterServer(
+        {"mlp": ModelSpec(model, (16,)),
+         "gpt_nano": GenModelSpec(gen, buckets=(8, 16, 32))}, config)
+
+
+def drive_traffic(client):
+    """One frame's worth of load: a few generations + an infer burst."""
+    for _ in range(2):
+        list(client.generate("gpt_nano", rng.integers(0, 64, size=7),
+                             MAX_NEW))
+    client.infer_many("mlp", rng.normal(size=(6, 16)))
+
+
+def shard_rows(snapshot):
+    """Per-shard routing totals out of the merged Prometheus snapshot."""
+    rows = {}
+    for key, value in snapshot.get("repro_router_picks_total",
+                                   {}).get("series", {}).items():
+        labels = parse_label_key(key)
+        shard = labels.get("shard", "?")
+        rows.setdefault(shard, {})
+        rows[shard][labels.get("model", "?")] = int(value)
+    return sorted(rows.items())
+
+
+def render(frame, health, slo, stats, flights):
+    lines = []
+    verdict = "HEALTHY" if health["ok"] else "DEGRADED"
+    lines.append("=== cluster dashboard — frame %d — %s ===" % (frame,
+                                                                verdict))
+    lines.append(
+        "workers %d/%d alive | pending %d | accepting %s | "
+        "flight: %d retained (%s)"
+        % (health["alive_workers"], health["workers"], health["pending"],
+           health["accepting"], health["flight"]["retained"],
+           ", ".join("%s %d" % kv
+                     for kv in sorted(health["flight"]["counts"].items()))))
+
+    lines.append("")
+    lines.append("SLOs (burn 1.0 = spending the error budget exactly):")
+    lines.append("  %-12s %-8s %-10s %-14s %s"
+                 % ("objective", "target", "alerting", "compliance",
+                    "burn by window"))
+    for row in slo["objectives"]:
+        windows = row["windows"]
+        compliance = min(w["compliance"] for w in windows.values())
+        burns = " ".join("%ss=%.1f" % (w, windows[w]["burn_rate"])
+                         for w in sorted(windows, key=int))
+        lines.append("  %-12s %-8g %-10s %-14.3f %s"
+                     % (row["name"], row["target"],
+                        "FIRING" if row["alerting"] else "ok",
+                        compliance, burns))
+
+    snapshot = stats["metrics"]
+    rows = shard_rows(snapshot)
+    if rows:
+        lines.append("")
+        lines.append("shards (router picks by model):")
+        for shard, by_model in rows:
+            picks = ", ".join("%s %d" % kv
+                              for kv in sorted(by_model.items()))
+            lines.append("  shard %s: %s" % (shard, picks))
+
+    lines.append("")
+    lines.append("flight recorder (newest first):")
+    for entry in flights["entries"][:4]:
+        lines.append("  %-7s %8.2f ms  trace %s  (%d spans)"
+                     % (entry["reason"], entry["value_ms"] or 0.0,
+                        entry["trace"][:12], entry["span_count"]))
+    if not flights["entries"]:
+        lines.append("  (empty — no breaches, errors or samples yet)")
+    return "\n".join(lines)
+
+
+def main():
+    interactive = sys.stdout.isatty()
+    cluster = build_cluster()
+    try:
+        with ClusterTCPServer(cluster) as tcp:
+            host, port = tcp.address
+            with ClusterClient(host, port) as client:
+                for frame in range(1, FRAMES + 1):
+                    drive_traffic(client)
+                    screen = render(frame, client.health(), client.slo(),
+                                    client.stats(), client.flight())
+                    if interactive:
+                        sys.stdout.write("\x1b[H\x1b[2J")
+                        print(screen, flush=True)
+                        time.sleep(1.0)
+                    else:
+                        print(screen)
+                        print()
+                worst = client.flight(worst=True)
+                assert worst is not None, "tight TTFT objective never breached"
+                print("worst retained request: %.2f ms TTFT (%s) — %d "
+                      "Chrome-trace events"
+                      % (worst["entry"]["value_ms"],
+                         worst["entry"]["reason"],
+                         len(worst["chrome"]["traceEvents"])))
+    finally:
+        cluster.shutdown(drain=False, timeout=15.0)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,8 +28,21 @@ Request headers:
                                                        profiler/telemetry
     {"id": 12, "op": "trace", "trace": "<hex id>"}   -> recorded spans
     {"id": 13, "op": "obs", "tracing": true,
-     "profiling": true}               (no payload)   -> toggle tracing /
-                                                       worker profiling
+     "profiling": true, "flight": true}              -> toggle tracing /
+                                                       worker profiling /
+                                                       flight recording
+    {"id": 14, "op": "slo"}           (no payload)   -> objectives evaluated
+                                                       cluster-wide (burn
+                                                       rates per window)
+    {"id": 15, "op": "health"}        (no payload)   -> liveness + alerting
+                                                       verdict
+    {"id": 16, "op": "flight"}        (no payload)   -> retained tail-sample
+                                                       entries; with
+                                                       "trace"/"worst": one
+                                                       Chrome-trace document
+    {"id": 17, "op": "scrape"}        (no payload)   -> Prometheus text
+                                                       exposition of the
+                                                       merged registry
 
 The optional ``sampling`` field is ``SamplingConfig.to_dict()`` — omit
 it (or send null) for greedy decode. Because the sampling RNG is
@@ -77,6 +90,7 @@ import time
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, METRICS, render_text
 from ..obs.tracer import TRACE
 
 __all__ = [
@@ -90,6 +104,18 @@ __all__ = [
 # One length prefix bounds everything a peer can make us buffer.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 _HEADER_SEP = b"\n"
+
+# Front-end wire metrics: request/error totals per op (the error-rate
+# SLO's good/bad source) and frame body sizes both directions.
+_TCP_REQUESTS = METRICS.counter(
+    "repro_tcp_requests_total", "Wire requests served", labels=("op",))
+_TCP_ERRORS = METRICS.counter(
+    "repro_tcp_errors_total", "Wire requests that failed", labels=("op",))
+_FRAME_BYTES = METRICS.histogram(
+    "repro_tcp_frame_bytes", "Frame body sizes (bytes)", labels=("dir",),
+    buckets=DEFAULT_SIZE_BUCKETS)
+_FRAME_IN = _FRAME_BYTES.labels(dir="in")
+_FRAME_OUT = _FRAME_BYTES.labels(dir="out")
 
 
 class ProtocolError(RuntimeError):
@@ -218,6 +244,7 @@ class ClusterTCPServer:
                 body = await _read_frame(reader)
                 if body is None:
                     break
+                _FRAME_IN.observe(len(body))
                 try:
                     header, array = decode_frame(body)
                 except ProtocolError as exc:
@@ -257,8 +284,9 @@ class ClusterTCPServer:
         reply = {"id": request_id, "ok": True}
         payload = None
         loop = asyncio.get_running_loop()
+        op = header.get("op", "infer")
+        _TCP_REQUESTS.labels(op=op).inc()
         try:
-            op = header.get("op", "infer")
             if op == "ping":
                 pass
             elif op == "metrics":
@@ -271,6 +299,31 @@ class ClusterTCPServer:
             elif op == "trace":
                 reply["spans"] = await loop.run_in_executor(
                     None, self.cluster.trace_spans, header.get("trace"))
+            elif op == "slo":
+                # Ticks the front-end monitor and every worker's, then
+                # evaluates burn rates over the merged rings.
+                reply["slo"] = await loop.run_in_executor(
+                    None, self.cluster.slo)
+            elif op == "health":
+                reply["health"] = await loop.run_in_executor(
+                    None, self.cluster.health)
+            elif op == "scrape":
+                reply["text"] = render_text(await loop.run_in_executor(
+                    None, self.cluster.metrics_snapshot))
+            elif op == "flight":
+                flight = self.cluster.flight
+                if header.get("trace") or header.get("worst"):
+                    reply["flight"] = flight.chrome(
+                        header.get("trace"),
+                        worst=bool(header.get("worst")))
+                else:
+                    reply["flight"] = {
+                        "enabled": flight.enabled,
+                        "counts": dict(flight.counts),
+                        "entries": flight.entries(
+                            reason=header.get("reason"),
+                            window_s=header.get("window_s")),
+                    }
             elif op == "obs":
                 if "tracing" in header:
                     # Front-end process-global switch: traced *requests*
@@ -284,8 +337,13 @@ class ClusterTCPServer:
                     acked = await loop.run_in_executor(
                         None, self.cluster.set_profiling,
                         bool(header["profiling"]))
+                if "flight" in header:
+                    # Tail-sampled flight recording of untraced generate
+                    # requests (traced ones already belong to a caller).
+                    self.cluster.flight.enabled = bool(header["flight"])
                 reply["obs"] = {"tracing": TRACE.enabled,
-                                "profiling": acked}
+                                "profiling": acked,
+                                "flight": self.cluster.flight.enabled}
             elif op == "infer":
                 if array is None:
                     raise ProtocolError("inference request carries no array")
@@ -317,6 +375,7 @@ class ClusterTCPServer:
             else:
                 raise ProtocolError("unknown op %r" % (op,))
         except Exception as exc:  # noqa: BLE001 - reported to the peer
+            _TCP_ERRORS.labels(op=op).inc()
             reply = {"id": request_id, "ok": False,
                      "error": "%s: %s" % (type(exc).__name__, exc)}
             payload = None
@@ -333,6 +392,7 @@ class ClusterTCPServer:
         loop = asyncio.get_running_loop()
         done = object()
         stream = None
+        flight_ctx = None
         try:
             if array is None:
                 raise ProtocolError("generation request carries no prompt")
@@ -341,6 +401,13 @@ class ClusterTCPServer:
             # header fails as a protocol error, not a worker error.
             sampling = SamplingConfig.from_dict(header.get("sampling"))
             ctx = _trace_ctx(header)
+            if ctx is None:
+                # Tail sampling: an untraced request gets a recorder-
+                # minted trace context (None while the recorder is off)
+                # — cheap head tracing along its own path, with the
+                # retention decision deferred to completion.
+                flight_ctx = self.cluster.flight_begin()
+                ctx = flight_ctx
             t0 = time.monotonic()
 
             def start_session():
@@ -365,10 +432,13 @@ class ClusterTCPServer:
             stream = await loop.run_in_executor(None, traced_start)
             tokens = iter(stream)
             index = 0
+            t_first = None
             while True:
                 token = await loop.run_in_executor(None, next, tokens, done)
                 if token is done:
                     break
+                if t_first is None:
+                    t_first = time.monotonic()
                 await self._respond(
                     writer, write_lock,
                     {"id": request_id, "ok": True, "stream": True,
@@ -380,14 +450,37 @@ class ClusterTCPServer:
                 # The worker's final per-session numbers (TTFT includes
                 # worker-side prefill; ITL is its decode tick pace).
                 done_frame["telemetry"] = stream.telemetry
-            await self._respond(writer, write_lock, done_frame)
             if ctx is not None:
                 with TRACE.tracing(ctx):
                     TRACE.record_span(
                         "tcp.generate", t0, time.monotonic(), ctx=ctx,
                         cat="net", model=header.get("model"),
                         tokens=len(stream.tokens))
+            if flight_ctx is not None:
+                # Settle the flight (breach judged on front-door TTFT)
+                # *before* the done frame ships: a client that has read
+                # the done frame can immediately fetch this entry via
+                # ``op: flight``. Span collection is blocking worker
+                # RPCs, so it hops off the loop like every poll above.
+                ttft_ms = (None if t_first is None
+                           else (t_first - t0) * 1e3)
+                fctx = flight_ctx
+
+                def settle_flight():
+                    self.cluster.flight_finish(
+                        fctx, value_ms=ttft_ms,
+                        model=header.get("model"),
+                        tokens=len(stream.tokens))
+
+                await loop.run_in_executor(None, settle_flight)
+            await self._respond(writer, write_lock, done_frame)
         except Exception as exc:  # noqa: BLE001 - reported to the peer
+            _TCP_ERRORS.labels(op="generate").inc()
+            if flight_ctx is not None:
+                fctx, err = flight_ctx, str(exc)
+                await loop.run_in_executor(
+                    None, lambda: self.cluster.flight_finish(
+                        fctx, error=err, model=header.get("model")))
             await self._respond(
                 writer, write_lock,
                 {"id": request_id, "ok": False,
@@ -400,6 +493,7 @@ class ClusterTCPServer:
 
     async def _respond(self, writer, write_lock, header, payload=None):
         frame = encode_frame(header, payload)
+        _FRAME_OUT.observe(len(frame) - 4)  # body, sans length prefix
         async with write_lock:
             writer.write(frame)
             try:
@@ -630,13 +724,16 @@ class ClusterClient:
             return header["spans"]
         return self._with_retry(attempt)
 
-    def set_obs(self, tracing=None, profiling=None):
-        """Toggle front-end tracing and/or worker per-step profiling."""
+    def set_obs(self, tracing=None, profiling=None, flight=None):
+        """Toggle front-end tracing, worker per-step profiling, and/or
+        the tail-sampling flight recorder."""
         request = {"op": "obs"}
         if tracing is not None:
             request["tracing"] = bool(tracing)
         if profiling is not None:
             request["profiling"] = bool(profiling)
+        if flight is not None:
+            request["flight"] = bool(flight)
 
         def attempt():
             rid = self._send(dict(request))
@@ -644,6 +741,63 @@ class ClusterClient:
             header, _ = self._recv_matching({rid})
             self._check(header)
             return header.get("obs")
+        return self._with_retry(attempt)
+
+    def slo(self):
+        """Cluster-wide SLO evaluation: declared objectives with
+        per-window compliance and burn rates (``op: slo``)."""
+        def attempt():
+            rid = self._send({"op": "slo"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["slo"]
+        return self._with_retry(attempt)
+
+    def health(self):
+        """One-look health verdict (``op: health``)."""
+        def attempt():
+            rid = self._send({"op": "health"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["health"]
+        return self._with_retry(attempt)
+
+    def flight(self, trace=None, worst=False, reason=None, window_s=None):
+        """Flight-recorder readout (``op: flight``).
+
+        With neither ``trace`` nor ``worst``: the retained entry listing
+        (spanless rows + retention counts). With a trace id or
+        ``worst=True``: one entry's Chrome-trace document (``None`` when
+        nothing matches)."""
+        request = {"op": "flight"}
+        if trace is not None:
+            request["trace"] = trace
+        if worst:
+            request["worst"] = True
+        if reason is not None:
+            request["reason"] = reason
+        if window_s is not None:
+            request["window_s"] = float(window_s)
+
+        def attempt():
+            rid = self._send(dict(request))
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header.get("flight")
+        return self._with_retry(attempt)
+
+    def scrape(self):
+        """The merged cluster registry in Prometheus text exposition
+        format (``op: scrape``)."""
+        def attempt():
+            rid = self._send({"op": "scrape"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["text"]
         return self._with_retry(attempt)
 
     def infer(self, model, x):

@@ -25,13 +25,17 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
 from concurrent.futures import Future
 
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import METRICS, merge_snapshots
 from ..obs.profiler import StepProfiler
+from ..obs.slo import SLOMonitor, Objective
 from ..obs.telemetry import TokenTelemetry
 from ..obs.tracer import TRACE
 from ..serving.autotune import Autotuner
@@ -99,7 +103,8 @@ class ClusterConfig:
     def __init__(self, workers=2, max_batch_size=32, max_wait_ms=2.0,
                  max_pending=1024, precision="fp32", sim_config=None,
                  autotune=False, autotune_interval=24, start_timeout=120.0,
-                 respawn=True, default_max_new_tokens=16):
+                 respawn=True, default_max_new_tokens=16, objectives=None,
+                 flight=False, flight_capacity=64, flight_sample=0.0):
         self.workers = int(workers)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -114,6 +119,13 @@ class ClusterConfig:
         # it maps the plans). Disable for pure re-route semantics.
         self.respawn = bool(respawn)
         self.default_max_new_tokens = int(default_max_new_tokens)
+        # Declared SLOs evaluated by ``op: slo`` (None -> the stock
+        # serving objectives); Objective instances or plain dicts.
+        self.objectives = objectives
+        # Tail-sampling flight recorder on the TCP generate path.
+        self.flight = bool(flight)
+        self.flight_capacity = int(flight_capacity)
+        self.flight_sample = float(flight_sample)
 
     def __repr__(self):
         return ("ClusterConfig(workers=%d, max_batch=%d, max_wait=%.1fms, "
@@ -133,10 +145,11 @@ class Shard:
     """
 
     def __init__(self, index, handles, plan_keys, config, predictors,
-                 gen_meta=None):
+                 gen_meta=None, objectives=None):
         self.index = index
         self.process = ShardProcess(index, handles, gen_meta=gen_meta,
-                                    start_timeout=config.start_timeout)
+                                    start_timeout=config.start_timeout,
+                                    objectives=objectives)
         self.window = MetricsWindow()
         self.metrics = {}
         self.batchers = {}
@@ -150,6 +163,7 @@ class Shard:
                 workers=1,
                 max_pending=config.max_pending,
                 on_batch=self._observer(key, metrics),
+                name="%s/shard%d" % (key, index),
             )
             self.metrics[key] = metrics
             self.batchers[key] = batcher
@@ -332,6 +346,25 @@ class ClusterServer:
         self.config = config or ClusterConfig()
         if self.config.workers < 1:
             raise ValueError("a cluster needs at least one worker process")
+        # Normalised before shard spawn: each worker builds its own SLO
+        # monitor from these (shipped as plain dicts over the spawn args)
+        # and the front-end monitors the same declarations over its own
+        # registry — ``op: slo`` merges the rings.
+        raw_objectives = self.config.objectives
+        self.objectives = (None if raw_objectives is None
+                           else [Objective.from_dict(o)
+                                 for o in raw_objectives])
+        self.slo_monitor = SLOMonitor(METRICS, objectives=self.objectives)
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            sample_rate=self.config.flight_sample)
+        self.flight.enabled = bool(self.config.flight)
+        # The breach line the TCP generate path measures against: the
+        # declared TTFT objective, when there is one.
+        self._flight_threshold = next(
+            (o.threshold_ms for o in self.slo_monitor.objectives
+             if o.kind == "latency" and o.metric == "repro_gen_ttft_ms"),
+            None)
         self.store = SharedPlanStore()
         self.plans = {}
         self.gen_plans = {}
@@ -376,6 +409,38 @@ class ClusterServer:
         self._respawning = set()
         self._respawn_threads = []
         self._accepting = True
+        # Registry exports: the per-plan predicted cost next to the
+        # engine's measured execute histogram, the routing decision
+        # counters, and each shard's outstanding predicted cycles as a
+        # callback gauge (read from the live router at scrape time; the
+        # weakref lets a shut-down cluster fall off the registry).
+        cycles_gauge = METRICS.gauge(
+            "repro_plan_predicted_cycles",
+            "Predicted cycles per single-request execution",
+            labels=("model",))
+        for key, cycles in request_cycles.items():
+            cycles_gauge.labels(model=key).set(float(cycles))
+        self._m_pick_ms = METRICS.histogram(
+            "repro_router_pick_ms", "Router shard selection (ms)").labels()
+        self._m_picks = METRICS.counter(
+            "repro_router_picks_total", "Routing decisions",
+            labels=("model", "shard"))
+        ref = weakref.ref(self)
+        outstanding_gauge = METRICS.gauge(
+            "repro_router_outstanding_cycles",
+            "Outstanding predicted cycles per shard", labels=("shard",))
+
+        def _outstanding(index):
+            def read():
+                cluster = ref()
+                if cluster is None:
+                    return 0.0
+                return float(cluster.router.outstanding(index))
+            return read
+
+        for shard in self.shards:
+            outstanding_gauge.labels(shard=str(shard.index)).set_function(
+                _outstanding(shard.index))
 
     def _compile_gen(self, key, spec, precision):
         from ..gen.compiler import compile_generation
@@ -424,7 +489,8 @@ class ClusterServer:
 
     def _spawn_shard(self, index):
         return Shard(index, self._handles, self._plan_keys, self.config,
-                     self.predictors, gen_meta=self._gen_meta)
+                     self.predictors, gen_meta=self._gen_meta,
+                     objectives=self.objectives)
 
     # ------------------------------------------------------------------
     # Request path
@@ -455,6 +521,7 @@ class ClusterServer:
     def _dispatch(self, key, x, outer, tried, refused=0):
         """Pick a shard and chain its inner future onto ``outer``."""
         while True:
+            t_pick = time.perf_counter()
             try:
                 index = self.router.pick(key, exclude=tried)
             except NoShardAvailable as exc:
@@ -470,6 +537,8 @@ class ClusterServer:
                 return
             shard = self._by_index[index]
             tried.add(index)
+            self._m_pick_ms.observe((time.perf_counter() - t_pick) * 1e3)
+            self._m_picks.labels(model=key, shard=str(index)).inc()
             # Zero-duration event marking the routing decision (a traced
             # re-route shows up as several picks on one trace).
             TRACE.instant("router.pick", cat="router", shard=index,
@@ -591,9 +660,12 @@ class ClusterServer:
         prompt = np.asarray(prompt, dtype=np.int64).ravel()
         tried = set()
         while True:
+            t_pick = time.perf_counter()
             index = self.router.pick(key, exclude=tried)
             shard = self._by_index[index]
             tried.add(index)
+            self._m_pick_ms.observe((time.perf_counter() - t_pick) * 1e3)
+            self._m_picks.labels(model=key, shard=str(index)).inc()
             TRACE.instant("router.pick", cat="router", shard=index,
                           model=key)
             try:
@@ -693,6 +765,7 @@ class ClusterServer:
         rows = []
         profiler_snaps = []
         telemetry = {}
+        metric_snaps = [METRICS.snapshot()]
         for shard in self.shards:
             row = {"index": shard.index, "alive": shard.alive,
                    "window": shard.window.snapshot()}
@@ -706,13 +779,96 @@ class ClusterServer:
                     profiler_snaps.append(worker.get("profiler") or {})
                     for key, snap in (worker.get("telemetry") or {}).items():
                         telemetry.setdefault(key, []).append(snap)
+                    if worker.get("metrics"):
+                        metric_snaps.append(worker["metrics"])
             rows.append(row)
         return {
             "shards": rows,
             "profiler": StepProfiler.merge(profiler_snaps),
             "telemetry": {key: TokenTelemetry.merge(snaps)
                           for key, snaps in telemetry.items()},
+            "metrics": merge_snapshots(metric_snaps),
         }
+
+    def metrics_snapshot(self):
+        """Cluster-wide metrics registry snapshot: the front-end process's
+        own series merged with every alive worker's (worker series stay
+        distinct through their ``shard`` constant label; front-end series
+        carry none). This is the body ``op: scrape`` renders to text."""
+        snaps = [METRICS.snapshot()]
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                worker = shard.process.request("stats")
+            except (ShardCrashed, RuntimeError):
+                continue
+            if worker and worker.get("metrics"):
+                snaps.append(worker["metrics"])
+        return merge_snapshots(snaps)
+
+    def slo(self):
+        """Evaluate the declared objectives cluster-wide.
+
+        Ticks the front-end monitor and every alive worker's (the
+        ``slo`` RPC), merges their per-second rings by addition — slots
+        key on the shared wall clock — and evaluates burn rates over the
+        merged series. Tick-on-demand: no background thread is needed
+        for correctness, because each tick folds everything since the
+        previous one into the current slot.
+        """
+        self.slo_monitor.tick()
+        snaps = [self.slo_monitor.snapshot()]
+        sources = 1
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                snaps.append(shard.process.request("slo"))
+                sources += 1
+            except (ShardCrashed, RuntimeError):
+                continue
+        merged = SLOMonitor.merge(snaps)
+        return {
+            "objectives": SLOMonitor.evaluate(merged),
+            "window_s": merged["window_s"],
+            "windows": merged["windows"],
+            "alert_burn": merged["alert_burn"],
+            "sources": sources,
+        }
+
+    def health(self):
+        """One-look health verdict: worker liveness, admission state and
+        which declared objectives are currently burning hot."""
+        slo = self.slo()
+        alerting = [row["name"] for row in slo["objectives"]
+                    if row["alerting"]]
+        alive = self.alive_workers()
+        return {
+            "ok": bool(self._accepting and alive and not alerting),
+            "accepting": bool(self._accepting),
+            "workers": len(self.shards),
+            "alive_workers": alive,
+            "pending": self.pending(),
+            "alerting": alerting,
+            "flight": {"enabled": self.flight.enabled,
+                       "retained": len(self.flight),
+                       "counts": dict(self.flight.counts)},
+        }
+
+    def flight_begin(self):
+        """A flight-recorder trace context for one front-door request
+        (``None`` while the recorder is off)."""
+        return self.flight.begin()
+
+    def flight_finish(self, ctx, value_ms=None, error=None, **meta):
+        """Settle one flight: breach is judged against the declared TTFT
+        objective, and a retained entry pulls its stitched cross-process
+        spans via :meth:`trace_spans`."""
+        return self.flight.finish(
+            ctx, value_ms=value_ms, error=error,
+            threshold_ms=self._flight_threshold,
+            fetch_spans=self.trace_spans, **meta)
 
     def trace_spans(self, trace_id=None):
         """Recorded spans — front-end process plus every alive worker —

@@ -21,11 +21,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import threading
+import time
 
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.metrics import METRICS
 from ..obs.profiler import StepProfiler
+from ..obs.slo import SLOMonitor
 from ..obs.tracer import TRACE
 from ..serving.engine import ServingEngine
 
@@ -40,7 +43,7 @@ class ShardCrashed(RuntimeError):
     """The shard's worker process died (or its pipe broke) mid-flight."""
 
 
-def worker_main(conn, handles, gen_meta=None):
+def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
     """Child entry point: attach plans, serve RPCs until told to stop.
 
     Protocol (parent -> child) — every request carries a trace context
@@ -64,8 +67,11 @@ def worker_main(conn, handles, gen_meta=None):
         ``("trace", job_id, ctx, trace_id)``
                                          this worker's recorded spans as
                                          plain dicts (all, or one trace)
-        ``("stats", job_id, ctx)``       profiler + per-model telemetry
-                                         snapshots (the ``op: stats`` rows)
+        ``("stats", job_id, ctx)``       profiler + per-model telemetry +
+                                         metrics snapshots (``op: stats``)
+        ``("slo", job_id, ctx)``         tick this worker's SLO monitor
+                                         and return its ring snapshot
+                                         (merged parent-side)
         ``("obs", job_id, ctx, enable)`` toggle per-step profiling
         ``("stop",)``                    drain-free exit
     Replies (child -> parent):
@@ -86,6 +92,15 @@ def worker_main(conn, handles, gen_meta=None):
     loop — only a broken pipe or ``stop`` does.
     """
     engine = ServingEngine()
+    # This process's metric series carry the shard index as a constant
+    # label, so the cluster-wide merge keeps every worker's series
+    # distinct; the per-worker SLO monitor rings over the same registry
+    # (its per-second slots key on the shared wall clock, so the parent
+    # merges them by plain addition). The monitor is tick-on-demand: it
+    # advances on every ("slo", ...) RPC.
+    METRICS.constant_labels["shard"] = str(index)
+    slo_monitor = SLOMonitor(METRICS, objectives=list(objectives or ()) or
+                             None)
     # One mapping per segment, shared by every plan living in it (group-
     # published gen plans): the cache must outlive the plans, which pin
     # their shm objects but share them through it.
@@ -178,7 +193,11 @@ def worker_main(conn, handles, gen_meta=None):
                               for key, core in cores.items()},
                 "active": {key: core.active()
                            for key, core in cores.items()},
+                "metrics": METRICS.snapshot(),
             }
+        if op == "slo":
+            slo_monitor.tick()
+            return slo_monitor.snapshot()
         if op == "obs":
             (enable,) = args
             profiler = StepProfiler() if enable else None
@@ -222,13 +241,22 @@ class ShardProcess:
     gone, which the cluster server converts into a re-route.
     """
 
-    def __init__(self, index, handles, gen_meta=None, start_timeout=60.0):
+    def __init__(self, index, handles, gen_meta=None, start_timeout=60.0,
+                 objectives=None):
         self.index = index
         self._jobs = itertools.count()
         self._lock = threading.Lock()
+        # Parent-side RPC round-trip latency, labelled by op — queueing
+        # on the shard's single lane shows up here before anywhere else.
+        self._m_rpc = METRICS.histogram(
+            "repro_shard_rpc_ms", "Worker RPC round trip (ms)",
+            labels=("op",))
         self._conn, child_conn = _CTX.Pipe()
         self.process = _CTX.Process(
-            target=worker_main, args=(child_conn, handles, gen_meta),
+            target=worker_main,
+            args=(child_conn, handles, gen_meta, index,
+                  [o if isinstance(o, dict) else o.to_dict()
+                   for o in (objectives or ())]),
             name="lut-shard-%d" % index, daemon=True)
         self.process.start()
         # The child owns its end now; dropping the parent's reference is
@@ -268,6 +296,7 @@ class ShardProcess:
         this process) rides the message's third slot, so the worker's
         spans for this request join the caller's trace."""
         ctx = TRACE.context() if TRACE.enabled else None
+        t0 = time.perf_counter()
         with self._lock:
             if not self._alive:
                 raise ShardCrashed("shard %d is down" % self.index)
@@ -279,6 +308,7 @@ class ShardProcess:
                 self._alive = False
                 raise ShardCrashed(
                     "shard %d worker died mid-request" % self.index) from exc
+        self._m_rpc.labels(op=op).observe((time.perf_counter() - t0) * 1e3)
         tag, got_id, payload = reply
         if got_id != job_id:
             self._alive = False

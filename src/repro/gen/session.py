@@ -29,9 +29,11 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import weakref
 
 import numpy as np
 
+from ..obs.metrics import METRICS
 from ..obs.profiler import StepProfiler
 from ..obs.telemetry import TokenTelemetry
 from ..obs.tracer import TRACE
@@ -121,8 +123,33 @@ class GenCore:
         self._recording = None
         # TTFT/ITL per session (always on: a few appends per token is
         # noise next to a decode step); per-step profiling stays opt-in.
-        self.telemetry = TokenTelemetry()
+        # The model label strips the plan-variant suffix ("gpt@decode" →
+        # "gpt") so prefill/decode/sampling series line up per model.
+        self._model_label = plan.decode.model_name.rsplit("@", 1)[0]
+        self.telemetry = TokenTelemetry(label=self._model_label)
         self.profiler = None
+        label = self._model_label
+        self._m_prefill = METRICS.histogram(
+            "repro_gen_prefill_ms", "Prefill execution (ms)",
+            labels=("model",)).labels(model=label)
+        self._m_tick = METRICS.histogram(
+            "repro_gen_decode_tick_ms", "Decode tick duration (ms)",
+            labels=("model",)).labels(model=label)
+        self._m_sampling = METRICS.histogram(
+            "repro_gen_sampling_ms", "Token sampling (ms)",
+            labels=("model",)).labels(model=label)
+        # Live KV bytes as a callback gauge: evaluated at scrape time via
+        # a weakref so a retired core never pins itself in the registry.
+        # (Front-ends serialise core access, and cache_bytes only reads.)
+        ref = weakref.ref(self)
+
+        def _kv_bytes():
+            core = ref()
+            return float(core.cache_bytes()) if core is not None else 0.0
+
+        METRICS.gauge(
+            "repro_gen_kv_bytes", "KV cache bytes pinned by live sessions",
+            labels=("model",)).labels(model=label).set_function(_kv_bytes)
 
     # ------------------------------------------------------------------
     def active(self):
@@ -174,11 +201,13 @@ class GenCore:
         opened_at = time.monotonic()
         prompt = self.validate(prompt, max_new_tokens)
         padded, bucket = self.plan.pad_prompt(prompt)
+        t0 = time.perf_counter()
         with TRACE.span("gen.prefill", cat="gen", bucket=int(bucket),
                         prompt_len=int(len(prompt))):
             logits, taps = execute_plan(self.prefill_plan(bucket),
                                         padded[None], return_taps=True,
                                         profiler=self.profiler)
+        self._m_prefill.observe((time.perf_counter() - t0) * 1e3)
         return self.admit(prompt, logits[0],
                           {name: tap[0] for name, tap in taps.items()},
                           max_new_tokens, eos_token, sampling,
@@ -234,10 +263,14 @@ class GenCore:
         if not seqs:
             self._recording = None  # batch drained: release the stacks
             return []
+        t0 = time.perf_counter()
         with TRACE.span("decode.tick", cat="gen", sessions=len(seqs)):
             if self._record:
-                return self._step_recorded(seqs)
-            return self._step(seqs)
+                events = self._step_recorded(seqs)
+            else:
+                events = self._step(seqs)
+        self._m_tick.observe((time.perf_counter() - t0) * 1e3)
+        return events
 
     def step_many(self, max_ticks):
         """Replay up to ``max_ticks`` decode ticks back to back.
@@ -290,9 +323,11 @@ class GenCore:
         # sequence i's own policy at its own step counter (length of the
         # stream so far), so batch composition cannot shift any stream.
         t0 = clock() if profiler is not None else 0.0
+        t_samp = time.perf_counter()
         chosen = sample_tokens(logits[:len(seqs)],
                                [s.sampling for s in seqs],
                                [len(s.generated) for s in seqs])
+        self._m_sampling.observe((time.perf_counter() - t_samp) * 1e3)
         if profiler is not None:
             profiler.record(plan_name, "sampling", clock() - t0)
         events = []
@@ -344,9 +379,11 @@ class GenCore:
         tokens = np.array([s.next_token for s in rows], dtype=np.int64)
         logits = rec.tick(tokens, profiler)
         t0 = clock() if profiler is not None else 0.0
+        t_samp = time.perf_counter()
         chosen = sample_tokens(logits[:len(seqs)],
                                [s.sampling for s in seqs],
                                [len(s.generated) for s in seqs])
+        self._m_sampling.observe((time.perf_counter() - t_samp) * 1e3)
         if profiler is not None:
             profiler.record(plan_name, "sampling", clock() - t0)
         events = []
@@ -482,7 +519,8 @@ class GeneratorServer:
                 max_batch_size=self.config.max_batch_size,
                 max_wait_s=self.config.max_wait_ms / 1e3,
                 workers=1,
-                max_pending=self.config.max_pending)
+                max_pending=self.config.max_pending,
+                name="%s@prefill%d" % (self.core._model_label, bucket))
             for bucket in self.plan.buckets
         }
         self._decoder = threading.Thread(target=self._decode_loop,
@@ -494,8 +532,10 @@ class GeneratorServer:
         plan = self.core.prefill_plan(bucket)
 
         def run(stacked):
+            t0 = time.perf_counter()
             logits, taps = execute_plan(plan, stacked, return_taps=True,
                                         profiler=self.core.profiler)
+            self.core._m_prefill.observe((time.perf_counter() - t0) * 1e3)
             return [
                 (logits[i], {name: tap[i] for name, tap in taps.items()})
                 for i in range(len(stacked))

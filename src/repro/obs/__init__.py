@@ -1,4 +1,4 @@
-"""Observability: request tracing, per-kernel profiling, token telemetry.
+"""Observability: tracing, profiling, telemetry, metrics, SLOs, flights.
 
 The measurement layer under the whole serving stack, with no dependency
 on it (so every subsystem can import obs without cycles):
@@ -14,6 +14,15 @@ on it (so every subsystem can import obs without cycles):
   loadable, round-trippable) and a plain-text span tree.
 - ``telemetry`` — :class:`TokenTelemetry`: TTFT and inter-token latency
   percentiles per generation session and pooled per server/shard.
+- ``metrics`` — :class:`MetricsRegistry` (:data:`METRICS` singleton):
+  Prometheus-style labelled counters/gauges/histograms with per-thread
+  write cells, cross-process snapshot merging and text exposition.
+- ``slo`` — :class:`SLOMonitor`: per-second good/total rings over the
+  registry, evaluating declared :class:`Objective` s with multi-window
+  burn-rate alerting.
+- ``flight`` — :class:`FlightRecorder`: tail-sampled retention of
+  completed request traces (SLO breach / error / random sample) in a
+  bounded ring, exportable as Chrome-trace JSON.
 """
 
 from .export import (
@@ -22,7 +31,15 @@ from .export import (
     span_tree,
     to_chrome_trace,
 )
+from .flight import FlightRecorder
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    merge_snapshots,
+    render_text,
+)
 from .profiler import StepProfiler, step_label
+from .slo import Objective, SLOMonitor, default_objectives
 from .telemetry import TokenTelemetry, latency_stats
 from .tracer import TRACE, Span, Tracer, new_trace_id
 
@@ -39,4 +56,12 @@ __all__ = [
     "span_tree",
     "TokenTelemetry",
     "latency_stats",
+    "MetricsRegistry",
+    "METRICS",
+    "merge_snapshots",
+    "render_text",
+    "Objective",
+    "SLOMonitor",
+    "default_objectives",
+    "FlightRecorder",
 ]

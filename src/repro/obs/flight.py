@@ -1,0 +1,173 @@
+"""Tail-sampling flight recorder: keep the traces worth keeping.
+
+Always-on tracing of every request is cheap at the head (minting a trace
+context forces span recording only along that request's own path) but
+retaining every completed trace is not. The :class:`FlightRecorder`
+makes the retention decision *at completion*, when the request's fate
+is known:
+
+- **breach** — its measured value (e.g. front-end TTFT) exceeded the
+  declared SLO threshold,
+- **error** — it failed,
+- **sample** — a random ``sample_rate`` fraction survives as a healthy
+  baseline.
+
+Everything else is dropped, so the bounded ring holds only the requests
+an operator would actually open — the slowest real request of the last
+minute is always inspectable, as a Chrome-trace document via
+``op: flight``. Span collection for a retained request happens through
+the ``fetch_spans`` callback (the cluster's cross-process
+``trace_spans``), and only for retained requests — the common case pays
+one ring lookup and one comparison.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+
+from .export import to_chrome_trace
+from .tracer import new_trace_id
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring of tail-sampled request traces.
+
+    ``begin()`` mints a trace context for a request with no caller-
+    supplied trace (returns ``None`` while disabled — the wiring treats
+    that as "don't record"); ``finish()`` decides retention and, for the
+    keepers, pulls the stitched spans. ``threshold_ms`` is the breach
+    line (the cluster wires its declared TTFT objective in per call);
+    ``sample_rate`` keeps a healthy-request baseline.
+    """
+
+    def __init__(self, capacity=64, sample_rate=0.0, threshold_ms=None):
+        self.enabled = False
+        self.capacity = int(capacity)
+        self.sample_rate = float(sample_rate)
+        self.threshold_ms = threshold_ms
+        self._ring = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.counts = {"breach": 0, "error": 0, "sample": 0, "dropped": 0}
+
+    # ------------------------------------------------------------------
+    def begin(self):
+        """A fresh trace context for one request, or ``None`` when off."""
+        if not self.enabled:
+            return None
+        return {"trace": new_trace_id(), "span": None}
+
+    def finish(self, ctx, value_ms=None, error=None, threshold_ms=None,
+               fetch_spans=None, **meta):
+        """Decide one completed request's fate; returns the retained
+        entry dict or ``None``.
+
+        ``ctx`` is the context :meth:`begin` returned (``None`` is a
+        no-op, so call sites need no enabled-check of their own).
+        ``threshold_ms`` overrides the recorder's default breach line
+        for this request; ``fetch_spans(trace_id)`` is invoked only for
+        retained requests.
+        """
+        if ctx is None:
+            return None
+        threshold = (self.threshold_ms if threshold_ms is None
+                     else threshold_ms)
+        if error is not None:
+            reason = "error"
+        elif (threshold is not None and value_ms is not None
+                and value_ms > threshold):
+            reason = "breach"
+        elif self.sample_rate > 0 and random.random() < self.sample_rate:
+            reason = "sample"
+        else:
+            with self._lock:
+                self.counts["dropped"] += 1
+            return None
+        trace_id = ctx["trace"] if isinstance(ctx, dict) else ctx
+        spans = []
+        if fetch_spans is not None:
+            try:
+                spans = fetch_spans(trace_id)
+            except Exception:
+                spans = []  # a crashed worker must not lose the entry
+        entry = {
+            "trace": trace_id,
+            "reason": reason,
+            "value_ms": None if value_ms is None else float(value_ms),
+            "threshold_ms": threshold,
+            "error": None if error is None else str(error),
+            "wall_time": time.time(),
+            "spans": spans,
+            "meta": dict(meta),
+        }
+        with self._lock:
+            self.counts[reason] += 1
+            self._ring.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def entries(self, reason=None, window_s=None):
+        """Retained entries, newest first, without their span payloads
+        (``span_count`` instead — spans travel via :meth:`chrome`)."""
+        horizon = (None if window_s is None
+                   else time.time() - float(window_s))
+        with self._lock:
+            rows = list(self._ring)
+        out = []
+        for entry in reversed(rows):
+            if reason is not None and entry["reason"] != reason:
+                continue
+            if horizon is not None and entry["wall_time"] < horizon:
+                continue
+            row = {k: v for k, v in entry.items() if k != "spans"}
+            row["span_count"] = len(entry["spans"])
+            out.append(row)
+        return out
+
+    def entry(self, trace_id=None, worst=False):
+        """One retained entry with spans: by trace id, or the worst
+        (highest ``value_ms``) breach/error when ``worst`` is set."""
+        with self._lock:
+            rows = list(self._ring)
+        if trace_id is not None:
+            for entry in reversed(rows):
+                if entry["trace"] == trace_id:
+                    return entry
+            return None
+        if worst:
+            bad = [e for e in rows if e["reason"] in ("breach", "error")]
+            pool = bad or rows
+            if not pool:
+                return None
+            return max(pool, key=lambda e: e["value_ms"] or 0.0)
+        return rows[-1] if rows else None
+
+    def chrome(self, trace_id=None, worst=False, process_names=None):
+        """Chrome-trace JSON document for one retained request, with the
+        flight verdict in the entry, or ``None`` when nothing matches."""
+        entry = self.entry(trace_id, worst=worst)
+        if entry is None:
+            return None
+        doc = to_chrome_trace(entry["spans"], process_names=process_names)
+        return {"entry": {k: v for k, v in entry.items() if k != "spans"},
+                "chrome": doc}
+
+    def clear(self):
+        with self._lock:
+            self._ring.clear()
+            for key in self.counts:
+                self.counts[key] = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self):
+        with self._lock:
+            return ("FlightRecorder(%s, %d/%d retained, counts=%r)"
+                    % ("on" if self.enabled else "off", len(self._ring),
+                       self.capacity, self.counts))

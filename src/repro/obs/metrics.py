@@ -1,0 +1,439 @@
+"""Prometheus-style metrics registry: counters, gauges, histograms.
+
+The counter plane under the serving stack. Three metric kinds, all
+labelled, all living in one :class:`MetricsRegistry` (the module
+singleton :data:`METRICS` by default):
+
+- **Counter** — monotonically increasing totals (requests served,
+  admission rejections, tokens emitted).
+- **Gauge** — last-write-wins point-in-time values, plus *callback*
+  gauges (``set_function``) evaluated lazily at scrape time — how queue
+  depth, outstanding router cycles and KV bytes are exported without a
+  write on any hot path.
+- **Histogram** — fixed-bucket latency/size distributions with
+  cumulative bucket counts, a sum and a count (the standard Prometheus
+  ``le`` semantics), which is what the SLO monitor's threshold
+  compliance is computed from.
+
+Hot-path writes are lock-free: counters and histograms write into
+*per-thread cells* (each thread's first touch of a labelled child
+registers a private cell under the family lock; after that every
+``inc``/``observe`` mutates thread-local state only, like the tracer's
+per-thread rings). ``snapshot()`` merges the cells under the lock —
+folding cells of exited threads into a retained base first, so totals
+survive thread-pool churn without the registry growing unboundedly.
+
+Snapshots are plain JSON-clean dicts. Series are keyed by a
+self-describing ``"label=value,label=value"`` string (sorted by label
+name, with the registry's ``constant_labels`` — e.g. a worker's shard
+index — folded in), so snapshots from processes with different constant
+labels merge cleanly: :func:`merge_snapshots` sums counters and
+histogram buckets and takes gauges additively. :func:`render_text`
+emits the Prometheus text exposition format for the whole snapshot.
+Label values must not contain ``,`` or ``=`` (they are model names, op
+names and shard indices throughout this codebase).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "MetricsRegistry",
+    "METRICS",
+    "merge_snapshots",
+    "render_text",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+]
+
+#: Default histogram buckets for millisecond latencies (upper bounds).
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Default buckets for byte sizes (TCP frames, KV pages).
+DEFAULT_SIZE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+)
+
+#: Default buckets for small counts (batch sizes, queue depths).
+DEFAULT_COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(pairs):
+    """Canonical series key: ``"a=1,b=x"`` sorted by label name."""
+    return ",".join("%s=%s" % (k, v) for k, v in sorted(pairs))
+
+
+def parse_label_key(key):
+    """Invert :func:`_label_key` into a ``{name: value}`` dict."""
+    if not key:
+        return {}
+    return dict(pair.split("=", 1) for pair in key.split(","))
+
+
+class _CounterCell:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+
+class _HistCell:
+    __slots__ = ("counts", "sum")
+
+    def __init__(self, nbuckets):
+        # counts[i] = observations in (buckets[i-1], buckets[i]];
+        # counts[-1] is the +Inf overflow bucket.
+        self.counts = [0] * (nbuckets + 1)
+        self.sum = 0.0
+
+
+class _Child:
+    """One labelled series of a family; holds the per-thread cell hook."""
+
+    __slots__ = ("_family", "_labels", "_local")
+
+    def __init__(self, family, labels):
+        self._family = family
+        self._labels = labels  # tuple of (name, value) pairs
+        self._local = threading.local()
+
+    def _cell(self):
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = self._family._new_cell()
+            self._local.cell = cell
+            with self._family._lock:
+                self._family._cells.append(
+                    (threading.current_thread(), self._labels, cell))
+        return cell
+
+
+class Counter(_Child):
+    """Monotonic total. ``inc`` is lock-free after the first call per
+    thread (the cell belongs to this thread alone)."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1.0):
+        if not self._family.registry.enabled:
+            return
+        self._cell().value += amount
+
+
+class Histogram(_Child):
+    """Fixed-bucket distribution; ``observe`` bins one value."""
+
+    __slots__ = ()
+
+    def observe(self, value):
+        family = self._family
+        if not family.registry.enabled:
+            return
+        cell = self._cell()
+        cell.counts[bisect_left(family.buckets, value)] += 1
+        cell.sum += value
+
+
+class Gauge:
+    """Point-in-time value. ``set`` stores a float (a dict write, atomic
+    under the GIL); ``set_function`` registers a zero-argument callable
+    evaluated at scrape time instead (queue depths, cache bytes)."""
+
+    __slots__ = ("_family", "_labels", "_key")
+
+    def __init__(self, family, labels):
+        self._family = family
+        self._labels = labels
+        self._key = labels
+
+    def set(self, value):
+        if self._family.registry.enabled:
+            self._family._values[self._key] = float(value)
+
+    def inc(self, amount=1.0):
+        if self._family.registry.enabled:
+            values = self._family._values
+            values[self._key] = values.get(self._key, 0.0) + amount
+
+    def dec(self, amount=1.0):
+        self.inc(-amount)
+
+    def set_function(self, fn):
+        """Evaluate ``fn()`` at every scrape for this series. The last
+        registration per label set wins (a recreated server simply
+        replaces its predecessor's callback)."""
+        self._family._functions[self._key] = fn
+
+
+class _Family:
+    """One named metric: kind, help text, label schema, children."""
+
+    def __init__(self, registry, name, kind, help, labelnames, buckets=None):
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(float(b) for b in buckets) if buckets else None
+        self._lock = registry._lock
+        self._children = {}
+        self._cells = []       # [(thread, label_pairs, cell)] counters/hists
+        self._retired = {}     # label_pairs -> folded cell of dead threads
+        self._values = {}      # gauges: label_pairs -> float
+        self._functions = {}   # gauges: label_pairs -> callable
+
+    def labels(self, **labelvalues):
+        """The child series for one label-value assignment (cached)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                "metric %s takes labels %r, got %r"
+                % (self.name, self.labelnames, tuple(labelvalues)))
+        key = tuple((n, str(labelvalues[n])) for n in sorted(self.labelnames))
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    cls = {"counter": Counter, "gauge": Gauge,
+                           "histogram": Histogram}[self.kind]
+                    child = cls(self, key)
+                    self._children[key] = child
+        return child
+
+    def _new_cell(self):
+        if self.kind == "histogram":
+            return _HistCell(len(self.buckets))
+        return _CounterCell()
+
+    def _fold(self, base, cell):
+        if self.kind == "histogram":
+            for i, c in enumerate(cell.counts):
+                base.counts[i] += c
+            base.sum += cell.sum
+        else:
+            base.value += cell.value
+
+    def _snapshot_series(self, constant):
+        """Merge live + retired cells (pruning dead threads' cells into
+        the retained base) into ``{series_key: value}``. Caller holds
+        the registry lock."""
+        live, dead = [], []
+        for entry in self._cells:
+            (dead, live)[entry[0].is_alive()].append(entry)
+        for thread, labels, cell in dead:
+            base = self._retired.get(labels)
+            if base is None:
+                base = self._retired[labels] = self._new_cell()
+            self._fold(base, cell)
+        self._cells[:] = live
+
+        series = {}
+        if self.kind == "gauge":
+            merged = dict(self._values)
+            for labels, fn in self._functions.items():
+                try:
+                    merged[labels] = float(fn())
+                except Exception:
+                    continue  # a dead callback must not break the scrape
+            for labels, value in merged.items():
+                series[_label_key(labels + constant)] = value
+            return series
+
+        totals = {}
+        for labels, cell in self._retired.items():
+            base = totals[labels] = self._new_cell()
+            self._fold(base, cell)
+        for _, labels, cell in self._cells:
+            base = totals.get(labels)
+            if base is None:
+                base = totals[labels] = self._new_cell()
+            self._fold(base, cell)
+        for labels, cell in totals.items():
+            key = _label_key(labels + constant)
+            if self.kind == "histogram":
+                cum, running = [], 0
+                for c in cell.counts:
+                    running += c
+                    cum.append(running)
+                series[key] = {"buckets": cum, "sum": cell.sum,
+                               "count": running}
+            else:
+                series[key] = cell.value
+        return series
+
+
+class MetricsRegistry:
+    """A named collection of metric families with merge-friendly scrapes.
+
+    ``counter``/``gauge``/``histogram`` declare (or re-fetch — the calls
+    are idempotent per name) a family; ``family.labels(...)`` returns the
+    writable child. ``enabled`` is the registry-wide kill switch: when
+    False every write short-circuits, which is what the ≤5%-overhead
+    benchmark gate measures. ``constant_labels`` are appended to every
+    series at snapshot time — workers set ``{"shard": index}`` so their
+    series stay distinct after the cluster-wide merge.
+    """
+
+    def __init__(self, constant_labels=None):
+        self.enabled = True
+        self.constant_labels = dict(constant_labels or {})
+        self._families = {}
+        self._lock = threading.RLock()
+
+    # -- declaration ----------------------------------------------------
+    def _family(self, name, kind, help, labels, buckets=None):
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise ValueError(
+                        "metric %s already registered as a %s"
+                        % (name, family.kind))
+                return family
+            family = _Family(self, name, kind, help, labels, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name, help="", labels=()):
+        return self._family(name, "counter", help, labels)
+
+    def gauge(self, name, help="", labels=()):
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(self, name, help="", labels=(),
+                  buckets=DEFAULT_LATENCY_BUCKETS_MS):
+        return self._family(name, "histogram", help, labels,
+                            buckets=buckets)
+
+    # -- reading --------------------------------------------------------
+    def snapshot(self):
+        """Plain-dict scrape of every family (JSON-clean, picklable).
+
+        ``{name: {type, help, buckets?, series: {label_key: value}}}``
+        where a histogram value is ``{buckets: [cumulative...], sum,
+        count}`` (the last cumulative bucket is the +Inf count).
+        """
+        constant = tuple(sorted(self.constant_labels.items()))
+        out = {}
+        with self._lock:
+            for name, family in self._families.items():
+                entry = {"type": family.kind, "help": family.help,
+                         "series": family._snapshot_series(constant)}
+                if family.buckets is not None:
+                    entry["buckets"] = list(family.buckets)
+                out[name] = entry
+        return out
+
+    def clear(self):
+        """Drop every family (tests; production registries only grow)."""
+        with self._lock:
+            self._families.clear()
+
+    def __repr__(self):
+        return "MetricsRegistry(%d families%s)" % (
+            len(self._families), "" if self.enabled else ", disabled")
+
+
+def merge_snapshots(snapshots):
+    """Combine registry snapshots from many processes into one.
+
+    Counters and histogram buckets/sums/counts add; gauges add too (the
+    cluster-wide queue depth is the sum of per-shard depths — series
+    that must stay distinct carry distinguishing constant labels, so
+    they never share a key). The first snapshot to mention a family
+    contributes its metadata.
+    """
+    out = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, entry in snap.items():
+            have = out.get(name)
+            if have is None:
+                out[name] = {
+                    "type": entry["type"], "help": entry["help"],
+                    "series": {k: (dict(v) if isinstance(v, dict) else v)
+                               for k, v in entry["series"].items()},
+                }
+                if "buckets" in entry:
+                    out[name]["buckets"] = list(entry["buckets"])
+                continue
+            if have["type"] != entry["type"]:
+                continue  # conflicting redeclaration: first wins
+            for key, value in entry["series"].items():
+                mine = have["series"].get(key)
+                if mine is None:
+                    have["series"][key] = (dict(value)
+                                           if isinstance(value, dict)
+                                           else value)
+                elif isinstance(value, dict):
+                    mine["sum"] += value["sum"]
+                    mine["count"] += value["count"]
+                    mine["buckets"] = [a + b for a, b in
+                                       zip(mine["buckets"],
+                                           value["buckets"])]
+                else:
+                    have["series"][key] = mine + value
+    return out
+
+
+def _fmt_value(value):
+    if value == int(value):
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _fmt_labels(key, extra=None):
+    pairs = sorted(parse_label_key(key).items())
+    if extra:
+        pairs = sorted(pairs + list(extra))
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in pairs)
+
+
+def render_text(snapshot):
+    """The Prometheus text exposition format for a snapshot.
+
+    ``# HELP`` / ``# TYPE`` per family; histograms expand into
+    ``_bucket{le=...}`` (cumulative, ``+Inf`` last), ``_sum`` and
+    ``_count`` series, exactly the shape a Prometheus scraper ingests.
+    """
+    lines = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry["help"]:
+            lines.append("# HELP %s %s" % (name, entry["help"]))
+        lines.append("# TYPE %s %s" % (name, entry["type"]))
+        for key in sorted(entry["series"]):
+            value = entry["series"][key]
+            if entry["type"] != "histogram":
+                lines.append("%s%s %s"
+                             % (name, _fmt_labels(key), _fmt_value(value)))
+                continue
+            bounds = [_fmt_value(b) for b in entry["buckets"]] + ["+Inf"]
+            for bound, count in zip(bounds, value["buckets"]):
+                lines.append("%s_bucket%s %d"
+                             % (name, _fmt_labels(key, [("le", bound)]),
+                                count))
+            lines.append("%s_sum%s %s"
+                         % (name, _fmt_labels(key), repr(value["sum"])))
+            lines.append("%s_count%s %d"
+                         % (name, _fmt_labels(key), value["count"]))
+    return "\n".join(lines) + "\n"
+
+
+#: Process-wide registry every instrumented layer writes into — one
+#: singleton for the same reason the tracer has one: the batcher, the
+#: router, the engine and the TCP front-end all record without any
+#: registry object threaded through their APIs, and workers ship their
+#: own process's snapshot over the RPC pipe to be merged cluster-wide.
+METRICS = MetricsRegistry()

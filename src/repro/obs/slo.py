@@ -1,0 +1,296 @@
+"""SLO monitor: windowed time series + multi-window burn-rate alerting.
+
+Turns the cumulative counters of a :class:`~repro.obs.metrics.MetricsRegistry`
+into *windowed* good/total time series and evaluates declared
+:class:`Objective` s against them — the quantitative health signal the
+router, admission control and paging want (``op: slo`` / ``op: health``
+on the cluster wire).
+
+An objective comes in two kinds:
+
+- ``latency`` — "``target`` of requests complete within ``threshold_ms``",
+  read from a histogram family: *good* is the cumulative count at the
+  smallest bucket bound ≥ the threshold (bucket-rounded compliance —
+  declare thresholds on bucket bounds for exact semantics).
+- ``errors`` — "``target`` of requests succeed", read from a total
+  counter and a bad-events counter.
+
+:meth:`SLOMonitor.tick` diffs the registry's cumulative values since the
+last tick and files the delta into a per-epoch-second slot ring (bounded
+by ``window_s``). Slots key on ``int(time.time())``, so rings ticked in
+different processes (the front-end and every worker) merge by plain
+per-second addition — exactly like telemetry snapshots.
+
+Evaluation computes, per objective and per window (a short and a long
+one), the bad fraction and its **burn rate** — bad_fraction divided by
+the objective's error budget ``1 - target``. Burn 1.0 spends the budget
+exactly at the sustainable pace; an alert fires only when *both*
+windows burn hot (the standard multi-window rule: the long window
+proves it is real, the short window proves it is still happening).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+
+__all__ = ["Objective", "SLOMonitor", "default_objectives"]
+
+
+class Objective:
+    """One declared service-level objective over registry metrics."""
+
+    def __init__(self, name, metric, threshold_ms=None, target=0.99,
+                 kind="latency", bad_metric=None, description=""):
+        if kind not in ("latency", "errors"):
+            raise ValueError("objective kind must be latency or errors")
+        if kind == "latency" and threshold_ms is None:
+            raise ValueError("a latency objective needs threshold_ms")
+        if kind == "errors" and bad_metric is None:
+            raise ValueError("an errors objective needs bad_metric")
+        if not 0.0 < float(target) < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        self.name = name
+        self.metric = metric
+        self.threshold_ms = (None if threshold_ms is None
+                             else float(threshold_ms))
+        self.target = float(target)
+        self.kind = kind
+        self.bad_metric = bad_metric
+        self.description = description
+
+    def to_dict(self):
+        """Wire/spawn-safe form (ships to workers as plain dicts)."""
+        return {"name": self.name, "metric": self.metric,
+                "threshold_ms": self.threshold_ms, "target": self.target,
+                "kind": self.kind, "bad_metric": self.bad_metric,
+                "description": self.description}
+
+    @classmethod
+    def from_dict(cls, d):
+        if isinstance(d, Objective):
+            return d
+        return cls(d["name"], d["metric"],
+                   threshold_ms=d.get("threshold_ms"),
+                   target=d.get("target", 0.99),
+                   kind=d.get("kind", "latency"),
+                   bad_metric=d.get("bad_metric"),
+                   description=d.get("description", ""))
+
+    def cumulative(self, snapshot):
+        """``(total, good)`` cumulative counts under this objective from
+        one registry snapshot (0, 0 when the metric has no data yet)."""
+        family = snapshot.get(self.metric)
+        if family is None:
+            return 0, 0
+        if self.kind == "latency":
+            buckets = family.get("buckets") or []
+            idx = bisect_left(buckets, self.threshold_ms)
+            total = good = 0
+            for row in family["series"].values():
+                total += row["count"]
+                good += (row["count"] if idx >= len(buckets)
+                         else row["buckets"][idx])
+            return total, good
+        total = sum(family["series"].values())
+        bad_family = snapshot.get(self.bad_metric)
+        bad = (sum(bad_family["series"].values())
+               if bad_family is not None else 0)
+        return total, max(0, total - bad)
+
+    def __repr__(self):
+        if self.kind == "latency":
+            return "Objective(%s: p%g %s <= %gms)" % (
+                self.name, self.target * 100.0, self.metric,
+                self.threshold_ms)
+        return "Objective(%s: %s error rate <= %g)" % (
+            self.name, self.metric, 1.0 - self.target)
+
+
+def default_objectives():
+    """The stock serving objectives: p99 TTFT, p99 decode ITL, request
+    error rate — matching the metrics the gen and TCP layers export."""
+    return [
+        Objective("ttft_p99", "repro_gen_ttft_ms", threshold_ms=500.0,
+                  target=0.99,
+                  description="99% of first tokens within 500 ms"),
+        Objective("itl_p99", "repro_gen_itl_ms", threshold_ms=250.0,
+                  target=0.99,
+                  description="99% of decode ticks within 250 ms"),
+        Objective("error_rate", "repro_tcp_requests_total", kind="errors",
+                  bad_metric="repro_tcp_errors_total", target=0.999,
+                  description="99.9% of wire requests succeed"),
+    ]
+
+
+class SLOMonitor:
+    """Per-second good/total rings over a registry, one per objective.
+
+    ``tick()`` is cheap (one registry snapshot + a dict diff) and safe to
+    call on demand — the cluster ticks on every ``op: slo`` scrape; call
+    :meth:`start` for a background 1 Hz cadence instead (dashboards).
+    The constructor primes the cumulative baseline, so counts that
+    predate the monitor are never attributed to its first slot.
+    """
+
+    def __init__(self, registry=None, objectives=None, window_s=120,
+                 windows=(10, 60), alert_burn=2.0, clock=time.time):
+        if registry is None:
+            from .metrics import METRICS
+            registry = METRICS
+        self.registry = registry
+        self.objectives = [Objective.from_dict(o)
+                           for o in (objectives
+                                     if objectives is not None
+                                     else default_objectives())]
+        self.window_s = int(window_s)
+        self.windows = tuple(int(w) for w in windows)
+        self.alert_burn = float(alert_burn)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._slots = {o.name: {} for o in self.objectives}
+        self._last = {}
+        self._thread = None
+        self._stop = threading.Event()
+        self.tick(_record=False)  # prime the baseline
+
+    # ------------------------------------------------------------------
+    def tick(self, now=None, _record=True):
+        """Fold the registry delta since the last tick into ``now``'s slot."""
+        now = self.clock() if now is None else now
+        sec = int(now)
+        snap = self.registry.snapshot()
+        with self._lock:
+            for obj in self.objectives:
+                total, good = obj.cumulative(snap)
+                last_total, last_good = self._last.get(obj.name, (0, 0))
+                self._last[obj.name] = (total, good)
+                if not _record:
+                    continue
+                d_total = total - last_total
+                d_good = good - last_good
+                if d_total <= 0:
+                    continue
+                ring = self._slots[obj.name]
+                slot = ring.setdefault(sec, [0, 0])
+                slot[0] += d_total
+                slot[1] += max(0, d_good)
+                horizon = sec - self.window_s
+                for old in [s for s in ring if s < horizon]:
+                    del ring[old]
+
+    def start(self, period_s=1.0):
+        """Tick on a daemon thread every ``period_s`` until :meth:`stop`."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(period_s):
+                self.tick()
+
+        self._thread = threading.Thread(target=loop, name="slo-monitor",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(5.0)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """JSON-clean state: objectives + per-second ``[total, good]``
+        slots (string seconds, for the wire)."""
+        with self._lock:
+            return {
+                "window_s": self.window_s,
+                "windows": list(self.windows),
+                "alert_burn": self.alert_burn,
+                "objectives": [o.to_dict() for o in self.objectives],
+                "slots": {name: {str(sec): list(slot)
+                                 for sec, slot in ring.items()}
+                          for name, ring in self._slots.items()},
+            }
+
+    @staticmethod
+    def merge(snapshots):
+        """Sum per-second slots across process snapshots (front-end +
+        every worker); metadata comes from the first non-empty one."""
+        snapshots = [s for s in snapshots if s and s.get("objectives")]
+        if not snapshots:
+            return {"window_s": 0, "windows": [], "alert_burn": 0.0,
+                    "objectives": [], "slots": {}}
+        out = {"window_s": snapshots[0]["window_s"],
+               "windows": list(snapshots[0]["windows"]),
+               "alert_burn": snapshots[0]["alert_burn"],
+               "objectives": list(snapshots[0]["objectives"]),
+               "slots": {}}
+        names = {o["name"] for o in out["objectives"]}
+        for snap in snapshots:
+            for obj in snap["objectives"]:
+                if obj["name"] not in names:
+                    out["objectives"].append(obj)
+                    names.add(obj["name"])
+            for name, ring in snap["slots"].items():
+                mine = out["slots"].setdefault(name, {})
+                for sec, (total, good) in ring.items():
+                    slot = mine.setdefault(sec, [0, 0])
+                    slot[0] += total
+                    slot[1] += good
+        return out
+
+    @staticmethod
+    def evaluate(snapshot, now=None):
+        """Evaluate a (possibly merged) snapshot into per-objective rows.
+
+        Each row carries, per window, the observed total, bad count,
+        compliance and burn rate (bad_fraction / (1 - target)); the
+        ``alerting`` flag fires when every window burns at or above
+        ``alert_burn`` with traffic in it. An empty window is compliant
+        (burn 0) — no data is not an outage.
+        """
+        now = time.time() if now is None else now
+        rows = []
+        for obj in snapshot.get("objectives", ()):
+            ring = snapshot.get("slots", {}).get(obj["name"], {})
+            row = {"name": obj["name"], "kind": obj["kind"],
+                   "metric": obj["metric"],
+                   "threshold_ms": obj.get("threshold_ms"),
+                   "target": obj["target"],
+                   "description": obj.get("description", ""),
+                   "windows": {}}
+            budget = 1.0 - obj["target"]
+            hot = []
+            for window in snapshot.get("windows", ()):
+                horizon = int(now) - int(window)
+                total = good = 0
+                for sec, (t, g) in ring.items():
+                    if int(sec) > horizon:
+                        total += t
+                        good += g
+                bad = max(0, total - good)
+                bad_fraction = (bad / total) if total else 0.0
+                burn = bad_fraction / budget if budget > 0 else 0.0
+                row["windows"][str(int(window))] = {
+                    "total": total, "bad": bad,
+                    "compliance": (good / total) if total else 1.0,
+                    "burn_rate": burn,
+                }
+                hot.append(total > 0
+                           and burn >= snapshot.get("alert_burn", 0.0))
+            row["alerting"] = bool(hot) and all(hot)
+            rows.append(row)
+        return rows
+
+    def evaluated(self, now=None):
+        """Convenience: tick, then evaluate this monitor's own ring."""
+        self.tick(now)
+        return self.evaluate(self.snapshot(), now)
+
+    def __repr__(self):
+        return "SLOMonitor(%d objectives, window=%ds)" % (
+            len(self.objectives), self.window_s)

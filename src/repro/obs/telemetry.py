@@ -64,15 +64,24 @@ class TokenTelemetry:
     ``close(sid)`` retirement (idempotent; unknown sids are ignored so
     crash/drop paths need no bookkeeping). ``maxlen`` bounds the pooled
     reservoirs — old observations age out instead of growing the arrays
-    under sustained traffic.
+    under sustained traffic — and ``closed_keep`` bounds the
+    recently-closed stash the same way (FIFO eviction: a session that
+    finishes but is never polled again ages out instead of living
+    forever). ``label`` additionally mirrors every TTFT/ITL observation
+    into the process metrics registry (``repro_gen_ttft_ms`` /
+    ``repro_gen_itl_ms`` histograms and the ``repro_gen_tokens_total``
+    counter, labelled ``model=label``) — the SLO monitor's data source.
     """
 
-    #: Final snapshots kept for recently-closed sessions, so the poll
-    #: that *observes* a session finish can still report its numbers.
+    #: Default final-snapshot stash bound for recently-closed sessions,
+    #: so the poll that *observes* a session finish can still report its
+    #: numbers (override per instance with ``closed_keep``).
     CLOSED_KEEP = 64
 
-    def __init__(self, maxlen=4096):
+    def __init__(self, maxlen=4096, closed_keep=None, label=None):
         self.maxlen = int(maxlen)
+        self.closed_keep = int(self.CLOSED_KEEP if closed_keep is None
+                               else closed_keep)
         self._lock = threading.Lock()
         self._live = {}
         self._closed = {}
@@ -81,6 +90,19 @@ class TokenTelemetry:
         self._sessions = 0
         self._tokens = 0
         self.clock = time.monotonic
+        self.label = label
+        self._m_tokens = self._m_ttft = self._m_itl = None
+        if label is not None:
+            from .metrics import METRICS
+            self._m_tokens = METRICS.counter(
+                "repro_gen_tokens_total", "Generated tokens",
+                labels=("model",)).labels(model=label)
+            self._m_ttft = METRICS.histogram(
+                "repro_gen_ttft_ms", "Time to first token (ms)",
+                labels=("model",)).labels(model=label)
+            self._m_itl = METRICS.histogram(
+                "repro_gen_itl_ms", "Inter-token latency (ms)",
+                labels=("model",)).labels(model=label)
 
     # ------------------------------------------------------------------
     def open(self, sid, opened_at=None):
@@ -94,6 +116,7 @@ class TokenTelemetry:
     def token(self, sid):
         """Record one emitted token for ``sid`` (first token sets TTFT)."""
         now = self.clock()
+        ttft = itl = None
         with self._lock:
             live = self._live.get(sid)
             if live is None:
@@ -101,11 +124,21 @@ class TokenTelemetry:
             self._tokens += 1
             if live.first_at is None:
                 live.first_at = now
-                self._ttfts.append(now - live.opened_at)
+                ttft = now - live.opened_at
+                self._ttfts.append(ttft)
                 del self._ttfts[:-self.maxlen]
             else:
-                live.itls.append(now - live.last_at)
+                itl = now - live.last_at
+                live.itls.append(itl)
             live.last_at = now
+        if self._m_tokens is not None:
+            # Registry mirror outside the lock (the cells are per-thread
+            # and lock-free); telemetry clocks are monotonic seconds.
+            self._m_tokens.inc()
+            if ttft is not None:
+                self._m_ttft.observe(ttft * 1e3)
+            elif itl is not None:
+                self._m_itl.observe(itl * 1e3)
 
     def close(self, sid):
         """Retire a session, pooling its inter-token gaps."""
@@ -116,7 +149,7 @@ class TokenTelemetry:
             self._itls.extend(live.itls)
             del self._itls[:-self.maxlen]
             self._closed[sid] = self._session_dict(live, done=True)
-            while len(self._closed) > self.CLOSED_KEEP:
+            while len(self._closed) > self.closed_keep:
                 self._closed.pop(next(iter(self._closed)))
 
     # ------------------------------------------------------------------

@@ -159,7 +159,12 @@ class Tracer:
         self.enabled = False
         self.capacity = int(capacity)
         self._local = threading.local()
-        self._rings = []
+        self._rings = []  # [(owning thread, ring)] — pruned on snapshot
+        # Spans of exited threads, folded here when their ring is pruned
+        # so a short-lived worker thread's spans survive it; one shared
+        # bounded ring, so a churning thread pool cannot grow the
+        # registry (the leak this replaces) or the retained history.
+        self._retired = deque(maxlen=self.capacity)
         self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------
@@ -169,7 +174,7 @@ class Tracer:
             ring = deque(maxlen=self.capacity)
             self._local.ring = ring
             with self._lock:
-                self._rings.append(ring)
+                self._rings.append((threading.current_thread(), ring))
         ring.append(span)
 
     def span(self, name, cat="obs", **args):
@@ -266,11 +271,26 @@ class Tracer:
         self.enabled = False
 
     # -- reading --------------------------------------------------------
+    def _live_rings(self):
+        """Prune rings of exited threads (folding their spans into the
+        shared retired ring) and return the live ones. Caller holds the
+        lock. Keeps the registry bounded by *live* threads, not by every
+        thread that ever recorded — a long-lived server with churning
+        thread pools used to grow ``_rings`` without bound."""
+        live = []
+        for thread, ring in self._rings:
+            if thread.is_alive():
+                live.append((thread, ring))
+            else:
+                self._retired.extend(ring)
+        self._rings[:] = live
+        return [ring for _, ring in live]
+
     def spans(self, trace_id=None):
         """Snapshot recorded spans (optionally one trace), oldest first."""
         with self._lock:
-            rings = list(self._rings)
-        out = []
+            rings = self._live_rings()
+            out = list(self._retired)
         for ring in rings:
             out.extend(list(ring))
         if trace_id is not None:
@@ -278,9 +298,15 @@ class Tracer:
         out.sort(key=lambda s: (s.ts_us, s.span))
         return out
 
+    def ring_count(self):
+        """Live per-thread rings currently registered (post-prune)."""
+        with self._lock:
+            return len(self._live_rings())
+
     def clear(self):
         with self._lock:
-            rings = list(self._rings)
+            rings = self._live_rings()
+            self._retired.clear()
         for ring in rings:
             ring.clear()
 

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
 from concurrent.futures import Future
 
 import numpy as np
 
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, METRICS
 from ..obs.tracer import TRACE
 
 __all__ = ["AdmissionError", "MicroBatcher"]
@@ -65,10 +67,15 @@ class MicroBatcher:
     on_batch:
         Optional callback ``(batch_size, batch_seconds, latencies)`` invoked
         after each batch completes — the metrics hook.
+    name:
+        Optional label under which this batcher reports to the process
+        metrics registry (queue depth gauge, admission counters, queue-wait
+        and batch-size histograms). Unnamed batchers skip the registry
+        entirely — bare unit-test batchers pay nothing.
     """
 
     def __init__(self, run_batch, max_batch_size=64, max_wait_s=0.002,
-                 workers=2, max_pending=1024, on_batch=None):
+                 workers=2, max_pending=1024, on_batch=None, name=None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self._run_batch = run_batch
@@ -76,6 +83,35 @@ class MicroBatcher:
         self.max_wait_s = float(max_wait_s)
         self.max_pending = int(max_pending)
         self.on_batch = on_batch
+        self.name = name
+        self._m_requests = self._m_rejected = None
+        self._m_queue_wait = self._m_batch_size = None
+        if name is not None:
+            self._m_requests = METRICS.counter(
+                "repro_batcher_requests_total", "Requests submitted",
+                labels=("batcher",)).labels(batcher=name)
+            self._m_rejected = METRICS.counter(
+                "repro_batcher_rejected_total", "Requests refused admission",
+                labels=("batcher",)).labels(batcher=name)
+            self._m_queue_wait = METRICS.histogram(
+                "repro_batcher_queue_wait_ms",
+                "Queue wait before batch dispatch (ms)",
+                labels=("batcher",)).labels(batcher=name)
+            self._m_batch_size = METRICS.histogram(
+                "repro_batcher_batch_size", "Fused batch sizes",
+                labels=("batcher",),
+                buckets=DEFAULT_COUNT_BUCKETS).labels(batcher=name)
+            # Depth as a function gauge: scrapes read the live queue via a
+            # weakref so a closed batcher never pins itself in the registry.
+            ref = weakref.ref(self)
+
+            def _depth():
+                batcher = ref()
+                return float(batcher.pending()) if batcher is not None else 0.0
+
+            METRICS.gauge(
+                "repro_batcher_queue_depth", "Requests queued, unscheduled",
+                labels=("batcher",)).labels(batcher=name).set_function(_depth)
         self._queue = deque()
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
@@ -99,10 +135,16 @@ class MicroBatcher:
         precision policy (the server pre-casts to its plan's dtype).
         """
         request = _Request(np.asarray(x))
+        if self._m_requests is not None:
+            self._m_requests.inc()
         with self._lock:
             if not self._accepting:
+                if self._m_rejected is not None:
+                    self._m_rejected.inc()
                 raise AdmissionError("batcher is shut down")
             if len(self._queue) >= self.max_pending:
+                if self._m_rejected is not None:
+                    self._m_rejected.inc()
                 raise AdmissionError(
                     "queue full (%d pending requests)" % len(self._queue))
             self._queue.append(request)
@@ -250,6 +292,11 @@ class MicroBatcher:
         done = time.monotonic()
         for i, request in enumerate(batch):
             request.future.set_result(results[i])
+        if self._m_batch_size is not None:
+            self._m_batch_size.observe(len(batch))
+            observe = self._m_queue_wait.observe
+            for request in batch:
+                observe((start - request.enqueued_at) * 1e3)
         if TRACE.enabled:
             self._trace_batch(batch, start, done)
         if self.on_batch is not None:

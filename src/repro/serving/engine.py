@@ -19,12 +19,14 @@ converted model skips compilation entirely.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 
 import numpy as np
 
 from ..nn import functional as F
+from ..obs.metrics import METRICS
 from ..obs.profiler import step_label
 from ..obs.tracer import TRACE
 from ..vq import kernels
@@ -35,6 +37,13 @@ from . import record
 from .compiler import compile_model
 
 __all__ = ["execute_plan", "PlanCache", "ServingEngine"]
+
+# Measured wall time per execute_plan call, labelled by plan — the
+# counterpart the SLO/capacity math reads against the predicted-cycles
+# gauge the cluster exports per plan.
+_EXECUTE_MS = METRICS.histogram(
+    "repro_engine_execute_ms", "execute_plan wall time (ms)",
+    labels=("plan",))
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +226,7 @@ def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
                             sorted(extra_inputs) or "none"))
     for name, slot in extra_inputs.items():
         slots[slot] = extras[name]
+    t_exec = time.perf_counter()
     with TRACE.span("engine.execute", cat="engine", plan=plan.model_name,
                     batch=int(x.shape[0]) if x.ndim else 1):
         if profiler is None:
@@ -245,6 +255,8 @@ def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
                                 clock() - t0)
                 for i in step.release:
                     slots[i] = None
+    _EXECUTE_MS.labels(plan=plan.model_name).observe(
+        (time.perf_counter() - t_exec) * 1e3)
     if return_taps:
         taps = {name: slots[slot]
                 for name, slot in getattr(plan, "tap_slots", {}).items()}

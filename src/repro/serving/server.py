@@ -91,6 +91,7 @@ class LUTServer:
             workers=self.config.workers,
             max_pending=self.config.max_pending,
             on_batch=self._on_batch,
+            name=self.plan.model_name,
         )
         self.autotuner = None
         if self.config.autotune:

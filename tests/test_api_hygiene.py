@@ -44,6 +44,9 @@ PUBLIC_MODULES = [
     "repro.gen.sampling", "repro.gen.reference", "repro.gen.record",
     "repro.cluster", "repro.cluster.planstore", "repro.cluster.worker",
     "repro.cluster.router", "repro.cluster.server", "repro.cluster.net",
+    "repro.obs", "repro.obs.tracer", "repro.obs.profiler",
+    "repro.obs.export", "repro.obs.telemetry", "repro.obs.metrics",
+    "repro.obs.slo", "repro.obs.flight",
 ]
 
 
@@ -63,7 +66,7 @@ def test_all_exports_resolve(name):
 @pytest.mark.parametrize("name", [
     "repro.vq", "repro.lutboost", "repro.hw", "repro.sim", "repro.dse",
     "repro.baselines", "repro.evaluation", "repro.nn", "repro.serving",
-    "repro.cluster",
+    "repro.cluster", "repro.obs",
 ])
 def test_public_classes_documented(name):
     module = importlib.import_module(name)

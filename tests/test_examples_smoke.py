@@ -20,6 +20,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
     "serve_model.py",
     "serve_cluster.py",
     "generate_text.py",
+    "dashboard.py",
 ])
 def test_fast_example_runs(script):
     result = subprocess.run(

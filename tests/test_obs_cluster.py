@@ -10,6 +10,7 @@ per-session TTFT/ITL numbers riding the stream's ``done`` frame.
 """
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -28,11 +29,30 @@ from repro.lutboost.converter import (
     convert_model,
 )
 from repro.models.mlp import mlp
-from repro.obs import from_chrome_trace, new_trace_id, span_tree, to_chrome_trace
+from repro.obs import (
+    Objective,
+    from_chrome_trace,
+    new_trace_id,
+    span_tree,
+    to_chrome_trace,
+)
 
 pytestmark = pytest.mark.slow
 
 MAX_NEW = 6
+
+# Declared against the module's cluster: the TTFT objective is set
+# impossibly tight (0.05 ms) so every generation breaches it — burn
+# rates and flight retention become deterministic — while the ITL
+# objective is impossibly loose so it always complies.
+OBJECTIVES = [
+    Objective("ttft_p99", "repro_gen_ttft_ms", threshold_ms=0.05,
+              target=0.9),
+    Objective("itl_p99", "repro_gen_itl_ms", threshold_ms=60000.0,
+              target=0.9),
+    Objective("error_rate", "repro_tcp_requests_total", kind="errors",
+              bad_metric="repro_tcp_errors_total", target=0.99),
+]
 
 
 @pytest.fixture(scope="module")
@@ -42,7 +62,7 @@ def cluster(gen_model):
     convert_model(model, ConversionPolicy(v=4, c=8))
     calibrate_model(model, rng.normal(size=(40, 16)))
     config = ClusterConfig(workers=2, max_batch_size=8, max_wait_ms=1.0,
-                           precision="fp64")
+                           precision="fp64", objectives=OBJECTIVES)
     cluster = ClusterServer(
         {"mlp": ModelSpec(model, (16,)),
          "gpt_nano": GenModelSpec(gen_model, buckets=(8, 16, 32))},
@@ -221,6 +241,180 @@ class TestStatsAndMetrics:
         session = stream.telemetry
         assert session is not None and session["done"] is True
         assert session["tokens"] == MAX_NEW
+
+
+class TestPrometheusMetrics:
+    def test_stats_carries_a_merged_prometheus_snapshot(self, client):
+        rng = np.random.default_rng(81)
+        client.infer_many("mlp", rng.normal(size=(4, 16)))
+        assert len(list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=6), MAX_NEW))) == MAX_NEW
+        snap = client.stats()["metrics"]
+        # Front-end series (no shard label) and worker series (shard
+        # label) land in the one merged snapshot.
+        assert snap["repro_tcp_requests_total"]["type"] == "counter"
+        series = snap["repro_engine_execute_ms"]["series"]
+        assert any("shard=" in key for key in series)
+        assert any("shard=" not in key for key in series)
+        ttft = snap["repro_gen_ttft_ms"]
+        assert ttft["type"] == "histogram"
+        # Worker-recorded TTFT reaches the merge with its shard label.
+        # (The front-end registry may also carry unsharded gen series
+        # from in-process generator servers elsewhere in the suite.)
+        shard_keys = [key for key in ttft["series"]
+                      if "model=gpt_nano" in key and "shard=" in key]
+        assert shard_keys
+        for key in shard_keys:
+            data = ttft["series"][key]
+            assert data["count"] >= 1
+            # Bucket counts are cumulative: the last equals the total.
+            assert data["buckets"][-1] == data["count"]
+
+    def test_scrape_renders_exposition_text(self, client):
+        rng = np.random.default_rng(82)
+        client.infer("mlp", rng.normal(size=16))
+        text = client.scrape()
+        assert "# TYPE repro_tcp_requests_total counter" in text
+        assert '# TYPE repro_gen_decode_tick_ms histogram' in text
+        assert 'repro_tcp_requests_total{op="infer"}' in text
+        assert 'repro_router_picks_total{model="mlp"' in text
+        # Histogram exposition carries the +Inf bucket and _sum/_count.
+        assert 'le="+Inf"' in text
+        assert "repro_engine_execute_ms_sum{" in text
+
+    def test_stats_under_concurrent_generate_traffic(self, cluster, tcp):
+        """``op: stats`` / ``op: slo`` / ``op: scrape`` stay coherent
+        while generate streams are in flight on other connections."""
+        host, port = tcp.address
+        errors = []
+
+        def generate(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                with ClusterClient(host, port) as c:
+                    for _ in range(3):
+                        tokens = list(c.generate(
+                            "gpt_nano", rng.integers(0, 64, size=9),
+                            MAX_NEW))
+                        assert len(tokens) == MAX_NEW
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=generate, args=(90 + i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            with ClusterClient(host, port) as probe:
+                while any(t.is_alive() for t in threads):
+                    stats = probe.stats()
+                    snap = stats["metrics"]
+                    for family in snap.values():
+                        assert family["type"] in (
+                            "counter", "gauge", "histogram")
+                        for data in family["series"].values():
+                            if family["type"] == "histogram":
+                                # Never a torn write: cumulative bucket
+                                # counts are monotone and end at count.
+                                counts = data["buckets"]
+                                assert counts == sorted(counts)
+                                assert counts[-1] == data["count"]
+                    slo = probe.slo()
+                    assert len(slo["objectives"]) == len(OBJECTIVES)
+                    assert "# TYPE" in probe.scrape()
+        finally:
+            for t in threads:
+                t.join(timeout=120)
+        assert not errors
+        snap = cluster.metrics_snapshot()
+        total = sum(
+            data["count"] for key, data in
+            snap["repro_gen_ttft_ms"]["series"].items())
+        assert total >= 9  # all three writers' sessions were counted
+
+
+class TestSLOOverTCP:
+    def test_slo_evaluates_objectives_with_burn_rates(self, client):
+        rng = np.random.default_rng(101)
+        for _ in range(2):
+            assert len(list(client.generate(
+                "gpt_nano", rng.integers(0, 64, size=7), MAX_NEW))) == MAX_NEW
+        reply = client.slo()
+        # Front-end plus both workers contributed windows.
+        assert reply["sources"] == 3
+        rows = {row["name"]: row for row in reply["objectives"]}
+        assert set(rows) == {"ttft_p99", "itl_p99", "error_rate"}
+
+        ttft = rows["ttft_p99"]
+        assert ttft["threshold_ms"] == 0.05 and ttft["target"] == 0.9
+        for window in ttft["windows"].values():
+            assert window["total"] >= 2
+            assert window["bad"] == window["total"]  # 0.05ms: all breach
+            assert window["compliance"] == 0.0
+            # All-bad burn: bad_fraction / error_budget = 1 / 0.1.
+            assert window["burn_rate"] == pytest.approx(10.0)
+        assert ttft["alerting"] is True
+
+        itl = rows["itl_p99"]
+        for window in itl["windows"].values():
+            assert window["total"] >= 2 * (MAX_NEW - 1)
+            assert window["bad"] == 0
+            assert window["compliance"] == 1.0
+        assert itl["alerting"] is False
+        assert rows["error_rate"]["alerting"] is False
+
+    def test_health_reports_alerting_objectives(self, client):
+        rng = np.random.default_rng(102)
+        assert len(list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=5), MAX_NEW))) == MAX_NEW
+        health = client.health()
+        assert health["workers"] == health["alive_workers"] == 2
+        assert health["accepting"] is True
+        assert "ttft_p99" in health["alerting"]
+        assert health["ok"] is False  # breaching TTFT ⇒ not healthy
+        assert health["flight"]["enabled"] is False
+
+
+class TestFlightRecorder:
+    def test_breach_traces_are_retained_and_exported(self, cluster,
+                                                     client):
+        rng = np.random.default_rng(111)
+        assert client.set_obs(flight=True)["flight"] is True
+        try:
+            for _ in range(2):
+                tokens = list(client.generate(
+                    "gpt_nano", rng.integers(0, 64, size=8), MAX_NEW))
+                assert len(tokens) == MAX_NEW
+            reply = client.flight()
+            assert reply["enabled"] is True
+            assert reply["counts"]["breach"] >= 2
+            entries = reply["entries"]
+            assert entries, "breaching generations were not retained"
+            for entry in entries:
+                assert entry["reason"] == "breach"
+                assert entry["value_ms"] > 0.05
+                assert entry["span_count"] > 0
+
+            doc = client.flight(worst=True)
+            assert doc["entry"]["reason"] == "breach"
+            events = doc["chrome"]["traceEvents"]
+            names = {ev.get("name") for ev in events}
+            # The tail-sampled trace is a full cross-process stitch.
+            assert {"tcp.generate", "router.pick", "shard.rpc",
+                    "gen.prefill", "decode.tick"} <= names
+            json.dumps(doc)  # ships as JSON straight off the wire
+        finally:
+            assert client.set_obs(flight=False)["flight"] is False
+        cluster.flight.clear()
+
+    def test_flight_off_means_head_sampling_never_runs(self, cluster,
+                                                       client):
+        rng = np.random.default_rng(112)
+        before = len(cluster.trace_spans())
+        assert len(list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=5), 3))) == 3
+        assert len(cluster.trace_spans()) == before
+        assert len(cluster.flight) == 0
 
 
 class TestObsToggleOverTCP:

@@ -1,0 +1,452 @@
+"""Unit tests for the production metrics plane.
+
+:mod:`repro.obs.metrics` (registry, per-thread cells, merge, text
+exposition), :mod:`repro.obs.slo` (objectives, windowed rings, burn-rate
+alerting) and :mod:`repro.obs.flight` (tail-sampled retention) — plus
+the registry hygiene of the tracer's per-thread rings and the token
+telemetry's bounded closed-session stash. Everything here runs on
+private registry instances with fake clocks; no cluster, no sleeps.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Objective,
+    SLOMonitor,
+    TokenTelemetry,
+    Tracer,
+    merge_snapshots,
+    render_text,
+)
+from repro.obs.metrics import parse_label_key
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Registry: counters, gauges, histograms
+# ----------------------------------------------------------------------
+
+class TestCounters:
+    def test_inc_and_snapshot(self, registry):
+        reqs = registry.counter("reqs_total", "Requests", labels=("op",))
+        reqs.labels(op="infer").inc()
+        reqs.labels(op="infer").inc(2)
+        reqs.labels(op="generate").inc()
+        snap = registry.snapshot()
+        entry = snap["reqs_total"]
+        assert entry["type"] == "counter" and entry["help"] == "Requests"
+        assert entry["series"] == {"op=infer": 3.0, "op=generate": 1.0}
+
+    def test_declaration_is_idempotent_but_kind_checked(self, registry):
+        first = registry.counter("x_total", labels=("a",))
+        assert registry.counter("x_total", labels=("a",)) is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_label_schema_is_validated(self, registry):
+        family = registry.counter("y_total", labels=("op",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(shard=0)
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels()
+
+    def test_per_thread_cells_sum_and_survive_thread_death(self, registry):
+        total = registry.counter("t_total", labels=())
+        child = total.labels()
+        child.inc(5)
+
+        def work():
+            child.inc(7)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        # The worker thread is dead; its cell folds into the retained
+        # base at snapshot time and the total is preserved.
+        assert registry.snapshot()["t_total"]["series"][""] == 12.0
+        assert registry.snapshot()["t_total"]["series"][""] == 12.0
+
+    def test_disabled_registry_drops_writes(self, registry):
+        c = registry.counter("d_total").labels()
+        registry.enabled = False
+        c.inc()
+        registry.enabled = True
+        c.inc()
+        assert registry.snapshot()["d_total"]["series"][""] == 1.0
+
+    def test_constant_labels_ride_every_series(self):
+        registry = MetricsRegistry(constant_labels={"shard": "3"})
+        registry.counter("c_total", labels=("op",)).labels(op="run").inc()
+        registry.gauge("g").labels().set(2.0)
+        snap = registry.snapshot()
+        assert snap["c_total"]["series"] == {"op=run,shard=3": 1.0}
+        assert snap["g"]["series"] == {"shard=3": 2.0}
+
+    def test_label_key_round_trips(self):
+        assert parse_label_key("a=1,b=x") == {"a": "1", "b": "x"}
+        assert parse_label_key("") == {}
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth").labels()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert registry.snapshot()["depth"]["series"][""] == 3.0
+
+    def test_function_gauge_evaluates_at_scrape(self, registry):
+        state = {"v": 1.0}
+        registry.gauge("live").labels().set_function(lambda: state["v"])
+        assert registry.snapshot()["live"]["series"][""] == 1.0
+        state["v"] = 9.0
+        assert registry.snapshot()["live"]["series"][""] == 9.0
+
+    def test_crashed_callback_does_not_break_the_scrape(self, registry):
+        def boom():
+            raise RuntimeError("gone")
+
+        registry.gauge("bad").labels().set_function(boom)
+        registry.counter("ok_total").labels().inc()
+        snap = registry.snapshot()
+        assert snap["bad"]["series"] == {}
+        assert snap["ok_total"]["series"][""] == 1.0
+
+
+class TestHistograms:
+    def test_observe_bins_cumulatively(self, registry):
+        h = registry.histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+        child = h.labels()
+        for v in (0.5, 5.0, 5.0, 50.0, 500.0):
+            child.observe(v)
+        data = registry.snapshot()["lat_ms"]["series"][""]
+        # Buckets are cumulative; the final entry is the +Inf count.
+        assert data["buckets"] == [1, 3, 4, 5]
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(560.5)
+
+    def test_boundary_value_lands_in_its_le_bucket(self, registry):
+        h = registry.histogram("b_ms", buckets=(1.0, 10.0)).labels()
+        h.observe(1.0)   # le="1" bucket: Prometheus le is inclusive
+        h.observe(10.0)
+        data = registry.snapshot()["b_ms"]["series"][""]
+        assert data["buckets"] == [1, 2, 2]
+
+    def test_snapshot_is_json_clean(self, registry):
+        registry.histogram("j_ms", labels=("m",)).labels(m="a").observe(3)
+        registry.counter("j_total").labels().inc()
+        json.dumps(registry.snapshot())
+
+
+class TestMergeAndRender:
+    def test_merge_sums_counters_histograms_and_gauges(self):
+        a, b = MetricsRegistry({"shard": "0"}), MetricsRegistry({"shard": "0"})
+        for reg, n in ((a, 2), (b, 3)):
+            reg.counter("r_total").labels().inc(n)
+            reg.histogram("h_ms", buckets=(1.0, 10.0)).labels().observe(n)
+            reg.gauge("q").labels().set(n)
+        merged = merge_snapshots([a.snapshot(), b.snapshot(), {}])
+        assert merged["r_total"]["series"]["shard=0"] == 5.0
+        h = merged["h_ms"]["series"]["shard=0"]
+        assert h["count"] == 2 and h["sum"] == 5.0
+        assert h["buckets"] == [0, 2, 2]
+        assert merged["q"]["series"]["shard=0"] == 5.0
+
+    def test_merge_keeps_distinct_series_distinct(self):
+        a, b = MetricsRegistry({"shard": "0"}), MetricsRegistry({"shard": "1"})
+        a.counter("r_total").labels().inc()
+        b.counter("r_total").labels().inc()
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["r_total"]["series"] == {"shard=0": 1.0, "shard=1": 1.0}
+
+    def test_render_text_exposition(self, registry):
+        registry.counter("reqs_total", "Requests", labels=("op",)) \
+            .labels(op="infer").inc(2)
+        registry.histogram("lat_ms", "Latency", buckets=(1.0, 10.0)) \
+            .labels().observe(5.0)
+        text = render_text(registry.snapshot())
+        assert "# HELP reqs_total Requests" in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{op="infer"} 2' in text
+        assert 'lat_ms_bucket{le="1"} 0' in text
+        assert 'lat_ms_bucket{le="10"} 1' in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+        assert "lat_ms_sum 5.0" in text
+        assert "lat_ms_count 1" in text
+
+
+# ----------------------------------------------------------------------
+# SLO monitor
+# ----------------------------------------------------------------------
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Objective("x", "m", threshold_ms=1.0, kind="weird")
+        with pytest.raises(ValueError, match="threshold_ms"):
+            Objective("x", "m")
+        with pytest.raises(ValueError, match="bad_metric"):
+            Objective("x", "m", kind="errors")
+        with pytest.raises(ValueError, match="target"):
+            Objective("x", "m", threshold_ms=1.0, target=1.0)
+
+    def test_dict_round_trip(self):
+        obj = Objective("ttft", "repro_gen_ttft_ms", threshold_ms=500.0,
+                        target=0.95, description="d")
+        back = Objective.from_dict(obj.to_dict())
+        assert back.to_dict() == obj.to_dict()
+        assert Objective.from_dict(obj) is obj
+
+    def test_latency_cumulative_reads_threshold_bucket(self, registry):
+        child = registry.histogram("m_ms", buckets=(1.0, 10.0, 100.0)) \
+            .labels()
+        for v in (0.5, 5.0, 50.0, 500.0):
+            child.observe(v)
+        snap = registry.snapshot()
+        obj = Objective("o", "m_ms", threshold_ms=10.0)
+        assert obj.cumulative(snap) == (4, 2)
+        # A threshold beyond the last bound counts everything as good.
+        assert Objective("o", "m_ms", threshold_ms=1e9) \
+            .cumulative(snap) == (4, 4)
+        assert obj.cumulative({}) == (0, 0)
+
+    def test_errors_cumulative(self, registry):
+        registry.counter("req_total").labels().inc(10)
+        registry.counter("err_total").labels().inc(3)
+        obj = Objective("e", "req_total", kind="errors",
+                        bad_metric="err_total")
+        assert obj.cumulative(registry.snapshot()) == (10, 7)
+
+
+class TestSLOMonitor:
+    def _monitor(self, registry, now):
+        clock = lambda: now[0]  # noqa: E731
+        return SLOMonitor(
+            registry,
+            objectives=[Objective("lat", "m_ms", threshold_ms=10.0,
+                                  target=0.9)],
+            windows=(10, 60), window_s=120, alert_burn=2.0, clock=clock)
+
+    def test_baseline_is_primed_at_construction(self, registry):
+        child = registry.histogram("m_ms", buckets=(10.0,)).labels()
+        child.observe(100.0)  # pre-existing breach: must not count
+        now = [1000.0]
+        mon = self._monitor(registry, now)
+        rows = mon.evaluated(now[0])
+        assert rows[0]["windows"]["10"]["total"] == 0
+        assert rows[0]["windows"]["10"]["compliance"] == 1.0
+        assert rows[0]["alerting"] is False
+
+    def test_burn_rate_and_multi_window_alerting(self, registry):
+        child = registry.histogram("m_ms", buckets=(10.0,)).labels()
+        now = [1000.0]
+        mon = self._monitor(registry, now)
+        for _ in range(4):
+            child.observe(100.0)  # 4 breaches
+        child.observe(1.0)        # 1 good
+        rows = mon.evaluated(now[0])
+        win = rows[0]["windows"]["10"]
+        assert (win["total"], win["bad"]) == (5, 4)
+        assert win["compliance"] == pytest.approx(0.2)
+        # bad_fraction 0.8 against a 0.1 budget: burn 8x.
+        assert win["burn_rate"] == pytest.approx(8.0)
+        assert rows[0]["alerting"] is True
+
+        # The short window ages out; the long window still burns — the
+        # multi-window rule stops alerting ("was real, but over").
+        now[0] += 30.0
+        rows = mon.evaluated(now[0])
+        assert rows[0]["windows"]["10"]["total"] == 0
+        assert rows[0]["windows"]["60"]["burn_rate"] == pytest.approx(8.0)
+        assert rows[0]["alerting"] is False
+
+    def test_window_horizon_prunes_slots(self, registry):
+        child = registry.histogram("m_ms", buckets=(10.0,)).labels()
+        now = [1000.0]
+        mon = self._monitor(registry, now)
+        child.observe(100.0)
+        mon.tick()
+        now[0] += 500.0  # past window_s=120
+        child.observe(1.0)
+        mon.tick()
+        snap = mon.snapshot()
+        assert list(snap["slots"]["lat"]) == ["1500"]
+
+    def test_merge_sums_per_second_slots(self, registry):
+        reg2 = MetricsRegistry()
+        now = [1000.0]
+        a = self._monitor(registry, now)
+        b = self._monitor(reg2, now)
+        registry.histogram("m_ms", buckets=(10.0,)).labels().observe(100.0)
+        reg2.histogram("m_ms", buckets=(10.0,)).labels().observe(1.0)
+        a.tick()
+        b.tick()
+        merged = SLOMonitor.merge([a.snapshot(), b.snapshot(), {}])
+        assert merged["slots"]["lat"]["1000"] == [2, 1]
+        (row,) = SLOMonitor.evaluate(merged, now[0])
+        assert row["windows"]["10"]["total"] == 2
+        assert row["windows"]["10"]["bad"] == 1
+        json.dumps(merged)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+
+class TestFlightRecorder:
+    def test_disabled_begin_is_none_and_finish_noops(self):
+        flight = FlightRecorder()
+        assert flight.begin() is None
+        assert flight.finish(None, value_ms=1e9) is None
+        assert len(flight) == 0
+
+    def test_breach_is_retained_fast_request_dropped(self):
+        flight = FlightRecorder(threshold_ms=100.0)
+        flight.enabled = True
+        fast, slow = flight.begin(), flight.begin()
+        assert flight.finish(fast, value_ms=5.0) is None
+        entry = flight.finish(slow, value_ms=250.0, model="m")
+        assert entry["reason"] == "breach" and entry["meta"] == {"model": "m"}
+        assert flight.counts == {"breach": 1, "error": 0, "sample": 0,
+                                 "dropped": 1}
+
+    def test_error_wins_over_breach_and_sampling(self):
+        flight = FlightRecorder(threshold_ms=1.0, sample_rate=1.0)
+        flight.enabled = True
+        entry = flight.finish(flight.begin(), value_ms=99.0, error="boom")
+        assert entry["reason"] == "error" and entry["error"] == "boom"
+
+    def test_sample_rate_keeps_healthy_requests(self):
+        flight = FlightRecorder(sample_rate=1.0)
+        flight.enabled = True
+        assert flight.finish(flight.begin(), value_ms=0.1)["reason"] \
+            == "sample"
+
+    def test_spans_fetched_only_for_retained(self):
+        fetched = []
+        flight = FlightRecorder(threshold_ms=10.0)
+        flight.enabled = True
+
+        def fetch(trace):
+            fetched.append(trace)
+            return [{"trace": trace, "name": "s", "span": 1, "parent": None,
+                     "cat": "t", "ts_us": 0, "dur_us": 5, "pid": 1,
+                     "tid": 1, "args": {}}]
+
+        flight.finish(flight.begin(), value_ms=1.0, fetch_spans=fetch)
+        kept = flight.finish(flight.begin(), value_ms=50.0,
+                             fetch_spans=fetch)
+        assert fetched == [kept["trace"]]
+        (row,) = flight.entries()
+        assert row["span_count"] == 1 and "spans" not in row
+
+    def test_worst_entry_and_chrome_doc(self):
+        flight = FlightRecorder(threshold_ms=1.0, sample_rate=1.0)
+        flight.enabled = True
+        flight.finish(flight.begin(), value_ms=0.5)           # sample
+        flight.finish(flight.begin(), value_ms=20.0)          # breach
+        worst = flight.finish(flight.begin(), value_ms=80.0)  # worst breach
+        assert flight.entry(worst=True)["trace"] == worst["trace"]
+        assert flight.entry(trace_id=worst["trace"]) is not None
+        doc = flight.chrome(worst=True)
+        assert doc["entry"]["trace"] == worst["trace"]
+        assert doc["chrome"]["displayTimeUnit"] == "ms"
+        json.dumps(doc)
+        assert flight.chrome(trace_id="nope") is None
+
+    def test_capacity_bounds_the_ring(self):
+        flight = FlightRecorder(capacity=3, threshold_ms=0.0)
+        flight.enabled = True
+        kept = [flight.finish(flight.begin(), value_ms=1.0 + i)
+                for i in range(5)]
+        assert len(flight) == 3
+        traces = {e["trace"] for e in flight.entries()}
+        assert traces == {e["trace"] for e in kept[-3:]}
+        flight.clear()
+        assert len(flight) == 0 and flight.counts["breach"] == 0
+
+    def test_entries_filter_by_reason(self):
+        flight = FlightRecorder(threshold_ms=10.0)
+        flight.enabled = True
+        flight.finish(flight.begin(), value_ms=50.0)
+        flight.finish(flight.begin(), error="x")
+        assert [e["reason"] for e in flight.entries()] == ["error", "breach"]
+        assert [e["reason"] for e in flight.entries(reason="error")] \
+            == ["error"]
+
+
+# ----------------------------------------------------------------------
+# Registry hygiene riding along: tracer rings + telemetry stash
+# ----------------------------------------------------------------------
+
+class TestTracerRingHygiene:
+    def test_dead_thread_rings_are_pruned_but_spans_survive(self):
+        tracer = Tracer(capacity=64)
+        tracer.enable()
+
+        def work(i):
+            with tracer.span("t%d" % i):
+                pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with tracer.span("main"):
+            pass
+        spans = tracer.spans()  # prunes dead threads' rings
+        assert {s.name for s in spans} \
+            == {"t%d" % i for i in range(8)} | {"main"}
+        # Only the calling thread's ring remains registered.
+        assert tracer.ring_count() == 1
+
+    def test_retired_spans_stay_bounded(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+
+        def work(i):
+            with tracer.span("t%d" % i):
+                pass
+
+        for i in range(10):
+            t = threading.Thread(target=work, args=(i,))
+            t.start()
+            t.join()
+            tracer.spans()
+        assert len(tracer.spans()) == 4  # capacity bounds retirement too
+
+
+class TestTelemetryClosedStash:
+    def test_closed_sessions_age_out_fifo(self):
+        telemetry = TokenTelemetry(closed_keep=2)
+        for sid in ("a", "b", "c"):
+            telemetry.open(sid)
+            telemetry.token(sid)
+            telemetry.close(sid)
+        assert telemetry.session_snapshot("a") is None  # evicted
+        assert telemetry.session_snapshot("b")["done"] is True
+        assert telemetry.session_snapshot("c")["done"] is True
+
+    def test_labelled_telemetry_mirrors_into_a_registry(self):
+        from repro.obs.metrics import METRICS
+        telemetry = TokenTelemetry(label="unit_test_model")
+        telemetry.open("s")
+        telemetry.token("s")
+        telemetry.token("s")
+        telemetry.close("s")
+        snap = METRICS.snapshot()
+        key = "model=unit_test_model"
+        assert snap["repro_gen_tokens_total"]["series"][key] >= 2
+        assert snap["repro_gen_ttft_ms"]["series"][key]["count"] >= 1
+        assert snap["repro_gen_itl_ms"]["series"][key]["count"] >= 1
