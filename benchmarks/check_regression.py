@@ -18,7 +18,10 @@ set, so the comparison shows on the run page), and exits non-zero when
 - the always-on metrics-plane cost exceeds its own absolute 5% budget
   (mirroring ``test_metrics_plane_overhead``; checked only when the
   fresh artifact carries the ``observability.metrics`` record, so older
-  artifacts still gate cleanly).
+  artifacts still gate cleanly), or
+- the continuous wall-clock sampler's cost exceeds its own absolute 5%
+  budget (mirroring ``test_contprof_overhead_gate``; checked only when
+  the fresh artifact carries the ``observability.contprof`` record).
 
 Metrics present only in the fresh artifact are reported as ``new`` and
 pass — that is how a PR introduces a metric before its baseline exists.
@@ -50,6 +53,10 @@ TRACING_GATE = 0.05
 # matching test_metrics_plane_overhead in the same file.
 METRICS_GATE = 0.05
 
+# Absolute ceiling on the continuous wall-clock sampler's cost fraction,
+# matching test_contprof_overhead_gate in the same file.
+CONTPROF_GATE = 0.05
+
 
 def extract_metrics(bench):
     """Flatten the gated throughput metrics out of a serving artifact.
@@ -77,7 +84,7 @@ def extract_metrics(bench):
 
 
 def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE,
-            metrics_gate=METRICS_GATE):
+            metrics_gate=METRICS_GATE, contprof_gate=CONTPROF_GATE):
     """Diff two serving artifacts; returns ``(rows, failures)``.
 
     ``rows`` drive the markdown table; ``failures`` is a list of human
@@ -138,6 +145,22 @@ def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE,
             failures.append("always-on metrics cost %.2f%% exceeds the "
                             "%.0f%% budget"
                             % (fraction * 100.0, metrics_gate * 100.0))
+
+    fraction = fresh.get("observability", {}) \
+                    .get("contprof", {}) \
+                    .get("sampler_overhead_fraction")
+    if fraction is not None:
+        base_fraction = baseline.get("observability", {}) \
+                                .get("contprof", {}) \
+                                .get("sampler_overhead_fraction")
+        ok = fraction <= contprof_gate
+        rows.append({"metric": "observability.sampler_overhead_fraction",
+                     "baseline": base_fraction, "current": fraction,
+                     "delta": None, "status": "ok" if ok else "FAIL"})
+        if not ok:
+            failures.append("wall-clock sampler cost %.2f%% exceeds the "
+                            "%.0f%% budget"
+                            % (fraction * 100.0, contprof_gate * 100.0))
     return rows, failures
 
 

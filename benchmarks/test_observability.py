@@ -1,6 +1,6 @@
 """Observability overhead gate + decode-step profile + trace artifact.
 
-Four records merged into the ``observability`` section of
+Six records merged into the ``observability`` section of
 ``BENCH_serving.json``:
 
 1. **Tracing overhead** — the same LeNet serving burst with tracing off
@@ -31,6 +31,20 @@ Four records merged into the ``observability`` section of
    measured request rate. The acceptance gate: always-on metrics must
    consume ≤5% of serving time (re-checked by ``check_regression.py``
    against the committed artifact).
+5. **Continuous profiler cost** — the same LeNet burst with the
+   wall-clock sampler stopped and running at its production rate, plus
+   the directly measured per-``sample_once`` cost (taken with the
+   server's threads live, so the walk covers a realistic thread count).
+   The gate is the derived ``sampler_overhead_fraction`` — per-sample
+   cost x sampling rate — which must stay ≤5% of wall time (re-checked
+   by ``check_regression.py``). Samples/s and distinct-stack counts
+   ride along.
+6. **Collapsed-stack profile sample** — the cluster-merged ``op:
+   profile`` reply from the same 2-worker cluster as the trace sample,
+   rendered to collapsed-stack text (``BENCH_PROFILE_TXT``, default
+   ``BENCH_profile_collapsed.txt``) so every commit uploads a
+   flamegraph.pl/speedscope-loadable specimen of the front-end + worker
+   wall-clock profile.
 """
 
 import json
@@ -65,6 +79,7 @@ from repro.obs import (
     render_text,
     save_chrome_trace,
 )
+from repro.obs.contprof import SAMPLER
 from repro.serving import LUTServer, ServingConfig
 
 from conftest import emit, record_serving_bench
@@ -84,6 +99,11 @@ SPANS_PER_REQUEST = 8
 # the cluster path, plus headroom for future call sites.
 METRIC_WRITES_PER_REQUEST = 12
 NULL_WRITE_CALLS = 200_000
+
+# Production sampling rate for the continuous profiler gate, and how
+# many direct sample_once() calls to average the per-sample cost over.
+CONTPROF_HZ = 100.0
+SAMPLE_ONCE_CALLS = 2_000
 
 SESSIONS = 6
 MAX_NEW = 12
@@ -320,6 +340,83 @@ def test_decode_step_breakdown(gen_setup):
     assert telemetry["itl_ms"]["count"] >= SESSIONS * (MAX_NEW - 1)
 
 
+def test_contprof_overhead_gate(converted_lenet):
+    rng = np.random.default_rng(6)
+    requests = rng.normal(size=(REQUESTS, 1, 16, 16))
+    config = ServingConfig(max_batch_size=32, max_wait_ms=2.0,
+                           max_pending=4 * REQUESTS)
+    # The singleton is process-shared: an earlier cluster construction in
+    # this bench run leaves it running, so force a genuine off state.
+    SAMPLER.stop()
+    with LUTServer(converted_lenet, (1, 16, 16), config) as server:
+        server.infer_many(requests[:8])  # warm the kernels
+        rate_off = 0.0
+        for _ in range(TRIALS):
+            rate_off = max(rate_off, _serve_burst(server, requests))
+        SAMPLER.start(rate_hz=CONTPROF_HZ)
+        SAMPLER.snapshot(reset=True)  # window the sampled phase
+        try:
+            rate_on = 0.0
+            on_start = time.perf_counter()
+            for _ in range(TRIALS):
+                rate_on = max(rate_on, _serve_burst(server, requests))
+            on_elapsed = time.perf_counter() - on_start
+            snap = SAMPLER.snapshot()
+        finally:
+            SAMPLER.stop()
+
+        # The sampler's whole cost is one stack walk per tick, measured
+        # directly while the server's worker threads are still alive so
+        # the walk covers a production-shaped thread count.
+        start = time.perf_counter()
+        for _ in range(SAMPLE_ONCE_CALLS):
+            SAMPLER.sample_once()
+        sample_once_s = (time.perf_counter() - start) / SAMPLE_ONCE_CALLS
+        SAMPLER.snapshot(reset=True)  # discard the cost-measurement folds
+
+    # Fraction of wall time the sampler thread spends walking stacks:
+    # per-sample cost x samples per second.
+    overhead_fraction = sample_once_s * CONTPROF_HZ
+    samples_per_s = snap["samples"] / on_elapsed
+
+    rows = [
+        {"sampler": "off", "req_per_s": rate_off, "vs_off": "1.00x"},
+        {"sampler": "on (%g Hz)" % CONTPROF_HZ, "req_per_s": rate_on,
+         "vs_off": "%.2fx" % (rate_on / rate_off)},
+    ]
+    emit("Continuous profiler overhead (LeNet-16 burst of %d, "
+         "max_batch=32)" % REQUESTS, format_table(rows, floatfmt="%.4g"))
+    emit("Sampler cost",
+         "sample_once: %.1f us/walk x %g Hz = %.4f%% of wall time "
+         "(gate: <= 5%%); collected %.0f samples/s into %d distinct "
+         "stacks while serving"
+         % (sample_once_s * 1e6, CONTPROF_HZ, overhead_fraction * 100.0,
+            samples_per_s, len(snap["stacks"])))
+    PAYLOAD["contprof"] = {
+        "model": "lenet",
+        "requests": REQUESTS,
+        "rate_hz": CONTPROF_HZ,
+        "req_per_s_sampler_off": rate_off,
+        "req_per_s_sampler_on": rate_on,
+        "on_vs_off": rate_on / rate_off,
+        "sample_once_us": sample_once_s * 1e6,
+        "sampler_overhead_fraction": overhead_fraction,
+        "samples_per_s": samples_per_s,
+        "samples": snap["samples"],
+        "stacks": len(snap["stacks"]),
+    }
+    record_serving_bench("observability", PAYLOAD)
+
+    # The acceptance gate: the always-on sampler costs <= 5% of wall
+    # time at its production rate.
+    assert overhead_fraction <= 0.05, PAYLOAD["contprof"]
+    # Sanity: sampled serving throughput stays within burst jitter of
+    # the unsampled rate (same loose bound as the tracing gate).
+    assert rate_on >= 0.70 * rate_off, (rate_on, rate_off)
+    # The window actually collected samples while the burst ran.
+    assert snap["samples"] > 0, snap
+
+
 def test_sample_chrome_trace_artifact(gen_setup):
     model, _ = gen_setup
     path = pathlib.Path(os.environ.get("BENCH_TRACE_JSON",
@@ -337,6 +434,7 @@ def test_sample_chrome_trace_artifact(gen_setup):
                 tokens = list(client.generate("gpt_nano", prompt, MAX_NEW,
                                               trace=tid))
                 spans = client.trace(tid)
+                profiled = client.profile()
     finally:
         cluster.shutdown(drain=False, timeout=15.0)
 
@@ -354,6 +452,24 @@ def test_sample_chrome_trace_artifact(gen_setup):
         "processes": len({s["pid"] for s in spans}),
         "span_names": sorted(names),
     }
+
+    # The same cluster also answers ``op: profile``: upload its merged
+    # wall-clock profile as collapsed-stack text (flamegraph.pl /
+    # speedscope input) alongside the Chrome trace.
+    merged = profiled["profile"]
+    profile_path = pathlib.Path(os.environ.get(
+        "BENCH_PROFILE_TXT", "BENCH_profile_collapsed.txt"))
+    profile_path.write_text(profiled["collapsed"])
+    emit("Collapsed-stack profile sample",
+         "wrote %s: %d wall-clock samples over %d processes (%s)"
+         % (profile_path, merged["samples"], len(merged["shards"]),
+            ", ".join(sorted(merged["shards"]))))
+    PAYLOAD["profile_sample"] = {
+        "path": str(profile_path),
+        "samples": merged["samples"],
+        "stacks": len(merged["stacks"]),
+        "processes": sorted(merged["shards"]),
+    }
     record_serving_bench("observability", PAYLOAD)
 
     assert len(tokens) == MAX_NEW
@@ -361,3 +477,7 @@ def test_sample_chrome_trace_artifact(gen_setup):
     assert {"tcp.generate", "router.pick", "shard.rpc",
             "gen.prefill", "decode.tick"} <= names
     assert len({s["pid"] for s in spans}) >= 2
+    # The profile merged the front-end sampler with at least one worker.
+    assert merged["samples"] > 0
+    assert "frontend" in merged["shards"]
+    assert len(merged["shards"]) >= 2, sorted(merged["shards"])

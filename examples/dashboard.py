@@ -10,7 +10,11 @@ operations console would use — nothing here touches cluster internals:
 - ``op: stats``    — the merged Prometheus snapshot (per-shard request
   counters, queue depths, KV bytes) for the per-shard table;
 - ``op: flight``   — the tail-sampled flight recorder's retained traces
-  (breaches/errors/samples), newest first.
+  (breaches/errors/samples), newest first;
+- ``op: profile``  — the continuous wall-clock sampler's cluster-merged
+  folded stacks (front-end + every worker) for the hotspots panel;
+- ``op: drift``    — the cost-model drift report: measured ms per
+  predicted cycle per layer, flagged when a layer leaves the band.
 
 The declared TTFT objective is set deliberately tight (0.5 ms) so the
 demo traffic *breaches* it: the SLO panel shows a live burn rate and the
@@ -100,7 +104,26 @@ def shard_rows(snapshot):
     return sorted(rows.items())
 
 
-def render(frame, health, slo, stats, flights):
+def hotspot_rows(profile, top=4):
+    """The heaviest folded stacks, compressed to ``tag: leaf`` form.
+
+    Full stacks are flamegraph food; a terminal pane wants the tag (the
+    instrumented region — decode, prefill, router) and the leaf frame
+    where the samples actually landed.
+    """
+    stacks = profile.get("stacks", {})
+    total = max(profile.get("samples", 1), 1)
+    rows = []
+    for stack in sorted(stacks, key=lambda s: stacks[s]["samples"],
+                        reverse=True)[:top]:
+        frames = stack.split(";")
+        tag = frames[0] if len(frames) > 1 else "?"
+        rows.append((tag, frames[-1], stacks[stack]["samples"],
+                     100.0 * stacks[stack]["samples"] / total))
+    return rows
+
+
+def render(frame, health, slo, stats, flights, profile, drift):
     lines = []
     verdict = "HEALTHY" if health["ok"] else "DEGRADED"
     lines.append("=== cluster dashboard — frame %d — %s ===" % (frame,
@@ -139,6 +162,35 @@ def render(frame, health, slo, stats, flights):
             lines.append("  shard %s: %s" % (shard, picks))
 
     lines.append("")
+    shards = ", ".join("%s %d" % (label, row["samples"])
+                       for label, row in sorted(
+                           profile.get("shards", {}).items()))
+    lines.append("hotspots (%d wall-clock samples: %s):"
+                 % (profile.get("samples", 0), shards or "none yet"))
+    for tag, leaf, samples, pct in hotspot_rows(profile):
+        lines.append("  %4.1f%% %-8s %s" % (pct, tag, leaf))
+    if not profile.get("stacks"):
+        lines.append("  (no samples yet)")
+
+    lines.append("")
+    drift_line = ("band %.1fx — %s" % (
+        drift.get("band", 0.0),
+        "DRIFTING" if drift.get("alerting") else "tracking"))
+    lines.append("cost-model drift (%s):" % drift_line)
+    for model, entry in sorted(drift.get("models", {}).items()):
+        cal = entry["calibration_ms_per_cycle"]
+        worst = max(entry["layers"].values(),
+                    key=lambda r: abs(r["drift"] - 1.0), default=None)
+        detail = ("" if worst is None
+                  else ", worst layer drift %.2fx" % worst["drift"])
+        flagged = ("  ALERT: %s" % ", ".join(entry["alerts"])
+                   if entry["alerts"] else "")
+        lines.append("  %-10s %.3g ms/cycle%s%s"
+                     % (model, cal, detail, flagged))
+    if not drift.get("models"):
+        lines.append("  (no measurements yet)")
+
+    lines.append("")
     lines.append("flight recorder (newest first):")
     for entry in flights["entries"][:4]:
         lines.append("  %-7s %8.2f ms  trace %s  (%d spans)"
@@ -159,7 +211,9 @@ def main():
                 for frame in range(1, FRAMES + 1):
                     drive_traffic(client)
                     screen = render(frame, client.health(), client.slo(),
-                                    client.stats(), client.flight())
+                                    client.stats(), client.flight(),
+                                    client.profile()["profile"],
+                                    client.drift())
                     if interactive:
                         sys.stdout.write("\x1b[H\x1b[2J")
                         print(screen, flush=True)

@@ -28,9 +28,11 @@ Request headers:
                                                        profiler/telemetry
     {"id": 12, "op": "trace", "trace": "<hex id>"}   -> recorded spans
     {"id": 13, "op": "obs", "tracing": true,
-     "profiling": true, "flight": true}              -> toggle tracing /
+     "profiling": true, "flight": true,
+     "sampler": true, "sampler_rate": 50.0}          -> toggle tracing /
                                                        worker profiling /
-                                                       flight recording
+                                                       flight recording /
+                                                       wall-clock sampling
     {"id": 14, "op": "slo"}           (no payload)   -> objectives evaluated
                                                        cluster-wide (burn
                                                        rates per window)
@@ -43,6 +45,14 @@ Request headers:
     {"id": 17, "op": "scrape"}        (no payload)   -> Prometheus text
                                                        exposition of the
                                                        merged registry
+    {"id": 18, "op": "profile", "reset": false}      -> cluster-merged
+                                                       wall-clock profile
+                                                       (folded stacks +
+                                                       collapsed text)
+    {"id": 19, "op": "drift"}         (no payload)   -> cost-model drift
+                                                       report (per-layer
+                                                       calibration + band
+                                                       alerts)
 
 The optional ``sampling`` field is ``SamplingConfig.to_dict()`` — omit
 it (or send null) for greedy decode. Because the sampling RNG is
@@ -90,6 +100,7 @@ import time
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.contprof import render_collapsed, to_pprof
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS, METRICS, render_text
 from ..obs.tracer import TRACE
 
@@ -310,6 +321,20 @@ class ClusterTCPServer:
             elif op == "scrape":
                 reply["text"] = render_text(await loop.run_in_executor(
                     None, self.cluster.metrics_snapshot))
+            elif op == "profile":
+                # Worker snapshot fetches are blocking pipe RPCs — off
+                # the loop. The merged document ships with its two
+                # standard renderings so a client needs no repro import
+                # to feed flamegraph.pl or a pprof consumer.
+                merged = await loop.run_in_executor(
+                    None, self.cluster.profile, bool(header.get("reset")))
+                reply["profile"] = merged
+                reply["collapsed"] = render_collapsed(merged)
+                if header.get("pprof"):
+                    reply["pprof"] = to_pprof(merged)
+            elif op == "drift":
+                reply["drift"] = await loop.run_in_executor(
+                    None, self.cluster.drift)
             elif op == "flight":
                 flight = self.cluster.flight
                 if header.get("trace") or header.get("worst"):
@@ -341,9 +366,20 @@ class ClusterTCPServer:
                     # Tail-sampled flight recording of untraced generate
                     # requests (traced ones already belong to a caller).
                     self.cluster.flight.enabled = bool(header["flight"])
+                sampled = None
+                if "sampler" in header or "sampler_rate" in header:
+                    # Wall-clock sampler reconfiguration fans out over
+                    # the worker pipes — off the loop like profiling.
+                    enabled = (None if "sampler" not in header
+                               else bool(header["sampler"]))
+                    rate = (None if header.get("sampler_rate") is None
+                            else float(header["sampler_rate"]))
+                    sampled = await loop.run_in_executor(
+                        None, self.cluster.set_sampling, enabled, rate)
                 reply["obs"] = {"tracing": TRACE.enabled,
                                 "profiling": acked,
-                                "flight": self.cluster.flight.enabled}
+                                "flight": self.cluster.flight.enabled,
+                                "sampler": sampled}
             elif op == "infer":
                 if array is None:
                     raise ProtocolError("inference request carries no array")
@@ -724,9 +760,11 @@ class ClusterClient:
             return header["spans"]
         return self._with_retry(attempt)
 
-    def set_obs(self, tracing=None, profiling=None, flight=None):
-        """Toggle front-end tracing, worker per-step profiling, and/or
-        the tail-sampling flight recorder."""
+    def set_obs(self, tracing=None, profiling=None, flight=None,
+                sampler=None, sampler_rate=None):
+        """Toggle front-end tracing, worker per-step profiling, the
+        tail-sampling flight recorder, and/or the continuous wall-clock
+        sampler (``sampler`` on/off, ``sampler_rate`` in Hz)."""
         request = {"op": "obs"}
         if tracing is not None:
             request["tracing"] = bool(tracing)
@@ -734,6 +772,10 @@ class ClusterClient:
             request["profiling"] = bool(profiling)
         if flight is not None:
             request["flight"] = bool(flight)
+        if sampler is not None:
+            request["sampler"] = bool(sampler)
+        if sampler_rate is not None:
+            request["sampler_rate"] = float(sampler_rate)
 
         def attempt():
             rid = self._send(dict(request))
@@ -787,6 +829,41 @@ class ClusterClient:
             header, _ = self._recv_matching({rid})
             self._check(header)
             return header.get("flight")
+        return self._with_retry(attempt)
+
+    def profile(self, reset=False, pprof=False):
+        """Cluster-merged continuous wall-clock profile (``op: profile``).
+
+        Returns the reply dict: ``profile`` is the merged folded-stack
+        document (per-process totals under ``shards``), ``collapsed``
+        its flamegraph.pl-ready text rendering, and — with
+        ``pprof=True`` — ``pprof`` a pprof-style JSON document.
+        ``reset=True`` starts a fresh window in every sampler."""
+        request = {"op": "profile"}
+        if reset:
+            request["reset"] = True
+        if pprof:
+            request["pprof"] = True
+
+        def attempt():
+            rid = self._send(dict(request))
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return {key: header[key]
+                    for key in ("profile", "collapsed", "pprof")
+                    if key in header}
+        return self._with_retry(attempt)
+
+    def drift(self):
+        """Cluster-merged cost-model drift report (``op: drift``):
+        per-model calibration, per-layer EWMA ratios and band alerts."""
+        def attempt():
+            rid = self._send({"op": "drift"})
+            self._flush()
+            header, _ = self._recv_matching({rid})
+            self._check(header)
+            return header["drift"]
         return self._with_retry(attempt)
 
     def scrape(self):

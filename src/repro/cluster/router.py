@@ -57,6 +57,25 @@ class LeastWorkRouter:
         self._lock = threading.Lock()
         self._pace = {}
         self._pace_at = 0.0
+        self._calibration = {}
+
+    def set_calibration(self, factors):
+        """Install drift-corrected pricing factors: ``{key: factor}``.
+
+        The drift detector's per-model calibration (measured ms per
+        predicted cycle, normalised across models) multiplies that key's
+        predicted cycles, so a model whose layers run systematically
+        slower than the cost model believes is priced at its *measured*
+        weight. An empty dict reverts to raw predicted cycles.
+        """
+        cleaned = {key: float(f) for key, f in (factors or {}).items()
+                   if f and f > 0.0}
+        with self._lock:
+            self._calibration = cleaned
+
+    def calibration(self):
+        with self._lock:
+            return dict(self._calibration)
 
     # ------------------------------------------------------------------
     def add_shard(self, index):
@@ -92,7 +111,8 @@ class LeastWorkRouter:
 
     # ------------------------------------------------------------------
     def _cost(self, key):
-        return self.request_cycles.get(key, 1.0)
+        return (self.request_cycles.get(key, 1.0)
+                * self._calibration.get(key, 1.0))
 
     def _refresh_pace(self):
         """Recompute relative pace factors from the shard windows.

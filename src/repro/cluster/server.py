@@ -32,6 +32,8 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.contprof import SAMPLER, merge_profiles, tagged
+from ..obs.drift import DriftDetector
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import METRICS, merge_snapshots
 from ..obs.profiler import StepProfiler
@@ -104,7 +106,8 @@ class ClusterConfig:
                  max_pending=1024, precision="fp32", sim_config=None,
                  autotune=False, autotune_interval=24, start_timeout=120.0,
                  respawn=True, default_max_new_tokens=16, objectives=None,
-                 flight=False, flight_capacity=64, flight_sample=0.0):
+                 flight=False, flight_capacity=64, flight_sample=0.0,
+                 sampler=True, sampler_hz=None):
         self.workers = int(workers)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -126,6 +129,11 @@ class ClusterConfig:
         self.flight = bool(flight)
         self.flight_capacity = int(flight_capacity)
         self.flight_sample = float(flight_sample)
+        # Continuous wall-clock sampling profiler: on by default in every
+        # process (front-end + workers); ``sampler_hz=None`` keeps each
+        # sampler's built-in default rate.
+        self.sampler = bool(sampler)
+        self.sampler_hz = None if sampler_hz is None else float(sampler_hz)
 
     def __repr__(self):
         return ("ClusterConfig(workers=%d, max_batch=%d, max_wait=%.1fms, "
@@ -149,7 +157,9 @@ class Shard:
         self.index = index
         self.process = ShardProcess(index, handles, gen_meta=gen_meta,
                                     start_timeout=config.start_timeout,
-                                    objectives=objectives)
+                                    objectives=objectives,
+                                    sampler={"enabled": config.sampler,
+                                             "rate_hz": config.sampler_hz})
         self.window = MetricsWindow()
         self.metrics = {}
         self.batchers = {}
@@ -365,6 +375,16 @@ class ClusterServer:
             (o.threshold_ms for o in self.slo_monitor.objectives
              if o.kind == "latency" and o.metric == "repro_gen_ttft_ms"),
             None)
+        # Front-end continuous profiler: the parent samples its own
+        # threads (router picks, batcher flushes, stream polls) under the
+        # ``frontend`` label; each worker samples as ``shard<i>``. The
+        # singleton is shared process-wide, so a sampler=False cluster
+        # explicitly stops it (a prior cluster may have left it running).
+        SAMPLER.label = "frontend"
+        if self.config.sampler:
+            SAMPLER.start(self.config.sampler_hz)
+        else:
+            SAMPLER.stop()
         self.store = SharedPlanStore()
         self.plans = {}
         self.gen_plans = {}
@@ -523,7 +543,8 @@ class ClusterServer:
         while True:
             t_pick = time.perf_counter()
             try:
-                index = self.router.pick(key, exclude=tried)
+                with tagged("router"):
+                    index = self.router.pick(key, exclude=tried)
             except NoShardAvailable as exc:
                 if refused:
                     # Shards are alive but their queues are full: surface
@@ -661,7 +682,8 @@ class ClusterServer:
         tried = set()
         while True:
             t_pick = time.perf_counter()
-            index = self.router.pick(key, exclude=tried)
+            with tagged("router"):
+                index = self.router.pick(key, exclude=tried)
             shard = self._by_index[index]
             tried.add(index)
             self._m_pick_ms.observe((time.perf_counter() - t_pick) * 1e3)
@@ -838,12 +860,23 @@ class ClusterServer:
         }
 
     def health(self):
-        """One-look health verdict: worker liveness, admission state and
-        which declared objectives are currently burning hot."""
+        """One-look health verdict: worker liveness, admission state,
+        which declared objectives are currently burning hot, and whether
+        any layer's measured cost has drifted out of the tolerance band.
+
+        Drift is advisory — a drifted layer means the router's pricing is
+        off (capacity planning, not availability) — so it never flips
+        ``ok``; it rides along under ``drift`` with the offending layers
+        named per model.
+        """
         slo = self.slo()
         alerting = [row["name"] for row in slo["objectives"]
                     if row["alerting"]]
         alive = self.alive_workers()
+        drift = self.drift()
+        drift_alerts = {name: row["alerts"]
+                        for name, row in drift.get("models", {}).items()
+                        if row.get("alerts")}
         return {
             "ok": bool(self._accepting and alive and not alerting),
             "accepting": bool(self._accepting),
@@ -854,6 +887,9 @@ class ClusterServer:
             "flight": {"enabled": self.flight.enabled,
                        "retained": len(self.flight),
                        "counts": dict(self.flight.counts)},
+            "drift": {"alerting": bool(drift_alerts),
+                      "alerts": drift_alerts,
+                      "models": len(drift.get("models", {}))},
         }
 
     def flight_begin(self):
@@ -903,6 +939,96 @@ class ClusterServer:
             except (ShardCrashed, RuntimeError):
                 continue
         return done
+
+    def set_sampling(self, enabled=None, rate_hz=None):
+        """Reconfigure the wall-clock sampler everywhere — front-end and
+        every alive worker — without touching step profiling; returns how
+        many workers acknowledged. ``None`` leaves that knob as-is
+        (``rate_hz`` alone retunes a running sampler in place)."""
+        sampler = {}
+        if enabled is not None:
+            sampler["enabled"] = bool(enabled)
+        if rate_hz is not None:
+            sampler["rate_hz"] = float(rate_hz)
+        if sampler.get("enabled") is False:
+            SAMPLER.stop()
+        elif sampler.get("enabled") or (rate_hz is not None
+                                        and SAMPLER.enabled):
+            SAMPLER.start(sampler.get("rate_hz"))
+        done = 0
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                shard.process.request("obs", None, sampler)
+                done += 1
+            except (ShardCrashed, RuntimeError):
+                continue
+        return done
+
+    def profile(self, reset=False):
+        """Cluster-merged continuous profile (the ``op: profile`` body).
+
+        The front-end sampler's snapshot plus every alive worker's
+        (``op: profile`` over the pipe), merged by folded stack — a
+        hotspot shared by every shard sums cluster-wide while each
+        process's totals survive under ``shards``. Feed the result to
+        :func:`repro.obs.contprof.render_collapsed` (flamegraph.pl /
+        speedscope input), :func:`~repro.obs.contprof.to_pprof`, or
+        :func:`~repro.obs.contprof.diff_profiles`. ``reset=True`` clears
+        every sampler after reading, making consecutive calls windowed.
+        """
+        snaps = [SAMPLER.snapshot(reset=reset)]
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                snaps.append(shard.process.request("profile", bool(reset)))
+            except (ShardCrashed, RuntimeError):
+                continue
+        return merge_profiles(snaps)
+
+    def drift(self):
+        """Cluster-merged cost-model drift report (the ``op: drift``
+        body): per-model calibration (measured ms per predicted cycle),
+        per-layer EWMA drift ratios and band alerts, with each shard's
+        own calibrations preserved under ``shards`` so a single slow
+        shard stays visible after the merge."""
+        snaps = []
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                snaps.append(shard.process.request("drift"))
+            except (ShardCrashed, RuntimeError):
+                continue
+        return DriftDetector.merge(snaps)
+
+    def apply_drift_pricing(self):
+        """Install drift-corrected request pricing into the router.
+
+        Maps the merged drift report's per-model calibrations onto router
+        keys through each key's predictor plan, normalises by the fleet
+        mean (so relative weights move only where models genuinely
+        diverge from each other, not with the global host/simulator
+        gap), and hands the factors to
+        :meth:`~repro.cluster.router.LeastWorkRouter.set_calibration`.
+        Returns the installed ``{key: factor}`` (empty when no model has
+        measurements yet, which also reverts to raw predicted cycles).
+        """
+        models = self.drift().get("models", {})
+        raw = {}
+        for key, predictor in self.predictors.items():
+            row = models.get(predictor.plan.model_name)
+            if row and row.get("calibration_ms_per_cycle"):
+                raw[key] = float(row["calibration_ms_per_cycle"])
+        if not raw:
+            self.router.set_calibration({})
+            return {}
+        mean = sum(raw.values()) / len(raw)
+        factors = {key: value / mean for key, value in raw.items()}
+        self.router.set_calibration(factors)
+        return factors
 
     def report(self, title="cluster metrics"):
         from ..evaluation.report import format_table

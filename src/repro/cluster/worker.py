@@ -20,17 +20,21 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import os
 import threading
 import time
 
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
+from ..obs.contprof import SAMPLER
+from ..obs.drift import DriftDetector
 from ..obs.metrics import METRICS
 from ..obs.profiler import StepProfiler
 from ..obs.slo import SLOMonitor
 from ..obs.tracer import TRACE
 from ..serving.engine import ServingEngine
+from ..serving.metrics import CyclePredictor
 
 __all__ = ["ShardCrashed", "worker_main", "ShardProcess"]
 
@@ -43,7 +47,8 @@ class ShardCrashed(RuntimeError):
     """The shard's worker process died (or its pipe broke) mid-flight."""
 
 
-def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
+def worker_main(conn, handles, gen_meta=None, index=0, objectives=None,
+                sampler=None):
     """Child entry point: attach plans, serve RPCs until told to stop.
 
     Protocol (parent -> child) — every request carries a trace context
@@ -72,7 +77,24 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
         ``("slo", job_id, ctx)``         tick this worker's SLO monitor
                                          and return its ring snapshot
                                          (merged parent-side)
-        ``("obs", job_id, ctx, enable)`` toggle per-step profiling
+        ``("obs", job_id, ctx, enable[, sampler])``
+                                         toggle per-step profiling
+                                         *reporting* (the profiler itself
+                                         always runs — the drift
+                                         detector's feed; ``enable=None``
+                                         leaves it as-is); an optional
+                                         ``sampler`` dict retunes the
+                                         wall-clock sampler
+                                         (``{"enabled": bool,
+                                         "rate_hz": float}``)
+        ``("profile", job_id, ctx, reset)``
+                                         this worker's wall-clock
+                                         folded-stack profile (merged
+                                         parent-side; ``reset`` starts a
+                                         fresh window)
+        ``("drift", job_id, ctx)``       sync the drift detector against
+                                         the profiler and return its
+                                         per-layer calibration snapshot
         ``("stop",)``                    drain-free exit
     Replies (child -> parent):
         ``("ready", plan_count)`` once all plans are mapped,
@@ -101,6 +123,16 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
     METRICS.constant_labels["shard"] = str(index)
     slo_monitor = SLOMonitor(METRICS, objectives=list(objectives or ()) or
                              None)
+    # Always-on observability: the wall-clock sampler folds this
+    # process's stacks under the shard label (merged cluster-wide by
+    # ``op: profile``), and the drift detector continuously joins the
+    # step profiler's measured milliseconds against predicted cycles.
+    shard_label = "shard%d" % index
+    SAMPLER.label = shard_label
+    sampler = sampler or {}
+    if sampler.get("enabled", True):
+        SAMPLER.start(sampler.get("rate_hz"))
+    drift = DriftDetector(label=shard_label, registry=METRICS)
     # One mapping per segment, shared by every plan living in it (group-
     # published gen plans): the cache must outlive the plans, which pin
     # their shm objects but share them through it.
@@ -111,7 +143,64 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
     cores = {}
     pending = {}  # (key, sid) -> [tokens...]
     finished = set()
-    profiler = None  # StepProfiler once the parent sends ("obs", .., True)
+    # The step profiler runs unconditionally — the timed composite
+    # closures keep its cost marginal, and the drift detector needs a
+    # continuous measurement feed. ("obs", ..., enable) only controls
+    # whether `stats` *reports* the rows (clearing the window on enable,
+    # matching the old fresh-profiler semantics).
+    profiler = StepProfiler()
+    profiling = False
+
+    inject = os.environ.get("REPRO_OBS_DRIFT_INJECT")
+    if inject:
+        # Fault-injection hook for the drift tests: "<label>:<ms>" really
+        # sleeps inside the profiled execution path (record runs between
+        # kernels, inside the timed closure) whenever a matching row is
+        # recorded — a genuine slowdown of that kernel, visible to both
+        # the wall clock and the drift detector.
+        needle, _, ms = inject.rpartition(":")
+        delay = float(ms) / 1e3
+        inner_record = profiler.record
+
+        def injected_record(plan_name, label, seconds):
+            if needle in label:
+                time.sleep(delay)
+                seconds += delay
+            inner_record(plan_name, label, seconds)
+
+        profiler.record = injected_record
+
+    def plan_by_model(name):
+        """The plan whose profiler rows carry ``name`` — preferring the
+        unrecorded variant (its step list is what ``workloads()`` walks;
+        a recorded twin shares the model name and the row labels)."""
+        fallback = None
+        for plan in plans.values():
+            if plan.model_name == name:
+                if not any(s.kind == "composite" for s in plan.steps):
+                    return plan
+                fallback = fallback or plan
+        return fallback
+
+    def drift_sync():
+        """Watch any newly-profiled plan, then feed the drift detector."""
+        snap = profiler.snapshot()
+        watched = set(drift.watched())
+        for plan_name in snap:
+            if plan_name in watched:
+                continue
+            plan = plan_by_model(plan_name)
+            if plan is None:
+                continue
+            try:
+                # Decode ticks run at batch = live sessions; batch size 1
+                # is fine because drift is *relative* (each layer's EWMA
+                # over the model's cycle-weighted calibration), so the
+                # batch scale factor cancels.
+                drift.watch(plan_name, CyclePredictor(plan))
+            except Exception:  # noqa: BLE001 - an unsimulatable plan
+                continue       # simply stays unwatched
+        drift.ingest(snap)
 
     def core_for(key):
         if key not in cores:
@@ -145,7 +234,7 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
                 finished.add((key, sid))
 
     def handle(op, args):
-        nonlocal profiler
+        nonlocal profiling
         if op == "run":
             key, batch = args
             return engine.run(plans[key], batch, profiler=profiler)
@@ -187,8 +276,7 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
             return [s.to_dict() for s in TRACE.spans(trace_id)]
         if op == "stats":
             return {
-                "profiler": (profiler.snapshot()
-                             if profiler is not None else {}),
+                "profiler": profiler.snapshot() if profiling else {},
                 "telemetry": {key: core.telemetry.snapshot()
                               for key, core in cores.items()},
                 "active": {key: core.active()
@@ -197,13 +285,32 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None):
             }
         if op == "slo":
             slo_monitor.tick()
+            # Piggyback the drift sync on the SLO cadence: the server's
+            # periodic health/slo polls keep the calibration fresh
+            # without a dedicated timer in the worker.
+            drift_sync()
             return slo_monitor.snapshot()
         if op == "obs":
-            (enable,) = args
-            profiler = StepProfiler() if enable else None
-            for core in cores.values():
-                core.profiler = profiler
-            return bool(enable)
+            enable = args[0]
+            sampler_arg = args[1] if len(args) > 1 else None
+            if enable is not None:  # None = sampler-only reconfigure
+                if enable and not profiling:
+                    profiler.clear()  # fresh reporting window
+                profiling = bool(enable)
+            if sampler_arg is not None:
+                if sampler_arg.get("rate_hz"):
+                    SAMPLER.rate_hz = float(sampler_arg["rate_hz"])
+                if sampler_arg.get("enabled") is True:
+                    SAMPLER.start()
+                elif sampler_arg.get("enabled") is False:
+                    SAMPLER.stop()
+            return profiling
+        if op == "profile":
+            reset = bool(args[0]) if args else False
+            return SAMPLER.snapshot(reset=reset)
+        if op == "drift":
+            drift_sync()
+            return drift.snapshot()
         raise ValueError("unknown op %r" % (op,))
 
     conn.send(("ready", len(plans)))
@@ -242,7 +349,7 @@ class ShardProcess:
     """
 
     def __init__(self, index, handles, gen_meta=None, start_timeout=60.0,
-                 objectives=None):
+                 objectives=None, sampler=None):
         self.index = index
         self._jobs = itertools.count()
         self._lock = threading.Lock()
@@ -256,7 +363,7 @@ class ShardProcess:
             target=worker_main,
             args=(child_conn, handles, gen_meta, index,
                   [o if isinstance(o, dict) else o.to_dict()
-                   for o in (objectives or ())]),
+                   for o in (objectives or ())], sampler),
             name="lut-shard-%d" % index, daemon=True)
         self.process.start()
         # The child owns its end now; dropping the parent's reference is

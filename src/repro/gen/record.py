@@ -35,7 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..serving.engine import _KERNELS
-from ..serving.record import run_composite, run_composite_steps
+from ..serving.record import run_composite, run_composite_timed
 
 __all__ = ["DecodeRecording"]
 
@@ -116,14 +116,14 @@ class DecodeRecording:
         """Advance every bound row one token; returns the logits batch.
 
         The fast path is one compiled-closure call over the persistent
-        slot file. With a profiler the inner steps run interpreted (per-
-        kernel rows, same arithmetic) over a *copy* of the slot list so
-        the persistent extras bindings survive the interpreter's release
-        bookkeeping; the KV writes still land in the bound stacks either
-        way.
+        slot file. With a profiler the *timed* compiled closure runs
+        instead — identical arithmetic and slot discipline (only store
+        slots are written back, so the persistent extras bindings are
+        untouched), plus per-kernel profiler rows; the KV writes land in
+        the bound stacks either way.
         """
         plan = self.plan
-        slots = self._slots if profiler is None else list(self._slots)
+        slots = self._slots
         # Mirror execute_plan's batch conversion bit for bit: token ids
         # enter the plan in its float dtype.
         slots[0] = np.asarray(tokens, dtype=plan.dtype)
@@ -132,7 +132,7 @@ class DecodeRecording:
                 if profiler is None:
                     run_composite(plan, step, slots)
                 else:
-                    run_composite_steps(plan, step, slots, profiler)
+                    run_composite_timed(plan, step, slots, profiler)
             else:
                 args = [slots[i] for i in step.inputs]
                 slots[step.out] = _KERNELS[step.kind](step, *args)

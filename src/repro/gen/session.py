@@ -33,6 +33,7 @@ import weakref
 
 import numpy as np
 
+from ..obs.contprof import tagged
 from ..obs.metrics import METRICS
 from ..obs.profiler import StepProfiler
 from ..obs.telemetry import TokenTelemetry
@@ -203,7 +204,7 @@ class GenCore:
         padded, bucket = self.plan.pad_prompt(prompt)
         t0 = time.perf_counter()
         with TRACE.span("gen.prefill", cat="gen", bucket=int(bucket),
-                        prompt_len=int(len(prompt))):
+                        prompt_len=int(len(prompt))), tagged("prefill"):
             logits, taps = execute_plan(self.prefill_plan(bucket),
                                         padded[None], return_taps=True,
                                         profiler=self.profiler)
@@ -264,7 +265,8 @@ class GenCore:
             self._recording = None  # batch drained: release the stacks
             return []
         t0 = time.perf_counter()
-        with TRACE.span("decode.tick", cat="gen", sessions=len(seqs)):
+        with TRACE.span("decode.tick", cat="gen",
+                        sessions=len(seqs)), tagged("decode"):
             if self._record:
                 events = self._step_recorded(seqs)
             else:

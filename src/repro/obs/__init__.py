@@ -23,8 +23,25 @@ on it (so every subsystem can import obs without cycles):
 - ``flight`` — :class:`FlightRecorder`: tail-sampled retention of
   completed request traces (SLO breach / error / random sample) in a
   bounded ring, exportable as Chrome-trace JSON.
+- ``contprof`` — :class:`WallClockSampler` (:data:`SAMPLER` singleton):
+  always-on wall-clock stack sampling into bounded folded-stack
+  aggregates, tagged per thread via :func:`tagged`, merged cluster-wide
+  and rendered as collapsed-stack text or pprof-style JSON.
+- ``drift`` — :class:`DriftDetector`: continuous join of measured step
+  milliseconds against predicted cycles, per-layer EWMA calibration and
+  band alerts — does the router's cost model still track reality?
 """
 
+from .contprof import (
+    SAMPLER,
+    WallClockSampler,
+    diff_profiles,
+    merge_profiles,
+    render_collapsed,
+    tagged,
+    to_pprof,
+)
+from .drift import DriftDetector
 from .export import (
     from_chrome_trace,
     save_chrome_trace,
@@ -64,4 +81,12 @@ __all__ = [
     "SLOMonitor",
     "default_objectives",
     "FlightRecorder",
+    "WallClockSampler",
+    "SAMPLER",
+    "tagged",
+    "merge_profiles",
+    "diff_profiles",
+    "render_collapsed",
+    "to_pprof",
+    "DriftDetector",
 ]

@@ -1,0 +1,415 @@
+"""Continuous wall-clock sampling profiler (the "always-on" layer).
+
+PR 6's :class:`~repro.obs.profiler.StepProfiler` is opt-in and measures
+*named* steps; the metrics plane aggregates but cannot attribute time to
+code. This module closes the gap with a classic wall-clock sampler: a
+daemon thread wakes ~100 times a second (jittered so it never locks step
+with periodic work), grabs ``sys._current_frames()``, and folds every
+thread's stack into a bounded ``{folded_stack: [samples, ms]}``
+aggregate. Because it samples wall clock rather than CPU, lock waits and
+``condition.wait`` time show up too — which is exactly what a serving
+system wants to see.
+
+Three design points worth knowing:
+
+- **Tagging.** ``contextvars`` are per-thread, so the sampler thread
+  cannot read the *sampled* thread's span context. Instead instrumented
+  sites (the decode tick, prefill, the router) wrap themselves in
+  :func:`tagged`, which maintains a plain ``{thread_id: tag}`` dict the
+  sampler reads directly. The tag becomes the root frame of the folded
+  stack, so decode-tick vs prefill vs router time separates for free.
+- **Bounding.** Aggregates are capped at ``max_stacks`` distinct stacks;
+  when a new stack would exceed the cap, the smallest existing entry is
+  folded into a per-tag ``(other)`` bucket. Totals are exact; only
+  attribution of the long tail coarsens.
+- **Windows and diffs.** ``snapshot(reset=True)`` gives windowed
+  profiles; :func:`diff_profiles` subtracts two cumulative snapshots and
+  names the stacks that *grew* — regression attribution for the CI gate.
+
+Snapshots are JSON-clean and merge across processes with
+:func:`merge_profiles` (workers label theirs ``shard0``, ``shard1``, …;
+the front-end uses ``frontend``). :func:`render_collapsed` emits the
+standard collapsed-stack text (``a;b;c 42`` per line — flamegraph.pl /
+speedscope input) and :func:`to_pprof` a pprof-style JSON document with
+a string table and location-id encoded samples.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+import time
+
+from .metrics import METRICS
+
+__all__ = [
+    "WallClockSampler",
+    "SAMPLER",
+    "tagged",
+    "current_tag",
+    "merge_profiles",
+    "diff_profiles",
+    "render_collapsed",
+    "to_pprof",
+]
+
+#: thread id -> active tag, maintained by :func:`tagged` and read by the
+#: sampler thread. A plain dict write per span entry/exit (~0.1 us) —
+#: cheap enough to leave on even when no sampler runs.
+_TAGS = {}
+
+#: Folded-stack label for the eviction bucket (exempt from the cap).
+OTHER = "(other)"
+
+
+class tagged:
+    """Context manager labelling the *current thread* for the sampler.
+
+    Nestable; the innermost tag wins and the previous one is restored on
+    exit. Used at the hot spots the profile must separate::
+
+        with tagged("decode"):
+            core.step()
+    """
+
+    __slots__ = ("tag", "_tid", "_prev")
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __enter__(self):
+        tid = self._tid = threading.get_ident()
+        self._prev = _TAGS.get(tid)
+        _TAGS[tid] = self.tag
+        return self
+
+    def __exit__(self, *exc):
+        if self._prev is None:
+            _TAGS.pop(self._tid, None)
+        else:
+            _TAGS[self._tid] = self._prev
+        return False
+
+
+def current_tag(tid=None):
+    """The active tag for ``tid`` (default: the calling thread)."""
+    return _TAGS.get(tid if tid is not None else threading.get_ident())
+
+
+def _frame_label(code):
+    """One collapsed-stack frame: ``func (file)``.
+
+    The file keeps only its basename — except pseudo-filenames like the
+    recorded-decode closure's ``<recorded:gpt_nano@decode>``, which stay
+    verbatim (they *are* the interesting attribution). Line numbers are
+    deliberately dropped: leaf lines churn every sample and would
+    explode the aggregate's cardinality.
+    """
+    filename = code.co_filename
+    if not filename.startswith("<"):
+        filename = filename.rsplit("/", 1)[-1]
+    return "%s (%s)" % (code.co_name, filename)
+
+
+def _fold(frame, max_depth):
+    """Root-first tuple of frame labels for one thread's stack."""
+    rev = []
+    while frame is not None and len(rev) < max_depth:
+        rev.append(_frame_label(frame.f_code))
+        frame = frame.f_back
+    rev.reverse()
+    return tuple(rev)
+
+
+class WallClockSampler:
+    """Samples every thread's stack at ``rate_hz`` into bounded folds.
+
+    ``frames_fn`` and ``clock`` are injectable so tests can drive
+    :meth:`sample_once` with fabricated frames and a fake clock —
+    nothing in the folding pipeline needs a real thread. The ``label``
+    identifies this process in merged cluster profiles.
+    """
+
+    def __init__(self, rate_hz=100.0, max_stacks=512, max_depth=48,
+                 label="proc", frames_fn=None, clock=None, registry=None):
+        self.label = label
+        self.rate_hz = float(rate_hz)
+        self.max_stacks = int(max_stacks)
+        self.max_depth = int(max_depth)
+        self._frames_fn = frames_fn or sys._current_frames
+        self._clock = clock or time.monotonic
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._stacks = {}        # (tag, fold) -> [samples, ms]
+        self._tag_samples = {}   # tag -> samples
+        self._total_samples = 0
+        self._total_ms = 0.0
+        self._evicted = 0
+        self._last = None        # clock() at the previous sample
+        self._thread = None
+        self._stop = threading.Event()
+        self._own_tid = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def enabled(self):
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, rate_hz=None):
+        """Start (or retune) the daemon sampling thread. Idempotent."""
+        if rate_hz is not None:
+            self.rate_hz = float(rate_hz)
+        if self.enabled:
+            return self
+        self._stop.clear()
+        self._last = None
+        self._thread = threading.Thread(
+            target=self._run, name="contprof-sampler", daemon=True)
+        self._thread.start()
+        self._register_metrics()
+        return self
+
+    def stop(self, timeout=2.0):
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        self._thread = None
+
+    def _run(self):
+        self._own_tid = threading.get_ident()
+        while not self._stop.is_set():
+            self.sample_once()
+            period = 1.0 / max(self.rate_hz, 1e-3)
+            # Jittered sleep (0.5x..1.5x the period, mean = period) so
+            # sampling never phase-locks with periodic serving work.
+            self._stop.wait(period * (0.5 + random.random()))
+
+    def _register_metrics(self):
+        registry = self._registry or METRICS
+        gauges = registry.gauge(
+            "repro_contprof_samples_total",
+            "Wall-clock profiler samples taken (thread-stacks folded).")
+        gauges.labels().set_function(lambda: self._total_samples)
+        registry.gauge(
+            "repro_contprof_stacks",
+            "Distinct folded stacks currently held by the sampler.",
+        ).labels().set_function(lambda: len(self._stacks))
+        registry.gauge(
+            "repro_contprof_rate_hz",
+            "Configured wall-clock sampling rate (0 when stopped).",
+        ).labels().set_function(
+            lambda: self.rate_hz if self.enabled else 0.0)
+
+    # -- sampling -------------------------------------------------------
+    def sample_once(self, frames=None, now=None):
+        """Take one sample: fold every thread's current stack.
+
+        Each observed thread is credited the wall time elapsed since the
+        previous sample (clamped to 10 sampling periods, so a paused
+        process does not invent a giant attribution on resume). Split
+        out from the thread loop so tests can drive it deterministically
+        with fake frames and a fake clock.
+        """
+        if frames is None:
+            frames = self._frames_fn()
+        if now is None:
+            now = self._clock()
+        period_ms = 1000.0 / max(self.rate_hz, 1e-3)
+        if self._last is None:
+            dt_ms = period_ms
+        else:
+            dt_ms = min((now - self._last) * 1000.0, 10.0 * period_ms)
+            if dt_ms < 0.0:
+                dt_ms = 0.0
+        self._last = now
+        own = self._own_tid
+        with self._lock:
+            for tid, frame in frames.items():
+                if tid == own:
+                    continue
+                tag = _TAGS.get(tid, "")
+                fold = _fold(frame, self.max_depth)
+                if not fold:
+                    continue
+                self._record(tag, fold, 1, dt_ms)
+                self._tag_samples[tag] = self._tag_samples.get(tag, 0) + 1
+                self._total_samples += 1
+                self._total_ms += dt_ms
+
+    def _record(self, tag, fold, samples, ms):
+        """Add to one aggregate entry, evicting the smallest entry into
+        the per-tag ``(other)`` bucket when the cap would be exceeded.
+        Caller holds the lock."""
+        key = (tag, fold)
+        entry = self._stacks.get(key)
+        if entry is not None:
+            entry[0] += samples
+            entry[1] += ms
+            return
+        # The cap counts attributed stacks only — the per-tag ``(other)``
+        # buckets are exempt, or folding into them would itself evict.
+        if fold != (OTHER,) and len(self._stacks) >= self.max_stacks:
+            while True:
+                victims = [k for k in self._stacks if k[1] != (OTHER,)]
+                if len(victims) < self.max_stacks:
+                    break
+                victim = min(victims, key=lambda k: self._stacks[k][0])
+                v_samples, v_ms = self._stacks.pop(victim)
+                self._evicted += 1
+                self._record(victim[0], (OTHER,), v_samples, v_ms)
+        self._stacks[key] = [samples, ms]
+
+    # -- reading --------------------------------------------------------
+    def snapshot(self, reset=False):
+        """JSON-clean profile document.
+
+        ``stacks`` keys are the collapsed form ``tag;frame;frame`` (tag
+        omitted when empty); values are ``{"samples", "ms"}``. With
+        ``reset=True`` the aggregates are cleared after reading, turning
+        consecutive calls into windowed profiles.
+        """
+        with self._lock:
+            stacks = {}
+            for (tag, fold), (samples, ms) in self._stacks.items():
+                parts = (tag,) + fold if tag else fold
+                stacks[";".join(parts)] = {
+                    "samples": samples, "ms": round(ms, 3)}
+            out = {
+                "label": self.label,
+                "rate_hz": self.rate_hz,
+                "samples": self._total_samples,
+                "duration_ms": round(self._total_ms, 3),
+                "evicted": self._evicted,
+                "tags": {tag or "(untagged)": n
+                         for tag, n in self._tag_samples.items()},
+                "stacks": stacks,
+            }
+            if reset:
+                self._stacks.clear()
+                self._tag_samples.clear()
+                self._total_samples = 0
+                self._total_ms = 0.0
+                self._evicted = 0
+        return out
+
+
+def merge_profiles(snapshots):
+    """Combine per-process profiles into one cluster-wide document.
+
+    Stacks merge by folded key (so a hotspot shared by every worker sums
+    cluster-wide); the per-process totals survive under ``shards`` keyed
+    by each sampler's label, which is how the shard-labelled origin of
+    the data stays visible after the merge.
+    """
+    out = {"samples": 0, "duration_ms": 0.0, "evicted": 0,
+           "stacks": {}, "tags": {}, "shards": {}}
+    for snap in snapshots:
+        if not snap:
+            continue
+        out["samples"] += snap.get("samples", 0)
+        out["duration_ms"] = round(
+            out["duration_ms"] + snap.get("duration_ms", 0.0), 3)
+        out["evicted"] += snap.get("evicted", 0)
+        out["shards"][snap.get("label", "?")] = {
+            "samples": snap.get("samples", 0),
+            "duration_ms": snap.get("duration_ms", 0.0),
+            "rate_hz": snap.get("rate_hz", 0.0),
+        }
+        for tag, n in snap.get("tags", {}).items():
+            out["tags"][tag] = out["tags"].get(tag, 0) + n
+        for stack, row in snap.get("stacks", {}).items():
+            have = out["stacks"].get(stack)
+            if have is None:
+                out["stacks"][stack] = dict(row)
+            else:
+                have["samples"] += row["samples"]
+                have["ms"] = round(have["ms"] + row["ms"], 3)
+    return out
+
+
+def diff_profiles(before, after, top=20):
+    """Differential profile: what *grew* between two cumulative reads.
+
+    Returns ``{"stacks": {...}, "grown": [stack, ...]}`` where stacks
+    holds positive sample/ms deltas and ``grown`` names the ``top``
+    stacks by ms growth — the regression-attribution primitive: profile
+    before and after a change, diff, read the first few names.
+    """
+    old = before.get("stacks", {})
+    stacks = {}
+    for stack, row in after.get("stacks", {}).items():
+        prev = old.get(stack, {"samples": 0, "ms": 0.0})
+        d_samples = row["samples"] - prev["samples"]
+        d_ms = round(row["ms"] - prev["ms"], 3)
+        if d_samples > 0 or d_ms > 0:
+            stacks[stack] = {"samples": max(d_samples, 0),
+                             "ms": max(d_ms, 0.0)}
+    grown = sorted(stacks, key=lambda s: stacks[s]["ms"], reverse=True)
+    return {
+        "samples": max(after.get("samples", 0) - before.get("samples", 0),
+                       0),
+        "duration_ms": round(max(after.get("duration_ms", 0.0)
+                                 - before.get("duration_ms", 0.0), 0.0), 3),
+        "stacks": stacks,
+        "grown": grown[:top],
+    }
+
+
+def render_collapsed(profile, weight="samples"):
+    """Collapsed-stack text: one ``stack weight`` line, heaviest first.
+
+    This is the format flamegraph.pl and speedscope ingest directly;
+    ``weight`` selects samples (default) or attributed milliseconds.
+    """
+    stacks = profile.get("stacks", {})
+    lines = []
+    for stack in sorted(stacks, key=lambda s: stacks[s][weight],
+                        reverse=True):
+        value = stacks[stack][weight]
+        lines.append("%s %d" % (stack, round(value)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_pprof(profile):
+    """pprof-style JSON: string table + location-id encoded samples.
+
+    Mirrors profile.proto's shape (sample types, a shared string table,
+    samples as location-id lists with one value per sample type) without
+    the protobuf dependency — small, diffable, and trivially convertible.
+    """
+    strings = [""]
+    index = {"": 0}
+
+    def intern(s):
+        i = index.get(s)
+        if i is None:
+            i = index[s] = len(strings)
+            strings.append(s)
+        return i
+
+    samples = []
+    for stack, row in profile.get("stacks", {}).items():
+        frames = stack.split(";")
+        samples.append({
+            # pprof orders locations leaf-first.
+            "location_ids": [intern(f) for f in reversed(frames)],
+            "values": [row["samples"], row["ms"]],
+        })
+    return {
+        "sample_types": [{"type": "samples", "unit": "count"},
+                         {"type": "wall", "unit": "milliseconds"}],
+        "string_table": strings,
+        "samples": samples,
+        "total_samples": profile.get("samples", 0),
+        "duration_ms": profile.get("duration_ms", 0.0),
+    }
+
+
+#: Per-process singleton, mirroring ``TRACE`` and ``METRICS``: every
+#: layer tags through the module-level :func:`tagged` and the cluster
+#: wiring starts/labels this sampler per process (``frontend`` on the
+#: server, ``shard<i>`` in each worker).
+SAMPLER = WallClockSampler()

@@ -1,0 +1,274 @@
+"""Cost-model drift detection: does the predictor still track reality?
+
+The router prices every dispatch on :class:`CyclePredictor` cycles, yet
+nothing validated that model against measurements after deploy. This
+module continuously joins the :class:`~repro.obs.profiler.StepProfiler`'s
+measured per-module milliseconds (the recorded decode path emits real
+per-kernel rows through its timed closures) against
+``CyclePredictor.breakdown()``'s predicted cycles, per ``(model, layer)``:
+
+- every ingest diffs the profiler's *cumulative* snapshot against the
+  last-seen ``(calls, total_ms)`` per row, so re-polling never double
+  counts and a cleared profiler just resyncs;
+- each fresh delta updates an **EWMA ms-per-predicted-cycle** for that
+  layer — the calibration factor that turns the simulator's cycles into
+  expected wall milliseconds *on this shard*;
+- the per-model **calibration** is the cycle-weighted mean of its layer
+  EWMAs, and each layer's **drift** is its EWMA over that calibration: a
+  layer drifting past ``band`` (or under ``1/band``) is costing
+  disproportionately more (or less) than the cost model believes, and is
+  flagged.
+
+Snapshots are JSON-clean, labelled per shard, and merge cluster-wide
+with :meth:`DriftDetector.merge` (calls-weighted layer EWMAs, drift
+recomputed against the merged calibration). The per-model calibrations
+are what :meth:`repro.cluster.router.LeastWorkRouter.set_calibration`
+consumes to optionally price dispatches with drift-corrected cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """Joins measured step milliseconds against predicted cycles.
+
+    ``band`` is the symmetric drift tolerance (2.0 = a layer may cost up
+    to 2x / down to 0.5x its calibrated share before alerting);
+    ``alpha`` the EWMA smoothing weight of each new per-call sample;
+    ``min_calls`` the evidence floor below which a layer never alerts.
+    ``label`` identifies this process (``shard0``…) in merged snapshots.
+    """
+
+    def __init__(self, band=2.0, alpha=0.2, min_calls=3, label="",
+                 registry=None):
+        self.band = float(band)
+        self.alpha = float(alpha)
+        self.min_calls = int(min_calls)
+        self.label = label
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._expected = {}   # plan -> {step label: predicted cycles}
+        self._freq = {}       # plan -> simulated frequency_hz
+        self._seen = {}       # (plan, label) -> (calls, total_ms)
+        self._ewma = {}       # (plan, label) -> ms per predicted cycle
+        self._calls = {}      # (plan, label) -> calls folded into the EWMA
+
+    # -- registration ---------------------------------------------------
+    def watch(self, plan_name, predictor, batch_size=1):
+        """Register a served plan's predicted per-layer breakdown.
+
+        The breakdown is computed once (the simulator memoises nothing
+        per-layer, so this is the expensive call) at the batch size the
+        drift comparison should assume — 1 for decode ticks, the bucket
+        size for prefill plans.
+        """
+        breakdown = predictor.breakdown(batch_size)
+        with self._lock:
+            self._expected[plan_name] = {
+                "lut_gemm:%s" % module: float(cycles)
+                for module, cycles in breakdown.items() if cycles}
+            self._freq[plan_name] = float(predictor.sim_config.frequency_hz)
+
+    def watched(self):
+        with self._lock:
+            return sorted(self._expected)
+
+    # -- ingest ---------------------------------------------------------
+    def ingest(self, profiler_snapshot):
+        """Fold one cumulative profiler snapshot into the EWMAs.
+
+        Returns the number of ``(plan, layer)`` rows that contributed a
+        fresh delta. Rows for unwatched plans or glue steps (no predicted
+        cycles) are ignored; a snapshot whose counters went *backwards*
+        (profiler cleared between polls) resyncs silently.
+        """
+        fresh = 0
+        with self._lock:
+            for plan, labels in (profiler_snapshot or {}).items():
+                expected = self._expected.get(plan)
+                if not expected:
+                    continue
+                for label, row in labels.items():
+                    cycles = expected.get(label)
+                    if not cycles:
+                        continue
+                    key = (plan, label)
+                    calls, total_ms = row["calls"], row["total_ms"]
+                    seen_calls, seen_ms = self._seen.get(key, (0, 0.0))
+                    if calls < seen_calls or total_ms < seen_ms:
+                        self._seen[key] = (calls, total_ms)
+                        continue
+                    d_calls = calls - seen_calls
+                    d_ms = total_ms - seen_ms
+                    if d_calls <= 0:
+                        continue
+                    self._seen[key] = (calls, total_ms)
+                    sample = (d_ms / d_calls) / cycles
+                    prev = self._ewma.get(key)
+                    self._ewma[key] = (
+                        sample if prev is None
+                        else self.alpha * sample + (1 - self.alpha) * prev)
+                    self._calls[key] = self._calls.get(key, 0) + d_calls
+                    fresh += 1
+        if fresh:
+            self._export_gauges()
+        return fresh
+
+    def _export_gauges(self):
+        registry = self._registry
+        if registry is None:
+            return
+        snap = self.snapshot()
+        ratio = registry.gauge(
+            "repro_drift_ratio",
+            "Per-layer measured-over-calibrated cost drift "
+            "(1.0 = tracking the cost model exactly).",
+            labels=("model", "layer"))
+        for model, entry in snap["models"].items():
+            for layer, row in entry["layers"].items():
+                ratio.labels(model=model, layer=layer).set(row["drift"])
+        registry.gauge(
+            "repro_drift_alerting",
+            "Layers currently drifted outside the tolerance band.",
+        ).labels().set(sum(len(entry["alerts"])
+                           for entry in snap["models"].values()))
+
+    # -- reading --------------------------------------------------------
+    def snapshot(self):
+        """JSON-clean per-model calibration + per-layer drift document.
+
+        ``calibration_ms_per_cycle`` turns predicted cycles into expected
+        wall ms on this shard; ``predicted_ratio`` is measured time over
+        the simulator's idealised time (host-vs-accelerator slowdown);
+        per-layer ``drift`` is the layer's EWMA over the model
+        calibration, alerting outside ``[1/band, band]``.
+        """
+        with self._lock:
+            expected = {plan: dict(rows)
+                        for plan, rows in self._expected.items()}
+            freq = dict(self._freq)
+            ewma = dict(self._ewma)
+            calls = dict(self._calls)
+        models = {}
+        for plan, rows in expected.items():
+            layers = {}
+            weight = 0.0
+            weighted = 0.0
+            for label, cycles in rows.items():
+                e = ewma.get((plan, label))
+                if e is None:
+                    continue
+                layers[label] = {
+                    "ms_per_cycle": e,
+                    "predicted_cycles": cycles,
+                    "calls": calls.get((plan, label), 0),
+                }
+                weight += cycles
+                weighted += e * cycles
+            calibration = (weighted / weight) if weight else 0.0
+            alerts = []
+            for label, row in layers.items():
+                drift = (row["ms_per_cycle"] / calibration
+                         if calibration else 1.0)
+                row["drift"] = drift
+                row["alert"] = bool(
+                    row["calls"] >= self.min_calls
+                    and (drift > self.band or drift < 1.0 / self.band))
+                if row["alert"]:
+                    alerts.append(label)
+            entry = {
+                "calibration_ms_per_cycle": calibration,
+                "layers": layers,
+                "alerts": sorted(alerts),
+            }
+            hz = freq.get(plan)
+            if hz and calibration:
+                # measured ms per cycle over the simulator's ms per cycle
+                entry["predicted_ratio"] = calibration * hz / 1e3
+            models[plan] = entry
+        return {
+            "label": self.label,
+            "band": self.band,
+            "models": models,
+            "alerting": any(m["alerts"] for m in models.values()),
+        }
+
+    def calibrations(self):
+        """``{plan: calibration_ms_per_cycle}`` for router pricing."""
+        snap = self.snapshot()
+        return {plan: entry["calibration_ms_per_cycle"]
+                for plan, entry in snap["models"].items()
+                if entry["calibration_ms_per_cycle"]}
+
+    # -- cluster merge --------------------------------------------------
+    @staticmethod
+    def merge(snapshots):
+        """Combine per-shard snapshots into one cluster-wide view.
+
+        Layer EWMAs merge calls-weighted; calibration and drift are then
+        recomputed against the merged layers, and alerts re-evaluated at
+        the *first* snapshot's band. Per-shard calibrations survive under
+        ``shards`` so a single slow shard stays visible after the merge.
+        """
+        band = None
+        merged = {}   # plan -> {layer: [sum(e*calls), calls, cycles]}
+        shards = {}
+        for snap in snapshots:
+            if not snap:
+                continue
+            if band is None:
+                band = snap.get("band", 2.0)
+            shard_cal = {}
+            for plan, entry in snap.get("models", {}).items():
+                if entry.get("calibration_ms_per_cycle"):
+                    shard_cal[plan] = entry["calibration_ms_per_cycle"]
+                into = merged.setdefault(plan, {})
+                for label, row in entry.get("layers", {}).items():
+                    have = into.setdefault(label, [0.0, 0, 0.0])
+                    weight = max(row.get("calls", 0), 1)
+                    have[0] += row["ms_per_cycle"] * weight
+                    have[1] += weight
+                    have[2] = row.get("predicted_cycles", have[2])
+            if shard_cal or snap.get("label"):
+                shards[snap.get("label") or "?"] = shard_cal
+        band = band if band is not None else 2.0
+        models = {}
+        for plan, rows in merged.items():
+            layers = {}
+            weight = 0.0
+            weighted = 0.0
+            for label, (e_sum, n, cycles) in rows.items():
+                e = e_sum / n
+                layers[label] = {"ms_per_cycle": e, "calls": n,
+                                 "predicted_cycles": cycles}
+                weight += cycles
+                weighted += e * cycles
+            calibration = (weighted / weight) if weight else 0.0
+            alerts = []
+            for label, row in layers.items():
+                drift = (row["ms_per_cycle"] / calibration
+                         if calibration else 1.0)
+                row["drift"] = drift
+                row["alert"] = bool(drift > band or drift < 1.0 / band)
+                if row["alert"]:
+                    alerts.append(label)
+            models[plan] = {
+                "calibration_ms_per_cycle": calibration,
+                "layers": layers,
+                "alerts": sorted(alerts),
+            }
+        return {
+            "band": band,
+            "models": models,
+            "shards": shards,
+            "alerting": any(m["alerts"] for m in models.values()),
+        }
+
+    def __repr__(self):
+        with self._lock:
+            return "DriftDetector(%d plans, %d layers tracked)" % (
+                len(self._expected), len(self._ewma))

@@ -13,7 +13,10 @@ singleton :data:`METRICS` by default):
 - **Histogram** — fixed-bucket latency/size distributions with
   cumulative bucket counts, a sum and a count (the standard Prometheus
   ``le`` semantics), which is what the SLO monitor's threshold
-  compliance is computed from.
+  compliance is computed from. Observations made under an active trace
+  context additionally stamp that bucket's *exemplar* (value +
+  trace id), rendered in OpenMetrics ``# {trace_id="..."}`` form — the
+  bridge from a slow bucket to the flight recorder's full trace.
 
 Hot-path writes are lock-free: counters and histograms write into
 *per-thread cells* (each thread's first touch of a labelled child
@@ -38,6 +41,8 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+
+from .tracer import Tracer
 
 __all__ = [
     "MetricsRegistry",
@@ -86,13 +91,17 @@ class _CounterCell:
 
 
 class _HistCell:
-    __slots__ = ("counts", "sum")
+    __slots__ = ("counts", "sum", "exemplars")
 
     def __init__(self, nbuckets):
         # counts[i] = observations in (buckets[i-1], buckets[i]];
         # counts[-1] is the +Inf overflow bucket.
         self.counts = [0] * (nbuckets + 1)
         self.sum = 0.0
+        # bucket index -> (value, trace_id): the most recent traced
+        # observation that landed in that bucket — an OpenMetrics
+        # exemplar linking a slow bucket to a flight-recorder trace.
+        self.exemplars = {}
 
 
 class _Child:
@@ -129,7 +138,15 @@ class Counter(_Child):
 
 
 class Histogram(_Child):
-    """Fixed-bucket distribution; ``observe`` bins one value."""
+    """Fixed-bucket distribution; ``observe`` bins one value.
+
+    When an observation happens under an active trace context, its value
+    and trace id are stamped as that bucket's *exemplar* (last traced
+    observation wins) — so a scrape of a slow latency bucket carries the
+    id of a concrete request that landed there, which the flight
+    recorder can resolve to a full Chrome trace. Untraced observations
+    (the overwhelming majority) pay one contextvar read extra.
+    """
 
     __slots__ = ()
 
@@ -138,8 +155,12 @@ class Histogram(_Child):
         if not family.registry.enabled:
             return
         cell = self._cell()
-        cell.counts[bisect_left(family.buckets, value)] += 1
+        index = bisect_left(family.buckets, value)
+        cell.counts[index] += 1
         cell.sum += value
+        ctx = Tracer.current()
+        if ctx is not None:
+            cell.exemplars[index] = (value, ctx[0])
 
 
 class Gauge:
@@ -218,6 +239,7 @@ class _Family:
             for i, c in enumerate(cell.counts):
                 base.counts[i] += c
             base.sum += cell.sum
+            base.exemplars.update(cell.exemplars)
         else:
             base.value += cell.value
 
@@ -265,6 +287,10 @@ class _Family:
                     cum.append(running)
                 series[key] = {"buckets": cum, "sum": cell.sum,
                                "count": running}
+                if cell.exemplars:
+                    series[key]["exemplars"] = {
+                        str(i): {"value": v, "trace_id": t}
+                        for i, (v, t) in cell.exemplars.items()}
             else:
                 series[key] = cell.value
         return series
@@ -380,6 +406,9 @@ def merge_snapshots(snapshots):
                     mine["buckets"] = [a + b for a, b in
                                        zip(mine["buckets"],
                                            value["buckets"])]
+                    if "exemplars" in value:
+                        mine.setdefault("exemplars", {}).update(
+                            value["exemplars"])
                 else:
                     have["series"][key] = mine + value
     return out
@@ -420,10 +449,19 @@ def render_text(snapshot):
                              % (name, _fmt_labels(key), _fmt_value(value)))
                 continue
             bounds = [_fmt_value(b) for b in entry["buckets"]] + ["+Inf"]
-            for bound, count in zip(bounds, value["buckets"]):
-                lines.append("%s_bucket%s %d"
-                             % (name, _fmt_labels(key, [("le", bound)]),
-                                count))
+            exemplars = value.get("exemplars", {})
+            for i, (bound, count) in enumerate(zip(bounds,
+                                                   value["buckets"])):
+                line = ("%s_bucket%s %d"
+                        % (name, _fmt_labels(key, [("le", bound)]), count))
+                ex = exemplars.get(str(i))
+                if ex is not None:
+                    # OpenMetrics exemplar: "# {labels} value" after the
+                    # bucket sample — the trace id a scraper can resolve
+                    # through the flight recorder.
+                    line += ' # {trace_id="%s"} %s' % (
+                        ex["trace_id"], _fmt_value(ex["value"]))
+                lines.append(line)
             lines.append("%s_sum%s %s"
                          % (name, _fmt_labels(key), repr(value["sum"])))
             lines.append("%s_count%s %d"

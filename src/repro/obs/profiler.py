@@ -38,8 +38,9 @@ def step_label(plan, step):
                 return "lut_gemm:%s" % name
     if step.kind == "composite":
         # Recorded megasteps profile under their recording label; under a
-        # profiler the engine runs their inner steps interpreted, so the
-        # per-kernel rows above still appear alongside this one.
+        # profiler the engine runs their *timed* compiled closure, whose
+        # generated source files each inner step under the per-kernel
+        # labels above — so those rows still appear alongside this one.
         return step.params.get("label") or "composite"
     return step.kind
 

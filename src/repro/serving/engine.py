@@ -144,8 +144,8 @@ def _mean(step, x):
 
 _KERNELS = {
     # "composite" is not in this table: the executor special-cases it
-    # (compiled-closure fast path / interpreted profiled path) because a
-    # composite operates on the slot file, not on unpacked arguments.
+    # (compiled-closure fast path / timed-closure profiled path) because
+    # a composite operates on the slot file, not on unpacked arguments.
     "lut_gemm": _lut_gemm,
     "gemm": _gemm,
     "conv2d": _conv2d,
@@ -244,9 +244,10 @@ def execute_plan(plan, batch, extras=None, return_taps=False, profiler=None):
             clock = profiler.clock
             for step in plan.steps:
                 if step.kind == "composite":
-                    # Profiled runs interpret the inner steps so recorded
-                    # plans report the same per-kernel rows as unrecorded.
-                    record.run_composite_steps(plan, step, slots, profiler)
+                    # Profiled runs use the timed compiled closure so
+                    # recorded plans report the same per-kernel rows as
+                    # unrecorded at closure speed.
+                    record.run_composite_timed(plan, step, slots, profiler)
                     continue
                 args = [slots[i] for i in step.inputs]
                 t0 = clock()

@@ -25,11 +25,16 @@ output slot. That is what lets :class:`repro.gen.record.DecodeRecording`
 preallocate one slot file and replay N decode ticks through one function
 call per tick with no per-step Python at all.
 
-Profiled execution intentionally bypasses the closure:
-:func:`run_composite_steps` interprets the inner steps one by one with
-per-step timing, so a recorded plan reports the same
-``lut_gemm:<module>`` / ``cached_attention`` profiler rows as its
-unrecorded source and ``StepProfiler.versus_predicted`` keeps lining up.
+Profiled execution keeps per-kernel attribution without giving up the
+closure: :func:`run_composite_timed` compiles a *timed* twin of the
+closure whose generated source brackets every inner step with clock
+reads and files the delta under that step's own
+:func:`~repro.obs.profiler.step_label` — so a recorded plan reports the
+same ``lut_gemm:<module>`` / ``cached_attention`` rows as its unrecorded
+source (``StepProfiler.versus_predicted`` and the drift detector keep
+lining up) at near-production speed. :func:`run_composite_steps` remains
+as the interpreting fallback and the reference for
+:func:`check_composite`.
 """
 
 from __future__ import annotations
@@ -42,8 +47,8 @@ from ..vq.distances import batched_nearest_centroid
 from ..vq.lut import gather_accumulate
 from .compiler import KernelPlan, KernelStep
 
-__all__ = ["fuse_plan", "run_composite", "run_composite_steps",
-           "check_composite"]
+__all__ = ["fuse_plan", "run_composite", "run_composite_timed",
+           "run_composite_steps", "check_composite"]
 
 
 def fuse_plan(plan, label=None):
@@ -168,7 +173,7 @@ def _emit_step(index, step, env, lines):
                         "".join(", " + a for a in args)))
 
 
-def _compile_composite(plan, step, debug=False):
+def _compile_composite(plan, step, debug=False, timed=False):
     """Compile one composite step into a straight-line closure.
 
     The closure reads slots written outside the composite (slot 0, bound
@@ -177,8 +182,13 @@ def _compile_composite(plan, step, debug=False):
     the plan output. With ``debug=True`` the signature becomes
     ``run(slots, trace)`` and every inner step also appends its result to
     ``trace`` — the hook :func:`check_composite` uses to name the first
-    diverging kernel.
+    diverging kernel. With ``timed=True`` the signature becomes
+    ``run(slots, record, clock)`` and every inner step's compute lines
+    are bracketed by clock reads, the delta filed under the step's
+    :func:`~repro.obs.profiler.step_label` — identical arithmetic, plus
+    two clock calls per step.
     """
+    from ..obs.profiler import step_label
     from .engine import _KERNELS
 
     inner = step.params["steps"]
@@ -215,7 +225,12 @@ def _compile_composite(plan, step, debug=False):
     for slot in sorted(external):
         lines.append("v%d = slots[%d]" % (slot, slot))
     for index, s in enumerate(inner):
+        if timed:
+            lines.append("_t0 = clock()")
         _emit_step(index, s, env, lines)
+        if timed:
+            lines.append("record(%r, %r, clock() - _t0)"
+                         % (plan.model_name, step_label(plan, s)))
         if s.out in store:
             lines.append("slots[%d] = v%d" % (s.out, s.out))
         if debug:
@@ -224,7 +239,12 @@ def _compile_composite(plan, step, debug=False):
             # Locals only: the slot file keeps its external bindings (a
             # recorded decode loop reuses them across ticks).
             lines.append("v%d = None" % (slot,))
-    signature = "slots, trace" if debug else "slots"
+    if debug:
+        signature = "slots, trace"
+    elif timed:
+        signature = "slots, record, clock"
+    else:
+        signature = "slots"
     src = "def _run(%s):\n%s" % (
         signature, "".join("    %s\n" % line for line in lines) or "    pass\n")
     namespace = {}
@@ -246,6 +266,21 @@ def run_composite(plan, step, slots):
     if run is None:
         run = step._compiled = _compile_composite(plan, step)
     run(slots)
+
+
+def run_composite_timed(plan, step, slots, profiler):
+    """Execute the composite through its *timed* compiled closure.
+
+    Per-kernel profiler rows (the drift detector's measurement feed) at
+    closure speed: the profiled decode path no longer falls back to full
+    interpretation. The timed closure is cached separately from the
+    plain one; both bind the step's final param arrays lazily.
+    """
+    run = getattr(step, "_compiled_timed", None)
+    if run is None:
+        run = step._compiled_timed = _compile_composite(plan, step,
+                                                        timed=True)
+    run(slots, profiler.record, profiler.clock)
 
 
 def run_composite_steps(plan, step, slots, profiler=None):

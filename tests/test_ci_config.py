@@ -107,7 +107,8 @@ def test_bench_job_uploads_serving_artifact(workflow):
     assert "benchmarks/test_generation_throughput.py" in runs
     assert (ROOT / "benchmarks" / "test_generation_throughput.py").exists()
     # The observability benchmark feeds the observability section (the
-    # tracing-overhead gate) and the Chrome trace sample artifact.
+    # tracing-overhead and sampler-overhead gates), the Chrome trace
+    # sample artifact and the collapsed-stack profile artifact.
     assert "benchmarks/test_observability.py" in runs
     assert (ROOT / "benchmarks" / "test_observability.py").exists()
     uploads = [s for s in job["steps"]
@@ -116,11 +117,13 @@ def test_bench_job_uploads_serving_artifact(workflow):
     assert "BENCH_serving.json" in paths
     assert "BENCH_history.jsonl" in paths
     assert "BENCH_trace_sample.json" in paths
+    assert "BENCH_profile_collapsed.txt" in paths
     # The benchmarks must write where the job uploads from.
     env = next(s.get("env", {}) for s in job["steps"]
                if "test_serving_throughput" in str(s.get("run", "")))
     assert env["BENCH_SERVING_JSON"] == "BENCH_serving.json"
     assert env["BENCH_TRACE_JSON"] == "BENCH_trace_sample.json"
+    assert env["BENCH_PROFILE_TXT"] == "BENCH_profile_collapsed.txt"
 
 
 def test_bench_job_gates_against_committed_baseline(workflow):

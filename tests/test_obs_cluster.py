@@ -11,6 +11,7 @@ per-session TTFT/ITL numbers riding the stream's ``done`` frame.
 
 import json
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -415,6 +416,172 @@ class TestFlightRecorder:
             "gpt_nano", rng.integers(0, 64, size=5), 3))) == 3
         assert len(cluster.trace_spans()) == before
         assert len(cluster.flight) == 0
+
+
+class TestContinuousProfilingOverTCP:
+    def test_profile_merges_frontend_and_workers(self, client):
+        """``op: profile`` returns one multi-process profile with the
+        recorded decode closure attributed in the sampled stacks."""
+        rng = np.random.default_rng(121)
+        # Crank the sampler so a short burst of decode work is certain
+        # to be seen; reset to start a clean window.
+        client.set_obs(sampler=True, sampler_rate=2000.0)
+        client.profile(reset=True)
+        try:
+            deadline = time.monotonic() + 120.0
+            while True:
+                for _ in range(2):
+                    assert len(list(client.generate(
+                        "gpt_nano", rng.integers(0, 64, size=9),
+                        MAX_NEW))) == MAX_NEW
+                client.infer_many("mlp", rng.normal(size=(4, 16)))
+                reply = client.profile(pprof=True)
+                profile = reply["profile"]
+                shard_labels = set(profile["shards"])
+                decode_stacks = [s for s in profile["stacks"]
+                                 if "<recorded:gpt_nano@decode>" in s]
+                workers_seen = {label for label in shard_labels
+                                if label.startswith("shard")}
+                if decode_stacks and workers_seen and \
+                        "frontend" in shard_labels:
+                    break
+                assert time.monotonic() < deadline, (
+                    "no decode-closure samples after 120s; shards=%s "
+                    "stacks=%d" % (sorted(shard_labels),
+                                   len(profile["stacks"])))
+        finally:
+            client.set_obs(sampler_rate=100.0)
+
+        # At least two processes contributed samples to the one merge.
+        contributing = [label for label, row in profile["shards"].items()
+                        if row["samples"]]
+        assert len(contributing) >= 2
+        assert profile["samples"] == sum(
+            row["samples"] for row in profile["shards"].values())
+        # The decode tick's span tags its samples.
+        decode_tagged = [s for s in decode_stacks if s.startswith("decode;")]
+        assert decode_tagged, decode_stacks
+
+        # The reply ships both standard renderings, JSON-clean.
+        collapsed = reply["collapsed"]
+        assert any("<recorded:gpt_nano@decode>" in line
+                   for line in collapsed.splitlines())
+        for line in collapsed.splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 0
+        pprof = reply["pprof"]
+        assert pprof["sample_types"][0]["type"] == "samples"
+        assert pprof["total_samples"] == profile["samples"]
+        json.dumps(reply)
+
+    def test_sampler_toggle_over_the_wire(self, client):
+        reply = client.set_obs(sampler=False)
+        try:
+            assert reply["sampler"] == 2  # both workers acknowledged
+            baseline = client.profile(reset=True)["profile"]
+            rng = np.random.default_rng(122)
+            client.infer_many("mlp", rng.normal(size=(8, 16)))
+            time.sleep(0.1)
+            stopped = client.profile()["profile"]
+            assert stopped["samples"] == 0, stopped["shards"]
+        finally:
+            assert client.set_obs(sampler=True)["sampler"] == 2
+
+    def test_windowed_profiles_via_reset(self, client):
+        client.profile(reset=True)
+        rng = np.random.default_rng(123)
+        assert len(list(client.generate(
+            "gpt_nano", rng.integers(0, 64, size=7), MAX_NEW))) == MAX_NEW
+        first = client.profile(reset=True)["profile"]
+        second = client.profile()["profile"]
+        # The reset drained the window: the immediate re-read holds (at
+        # most) the few samples taken since.
+        assert second["samples"] <= first["samples"] or \
+            second["samples"] < 5
+
+
+class TestDriftOverTCP:
+    def test_drift_reports_calibration_for_every_served_model(
+            self, client):
+        rng = np.random.default_rng(131)
+        for _ in range(3):
+            assert len(list(client.generate(
+                "gpt_nano", rng.integers(0, 64, size=9), MAX_NEW))) == MAX_NEW
+            client.infer_many("mlp", rng.normal(size=(6, 16)))
+        drift = client.drift()
+        models = drift["models"]
+        # Every served plan that executed LUT kernels is calibrated:
+        # the batch model, the decode step, and at least one prefill
+        # bucket — each with per-layer rows.
+        assert "mlp" in models
+        assert "gpt_nano@decode" in models
+        assert any(name.startswith("gpt_nano@prefill") for name in models)
+        for name in ("mlp", "gpt_nano@decode"):
+            entry = models[name]
+            assert entry["calibration_ms_per_cycle"] > 0
+            assert entry["layers"]
+            for row in entry["layers"].values():
+                assert row["calls"] >= 1
+                assert row["ms_per_cycle"] > 0
+                assert "drift" in row and "alert" in row
+        # Per-shard calibrations survive the merge.
+        assert any(label.startswith("shard") for label in drift["shards"])
+        json.dumps(drift)
+
+    def test_health_carries_the_drift_block(self, client):
+        health = client.health()
+        assert set(health["drift"]) == {"alerting", "alerts", "models"}
+        assert isinstance(health["drift"]["alerting"], bool)
+
+
+class TestInjectedSlowdownRaisesDriftAlert:
+    """A genuinely slowed kernel must trip the drift alert end to end.
+
+    ``REPRO_OBS_DRIFT_INJECT`` rides os.environ into the spawned workers
+    and wraps their profiler with a real sleep on the matching step — so
+    the slowdown happens inside the timed decode closure, exactly where
+    a real regression would.
+    """
+
+    def test_injected_layer_slowdown_alerts_via_health(
+            self, gen_model, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DRIFT_INJECT",
+                           "lut_gemm:blocks.0.ffn_in:5.0")
+        config = ClusterConfig(workers=2, max_batch_size=8,
+                               max_wait_ms=1.0, precision="fp64",
+                               objectives=OBJECTIVES)
+        cluster = ClusterServer(
+            {"gpt_nano": GenModelSpec(gen_model, buckets=(8, 16, 32))},
+            config)
+        try:
+            with ClusterTCPServer(cluster) as tcp:
+                host, port = tcp.address
+                with ClusterClient(host, port) as client:
+                    rng = np.random.default_rng(141)
+                    deadline = time.monotonic() + 120.0
+                    while True:
+                        assert len(list(client.generate(
+                            "gpt_nano", rng.integers(0, 64, size=9),
+                            MAX_NEW))) == MAX_NEW
+                        drift = client.drift()
+                        decode = drift["models"].get("gpt_nano@decode", {})
+                        if "lut_gemm:blocks.0.ffn_in" in decode.get(
+                                "alerts", []):
+                            break
+                        assert time.monotonic() < deadline, (
+                            "injected 5ms slowdown never alerted: %r"
+                            % decode.get("alerts"))
+                    health = client.health()
+                    assert health["drift"]["alerting"] is True
+                    alerts = health["drift"]["alerts"]["gpt_nano@decode"]
+                    assert "lut_gemm:blocks.0.ffn_in" in alerts
+                    # The drift ratio names the damage: the slowed layer
+                    # costs a large multiple of its calibrated share.
+                    row = drift["models"]["gpt_nano@decode"]["layers"][
+                        "lut_gemm:blocks.0.ffn_in"]
+                    assert row["drift"] > 2.0
+        finally:
+            cluster.shutdown(drain=False, timeout=15.0)
 
 
 class TestObsToggleOverTCP:

@@ -1,0 +1,316 @@
+"""Continuous wall-clock sampler: folding, bounding, merging, diffing.
+
+Everything below the thread loop is driven deterministically — fabricated
+frame chains stand in for ``sys._current_frames()`` and a fake clock for
+``time.monotonic`` — so folding, tag attribution, eviction and the window
+semantics are exact assertions, not timing hopes. One real-thread smoke
+test at the end proves the daemon loop actually samples.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.contprof import (
+    OTHER,
+    SAMPLER,
+    WallClockSampler,
+    _fold,
+    _frame_label,
+    current_tag,
+    diff_profiles,
+    merge_profiles,
+    render_collapsed,
+    tagged,
+    to_pprof,
+)
+
+
+class FakeCode:
+    def __init__(self, name, filename):
+        self.co_name = name
+        self.co_filename = filename
+
+
+class FakeFrame:
+    """A stand-in for a real frame: ``f_code`` + ``f_back`` chain."""
+
+    def __init__(self, name, filename="app.py", back=None):
+        self.f_code = FakeCode(name, filename)
+        self.f_back = back
+
+
+def chain(*names, filename="app.py"):
+    """Build a frame whose stack reads root-first as ``names``."""
+    frame = None
+    for name in names:
+        frame = FakeFrame(name, filename, back=frame)
+    return frame
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def make_sampler(**kw):
+    kw.setdefault("rate_hz", 100.0)
+    kw.setdefault("label", "test")
+    clock = FakeClock()
+    sampler = WallClockSampler(clock=clock, **kw)
+    return sampler, clock
+
+
+class TestFolding:
+    def test_fold_is_root_first(self):
+        frame = chain("main", "serve", "execute")
+        fold = _fold(frame, max_depth=48)
+        assert [f.split(" ")[0] for f in fold] == [
+            "main", "serve", "execute"]
+
+    def test_frame_label_basenames_real_files(self):
+        code = FakeCode("run", "/usr/lib/python3/threading.py")
+        assert _frame_label(code) == "run (threading.py)"
+
+    def test_frame_label_keeps_pseudo_filenames_verbatim(self):
+        # The recorded-decode closure's compile() filename *is* the
+        # attribution — it must survive untruncated.
+        code = FakeCode("run", "<recorded:gpt_nano@decode>")
+        assert _frame_label(code) == "run (<recorded:gpt_nano@decode>)"
+
+    def test_max_depth_truncates_from_the_leaf(self):
+        frame = chain("a", "b", "c", "d", "e")
+        fold = _fold(frame, max_depth=3)
+        # The walk starts at the leaf, so deep stacks lose their *root*.
+        assert [f.split(" ")[0] for f in fold] == ["c", "d", "e"]
+
+    def test_sampling_is_deterministic_with_fake_inputs(self):
+        sampler, clock = make_sampler()
+        frames = {1: chain("main", "work")}
+        for _ in range(5):
+            clock.tick(0.01)
+            sampler.sample_once(frames=frames, now=clock.now)
+        snap = sampler.snapshot()
+        assert snap["samples"] == 5
+        (stack, row), = snap["stacks"].items()
+        assert stack == "main (app.py);work (app.py)"
+        assert row["samples"] == 5
+        # 5 samples x 10 ms between them at 100 Hz: exact attribution.
+        assert row["ms"] == pytest.approx(50.0)
+
+    def test_elapsed_attribution_is_clamped(self):
+        # A paused process must not credit its whole pause to whatever
+        # stack it resumed on: dt is capped at 10 sampling periods.
+        sampler, clock = make_sampler(rate_hz=100.0)
+        frames = {1: chain("main")}
+        sampler.sample_once(frames=frames, now=clock.now)
+        clock.tick(60.0)  # a minute-long stall
+        sampler.sample_once(frames=frames, now=clock.now)
+        snap = sampler.snapshot()
+        assert snap["duration_ms"] <= 10.0 + 100.0  # first + clamped
+
+
+class TestTagging:
+    def test_tagged_sets_and_restores(self):
+        assert current_tag() is None
+        with tagged("decode"):
+            assert current_tag() == "decode"
+            with tagged("prefill"):
+                assert current_tag() == "prefill"
+            assert current_tag() == "decode"
+        assert current_tag() is None
+
+    def test_tag_becomes_the_stack_root(self):
+        sampler, clock = make_sampler()
+        tid = threading.get_ident()
+        with tagged("decode"):
+            sampler.sample_once(frames={tid: chain("tick")}, now=clock.now)
+        snap = sampler.snapshot()
+        (stack,), = [list(snap["stacks"])]
+        assert stack == "decode;tick (app.py)"
+        assert snap["tags"] == {"decode": 1}
+
+    def test_untagged_threads_fold_without_a_tag_root(self):
+        sampler, clock = make_sampler()
+        sampler.sample_once(frames={99: chain("idle")}, now=clock.now)
+        snap = sampler.snapshot()
+        assert list(snap["stacks"]) == ["idle (app.py)"]
+        assert snap["tags"] == {"(untagged)": 1}
+
+
+class TestBounding:
+    def test_eviction_folds_smallest_into_other(self):
+        sampler, clock = make_sampler(max_stacks=3)
+        # Three distinct stacks, the first seen twice (so it is not the
+        # smallest when the cap forces an eviction).
+        for name, hits in (("hot", 3), ("warm", 2), ("cool", 1)):
+            for _ in range(hits):
+                clock.tick(0.01)
+                sampler.sample_once(frames={1: chain(name)}, now=clock.now)
+        clock.tick(0.01)
+        sampler.sample_once(frames={1: chain("new")}, now=clock.now)
+        snap = sampler.snapshot()
+        # The smallest attributed stack folded into (other); the cap
+        # bounds attributed stacks (the (other) bucket rides outside it).
+        attributed = [s for s in snap["stacks"] if s != OTHER]
+        assert len(attributed) == 3
+        assert "cool (app.py)" not in snap["stacks"]
+        assert snap["stacks"][OTHER]["samples"] == 1
+        assert snap["evicted"] == 1
+        # Totals stay exact even though attribution coarsened.
+        assert snap["samples"] == 7
+
+    def test_totals_survive_arbitrary_cardinality(self):
+        sampler, clock = make_sampler(max_stacks=4)
+        for i in range(50):
+            clock.tick(0.01)
+            sampler.sample_once(frames={1: chain("fn%d" % i)},
+                                now=clock.now)
+        snap = sampler.snapshot()
+        assert snap["samples"] == 50
+        assert len([s for s in snap["stacks"] if s != OTHER]) <= 4
+        held = sum(row["samples"] for row in snap["stacks"].values())
+        assert held == 50
+
+
+class TestWindows:
+    def test_snapshot_reset_yields_windows(self):
+        sampler, clock = make_sampler()
+        frames = {1: chain("work")}
+        for _ in range(3):
+            clock.tick(0.01)
+            sampler.sample_once(frames=frames, now=clock.now)
+        first = sampler.snapshot(reset=True)
+        assert first["samples"] == 3
+        assert sampler.snapshot()["samples"] == 0
+        clock.tick(0.01)
+        sampler.sample_once(frames=frames, now=clock.now)
+        second = sampler.snapshot(reset=True)
+        assert second["samples"] == 1
+
+    def test_snapshot_is_json_clean(self):
+        import json
+
+        sampler, clock = make_sampler()
+        with tagged("router"):
+            sampler.sample_once(
+                frames={threading.get_ident(): chain("pick")},
+                now=clock.now)
+        json.dumps(sampler.snapshot())
+
+
+class TestMergeAndDiff:
+    def _snap(self, label, stacks, samples=None):
+        total = samples if samples is not None else sum(
+            row["samples"] for row in stacks.values())
+        return {"label": label, "rate_hz": 100.0, "samples": total,
+                "duration_ms": 10.0 * total, "evicted": 0,
+                "tags": {}, "stacks": stacks}
+
+    def test_merge_sums_shared_stacks_and_keeps_shard_labels(self):
+        a = self._snap("shard0", {"decode;gemm": {"samples": 4, "ms": 40.0},
+                                  "idle": {"samples": 1, "ms": 10.0}})
+        b = self._snap("shard1", {"decode;gemm": {"samples": 6, "ms": 60.0}})
+        c = self._snap("frontend", {"router;pick": {"samples": 2,
+                                                    "ms": 20.0}})
+        merged = merge_profiles([a, b, c])
+        assert merged["samples"] == 13
+        assert merged["stacks"]["decode;gemm"] == {"samples": 10,
+                                                   "ms": 100.0}
+        assert set(merged["shards"]) == {"shard0", "shard1", "frontend"}
+        assert merged["shards"]["shard1"]["samples"] == 6
+
+    def test_merge_skips_empty_snapshots(self):
+        merged = merge_profiles([None, {},
+                                 self._snap("shard0",
+                                            {"x": {"samples": 1,
+                                                   "ms": 10.0}})])
+        assert merged["samples"] == 1
+
+    def test_diff_names_what_grew(self):
+        before = self._snap("p", {"a": {"samples": 5, "ms": 50.0},
+                                  "b": {"samples": 5, "ms": 50.0}})
+        after = self._snap("p", {"a": {"samples": 5, "ms": 50.0},
+                                 "b": {"samples": 9, "ms": 90.0},
+                                 "c": {"samples": 2, "ms": 20.0}})
+        diff = diff_profiles(before, after)
+        assert "a" not in diff["stacks"]  # unchanged
+        assert diff["stacks"]["b"] == {"samples": 4, "ms": 40.0}
+        assert diff["grown"][0] == "b"  # biggest ms growth first
+        assert diff["samples"] == 6
+
+
+class TestRenderings:
+    def test_render_collapsed_heaviest_first(self):
+        profile = {"stacks": {"a;b": {"samples": 2, "ms": 20.0},
+                              "c": {"samples": 7, "ms": 70.0}}}
+        text = render_collapsed(profile)
+        assert text == "c 7\na;b 2\n"
+
+    def test_render_collapsed_by_ms(self):
+        profile = {"stacks": {"a": {"samples": 9, "ms": 1.0},
+                              "b": {"samples": 1, "ms": 99.0}}}
+        assert render_collapsed(profile, weight="ms").splitlines()[0] == \
+            "b 99"
+
+    def test_to_pprof_interns_strings_leaf_first(self):
+        profile = {"samples": 3, "duration_ms": 30.0,
+                   "stacks": {"root;mid;leaf": {"samples": 3, "ms": 30.0}}}
+        doc = to_pprof(profile)
+        (sample,), = [doc["samples"]]
+        names = [doc["string_table"][i] for i in sample["location_ids"]]
+        assert names == ["leaf", "mid", "root"]
+        assert sample["values"] == [3, 30.0]
+        assert doc["string_table"][0] == ""
+        assert doc["total_samples"] == 3
+
+
+class TestRealThread:
+    def test_daemon_loop_samples_a_busy_thread(self):
+        sampler = WallClockSampler(rate_hz=500.0, label="smoke")
+        stop = threading.Event()
+
+        def spin():
+            with tagged("spin"):
+                while not stop.is_set():
+                    sum(range(500))
+
+        worker = threading.Thread(target=spin, daemon=True)
+        worker.start()
+        sampler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                snap = sampler.snapshot()
+                if snap["tags"].get("spin", 0) >= 3:
+                    break
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+            stop.set()
+            worker.join(5.0)
+        snap = sampler.snapshot()
+        assert snap["tags"].get("spin", 0) >= 3
+        assert any(stack.startswith("spin;") for stack in snap["stacks"])
+        assert not sampler.enabled
+
+    def test_start_is_idempotent_and_retunes(self):
+        sampler = WallClockSampler(rate_hz=100.0, label="idem")
+        try:
+            sampler.start()
+            thread = sampler._thread
+            sampler.start(rate_hz=250.0)
+            assert sampler._thread is thread
+            assert sampler.rate_hz == 250.0
+        finally:
+            sampler.stop()
+
+    def test_module_singleton_exists(self):
+        assert isinstance(SAMPLER, WallClockSampler)

@@ -1,0 +1,211 @@
+"""Cost-model drift detector: EWMA math, band alerts, resync, merging.
+
+The detector joins StepProfiler-shaped snapshots against a predictor's
+per-layer cycle breakdown. A fake predictor makes every number exact, so
+the EWMA recurrence, the cycle-weighted calibration, the drift ratios
+and the alert band are asserted to the digit.
+"""
+
+import pytest
+
+from repro.obs.drift import DriftDetector
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeSimConfig:
+    frequency_hz = 1e9
+
+
+class FakePredictor:
+    """Stands in for CyclePredictor: a fixed per-module breakdown."""
+
+    sim_config = FakeSimConfig()
+
+    def __init__(self, cycles):
+        self._cycles = dict(cycles)
+
+    def breakdown(self, batch_size):
+        return dict(self._cycles)
+
+
+def profiler_snap(plan, rows):
+    """A StepProfiler-shaped cumulative snapshot for one plan.
+
+    ``rows`` maps step label -> (calls, total_ms).
+    """
+    return {plan: {label: {"calls": calls, "total_ms": total_ms,
+                           "mean_ms": total_ms / max(calls, 1),
+                           "min_ms": 0.0, "max_ms": total_ms}
+                   for label, (calls, total_ms) in rows.items()}}
+
+
+@pytest.fixture
+def detector():
+    d = DriftDetector(band=2.0, alpha=0.5, min_calls=2, label="shard0")
+    d.watch("m", FakePredictor({"fc1": 1000, "fc2": 3000}))
+    return d
+
+
+class TestWatch:
+    def test_watch_prefixes_labels_like_the_profiler(self, detector):
+        assert detector.watched() == ["m"]
+        snap = detector.snapshot()
+        assert snap["models"]["m"]["layers"] == {}  # nothing measured yet
+
+    def test_zero_cycle_modules_are_dropped(self):
+        d = DriftDetector()
+        d.watch("m", FakePredictor({"fc1": 500, "glue": 0}))
+        d.ingest(profiler_snap("m", {"lut_gemm:fc1": (1, 1.0),
+                                     "lut_gemm:glue": (1, 1.0)}))
+        layers = d.snapshot()["models"]["m"]["layers"]
+        assert list(layers) == ["lut_gemm:fc1"]
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_ewma(self, detector):
+        fresh = detector.ingest(
+            profiler_snap("m", {"lut_gemm:fc1": (2, 4.0)}))
+        assert fresh == 1
+        row = detector.snapshot()["models"]["m"]["layers"]["lut_gemm:fc1"]
+        # (4.0 ms / 2 calls) / 1000 cycles.
+        assert row["ms_per_cycle"] == pytest.approx(0.002)
+        assert row["calls"] == 2
+
+    def test_second_delta_blends_alpha_weighted(self, detector):
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 4.0)}))
+        # Cumulative counters advance: +2 calls, +12 ms => sample 0.006.
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (4, 16.0)}))
+        row = detector.snapshot()["models"]["m"]["layers"]["lut_gemm:fc1"]
+        # alpha=0.5: 0.5*0.006 + 0.5*0.002.
+        assert row["ms_per_cycle"] == pytest.approx(0.004)
+        assert row["calls"] == 4
+
+    def test_reingesting_the_same_snapshot_adds_nothing(self, detector):
+        snap = profiler_snap("m", {"lut_gemm:fc1": (2, 4.0)})
+        assert detector.ingest(snap) == 1
+        assert detector.ingest(snap) == 0
+        row = detector.snapshot()["models"]["m"]["layers"]["lut_gemm:fc1"]
+        assert row["ms_per_cycle"] == pytest.approx(0.002)
+
+    def test_backwards_counters_resync_silently(self, detector):
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (10, 20.0)}))
+        # The worker's profiler was cleared: counters restart lower. The
+        # shrunken read must not produce a negative delta — it resyncs.
+        assert detector.ingest(
+            profiler_snap("m", {"lut_gemm:fc1": (1, 2.0)})) == 0
+        # The next advance diffs against the resynced base.
+        assert detector.ingest(
+            profiler_snap("m", {"lut_gemm:fc1": (2, 10.0)})) == 1
+        row = detector.snapshot()["models"]["m"]["layers"]["lut_gemm:fc1"]
+        # alpha blend of 0.002 (seed) and (8ms/1call)/1000 = 0.008.
+        assert row["ms_per_cycle"] == pytest.approx(0.005)
+
+    def test_unwatched_plans_are_ignored(self, detector):
+        assert detector.ingest(
+            profiler_snap("other", {"lut_gemm:fc1": (5, 5.0)})) == 0
+
+
+class TestCalibrationAndAlerts:
+    def test_calibration_is_cycle_weighted(self, detector):
+        # fc1: 0.002 ms/cycle over 1000 cycles; fc2: 0.001 over 3000.
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 4.0),
+                                            "lut_gemm:fc2": (2, 6.0)}))
+        entry = detector.snapshot()["models"]["m"]
+        expected = (0.002 * 1000 + 0.001 * 3000) / 4000
+        assert entry["calibration_ms_per_cycle"] == pytest.approx(expected)
+        fc1 = entry["layers"]["lut_gemm:fc1"]
+        assert fc1["drift"] == pytest.approx(0.002 / expected)
+        # predicted_ratio: measured ms/cycle over the simulator's.
+        assert entry["predicted_ratio"] == pytest.approx(expected * 1e6)
+
+    def test_layer_outside_the_band_alerts(self, detector):
+        # fc1 at 0.004 ms/cycle vs fc2 at 0.001: calibration lands at
+        # 0.00175, putting fc1 at 2.29x (outside the 2x band) while fc2
+        # stays at 0.57x (inside it).
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 8.0),
+                                            "lut_gemm:fc2": (2, 6.0)}))
+        entry = detector.snapshot()["models"]["m"]
+        assert entry["alerts"] == ["lut_gemm:fc1"]
+        assert entry["layers"]["lut_gemm:fc1"]["alert"] is True
+        assert entry["layers"]["lut_gemm:fc2"]["alert"] is False
+        snap = detector.snapshot()
+        assert snap["alerting"] is True
+
+    def test_min_calls_floor_suppresses_thin_evidence(self):
+        d = DriftDetector(band=2.0, alpha=0.5, min_calls=5)
+        d.watch("m", FakePredictor({"fc1": 1000, "fc2": 3000}))
+        d.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 20.0),
+                                     "lut_gemm:fc2": (2, 6.0)}))
+        assert d.snapshot()["models"]["m"]["alerts"] == []
+
+    def test_balanced_layers_never_alert(self, detector):
+        # Identical ms/cycle everywhere: drift 1.0 by construction.
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (4, 4.0),
+                                            "lut_gemm:fc2": (4, 12.0)}))
+        entry = detector.snapshot()["models"]["m"]
+        for row in entry["layers"].values():
+            assert row["drift"] == pytest.approx(1.0)
+        assert entry["alerts"] == []
+
+    def test_calibrations_feed_router_pricing(self, detector):
+        detector.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 4.0),
+                                            "lut_gemm:fc2": (2, 6.0)}))
+        cals = detector.calibrations()
+        assert set(cals) == {"m"}
+        assert cals["m"] > 0
+
+
+class TestGauges:
+    def test_ingest_exports_ratio_and_alert_gauges(self):
+        registry = MetricsRegistry()
+        d = DriftDetector(band=2.0, alpha=0.5, min_calls=1, label="s0",
+                          registry=registry)
+        d.watch("m", FakePredictor({"fc1": 1000, "fc2": 3000}))
+        d.ingest(profiler_snap("m", {"lut_gemm:fc1": (2, 8.0),
+                                     "lut_gemm:fc2": (2, 6.0)}))
+        snap = registry.snapshot()
+        series = snap["repro_drift_ratio"]["series"]
+        assert any("layer=lut_gemm:fc1" in key for key in series)
+        alerting = snap["repro_drift_alerting"]["series"]
+        assert list(alerting.values()) == [1.0]
+
+
+class TestMerge:
+    def _shard(self, label, calls, total_ms, band=2.0):
+        d = DriftDetector(band=band, alpha=0.5, min_calls=1, label=label)
+        d.watch("m", FakePredictor({"fc1": 1000, "fc2": 3000}))
+        d.ingest(profiler_snap("m", {"lut_gemm:fc1": (calls, total_ms),
+                                     "lut_gemm:fc2": (calls, 3.0)}))
+        return d.snapshot()
+
+    def test_merge_weights_layers_by_calls(self):
+        # shard0: fc1 at 0.002 ms/cycle over 2 calls; shard1: 0.008 over
+        # 6 calls — the merged EWMA is the calls-weighted mean.
+        merged = DriftDetector.merge([self._shard("shard0", 2, 4.0),
+                                      self._shard("shard1", 6, 48.0)])
+        fc1 = merged["models"]["m"]["layers"]["lut_gemm:fc1"]
+        assert fc1["calls"] == 8
+        assert fc1["ms_per_cycle"] == pytest.approx(
+            (0.002 * 2 + 0.008 * 6) / 8)
+        assert set(merged["shards"]) == {"shard0", "shard1"}
+        assert merged["shards"]["shard0"]["m"] > 0
+
+    def test_merge_reevaluates_alerts_at_the_band(self):
+        # fc1 runs hot on both shards: the merged calibration still has
+        # it far outside the band, and the merge re-flags it.
+        merged = DriftDetector.merge([self._shard("shard0", 4, 80.0),
+                                      self._shard("shard1", 4, 80.0)])
+        entry = merged["models"]["m"]
+        assert "lut_gemm:fc1" in entry["alerts"]
+        assert entry["layers"]["lut_gemm:fc1"]["drift"] > 2.0
+        assert merged["alerting"] is True
+
+    def test_merge_of_nothing_is_empty_but_wellformed(self):
+        merged = DriftDetector.merge([])
+        assert merged["models"] == {}
+        assert merged["alerting"] is False
+
+    def test_merge_is_json_clean(self):
+        import json
+
+        json.dumps(DriftDetector.merge([self._shard("shard0", 2, 4.0)]))
