@@ -21,7 +21,14 @@ set, so the comparison shows on the run page), and exits non-zero when
   artifacts still gate cleanly), or
 - the continuous wall-clock sampler's cost exceeds its own absolute 5%
   budget (mirroring ``test_contprof_overhead_gate``; checked only when
-  the fresh artifact carries the ``observability.contprof`` record).
+  the fresh artifact carries the ``observability.contprof`` record), or
+- the drift→pricing loop stops pricing the injected-slow model above
+  the fast one (``drift_pricing.factor_slow`` must exceed
+  ``factor_fast`` — the deterministic core of
+  ``test_drift_pricing_tail_latency``; checked only when the fresh
+  artifact carries the ``drift_pricing`` section). Its
+  ``tail_improvement`` rides the normal baseline diff alongside the
+  throughput metrics.
 
 Metrics present only in the fresh artifact are reported as ``new`` and
 pass — that is how a PR introduces a metric before its baseline exists.
@@ -57,6 +64,12 @@ METRICS_GATE = 0.05
 # matching test_contprof_overhead_gate in the same file.
 CONTPROF_GATE = 0.05
 
+# drift_pricing.tail_improvement saturates here before the baseline
+# diff, so run-to-run jitter in the (collision-dependent) off-mode p99
+# cannot trip the gate while a genuine collapse of the payoff still
+# does.
+TAIL_IMPROVEMENT_CAP = 4.0
+
 
 def extract_metrics(bench):
     """Flatten the gated throughput metrics out of a serving artifact.
@@ -80,6 +93,15 @@ def extract_metrics(bench):
         if rows:
             metrics["%s.best_req_per_s" % section] = \
                 max(float(row["req_per_s"]) for row in rows)
+    improvement = bench.get("drift_pricing", {}).get("tail_improvement")
+    if improvement is not None:
+        # Saturated for gating: the loop's payoff is routinely ~10x but
+        # the off-mode p99 is collision luck and jitters run to run. The
+        # gate defends "repricing keeps a solid tail multiple" (>= 80%
+        # of the 4x cap), not the exact multiple; the raw value stays in
+        # the artifact for trajectory tracking.
+        metrics["drift_pricing.tail_improvement"] = min(
+            float(improvement), TAIL_IMPROVEMENT_CAP)
     return metrics
 
 
@@ -161,6 +183,25 @@ def compare(fresh, baseline, threshold=THRESHOLD, tracing_gate=TRACING_GATE,
             failures.append("wall-clock sampler cost %.2f%% exceeds the "
                             "%.0f%% budget"
                             % (fraction * 100.0, contprof_gate * 100.0))
+
+    pricing = fresh.get("drift_pricing", {})
+    factor_slow = pricing.get("factor_slow")
+    factor_fast = pricing.get("factor_fast")
+    if factor_slow is not None and factor_fast is not None:
+        base_pricing = baseline.get("drift_pricing", {})
+        base_slow = base_pricing.get("factor_slow")
+        base_fast = base_pricing.get("factor_fast")
+        separation = factor_slow / factor_fast
+        base_sep = (base_slow / base_fast
+                    if base_slow is not None and base_fast else None)
+        ok = factor_slow > factor_fast
+        rows.append({"metric": "drift_pricing.factor_separation",
+                     "baseline": base_sep, "current": separation,
+                     "delta": None, "status": "ok" if ok else "FAIL"})
+        if not ok:
+            failures.append("drift pricing stopped separating the models: "
+                            "slow factor %.3f <= fast factor %.3f"
+                            % (factor_slow, factor_fast))
     return rows, failures
 
 

@@ -22,7 +22,8 @@ HISTORY = ROOT / "BENCH_history.jsonl"
 
 
 def _artifact(decode=5000.0, prefill=35000.0, reqs=4000.0, cluster=3300.0,
-              tracing=0.02):
+              tracing=0.02, factor_slow=2.0, factor_fast=0.1,
+              tail_improvement=8.0):
     return {
         "generation": {
             "decode": {"tokens_per_s": decode,
@@ -34,6 +35,9 @@ def _artifact(decode=5000.0, prefill=35000.0, reqs=4000.0, cluster=3300.0,
         "cluster_scaling": {"rows": [{"workers": 2, "req_per_s": cluster}]},
         "observability": {
             "tracing_overhead": {"disabled_overhead_fraction": tracing}},
+        "drift_pricing": {"factor_slow": factor_slow,
+                          "factor_fast": factor_fast,
+                          "tail_improvement": tail_improvement},
     }
 
 
@@ -49,6 +53,8 @@ class TestCompare:
         assert "batch_sweep.best_req_per_s" in metrics
         assert "cluster_scaling.best_req_per_s" in metrics
         assert "observability.disabled_tracing_fraction" in metrics
+        assert "drift_pricing.tail_improvement" in metrics
+        assert "drift_pricing.factor_separation" in metrics
 
     def test_small_drop_and_any_gain_pass(self):
         fresh = _artifact(decode=5000.0 * 0.85, prefill=35000.0 * 2)
@@ -116,6 +122,34 @@ class TestCompare:
                                                threshold=0.10)
         assert any("generation.decode.tok_per_s" in f for f in failures)
 
+    def test_factor_separation_is_a_hard_gate(self):
+        # The drift→pricing loop pricing the slow model at or below the
+        # fast one means the control loop is broken — absolute failure,
+        # regardless of what the baseline did.
+        fresh = _artifact(factor_slow=0.9, factor_fast=1.1)
+        rows, failures = check_regression.compare(fresh, _artifact())
+        assert any("drift pricing stopped separating" in f
+                   for f in failures)
+        status = {r["metric"]: r["status"] for r in rows}
+        assert status["drift_pricing.factor_separation"] == "FAIL"
+
+    def test_tail_improvement_regression_fails_like_throughput(self):
+        # tail_improvement rides the normal baseline diff: a collapse
+        # from 8x to 1x (loop stopped paying off) trips the threshold.
+        fresh = _artifact(tail_improvement=1.0)
+        _, failures = check_regression.compare(fresh, _artifact())
+        assert any("drift_pricing.tail_improvement" in f for f in failures)
+
+    def test_artifact_without_drift_pricing_still_gates(self):
+        # Older artifacts predate the section: both the separation gate
+        # and the tail metric stay quiet instead of failing as missing.
+        fresh = _artifact()
+        del fresh["drift_pricing"]
+        base = _artifact()
+        del base["drift_pricing"]
+        _, failures = check_regression.compare(fresh, base)
+        assert failures == []
+
 
 class TestMainAndReport:
     def test_markdown_table_shape(self):
@@ -159,6 +193,9 @@ class TestCommittedBaseline:
         metrics = baseline["observability"]["metrics"][
             "enabled_overhead_fraction"]
         assert metrics <= check_regression.METRICS_GATE
+        pricing = baseline["drift_pricing"]
+        assert pricing["factor_slow"] > pricing["factor_fast"]
+        assert pricing["tail_improvement"] > 1.0
 
     def test_baseline_passes_against_itself(self):
         baseline = json.loads(BASELINE.read_text())

@@ -14,7 +14,9 @@ operations console would use — nothing here touches cluster internals:
 - ``op: profile``  — the continuous wall-clock sampler's cluster-merged
   folded stacks (front-end + every worker) for the hotspots panel;
 - ``op: drift``    — the cost-model drift report: measured ms per
-  predicted cycle per layer, flagged when a layer leaves the band.
+  predicted cycle per layer, flagged when a layer leaves the band. The
+  pricing line under it comes from ``op: health``'s ``drift.pricing``
+  block: the router factors the repricing loop has installed and when.
 
 The declared TTFT objective is set deliberately tight (0.5 ms) so the
 demo traffic *breaches* it: the SLO panel shows a live burn rate and the
@@ -189,6 +191,19 @@ def render(frame, health, slo, stats, flights, profile, drift):
                      % (model, cal, detail, flagged))
     if not drift.get("models"):
         lines.append("  (no measurements yet)")
+    pricing = health["drift"].get("pricing", {})
+    factors = pricing.get("factors", {})
+    if factors:
+        repriced = pricing.get("last_repriced_unix") or 0.0
+        lines.append("  pricing: %s  (%d install(s), repriced %.0fs ago)"
+                     % (" ".join("%s x%.2f" % kv
+                                 for kv in sorted(factors.items())),
+                        pricing.get("installs", 0),
+                        max(time.time() - repriced, 0.0)))
+    else:
+        lines.append("  pricing: predicted cycles only (loop %s, "
+                     "no factors installed)"
+                     % ("on" if pricing.get("enabled") else "off"))
 
     lines.append("")
     lines.append("flight recorder (newest first):")

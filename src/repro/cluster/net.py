@@ -25,7 +25,9 @@ Request headers:
                   "top_p": 0.95, "seed": 7}}
                                       + npy prompt   -> token stream
     {"id": 11, "op": "stats"}         (no payload)   -> per-shard windows +
-                                                       profiler/telemetry
+                                                       profiler/telemetry +
+                                                       router calibration /
+                                                       outstanding / inflight
     {"id": 12, "op": "trace", "trace": "<hex id>"}   -> recorded spans
     {"id": 13, "op": "obs", "tracing": true,
      "profiling": true, "flight": true,
@@ -37,7 +39,9 @@ Request headers:
                                                        cluster-wide (burn
                                                        rates per window)
     {"id": 15, "op": "health"}        (no payload)   -> liveness + alerting
-                                                       verdict
+                                                       verdict + drift block
+                                                       with the repricing
+                                                       loop's pricing state
     {"id": 16, "op": "flight"}        (no payload)   -> retained tail-sample
                                                        entries; with
                                                        "trace"/"worst": one

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 __all__ = ["NoShardAvailable", "LeastWorkRouter"]
 
@@ -53,6 +54,14 @@ class LeastWorkRouter:
                                for key, c in request_cycles.items()}
         self._windows = dict(windows or {})
         self._outstanding = {}
+        # Charge ledger: every in-flight request's exact charged cost,
+        # FIFO per (shard, key). `finished` subtracts what `started`
+        # actually added — never a freshly computed `_cost(key)`, which
+        # may have moved under an intervening `set_calibration` and
+        # would desynchronise `_outstanding` for the rest of the shard's
+        # life (permanently inflated, or silently clamped at 0).
+        self._charges = {}    # (index, key) -> deque of charged costs
+        self._inflight = {}   # index -> in-flight request count
         self._down = set()
         self._lock = threading.Lock()
         self._pace = {}
@@ -66,7 +75,9 @@ class LeastWorkRouter:
         predicted cycle, normalised across models) multiplies that key's
         predicted cycles, so a model whose layers run systematically
         slower than the cost model believes is priced at its *measured*
-        weight. An empty dict reverts to raw predicted cycles.
+        weight. An empty dict reverts to raw predicted cycles. Safe to
+        call with requests in flight: their charges were recorded at
+        dispatch time, so completion accounting is unaffected.
         """
         cleaned = {key: float(f) for key, f in (factors or {}).items()
                    if f and f > 0.0}
@@ -97,6 +108,9 @@ class LeastWorkRouter:
         with self._lock:
             self._down.discard(index)
             self._outstanding[index] = 0.0
+            self._inflight[index] = 0
+            for ledger_key in [k for k in self._charges if k[0] == index]:
+                del self._charges[ledger_key]
             if window is not None:
                 self._windows[index] = window
             self._pace.pop(index, None)
@@ -161,14 +175,52 @@ class LeastWorkRouter:
             return best
 
     def started(self, index, key):
+        """Charge one dispatched request to its shard's backlog.
+
+        The exact cost charged (predicted cycles x the calibration
+        factor *active right now*) is remembered in the ledger, so the
+        matching :meth:`finished` refunds precisely this amount even if
+        :meth:`set_calibration` reprices the key in between. Returns the
+        charged cost.
+        """
         with self._lock:
+            cost = self._cost(key)
+            self._charges.setdefault((index, key), deque()).append(cost)
+            self._inflight[index] = self._inflight.get(index, 0) + 1
             self._outstanding[index] = (
-                self._outstanding.get(index, 0.0) + self._cost(key))
+                self._outstanding.get(index, 0.0) + cost)
+            return cost
 
     def finished(self, index, key):
+        """Refund one completed request's recorded charge.
+
+        Charges of the same (shard, key) pair are interchangeable (the
+        backlog is their sum), so the oldest is refunded. A finish with
+        no matching charge — e.g. landing after :meth:`revive` already
+        zeroed the shard — is a no-op instead of an underflow. When the
+        last in-flight request drains, the backlog snaps to exactly 0.0
+        (no accumulated float dust). Returns the refunded cost.
+        """
         with self._lock:
-            self._outstanding[index] = max(
-                0.0, self._outstanding.get(index, 0.0) - self._cost(key))
+            ledger = self._charges.get((index, key))
+            if not ledger:
+                return 0.0
+            cost = ledger.popleft()
+            if not ledger:
+                del self._charges[(index, key)]
+            remaining = self._inflight.get(index, 1) - 1
+            self._inflight[index] = max(remaining, 0)
+            if remaining <= 0:
+                self._outstanding[index] = 0.0
+            else:
+                self._outstanding[index] = max(
+                    0.0, self._outstanding.get(index, 0.0) - cost)
+            return cost
+
+    def inflight(self, index):
+        """How many dispatched-but-unfinished requests a shard holds."""
+        with self._lock:
+            return self._inflight.get(index, 0)
 
     def __repr__(self):
         with self._lock:

@@ -32,8 +32,8 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
-from ..obs.contprof import SAMPLER, merge_profiles, tagged
-from ..obs.drift import DriftDetector
+from ..obs.contprof import SAMPLER, configure_sampler, merge_profiles, tagged
+from ..obs.drift import DriftDetector, RepricingPolicy
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import METRICS, merge_snapshots
 from ..obs.profiler import StepProfiler
@@ -107,7 +107,9 @@ class ClusterConfig:
                  autotune=False, autotune_interval=24, start_timeout=120.0,
                  respawn=True, default_max_new_tokens=16, objectives=None,
                  flight=False, flight_capacity=64, flight_sample=0.0,
-                 sampler=True, sampler_hz=None):
+                 sampler=True, sampler_hz=None, reprice=True,
+                 reprice_interval_s=5.0, reprice_threshold=0.10,
+                 reprice_empty_clears=3, reprice_min_calls=3):
         self.workers = int(workers)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -134,6 +136,19 @@ class ClusterConfig:
         # sampler's built-in default rate.
         self.sampler = bool(sampler)
         self.sampler_hz = None if sampler_hz is None else float(sampler_hz)
+        # Drift→pricing control loop: a front-end timer calls
+        # ``apply_drift_pricing()`` every ``reprice_interval_s`` seconds,
+        # gated by the :class:`~repro.obs.drift.RepricingPolicy`
+        # hysteresis — new factors install only on a sustained
+        # >``reprice_threshold`` fractional change, last-good factors
+        # survive until ``reprice_empty_clears`` consecutive empty drift
+        # reports, and a model needs ``reprice_min_calls`` measured layer
+        # calls before its calibration is trusted at all.
+        self.reprice = bool(reprice)
+        self.reprice_interval_s = float(reprice_interval_s)
+        self.reprice_threshold = float(reprice_threshold)
+        self.reprice_empty_clears = int(reprice_empty_clears)
+        self.reprice_min_calls = int(reprice_min_calls)
 
     def __repr__(self):
         return ("ClusterConfig(workers=%d, max_batch=%d, max_wait=%.1fms, "
@@ -338,6 +353,30 @@ class ClusterGenStream:
             ", done" if self._done else "")
 
 
+def _reprice_loop(cluster_ref, stop, interval_s):
+    """Cadence thread closing the drift→pricing loop.
+
+    Every ``interval_s`` seconds it runs one
+    :meth:`ClusterServer.apply_drift_pricing` cycle; the hysteresis
+    policy inside decides whether anything actually installs. Holds the
+    cluster only through a weakref so a cluster that is dropped without
+    ``shutdown()`` can still be collected (the thread then exits on its
+    next tick); a clean shutdown sets ``stop`` and joins. A failed cycle
+    (e.g. every shard raced on a crash) is skipped — the next tick
+    retries, and the policy's empty-streak grace keeps the last-good
+    factors in place meanwhile.
+    """
+    while not stop.wait(interval_s):
+        cluster = cluster_ref()
+        if cluster is None or not cluster._accepting:
+            return
+        try:
+            cluster.apply_drift_pricing()
+        except Exception:
+            pass
+        del cluster
+
+
 class ClusterServer:
     """Serve a dict of converted models across worker processes.
 
@@ -461,6 +500,29 @@ class ClusterServer:
         for shard in self.shards:
             outstanding_gauge.labels(shard=str(shard.index)).set_function(
                 _outstanding(shard.index))
+        # Drift→pricing control loop: hysteresis state, the installed
+        # factor per model as a gauge (1.0 = raw predicted cycles), and
+        # the cadence thread that closes the loop. The thread holds only
+        # a weakref so an abandoned cluster can still be collected; it
+        # exits on the shutdown event, on a dead ref, or once admission
+        # stops.
+        self._reprice_policy = RepricingPolicy(
+            threshold=self.config.reprice_threshold,
+            empty_clears=self.config.reprice_empty_clears)
+        self._m_calibration = METRICS.gauge(
+            "repro_router_calibration",
+            "Installed drift-corrected pricing factor per model "
+            "(1.0 = raw predicted cycles)", labels=("model",))
+        for key in self.predictors:
+            self._m_calibration.labels(model=key).set(1.0)
+        self._reprice_stop = threading.Event()
+        self._reprice_thread = None
+        if self.config.reprice and self.config.reprice_interval_s > 0:
+            self._reprice_thread = threading.Thread(
+                target=_reprice_loop, name="cluster-reprice", daemon=True,
+                args=(ref, self._reprice_stop,
+                      self.config.reprice_interval_s))
+            self._reprice_thread.start()
 
     def _compile_gen(self, key, spec, precision):
         from ..gen.compiler import compile_generation
@@ -810,6 +872,14 @@ class ClusterServer:
             "telemetry": {key: TokenTelemetry.merge(snaps)
                           for key, snaps in telemetry.items()},
             "metrics": merge_snapshots(metric_snaps),
+            "router": {
+                "calibration": self.router.calibration(),
+                "outstanding": {str(s.index):
+                                self.router.outstanding(s.index)
+                                for s in self.shards},
+                "inflight": {str(s.index): self.router.inflight(s.index)
+                             for s in self.shards},
+            },
         }
 
     def metrics_snapshot(self):
@@ -877,6 +947,13 @@ class ClusterServer:
         drift_alerts = {name: row["alerts"]
                         for name, row in drift.get("models", {}).items()
                         if row.get("alerts")}
+        # The pricing side of the loop: what the hysteresis policy holds
+        # active (``factors`` + ``last_repriced_unix``) and whether the
+        # cadence thread is driving it.
+        pricing = self._reprice_policy.snapshot()
+        pricing["enabled"] = self._reprice_thread is not None
+        pricing["interval_s"] = self.config.reprice_interval_s
+        pricing["min_calls"] = self.config.reprice_min_calls
         return {
             "ok": bool(self._accepting and alive and not alerting),
             "accepting": bool(self._accepting),
@@ -889,7 +966,8 @@ class ClusterServer:
                        "counts": dict(self.flight.counts)},
             "drift": {"alerting": bool(drift_alerts),
                       "alerts": drift_alerts,
-                      "models": len(drift.get("models", {}))},
+                      "models": len(drift.get("models", {})),
+                      "pricing": pricing},
         }
 
     def flight_begin(self):
@@ -943,18 +1021,21 @@ class ClusterServer:
     def set_sampling(self, enabled=None, rate_hz=None):
         """Reconfigure the wall-clock sampler everywhere — front-end and
         every alive worker — without touching step profiling; returns how
-        many workers acknowledged. ``None`` leaves that knob as-is
-        (``rate_hz`` alone retunes a running sampler in place)."""
+        many workers acknowledged. ``None`` leaves that knob as-is.
+
+        Front-end and workers apply the identical
+        :func:`~repro.obs.contprof.configure_sampler` semantics: the
+        rate is stored first, unconditionally — a ``rate_hz`` sent while
+        a sampler is stopped is remembered for its next start, never
+        silently dropped — and a running sampler retunes in place.
+        """
         sampler = {}
         if enabled is not None:
             sampler["enabled"] = bool(enabled)
         if rate_hz is not None:
             sampler["rate_hz"] = float(rate_hz)
-        if sampler.get("enabled") is False:
-            SAMPLER.stop()
-        elif sampler.get("enabled") or (rate_hz is not None
-                                        and SAMPLER.enabled):
-            SAMPLER.start(sampler.get("rate_hz"))
+        configure_sampler(SAMPLER, enabled=sampler.get("enabled"),
+                          rate_hz=sampler.get("rate_hz"))
         done = 0
         for shard in self.shards:
             if not shard.alive:
@@ -1004,30 +1085,46 @@ class ClusterServer:
                 continue
         return DriftDetector.merge(snaps)
 
-    def apply_drift_pricing(self):
-        """Install drift-corrected request pricing into the router.
+    def apply_drift_pricing(self, force=False):
+        """One drift→pricing control cycle; returns the active factors.
 
-        Maps the merged drift report's per-model calibrations onto router
-        keys through each key's predictor plan, normalises by the fleet
-        mean (so relative weights move only where models genuinely
-        diverge from each other, not with the global host/simulator
-        gap), and hands the factors to
-        :meth:`~repro.cluster.router.LeastWorkRouter.set_calibration`.
-        Returns the installed ``{key: factor}`` (empty when no model has
-        measurements yet, which also reverts to raw predicted cycles).
+        Maps the merged drift report's per-model calibrations onto
+        router keys through each key's predictor plan, drops models with
+        fewer than ``reprice_min_calls`` measured layer calls (a
+        calibration built on two samples is noise, not signal), and
+        normalises by the fleet mean — so relative weights move only
+        where models genuinely diverge from each other, not with the
+        global host/simulator gap. The result feeds the
+        :class:`~repro.obs.drift.RepricingPolicy` hysteresis: factors
+        reach :meth:`~repro.cluster.router.LeastWorkRouter
+        .set_calibration` only on a sustained >``reprice_threshold``
+        change, and a transient empty ``drift()`` fan-out keeps the
+        last-good factors (cleared only after ``reprice_empty_clears``
+        consecutive empties). The cadence thread runs this every
+        ``reprice_interval_s`` seconds; manual calls are fine too, and
+        ``force=True`` bypasses the hysteresis — install exactly what
+        was measured, or clear when nothing was.
         """
         models = self.drift().get("models", {})
         raw = {}
         for key, predictor in self.predictors.items():
             row = models.get(predictor.plan.model_name)
-            if row and row.get("calibration_ms_per_cycle"):
-                raw[key] = float(row["calibration_ms_per_cycle"])
-        if not raw:
-            self.router.set_calibration({})
-            return {}
-        mean = sum(raw.values()) / len(raw)
-        factors = {key: value / mean for key, value in raw.items()}
-        self.router.set_calibration(factors)
+            if not row or not row.get("calibration_ms_per_cycle"):
+                continue
+            calls = sum(layer.get("calls", 0)
+                        for layer in row.get("layers", {}).values())
+            if calls < self.config.reprice_min_calls:
+                continue
+            raw[key] = float(row["calibration_ms_per_cycle"])
+        if raw:
+            mean = sum(raw.values()) / len(raw)
+            raw = {key: value / mean for key, value in raw.items()}
+        changed, factors = self._reprice_policy.decide(raw, force=force)
+        if changed:
+            self.router.set_calibration(factors)
+            for key in self.predictors:
+                self._m_calibration.labels(model=key).set(
+                    float(factors.get(key, 1.0)))
         return factors
 
     def report(self, title="cluster metrics"):
@@ -1065,6 +1162,10 @@ class ClusterServer:
             return
         self._accepting = False
         deadline = time.monotonic() + timeout
+        reprice_thread = getattr(self, "_reprice_thread", None)
+        if reprice_thread is not None:
+            self._reprice_stop.set()
+            reprice_thread.join(max(0.0, deadline - time.monotonic()))
         for thread in list(getattr(self, "_respawn_threads", [])):
             thread.join(max(0.0, deadline - time.monotonic()))
         self._teardown(drain, timeout)

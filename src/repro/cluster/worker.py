@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from ..gen.sampling import SamplingConfig
-from ..obs.contprof import SAMPLER
+from ..obs.contprof import SAMPLER, configure_sampler
 from ..obs.drift import DriftDetector
 from ..obs.metrics import METRICS
 from ..obs.profiler import StepProfiler
@@ -153,17 +153,20 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None,
 
     inject = os.environ.get("REPRO_OBS_DRIFT_INJECT")
     if inject:
-        # Fault-injection hook for the drift tests: "<label>:<ms>" really
-        # sleeps inside the profiled execution path (record runs between
-        # kernels, inside the timed closure) whenever a matching row is
-        # recorded — a genuine slowdown of that kernel, visible to both
-        # the wall clock and the drift detector.
+        # Fault-injection hook for the drift tests: "<needle>:<ms>"
+        # really sleeps inside the profiled execution path (record runs
+        # between kernels, inside the timed closure) whenever a matching
+        # row is recorded — a genuine slowdown of that kernel, visible
+        # to both the wall clock and the drift detector. The needle is
+        # matched against "<plan>:<label>", so "slow_model:lut_gemm"
+        # slows one model's gemms while "lut_gemm:blocks.0" (a label
+        # substring) keeps matching every plan as before.
         needle, _, ms = inject.rpartition(":")
         delay = float(ms) / 1e3
         inner_record = profiler.record
 
         def injected_record(plan_name, label, seconds):
-            if needle in label:
+            if needle in "%s:%s" % (plan_name, label):
                 time.sleep(delay)
                 seconds += delay
             inner_record(plan_name, label, seconds)
@@ -298,12 +301,9 @@ def worker_main(conn, handles, gen_meta=None, index=0, objectives=None,
                     profiler.clear()  # fresh reporting window
                 profiling = bool(enable)
             if sampler_arg is not None:
-                if sampler_arg.get("rate_hz"):
-                    SAMPLER.rate_hz = float(sampler_arg["rate_hz"])
-                if sampler_arg.get("enabled") is True:
-                    SAMPLER.start()
-                elif sampler_arg.get("enabled") is False:
-                    SAMPLER.stop()
+                configure_sampler(SAMPLER,
+                                  enabled=sampler_arg.get("enabled"),
+                                  rate_hz=sampler_arg.get("rate_hz"))
             return profiling
         if op == "profile":
             reset = bool(args[0]) if args else False

@@ -35,13 +35,14 @@ on it (so every subsystem can import obs without cycles):
 from .contprof import (
     SAMPLER,
     WallClockSampler,
+    configure_sampler,
     diff_profiles,
     merge_profiles,
     render_collapsed,
     tagged,
     to_pprof,
 )
-from .drift import DriftDetector
+from .drift import DriftDetector, RepricingPolicy
 from .export import (
     from_chrome_trace,
     save_chrome_trace,
@@ -83,10 +84,12 @@ __all__ = [
     "FlightRecorder",
     "WallClockSampler",
     "SAMPLER",
+    "configure_sampler",
     "tagged",
     "merge_profiles",
     "diff_profiles",
     "render_collapsed",
     "to_pprof",
     "DriftDetector",
+    "RepricingPolicy",
 ]

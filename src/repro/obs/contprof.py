@@ -48,6 +48,7 @@ __all__ = [
     "SAMPLER",
     "tagged",
     "current_tag",
+    "configure_sampler",
     "merge_profiles",
     "diff_profiles",
     "render_collapsed",
@@ -294,6 +295,31 @@ class WallClockSampler:
                 self._total_ms = 0.0
                 self._evicted = 0
         return out
+
+
+def configure_sampler(sampler, enabled=None, rate_hz=None):
+    """Apply an (enabled, rate_hz) reconfiguration to one sampler.
+
+    The single semantics both the cluster front-end and every worker
+    follow for ``op: obs`` sampler directives, so a knob can never be
+    half-applied across the fleet:
+
+    - ``rate_hz`` is stored first, *unconditionally* — a rate sent while
+      the sampler is stopped is remembered and takes effect on the next
+      start (the sampler thread reads ``rate_hz`` every tick, so a
+      running sampler retunes in place with no restart);
+    - ``enabled=True`` starts, ``enabled=False`` stops, ``None`` leaves
+      the run state alone.
+
+    Returns the sampler's resulting ``enabled`` state.
+    """
+    if rate_hz is not None:
+        sampler.rate_hz = float(rate_hz)
+    if enabled is True:
+        sampler.start()
+    elif enabled is False:
+        sampler.stop()
+    return sampler.enabled
 
 
 def merge_profiles(snapshots):

@@ -29,8 +29,9 @@ consumes to optionally price dispatches with drift-corrected cycles.
 from __future__ import annotations
 
 import threading
+import time
 
-__all__ = ["DriftDetector"]
+__all__ = ["DriftDetector", "RepricingPolicy"]
 
 
 class DriftDetector:
@@ -272,3 +273,104 @@ class DriftDetector:
         with self._lock:
             return "DriftDetector(%d plans, %d layers tracked)" % (
                 len(self._expected), len(self._ewma))
+
+
+class RepricingPolicy:
+    """Hysteresis gate between raw drift factors and installed pricing.
+
+    The repricing loop runs on a cadence against noisy, EWMA-smoothed
+    calibrations; without a deadband every tick would reinstall slightly
+    different factors (pricing flap), and a single transient empty
+    ``drift()`` fan-out (every shard raced on ShardCrashed) would throw
+    away a perfectly good calibration. :meth:`decide` is the whole
+    contract: feed it each cycle's raw ``{key: factor}`` and it answers
+    whether to (re)install, remembering what is currently active.
+
+    - a non-empty report installs only when some key's factor moved more
+      than ``threshold`` (fractionally) against the active set, or a key
+      appeared/disappeared — otherwise the active factors stand;
+    - an empty report *keeps the last-good factors*; only after
+      ``empty_clears`` consecutive empty reports does the policy clear
+      to ``{}`` (raw predicted cycles) — a real calibration loss, not a
+      race.
+
+    ``clock`` is injectable for tests; ``last_repriced`` is the clock
+    reading of the most recent install (``None`` before the first).
+    """
+
+    def __init__(self, threshold=0.10, empty_clears=3, clock=None):
+        if threshold < 0.0:
+            raise ValueError("threshold must be >= 0")
+        if empty_clears < 1:
+            raise ValueError("empty_clears must be >= 1")
+        self.threshold = float(threshold)
+        self.empty_clears = int(empty_clears)
+        self._clock = clock or time.time
+        self._lock = threading.Lock()
+        self.active = {}
+        self.empty_streak = 0
+        self.installs = 0
+        self.last_repriced = None
+
+    def decide(self, raw, force=False):
+        """One repricing cycle: ``(changed, factors)``.
+
+        ``factors`` is what should be installed in the router after this
+        cycle (the new set when ``changed``, the standing active set
+        otherwise); ``changed`` says whether an install is warranted.
+        ``force=True`` bypasses both the deadband and the empty-streak
+        grace — the report is taken at face value (a manual operator
+        call, not the cadenced loop).
+        """
+        raw = {key: float(f) for key, f in (raw or {}).items()
+               if f and f > 0.0}
+        with self._lock:
+            if not raw:
+                if force:
+                    changed = bool(self.active)
+                    self.active = {}
+                    self.empty_streak = 0
+                    if changed:
+                        self._record_install()
+                    return changed, {}
+                self.empty_streak += 1
+                if self.active and self.empty_streak >= self.empty_clears:
+                    self.active = {}
+                    self._record_install()
+                    return True, {}
+                return False, dict(self.active)
+            self.empty_streak = 0
+            if not force and not self._sustained_change(raw):
+                return False, dict(self.active)
+            self.active = dict(raw)
+            self._record_install()
+            return True, dict(raw)
+
+    def _sustained_change(self, raw):
+        """Did any factor move past the deadband vs the active set?"""
+        if set(raw) != set(self.active):
+            return True
+        return any(abs(raw[key] / self.active[key] - 1.0) > self.threshold
+                   for key in raw)
+
+    def _record_install(self):
+        self.installs += 1
+        self.last_repriced = self._clock()
+
+    def snapshot(self):
+        """JSON-clean state for ``op: health`` / dashboards."""
+        with self._lock:
+            return {
+                "factors": dict(self.active),
+                "installs": self.installs,
+                "last_repriced_unix": self.last_repriced,
+                "threshold": self.threshold,
+                "empty_clears": self.empty_clears,
+                "empty_streak": self.empty_streak,
+            }
+
+    def __repr__(self):
+        with self._lock:
+            return ("RepricingPolicy(%d active factors, %d installs, "
+                    "threshold=%.0f%%)" % (len(self.active), self.installs,
+                                           self.threshold * 100.0))

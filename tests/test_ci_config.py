@@ -55,6 +55,7 @@ def test_smoke_job_runs_fast_tier(workflow):
     assert "--ignore=benchmarks/test_cluster_scaling.py" in runs
     assert "--ignore=benchmarks/test_generation_throughput.py" in runs
     assert "--ignore=benchmarks/test_observability.py" in runs
+    assert "--ignore=benchmarks/test_drift_pricing.py" in runs
     # These tests must not silently skip inside the smoke job.
     assert "pyyaml" in runs
     # The tier the job deselects must exist in pytest.ini.
@@ -111,6 +112,10 @@ def test_bench_job_uploads_serving_artifact(workflow):
     # sample artifact and the collapsed-stack profile artifact.
     assert "benchmarks/test_observability.py" in runs
     assert (ROOT / "benchmarks" / "test_observability.py").exists()
+    # The drift-pricing benchmark feeds the drift_pricing section (the
+    # factor-separation hard gate and the tail_improvement diff).
+    assert "benchmarks/test_drift_pricing.py" in runs
+    assert (ROOT / "benchmarks" / "test_drift_pricing.py").exists()
     uploads = [s for s in job["steps"]
                if "upload-artifact" in str(s.get("uses", ""))]
     paths = [step["with"]["path"] for step in uploads]

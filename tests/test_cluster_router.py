@@ -72,6 +72,79 @@ class TestAvailability:
             router.pick("m", exclude={1})
 
 
+class TestChargeLedger:
+    """`finished` must refund what `started` charged — not a recomputed
+    cost that an intervening `set_calibration` may have moved."""
+
+    def test_recalibration_mid_flight_still_drains_to_exactly_zero(self):
+        router = make_router(1, costs={"m": 100.0})
+        router.started(0, "m")
+        router.started(0, "m")
+        # Re-pricing lands while both requests are in flight: the old
+        # code would refund 100 * 3.0 per finish — clamping at 0 after
+        # the first and silently losing the second's refund.
+        router.set_calibration({"m": 3.0})
+        router.started(0, "m")  # charged at the new factor
+        router.finished(0, "m")
+        router.finished(0, "m")
+        router.finished(0, "m")
+        assert router.outstanding(0) == 0.0
+        assert router.inflight(0) == 0
+
+    def test_downward_recalibration_does_not_leave_phantom_backlog(self):
+        router = make_router(1, costs={"m": 100.0})
+        router.set_calibration({"m": 4.0})
+        router.started(0, "m")  # charged 400
+        router.set_calibration({})
+        router.finished(0, "m")  # the old code would refund only 100
+        assert router.outstanding(0) == 0.0
+
+    def test_charges_refund_exactly_under_many_recalibrations(self):
+        router = make_router(2, costs={"a": 50.0, "b": 300.0})
+        for step in range(12):
+            router.set_calibration({"a": 1.0 + 0.37 * step,
+                                    "b": 2.0 / (1 + step)})
+            router.started(step % 2, "a")
+            router.started((step + 1) % 2, "b")
+        router.set_calibration({"a": 9.0})
+        for step in range(12):
+            router.finished(step % 2, "a")
+            router.finished((step + 1) % 2, "b")
+        assert router.outstanding(0) == 0.0
+        assert router.outstanding(1) == 0.0
+
+    def test_unmatched_finish_is_a_noop(self):
+        router = make_router(2)
+        router.started(0, "m")
+        router.finished(1, "m")  # wrong shard: nothing charged there
+        assert router.outstanding(1) == 0.0
+        assert router.outstanding(0) > 0.0
+        router.finished(0, "m")
+        router.finished(0, "m")  # double finish: ledger already empty
+        assert router.outstanding(0) == 0.0
+
+    def test_revive_clears_the_ledger(self):
+        router = make_router(2)
+        router.started(0, "m")
+        router.started(0, "m")
+        router.mark_down(0)
+        router.revive(0)
+        assert router.outstanding(0) == 0.0
+        assert router.inflight(0) == 0
+        # Stale finishes from before the crash find no charge to refund.
+        router.finished(0, "m")
+        assert router.outstanding(0) == 0.0
+
+    def test_started_reports_the_charged_cost(self):
+        router = make_router(1, costs={"m": 100.0})
+        assert router.started(0, "m") == 100.0
+        router.set_calibration({"m": 2.5})
+        assert router.started(0, "m") == 250.0
+        assert router.finished(0, "m") == 100.0  # FIFO: first charge
+        assert router.finished(0, "m") == 250.0
+        assert router.outstanding(0) == 0.0
+
+
 class TestPaceWeighting:
     def test_slow_shard_gets_less_traffic(self):
         fast, slow = MetricsWindow(), MetricsWindow()

@@ -530,8 +530,14 @@ class TestDriftOverTCP:
 
     def test_health_carries_the_drift_block(self, client):
         health = client.health()
-        assert set(health["drift"]) == {"alerting", "alerts", "models"}
+        assert set(health["drift"]) == {"alerting", "alerts", "models",
+                                        "pricing"}
         assert isinstance(health["drift"]["alerting"], bool)
+        pricing = health["drift"]["pricing"]
+        assert isinstance(pricing["factors"], dict)
+        assert pricing["enabled"] is True
+        assert pricing["interval_s"] > 0
+        assert pricing["min_calls"] >= 1
 
 
 class TestInjectedSlowdownRaisesDriftAlert:
@@ -580,6 +586,70 @@ class TestInjectedSlowdownRaisesDriftAlert:
                     row = drift["models"]["gpt_nano@decode"]["layers"][
                         "lut_gemm:blocks.0.ffn_in"]
                     assert row["drift"] > 2.0
+        finally:
+            cluster.shutdown(drain=False, timeout=15.0)
+
+
+class TestRepricingLoopClosesEndToEnd:
+    """The drift→pricing loop must close without any manual call.
+
+    One of two served models is genuinely slowed with a *plan-qualified*
+    ``REPRO_OBS_DRIFT_INJECT`` needle (only the gpt_nano decode plan
+    sleeps; the mlp stays fast), so its measured ms-per-cycle pulls away
+    from the fleet. The cadence thread alone must then install a router
+    factor >1 for the slow model, surface it through ``op: health`` /
+    ``op: stats``, and — because repricing moved the costs while traffic
+    was in flight — the charge ledger must still drain to exactly 0.0.
+    """
+
+    def test_injected_slow_model_is_repriced_automatically(
+            self, gen_model, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DRIFT_INJECT",
+                           "gpt_nano@decode:lut_gemm:2.0")
+        rng = np.random.default_rng(151)
+        model = mlp(16, hidden=32, num_classes=4)
+        convert_model(model, ConversionPolicy(v=4, c=8))
+        calibrate_model(model, rng.normal(size=(40, 16)))
+        config = ClusterConfig(workers=2, max_batch_size=8,
+                               max_wait_ms=1.0, precision="fp64",
+                               reprice_interval_s=0.5,
+                               reprice_min_calls=2)
+        cluster = ClusterServer(
+            {"mlp": ModelSpec(model, (16,)),
+             "gpt_nano": GenModelSpec(gen_model, buckets=(8, 16, 32))},
+            config)
+        try:
+            with ClusterTCPServer(cluster) as tcp_server:
+                host, port = tcp_server.address
+                with ClusterClient(host, port) as client:
+                    deadline = time.monotonic() + 120.0
+                    while True:
+                        assert len(list(client.generate(
+                            "gpt_nano", rng.integers(0, 64, size=9),
+                            MAX_NEW))) == MAX_NEW
+                        client.infer_many("mlp", rng.normal(size=(6, 16)))
+                        factors = cluster.router.calibration()
+                        if factors.get("gpt_nano", 0.0) > max(
+                                1.0, factors.get("mlp", 0.0)):
+                            break
+                        assert time.monotonic() < deadline, (
+                            "repricing loop never priced the slow model "
+                            "up: %r" % (factors,))
+                    # The loop is observable end to end over the wire.
+                    pricing = client.health()["drift"]["pricing"]
+                    assert pricing["factors"].get("gpt_nano", 0.0) > 1.0
+                    assert pricing["last_repriced_unix"] is not None
+                    assert pricing["installs"] >= 1
+                    assert pricing["enabled"] is True
+                    wire = client.stats()["router"]
+                    assert (wire["calibration"].get("gpt_nano", 0.0)
+                            > wire["calibration"].get("mlp", 2.0))
+                    # All traffic has drained: the ledger refunds exactly
+                    # what each dispatch charged, repricing or not.
+                    for shard in cluster.shards:
+                        assert cluster.router.outstanding(
+                            shard.index) == 0.0
+                        assert cluster.router.inflight(shard.index) == 0
         finally:
             cluster.shutdown(drain=False, timeout=15.0)
 

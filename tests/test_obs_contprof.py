@@ -18,6 +18,7 @@ from repro.obs.contprof import (
     WallClockSampler,
     _fold,
     _frame_label,
+    configure_sampler,
     current_tag,
     diff_profiles,
     merge_profiles,
@@ -314,3 +315,66 @@ class TestRealThread:
 
     def test_module_singleton_exists(self):
         assert isinstance(SAMPLER, WallClockSampler)
+
+
+class FakeToggleSampler:
+    """Records configure_sampler's effects without any real thread."""
+
+    def __init__(self, enabled=False, rate_hz=100.0):
+        self.enabled = enabled
+        self.rate_hz = rate_hz
+        self.start_rates = []
+
+    def start(self, rate_hz=None):
+        if rate_hz is not None:
+            self.rate_hz = float(rate_hz)
+        self.start_rates.append(self.rate_hz)
+        self.enabled = True
+
+    def stop(self, timeout=2.0):
+        self.enabled = False
+
+
+class TestConfigureSampler:
+    """One reconfiguration semantics for front-end and workers alike."""
+
+    def test_rate_alone_while_stopped_is_stored_not_dropped(self):
+        sampler = FakeToggleSampler(enabled=False, rate_hz=100.0)
+        assert configure_sampler(sampler, rate_hz=25.0) is False
+        assert sampler.rate_hz == 25.0     # remembered...
+        assert sampler.enabled is False    # ...without starting
+        sampler.start()
+        assert sampler.start_rates == [25.0]  # takes effect on next start
+
+    def test_rate_alone_while_running_retunes_in_place(self):
+        sampler = FakeToggleSampler(enabled=True, rate_hz=100.0)
+        assert configure_sampler(sampler, rate_hz=10.0) is True
+        assert sampler.rate_hz == 10.0
+        assert sampler.start_rates == []  # no restart needed
+
+    def test_enable_with_rate_starts_at_that_rate(self):
+        sampler = FakeToggleSampler(enabled=False)
+        assert configure_sampler(sampler, enabled=True, rate_hz=50.0)
+        assert sampler.start_rates == [50.0]
+
+    def test_disable_stops_and_still_stores_the_rate(self):
+        sampler = FakeToggleSampler(enabled=True, rate_hz=100.0)
+        assert configure_sampler(sampler, enabled=False, rate_hz=7.0) is False
+        assert sampler.enabled is False
+        assert sampler.rate_hz == 7.0
+
+    def test_all_none_is_a_noop(self):
+        sampler = FakeToggleSampler(enabled=True, rate_hz=42.0)
+        assert configure_sampler(sampler) is True
+        assert sampler.rate_hz == 42.0
+        assert sampler.start_rates == []
+
+    def test_real_sampler_round_trip(self):
+        sampler, _ = make_sampler(registry=None)
+        try:
+            configure_sampler(sampler, rate_hz=200.0)
+            assert not sampler.enabled and sampler.rate_hz == 200.0
+            assert configure_sampler(sampler, enabled=True) is True
+            assert sampler.rate_hz == 200.0
+        finally:
+            sampler.stop()

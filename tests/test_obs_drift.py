@@ -8,7 +8,7 @@ and the alert band are asserted to the digit.
 
 import pytest
 
-from repro.obs.drift import DriftDetector
+from repro.obs.drift import DriftDetector, RepricingPolicy
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -209,3 +209,123 @@ class TestMerge:
         import json
 
         json.dumps(DriftDetector.merge([self._shard("shard0", 2, 4.0)]))
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRepricingPolicy:
+    """The hysteresis gate between raw drift factors and the router."""
+
+    def test_first_report_installs(self):
+        policy = RepricingPolicy(threshold=0.10, clock=FakeClock())
+        changed, factors = policy.decide({"a": 1.2, "b": 0.8})
+        assert changed is True
+        assert factors == {"a": 1.2, "b": 0.8}
+        assert policy.installs == 1
+        assert policy.last_repriced == 1000.0
+
+    def test_within_deadband_changes_do_not_reinstall(self):
+        policy = RepricingPolicy(threshold=0.10)
+        policy.decide({"a": 1.0, "b": 1.0})
+        changed, factors = policy.decide({"a": 1.05, "b": 0.96})
+        assert changed is False
+        assert factors == {"a": 1.0, "b": 1.0}  # the standing set
+        assert policy.installs == 1
+
+    def test_sustained_change_past_threshold_installs(self):
+        clock = FakeClock()
+        policy = RepricingPolicy(threshold=0.10, clock=clock)
+        policy.decide({"a": 1.0})
+        clock.now = 1042.0
+        changed, factors = policy.decide({"a": 1.2})
+        assert changed is True
+        assert factors == {"a": 1.2}
+        assert policy.last_repriced == 1042.0
+
+    def test_key_set_change_always_installs(self):
+        policy = RepricingPolicy(threshold=0.50)
+        policy.decide({"a": 1.0})
+        changed, factors = policy.decide({"a": 1.0, "b": 1.01})
+        assert changed is True
+        assert set(factors) == {"a", "b"}
+
+    def test_single_empty_report_keeps_last_good_factors(self):
+        policy = RepricingPolicy(empty_clears=3)
+        policy.decide({"a": 2.0})
+        for _ in range(2):
+            changed, factors = policy.decide({})
+            assert changed is False
+            assert factors == {"a": 2.0}
+
+    def test_consecutive_empties_eventually_clear(self):
+        policy = RepricingPolicy(empty_clears=3)
+        policy.decide({"a": 2.0})
+        policy.decide({})
+        policy.decide({})
+        changed, factors = policy.decide({})
+        assert changed is True
+        assert factors == {}
+        assert policy.installs == 2
+
+    def test_nonempty_report_resets_the_empty_streak(self):
+        policy = RepricingPolicy(empty_clears=2)
+        policy.decide({"a": 2.0})
+        policy.decide({})
+        policy.decide({"a": 2.0})  # within deadband, but resets streak
+        changed, factors = policy.decide({})
+        assert changed is False
+        assert factors == {"a": 2.0}
+
+    def test_empty_reports_with_nothing_active_never_install(self):
+        policy = RepricingPolicy(empty_clears=1)
+        for _ in range(3):
+            changed, factors = policy.decide({})
+            assert changed is False
+            assert factors == {}
+        assert policy.installs == 0
+
+    def test_nonpositive_factors_are_dropped(self):
+        policy = RepricingPolicy()
+        changed, factors = policy.decide({"a": 1.5, "bad": 0.0,
+                                          "worse": -2.0})
+        assert factors == {"a": 1.5}
+
+    def test_force_bypasses_the_deadband(self):
+        policy = RepricingPolicy(threshold=0.50)
+        policy.decide({"a": 1.0})
+        changed, factors = policy.decide({"a": 1.01}, force=True)
+        assert changed is True
+        assert factors == {"a": 1.01}
+
+    def test_force_clears_immediately_on_empty(self):
+        policy = RepricingPolicy(empty_clears=5)
+        policy.decide({"a": 2.0})
+        changed, factors = policy.decide({}, force=True)
+        assert changed is True
+        assert factors == {}
+
+    def test_snapshot_is_json_clean_and_complete(self):
+        import json
+
+        clock = FakeClock(7.0)
+        policy = RepricingPolicy(threshold=0.25, empty_clears=4,
+                                 clock=clock)
+        policy.decide({"a": 1.3})
+        policy.decide({})
+        snap = policy.snapshot()
+        assert snap == {"factors": {"a": 1.3}, "installs": 1,
+                        "last_repriced_unix": 7.0, "threshold": 0.25,
+                        "empty_clears": 4, "empty_streak": 1}
+        json.dumps(snap)
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            RepricingPolicy(threshold=-0.1)
+        with pytest.raises(ValueError):
+            RepricingPolicy(empty_clears=0)
